@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the computational kernels underlying
+//! every figure: haversine, geohash encoding, geodab construction,
+//! winnowing, fingerprinting, Jaccard over roaring bitmaps, DTW and DFD.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench crit_kernels`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use geodabs::winnow::{winnow, winnow_streaming};
+use geodabs::{geodab, Fingerprinter};
+use geodabs_distance::{dfd, dtw, edr, lcss_similarity};
+use geodabs_geo::{Geohash, Point};
+use geodabs_roaring::RoaringBitmap;
+use geodabs_traj::Trajectory;
+use std::hint::black_box;
+
+fn path(n: usize, offset_m: f64) -> Trajectory {
+    let start = Point::new(51.5074, -0.1278)
+        .expect("valid point")
+        .destination(0.0, offset_m);
+    (0..n)
+        .map(|i| start.destination(90.0, i as f64 * 30.0))
+        .collect()
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let a = Point::new(51.5074, -0.1278).expect("valid");
+    let b = Point::new(48.8566, 2.3522).expect("valid");
+    c.bench_function("haversine", |bench| {
+        bench.iter(|| black_box(a).haversine_distance(black_box(b)))
+    });
+    c.bench_function("geohash_encode_36", |bench| {
+        bench.iter(|| Geohash::encode(black_box(a), 36).expect("valid depth"))
+    });
+    let gram: Vec<Point> = (0..6).map(|i| a.destination(90.0, i as f64 * 85.0)).collect();
+    c.bench_function("geodab_6gram", |bench| {
+        bench.iter(|| geodab(black_box(&gram), 16))
+    });
+}
+
+fn bench_winnow(c: &mut Criterion) {
+    let mut x: u32 = 99;
+    let hashes: Vec<u32> = (0..1_000)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x
+        })
+        .collect();
+    c.bench_function("winnow_1000_w7", |bench| {
+        bench.iter(|| winnow(black_box(&hashes), 7))
+    });
+    c.bench_function("winnow_streaming_1000_w7", |bench| {
+        bench.iter(|| winnow_streaming(black_box(&hashes).iter().copied(), 7))
+    });
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let fp = Fingerprinter::default();
+    let t = path(1_000, 0.0);
+    c.bench_function("fingerprint_1000pt", |bench| {
+        bench.iter(|| fp.normalize_and_fingerprint(black_box(&t)))
+    });
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let a: RoaringBitmap = (0..2_000u32).map(|i| i * 3).collect();
+    let b: RoaringBitmap = (0..2_000u32).map(|i| i * 3 + 3).collect();
+    c.bench_function("roaring_jaccard_2k", |bench| {
+        bench.iter(|| black_box(&a).jaccard_distance(black_box(&b)))
+    });
+    c.bench_function("roaring_union_2k", |bench| {
+        bench.iter_batched(|| (), |_| black_box(&a) | black_box(&b), BatchSize::SmallInput)
+    });
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let a = path(200, 0.0);
+    let b = path(200, 10.0);
+    c.bench_function("dtw_200x200", |bench| {
+        bench.iter(|| dtw(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("dfd_200x200", |bench| {
+        bench.iter(|| dfd(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("lcss_200x200", |bench| {
+        bench.iter(|| lcss_similarity(black_box(&a), black_box(&b), 50.0))
+    });
+    c.bench_function("edr_200x200", |bench| {
+        bench.iter(|| edr(black_box(&a), black_box(&b), 50.0))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_geo, bench_winnow, bench_fingerprint, bench_jaccard, bench_distances
+}
+criterion_main!(kernels);

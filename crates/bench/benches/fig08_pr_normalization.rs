@@ -1,0 +1,56 @@
+//! Figure 8 — "Verifying configuration parameters with a PR curve".
+//!
+//! Sweeps the geohash normalization depth (32/34/36/38/40 bits) and plots
+//! the 11-point interpolated average precision/recall curve of ranked
+//! geodab retrieval over the dense dataset. The paper finds 36 bits
+//! dominates its shallower and deeper neighbors.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench fig08_pr_normalization`.
+
+use geodabs::GeodabConfig;
+use geodabs_bench::*;
+use geodabs_index::eval::{average_pr_curve, pr_curve, ranked_ids};
+use geodabs_index::{SearchOptions, TrajectoryIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    let net = london_network();
+    let ds = dense_dataset(&net, scale, 8);
+    let depths: [u8; 5] = [32, 34, 36, 38, 40];
+
+    let mut curves_per_depth = Vec::new();
+    for &depth in &depths {
+        let config = GeodabConfig::default()
+            .with_normalization_depth(depth)
+            .expect("depths are valid");
+        let index = build_geodab_index(&ds, config);
+        let mut curves = Vec::new();
+        for q in ds.queries() {
+            let hits = index.search(&q.trajectory, &SearchOptions::default());
+            let relevant = ds.relevant_ids(q);
+            curves.push(pr_curve(&ranked_ids(&hits), &relevant));
+        }
+        curves_per_depth.push(average_pr_curve(&curves, 11));
+    }
+
+    print_header(
+        "Figure 8: precision at recall, by normalization depth",
+        &["recall", "32 bits", "34 bits", "36 bits", "38 bits", "40 bits"],
+    );
+    for g in 0..11 {
+        let mut row = vec![f3(g as f64 / 10.0)];
+        for curve in &curves_per_depth {
+            row.push(f3(curve[g].precision));
+        }
+        print_row(&row);
+    }
+
+    // Area under the averaged PR curve per depth, as a single-number
+    // summary of which depth wins.
+    print_header("Figure 8 summary: mean interpolated precision", &["depth", "mean precision"]);
+    for (i, &depth) in depths.iter().enumerate() {
+        let mean: f64 =
+            curves_per_depth[i].iter().map(|p| p.precision).sum::<f64>() / 11.0;
+        print_row(&[format!("{depth} bits"), f3(mean)]);
+    }
+}

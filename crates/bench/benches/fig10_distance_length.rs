@@ -1,0 +1,76 @@
+//! Figure 10 — distance-computation cost as trajectories lengthen.
+//!
+//! Ten candidates are scored against one query while the trajectory
+//! length grows from 200 to 1 000 points. DFD/DTW grow quadratically in
+//! the length; the geodab pipeline grows linearly (fingerprinting) with a
+//! tiny constant.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench fig10_distance_length`.
+
+use geodabs::Fingerprinter;
+use geodabs_bench::*;
+use geodabs_distance::{dfd, dtw};
+use geodabs_geo::Point;
+use geodabs_traj::Trajectory;
+use std::time::Instant;
+
+fn path(n: usize, offset_m: f64, wiggle_seed: u64) -> Trajectory {
+    let start = Point::new(51.5074, -0.1278)
+        .expect("valid point")
+        .destination(0.0, offset_m);
+    (0..n)
+        .map(|i| {
+            let wiggle = (((i as u64).wrapping_mul(wiggle_seed) % 17) as f64 - 8.0) * 2.0;
+            start
+                .destination(90.0, i as f64 * 30.0)
+                .destination(0.0, wiggle)
+        })
+        .collect()
+}
+
+fn main() {
+    let c = 10; // candidate count, as in the paper
+    let fingerprinter = Fingerprinter::default();
+
+    print_header(
+        "Figure 10: time to score 10 candidates of t points (ms)",
+        &["length t", "DFD", "DTW", "Geodabs"],
+    );
+    for t in (200..=1_000).step_by(200) {
+        let query = path(t, 0.0, 7);
+        let candidates: Vec<Trajectory> =
+            (0..c).map(|i| path(t, i as f64 * 5.0, 13 + i as u64)).collect();
+
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for cand in &candidates {
+            acc += dfd(&query, cand);
+        }
+        let dfd_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        for cand in &candidates {
+            acc += dtw(&query, cand);
+        }
+        let dtw_time = t0.elapsed();
+
+        let cand_fps: Vec<_> = candidates
+            .iter()
+            .map(|cand| fingerprinter.normalize_and_fingerprint(cand))
+            .collect();
+        let t0 = Instant::now();
+        let qfp = fingerprinter.normalize_and_fingerprint(&query);
+        for fp in &cand_fps {
+            acc += qfp.jaccard_distance(fp);
+        }
+        let geodab_time = t0.elapsed();
+        std::hint::black_box(acc);
+
+        print_row(&[
+            t.to_string(),
+            ms(dfd_time),
+            ms(dtw_time),
+            ms(geodab_time),
+        ]);
+    }
+}

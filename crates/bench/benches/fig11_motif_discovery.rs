@@ -1,0 +1,95 @@
+//! Figure 11 — motif-discovery cost, BTM vs geodabs.
+//!
+//! A query trajectory is matched against `c = 1..10` candidates; for each
+//! pair, the best common motif of a fixed ground length is discovered
+//! either exactly with BTM (DFD over every window pair, with lower-bound
+//! pruning) or approximately over the winnowed geodab sequences. The paper
+//! reports seconds for BTM and milliseconds for geodabs.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench fig11_motif_discovery`.
+
+use geodabs::{discover_motif, Fingerprinter};
+use geodabs_bench::*;
+use geodabs_distance::btm;
+use geodabs_geo::Point;
+use geodabs_traj::Trajectory;
+use std::time::Instant;
+
+/// Builds a path that wanders but shares its central stretch across seeds.
+fn path_with_shared_core(n: usize, seed: u64) -> Trajectory {
+    let start = Point::new(51.5074, -0.1278).expect("valid point");
+    let approach = (seed % 7) as f64 * 400.0;
+    let mut pts = Vec::with_capacity(n);
+    // Individual approach segment.
+    for i in 0..n / 4 {
+        pts.push(
+            start
+                .destination(180.0, approach)
+                .destination(90.0, i as f64 * 40.0),
+        );
+    }
+    // Shared core, identical for every seed.
+    for i in 0..n / 2 {
+        pts.push(start.destination(90.0, (n / 4) as f64 * 40.0 + i as f64 * 40.0));
+    }
+    // Individual exit segment.
+    for i in 0..n - n / 4 - n / 2 {
+        pts.push(
+            start
+                .destination(90.0, ((n / 4) + (n / 2)) as f64 * 40.0)
+                .destination(0.0, approach + i as f64 * 40.0),
+        );
+    }
+    Trajectory::new(pts)
+}
+
+fn main() {
+    let n = 240; // points per trajectory
+    let motif_points = 40; // motif length for BTM, in points
+    let query = path_with_shared_core(n, 0);
+    let fingerprinter = Fingerprinter::default();
+    let qfp = fingerprinter.normalize_and_fingerprint(&query);
+    // Fingerprints per point, to convert the motif length (the paper's
+    // `f = l * a` conversion with a = fingerprints per meter).
+    let per_point = qfp.len() as f64 / n as f64;
+    let motif_fps = ((motif_points as f64 * per_point).round() as usize).max(2);
+
+    print_header(
+        "Figure 11: motif discovery over c candidates (ms)",
+        &["density c", "BTM", "Geodabs", "BTM dist m", "Geodab dJ"],
+    );
+    for c in 1..=10usize {
+        let candidates: Vec<Trajectory> =
+            (1..=c).map(|i| path_with_shared_core(n, i as u64)).collect();
+
+        let t0 = Instant::now();
+        let mut btm_best = f64::INFINITY;
+        for cand in &candidates {
+            if let Some(m) = btm(&query, cand, motif_points) {
+                btm_best = btm_best.min(m.distance);
+            }
+        }
+        let btm_time = t0.elapsed();
+
+        let cand_fps: Vec<_> = candidates
+            .iter()
+            .map(|cand| fingerprinter.normalize_and_fingerprint(cand))
+            .collect();
+        let t0 = Instant::now();
+        let mut dab_best = f64::INFINITY;
+        for fp in &cand_fps {
+            if let Some(m) = discover_motif(&qfp, fp, motif_fps) {
+                dab_best = dab_best.min(m.distance);
+            }
+        }
+        let dab_time = t0.elapsed();
+
+        print_row(&[
+            c.to_string(),
+            ms(btm_time),
+            ms(dab_time),
+            format!("{btm_best:.1}"),
+            f3(dab_best),
+        ]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 12 — PR curves of the geodab index vs the geohash baseline.
+//!
+//! Every route of the dense dataset has a return path, so a
+//! direction-blind geohash index retrieves twice as many "matches" as are
+//! relevant and its precision plateaus at 0.5 as recall grows. Geodabs
+//! discriminate direction and keep precision high.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench fig12_pr_index`.
+
+use geodabs::GeodabConfig;
+use geodabs_bench::*;
+use geodabs_index::eval::{average_pr_curve, pr_curve, ranked_ids};
+use geodabs_index::{SearchOptions, TrajectoryIndex};
+
+fn main() {
+    let scale = Scale::from_env();
+    let net = london_network();
+    let ds = dense_dataset(&net, scale, 12);
+    let geodab_index = build_geodab_index(&ds, GeodabConfig::default());
+    let geohash_index = build_geohash_index(&ds, 36);
+
+    let mut dab_curves = Vec::new();
+    let mut hash_curves = Vec::new();
+    for q in ds.queries() {
+        let relevant = ds.relevant_ids(q);
+        let dab_hits = geodab_index.search(&q.trajectory, &SearchOptions::default());
+        dab_curves.push(pr_curve(&ranked_ids(&dab_hits), &relevant));
+        let hash_hits = geohash_index.search(&q.trajectory, &SearchOptions::default());
+        hash_curves.push(pr_curve(&ranked_ids(&hash_hits), &relevant));
+    }
+    let dab_avg = average_pr_curve(&dab_curves, 11);
+    let hash_avg = average_pr_curve(&hash_curves, 11);
+
+    print_header(
+        "Figure 12: precision at recall, geodabs vs geohash",
+        &["recall", "Geodabs", "Geohash"],
+    );
+    for g in 0..11 {
+        print_row(&[
+            f3(g as f64 / 10.0),
+            f3(dab_avg[g].precision),
+            f3(hash_avg[g].precision),
+        ]);
+    }
+    println!();
+    println!(
+        "note: geohash plateaus toward 0.5 at high recall (return paths are \
+         indistinguishable); geodabs stay near 1.0"
+    );
+}

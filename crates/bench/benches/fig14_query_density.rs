@@ -1,0 +1,67 @@
+//! Figure 14 — time to execute 100 queries as the dataset densifies.
+//!
+//! Indexes are built from growing samples of the dense dataset (densities
+//! 1..10, up to 10 000 trajectories at full scale). The geohash baseline
+//! cannot discriminate among overlapping trajectories, so its candidate
+//! sets — and query times — grow with density; geodab candidate sets stay
+//! focused and query time stays flat.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench fig14_query_density`.
+
+use geodabs::GeodabConfig;
+use geodabs_bench::*;
+use geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let net = london_network();
+    // Generate once at maximum density; prefixes give the lower densities.
+    let ds = dense_dataset(&net, scale, 14);
+    let records = ds.records();
+    let queries = ds.queries();
+
+    print_header(
+        &format!(
+            "Figure 14: executing {} queries on a dataset of increasing density (ms)",
+            queries.len()
+        ),
+        &["density", "trajectories", "Geohash", "Geodabs", "geohash cand", "geodab cand"],
+    );
+    for density in 1..=10usize {
+        let take = records.len() * density / 10;
+        let mut geodab_index = GeodabIndex::new(GeodabConfig::default());
+        let mut geohash_index = GeohashIndex::new(36);
+        for r in &records[..take] {
+            geodab_index.insert(r.id, &r.trajectory);
+            geohash_index.insert(r.id, &r.trajectory);
+        }
+
+        let t0 = Instant::now();
+        let mut hash_candidates = 0usize;
+        for q in queries {
+            hash_candidates += geohash_index
+                .search(&q.trajectory, &SearchOptions::default())
+                .len();
+        }
+        let hash_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut dab_candidates = 0usize;
+        for q in queries {
+            dab_candidates += geodab_index
+                .search(&q.trajectory, &SearchOptions::default())
+                .len();
+        }
+        let dab_time = t0.elapsed();
+
+        print_row(&[
+            density.to_string(),
+            take.to_string(),
+            ms(hash_time),
+            ms(dab_time),
+            (hash_candidates / queries.len().max(1)).to_string(),
+            (dab_candidates / queries.len().max(1)).to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 15 — distribution of trajectories over 16-bit geohash cells at
+//! world scale.
+//!
+//! The paper plots trajectories per 16-bit geohash from the full
+//! OpenStreetMap dump and observes extreme peaks (Mexico City) separated
+//! by voids (oceans). The synthetic world model reproduces that shape:
+//! a Zipf-weighted set of population centers in continental latitude
+//! bands. The bench prints a down-sampled histogram over the Z-order axis
+//! plus the summary statistics that matter for sharding.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench fig15_world_distribution`.
+
+use geodabs_bench::*;
+use geodabs_gen::world::{WorldActivity, WorldConfig};
+
+fn main() {
+    let cfg = WorldConfig::default();
+    let world = WorldActivity::generate(&cfg, 15);
+    let sorted = world.sorted_counts();
+
+    // Down-sample the 2^16 cell axis into 64 buckets for display.
+    const BUCKETS: usize = 64;
+    let mut buckets = vec![0u64; BUCKETS];
+    for &(cell, count) in &sorted {
+        let b = (cell as usize * BUCKETS) >> 16;
+        buckets[b] += count;
+    }
+    let peak_bucket = buckets.iter().copied().max().unwrap_or(1).max(1);
+
+    print_header(
+        "Figure 15: trajectories per geohash range (64 buckets over 2^16 cells)",
+        &["bucket", "cells from", "trajectories", "bar"],
+    );
+    for (b, &count) in buckets.iter().enumerate() {
+        let bar_len = ((count as f64 / peak_bucket as f64) * 40.0).round() as usize;
+        print_row(&[
+            b.to_string(),
+            format!("{}", b << 10),
+            count.to_string(),
+            "#".repeat(bar_len),
+        ]);
+    }
+
+    print_header("Figure 15 summary", &["metric", "value"]);
+    print_row(&["total trajectories".into(), world.total().to_string()]);
+    print_row(&["non-empty cells".into(), world.counts().len().to_string()]);
+    print_row(&["occupancy".into(), format!("{:.4}", world.occupancy())]);
+    print_row(&["peak cell".into(), world.peak().to_string()]);
+    print_row(&[
+        "peak / mean(non-empty)".into(),
+        format!(
+            "{:.1}",
+            world.peak() as f64 / (world.total() as f64 / world.counts().len() as f64)
+        ),
+    ]);
+}

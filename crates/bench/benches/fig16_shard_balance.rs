@@ -1,0 +1,47 @@
+//! Figure 16 — distribution of trajectories over a 10-node cluster with
+//! 100 vs 10 000 shards.
+//!
+//! Locality-preserving shards follow the Z-order curve, so with only 100
+//! shards whole hotspot regions land on single nodes and the cluster is
+//! lopsided; with 10 000 shards the modulo assignment interleaves the
+//! curve finely across nodes and the load evens out — at the cost of
+//! queries touching more shards.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench fig16_shard_balance`.
+
+use geodabs_bench::*;
+use geodabs_cluster::balance::{coefficient_of_variation, imbalance, node_loads};
+use geodabs_cluster::ShardRouter;
+use geodabs_gen::world::{WorldActivity, WorldConfig};
+
+fn main() {
+    let world = WorldActivity::generate(&WorldConfig::default(), 16);
+    let cells = world.sorted_counts();
+    let nodes = 10usize;
+
+    let coarse = ShardRouter::new(16, 100, nodes).expect("valid");
+    let fine = ShardRouter::new(16, 10_000, nodes).expect("valid");
+    let coarse_loads = node_loads(&coarse, &cells);
+    let fine_loads = node_loads(&fine, &cells);
+
+    print_header(
+        "Figure 16: trajectories per node (10 nodes)",
+        &["node", "100 shards", "10000 shards"],
+    );
+    for (n, (c, f)) in coarse_loads.iter().zip(&fine_loads).enumerate() {
+        let name = char::from(b'A' + n as u8);
+        print_row(&[name.to_string(), c.to_string(), f.to_string()]);
+    }
+
+    print_header("Figure 16 summary", &["metric", "100 shards", "10000 shards"]);
+    print_row(&[
+        "imbalance (max/mean)".into(),
+        format!("{:.2}", imbalance(&coarse_loads)),
+        format!("{:.2}", imbalance(&fine_loads)),
+    ]);
+    print_row(&[
+        "coeff. of variation".into(),
+        format!("{:.3}", coefficient_of_variation(&coarse_loads)),
+        format!("{:.3}", coefficient_of_variation(&fine_loads)),
+    ]);
+}

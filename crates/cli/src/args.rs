@@ -1,0 +1,216 @@
+//! A small dependency-free `--flag value` argument parser.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// An unknown subcommand.
+    UnknownCommand(String),
+    /// A flag without the `--` prefix or without a value.
+    MalformedFlag(String),
+    /// The same flag was given twice.
+    DuplicateFlag(String),
+    /// A flag value failed to parse.
+    InvalidValue {
+        /// The flag name (without `--`).
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A required flag is missing.
+    MissingFlag(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing subcommand (try `geodabs help`)"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown subcommand {c:?}"),
+            ParseError::MalformedFlag(s) => write!(f, "malformed flag {s:?} (expected --name value)"),
+            ParseError::DuplicateFlag(s) => write!(f, "flag --{s} given more than once"),
+            ParseError::InvalidValue { flag, value } => {
+                write!(f, "invalid value {value:?} for --{flag}")
+            }
+            ParseError::MissingFlag(s) => write!(f, "missing required flag --{s}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// The parsed command line: a subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Subcommands the binary understands.
+pub const COMMANDS: &[&str] = &["build", "stats", "search", "tune", "world", "export", "help"];
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on unknown commands, malformed or
+    /// duplicated flags.
+    pub fn parse<I, S>(argv: I) -> Result<Args, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = argv.into_iter().map(Into::into);
+        let command = iter.next().ok_or(ParseError::MissingCommand)?;
+        if !COMMANDS.contains(&command.as_str()) {
+            return Err(ParseError::UnknownCommand(command));
+        }
+        let mut flags = HashMap::new();
+        while let Some(flag) = iter.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| ParseError::MalformedFlag(flag.clone()))?
+                .to_string();
+            if name.is_empty() {
+                return Err(ParseError::MalformedFlag(flag));
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| ParseError::MalformedFlag(flag.clone()))?;
+            if flags.insert(name.clone(), value).is_some() {
+                return Err(ParseError::DuplicateFlag(name));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A string flag, or `default` when absent.
+    pub fn string_or(&self, flag: &str, default: &str) -> String {
+        self.flags
+            .get(flag)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::MissingFlag`] when absent.
+    pub fn string_required(&self, flag: &str) -> Result<String, ParseError> {
+        self.flags
+            .get(flag)
+            .cloned()
+            .ok_or_else(|| ParseError::MissingFlag(flag.to_string()))
+    }
+
+    /// An integer flag, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::InvalidValue`] when present but unparsable.
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ParseError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseError::InvalidValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// A `usize` flag, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::InvalidValue`] when present but unparsable.
+    pub fn usize_or(&self, flag: &str, default: usize) -> Result<usize, ParseError> {
+        self.u64_or(flag, default as u64).map(|v| v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(["build", "--routes", "10", "--out", "x.gdab"]).unwrap();
+        assert_eq!(a.command(), "build");
+        assert_eq!(a.usize_or("routes", 0).unwrap(), 10);
+        assert_eq!(a.string_required("out").unwrap(), "x.gdab");
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = Args::parse(["world"]).unwrap();
+        assert_eq!(a.u64_or("seed", 7).unwrap(), 7);
+        assert_eq!(a.string_or("mode", "fast"), "fast");
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_missing_command() {
+        assert_eq!(
+            Args::parse(["frobnicate"]),
+            Err(ParseError::UnknownCommand("frobnicate".into()))
+        );
+        assert_eq!(Args::parse(Vec::<String>::new()), Err(ParseError::MissingCommand));
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(matches!(
+            Args::parse(["build", "routes", "10"]),
+            Err(ParseError::MalformedFlag(_))
+        ));
+        assert!(matches!(
+            Args::parse(["build", "--routes"]),
+            Err(ParseError::MalformedFlag(_))
+        ));
+        assert!(matches!(
+            Args::parse(["build", "--", "x"]),
+            Err(ParseError::MalformedFlag(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_values() {
+        assert_eq!(
+            Args::parse(["build", "--seed", "1", "--seed", "2"]),
+            Err(ParseError::DuplicateFlag("seed".into()))
+        );
+        let a = Args::parse(["build", "--seed", "banana"]).unwrap();
+        assert_eq!(
+            a.u64_or("seed", 0),
+            Err(ParseError::InvalidValue {
+                flag: "seed".into(),
+                value: "banana".into()
+            })
+        );
+    }
+
+    #[test]
+    fn missing_required_flag_is_reported() {
+        let a = Args::parse(["stats"]).unwrap();
+        assert_eq!(
+            a.string_required("index"),
+            Err(ParseError::MissingFlag("index".into()))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ParseError::MissingCommand.to_string().contains("subcommand"));
+        assert!(ParseError::DuplicateFlag("x".into()).to_string().contains("--x"));
+    }
+}

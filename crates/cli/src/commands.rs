@@ -1,0 +1,338 @@
+//! The subcommand implementations.
+
+use geodabs::GeodabConfig;
+use geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_gen::world::{WorldActivity, WorldConfig};
+use geodabs_index::tuning::{hill_climb, TuningSample};
+use geodabs_index::{codec, GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs_roadnet::RoadNetwork;
+use std::collections::HashSet;
+use std::error::Error;
+
+use crate::Args;
+
+/// Runs the subcommand selected by `args`, writing human-readable output
+/// to `out`.
+///
+/// # Errors
+///
+/// Propagates flag, I/O, decoding and generation errors.
+pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    match args.command() {
+        "build" => build(args, out),
+        "stats" => stats(args, out),
+        "search" => search(args, out),
+        "tune" => tune(args, out),
+        "world" => world(args, out),
+        "export" => export(args, out),
+        "help" => {
+            write!(out, "{}", HELP)?;
+            Ok(())
+        }
+        other => unreachable!("parser rejects unknown command {other}"),
+    }
+}
+
+/// Usage text.
+pub const HELP: &str = "\
+geodabs — trajectory indexing with fingerprints (ICDCS 2018 reproduction)
+
+USAGE:
+  geodabs build  --out FILE [--routes N] [--per-direction M] [--seed S]
+  geodabs stats  --index FILE
+  geodabs search --index FILE [--routes N] [--per-direction M] [--seed S]
+                 [--query Q] [--limit K]
+  geodabs tune   [--routes N] [--seed S] [--steps T]
+  geodabs world  [--trajectories N] [--cities C] [--seed S]
+  geodabs export --out FILE.csv [--routes N] [--per-direction M] [--seed S]
+  geodabs help
+
+Datasets are synthetic and reproducible: the same (routes, per-direction,
+seed) triple always generates the same trajectories, so `search` can
+regenerate its query workload against a persisted index.
+";
+
+fn network(seed: u64) -> RoadNetwork {
+    grid_network(&GridConfig::default(), seed)
+}
+
+fn dataset_from_args(args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    let routes = args.usize_or("routes", 20)?;
+    let per_direction = args.usize_or("per-direction", 5)?;
+    let seed = args.u64_or("seed", 42)?;
+    let cfg = DatasetConfig {
+        routes,
+        per_direction,
+        queries: routes.min(16),
+        ..DatasetConfig::default()
+    };
+    Ok(Dataset::generate(&network(seed), &cfg, seed)?)
+}
+
+fn build(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let path = args.string_required("out")?;
+    let ds = dataset_from_args(args)?;
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for r in ds.records() {
+        index.insert(r.id, &r.trajectory);
+    }
+    let bytes = codec::encode(&index);
+    std::fs::write(&path, &bytes)?;
+    writeln!(
+        out,
+        "indexed {} trajectories ({} terms) into {} ({} bytes)",
+        index.len(),
+        index.term_count(),
+        path,
+        bytes.len()
+    )?;
+    Ok(())
+}
+
+fn stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let path = args.string_required("index")?;
+    let bytes = std::fs::read(&path)?;
+    let index = codec::decode(&bytes)?;
+    let cfg = index.config();
+    writeln!(out, "index file        {path}")?;
+    writeln!(out, "trajectories      {}", index.len())?;
+    writeln!(out, "distinct terms    {}", index.term_count())?;
+    writeln!(
+        out,
+        "config            depth={} k={} t={} (w={}) prefix={} bits",
+        cfg.normalization_depth(),
+        cfg.k(),
+        cfg.t(),
+        cfg.window(),
+        cfg.prefix_bits()
+    )?;
+    let total_fps: usize = index.iter_fingerprints().map(|(_, fp)| fp.len()).sum();
+    writeln!(
+        out,
+        "fingerprints      {} total, {:.1} per trajectory",
+        total_fps,
+        total_fps as f64 / index.len().max(1) as f64
+    )?;
+    Ok(())
+}
+
+fn search(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let path = args.string_required("index")?;
+    let bytes = std::fs::read(&path)?;
+    let index = codec::decode(&bytes)?;
+    let ds = dataset_from_args(args)?;
+    let qi = args.usize_or("query", 0)?;
+    let limit = args.usize_or("limit", 10)?;
+    let query = ds
+        .queries()
+        .get(qi)
+        .ok_or_else(|| format!("query index {qi} out of range (have {})", ds.queries().len()))?;
+    let relevant = ds.relevant_ids(query);
+    let hits = index.search(&query.trajectory, &SearchOptions::with_limit(limit));
+    writeln!(
+        out,
+        "query {qi} (route {}, {} points): {} hit(s)",
+        query.route,
+        query.trajectory.len(),
+        hits.len()
+    )?;
+    for (rank, h) in hits.iter().enumerate() {
+        writeln!(
+            out,
+            "{:>4}  {:>8}  d={:.3}  {}",
+            rank + 1,
+            h.id.to_string(),
+            h.distance,
+            if relevant.contains(&h.id) { "relevant" } else { "-" }
+        )?;
+    }
+    Ok(())
+}
+
+fn tune(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let ds = dataset_from_args(args)?;
+    let steps = args.usize_or("steps", 5)?;
+    let corpus: Vec<_> = ds
+        .records()
+        .iter()
+        .map(|r| (r.id, r.trajectory.clone()))
+        .collect();
+    let queries: Vec<_> = ds
+        .queries()
+        .iter()
+        .map(|q| {
+            let rel: HashSet<_> = ds.relevant_ids(q);
+            (q.trajectory.clone(), rel)
+        })
+        .collect();
+    let sample = TuningSample::new(corpus, queries);
+    let result = hill_climb(&sample, GeodabConfig::default(), steps);
+    writeln!(out, "evaluated {} configurations", result.evaluations)?;
+    for (cfg, score) in &result.trace {
+        writeln!(
+            out,
+            "  depth={} k={} t={}  score={score:.3}",
+            cfg.normalization_depth(),
+            cfg.k(),
+            cfg.t()
+        )?;
+    }
+    writeln!(
+        out,
+        "best: depth={} k={} t={} (mean R-precision {:.3})",
+        result.config.normalization_depth(),
+        result.config.k(),
+        result.config.t(),
+        result.score
+    )?;
+    Ok(())
+}
+
+fn world(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let trajectories = args.u64_or("trajectories", 200_000)?;
+    let cities = args.usize_or("cities", 1_000)?;
+    let seed = args.u64_or("seed", 15)?;
+    let activity = WorldActivity::generate(
+        &WorldConfig {
+            cities,
+            trajectories,
+            ..WorldConfig::default()
+        },
+        seed,
+    );
+    writeln!(out, "trajectories      {}", activity.total())?;
+    writeln!(out, "non-empty cells   {}", activity.counts().len())?;
+    writeln!(out, "occupancy         {:.4}", activity.occupancy())?;
+    writeln!(out, "peak cell         {}", activity.peak())?;
+    Ok(())
+}
+
+fn export(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let path = args.string_required("out")?;
+    let ds = dataset_from_args(args)?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    geodabs_gen::csv::write_records(ds.records(), &mut file)?;
+    use std::io::Write as _;
+    file.flush()?;
+    writeln!(
+        out,
+        "exported {} trajectories ({} points) to {}",
+        ds.records().len(),
+        ds.total_points(),
+        path
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(argv: &[&str]) -> Result<String, String> {
+        let args = Args::parse(argv.iter().copied()).map_err(|e| e.to_string())?;
+        let mut buf = Vec::new();
+        run(&args, &mut buf).map_err(|e| e.to_string())?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("geodabs-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_to_string(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("geodabs build"));
+    }
+
+    #[test]
+    fn build_stats_search_roundtrip() {
+        let path = tmp("roundtrip.gdab");
+        let out = run_to_string(&[
+            "build", "--out", &path, "--routes", "4", "--per-direction", "2", "--seed", "9",
+        ])
+        .unwrap();
+        assert!(out.contains("indexed 16 trajectories"), "{out}");
+
+        let out = run_to_string(&["stats", "--index", &path]).unwrap();
+        assert!(out.contains("trajectories      16"), "{out}");
+        assert!(out.contains("depth=36 k=6 t=12"), "{out}");
+
+        let out = run_to_string(&[
+            "search", "--index", &path, "--routes", "4", "--per-direction", "2", "--seed", "9",
+            "--limit", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("query 0"), "{out}");
+        assert!(out.contains("relevant"), "{out}");
+    }
+
+    #[test]
+    fn search_rejects_out_of_range_query() {
+        let path = tmp("range.gdab");
+        run_to_string(&[
+            "build", "--out", &path, "--routes", "2", "--per-direction", "2", "--seed", "3",
+        ])
+        .unwrap();
+        let err = run_to_string(&[
+            "search", "--index", &path, "--routes", "2", "--per-direction", "2", "--seed", "3",
+            "--query", "99",
+        ])
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn stats_rejects_garbage_files() {
+        let path = tmp("garbage.gdab");
+        std::fs::write(&path, b"not an index").unwrap();
+        let err = run_to_string(&["stats", "--index", &path]).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn world_prints_summary() {
+        let out = run_to_string(&[
+            "world", "--trajectories", "5000", "--cities", "50", "--seed", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("trajectories      5000"), "{out}");
+        assert!(out.contains("peak cell"), "{out}");
+    }
+
+    #[test]
+    fn tune_reports_a_best_config() {
+        let out = run_to_string(&[
+            "tune", "--routes", "3", "--per-direction", "2", "--seed", "4", "--steps", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("best: depth="), "{out}");
+        assert!(out.contains("evaluated"), "{out}");
+    }
+
+    #[test]
+    fn missing_required_flags_error_cleanly() {
+        assert!(run_to_string(&["build"]).unwrap_err().contains("--out"));
+        assert!(run_to_string(&["stats"]).unwrap_err().contains("--index"));
+        assert!(run_to_string(&["export"]).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn export_writes_parseable_csv() {
+        let path = tmp("export.csv");
+        let out = run_to_string(&[
+            "export", "--out", &path, "--routes", "2", "--per-direction", "1", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("exported 4 trajectories"), "{out}");
+        let file = std::fs::File::open(&path).unwrap();
+        let records =
+            geodabs_gen::csv::read_records(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.trajectory.len() > 10));
+    }
+}

@@ -1,0 +1,24 @@
+//! Implementation of the `geodabs` command-line tool.
+//!
+//! The binary wraps the workspace crates into five subcommands:
+//!
+//! ```text
+//! geodabs build  --out FILE [--routes N] [--per-direction M] [--seed S]
+//! geodabs stats  --index FILE
+//! geodabs search --index FILE [--routes N] [--per-direction M] [--seed S]
+//!                [--query Q] [--limit K]
+//! geodabs tune   [--routes N] [--seed S] [--steps T]
+//! geodabs world  [--trajectories N] [--cities C] [--seed S]
+//! ```
+//!
+//! Datasets are synthetic and fully determined by `(routes,
+//! per-direction, seed)`, so `search` regenerates the query workload
+//! instead of shipping trajectories around.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ParseError};

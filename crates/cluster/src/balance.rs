@@ -1,0 +1,126 @@
+//! Load-balance accounting for sharded indexes (Figure 16 of the paper).
+//!
+//! Given a histogram of trajectories per geohash cell (e.g. the world
+//! activity model of `geodabs_gen::world`), these functions apply the
+//! two-step sharding strategy — Z-order range partition to shards, modulo
+//! to nodes — and report how evenly the load spreads. The paper's finding:
+//! 100 shards on 10 nodes leave the load lopsided; 10 000 shards balance
+//! it.
+
+use crate::ShardRouter;
+
+/// Sums a per-cell load histogram into per-node loads under the given
+/// router. `cells` pairs each `cell` (raw geohash bits at the router's
+/// prefix depth) with its load (e.g. trajectory count).
+pub fn node_loads(router: &ShardRouter, cells: &[(u64, u64)]) -> Vec<u64> {
+    let mut loads = vec![0u64; router.num_nodes()];
+    for &(cell, count) in cells {
+        loads[router.node_of_shard(router.shard_of_cell(cell))] += count;
+    }
+    loads
+}
+
+/// Sums a per-cell load histogram into per-shard loads.
+pub fn shard_loads(router: &ShardRouter, cells: &[(u64, u64)]) -> Vec<u64> {
+    let mut loads = vec![0u64; router.num_shards() as usize];
+    for &(cell, count) in cells {
+        loads[router.shard_of_cell(cell) as usize] += count;
+    }
+    loads
+}
+
+/// The imbalance ratio `max / mean` of a load vector; `1.0` is perfectly
+/// balanced, larger is worse. Returns `0.0` for an all-zero load.
+pub fn imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    *loads.iter().max().expect("non-empty") as f64 / mean
+}
+
+/// Coefficient of variation (σ/μ) of a load vector; `0.0` is perfectly
+/// balanced.
+pub fn coefficient_of_variation(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = loads
+        .iter()
+        .map(|&l| {
+            let d = l as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / loads.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_loads_sum_to_total() {
+        let r = ShardRouter::new(16, 100, 10).unwrap();
+        let cells: Vec<(u64, u64)> = (0..1000u64).map(|c| (c * 7 % (1 << 16), 3)).collect();
+        let loads = node_loads(&r, &cells);
+        assert_eq!(loads.len(), 10);
+        assert_eq!(loads.iter().sum::<u64>(), 3_000);
+    }
+
+    #[test]
+    fn shard_loads_sum_to_total() {
+        let r = ShardRouter::new(16, 100, 10).unwrap();
+        let cells = vec![(0u64, 5u64), (40_000, 7), (65_535, 1)];
+        let loads = shard_loads(&r, &cells);
+        assert_eq!(loads.len(), 100);
+        assert_eq!(loads.iter().sum::<u64>(), 13);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_load_is_one() {
+        assert_eq!(imbalance(&[5, 5, 5, 5]), 1.0);
+        assert_eq!(coefficient_of_variation(&[5, 5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_skewed_load_is_large() {
+        let i = imbalance(&[100, 0, 0, 0]);
+        assert_eq!(i, 4.0);
+        assert!(coefficient_of_variation(&[100, 0, 0, 0]) > 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0, 0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn more_shards_balance_a_hotspot() {
+        // One hot region of consecutive cells. With shards == nodes the
+        // hotspot lands on few nodes; with many shards the modulo spreads
+        // it across all of them — the Figure 16 effect.
+        let cells: Vec<(u64, u64)> = (30_000u64..30_200).map(|c| (c, 100)).collect();
+        let coarse = ShardRouter::new(16, 10, 10).unwrap();
+        let fine = ShardRouter::new(16, 10_000, 10).unwrap();
+        let coarse_imb = imbalance(&node_loads(&coarse, &cells));
+        let fine_imb = imbalance(&node_loads(&fine, &cells));
+        assert!(
+            fine_imb < coarse_imb,
+            "fine {fine_imb:.2} should beat coarse {coarse_imb:.2}"
+        );
+        assert!(fine_imb < 1.5, "fine sharding should be near-balanced");
+    }
+}

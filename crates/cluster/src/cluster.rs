@@ -1,0 +1,473 @@
+use geodabs::{Fingerprinter, Fingerprints, GeodabConfig};
+use geodabs_traj::{TrajId, Trajectory};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::{ClusterConfigError, ShardRouter};
+use geodabs_index::{SearchOptions, SearchResult};
+
+/// Statistics of one fan-out query, the quantities the sharding strategy
+/// tries to minimize (Section III-A4: "a good sharding strategy tries to
+/// minimize the number of shards that need to be contacted").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Distinct shards holding at least one query term.
+    pub shards_contacted: usize,
+    /// Distinct nodes those shards live on.
+    pub nodes_contacted: usize,
+    /// Candidate trajectories scored across all contacted nodes.
+    pub candidates_scored: usize,
+}
+
+/// Per-node storage: the posting lists of the terms routed to this node,
+/// plus the fingerprint bitmaps of every trajectory those postings
+/// reference (the paper stores "a reference to the trajectory bitmap" in
+/// each posting entry; replication per referencing node is the
+/// shared-nothing equivalent).
+#[derive(Debug, Default, Clone)]
+struct NodeStore {
+    postings: HashMap<u32, Vec<TrajId>>,
+    fingerprints: HashMap<TrajId, Fingerprints>,
+    /// Posting entries per shard, for balance accounting.
+    shard_load: HashMap<u64, u64>,
+}
+
+impl NodeStore {
+    /// Local ranked scoring of the query against this node's candidates.
+    fn score(&self, query_fp: &Fingerprints) -> Vec<SearchResult> {
+        let mut seen: HashMap<TrajId, ()> = HashMap::new();
+        for term in query_fp.set().iter() {
+            if let Some(list) = self.postings.get(&term) {
+                for &id in list {
+                    seen.entry(id).or_insert(());
+                }
+            }
+        }
+        seen.into_keys()
+            .map(|id| SearchResult {
+                id,
+                distance: query_fp.jaccard_distance(&self.fingerprints[&id]),
+            })
+            .collect()
+    }
+}
+
+/// A simulated cluster hosting a sharded geodab index.
+///
+/// Indexing routes each fingerprint to its shard's node; querying fans out
+/// to exactly the nodes owning the query's terms (in parallel, one scoped
+/// thread per contacted node) and merges the ranked partial results.
+#[derive(Debug)]
+pub struct ClusterIndex {
+    fingerprinter: Fingerprinter,
+    router: ShardRouter,
+    nodes: Vec<NodeStore>,
+    trajectories: usize,
+}
+
+impl ClusterIndex {
+    /// Creates an empty cluster index.
+    ///
+    /// The router's prefix depth is taken from `config.prefix_bits()` so
+    /// shard routing always agrees with the fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterConfigError`] for zero shards/nodes.
+    pub fn new(
+        config: GeodabConfig,
+        num_shards: u64,
+        num_nodes: usize,
+    ) -> Result<ClusterIndex, ClusterConfigError> {
+        let router = ShardRouter::new(config.prefix_bits(), num_shards, num_nodes)?;
+        Ok(ClusterIndex {
+            fingerprinter: Fingerprinter::new(config),
+            router,
+            nodes: vec![NodeStore::default(); num_nodes],
+            trajectories: 0,
+        })
+    }
+
+    /// The shard router in use.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories
+    }
+
+    /// Whether no trajectory has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories == 0
+    }
+
+    /// Indexes a trajectory: fingerprints it once, then routes each
+    /// geodab's posting to the node owning its shard.
+    pub fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        let fp = self.fingerprinter.normalize_and_fingerprint(trajectory);
+        self.insert_fingerprints(id, fp);
+    }
+
+    /// Indexes a batch, fingerprinting trajectories in parallel across
+    /// `threads` scoped worker threads and then routing the postings
+    /// sequentially. Produces exactly the same index as repeated
+    /// [`ClusterIndex::insert`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn insert_batch(&mut self, items: &[(TrajId, &Trajectory)], threads: usize) {
+        assert!(threads > 0, "need at least one worker thread");
+        let fingerprinter = self.fingerprinter;
+        let chunk = items.len().div_ceil(threads).max(1);
+        let fps: Mutex<Vec<(TrajId, Fingerprints)>> =
+            Mutex::new(Vec::with_capacity(items.len()));
+        crossbeam::scope(|scope| {
+            for slice in items.chunks(chunk) {
+                let fps = &fps;
+                scope.spawn(move |_| {
+                    let local: Vec<(TrajId, Fingerprints)> = slice
+                        .iter()
+                        .map(|&(id, t)| (id, fingerprinter.normalize_and_fingerprint(t)))
+                        .collect();
+                    fps.lock().extend(local);
+                });
+            }
+        })
+        .expect("fingerprinting threads never panic");
+        let mut fps = fps.into_inner();
+        // Deterministic routing order regardless of thread interleaving.
+        fps.sort_by_key(|&(id, _)| id);
+        for (id, fp) in fps {
+            self.insert_fingerprints(id, fp);
+        }
+    }
+
+    /// Routes pre-computed fingerprints to the nodes owning their shards.
+    pub fn insert_fingerprints(&mut self, id: TrajId, fp: Fingerprints) {
+        let mut touched: Vec<usize> = Vec::new();
+        for term in fp.set().iter() {
+            let shard = self.router.shard_of_geodab(term);
+            let node_idx = self.router.node_of_shard(shard);
+            let node = &mut self.nodes[node_idx];
+            let list = node.postings.entry(term).or_default();
+            if list.last() != Some(&id) && !list.contains(&id) {
+                list.push(id);
+                *node.shard_load.entry(shard).or_insert(0) += 1;
+            }
+            if !touched.contains(&node_idx) {
+                touched.push(node_idx);
+            }
+        }
+        for node_idx in touched {
+            self.nodes[node_idx].fingerprints.insert(id, fp.clone());
+        }
+        self.trajectories += 1;
+    }
+
+    /// Ranked fan-out query with routing statistics.
+    ///
+    /// Only the nodes owning at least one query term are contacted; each
+    /// contacted node scores its local candidates on its own thread and
+    /// the coordinator merges, deduplicates and finalizes the ranking.
+    pub fn search_with_stats(
+        &self,
+        query: &Trajectory,
+        options: &SearchOptions,
+    ) -> (Vec<SearchResult>, QueryStats) {
+        let query_fp = self.fingerprinter.normalize_and_fingerprint(query);
+        let shards = self.router.shards_for_terms(query_fp.set().iter());
+        let node_ids: Vec<usize> = {
+            let mut v: Vec<usize> = shards
+                .iter()
+                .map(|&s| self.router.node_of_shard(s))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let partials: Mutex<Vec<SearchResult>> = Mutex::new(Vec::new());
+        crossbeam::scope(|scope| {
+            for &ni in &node_ids {
+                let node = &self.nodes[ni];
+                let query_fp = &query_fp;
+                let partials = &partials;
+                scope.spawn(move |_| {
+                    let local = node.score(query_fp);
+                    partials.lock().extend(local);
+                });
+            }
+        })
+        .expect("scoring threads never panic");
+        let mut merged = partials.into_inner();
+        let scored = merged.len();
+        // A trajectory referenced from several nodes is scored with the
+        // same full bitmap everywhere; deduplicate by id.
+        merged.sort_by_key(|a| a.id);
+        merged.dedup_by(|a, b| a.id == b.id);
+        let hits = crate::cluster::finalize(merged, options);
+        (
+            hits,
+            QueryStats {
+                shards_contacted: shards.len(),
+                nodes_contacted: node_ids.len(),
+                candidates_scored: scored,
+            },
+        )
+    }
+
+    /// Ranked fan-out query (see [`ClusterIndex::search_with_stats`]).
+    pub fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        self.search_with_stats(query, options).0
+    }
+
+    /// Re-routes every shard onto a different node count, migrating
+    /// posting lists and fingerprint replicas — the elastic version of
+    /// the `node = shard mod n` assignment. Queries before and after
+    /// resizing return identical results; only placement changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterConfigError::NoNodes`] if `num_nodes` is zero.
+    pub fn resize(&mut self, num_nodes: usize) -> Result<(), ClusterConfigError> {
+        let new_router = ShardRouter::new(
+            self.router.prefix_bits(),
+            self.router.num_shards(),
+            num_nodes,
+        )?;
+        let mut new_nodes = vec![NodeStore::default(); num_nodes];
+        for node in self.nodes.drain(..) {
+            let NodeStore {
+                postings,
+                fingerprints,
+                ..
+            } = node;
+            for (term, list) in postings {
+                let shard = new_router.shard_of_geodab(term);
+                let target = &mut new_nodes[new_router.node_of_shard(shard)];
+                for id in list {
+                    let entry = target.postings.entry(term).or_default();
+                    if entry.last() != Some(&id) && !entry.contains(&id) {
+                        entry.push(id);
+                        *target.shard_load.entry(shard).or_insert(0) += 1;
+                        // The fingerprint replica follows its postings.
+                        if !target.fingerprints.contains_key(&id) {
+                            target
+                                .fingerprints
+                                .insert(id, fingerprints[&id].clone());
+                        }
+                    }
+                }
+            }
+        }
+        self.router = new_router;
+        self.nodes = new_nodes;
+        Ok(())
+    }
+
+    /// Posting entries per node — the load balance picture of Figure 16.
+    pub fn postings_per_node(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.shard_load.values().sum())
+            .collect()
+    }
+
+    /// Distinct trajectories referenced per node.
+    pub fn trajectories_per_node(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.fingerprints.len()).collect()
+    }
+
+    /// Number of non-empty shards.
+    pub fn active_shards(&self) -> usize {
+        self.nodes.iter().map(|n| n.shard_load.len()).sum()
+    }
+}
+
+/// Re-implementation of the single-index result finalization (sorting,
+/// thresholding, limiting) for merged cluster results; kept identical so a
+/// cluster query returns exactly what a monolithic index would.
+fn finalize(mut hits: Vec<SearchResult>, options: &SearchOptions) -> Vec<SearchResult> {
+    hits.retain(|h| h.distance <= options.max_distance);
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    if let Some(limit) = options.limit {
+        hits.truncate(limit);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+    use geodabs_index::{GeodabIndex, TrajectoryIndex};
+
+    fn start() -> Point {
+        Point::new(51.5074, -0.1278).unwrap()
+    }
+
+    fn eastward(n: usize, offset_m: f64) -> Trajectory {
+        (0..n)
+            .map(|i| start().destination(90.0, offset_m + i as f64 * 90.0))
+            .collect()
+    }
+
+    fn sample_cluster() -> ClusterIndex {
+        let mut c = ClusterIndex::new(GeodabConfig::default(), 10_000, 10).unwrap();
+        c.insert(TrajId::new(0), &eastward(40, 0.0));
+        c.insert(TrajId::new(1), &eastward(40, 0.0).reversed());
+        c.insert(TrajId::new(2), &eastward(40, 20_000.0));
+        c
+    }
+
+    #[test]
+    fn insert_and_counts() {
+        let c = sample_cluster();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.active_shards() >= 1);
+        assert_eq!(c.postings_per_node().len(), 10);
+        assert!(
+            c.postings_per_node().iter().sum::<u64>() > 0
+        );
+    }
+
+    #[test]
+    fn batch_insert_equals_sequential_insert() {
+        let trajectories: Vec<Trajectory> = vec![
+            eastward(40, 0.0),
+            eastward(40, 0.0).reversed(),
+            eastward(40, 5_000.0),
+            eastward(60, 1_000.0),
+            eastward(50, 2_000.0),
+        ];
+        let mut sequential = ClusterIndex::new(GeodabConfig::default(), 10_000, 10).unwrap();
+        for (i, t) in trajectories.iter().enumerate() {
+            sequential.insert(TrajId::new(i as u32), t);
+        }
+        let items: Vec<(TrajId, &Trajectory)> = trajectories
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TrajId::new(i as u32), t))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let mut batched = ClusterIndex::new(GeodabConfig::default(), 10_000, 10).unwrap();
+            batched.insert_batch(&items, threads);
+            assert_eq!(batched.len(), sequential.len());
+            assert_eq!(batched.postings_per_node(), sequential.postings_per_node());
+            for t in &trajectories {
+                assert_eq!(
+                    batched.search(t, &SearchOptions::default()),
+                    sequential.search(t, &SearchOptions::default()),
+                    "{threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let mut c = ClusterIndex::new(GeodabConfig::default(), 10, 2).unwrap();
+        c.insert_batch(&[], 0);
+    }
+
+    #[test]
+    fn cluster_search_matches_monolithic_index() {
+        let c = sample_cluster();
+        let mut mono = GeodabIndex::new(GeodabConfig::default());
+        mono.insert(TrajId::new(0), &eastward(40, 0.0));
+        mono.insert(TrajId::new(1), &eastward(40, 0.0).reversed());
+        mono.insert(TrajId::new(2), &eastward(40, 20_000.0));
+        for query in [
+            eastward(40, 0.0),
+            eastward(40, 0.0).reversed(),
+            eastward(40, 20_000.0),
+            eastward(40, 1_000.0),
+        ] {
+            let cluster_hits = c.search(&query, &SearchOptions::default());
+            let mono_hits = mono.search(&query, &SearchOptions::default());
+            assert_eq!(cluster_hits, mono_hits, "query mismatch");
+        }
+    }
+
+    #[test]
+    fn local_query_touches_few_nodes() {
+        let c = sample_cluster();
+        let (_, stats) = c.search_with_stats(&eastward(40, 0.0), &SearchOptions::default());
+        // All fingerprints of a city-scale trajectory share one 16-bit
+        // cell, hence one shard and one node.
+        assert_eq!(stats.shards_contacted, 1);
+        assert_eq!(stats.nodes_contacted, 1);
+        assert!(stats.candidates_scored >= 1);
+    }
+
+    #[test]
+    fn short_query_contacts_nothing() {
+        let c = sample_cluster();
+        let (hits, stats) = c.search_with_stats(&eastward(3, 0.0), &SearchOptions::default());
+        assert!(hits.is_empty());
+        assert_eq!(stats.shards_contacted, 0);
+        assert_eq!(stats.nodes_contacted, 0);
+    }
+
+    #[test]
+    fn options_apply_after_merge() {
+        let c = sample_cluster();
+        let all = c.search(&eastward(40, 0.0), &SearchOptions::default());
+        let limited = c.search(&eastward(40, 0.0), &SearchOptions::with_limit(1));
+        assert_eq!(limited.len(), 1);
+        assert_eq!(limited[0], all[0]);
+        let tight = c.search(&eastward(40, 0.0), &SearchOptions::with_max_distance(0.2));
+        assert!(tight.iter().all(|h| h.distance <= 0.2));
+    }
+
+    #[test]
+    fn resize_preserves_query_results() {
+        let mut c = sample_cluster();
+        let queries = [
+            eastward(40, 0.0),
+            eastward(40, 0.0).reversed(),
+            eastward(40, 20_000.0),
+        ];
+        let before: Vec<_> = queries
+            .iter()
+            .map(|q| c.search(q, &SearchOptions::default()))
+            .collect();
+        for nodes in [3usize, 25, 1, 10] {
+            c.resize(nodes).unwrap();
+            assert_eq!(c.postings_per_node().len(), nodes);
+            for (q, expected) in queries.iter().zip(&before) {
+                assert_eq!(&c.search(q, &SearchOptions::default()), expected, "{nodes} nodes");
+            }
+        }
+        assert!(c.resize(0).is_err());
+    }
+
+    #[test]
+    fn resize_conserves_postings() {
+        let mut c = sample_cluster();
+        let total_before: u64 = c.postings_per_node().iter().sum();
+        c.resize(4).unwrap();
+        let total_after: u64 = c.postings_per_node().iter().sum();
+        assert_eq!(total_before, total_after);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn single_node_cluster_works() {
+        let mut c = ClusterIndex::new(GeodabConfig::default(), 1, 1).unwrap();
+        c.insert(TrajId::new(0), &eastward(40, 0.0));
+        let hits = c.search(&eastward(40, 0.0), &SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn invalid_configuration_errors() {
+        assert!(ClusterIndex::new(GeodabConfig::default(), 0, 10).is_err());
+        assert!(ClusterIndex::new(GeodabConfig::default(), 100, 0).is_err());
+    }
+}

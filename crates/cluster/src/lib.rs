@@ -1,0 +1,38 @@
+//! Sharded, distributed geodab index (Sections III-A4 and VI-E of the
+//! paper, Figure 2 (c)).
+//!
+//! The geohash prefix of a geodab places it on the Z-order space-filling
+//! curve; sharding slices that curve into contiguous ranges so that nearby
+//! cells land on the same shard (**locality preserving** — queries touch
+//! few shards), while shards map to nodes with a modulo (**locality
+//! breaking** — load spreads evenly). The trade-off between the two is
+//! exactly what Figure 16 evaluates with 100 vs 10 000 shards on 10 nodes.
+//!
+//! * [`ShardRouter`] — the two pure mapping functions
+//!   `shard = ⌊geohash / 2^depth · s⌋` and `node = shard mod n`,
+//! * [`ClusterIndex`] — a simulated cluster of per-node posting stores
+//!   with fan-out ranked queries (parallelized with scoped threads),
+//! * [`balance`] — balance statistics over shard/node assignments.
+//!
+//! # Examples
+//!
+//! ```
+//! use geodabs_cluster::ShardRouter;
+//!
+//! let router = ShardRouter::new(16, 10_000, 10).expect("valid");
+//! // A geodab's 16-bit prefix picks a contiguous shard of the Z-curve...
+//! let shard = router.shard_of_cell(0x8000);
+//! assert_eq!(shard, 5_000);
+//! // ...and the shard is assigned to a node round-robin.
+//! assert_eq!(router.node_of_shard(shard), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+mod cluster;
+mod router;
+
+pub use cluster::{ClusterIndex, QueryStats};
+pub use router::{ClusterConfigError, ShardRouter};

@@ -1,0 +1,205 @@
+use serde::{Deserialize, Serialize};
+
+use crate::GeodabError;
+
+/// Configuration of geodab fingerprinting.
+///
+/// The defaults are the parameters the paper validates in Section VI-A2:
+/// 36-bit geohash normalization, winnowing lower bound `k = 6`, upper
+/// bound `t = 12` and a 16-bit geohash prefix inside the 32-bit geodab
+/// (Section VI-E). With ~85 m between consecutive normalized points in
+/// London, `k` and `t` translate to noise/guarantee thresholds of roughly
+/// 510 m and 1 020 m.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeodabConfig {
+    normalization_depth: u8,
+    k: usize,
+    t: usize,
+    prefix_bits: u8,
+}
+
+impl Default for GeodabConfig {
+    fn default() -> GeodabConfig {
+        GeodabConfig {
+            normalization_depth: 36,
+            k: 6,
+            t: 12,
+            prefix_bits: 16,
+        }
+    }
+}
+
+impl GeodabConfig {
+    /// Creates a configuration, validating all parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`GeodabError::InvalidLowerBound`] if `k < 2`,
+    /// * [`GeodabError::InvalidUpperBound`] if `t < k`,
+    /// * [`GeodabError::InvalidPrefixBits`] if `prefix_bits` is 0 or ≥ 32,
+    /// * [`GeodabError::InvalidNormalizationDepth`] if the depth is 0 or
+    ///   above 64.
+    pub fn new(
+        normalization_depth: u8,
+        k: usize,
+        t: usize,
+        prefix_bits: u8,
+    ) -> Result<GeodabConfig, GeodabError> {
+        if k < 2 {
+            return Err(GeodabError::InvalidLowerBound(k));
+        }
+        if t < k {
+            return Err(GeodabError::InvalidUpperBound { t, k });
+        }
+        if prefix_bits == 0 || prefix_bits >= 32 {
+            return Err(GeodabError::InvalidPrefixBits(prefix_bits));
+        }
+        if normalization_depth == 0 || normalization_depth > 64 {
+            return Err(GeodabError::InvalidNormalizationDepth(normalization_depth));
+        }
+        Ok(GeodabConfig {
+            normalization_depth,
+            k,
+            t,
+            prefix_bits,
+        })
+    }
+
+    /// The default configuration with a different normalization depth
+    /// (used by the Figure 8 depth sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeodabError::InvalidNormalizationDepth`] for 0 or > 64.
+    pub fn with_normalization_depth(self, depth: u8) -> Result<GeodabConfig, GeodabError> {
+        GeodabConfig::new(depth, self.k, self.t, self.prefix_bits)
+    }
+
+    /// The default configuration with different winnowing bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeodabError::InvalidLowerBound`] / [`GeodabError::InvalidUpperBound`]
+    /// on invalid bounds.
+    pub fn with_bounds(self, k: usize, t: usize) -> Result<GeodabConfig, GeodabError> {
+        GeodabConfig::new(self.normalization_depth, k, t, self.prefix_bits)
+    }
+
+    /// The default configuration with a different geohash prefix width
+    /// (used by the prefix-width ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeodabError::InvalidPrefixBits`] for 0 or ≥ 32.
+    pub fn with_prefix_bits(self, prefix_bits: u8) -> Result<GeodabConfig, GeodabError> {
+        GeodabConfig::new(self.normalization_depth, self.k, self.t, prefix_bits)
+    }
+
+    /// Geohash depth used to normalize trajectories, in bits.
+    pub fn normalization_depth(&self) -> u8 {
+        self.normalization_depth
+    }
+
+    /// Winnowing lower bound `k`: matches shorter than `k` points are
+    /// considered noise.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Winnowing upper bound `t`: common sub-trajectories of at least `t`
+    /// points are guaranteed to share a fingerprint.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Winnowing window size `w = t − k + 1`.
+    pub fn window(&self) -> usize {
+        self.t - self.k + 1
+    }
+
+    /// Width of the geohash prefix inside the 32-bit geodab.
+    pub fn prefix_bits(&self) -> u8 {
+        self.prefix_bits
+    }
+
+    /// The noise threshold in meters: sub-trajectories shorter than this
+    /// are not guaranteed to be detected, given the average distance
+    /// between consecutive normalized points.
+    pub fn noise_threshold_meters(&self, avg_move_meters: f64) -> f64 {
+        self.k as f64 * avg_move_meters
+    }
+
+    /// The guarantee threshold in meters: common sub-trajectories at least
+    /// this long always share a fingerprint, given the average distance
+    /// between consecutive normalized points.
+    pub fn guarantee_threshold_meters(&self, avg_move_meters: f64) -> f64 {
+        self.t as f64 * avg_move_meters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = GeodabConfig::default();
+        assert_eq!(c.normalization_depth(), 36);
+        assert_eq!(c.k(), 6);
+        assert_eq!(c.t(), 12);
+        assert_eq!(c.prefix_bits(), 16);
+        assert_eq!(c.window(), 7);
+    }
+
+    #[test]
+    fn paper_thresholds_at_85m_moves() {
+        // Section VI-A2: k=6 -> ~510 m noise threshold, t=12 -> ~1020 m.
+        let c = GeodabConfig::default();
+        assert!((c.noise_threshold_meters(85.0) - 510.0).abs() < 1e-9);
+        assert!((c.guarantee_threshold_meters(85.0) - 1020.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert_eq!(
+            GeodabConfig::new(36, 1, 12, 16),
+            Err(GeodabError::InvalidLowerBound(1))
+        );
+        assert_eq!(
+            GeodabConfig::new(36, 6, 5, 16),
+            Err(GeodabError::InvalidUpperBound { t: 5, k: 6 })
+        );
+        assert_eq!(
+            GeodabConfig::new(36, 6, 12, 0),
+            Err(GeodabError::InvalidPrefixBits(0))
+        );
+        assert_eq!(
+            GeodabConfig::new(36, 6, 12, 32),
+            Err(GeodabError::InvalidPrefixBits(32))
+        );
+        assert_eq!(
+            GeodabConfig::new(0, 6, 12, 16),
+            Err(GeodabError::InvalidNormalizationDepth(0))
+        );
+        assert_eq!(
+            GeodabConfig::new(65, 6, 12, 16),
+            Err(GeodabError::InvalidNormalizationDepth(65))
+        );
+    }
+
+    #[test]
+    fn with_methods_override_one_field() {
+        let c = GeodabConfig::default();
+        assert_eq!(c.with_normalization_depth(40).unwrap().normalization_depth(), 40);
+        let b = c.with_bounds(4, 8).unwrap();
+        assert_eq!((b.k(), b.t(), b.window()), (4, 8, 5));
+        assert_eq!(c.with_prefix_bits(8).unwrap().prefix_bits(), 8);
+        assert!(c.with_prefix_bits(0).is_err());
+    }
+
+    #[test]
+    fn k_equal_t_gives_window_of_one() {
+        let c = GeodabConfig::default().with_bounds(6, 6).unwrap();
+        assert_eq!(c.window(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+use geodabs_roaring::RoaringBitmap;
+use geodabs_traj::{GeohashNormalizer, Normalizer, Trajectory};
+
+use crate::geodab::geodab;
+use crate::winnow::winnow;
+use crate::GeodabConfig;
+
+/// The fingerprints of one trajectory: an ordered sequence of geodabs (as
+/// selected by winnowing) plus the corresponding set as a roaring bitmap.
+///
+/// The *ordered* view drives motif discovery (Section VI-C); the *set*
+/// view drives indexing and Jaccard ranking (Section IV-A).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fingerprints {
+    ordered: Vec<u32>,
+    set: RoaringBitmap,
+}
+
+impl Fingerprints {
+    /// Builds fingerprints from an ordered geodab selection.
+    pub fn from_ordered(ordered: Vec<u32>) -> Fingerprints {
+        let set = ordered.iter().copied().collect();
+        Fingerprints { ordered, set }
+    }
+
+    /// The selected geodabs in trajectory order (may repeat).
+    pub fn ordered(&self) -> &[u32] {
+        &self.ordered
+    }
+
+    /// The distinct geodabs as a roaring bitmap.
+    pub fn set(&self) -> &RoaringBitmap {
+        &self.set
+    }
+
+    /// Number of selected fingerprints (ordered view, with repeats).
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Whether the trajectory produced no fingerprint (shorter than `k`).
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// Number of distinct geodabs.
+    pub fn distinct_len(&self) -> u64 {
+        self.set.len()
+    }
+
+    /// The Jaccard coefficient between the two fingerprint sets.
+    pub fn jaccard(&self, other: &Fingerprints) -> f64 {
+        self.set.jaccard(&other.set)
+    }
+
+    /// The Jaccard distance `δ` used to rank retrieval results
+    /// (Equation 1 of the paper).
+    pub fn jaccard_distance(&self, other: &Fingerprints) -> f64 {
+        self.set.jaccard_distance(&other.set)
+    }
+}
+
+impl<'a> IntoIterator for &'a Fingerprints {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ordered.iter().copied()
+    }
+}
+
+/// Extracts geodab fingerprints from trajectories — the function `W(S) = F`
+/// of the paper, implementing its Algorithm 1.
+///
+/// The fingerprinter is cheap to construct and stateless; share one across
+/// threads freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprinter {
+    config: GeodabConfig,
+}
+
+impl Fingerprinter {
+    /// Creates a fingerprinter with the given configuration.
+    pub fn new(config: GeodabConfig) -> Fingerprinter {
+        Fingerprinter { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeodabConfig {
+        &self.config
+    }
+
+    /// Fingerprints an **already normalized** trajectory: computes the
+    /// geodab of every `k`-gram and winnows with window `t − k + 1`.
+    ///
+    /// Trajectories shorter than `k` points produce no fingerprints
+    /// (matches below the noise threshold are discarded by design).
+    pub fn fingerprint(&self, normalized: &Trajectory) -> Fingerprints {
+        let k = self.config.k();
+        if normalized.len() < k {
+            return Fingerprints::default();
+        }
+        let candidates: Vec<u32> = normalized
+            .k_grams(k)
+            .map(|gram| geodab(gram, self.config.prefix_bits()))
+            .collect();
+        Fingerprints::from_ordered(winnow(&candidates, self.config.window()))
+    }
+
+    /// Normalizes with the given normalizer, then fingerprints.
+    pub fn fingerprint_with<N: Normalizer + ?Sized>(
+        &self,
+        normalizer: &N,
+        raw: &Trajectory,
+    ) -> Fingerprints {
+        self.fingerprint(&normalizer.normalize(raw))
+    }
+
+    /// Normalizes on the geohash grid at the configured depth
+    /// (Section V-A) — using the noise-robust variant with smoothing and
+    /// transition hysteresis — then fingerprints. This is the default
+    /// pipeline for raw GPS-like input.
+    ///
+    /// Use [`Fingerprinter::fingerprint_with`] with a plain
+    /// [`GeohashNormalizer::new`] to reproduce the paper's literal
+    /// construction without the robustness additions.
+    pub fn normalize_and_fingerprint(&self, raw: &Trajectory) -> Fingerprints {
+        let normalizer = GeohashNormalizer::robust(self.config.normalization_depth())
+            .expect("config depth is validated at construction");
+        self.fingerprint_with(&normalizer, raw)
+    }
+}
+
+impl Default for Fingerprinter {
+    /// A fingerprinter with the paper's default parameters.
+    fn default() -> Fingerprinter {
+        Fingerprinter::new(GeodabConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    /// A path of `n` points moving east in ~90 m steps (about one 36-bit
+    /// cell per step in London).
+    fn eastward(n: usize, offset_m: f64) -> Trajectory {
+        let start = p(51.5074, -0.1278).destination(90.0, offset_m);
+        (0..n)
+            .map(|i| start.destination(90.0, i as f64 * 90.0))
+            .collect()
+    }
+
+    #[test]
+    fn short_trajectories_produce_no_fingerprints() {
+        let fp = Fingerprinter::default();
+        assert!(fp.fingerprint(&eastward(5, 0.0)).is_empty()); // k = 6
+        assert!(fp.fingerprint(&Trajectory::default()).is_empty());
+        assert!(!fp.fingerprint(&eastward(6, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let fp = Fingerprinter::default();
+        let t = eastward(40, 0.0);
+        assert_eq!(fp.fingerprint(&t), fp.fingerprint(&t));
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_distance() {
+        let fp = Fingerprinter::default();
+        let f = fp.normalize_and_fingerprint(&eastward(40, 0.0));
+        assert_eq!(f.jaccard_distance(&f), 0.0);
+        assert_eq!(f.jaccard(&f), 1.0);
+    }
+
+    /// A GPS-like dense path: one sample every ~14 m (1 Hz at urban
+    /// speed), which is what the robust normalization pipeline targets.
+    fn dense_eastward(n: usize, offset_m: f64) -> Trajectory {
+        let start = p(51.5074, -0.1278).destination(90.0, offset_m);
+        (0..n)
+            .map(|i| start.destination(90.0, i as f64 * 14.0))
+            .collect()
+    }
+
+    #[test]
+    fn noisy_twin_is_close_reverse_is_far() {
+        let fp = Fingerprinter::default();
+        let t = dense_eastward(260, 0.0);
+        let noisy: Trajectory = t
+            .iter()
+            .enumerate()
+            .map(|(i, q)| q.destination(if i % 2 == 0 { 30.0 } else { 210.0 }, 12.0))
+            .collect();
+        let fa = fp.normalize_and_fingerprint(&t);
+        let fb = fp.normalize_and_fingerprint(&noisy);
+        let fr = fp.normalize_and_fingerprint(&t.reversed());
+        let d_twin = fa.jaccard_distance(&fb);
+        let d_rev = fa.jaccard_distance(&fr);
+        assert!(d_twin < 0.5, "noisy twin too far: {d_twin}");
+        assert!(d_rev > 0.9, "reverse too close: {d_rev}");
+        assert!(d_twin < d_rev);
+    }
+
+    #[test]
+    fn disjoint_paths_share_nothing() {
+        let fp = Fingerprinter::default();
+        let a = fp.normalize_and_fingerprint(&eastward(40, 0.0));
+        let b = fp.normalize_and_fingerprint(&eastward(40, 50_000.0));
+        assert_eq!(a.jaccard(&b), 0.0);
+        assert!(a.set().is_disjoint(b.set()));
+    }
+
+    #[test]
+    fn overlapping_paths_share_fingerprints() {
+        // Two paths sharing a long common stretch (>= t moves) must share
+        // at least one fingerprint — the winnowing guarantee end to end.
+        let fp = Fingerprinter::default();
+        let a = fp.normalize_and_fingerprint(&eastward(40, 0.0));
+        // Same path, but starting 10 moves in and extending further.
+        let b = fp.normalize_and_fingerprint(&eastward(40, 10.0 * 90.0));
+        assert!(
+            a.set().intersection_len(b.set()) >= 1,
+            "winnowing guarantee violated"
+        );
+        let d = a.jaccard_distance(&b);
+        assert!(d < 1.0 && d > 0.0, "distance {d}");
+    }
+
+    #[test]
+    fn ordered_view_follows_trajectory_order() {
+        let fp = Fingerprinter::default();
+        let f = fp.normalize_and_fingerprint(&eastward(60, 0.0));
+        assert!(f.len() >= 2);
+        assert_eq!(f.ordered().len(), f.len());
+        // Every ordered entry is in the set.
+        for g in &f {
+            assert!(f.set().contains(g));
+        }
+        assert!(f.distinct_len() <= f.len() as u64);
+    }
+
+    #[test]
+    fn fingerprint_density_tracks_window() {
+        // Expected winnowing density is 2/(w+1) over the k-gram stream.
+        let fp = Fingerprinter::default();
+        let t = eastward(300, 0.0);
+        let n = GeohashNormalizer::new(36).unwrap().normalize(&t);
+        let f = fp.fingerprint(&n);
+        let candidates = n.len() - fp.config().k() + 1;
+        let density = f.len() as f64 / candidates as f64;
+        let expected = 2.0 / (fp.config().window() as f64 + 1.0);
+        assert!(
+            (density - expected).abs() < 0.15,
+            "density {density:.3} vs expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_with_identity_equals_fingerprint() {
+        use geodabs_traj::IdentityNormalizer;
+        let fp = Fingerprinter::default();
+        let t = eastward(30, 0.0);
+        assert_eq!(fp.fingerprint_with(&IdentityNormalizer, &t), fp.fingerprint(&t));
+    }
+
+    #[test]
+    fn from_ordered_builds_consistent_set() {
+        let f = Fingerprints::from_ordered(vec![5, 3, 5, 9]);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.distinct_len(), 3);
+        assert!(f.set().contains(3));
+        assert!(f.set().contains(5));
+        assert!(f.set().contains(9));
+    }
+
+    #[test]
+    fn default_fingerprinter_uses_default_config() {
+        assert_eq!(*Fingerprinter::default().config(), GeodabConfig::default());
+    }
+}

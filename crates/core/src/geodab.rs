@@ -1,0 +1,219 @@
+use geodabs_geo::{Geohash, Point};
+
+use crate::hash::hash_points;
+
+/// Computes the 32-bit geodab of a point sequence (Figure 3 of the paper):
+///
+/// ```text
+/// geodab(points) = geohash(points) << (32 - prefix_bits)
+///                | hash(points) & ((1 << (32 - prefix_bits)) - 1)
+/// ```
+///
+/// * The **prefix** is the covering geohash of the whole sequence,
+///   truncated to `prefix_bits` bits. It places the geodab on the Z-order
+///   space-filling curve according to the location of the points, which is
+///   what enables locality-preserving sharding. In the rare case where the
+///   sequence straddles a major cell boundary (its covering geohash is
+///   shallower than `prefix_bits`), the prefix falls back to the cell of
+///   the sequence's first point, keeping the value deterministic and
+///   geographically meaningful.
+/// * The **suffix** is an order-sensitive hash of the sequence, which
+///   discriminates among `k`-grams by path and direction.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `prefix_bits` is not in `1..=31`.
+///
+/// # Examples
+///
+/// ```
+/// use geodabs::{geodab, geodab_prefix};
+/// use geodabs_geo::{Geohash, Point};
+///
+/// # fn main() -> Result<(), geodabs_geo::GeoError> {
+/// let a = Point::new(51.5074, -0.1278)?;
+/// let b = a.destination(90.0, 100.0);
+/// let g = geodab(&[a, b], 16);
+/// // The prefix is the 16-bit cell of the points.
+/// assert_eq!(geodab_prefix(g, 16), Geohash::encode(a, 16)?);
+/// // Direction matters: the reverse k-gram fingerprints differently.
+/// assert_ne!(g, geodab(&[b, a], 16));
+/// # Ok(())
+/// # }
+/// ```
+pub fn geodab(points: &[Point], prefix_bits: u8) -> u32 {
+    assert!(!points.is_empty(), "geodab requires at least one point");
+    assert!(
+        (1..=31).contains(&prefix_bits),
+        "prefix must be between 1 and 31 bits"
+    );
+    let covering = Geohash::covering(points.iter().copied())
+        .expect("non-empty point set always has a covering geohash");
+    let prefix = if covering.depth() >= prefix_bits {
+        covering
+            .truncate(prefix_bits)
+            .expect("truncation to a shallower depth always succeeds")
+    } else {
+        // Boundary-straddling k-gram: anchor the prefix at the first point.
+        Geohash::encode(points[0], prefix_bits).expect("prefix_bits <= 31 is a valid depth")
+    };
+    let suffix_bits = 32 - u32::from(prefix_bits);
+    let suffix_mask = (1u64 << suffix_bits) - 1;
+    let suffix = hash_points(points) & suffix_mask;
+    ((prefix.bits() as u32) << suffix_bits) | suffix as u32
+}
+
+/// Extracts the geohash prefix of a geodab produced with the same
+/// `prefix_bits` — the bitwise operation the sharding layer uses
+/// (Section VI-E).
+///
+/// # Panics
+///
+/// Panics if `prefix_bits` is not in `1..=31`.
+pub fn geodab_prefix(geodab: u32, prefix_bits: u8) -> Geohash {
+    assert!(
+        (1..=31).contains(&prefix_bits),
+        "prefix must be between 1 and 31 bits"
+    );
+    let bits = u64::from(geodab >> (32 - u32::from(prefix_bits)));
+    Geohash::from_bits(bits, prefix_bits).expect("shifted prefix always fits its depth")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    fn london_gram(offset_m: f64) -> Vec<Point> {
+        let start = p(51.5074, -0.1278).destination(90.0, offset_m);
+        (0..6)
+            .map(|i| start.destination(90.0, i as f64 * 85.0))
+            .collect()
+    }
+
+    #[test]
+    fn prefix_is_covering_cell() {
+        let gram = london_gram(0.0);
+        let g = geodab(&gram, 16);
+        let expected = Geohash::covering(gram.iter().copied())
+            .unwrap()
+            .truncate(16)
+            .unwrap();
+        assert_eq!(geodab_prefix(g, 16), expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        let gram = london_gram(100.0);
+        assert_eq!(geodab(&gram, 16), geodab(&gram, 16));
+    }
+
+    #[test]
+    fn direction_sensitive() {
+        let gram = london_gram(0.0);
+        let mut rev = gram.clone();
+        rev.reverse();
+        let fwd_dab = geodab(&gram, 16);
+        let rev_dab = geodab(&rev, 16);
+        assert_ne!(fwd_dab, rev_dab);
+        // But both land in the same 16-bit cell: same shard.
+        assert_eq!(geodab_prefix(fwd_dab, 16), geodab_prefix(rev_dab, 16));
+    }
+
+    #[test]
+    fn nearby_grams_share_prefix_distinct_suffix() {
+        let a = geodab(&london_gram(0.0), 16);
+        let b = geodab(&london_gram(85.0), 16);
+        assert_ne!(a, b);
+        assert_eq!(geodab_prefix(a, 16), geodab_prefix(b, 16));
+    }
+
+    #[test]
+    fn distant_grams_get_different_prefixes() {
+        let london = geodab(&london_gram(0.0), 16);
+        let tokyo_start = p(35.68, 139.76);
+        let tokyo: Vec<Point> = (0..6)
+            .map(|i| tokyo_start.destination(90.0, i as f64 * 85.0))
+            .collect();
+        let tokyo_dab = geodab(&tokyo, 16);
+        assert_ne!(geodab_prefix(london, 16), geodab_prefix(tokyo_dab, 16));
+    }
+
+    #[test]
+    fn boundary_straddling_gram_uses_first_point_cell() {
+        // Two points in different hemispheres: covering is the world cell,
+        // so the prefix anchors at the first point.
+        let a = p(10.0, -90.0);
+        let b = p(10.0, 90.0);
+        let g = geodab(&[a, b], 16);
+        assert_eq!(geodab_prefix(g, 16), Geohash::encode(a, 16).unwrap());
+        // And swapping makes the *prefix* change too.
+        let swapped = geodab(&[b, a], 16);
+        assert_eq!(geodab_prefix(swapped, 16), Geohash::encode(b, 16).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_gram_panics() {
+        let _ = geodab(&[], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 31")]
+    fn prefix_zero_panics() {
+        let _ = geodab(&[p(0.0, 0.0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 31")]
+    fn prefix_32_panics() {
+        let _ = geodab_prefix(0, 32);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_extraction_roundtrip(
+            lat in -80.0f64..80.0, lon in -170.0f64..170.0,
+            bearing in 0.0f64..360.0, prefix_bits in 1u8..=31,
+        ) {
+            let start = p(lat, lon);
+            let gram: Vec<Point> = (0..4)
+                .map(|i| start.destination(bearing, i as f64 * 50.0))
+                .collect();
+            let g = geodab(&gram, prefix_bits);
+            let prefix = geodab_prefix(g, prefix_bits);
+            prop_assert_eq!(prefix.depth(), prefix_bits);
+            // The prefix cell contains the first point (always true for
+            // both the covering and the fallback case when the covering is
+            // at least as deep as the prefix; the fallback guarantees it).
+            let cell_of_first = Geohash::encode(gram[0], prefix_bits).unwrap();
+            let covering = Geohash::covering(gram.iter().copied()).unwrap();
+            if covering.depth() >= prefix_bits {
+                prop_assert_eq!(prefix, covering.truncate(prefix_bits).unwrap());
+            } else {
+                prop_assert_eq!(prefix, cell_of_first);
+            }
+        }
+
+        #[test]
+        fn prop_wider_prefix_refines_narrower(
+            lat in -80.0f64..80.0, lon in -170.0f64..170.0,
+        ) {
+            // The 16-bit prefix of geodab(…, 16) is an ancestor of the
+            // 24-bit prefix of geodab(…, 24) for grams well inside a cell.
+            let start = p(lat, lon);
+            let gram: Vec<Point> = (0..3)
+                .map(|i| start.destination(0.0, i as f64 * 10.0))
+                .collect();
+            let covering = Geohash::covering(gram.iter().copied()).unwrap();
+            prop_assume!(covering.depth() >= 24);
+            let p16 = geodab_prefix(geodab(&gram, 16), 16);
+            let p24 = geodab_prefix(geodab(&gram, 24), 24);
+            prop_assert!(p16.contains_hash(&p24));
+        }
+    }
+}

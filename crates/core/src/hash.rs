@@ -1,0 +1,145 @@
+//! Order-sensitive hashing of point sequences.
+//!
+//! The suffix half of a geodab must discriminate among `k`-grams "according
+//! to their path and their ordering" (Figure 3 (b) of the paper). Any
+//! sequential, well-mixed hash works; this module implements FNV-1a over
+//! the bit patterns of the coordinates, which is deterministic across
+//! platforms for the cell-center points produced by normalization.
+
+use geodabs_geo::Point;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte stream.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes a point sequence, sensitive to both content and order.
+///
+/// Reversing a sequence of two or more distinct points yields a different
+/// hash with overwhelming probability, which is what lets geodabs
+/// discriminate trajectory direction where plain geohashes cannot
+/// (Figure 12 of the paper).
+///
+/// ```
+/// use geodabs::hash::hash_points;
+/// use geodabs_geo::Point;
+///
+/// # fn main() -> Result<(), geodabs_geo::GeoError> {
+/// let a = Point::new(51.0, 0.0)?;
+/// let b = Point::new(51.1, 0.1)?;
+/// assert_ne!(hash_points(&[a, b]), hash_points(&[b, a]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn hash_points(points: &[Point]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for p in points {
+        h = fnv1a(h, &p.lat().to_bits().to_le_bytes());
+        h = fnv1a(h, &p.lon().to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Hashes a single `u64`, used to mix geohash cell ids when hashing
+/// normalized cell sequences directly.
+pub fn hash_u64(value: u64) -> u64 {
+    fnv1a(FNV_OFFSET, &value.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn empty_sequence_is_the_offset_basis() {
+        assert_eq!(hash_points(&[]), FNV_OFFSET);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = [p(1.0, 2.0), p(3.0, 4.0)];
+        assert_eq!(hash_points(&pts), hash_points(&pts));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let a = p(51.0, 0.0);
+        let b = p(51.1, 0.1);
+        let c = p(51.2, 0.2);
+        assert_ne!(hash_points(&[a, b, c]), hash_points(&[c, b, a]));
+        assert_ne!(hash_points(&[a, b, c]), hash_points(&[a, c, b]));
+    }
+
+    #[test]
+    fn content_sensitive() {
+        let a = p(51.0, 0.0);
+        let b = p(51.1, 0.1);
+        assert_ne!(hash_points(&[a]), hash_points(&[b]));
+        assert_ne!(hash_points(&[a, a]), hash_points(&[a]));
+    }
+
+    #[test]
+    fn low_16_bits_are_well_distributed() {
+        // The geodab suffix keeps only the low bits; they must not collide
+        // pathologically for regular grids of points.
+        let mut seen = HashSet::new();
+        for i in 0..64 {
+            for j in 0..64 {
+                let gram = [
+                    p(51.0 + i as f64 * 0.001, 0.0 + j as f64 * 0.001),
+                    p(51.0 + j as f64 * 0.001, 0.0 + i as f64 * 0.001),
+                ];
+                seen.insert((hash_points(&gram) & 0xffff) as u16);
+            }
+        }
+        // 4096 grams into 65536 buckets: expect >90% distinct under a good
+        // hash (birthday collisions account for the rest).
+        assert!(seen.len() > 3_700, "only {} distinct suffixes", seen.len());
+    }
+
+    #[test]
+    fn hash_u64_mixes() {
+        let h0 = hash_u64(0);
+        let h1 = hash_u64(1);
+        assert_ne!(h0, h1);
+        // Flipping one input bit flips many output bits.
+        assert!((h0 ^ h1).count_ones() > 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_swapping_two_points_changes_hash(
+            lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
+            lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
+        ) {
+            prop_assume!((lat1, lon1) != (lat2, lon2));
+            let a = p(lat1, lon1);
+            let b = p(lat2, lon2);
+            prop_assert_ne!(hash_points(&[a, b]), hash_points(&[b, a]));
+        }
+
+        #[test]
+        fn prop_extension_changes_hash(
+            lats in proptest::collection::vec(-89.0f64..89.0, 1..8),
+        ) {
+            let pts: Vec<Point> = lats.iter().map(|&la| p(la, la / 2.0)).collect();
+            let shorter = hash_points(&pts[..pts.len() - 1]);
+            let full = hash_points(&pts);
+            prop_assert_ne!(shorter, full);
+        }
+    }
+}

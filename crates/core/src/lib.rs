@@ -1,0 +1,59 @@
+//! **Geodabs** — trajectory fingerprinting for indexing and similarity
+//! search at scale.
+//!
+//! This crate is the primary contribution of *Chapuis & Garbinato,
+//! "Geodabs: Trajectory Indexing Meets Fingerprinting at Scale", ICDCS
+//! 2018*. A *geodab* is a 32-bit fingerprint of a `k`-gram of trajectory
+//! points that combines:
+//!
+//! * a **geohash prefix** — the covering geohash of the `k`-gram, which
+//!   places the fingerprint on the Z-order space-filling curve and enables
+//!   locality-preserving sharding (Figure 3 (a)), and
+//! * an **order-sensitive hash suffix** — discriminating among point
+//!   sequences by their path *and direction* (Figure 3 (b)).
+//!
+//! Fingerprints are selected from the stream of `k`-gram geodabs with the
+//! **winnowing** algorithm (Schleimer et al.), which guarantees that any
+//! shared sub-trajectory of at least `t` moves produces at least one
+//! common fingerprint, while shared sub-trajectories shorter than `k`
+//! moves are treated as noise (Algorithm 1, Figure 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use geodabs::{Fingerprinter, GeodabConfig};
+//! use geodabs_geo::Point;
+//! use geodabs_traj::Trajectory;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A straight 3 km path sampled every ~90 m, and a noisy copy of it.
+//! let start = Point::new(51.5074, -0.1278)?;
+//! let path: Trajectory = (0..34).map(|i| start.destination(90.0, i as f64 * 90.0)).collect();
+//! let noisy: Trajectory = path.iter().map(|p| p.destination(45.0, 8.0)).collect();
+//!
+//! let fp = Fingerprinter::new(GeodabConfig::default());
+//! let fa = fp.normalize_and_fingerprint(&path);
+//! let fb = fp.normalize_and_fingerprint(&noisy);
+//! // The noisy twin is much closer to the original than to its reverse.
+//! let reverse = fp.normalize_and_fingerprint(&path.reversed());
+//! assert!(fa.jaccard_distance(&fb) < fa.jaccard_distance(&reverse));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod fingerprint;
+mod geodab;
+pub mod hash;
+pub mod motif;
+pub mod winnow;
+
+pub use config::GeodabConfig;
+pub use error::GeodabError;
+pub use fingerprint::{Fingerprinter, Fingerprints};
+pub use geodab::{geodab, geodab_prefix};
+pub use motif::{discover_motif, MotifMatch};

@@ -1,0 +1,180 @@
+//! Bounding-based Trajectory Motif discovery (BTM): the exact baseline of
+//! Figure 11 (Tang et al., the paper's ref [27]).
+//!
+//! Given two trajectories and a motif length `l` (in points), BTM returns
+//! the pair of length-`l` sub-trajectories with the minimal discrete
+//! Fréchet distance. The naive scan evaluates `O(n·m)` window pairs at
+//! `O(l²)` each; the bounding-based variant prunes pairs whose endpoint
+//! lower bound already exceeds the best distance found, without changing
+//! the result.
+
+use geodabs_traj::Trajectory;
+
+use crate::dfd::dfd_points;
+
+/// The best-matching pair of sub-trajectories found by motif discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BtmMatch {
+    /// Start offset of the motif in the first trajectory.
+    pub start_a: usize,
+    /// Start offset of the motif in the second trajectory.
+    pub start_b: usize,
+    /// Motif length in points.
+    pub len: usize,
+    /// Discrete Fréchet distance between the two motifs, in meters.
+    pub distance: f64,
+}
+
+/// Exact motif discovery with lower-bound pruning.
+///
+/// Scans all pairs of length-`len` windows but skips the quadratic DFD
+/// evaluation whenever `max(d(first, first'), d(last, last'))` — a valid
+/// DFD lower bound — is already no better than the current best. Ties are
+/// resolved toward the earliest `(start_a, start_b)`.
+///
+/// Returns `None` if either trajectory is shorter than `len` or `len` is
+/// zero.
+pub fn btm(a: &Trajectory, b: &Trajectory, len: usize) -> Option<BtmMatch> {
+    discover(a, b, len, true)
+}
+
+/// Exact motif discovery without pruning; the reference implementation
+/// the bench compares [`btm`] against.
+///
+/// Returns `None` under the same conditions as [`btm`].
+pub fn btm_naive(a: &Trajectory, b: &Trajectory, len: usize) -> Option<BtmMatch> {
+    discover(a, b, len, false)
+}
+
+fn discover(a: &Trajectory, b: &Trajectory, len: usize, prune: bool) -> Option<BtmMatch> {
+    if len == 0 || a.len() < len || b.len() < len {
+        return None;
+    }
+    let pa = a.points();
+    let pb = b.points();
+    let mut best: Option<BtmMatch> = None;
+    for i in 0..=pa.len() - len {
+        let wa = &pa[i..i + len];
+        for j in 0..=pb.len() - len {
+            let wb = &pb[j..j + len];
+            if prune {
+                if let Some(m) = best {
+                    let lb = wa[0]
+                        .haversine_distance(wb[0])
+                        .max(wa[len - 1].haversine_distance(wb[len - 1]));
+                    if lb >= m.distance {
+                        continue;
+                    }
+                }
+            }
+            let d = dfd_points(wa, wb);
+            if best.map(|m| d < m.distance).unwrap_or(true) {
+                best = Some(BtmMatch {
+                    start_a: i,
+                    start_b: j,
+                    len,
+                    distance: d,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    /// Two V-shaped trajectories sharing their second leg.
+    fn v_pair() -> (Trajectory, Trajectory) {
+        let turn = p(0.0, 0.0);
+        let shared: Vec<Point> = (0..10).map(|i| turn.destination(90.0, i as f64 * 100.0)).collect();
+        let mut a: Vec<Point> = (1..8)
+            .rev()
+            .map(|i| turn.destination(180.0, i as f64 * 100.0))
+            .collect();
+        a.extend(shared.iter().copied());
+        let mut b: Vec<Point> = (1..8)
+            .rev()
+            .map(|i| turn.destination(0.0, i as f64 * 100.0))
+            .collect();
+        b.extend(shared.iter().copied());
+        (Trajectory::new(a), Trajectory::new(b))
+    }
+
+    #[test]
+    fn finds_the_shared_leg() {
+        let (a, b) = v_pair();
+        let m = btm(&a, &b, 8).unwrap();
+        assert!(m.distance < 1.0, "distance {}", m.distance);
+        // The shared leg starts at index 7 in both trajectories.
+        assert_eq!(m.start_a, 7);
+        assert_eq!(m.start_b, 7);
+    }
+
+    #[test]
+    fn pruned_and_naive_agree() {
+        let (a, b) = v_pair();
+        for len in [2usize, 5, 8, 12] {
+            assert_eq!(btm(&a, &b, len), btm_naive(&a, &b, len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn too_short_inputs_yield_none() {
+        let (a, b) = v_pair();
+        assert!(btm(&a, &b, a.len().max(b.len()) + 1).is_none());
+        assert!(btm(&a, &b, 0).is_none());
+        assert!(btm(&Trajectory::default(), &b, 1).is_none());
+    }
+
+    #[test]
+    fn self_motif_is_zero() {
+        let (a, _) = v_pair();
+        let m = btm(&a, &a, 5).unwrap();
+        assert_eq!(m.distance, 0.0);
+        assert_eq!(m.start_a, m.start_b);
+    }
+
+    #[test]
+    fn motif_len_one_is_closest_point_pair() {
+        let (a, b) = v_pair();
+        let m = btm(&a, &b, 1).unwrap();
+        let mut best = f64::INFINITY;
+        for &x in a.points() {
+            for &y in b.points() {
+                best = best.min(x.haversine_distance(y));
+            }
+        }
+        assert!((m.distance - best).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_pruning_never_changes_the_result(
+            xs in proptest::collection::vec((-0.5f64..0.5, -0.5f64..0.5), 2..12),
+            ys in proptest::collection::vec((-0.5f64..0.5, -0.5f64..0.5), 2..12),
+            len in 1usize..5,
+        ) {
+            let a: Trajectory = xs.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let b: Trajectory = ys.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let fast = btm(&a, &b, len);
+            let slow = btm_naive(&a, &b, len);
+            match (fast, slow) {
+                (Some(f), Some(s)) => {
+                    prop_assert!((f.distance - s.distance).abs() < 1e-9);
+                    prop_assert_eq!((f.start_a, f.start_b), (s.start_a, s.start_b));
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "mismatch: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+use geodabs_geo::Point;
+use geodabs_traj::Trajectory;
+
+/// Discrete Fréchet Distance between two trajectories (Equation 4 of the
+/// paper; Eiter & Mannila), using the haversine ground distance.
+///
+/// Computed with a rolling-row dynamic program in `O(|P|·|Q|)` time.
+/// Returns `0.0` if both trajectories are empty and `f64::INFINITY` if
+/// exactly one is empty.
+///
+/// ```
+/// use geodabs_distance::dfd;
+/// use geodabs_geo::Point;
+/// use geodabs_traj::Trajectory;
+///
+/// # fn main() -> Result<(), geodabs_geo::GeoError> {
+/// let a = Trajectory::new(vec![Point::new(0.0, 0.0)?, Point::new(0.0, 1.0)?]);
+/// assert_eq!(dfd(&a, &a), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dfd(p: &Trajectory, q: &Trajectory) -> f64 {
+    if p.is_empty() || q.is_empty() {
+        return if p.is_empty() && q.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    dfd_points(p.points(), q.points())
+}
+
+/// Discrete Fréchet Distance over raw point slices; both must be
+/// non-empty. This is the kernel BTM motif discovery calls for every
+/// window pair.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+pub(crate) fn dfd_points(p: &[Point], q: &[Point]) -> f64 {
+    assert!(!p.is_empty() && !q.is_empty(), "dfd requires non-empty inputs");
+    let m = q.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+    for (i, &pi) in p.iter().enumerate() {
+        for (j, &qj) in q.iter().enumerate() {
+            let cost = pi.haversine_distance(qj);
+            cur[j] = if i == 0 && j == 0 {
+                cost
+            } else if i == 0 {
+                cost.max(cur[j - 1])
+            } else if j == 0 {
+                cost.max(prev[j])
+            } else {
+                cost.max(prev[j].min(cur[j - 1]).min(prev[j - 1]))
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        coords.iter().map(|&(la, lo)| p(la, lo)).collect()
+    }
+
+    const DEG: f64 = 111_195.0;
+
+    #[test]
+    fn identical_trajectories_have_zero_distance() {
+        let a = t(&[(0.0, 0.0), (0.5, 1.0), (0.0, 2.0)]);
+        assert_eq!(dfd(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_boundary_conditions() {
+        let e = Trajectory::default();
+        let a = t(&[(0.0, 0.0)]);
+        assert_eq!(dfd(&e, &e), 0.0);
+        assert_eq!(dfd(&a, &e), f64::INFINITY);
+        assert_eq!(dfd(&e, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_value_leash_length() {
+        // Same example as the DTW test; the max-based coupling costs one
+        // degree for the extra middle point.
+        let a = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)]);
+        let b = t(&[(0.0, 0.0), (0.0, 2.0)]);
+        let d = dfd(&a, &b);
+        assert!((d - DEG).abs() < DEG * 0.01, "got {d}");
+    }
+
+    #[test]
+    fn parallel_lines_leash_is_the_gap() {
+        let a: Trajectory = (0..10).map(|i| p(0.0, i as f64 * 0.001)).collect();
+        let b: Trajectory = (0..10).map(|i| p(0.0005, i as f64 * 0.001)).collect();
+        let d = dfd(&a, &b);
+        let gap = p(0.0, 0.0).haversine_distance(p(0.0005, 0.0));
+        assert!((d - gap).abs() < 1.0, "got {d}, gap {gap}");
+    }
+
+    #[test]
+    fn lower_bounded_by_endpoint_distances() {
+        let a = t(&[(0.0, 0.0), (0.0, 1.0)]);
+        let b = t(&[(0.0, 0.5), (0.0, 3.0)]);
+        let d = dfd(&a, &b);
+        let first = p(0.0, 0.0).haversine_distance(p(0.0, 0.5));
+        let last = p(0.0, 1.0).haversine_distance(p(0.0, 3.0));
+        assert!(d >= first.max(last) - 1e-9);
+    }
+
+    #[test]
+    fn oversampling_does_not_change_dfd_much() {
+        // DFD is robust to sampling rate (max-based), unlike a sum.
+        let sparse: Trajectory = (0..5).map(|i| p(0.0, i as f64 * 0.01)).collect();
+        let dense: Trajectory = (0..17).map(|i| p(0.0, i as f64 * 0.0025)).collect();
+        let d = dfd(&sparse, &dense);
+        assert!(d < 0.005 * DEG, "got {d}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric_nonnegative_and_bounded_by_dtw(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+            ys in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+        ) {
+            let a = t(&xs);
+            let b = t(&ys);
+            let d = dfd(&a, &b);
+            prop_assert!(d >= 0.0);
+            prop_assert!((d - dfd(&b, &a)).abs() < 1e-6 * d.max(1.0));
+            // Any warping sum dominates the max along the same coupling.
+            prop_assert!(crate::dtw(&a, &b) >= d - 1e-9);
+        }
+
+        #[test]
+        fn prop_endpoint_lower_bound(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+            ys in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+        ) {
+            let a = t(&xs);
+            let b = t(&ys);
+            let d = dfd(&a, &b);
+            let first = a.points()[0].haversine_distance(b.points()[0]);
+            let last = a.points()[a.len() - 1].haversine_distance(b.points()[b.len() - 1]);
+            prop_assert!(d >= first.max(last) - 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..8),
+            ys in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..8),
+            zs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..8),
+        ) {
+            // DFD satisfies the triangle inequality (it is a metric on
+            // curves up to reparametrization).
+            let a = t(&xs);
+            let b = t(&ys);
+            let c = t(&zs);
+            prop_assert!(dfd(&a, &c) <= dfd(&a, &b) + dfd(&b, &c) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+use geodabs_traj::Trajectory;
+
+/// Dynamic Time Warping distance between two trajectories (Equation 3 of
+/// the paper), using the haversine ground distance between points.
+///
+/// Computed with a rolling-row dynamic program in `O(|P|·|Q|)` time and
+/// `O(min(|P|, |Q|))` space. Returns `0.0` if both trajectories are empty
+/// and `f64::INFINITY` if exactly one is empty, matching the recursive
+/// definition's boundary conditions.
+///
+/// ```
+/// use geodabs_distance::dtw;
+/// use geodabs_geo::Point;
+/// use geodabs_traj::Trajectory;
+///
+/// # fn main() -> Result<(), geodabs_geo::GeoError> {
+/// let a = Trajectory::new(vec![Point::new(0.0, 0.0)?, Point::new(0.0, 1.0)?]);
+/// assert_eq!(dtw(&a, &a), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dtw(p: &Trajectory, q: &Trajectory) -> f64 {
+    let (long, short) = if p.len() >= q.len() { (p, q) } else { (q, p) };
+    if short.is_empty() {
+        return if long.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    let sp = short.points();
+    let lp = long.points();
+    // prev[j] = dtw(i-1, j), cur[j] = dtw(i, j); index 0 is the j=0 border.
+    let m = sp.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for &pi in lp {
+        cur[0] = f64::INFINITY;
+        for (j, &qj) in sp.iter().enumerate() {
+            let cost = pi.haversine_distance(qj);
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            cur[j + 1] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        coords.iter().map(|&(la, lo)| p(la, lo)).collect()
+    }
+
+    /// Meters in one degree of longitude at the equator.
+    const DEG: f64 = 111_195.0;
+
+    #[test]
+    fn identical_trajectories_have_zero_distance() {
+        let a = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)]);
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_boundary_conditions() {
+        let e = Trajectory::default();
+        let a = t(&[(0.0, 0.0)]);
+        assert_eq!(dtw(&e, &e), 0.0);
+        assert_eq!(dtw(&a, &e), f64::INFINITY);
+        assert_eq!(dtw(&e, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_value_warping_alignment() {
+        // P = (0,0),(0,1),(0,2); Q = (0,0),(0,2). Optimal warping aligns
+        // p2 with either endpoint at cost of one degree.
+        let a = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)]);
+        let b = t(&[(0.0, 0.0), (0.0, 2.0)]);
+        let d = dtw(&a, &b);
+        assert!((d - DEG).abs() < DEG * 0.01, "got {d}");
+    }
+
+    #[test]
+    fn single_points() {
+        let a = t(&[(0.0, 0.0)]);
+        let b = t(&[(0.0, 1.0)]);
+        assert!((dtw(&a, &b) - DEG).abs() < DEG * 0.01);
+    }
+
+    #[test]
+    fn oversampling_costs_far_less_than_a_different_path() {
+        // The same path sampled at 1x and 4x accumulates some warping cost
+        // (DTW is sum-based), but far less than a genuinely different path
+        // of the same shape 10 km away.
+        let sparse: Trajectory = (0..5).map(|i| p(0.0, i as f64 * 0.01)).collect();
+        let dense: Trajectory = (0..17).map(|i| p(0.0, i as f64 * 0.0025)).collect();
+        let far: Trajectory = (0..17).map(|i| p(0.1, i as f64 * 0.0025)).collect();
+        let same_path = dtw(&sparse, &dense);
+        let other_path = dtw(&sparse, &far);
+        assert!(
+            same_path < other_path / 10.0,
+            "same {same_path}, other {other_path}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric_and_nonnegative(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..12),
+            ys in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..12),
+        ) {
+            let a = t(&xs);
+            let b = t(&ys);
+            let ab = dtw(&a, &b);
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - dtw(&b, &a)).abs() < 1e-6 * ab.max(1.0));
+        }
+
+        #[test]
+        fn prop_self_distance_zero(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..12),
+        ) {
+            let a = t(&xs);
+            prop_assert_eq!(dtw(&a, &a), 0.0);
+        }
+
+        #[test]
+        fn prop_rolling_rows_match_full_table(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..8),
+            ys in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..8),
+        ) {
+            // Reference implementation with the full table.
+            let a = t(&xs);
+            let b = t(&ys);
+            let (n, m) = (a.len(), b.len());
+            let mut table = vec![vec![f64::INFINITY; m + 1]; n + 1];
+            table[0][0] = 0.0;
+            for i in 1..=n {
+                for j in 1..=m {
+                    let cost = a.points()[i - 1].haversine_distance(b.points()[j - 1]);
+                    let best = table[i - 1][j].min(table[i][j - 1]).min(table[i - 1][j - 1]);
+                    table[i][j] = cost + best;
+                }
+            }
+            let d = dtw(&a, &b);
+            prop_assert!((d - table[n][m]).abs() < 1e-9 * d.max(1.0), "{d} vs {}", table[n][m]);
+        }
+    }
+}

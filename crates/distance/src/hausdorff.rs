@@ -1,0 +1,112 @@
+//! Discrete Hausdorff distance — an extension beyond the paper.
+//!
+//! Hausdorff ignores ordering entirely (it treats trajectories as point
+//! *sets*), which makes it the distance-measure analogue of the geohash
+//! baseline index: like that index, it cannot distinguish a trajectory
+//! from its reverse. Useful as a contrast against DFD in tests and
+//! ablations.
+
+use geodabs_traj::Trajectory;
+
+/// Directed discrete Hausdorff distance: the farthest any point of `p` is
+/// from its nearest point of `q`, in meters. Returns `0.0` when `p` is
+/// empty and `f64::INFINITY` when only `q` is empty.
+pub fn hausdorff_directed(p: &Trajectory, q: &Trajectory) -> f64 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    if q.is_empty() {
+        return f64::INFINITY;
+    }
+    p.iter()
+        .map(|a| {
+            q.iter()
+                .map(|b| a.haversine_distance(b))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Symmetric discrete Hausdorff distance: the maximum of the two directed
+/// distances.
+pub fn hausdorff(p: &Trajectory, q: &Trajectory) -> f64 {
+    hausdorff_directed(p, q).max(hausdorff_directed(q, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfd;
+    use geodabs_geo::Point;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        coords.iter().map(|&(la, lo)| p(la, lo)).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let a = t(&[(0.0, 0.0), (0.0, 1.0)]);
+        assert_eq!(hausdorff(&a, &a), 0.0);
+        // Order blindness: the reverse is also at distance zero.
+        assert_eq!(hausdorff(&a, &a.reversed()), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e = Trajectory::default();
+        let a = t(&[(0.0, 0.0)]);
+        assert_eq!(hausdorff_directed(&e, &a), 0.0);
+        assert_eq!(hausdorff_directed(&a, &e), f64::INFINITY);
+        assert_eq!(hausdorff(&a, &e), f64::INFINITY);
+        assert_eq!(hausdorff(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn directed_is_asymmetric_on_subsets() {
+        let long = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0)]);
+        let sub = t(&[(0.0, 0.0), (0.0, 1.0)]);
+        // Every point of `sub` is on `long`…
+        assert_eq!(hausdorff_directed(&sub, &long), 0.0);
+        // …but `long` has a point one degree from `sub`.
+        assert!(hausdorff_directed(&long, &sub) > 100_000.0);
+    }
+
+    #[test]
+    fn parallel_lines_distance_is_the_gap() {
+        let a: Trajectory = (0..10).map(|i| p(0.0, i as f64 * 0.001)).collect();
+        let b: Trajectory = (0..10).map(|i| p(0.0005, i as f64 * 0.001)).collect();
+        let gap = p(0.0, 0.0).haversine_distance(p(0.0005, 0.0));
+        assert!((hausdorff(&a, &b) - gap).abs() < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hausdorff_lower_bounds_dfd(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+            ys in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+        ) {
+            // DFD respects ordering, Hausdorff does not, so DFD can only
+            // be larger or equal.
+            let a = t(&xs);
+            let b = t(&ys);
+            prop_assert!(hausdorff(&a, &b) <= dfd(&a, &b) + 1e-9);
+        }
+
+        #[test]
+        fn prop_symmetric_and_nonnegative(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+            ys in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..10),
+        ) {
+            let a = t(&xs);
+            let b = t(&ys);
+            let d = hausdorff(&a, &b);
+            prop_assert!(d >= 0.0);
+            prop_assert!((d - hausdorff(&b, &a)).abs() < 1e-9);
+        }
+    }
+}

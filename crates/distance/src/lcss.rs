@@ -1,0 +1,200 @@
+//! Longest Common Subsequence similarity and Edit Distance on Real
+//! sequences — two further classic trajectory measures.
+//!
+//! These are *extensions beyond the paper* (which evaluates DTW and DFD):
+//! both appear throughout the trajectory-similarity literature as
+//! threshold-based, outlier-robust alternatives, and they share the same
+//! `O(n·m)` complexity that motivates fingerprinting in the first place.
+
+use geodabs_traj::Trajectory;
+
+/// LCSS similarity: the length of the longest common subsequence, where
+/// two points "match" when within `epsilon_m` meters, normalized by the
+/// shorter length. Ranges over `[0, 1]`; `1.0` means one trajectory is
+/// (within epsilon) a subsequence of the other. Two empty trajectories
+/// are fully similar; an empty vs non-empty pair scores `0.0`.
+///
+/// # Panics
+///
+/// Panics if `epsilon_m` is negative.
+pub fn lcss_similarity(p: &Trajectory, q: &Trajectory, epsilon_m: f64) -> f64 {
+    assert!(epsilon_m >= 0.0, "epsilon must be non-negative");
+    if p.is_empty() || q.is_empty() {
+        return if p.is_empty() && q.is_empty() { 1.0 } else { 0.0 };
+    }
+    let (long, short) = if p.len() >= q.len() { (p, q) } else { (q, p) };
+    let sp = short.points();
+    let m = sp.len();
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for &pi in long.points() {
+        for (j, &qj) in sp.iter().enumerate() {
+            cur[j + 1] = if pi.haversine_distance(qj) <= epsilon_m {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] as f64 / m as f64
+}
+
+/// LCSS distance: `1 − lcss_similarity`.
+///
+/// # Panics
+///
+/// Panics if `epsilon_m` is negative.
+pub fn lcss_distance(p: &Trajectory, q: &Trajectory, epsilon_m: f64) -> f64 {
+    1.0 - lcss_similarity(p, q, epsilon_m)
+}
+
+/// Edit Distance on Real sequences (EDR): the minimal number of insert,
+/// delete or substitute operations turning one trajectory into the other,
+/// where two points are "equal" when within `epsilon_m` meters.
+///
+/// Returns the raw edit count (`0` for matching trajectories, up to
+/// `max(|P|, |Q|)`).
+///
+/// # Panics
+///
+/// Panics if `epsilon_m` is negative.
+pub fn edr(p: &Trajectory, q: &Trajectory, epsilon_m: f64) -> usize {
+    assert!(epsilon_m >= 0.0, "epsilon must be non-negative");
+    if p.is_empty() || q.is_empty() {
+        return p.len().max(q.len());
+    }
+    let (long, short) = if p.len() >= q.len() { (p, q) } else { (q, p) };
+    let sp = short.points();
+    let m = sp.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for (i, &pi) in long.points().iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &qj) in sp.iter().enumerate() {
+            let subcost = usize::from(pi.haversine_distance(qj) > epsilon_m);
+            cur[j + 1] = (prev[j] + subcost)
+                .min(prev[j + 1] + 1)
+                .min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    fn line(n: usize, lat: f64) -> Trajectory {
+        (0..n).map(|i| p(lat, i as f64 * 0.001)).collect()
+    }
+
+    #[test]
+    fn identical_trajectories_are_fully_similar() {
+        let a = line(10, 0.0);
+        assert_eq!(lcss_similarity(&a, &a, 1.0), 1.0);
+        assert_eq!(lcss_distance(&a, &a, 1.0), 0.0);
+        assert_eq!(edr(&a, &a, 1.0), 0);
+    }
+
+    #[test]
+    fn empty_boundary_conditions() {
+        let e = Trajectory::default();
+        let a = line(4, 0.0);
+        assert_eq!(lcss_similarity(&e, &e, 1.0), 1.0);
+        assert_eq!(lcss_similarity(&a, &e, 1.0), 0.0);
+        assert_eq!(edr(&e, &e, 1.0), 0);
+        assert_eq!(edr(&a, &e, 1.0), 4);
+    }
+
+    #[test]
+    fn epsilon_controls_matching() {
+        // Parallel lines ~55 m apart.
+        let a = line(10, 0.0);
+        let b = line(10, 0.0005);
+        assert_eq!(lcss_similarity(&a, &b, 10.0), 0.0);
+        assert_eq!(lcss_similarity(&a, &b, 100.0), 1.0);
+        assert_eq!(edr(&a, &b, 10.0), 10);
+        assert_eq!(edr(&a, &b, 100.0), 0);
+    }
+
+    #[test]
+    fn lcss_is_robust_to_outliers() {
+        // One wild GPS spike barely affects LCSS, unlike sum/max measures.
+        let a = line(20, 0.0);
+        let mut pts = a.points().to_vec();
+        pts[10] = p(5.0, 5.0); // teleport
+        let spiked = Trajectory::new(pts);
+        let sim = lcss_similarity(&a, &spiked, 10.0);
+        assert!((sim - 19.0 / 20.0).abs() < 1e-9, "sim {sim}");
+        assert_eq!(edr(&a, &spiked, 10.0), 1);
+    }
+
+    #[test]
+    fn subsequence_scores_full_similarity() {
+        let long = line(20, 0.0);
+        let sub = long.motif(5, 8);
+        assert_eq!(lcss_similarity(&long, &sub, 1.0), 1.0);
+        // EDR counts the unmatched remainder.
+        assert_eq!(edr(&long, &sub, 1.0), 12);
+    }
+
+    #[test]
+    fn edr_is_levenshtein_like() {
+        // Deleting one point costs one edit.
+        let a = line(10, 0.0);
+        let mut pts = a.points().to_vec();
+        pts.remove(4);
+        let b = Trajectory::new(pts);
+        assert_eq!(edr(&a, &b, 1.0), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lcss_symmetric_and_bounded(
+            xs in proptest::collection::vec((-0.5f64..0.5, -0.5f64..0.5), 0..12),
+            ys in proptest::collection::vec((-0.5f64..0.5, -0.5f64..0.5), 0..12),
+            eps in 1.0f64..100_000.0,
+        ) {
+            let a: Trajectory = xs.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let b: Trajectory = ys.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let s = lcss_similarity(&a, &b, eps);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - lcss_similarity(&b, &a, eps)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_edr_symmetric_and_bounded(
+            xs in proptest::collection::vec((-0.5f64..0.5, -0.5f64..0.5), 0..12),
+            ys in proptest::collection::vec((-0.5f64..0.5, -0.5f64..0.5), 0..12),
+            eps in 1.0f64..100_000.0,
+        ) {
+            let a: Trajectory = xs.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let b: Trajectory = ys.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let d = edr(&a, &b, eps);
+            prop_assert_eq!(d, edr(&b, &a, eps));
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+
+        #[test]
+        fn prop_larger_epsilon_never_hurts(
+            xs in proptest::collection::vec((-0.1f64..0.1, -0.1f64..0.1), 1..10),
+            ys in proptest::collection::vec((-0.1f64..0.1, -0.1f64..0.1), 1..10),
+        ) {
+            let a: Trajectory = xs.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let b: Trajectory = ys.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let tight = lcss_similarity(&a, &b, 100.0);
+            let loose = lcss_similarity(&a, &b, 10_000.0);
+            prop_assert!(loose >= tight);
+            prop_assert!(edr(&a, &b, 10_000.0) <= edr(&a, &b, 100.0));
+        }
+    }
+}

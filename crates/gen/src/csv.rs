@@ -1,0 +1,264 @@
+//! Plain-text CSV interchange for trajectory records.
+//!
+//! The synthetic datasets are deterministic, but exporting them lets the
+//! trajectories be inspected, plotted, or consumed by external tools —
+//! and real GPS recordings in the same shape can be imported and indexed.
+//! Format (header included):
+//!
+//! ```text
+//! id,route,forward,seq,lat,lon
+//! 0,0,1,0,51.507400,-0.127800
+//! ...
+//! ```
+//!
+//! One row per point; `seq` is the point's position in its trajectory and
+//! must be contiguous from zero per `id`.
+
+use geodabs_geo::Point;
+use geodabs_traj::{TrajId, Trajectory};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::dataset::TrajectoryRecord;
+
+/// Errors reading trajectory CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or has the wrong columns.
+    BadHeader(String),
+    /// A data line failed to parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error reading trajectory csv: {e}"),
+            CsvError::BadHeader(h) => write!(f, "unexpected csv header {h:?}"),
+            CsvError::BadLine { line, reason } => {
+                write!(f, "bad csv line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> CsvError {
+        CsvError::Io(e)
+    }
+}
+
+const HEADER: &str = "id,route,forward,seq,lat,lon";
+
+/// Writes trajectory records as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_records<W: Write>(records: &[TrajectoryRecord], mut w: W) -> Result<(), CsvError> {
+    writeln!(w, "{HEADER}")?;
+    for r in records {
+        for (seq, p) in r.trajectory.iter().enumerate() {
+            writeln!(
+                w,
+                "{},{},{},{},{:.7},{:.7}",
+                r.id.raw(),
+                r.route,
+                u8::from(r.forward),
+                seq,
+                p.lat(),
+                p.lon()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads trajectory records from CSV written by [`write_records`] (or any
+/// data in the same shape). Points of each trajectory must appear in
+/// `seq` order, grouped by `id`.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] for I/O problems, an unexpected header or
+/// malformed rows (bad numbers, out-of-range coordinates, non-contiguous
+/// sequence numbers).
+pub fn read_records<R: BufRead>(reader: R) -> Result<Vec<TrajectoryRecord>, CsvError> {
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or_else(|| CsvError::BadHeader(String::new()))??;
+    if header.trim() != HEADER {
+        return Err(CsvError::BadHeader(header));
+    }
+    let mut records: Vec<TrajectoryRecord> = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |reason: &str| CsvError::BadLine {
+            line: line_no,
+            reason: reason.to_string(),
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return Err(bad(&format!("expected 6 fields, got {}", fields.len())));
+        }
+        let id: u32 = fields[0].parse().map_err(|_| bad("invalid id"))?;
+        let route: usize = fields[1].parse().map_err(|_| bad("invalid route"))?;
+        let forward = match fields[2] {
+            "1" => true,
+            "0" => false,
+            _ => return Err(bad("forward must be 0 or 1")),
+        };
+        let seq: usize = fields[3].parse().map_err(|_| bad("invalid seq"))?;
+        let lat: f64 = fields[4].parse().map_err(|_| bad("invalid lat"))?;
+        let lon: f64 = fields[5].parse().map_err(|_| bad("invalid lon"))?;
+        let point = Point::new(lat, lon)
+            .map_err(|e| bad(&format!("invalid coordinates: {e}")))?;
+        let id = TrajId::new(id);
+        match records.last_mut() {
+            Some(last) if last.id == id => {
+                if seq != last.trajectory.len() {
+                    return Err(bad(&format!(
+                        "non-contiguous seq {seq}, expected {}",
+                        last.trajectory.len()
+                    )));
+                }
+                if last.route != route || last.forward != forward {
+                    return Err(bad("route/forward changed mid-trajectory"));
+                }
+                last.trajectory.push(point);
+            }
+            _ => {
+                if records.iter().any(|r| r.id == id) {
+                    return Err(bad("trajectory rows are not grouped by id"));
+                }
+                if seq != 0 {
+                    return Err(bad("first row of a trajectory must have seq 0"));
+                }
+                records.push(TrajectoryRecord {
+                    id,
+                    trajectory: Trajectory::new(vec![point]),
+                    route,
+                    forward,
+                });
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+    use geodabs_roadnet::generators::{grid_network, GridConfig};
+
+    fn sample_records() -> Vec<TrajectoryRecord> {
+        let net = grid_network(&GridConfig::default(), 42);
+        let ds = Dataset::generate(
+            &net,
+            &DatasetConfig {
+                routes: 2,
+                per_direction: 2,
+                queries: 1,
+                ..DatasetConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        ds.records().to_vec()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_records(&records, &mut buf).unwrap();
+        let parsed = read_records(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (a, b) in records.iter().zip(&parsed) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.route, b.route);
+            assert_eq!(a.forward, b.forward);
+            assert_eq!(a.trajectory.len(), b.trajectory.len());
+            // Coordinates roundtrip through 7 decimal places (~1 cm).
+            for (p, q) in a.trajectory.iter().zip(b.trajectory.iter()) {
+                assert!(p.haversine_distance(q) < 0.02, "{p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let err = read_records("lat,lon\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader(_)), "{err}");
+        let err = read_records("".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader(_) | CsvError::Io(_)));
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_with_line_numbers() {
+        let cases = [
+            ("id,route,forward,seq,lat,lon\n1,0,1,0,91.0,0.0\n", "coordinates"),
+            ("id,route,forward,seq,lat,lon\n1,0,2,0,1.0,0.0\n", "forward"),
+            ("id,route,forward,seq,lat,lon\n1,0,1,5,1.0,0.0\n", "seq 0"),
+            ("id,route,forward,seq,lat,lon\nx,0,1,0,1.0,0.0\n", "invalid id"),
+            ("id,route,forward,seq,lat,lon\n1,0,1,0,1.0\n", "6 fields"),
+        ];
+        for (input, needle) in cases {
+            let err = read_records(input.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line 2"), "{msg}");
+            assert!(msg.contains(needle), "{msg} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn non_contiguous_seq_is_rejected() {
+        let input = "id,route,forward,seq,lat,lon\n\
+                     1,0,1,0,1.0,0.0\n\
+                     1,0,1,2,1.0,0.1\n";
+        let err = read_records(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-contiguous"), "{err}");
+    }
+
+    #[test]
+    fn interleaved_ids_are_rejected() {
+        let input = "id,route,forward,seq,lat,lon\n\
+                     1,0,1,0,1.0,0.0\n\
+                     2,0,1,0,1.0,0.1\n\
+                     1,0,1,1,1.0,0.2\n";
+        let err = read_records(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("grouped"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = "id,route,forward,seq,lat,lon\n\
+                     1,0,1,0,1.0,0.0\n\
+                     \n\
+                     1,0,1,1,1.0,0.1\n";
+        let parsed = read_records(input.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].trajectory.len(), 2);
+    }
+}

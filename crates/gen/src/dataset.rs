@@ -1,0 +1,361 @@
+//! The dense synthetic dataset: routes, trajectory records, queries and
+//! ground truth (Section VI-A1 of the paper).
+
+use geodabs_roadnet::router::shortest_path;
+use geodabs_roadnet::{NodeId, RoadNetError, RoadNetwork, Route};
+use geodabs_traj::{TrajId, Trajectory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::sampler::{sample_route, SamplerConfig};
+
+/// Parameters of the dataset generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of unique routes (paper: 5 000).
+    pub routes: usize,
+    /// Similar trajectories generated per direction (paper: 10).
+    pub per_direction: usize,
+    /// Also generate the return-path trajectories (paper: yes). This is
+    /// what makes plain geohash indexes plateau at 0.5 precision.
+    pub include_reverse: bool,
+    /// Sampling configuration (1 Hz, 20 m noise by default).
+    pub sampler: SamplerConfig,
+    /// Routes shorter than this are rejected and re-drawn, in meters.
+    pub min_route_m: f64,
+    /// Number of query trajectories to generate (each from a distinct
+    /// route, fresh noise, not part of the dataset).
+    pub queries: usize,
+    /// Maximum origin/destination draws per accepted route before giving
+    /// up on the network.
+    pub max_attempts_per_route: usize,
+}
+
+impl Default for DatasetConfig {
+    /// A scaled-down default (50 routes) suitable for tests; benches
+    /// override `routes` and `per_direction` to reach paper scale.
+    fn default() -> DatasetConfig {
+        DatasetConfig {
+            routes: 50,
+            per_direction: 10,
+            include_reverse: true,
+            sampler: SamplerConfig::default(),
+            min_route_m: 2_000.0,
+            queries: 10,
+            max_attempts_per_route: 200,
+        }
+    }
+}
+
+/// One trajectory of the dataset with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRecord {
+    /// Dense identifier, usable in posting lists.
+    pub id: TrajId,
+    /// The noisy sampled trajectory.
+    pub trajectory: Trajectory,
+    /// Index of the route this trajectory was sampled from.
+    pub route: usize,
+    /// Whether it follows the route forward or on the return path.
+    pub forward: bool,
+}
+
+/// A query trajectory with its provenance (the ground truth is every
+/// dataset record with the same route and direction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The noisy query trajectory, freshly sampled (not in the dataset).
+    pub trajectory: Trajectory,
+    /// Index of the route the query follows.
+    pub route: usize,
+    /// Direction of the query along the route.
+    pub forward: bool,
+}
+
+/// A dense trajectory dataset with queries and ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    routes: Vec<Route>,
+    records: Vec<TrajectoryRecord>,
+    queries: Vec<Query>,
+}
+
+impl Dataset {
+    /// Generates the dataset on the given road network.
+    ///
+    /// Deterministic for a given `(network, config, seed)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetError::EmptyNetwork`] if the network has fewer
+    /// than two nodes, and [`RoadNetError::NoPath`] if it repeatedly fails
+    /// to draw a routable origin/destination pair (e.g. a fragmented
+    /// network).
+    pub fn generate(
+        net: &RoadNetwork,
+        cfg: &DatasetConfig,
+        seed: u64,
+    ) -> Result<Dataset, RoadNetError> {
+        if net.node_count() < 2 {
+            return Err(RoadNetError::EmptyNetwork);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut routes = Vec::with_capacity(cfg.routes);
+        while routes.len() < cfg.routes {
+            let route = draw_route(net, cfg, &mut rng)?;
+            routes.push(route);
+        }
+        let mut records = Vec::new();
+        for (ri, route) in routes.iter().enumerate() {
+            let reverse = route.reversed();
+            for _ in 0..cfg.per_direction {
+                records.push(TrajectoryRecord {
+                    id: TrajId::new(records.len() as u32),
+                    trajectory: sample_route(route, &cfg.sampler, &mut rng),
+                    route: ri,
+                    forward: true,
+                });
+            }
+            if cfg.include_reverse {
+                for _ in 0..cfg.per_direction {
+                    records.push(TrajectoryRecord {
+                        id: TrajId::new(records.len() as u32),
+                        trajectory: sample_route(&reverse, &cfg.sampler, &mut rng),
+                        route: ri,
+                        forward: false,
+                    });
+                }
+            }
+        }
+        let mut queries = Vec::with_capacity(cfg.queries);
+        for qi in 0..cfg.queries {
+            let route_idx = qi % routes.len();
+            let forward = true;
+            let route = &routes[route_idx];
+            queries.push(Query {
+                trajectory: sample_route(route, &cfg.sampler, &mut rng),
+                route: route_idx,
+                forward,
+            });
+        }
+        Ok(Dataset {
+            routes,
+            records,
+            queries,
+        })
+    }
+
+    /// The underlying routes.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// All trajectory records, id order.
+    pub fn records(&self) -> &[TrajectoryRecord] {
+        &self.records
+    }
+
+    /// The generated queries.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Ground truth: ids of the records relevant to `query` — same route,
+    /// same direction (the "10 similar trajectories" of the paper).
+    pub fn relevant_ids(&self, query: &Query) -> HashSet<TrajId> {
+        self.records
+            .iter()
+            .filter(|r| r.route == query.route && r.forward == query.forward)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Ids of records sharing the query's route in **either** direction —
+    /// what a direction-blind index (plain geohash) retrieves at best.
+    pub fn same_route_ids(&self, query: &Query) -> HashSet<TrajId> {
+        self.records
+            .iter()
+            .filter(|r| r.route == query.route)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Total number of points in the dataset.
+    pub fn total_points(&self) -> usize {
+        self.records.iter().map(|r| r.trajectory.len()).sum()
+    }
+}
+
+fn draw_route(
+    net: &RoadNetwork,
+    cfg: &DatasetConfig,
+    rng: &mut StdRng,
+) -> Result<Route, RoadNetError> {
+    let n = net.node_count() as u32;
+    let mut last_err = RoadNetError::EmptyNetwork;
+    for _ in 0..cfg.max_attempts_per_route {
+        let from = NodeId::new(rng.random_range(0..n));
+        let to = NodeId::new(rng.random_range(0..n));
+        if from == to {
+            continue;
+        }
+        match shortest_path(net, from, to) {
+            Ok(route) if route.length_meters() >= cfg.min_route_m => return Ok(route),
+            Ok(_) => continue,
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_roadnet::generators::{grid_network, GridConfig};
+
+    fn small_dataset() -> (RoadNetwork, Dataset) {
+        let net = grid_network(&GridConfig::default(), 42);
+        let cfg = DatasetConfig {
+            routes: 4,
+            per_direction: 3,
+            queries: 4,
+            ..DatasetConfig::default()
+        };
+        let ds = Dataset::generate(&net, &cfg, 7).unwrap();
+        (net, ds)
+    }
+
+    #[test]
+    fn record_counts_match_config() {
+        let (_, ds) = small_dataset();
+        assert_eq!(ds.routes().len(), 4);
+        assert_eq!(ds.records().len(), 4 * 3 * 2);
+        assert_eq!(ds.queries().len(), 4);
+        // Ids are dense and ordered.
+        for (i, r) in ds.records().iter().enumerate() {
+            assert_eq!(r.id.raw() as usize, i);
+        }
+    }
+
+    #[test]
+    fn forward_and_reverse_trajectories_per_route() {
+        let (_, ds) = small_dataset();
+        for route in 0..4 {
+            let fwd = ds
+                .records()
+                .iter()
+                .filter(|r| r.route == route && r.forward)
+                .count();
+            let rev = ds
+                .records()
+                .iter()
+                .filter(|r| r.route == route && !r.forward)
+                .count();
+            assert_eq!((fwd, rev), (3, 3));
+        }
+    }
+
+    #[test]
+    fn routes_respect_min_length() {
+        let (_, ds) = small_dataset();
+        for r in ds.routes() {
+            assert!(r.length_meters() >= 2_000.0);
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_same_route_same_direction() {
+        let (_, ds) = small_dataset();
+        let q = &ds.queries()[0];
+        let relevant = ds.relevant_ids(q);
+        assert_eq!(relevant.len(), 3);
+        for id in &relevant {
+            let rec = &ds.records()[id.raw() as usize];
+            assert_eq!(rec.route, q.route);
+            assert!(rec.forward);
+        }
+        let same_route = ds.same_route_ids(q);
+        assert_eq!(same_route.len(), 6);
+        assert!(relevant.is_subset(&same_route));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let net = grid_network(&GridConfig::default(), 42);
+        let cfg = DatasetConfig {
+            routes: 2,
+            per_direction: 2,
+            queries: 1,
+            ..DatasetConfig::default()
+        };
+        let a = Dataset::generate(&net, &cfg, 9).unwrap();
+        let b = Dataset::generate(&net, &cfg, 9).unwrap();
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.queries(), b.queries());
+        let c = Dataset::generate(&net, &cfg, 10).unwrap();
+        assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn trajectories_are_one_hz_length() {
+        let (_, ds) = small_dataset();
+        for r in ds.records() {
+            let route = &ds.routes()[r.route];
+            let expected = route.duration_seconds();
+            assert!(
+                (r.trajectory.len() as f64 - expected).abs() <= expected * 0.05 + 2.0,
+                "{} points for a {expected} s route",
+                r.trajectory.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_trajectories_are_similar_but_not_identical() {
+        let (_, ds) = small_dataset();
+        let siblings: Vec<_> = ds
+            .records()
+            .iter()
+            .filter(|r| r.route == 0 && r.forward)
+            .collect();
+        assert!(siblings.len() >= 2);
+        assert_ne!(siblings[0].trajectory, siblings[1].trajectory);
+        // Similar ground length.
+        let l0 = siblings[0].trajectory.ground_length_meters();
+        let l1 = siblings[1].trajectory.ground_length_meters();
+        assert!((l0 - l1).abs() / l0.max(l1) < 0.3, "{l0} vs {l1}");
+    }
+
+    #[test]
+    fn queries_are_not_dataset_members() {
+        let (_, ds) = small_dataset();
+        for q in ds.queries() {
+            assert!(ds.records().iter().all(|r| r.trajectory != q.trajectory));
+        }
+    }
+
+    #[test]
+    fn tiny_network_errors() {
+        let net = RoadNetwork::new();
+        assert_eq!(
+            Dataset::generate(&net, &DatasetConfig::default(), 1).err(),
+            Some(RoadNetError::EmptyNetwork)
+        );
+    }
+
+    #[test]
+    fn no_reverse_option() {
+        let net = grid_network(&GridConfig::default(), 42);
+        let cfg = DatasetConfig {
+            routes: 2,
+            per_direction: 2,
+            include_reverse: false,
+            queries: 1,
+            ..DatasetConfig::default()
+        };
+        let ds = Dataset::generate(&net, &cfg, 3).unwrap();
+        assert_eq!(ds.records().len(), 4);
+        assert!(ds.records().iter().all(|r| r.forward));
+    }
+}

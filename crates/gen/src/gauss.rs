@@ -1,0 +1,80 @@
+use rand::Rng;
+
+/// A zero-mean Gaussian sampler using the Box–Muller transform.
+///
+/// The offline dependency set has no `rand_distr`, so the generator
+/// implements the transform directly: each call to [`Gaussian::sample`]
+/// produces one normal deviate (the second of each Box–Muller pair is
+/// cached).
+#[derive(Debug, Clone, Default)]
+pub struct Gaussian {
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Gaussian {
+        Gaussian::default()
+    }
+
+    /// Draws one `N(0, sigma²)` deviate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z * sigma;
+        }
+        // Box–Muller on two uniforms in (0, 1].
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_are_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Gaussian::new();
+        let sigma = 20.0;
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn roughly_sixty_eight_percent_within_one_sigma() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Gaussian::new();
+        let n = 50_000;
+        let within = (0..n)
+            .filter(|_| g.sample(&mut rng, 1.0).abs() <= 1.0)
+            .count();
+        let frac = within as f64 / n as f64;
+        assert!((frac - 0.6827).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut g = Gaussian::new();
+            (0..10).map(|_| g.sample(&mut rng, 5.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut g = Gaussian::new();
+            (0..10).map(|_| g.sample(&mut rng, 5.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,257 @@
+//! A synthetic world-scale activity model (Section VI-E of the paper).
+//!
+//! Figure 15 of the paper plots the number of trajectories per 16-bit
+//! geohash over a road network extracted from the full OpenStreetMap dump,
+//! observing very dense peaks (the highest around Mexico City) separated
+//! by voids (oceans). Since the OSM dump is unavailable offline, this
+//! module substitutes a generative model with the same relevant shape:
+//!
+//! * population centers with **power-law (Zipf) weights** placed in
+//!   continental latitude bands — heavy peaks,
+//! * most of the longitude/latitude space left empty — oceans/voids,
+//! * trajectories scattered around their center with a Gaussian spread.
+//!
+//! What the downstream experiments need from this distribution is (a) its
+//! heavy skew across 16-bit cells and (b) its sparsity over the whole
+//! cell space; both are preserved.
+
+use geodabs_geo::{Geohash, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::gauss::Gaussian;
+
+/// Configuration of the world activity model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Number of population centers (cities).
+    pub cities: usize,
+    /// Number of trajectories to distribute over the centers.
+    pub trajectories: u64,
+    /// Zipf exponent of the city weights (1.0 ≈ classic city-size law).
+    pub zipf_exponent: f64,
+    /// Gaussian spread of trajectories around their city, in degrees.
+    pub city_spread_deg: f64,
+    /// Geohash depth of the histogram cells (the paper uses 16 bits).
+    pub cell_depth: u8,
+}
+
+impl Default for WorldConfig {
+    fn default() -> WorldConfig {
+        WorldConfig {
+            cities: 2_000,
+            trajectories: 1_000_000,
+            zipf_exponent: 1.07,
+            city_spread_deg: 0.6,
+            cell_depth: 16,
+        }
+    }
+}
+
+/// Latitude bands hosting the population centers, with sampling weights
+/// roughly matching where people live (most mass between 20°N and 60°N).
+const LAT_BANDS: &[(f64, f64, f64)] = &[
+    // (min_lat, max_lat, weight)
+    (-45.0, -10.0, 0.15),
+    (-10.0, 20.0, 0.25),
+    (20.0, 45.0, 0.40),
+    (45.0, 60.0, 0.20),
+];
+
+/// The histogram of trajectories per geohash cell produced by the model.
+#[derive(Debug, Clone)]
+pub struct WorldActivity {
+    cell_depth: u8,
+    counts: HashMap<u64, u64>,
+}
+
+impl WorldActivity {
+    /// Generates the activity histogram. Deterministic per seed.
+    pub fn generate(cfg: &WorldConfig, seed: u64) -> WorldActivity {
+        assert!(cfg.cities > 0, "need at least one city");
+        assert!((1..=32).contains(&cfg.cell_depth), "cell depth must be 1..=32");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = Gaussian::new();
+        // Place the cities.
+        let mut cities = Vec::with_capacity(cfg.cities);
+        for _ in 0..cfg.cities {
+            let band = pick_band(&mut rng);
+            let lat = rng.random_range(band.0..band.1);
+            let lon = rng.random_range(-180.0..180.0);
+            cities.push(Point::clamped(lat, lon));
+        }
+        // Zipf weights -> cumulative distribution.
+        let weights: Vec<f64> = (1..=cfg.cities)
+            .map(|rank| 1.0 / (rank as f64).powf(cfg.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(cfg.cities);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Scatter the trajectories.
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..cfg.trajectories {
+            let u: f64 = rng.random();
+            let city = cumulative.partition_point(|&c| c < u).min(cfg.cities - 1);
+            let center = cities[city];
+            let lat = center.lat() + gauss.sample(&mut rng, cfg.city_spread_deg);
+            let lon = center.lon() + gauss.sample(&mut rng, cfg.city_spread_deg);
+            let p = Point::clamped(lat.clamp(-89.9, 89.9), wrap_lon(lon));
+            let cell = Geohash::encode(p, cfg.cell_depth)
+                .expect("validated depth")
+                .bits();
+            *counts.entry(cell).or_insert(0) += 1;
+        }
+        WorldActivity {
+            cell_depth: cfg.cell_depth,
+            counts,
+        }
+    }
+
+    /// Depth of the histogram cells, in bits.
+    pub fn cell_depth(&self) -> u8 {
+        self.cell_depth
+    }
+
+    /// Trajectory count per non-empty cell (cell bits -> count).
+    pub fn counts(&self) -> &HashMap<u64, u64> {
+        &self.counts
+    }
+
+    /// The histogram as `(cell, count)` sorted by cell (Z-order), i.e. the
+    /// x-axis of Figure 15.
+    pub fn sorted_counts(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counts.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total number of trajectories.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Fraction of the cell space that is non-empty; small, because most
+    /// of the planet is ocean or uninhabited.
+    pub fn occupancy(&self) -> f64 {
+        self.counts.len() as f64 / 2f64.powi(i32::from(self.cell_depth))
+    }
+
+    /// The count of the busiest cell.
+    pub fn peak(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+fn pick_band(rng: &mut StdRng) -> (f64, f64) {
+    let total: f64 = LAT_BANDS.iter().map(|b| b.2).sum();
+    let mut u: f64 = rng.random_range(0.0..total);
+    for &(lo, hi, w) in LAT_BANDS {
+        if u < w {
+            return (lo, hi);
+        }
+        u -= w;
+    }
+    let last = LAT_BANDS[LAT_BANDS.len() - 1];
+    (last.0, last.1)
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = lon;
+    while l > 180.0 {
+        l -= 360.0;
+    }
+    while l < -180.0 {
+        l += 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorldActivity {
+        WorldActivity::generate(
+            &WorldConfig {
+                cities: 200,
+                trajectories: 50_000,
+                ..WorldConfig::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn totals_are_conserved() {
+        let w = small();
+        assert_eq!(w.total(), 50_000);
+        assert_eq!(w.cell_depth(), 16);
+    }
+
+    #[test]
+    fn distribution_is_heavily_skewed() {
+        let w = small();
+        // The busiest cell dwarfs the average non-empty cell, like the
+        // Mexico City peak of Figure 15.
+        let avg = w.total() as f64 / w.counts().len() as f64;
+        assert!(
+            w.peak() as f64 > 10.0 * avg,
+            "peak {} vs avg {avg:.1}",
+            w.peak()
+        );
+    }
+
+    #[test]
+    fn most_of_the_world_is_empty() {
+        let w = small();
+        assert!(w.occupancy() < 0.25, "occupancy {}", w.occupancy());
+    }
+
+    #[test]
+    fn sorted_counts_are_sorted_and_complete() {
+        let w = small();
+        let sc = w.sorted_counts();
+        assert_eq!(sc.len(), w.counts().len());
+        assert!(sc.windows(2).all(|p| p[0].0 < p[1].0));
+        assert_eq!(sc.iter().map(|&(_, n)| n).sum::<u64>(), w.total());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = WorldConfig {
+            cities: 50,
+            trajectories: 5_000,
+            ..WorldConfig::default()
+        };
+        let a = WorldActivity::generate(&cfg, 3);
+        let b = WorldActivity::generate(&cfg, 3);
+        assert_eq!(a.sorted_counts(), b.sorted_counts());
+        let c = WorldActivity::generate(&cfg, 4);
+        assert_ne!(a.sorted_counts(), c.sorted_counts());
+    }
+
+    #[test]
+    fn cells_fit_the_configured_depth() {
+        let w = small();
+        for &cell in w.counts().keys() {
+            assert!(cell < 1 << 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one city")]
+    fn zero_cities_panics() {
+        let _ = WorldActivity::generate(
+            &WorldConfig {
+                cities: 0,
+                ..WorldConfig::default()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,809 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::morton::{deinterleave, interleave};
+use crate::{BoundingBox, GeoError, Point};
+
+/// Maximum supported geohash depth, in bits.
+pub const MAX_DEPTH: u8 = 64;
+
+/// The canonical geohash base32 alphabet (Niemeyer, 2008).
+const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// A geohash: `depth` bits that repeatedly bisect the latitude/longitude
+/// space (Section III-C of the paper).
+///
+/// The first bisection (most significant bit) splits the longitude axis, the
+/// second the latitude axis, and so on, exactly as in Figure 2 (a). The bits
+/// are stored right-aligned, so the numeric value of [`Geohash::bits`] is the
+/// position of the cell on the Z-order space-filling curve of Figure 2 (b) —
+/// this is what makes geohashes usable for locality-preserving sharding.
+///
+/// A depth of `0` is valid and denotes the whole world cell.
+///
+/// # Examples
+///
+/// ```
+/// use geodabs_geo::{Geohash, Point};
+///
+/// # fn main() -> Result<(), geodabs_geo::GeoError> {
+/// let p = Point::new(57.64911, 10.40744)?;
+/// let g = Geohash::encode(p, 55)?;
+/// assert_eq!(g.to_base32().unwrap(), "u4pruydqqvj");
+/// assert!(g.bounds().contains(p));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Geohash {
+    // Order matters for the derived `Ord`: compare by depth first so that
+    // hashes of equal depth sort along the Z-curve, which is the only
+    // ordering the library relies on (sharding always uses a fixed depth).
+    depth: u8,
+    bits: u64,
+}
+
+/// The four cardinal directions used when walking to neighboring cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Increasing latitude.
+    North,
+    /// Decreasing latitude.
+    South,
+    /// Increasing longitude (wraps at the antimeridian).
+    East,
+    /// Decreasing longitude (wraps at the antimeridian).
+    West,
+}
+
+impl Geohash {
+    /// Encodes a point at the given depth (`0..=64` bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] if `depth > 64`.
+    pub fn encode(p: Point, depth: u8) -> Result<Geohash, GeoError> {
+        if depth > MAX_DEPTH {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        let lat_q = quantize(p.lat(), -90.0, 90.0);
+        let lon_q = quantize(p.lon(), -180.0, 180.0);
+        // Longitude sits at odd Morton positions so that, once the code is
+        // read MSB-first, the very first bit subdivides the longitude axis.
+        let code = interleave(lat_q, lon_q);
+        Ok(Geohash {
+            depth,
+            bits: if depth == 0 { 0 } else { code >> (64 - depth) },
+        })
+    }
+
+    /// Builds a geohash from raw bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] if `depth > 64` or if `bits` has
+    /// set bits above position `depth`.
+    pub fn from_bits(bits: u64, depth: u8) -> Result<Geohash, GeoError> {
+        if depth > MAX_DEPTH {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        if depth < 64 && bits >> depth != 0 {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        Ok(Geohash { depth, bits })
+    }
+
+    /// The whole-world geohash (depth 0).
+    pub fn world() -> Geohash {
+        Geohash { depth: 0, bits: 0 }
+    }
+
+    /// The raw right-aligned bits. At a fixed depth this value is the cell's
+    /// position on the Z-order space-filling curve.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of bits (the precision) of this geohash.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Position on the Z-order curve at this geohash's depth.
+    ///
+    /// Alias of [`Geohash::bits`], named for readability at call sites that
+    /// deal with sharding.
+    pub fn zorder(&self) -> u64 {
+        self.bits
+    }
+
+    /// The rectangular cell this geohash covers.
+    pub fn bounds(&self) -> BoundingBox {
+        let aligned = if self.depth == 0 {
+            0
+        } else {
+            self.bits << (64 - self.depth)
+        };
+        let (lat_q, lon_q) = deinterleave(aligned);
+        let lat_bits = u32::from(self.depth) / 2;
+        let lon_bits = u32::from(self.depth).div_ceil(2);
+        let (min_lat, max_lat) = dequantize_range(lat_q, lat_bits, -90.0, 90.0);
+        let (min_lon, max_lon) = dequantize_range(lon_q, lon_bits, -180.0, 180.0);
+        BoundingBox::new(min_lat, max_lat, min_lon, max_lon)
+            .expect("geohash cells always decode to valid boxes")
+    }
+
+    /// The center of the cell.
+    pub fn center(&self) -> Point {
+        self.bounds().center()
+    }
+
+    /// The geohash truncated to a shallower depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] if `depth` exceeds this geohash's
+    /// depth (truncation cannot add precision).
+    pub fn truncate(&self, depth: u8) -> Result<Geohash, GeoError> {
+        if depth > self.depth {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        Ok(Geohash {
+            depth,
+            bits: if depth == 0 {
+                0
+            } else {
+                self.bits >> (self.depth - depth)
+            },
+        })
+    }
+
+    /// The parent cell (one bit shallower), or `None` at depth 0.
+    pub fn parent(&self) -> Option<Geohash> {
+        if self.depth == 0 {
+            None
+        } else {
+            Some(Geohash {
+                depth: self.depth - 1,
+                bits: self.bits >> 1,
+            })
+        }
+    }
+
+    /// The two child cells (one bit deeper), or `None` at the maximum
+    /// depth. The first child carries bit `0`, the second bit `1`.
+    pub fn children(&self) -> Option<[Geohash; 2]> {
+        if self.depth == MAX_DEPTH {
+            return None;
+        }
+        let base = self.bits << 1;
+        Some([
+            Geohash {
+                depth: self.depth + 1,
+                bits: base,
+            },
+            Geohash {
+                depth: self.depth + 1,
+                bits: base | 1,
+            },
+        ])
+    }
+
+    /// Whether `other` is this cell or one of its descendants.
+    pub fn contains_hash(&self, other: &Geohash) -> bool {
+        other.depth >= self.depth
+            && (self.depth == 0 || other.bits >> (other.depth - self.depth) == self.bits)
+    }
+
+    /// Whether the point falls in this cell.
+    pub fn contains_point(&self, p: Point) -> bool {
+        Geohash::encode(p, self.depth).map(|g| g == *self).unwrap_or(false)
+    }
+
+    /// The deepest geohash that overlaps every point of the iterator — the
+    /// `geohash({p1, ..., pn})` function of Section III-C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyPointSet`] if the iterator is empty.
+    pub fn covering<I: IntoIterator<Item = Point>>(points: I) -> Result<Geohash, GeoError> {
+        let mut iter = points.into_iter();
+        let first = iter.next().ok_or(GeoError::EmptyPointSet)?;
+        let first = Geohash::encode(first, MAX_DEPTH).expect("depth 64 is valid");
+        let mut prefix_len = MAX_DEPTH;
+        let mut bits = first.bits;
+        for p in iter {
+            let code = Geohash::encode(p, MAX_DEPTH).expect("depth 64 is valid").bits;
+            let common = (bits ^ code).leading_zeros().min(u32::from(prefix_len)) as u8;
+            prefix_len = common;
+            if prefix_len == 0 {
+                return Ok(Geohash::world());
+            }
+            bits &= !0u64 << (64 - prefix_len);
+        }
+        Ok(Geohash {
+            depth: prefix_len,
+            bits: if prefix_len == 0 { 0 } else { bits >> (64 - prefix_len) },
+        })
+    }
+
+    /// The adjacent cell in the given direction at the same depth.
+    ///
+    /// Longitude wraps around the antimeridian; latitude saturates, so the
+    /// northern neighbor of a cell touching the north pole is `None`.
+    pub fn neighbor(&self, dir: Direction) -> Option<Geohash> {
+        if self.depth == 0 {
+            // The world cell wraps onto itself east/west and has no
+            // north/south neighbor.
+            return match dir {
+                Direction::East | Direction::West => Some(*self),
+                Direction::North | Direction::South => None,
+            };
+        }
+        let aligned = self.bits << (64 - self.depth);
+        let (lat_q, lon_q) = deinterleave(aligned);
+        let lat_bits = u32::from(self.depth) / 2;
+        let lon_bits = u32::from(self.depth).div_ceil(2);
+        let (mut lat_cell, mut lon_cell) = (
+            if lat_bits == 0 { 0 } else { lat_q >> (32 - lat_bits) },
+            if lon_bits == 0 { 0 } else { lon_q >> (32 - lon_bits) },
+        );
+        match dir {
+            Direction::North => {
+                if lat_bits == 0 || lat_cell == (1u32 << lat_bits) - 1 {
+                    return None;
+                }
+                lat_cell += 1;
+            }
+            Direction::South => {
+                if lat_bits == 0 || lat_cell == 0 {
+                    return None;
+                }
+                lat_cell -= 1;
+            }
+            Direction::East => {
+                lon_cell = (lon_cell + 1) & ((1u64 << lon_bits) - 1) as u32;
+            }
+            Direction::West => {
+                lon_cell = lon_cell.wrapping_sub(1) & ((1u64 << lon_bits) - 1) as u32;
+            }
+        }
+        let lat_q = if lat_bits == 0 { 0 } else { lat_cell << (32 - lat_bits) };
+        let lon_q = if lon_bits == 0 { 0 } else { lon_cell << (32 - lon_bits) };
+        let code = interleave(lat_q, lon_q);
+        Some(Geohash {
+            depth: self.depth,
+            bits: code >> (64 - self.depth),
+        })
+    }
+
+    /// Enumerates every cell of the given depth intersecting the box, in
+    /// Z-order. This is the covering used for region queries (e.g. "all
+    /// trajectories crossing this area").
+    ///
+    /// The number of cells grows with the box area and the depth:
+    /// `cover_count` can be used to preflight. Boxes are not split at the
+    /// antimeridian (the latitude/longitude domain is a rectangle here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] if `depth > 64`.
+    pub fn cover_bbox(bbox: &BoundingBox, depth: u8) -> Result<Vec<Geohash>, GeoError> {
+        if depth > MAX_DEPTH {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        let (lat_lo, lat_hi, lon_lo, lon_hi) = cell_ranges(bbox, depth);
+        let mut out = Vec::with_capacity(
+            ((lat_hi - lat_lo + 1) * (lon_hi - lon_lo + 1)) as usize,
+        );
+        let lat_bits = u32::from(depth) / 2;
+        let lon_bits = u32::from(depth).div_ceil(2);
+        for lat_cell in lat_lo..=lat_hi {
+            for lon_cell in lon_lo..=lon_hi {
+                let lat_q = if lat_bits == 0 { 0 } else { (lat_cell as u32) << (32 - lat_bits) };
+                let lon_q = if lon_bits == 0 { 0 } else { (lon_cell as u32) << (32 - lon_bits) };
+                let code = interleave(lat_q, lon_q);
+                out.push(Geohash {
+                    depth,
+                    bits: if depth == 0 { 0 } else { code >> (64 - depth) },
+                });
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The number of cells [`Geohash::cover_bbox`] would return, without
+    /// materializing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] if `depth > 64`.
+    pub fn cover_count(bbox: &BoundingBox, depth: u8) -> Result<u64, GeoError> {
+        if depth > MAX_DEPTH {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        let (lat_lo, lat_hi, lon_lo, lon_hi) = cell_ranges(bbox, depth);
+        Ok((lat_hi - lat_lo + 1) * (lon_hi - lon_lo + 1))
+    }
+
+    /// Encodes this geohash in the canonical base32 alphabet.
+    ///
+    /// Returns `None` unless the depth is a multiple of 5 (base32 encodes
+    /// five bits per character).
+    pub fn to_base32(&self) -> Option<String> {
+        if !self.depth.is_multiple_of(5) {
+            return None;
+        }
+        let chars = self.depth / 5;
+        let mut out = String::with_capacity(chars as usize);
+        for i in (0..chars).rev() {
+            let chunk = (self.bits >> (i * 5)) & 0b11111;
+            out.push(BASE32[chunk as usize] as char);
+        }
+        Some(out)
+    }
+
+    /// Parses a base32 geohash string (depth = 5 bits per character).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidBase32`] on characters outside the
+    /// alphabet, and [`GeoError::InvalidDepth`] if the string encodes more
+    /// than 64 bits (i.e. more than 12 characters).
+    pub fn from_base32(s: &str) -> Result<Geohash, GeoError> {
+        if s.len() > 12 {
+            return Err(GeoError::InvalidDepth(
+                u8::try_from(s.len() * 5).unwrap_or(u8::MAX),
+            ));
+        }
+        let mut bits: u64 = 0;
+        for c in s.chars() {
+            let lower = c.to_ascii_lowercase();
+            let idx = BASE32
+                .iter()
+                .position(|&b| b as char == lower)
+                .ok_or(GeoError::InvalidBase32(c))?;
+            bits = (bits << 5) | idx as u64;
+        }
+        Ok(Geohash {
+            depth: (s.len() * 5) as u8,
+            bits,
+        })
+    }
+}
+
+impl std::str::FromStr for Geohash {
+    type Err = GeoError;
+
+    /// Parses the base32 form, like [`Geohash::from_base32`].
+    fn from_str(s: &str) -> Result<Geohash, GeoError> {
+        Geohash::from_base32(s)
+    }
+}
+
+impl fmt::Display for Geohash {
+    /// Displays the base32 form when the depth allows it, and the raw binary
+    /// prefix (e.g. `0b1101/4`) otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_base32() {
+            Some(s) if !s.is_empty() => write!(f, "{s}"),
+            _ => write!(f, "0b{:0width$b}/{}", self.bits, self.depth, width = self.depth as usize),
+        }
+    }
+}
+
+/// Cell-index ranges `(lat_lo, lat_hi, lon_lo, lon_hi)` of the cells at
+/// `depth` intersecting the box.
+fn cell_ranges(bbox: &BoundingBox, depth: u8) -> (u64, u64, u64, u64) {
+    let lat_bits = u32::from(depth) / 2;
+    let lon_bits = u32::from(depth).div_ceil(2);
+    let lat_cell = |v: f64| -> u64 {
+        if lat_bits == 0 {
+            0
+        } else {
+            u64::from(quantize(v, -90.0, 90.0) >> (32 - lat_bits))
+        }
+    };
+    let lon_cell = |v: f64| -> u64 {
+        if lon_bits == 0 {
+            0
+        } else {
+            u64::from(quantize(v, -180.0, 180.0) >> (32 - lon_bits))
+        }
+    };
+    (
+        lat_cell(bbox.min_lat()),
+        lat_cell(bbox.max_lat()),
+        lon_cell(bbox.min_lon()),
+        lon_cell(bbox.max_lon()),
+    )
+}
+
+/// Maps a coordinate in `[lo, hi]` to a 32-bit cell index.
+fn quantize(value: f64, lo: f64, hi: f64) -> u32 {
+    let scaled = (value - lo) / (hi - lo) * 2f64.powi(32);
+    // `value == hi` maps just past the last cell; clamp it back in.
+    scaled.min(u32::MAX as f64).max(0.0) as u32
+}
+
+/// Recovers the `[min, max]` coordinate range of a quantized prefix.
+fn dequantize_range(q: u32, prefix_bits: u32, lo: f64, hi: f64) -> (f64, f64) {
+    if prefix_bits == 0 {
+        return (lo, hi);
+    }
+    let cell = (q >> (32 - prefix_bits)) as f64;
+    let span = (hi - lo) / 2f64.powi(prefix_bits as i32);
+    let min = lo + cell * span;
+    (min, min + span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn encode_rejects_deep_hashes() {
+        assert_eq!(
+            Geohash::encode(p(0.0, 0.0), 65),
+            Err(GeoError::InvalidDepth(65))
+        );
+    }
+
+    #[test]
+    fn encode_depth_zero_is_world() {
+        let g = Geohash::encode(p(12.0, 34.0), 0).unwrap();
+        assert_eq!(g, Geohash::world());
+        assert_eq!(g.bounds(), BoundingBox::world());
+    }
+
+    #[test]
+    fn first_bit_subdivides_longitude() {
+        // Western hemisphere -> first bit 0, eastern -> 1.
+        let west = Geohash::encode(p(0.0, -90.0), 1).unwrap();
+        let east = Geohash::encode(p(0.0, 90.0), 1).unwrap();
+        assert_eq!(west.bits(), 0);
+        assert_eq!(east.bits(), 1);
+        // Latitude does not matter at depth 1.
+        let north = Geohash::encode(p(80.0, -90.0), 1).unwrap();
+        assert_eq!(north.bits(), 0);
+    }
+
+    #[test]
+    fn second_bit_subdivides_latitude() {
+        let sw = Geohash::encode(p(-45.0, -90.0), 2).unwrap();
+        let nw = Geohash::encode(p(45.0, -90.0), 2).unwrap();
+        let se = Geohash::encode(p(-45.0, 90.0), 2).unwrap();
+        let ne = Geohash::encode(p(45.0, 90.0), 2).unwrap();
+        assert_eq!(sw.bits(), 0b00);
+        assert_eq!(nw.bits(), 0b01);
+        assert_eq!(se.bits(), 0b10);
+        assert_eq!(ne.bits(), 0b11);
+    }
+
+    #[test]
+    fn classic_base32_test_vector() {
+        // The canonical example from the geohash literature.
+        let g = Geohash::encode(p(57.64911, 10.40744), 55).unwrap();
+        assert_eq!(g.to_base32().unwrap(), "u4pruydqqvj");
+    }
+
+    #[test]
+    fn base32_roundtrip() {
+        for s in ["u", "u4", "gbsuv", "u4pruydqqvj", "0", "zzzzz"] {
+            let g = Geohash::from_base32(s).unwrap();
+            assert_eq!(g.to_base32().unwrap(), s);
+            assert_eq!(g.depth() as usize, s.len() * 5);
+        }
+    }
+
+    #[test]
+    fn base32_parse_is_case_insensitive_and_validates() {
+        assert_eq!(
+            Geohash::from_base32("GBSUV").unwrap(),
+            Geohash::from_base32("gbsuv").unwrap()
+        );
+        assert_eq!(
+            Geohash::from_base32("ab"),
+            Err(GeoError::InvalidBase32('a'))
+        );
+        assert!(Geohash::from_base32("0123456789012").is_err());
+    }
+
+    #[test]
+    fn to_base32_requires_multiple_of_five() {
+        let g = Geohash::encode(p(1.0, 2.0), 36).unwrap();
+        assert!(g.to_base32().is_none());
+        let g = Geohash::encode(p(1.0, 2.0), 35).unwrap();
+        assert!(g.to_base32().is_some());
+    }
+
+    #[test]
+    fn bounds_contains_encoded_point() {
+        for depth in [1u8, 2, 7, 16, 36, 55, 64] {
+            let q = p(51.5074, -0.1278);
+            let g = Geohash::encode(q, depth).unwrap();
+            assert!(g.bounds().contains(q), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn cell_size_in_london_matches_paper() {
+        // Paper, Section VI-A2: "In London, a geohash of 36 bits has a width
+        // of 95 meters and a height of 76 meters."
+        let g = Geohash::encode(p(51.5074, -0.1278), 36).unwrap();
+        let b = g.bounds();
+        assert!((b.width_meters() - 95.0).abs() < 5.0, "width {}", b.width_meters());
+        assert!((b.height_meters() - 76.0).abs() < 5.0, "height {}", b.height_meters());
+    }
+
+    #[test]
+    fn sixteen_bit_cells_are_continental_scale() {
+        // Paper, Section VI-E: 16-bit cells are ~156 km wide at the equator.
+        let g = Geohash::encode(p(0.0, 0.0), 16).unwrap();
+        let b = g.bounds();
+        assert!((b.width_meters() - 156_000.0).abs() < 5_000.0, "{}", b.width_meters());
+    }
+
+    #[test]
+    fn truncate_and_parent() {
+        let g = Geohash::from_bits(0b110101, 6).unwrap();
+        assert_eq!(g.truncate(3).unwrap().bits(), 0b110);
+        assert_eq!(g.parent().unwrap().bits(), 0b11010);
+        assert_eq!(g.truncate(0).unwrap(), Geohash::world());
+        assert!(g.truncate(7).is_err());
+        assert!(Geohash::world().parent().is_none());
+    }
+
+    #[test]
+    fn contains_hash_prefix_semantics() {
+        let parent = Geohash::from_bits(0b1101, 4).unwrap();
+        let child = Geohash::from_bits(0b110110, 6).unwrap();
+        let other = Geohash::from_bits(0b111000, 6).unwrap();
+        assert!(parent.contains_hash(&child));
+        assert!(parent.contains_hash(&parent));
+        assert!(!parent.contains_hash(&other));
+        assert!(!child.contains_hash(&parent));
+        assert!(Geohash::world().contains_hash(&child));
+    }
+
+    #[test]
+    fn from_bits_validates() {
+        assert!(Geohash::from_bits(0b1000, 3).is_err());
+        assert!(Geohash::from_bits(0b100, 3).is_ok());
+        assert!(Geohash::from_bits(u64::MAX, 64).is_ok());
+        assert!(Geohash::from_bits(0, 65).is_err());
+    }
+
+    #[test]
+    fn covering_of_single_point_is_full_depth() {
+        let q = p(48.85, 2.35);
+        let g = Geohash::covering([q]).unwrap();
+        assert_eq!(g.depth(), MAX_DEPTH);
+        assert!(g.bounds().contains(q));
+    }
+
+    #[test]
+    fn covering_empty_errors() {
+        assert_eq!(
+            Geohash::covering(std::iter::empty()),
+            Err(GeoError::EmptyPointSet)
+        );
+    }
+
+    #[test]
+    fn covering_nearby_points_is_deep() {
+        // Points ~100 m apart share a deep prefix.
+        let a = p(51.5074, -0.1278);
+        let b = a.destination(90.0, 100.0);
+        let g = Geohash::covering([a, b]).unwrap();
+        assert!(g.depth() >= 20, "depth {}", g.depth());
+        assert!(g.bounds().contains(a));
+        assert!(g.bounds().contains(b));
+    }
+
+    #[test]
+    fn covering_hemispheres_is_world() {
+        let g = Geohash::covering([p(0.0, -90.0), p(0.0, 90.0)]).unwrap();
+        assert_eq!(g, Geohash::world());
+    }
+
+    #[test]
+    fn neighbors_are_adjacent() {
+        let g = Geohash::encode(p(51.5, -0.12), 20).unwrap();
+        let b = g.bounds();
+        let east = g.neighbor(Direction::East).unwrap().bounds();
+        assert!((east.min_lon() - b.max_lon()).abs() < 1e-9);
+        assert!((east.min_lat() - b.min_lat()).abs() < 1e-9);
+        let north = g.neighbor(Direction::North).unwrap().bounds();
+        assert!((north.min_lat() - b.max_lat()).abs() < 1e-9);
+        let west = g.neighbor(Direction::West).unwrap().bounds();
+        assert!((west.max_lon() - b.min_lon()).abs() < 1e-9);
+        let south = g.neighbor(Direction::South).unwrap().bounds();
+        assert!((south.max_lat() - b.min_lat()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbor_roundtrip() {
+        let g = Geohash::encode(p(10.0, 20.0), 30).unwrap();
+        assert_eq!(
+            g.neighbor(Direction::East).unwrap().neighbor(Direction::West).unwrap(),
+            g
+        );
+        assert_eq!(
+            g.neighbor(Direction::North).unwrap().neighbor(Direction::South).unwrap(),
+            g
+        );
+    }
+
+    #[test]
+    fn neighbor_saturates_at_poles_and_wraps_longitude() {
+        let near_pole = Geohash::encode(p(89.99, 0.0), 20).unwrap();
+        assert!(near_pole.neighbor(Direction::North).is_none());
+        // Eastern edge wraps to the western edge.
+        let east_edge = Geohash::encode(p(0.0, 179.99), 20).unwrap();
+        let wrapped = east_edge.neighbor(Direction::East).unwrap();
+        assert!(wrapped.bounds().min_lon() < -179.0);
+    }
+
+    #[test]
+    fn zorder_orders_west_to_east_within_band() {
+        // Two cells in the same latitude band and longitude half: the more
+        // western one comes first on the curve when their prefix differs
+        // only in the trailing longitude bit.
+        let a = Geohash::from_bits(0b00, 2).unwrap();
+        let b = Geohash::from_bits(0b10, 2).unwrap();
+        assert!(a.zorder() < b.zorder());
+        assert!(a.bounds().min_lon() < b.bounds().min_lon());
+    }
+
+    #[test]
+    fn children_partition_the_parent() {
+        let g = Geohash::encode(p(51.5, -0.12), 20).unwrap();
+        let [c0, c1] = g.children().unwrap();
+        assert_eq!(c0.parent(), Some(g));
+        assert_eq!(c1.parent(), Some(g));
+        assert!(g.contains_hash(&c0) && g.contains_hash(&c1));
+        // The two children split the parent box along one axis.
+        let pb = g.bounds();
+        let area = |b: &BoundingBox| b.width_meters() * b.height_meters();
+        let half = area(&c0.bounds()) + area(&c1.bounds());
+        assert!((half - area(&pb)).abs() / area(&pb) < 0.01);
+        // Max depth has no children.
+        assert!(Geohash::encode(p(0.0, 0.0), 64).unwrap().children().is_none());
+    }
+
+    #[test]
+    fn from_str_parses_base32() {
+        let g: Geohash = "gbsuv".parse().unwrap();
+        assert_eq!(g, Geohash::from_base32("gbsuv").unwrap());
+        assert!("?!".parse::<Geohash>().is_err());
+    }
+
+    #[test]
+    fn cover_bbox_covers_the_box() {
+        let bb = BoundingBox::around(p(51.5074, -0.1278), 2_000.0, 1_500.0);
+        let cells = Geohash::cover_bbox(&bb, 30).unwrap();
+        assert!(!cells.is_empty());
+        assert_eq!(cells.len() as u64, Geohash::cover_count(&bb, 30).unwrap());
+        // Cells are sorted, distinct and all intersect the box.
+        assert!(cells.windows(2).all(|w| w[0] < w[1]));
+        for c in &cells {
+            assert!(c.bounds().intersects(&bb), "{c:?} misses the box");
+        }
+        // Every corner and the center are covered.
+        for q in [
+            bb.center(),
+            p(bb.min_lat(), bb.min_lon()),
+            p(bb.max_lat(), bb.max_lon()),
+        ] {
+            assert!(cells.iter().any(|c| c.contains_point(q)), "{q} uncovered");
+        }
+    }
+
+    #[test]
+    fn cover_bbox_depth_zero_is_world() {
+        let bb = BoundingBox::around(p(0.0, 0.0), 1_000.0, 1_000.0);
+        assert_eq!(Geohash::cover_bbox(&bb, 0).unwrap(), vec![Geohash::world()]);
+        assert_eq!(Geohash::cover_count(&bb, 0).unwrap(), 1);
+        assert!(Geohash::cover_bbox(&bb, 65).is_err());
+    }
+
+    #[test]
+    fn cover_count_grows_with_depth() {
+        let bb = BoundingBox::around(p(40.0, 10.0), 50_000.0, 50_000.0);
+        let mut last = 0u64;
+        for depth in [10u8, 16, 20, 24] {
+            let n = Geohash::cover_count(&bb, depth).unwrap();
+            assert!(n >= last, "depth {depth}: {n} < {last}");
+            last = n;
+        }
+        assert!(last > 1);
+    }
+
+    #[test]
+    fn cover_of_a_point_box_is_one_cell() {
+        let q = p(51.5, -0.12);
+        let bb = BoundingBox::enclosing([q]).unwrap();
+        let cells = Geohash::cover_bbox(&bb, 36).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0], Geohash::encode(q, 36).unwrap());
+    }
+
+    #[test]
+    fn display_prefers_base32() {
+        let g = Geohash::from_base32("gbsuv").unwrap();
+        assert_eq!(g.to_string(), "gbsuv");
+        let g = Geohash::from_bits(0b1101, 4).unwrap();
+        assert_eq!(g.to_string(), "0b1101/4");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_bounds_roundtrip(
+            lat in -89.9f64..89.9, lon in -179.9f64..179.9, depth in 1u8..=64,
+        ) {
+            let q = p(lat, lon);
+            let g = Geohash::encode(q, depth).unwrap();
+            prop_assert!(g.bounds().contains(q));
+            // Center re-encodes to the same cell.
+            prop_assert_eq!(Geohash::encode(g.center(), depth).unwrap(), g);
+        }
+
+        #[test]
+        fn prop_truncate_is_ancestor(
+            lat in -89.9f64..89.9, lon in -179.9f64..179.9,
+            depth in 2u8..=64, shallower in 1u8..=64,
+        ) {
+            prop_assume!(shallower < depth);
+            let g = Geohash::encode(p(lat, lon), depth).unwrap();
+            let t = g.truncate(shallower).unwrap();
+            prop_assert!(t.contains_hash(&g));
+            prop_assert!(t.bounds().contains(g.center()));
+        }
+
+        #[test]
+        fn prop_covering_contains_all(
+            pts in proptest::collection::vec((-89.0f64..89.0, -179.0f64..179.0), 1..12)
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let g = Geohash::covering(points.iter().copied()).unwrap();
+            for q in &points {
+                prop_assert!(
+                    g.contains_point(*q) || g.depth() == 0,
+                    "covering {g:?} must contain {q}"
+                );
+            }
+        }
+
+        #[test]
+        fn prop_base32_roundtrip(bits: u64, chars in 1usize..=12) {
+            let depth = (chars * 5) as u8;
+            let bits = if depth == 64 { bits } else { bits & ((1u64 << depth) - 1) };
+            let g = Geohash::from_bits(bits, depth).unwrap();
+            let s = g.to_base32().unwrap();
+            prop_assert_eq!(Geohash::from_base32(&s).unwrap(), g);
+        }
+
+        #[test]
+        fn prop_nearby_points_share_deep_prefix(
+            lat in -60.0f64..60.0, lon in -170.0f64..170.0,
+        ) {
+            // Two points 10 m apart must share a prefix of at least 10 bits
+            // unless they straddle a major cell boundary; covering() handles
+            // both cases, we only check consistency here.
+            let a = p(lat, lon);
+            let b = a.destination(90.0, 10.0);
+            let g = Geohash::covering([a, b]).unwrap();
+            prop_assert!(g.contains_point(a) || g.depth() == 0);
+            prop_assert!(g.contains_point(b) || g.depth() == 0);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Boolean and positional retrieval over geodab terms (Section III-A1 of
+//! the paper).
+//!
+//! "In its simplest form, an inverted index is usually composed of terms
+//! that point to collections of document identifiers […]. Boolean queries
+//! can then be used to retrieve all the documents that contain a set of
+//! words. Optionally, a posting list can also contain the position of the
+//! term in the document. This positional information can then be used to
+//! search for sub-sequences in documents."
+//!
+//! [`PositionalIndex`] implements exactly that over fingerprint sequences:
+//! conjunctive (AND) and disjunctive (OR) boolean queries, and positional
+//! *phrase* queries matching a consecutive run of geodabs. The paper's
+//! point — that phrase search over long sub-sequences is slow compared to
+//! fingerprint Jaccard ranking — can be verified directly against
+//! [`crate::GeodabIndex`] on the same data.
+
+use geodabs::{Fingerprinter, GeodabConfig};
+use geodabs_traj::{TrajId, Trajectory};
+use std::collections::HashMap;
+
+/// A positional inverted index: every geodab term maps to the list of
+/// `(trajectory, positions)` pairs where it was selected by winnowing.
+#[derive(Debug, Clone)]
+pub struct PositionalIndex {
+    fingerprinter: Fingerprinter,
+    /// term -> sorted list of (trajectory, sorted positions).
+    postings: HashMap<u32, Vec<(TrajId, Vec<u32>)>>,
+    /// Stored ordered fingerprint sequences, for verification.
+    sequences: HashMap<TrajId, Vec<u32>>,
+}
+
+impl PositionalIndex {
+    /// Creates an empty positional index.
+    pub fn new(config: GeodabConfig) -> PositionalIndex {
+        PositionalIndex {
+            fingerprinter: Fingerprinter::new(config),
+            postings: HashMap::new(),
+            sequences: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Indexes a trajectory's ordered fingerprint sequence with positions.
+    pub fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        let fp = self.fingerprinter.normalize_and_fingerprint(trajectory);
+        let sequence: Vec<u32> = fp.ordered().to_vec();
+        // Replace any previous posting entries for this id.
+        if self.sequences.contains_key(&id) {
+            for lists in self.postings.values_mut() {
+                lists.retain(|(tid, _)| *tid != id);
+            }
+        }
+        let mut positions_by_term: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (pos, &term) in sequence.iter().enumerate() {
+            positions_by_term.entry(term).or_default().push(pos as u32);
+        }
+        for (term, positions) in positions_by_term {
+            let list = self.postings.entry(term).or_default();
+            let at = list
+                .binary_search_by_key(&id, |&(tid, _)| tid)
+                .unwrap_or_else(|e| e);
+            list.insert(at, (id, positions));
+        }
+        self.sequences.insert(id, sequence);
+    }
+
+    /// The stored fingerprint sequence of a trajectory.
+    pub fn sequence(&self, id: TrajId) -> Option<&[u32]> {
+        self.sequences.get(&id).map(Vec::as_slice)
+    }
+
+    /// Conjunctive boolean query: trajectories containing **all** terms.
+    ///
+    /// Implemented as a sorted-list intersection starting from the rarest
+    /// term, the classic optimization. Returns ids in ascending order;
+    /// an empty term set matches nothing.
+    pub fn query_and(&self, terms: &[u32]) -> Vec<TrajId> {
+        let mut lists: Vec<&Vec<(TrajId, Vec<u32>)>> = Vec::with_capacity(terms.len());
+        for t in terms {
+            match self.postings.get(t) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        if lists.is_empty() {
+            return Vec::new();
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<TrajId> = lists[0].iter().map(|&(id, _)| id).collect();
+        for list in &lists[1..] {
+            result.retain(|id| list.binary_search_by_key(id, |&(tid, _)| tid).is_ok());
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Disjunctive boolean query: trajectories containing **any** term,
+    /// with the number of matching terms (a crude relevance signal),
+    /// ordered by descending match count then ascending id.
+    pub fn query_or(&self, terms: &[u32]) -> Vec<(TrajId, usize)> {
+        let mut counts: HashMap<TrajId, usize> = HashMap::new();
+        let mut distinct: Vec<u32> = terms.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for t in distinct {
+            if let Some(list) = self.postings.get(&t) {
+                for &(id, _) in list {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<(TrajId, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Positional phrase query: trajectories whose fingerprint sequence
+    /// contains `phrase` as **consecutive** terms, with the start
+    /// positions of each occurrence. This is the sub-sequence search of
+    /// Section III-A1 — correct but increasingly expensive as phrases
+    /// lengthen, which is the paper's motivation for fingerprint sets.
+    pub fn query_phrase(&self, phrase: &[u32]) -> Vec<(TrajId, Vec<u32>)> {
+        if phrase.is_empty() {
+            return Vec::new();
+        }
+        // Candidates must contain all terms; then verify adjacency with
+        // the positional lists of the first term.
+        let candidates = self.query_and(phrase);
+        let mut out = Vec::new();
+        for id in candidates {
+            let first_positions: &Vec<u32> = self
+                .postings
+                .get(&phrase[0])
+                .and_then(|list| {
+                    list.binary_search_by_key(&id, |&(tid, _)| tid)
+                        .ok()
+                        .map(|i| &list[i].1)
+                })
+                .expect("candidate came from query_and");
+            let seq = &self.sequences[&id];
+            let mut starts = Vec::new();
+            for &start in first_positions {
+                let start = start as usize;
+                if start + phrase.len() <= seq.len()
+                    && seq[start..start + phrase.len()] == *phrase
+                {
+                    starts.push(start as u32);
+                }
+            }
+            if !starts.is_empty() {
+                out.push((id, starts));
+            }
+        }
+        out
+    }
+
+    /// Fingerprints a query trajectory with the index's pipeline, e.g. to
+    /// turn a sub-trajectory into a phrase.
+    pub fn fingerprint_query(&self, query: &Trajectory) -> Vec<u32> {
+        self.fingerprinter
+            .normalize_and_fingerprint(query)
+            .ordered()
+            .to_vec()
+    }
+
+    /// Sub-trajectory search: fingerprints the query and returns the
+    /// trajectories containing its fingerprint sequence.
+    ///
+    /// Tries the exact consecutive phrase first; when noise breaks exact
+    /// adjacency, falls back to conjunctive (all terms, any positions) and
+    /// finally to disjunctive matching ranked by shared-term count. The
+    /// returned flag says which level matched.
+    pub fn search_subtrajectory(&self, query: &Trajectory) -> (MatchLevel, Vec<TrajId>) {
+        let phrase = self.fingerprint_query(query);
+        if phrase.is_empty() {
+            return (MatchLevel::None, Vec::new());
+        }
+        let exact = self.query_phrase(&phrase);
+        if !exact.is_empty() {
+            return (
+                MatchLevel::Phrase,
+                exact.into_iter().map(|(id, _)| id).collect(),
+            );
+        }
+        let all = self.query_and(&phrase);
+        if !all.is_empty() {
+            return (MatchLevel::AllTerms, all);
+        }
+        let any = self.query_or(&phrase);
+        if any.is_empty() {
+            (MatchLevel::None, Vec::new())
+        } else {
+            (
+                MatchLevel::AnyTerm,
+                any.into_iter().map(|(id, _)| id).collect(),
+            )
+        }
+    }
+}
+
+/// How strictly a sub-trajectory query matched (see
+/// [`PositionalIndex::search_subtrajectory`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchLevel {
+    /// The full fingerprint sequence appeared consecutively.
+    Phrase,
+    /// All fingerprints appeared, not necessarily adjacent.
+    AllTerms,
+    /// At least one fingerprint appeared.
+    AnyTerm,
+    /// Nothing matched (or the query was too short to fingerprint).
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+
+    fn start() -> Point {
+        Point::new(51.5074, -0.1278).unwrap()
+    }
+
+    /// Clean eastward cell path (one point per 95 m cell transit).
+    fn cell_path(offset_cells: usize, moves: usize) -> Trajectory {
+        (0..=moves)
+            .map(|i| start().destination(90.0, (offset_cells + i) as f64 * 95.0))
+            .collect()
+    }
+
+    /// Indexes three trajectories: two overlapping eastward paths and one
+    /// far away.
+    fn sample() -> (PositionalIndex, TrajId, TrajId, TrajId) {
+        let mut idx = PositionalIndex::new(GeodabConfig::default());
+        let (a, b, c) = (TrajId::new(0), TrajId::new(1), TrajId::new(2));
+        idx.insert(a, &cell_path(0, 60));
+        idx.insert(b, &cell_path(20, 60));
+        idx.insert(c, &{
+            let far = start().destination(0.0, 50_000.0);
+            (0..=60)
+                .map(|i| far.destination(90.0, i as f64 * 95.0))
+                .collect()
+        });
+        (idx, a, b, c)
+    }
+
+    #[test]
+    fn insert_and_counts() {
+        let (idx, ..) = sample();
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+        assert!(idx.term_count() > 0);
+        assert!(idx.sequence(TrajId::new(0)).is_some());
+        assert!(idx.sequence(TrajId::new(9)).is_none());
+    }
+
+    #[test]
+    fn and_query_requires_all_terms() {
+        let (idx, a, b, _c) = sample();
+        let seq_a = idx.sequence(a).unwrap().to_vec();
+        // All of a's terms: only a matches.
+        assert_eq!(idx.query_and(&seq_a), vec![a]);
+        // A shared term: both overlapping trajectories match.
+        let seq_b = idx.sequence(b).unwrap();
+        let shared: Vec<u32> = seq_a
+            .iter()
+            .copied()
+            .filter(|t| seq_b.contains(t))
+            .take(1)
+            .collect();
+        assert!(!shared.is_empty(), "overlap must share a fingerprint");
+        let hits = idx.query_and(&shared);
+        assert!(hits.contains(&a) && hits.contains(&b));
+        // Unknown term matches nothing.
+        assert!(idx.query_and(&[0xDEAD_BEEF]).is_empty());
+        assert!(idx.query_and(&[]).is_empty());
+    }
+
+    #[test]
+    fn or_query_ranks_by_match_count() {
+        let (idx, a, _b, c) = sample();
+        let seq_a = idx.sequence(a).unwrap().to_vec();
+        let hits = idx.query_or(&seq_a);
+        assert_eq!(hits[0].0, a, "a matches all of its own terms");
+        assert_eq!(hits[0].1, {
+            let mut d = seq_a.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        });
+        // The far-away trajectory shares nothing.
+        assert!(hits.iter().all(|&(id, _)| id != c));
+        // Counts are non-increasing.
+        assert!(hits.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn phrase_query_finds_consecutive_runs() {
+        let (idx, a, _b, _c) = sample();
+        let seq_a = idx.sequence(a).unwrap().to_vec();
+        assert!(seq_a.len() >= 4);
+        let phrase = &seq_a[1..4];
+        let hits = idx.query_phrase(phrase);
+        let (id, starts) = hits
+            .iter()
+            .find(|(id, _)| *id == a)
+            .expect("a contains its own phrase");
+        assert_eq!(*id, a);
+        assert!(starts.contains(&1));
+    }
+
+    #[test]
+    fn phrase_query_rejects_non_consecutive() {
+        let (idx, a, ..) = sample();
+        let seq_a = idx.sequence(a).unwrap().to_vec();
+        assert!(seq_a.len() >= 4);
+        // Skip one term: the phrase is no longer consecutive.
+        let gapped = vec![seq_a[0], seq_a[2], seq_a[3]];
+        let hits = idx.query_phrase(&gapped);
+        assert!(
+            hits.iter().all(|(id, _)| *id != a) || seq_a[0] == seq_a[1],
+            "gapped phrase must not match (unless terms repeat)"
+        );
+        assert!(idx.query_phrase(&[]).is_empty());
+    }
+
+    #[test]
+    fn shared_stretch_is_phrase_searchable_across_trajectories() {
+        let (idx, a, b, _c) = sample();
+        // Find a shared run of 2 consecutive terms between a and b.
+        let seq_a = idx.sequence(a).unwrap().to_vec();
+        let seq_b = idx.sequence(b).unwrap().to_vec();
+        let shared_run = seq_a
+            .windows(2)
+            .find(|w| seq_b.windows(2).any(|v| v == *w));
+        if let Some(run) = shared_run {
+            let hits = idx.query_phrase(run);
+            let ids: Vec<TrajId> = hits.iter().map(|(id, _)| *id).collect();
+            assert!(ids.contains(&a) && ids.contains(&b));
+        }
+    }
+
+    #[test]
+    fn subtrajectory_search_finds_containing_paths() {
+        let (idx, a, _b, _c) = sample();
+        // A sub-path of trajectory a, long enough to fingerprint.
+        let sub = cell_path(10, 30);
+        let (level, hits) = idx.search_subtrajectory(&sub);
+        assert_ne!(level, MatchLevel::None);
+        assert!(hits.contains(&a), "level {level:?}, hits {hits:?}");
+    }
+
+    #[test]
+    fn subtrajectory_search_degrades_gracefully() {
+        let (idx, ..) = sample();
+        // A far-away path shares nothing at any level.
+        let far = {
+            let q = start().destination(180.0, 80_000.0);
+            (0..=30)
+                .map(|i| q.destination(90.0, i as f64 * 95.0))
+                .collect()
+        };
+        let (level, hits) = idx.search_subtrajectory(&far);
+        assert_eq!(level, MatchLevel::None);
+        assert!(hits.is_empty());
+        // A too-short query cannot fingerprint.
+        let (level, hits) = idx.search_subtrajectory(&cell_path(0, 2));
+        assert_eq!(level, MatchLevel::None);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_old_postings() {
+        let mut idx = PositionalIndex::new(GeodabConfig::default());
+        let id = TrajId::new(7);
+        idx.insert(id, &cell_path(0, 40));
+        let old_seq = idx.sequence(id).unwrap().to_vec();
+        idx.insert(id, &cell_path(100, 40));
+        assert_eq!(idx.len(), 1);
+        // Old terms no longer retrieve the trajectory.
+        let hits = idx.query_and(&old_seq[..1]);
+        assert!(hits.is_empty(), "stale postings survived reinsertion");
+    }
+
+    #[test]
+    fn fingerprint_query_matches_insert_pipeline() {
+        let (idx, a, ..) = sample();
+        let q = idx.fingerprint_query(&cell_path(0, 60));
+        assert_eq!(q.as_slice(), idx.sequence(a).unwrap());
+    }
+}

@@ -1,0 +1,236 @@
+//! Compact binary persistence for [`GeodabIndex`].
+//!
+//! The on-disk format stores the configuration plus, per trajectory, its
+//! ordered fingerprint sequence; posting lists and roaring bitmaps are
+//! rebuilt on load (they are derived data). Layout, all little-endian:
+//!
+//! ```text
+//! magic   b"GDAB"                     4 bytes
+//! version u16                         2 bytes
+//! config  depth u8, prefix u8, k u32, t u32
+//! count   u64                         number of trajectories
+//! entry*  id u32, len u32, geodab u32 * len
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use geodabs::{Fingerprints, GeodabConfig, GeodabError};
+use geodabs_traj::TrajId;
+use std::error::Error;
+use std::fmt;
+
+use crate::GeodabIndex;
+
+const MAGIC: &[u8; 4] = b"GDAB";
+const VERSION: u16 = 1;
+
+/// Errors decoding a serialized index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The input does not start with the `GDAB` magic.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The input ended in the middle of a record.
+    Truncated,
+    /// The stored configuration fails validation.
+    InvalidConfig(GeodabError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "input is not a geodab index (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported geodab index format version {v}")
+            }
+            CodecError::Truncated => write!(f, "truncated geodab index data"),
+            CodecError::InvalidConfig(e) => write!(f, "invalid stored configuration: {e}"),
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::InvalidConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes the index to its compact binary form.
+pub fn encode(index: &GeodabIndex) -> Bytes {
+    let cfg = index.config();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(cfg.normalization_depth());
+    buf.put_u8(cfg.prefix_bits());
+    buf.put_u32_le(cfg.k() as u32);
+    buf.put_u32_le(cfg.t() as u32);
+    // Deterministic output: sort by id.
+    let mut entries: Vec<(TrajId, &Fingerprints)> = index.iter_fingerprints().collect();
+    entries.sort_by_key(|&(id, _)| id);
+    buf.put_u64_le(entries.len() as u64);
+    for (id, fp) in entries {
+        buf.put_u32_le(id.raw());
+        buf.put_u32_le(fp.ordered().len() as u32);
+        for &g in fp.ordered() {
+            buf.put_u32_le(g);
+        }
+    }
+    buf.freeze()
+}
+
+/// Reconstructs an index from its binary form.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input; the index is rebuilt
+/// (postings and bitmaps re-derived), so a successful decode is always
+/// internally consistent.
+pub fn decode(mut data: &[u8]) -> Result<GeodabIndex, CodecError> {
+    if data.remaining() < 4 || &data[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    data.advance(4);
+    if data.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    if data.remaining() < 1 + 1 + 4 + 4 + 8 {
+        return Err(CodecError::Truncated);
+    }
+    let depth = data.get_u8();
+    let prefix = data.get_u8();
+    let k = data.get_u32_le() as usize;
+    let t = data.get_u32_le() as usize;
+    let config = GeodabConfig::new(depth, k, t, prefix).map_err(CodecError::InvalidConfig)?;
+    let count = data.get_u64_le();
+    let mut index = GeodabIndex::new(config);
+    for _ in 0..count {
+        if data.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let id = TrajId::new(data.get_u32_le());
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < len * 4 {
+            return Err(CodecError::Truncated);
+        }
+        let mut ordered = Vec::with_capacity(len);
+        for _ in 0..len {
+            ordered.push(data.get_u32_le());
+        }
+        index.insert_fingerprints(id, Fingerprints::from_ordered(ordered));
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SearchOptions, TrajectoryIndex};
+    use geodabs_geo::Point;
+    use geodabs_traj::Trajectory;
+
+    fn sample_index() -> GeodabIndex {
+        let start = Point::new(51.5074, -0.1278).unwrap();
+        let path = |offset: f64| -> Trajectory {
+            (0..200)
+                .map(|i| start.destination(90.0, offset + i as f64 * 14.0))
+                .collect()
+        };
+        let mut idx = GeodabIndex::new(GeodabConfig::default());
+        idx.insert(TrajId::new(0), &path(0.0));
+        idx.insert(TrajId::new(1), &path(0.0).reversed());
+        idx.insert(TrajId::new(5), &path(10_000.0));
+        idx
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = sample_index();
+        let bytes = encode(&original);
+        let decoded = decode(&bytes).expect("roundtrip");
+        assert_eq!(decoded.len(), original.len());
+        assert_eq!(decoded.term_count(), original.term_count());
+        assert_eq!(*decoded.config(), *original.config());
+        for (id, fp) in original.iter_fingerprints() {
+            assert_eq!(decoded.fingerprints(id), Some(fp));
+        }
+    }
+
+    #[test]
+    fn decoded_index_answers_queries_identically() {
+        let original = sample_index();
+        let decoded = decode(&encode(&original)).expect("roundtrip");
+        let start = Point::new(51.5074, -0.1278).unwrap();
+        let query: Trajectory = (0..200)
+            .map(|i| start.destination(90.0, i as f64 * 14.0))
+            .collect();
+        assert_eq!(
+            original.search(&query, &SearchOptions::default()),
+            decoded.search(&query, &SearchOptions::default())
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let idx = sample_index();
+        assert_eq!(encode(&idx), encode(&idx));
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let idx = GeodabIndex::new(GeodabConfig::default());
+        let decoded = decode(&encode(&idx)).expect("roundtrip");
+        assert_eq!(decoded.len(), 0);
+        assert_eq!(decoded.term_count(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(decode(b"NOPE").err(), Some(CodecError::BadMagic));
+        assert_eq!(decode(b"").err(), Some(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode(&sample_index()).to_vec();
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        assert_eq!(decode(&bytes).err(), Some(CodecError::UnsupportedVersion(0xFFFF)));
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let bytes = encode(&sample_index());
+        for cut in [5usize, 7, 10, 15, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).expect_err("must fail");
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_config_is_rejected() {
+        let mut bytes = encode(&sample_index()).to_vec();
+        bytes[6] = 0; // normalization depth 0
+        assert!(matches!(
+            decode(&bytes).err(),
+            Some(CodecError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn codec_error_display() {
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+        assert!(CodecError::UnsupportedVersion(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,329 @@
+//! Retrieval-effectiveness measures: precision, recall, PR curves, ROC
+//! curves and AUC (Sections V-C and VI-D of the paper; Figures 8, 12, 13).
+//!
+//! All functions take a *ranked* result list (best first) and the set of
+//! relevant ids. ROC/AUC additionally need the corpus size, since true
+//! negatives are everything never retrieved.
+
+use geodabs_traj::TrajId;
+use std::collections::HashSet;
+
+use crate::SearchResult;
+
+/// A point of a precision/recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Fraction of relevant items retrieved so far.
+    pub recall: f64,
+    /// Fraction of retrieved items that are relevant so far.
+    pub precision: f64,
+}
+
+/// A point of a receiver-operating-characteristic curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// `1 − specificity = fp / (fp + tn)`.
+    pub false_positive_rate: f64,
+    /// Sensitivity (= recall) `tp / (tp + fn)`.
+    pub true_positive_rate: f64,
+}
+
+/// Extracts the ranked ids of a result list.
+pub fn ranked_ids(results: &[SearchResult]) -> Vec<TrajId> {
+    results.iter().map(|r| r.id).collect()
+}
+
+/// Precision at cutoff `k` (`P@k`). Returns 1.0 for `k == 0`.
+pub fn precision_at(ranked: &[TrajId], relevant: &HashSet<TrajId>, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let k = k.min(ranked.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let tp = ranked[..k].iter().filter(|id| relevant.contains(id)).count();
+    tp as f64 / k as f64
+}
+
+/// Recall at cutoff `k` (`R@k`). Returns 1.0 if there is nothing relevant.
+pub fn recall_at(ranked: &[TrajId], relevant: &HashSet<TrajId>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let k = k.min(ranked.len());
+    let tp = ranked[..k].iter().filter(|id| relevant.contains(id)).count();
+    tp as f64 / relevant.len() as f64
+}
+
+/// The precision/recall curve: one point per rank prefix `1..=n`.
+pub fn pr_curve(ranked: &[TrajId], relevant: &HashSet<TrajId>) -> Vec<PrPoint> {
+    let mut out = Vec::with_capacity(ranked.len());
+    let mut tp = 0usize;
+    for (i, id) in ranked.iter().enumerate() {
+        if relevant.contains(id) {
+            tp += 1;
+        }
+        out.push(PrPoint {
+            recall: if relevant.is_empty() {
+                1.0
+            } else {
+                tp as f64 / relevant.len() as f64
+            },
+            precision: tp as f64 / (i + 1) as f64,
+        });
+    }
+    out
+}
+
+/// Averages several PR curves onto a fixed recall grid (11-point
+/// interpolated average, the standard way to aggregate per-query curves
+/// into one plot like Figures 8 and 12).
+///
+/// Interpolated precision at recall `r` is the max precision at any
+/// recall ≥ `r` (zero when the query never reaches `r`).
+pub fn average_pr_curve(curves: &[Vec<PrPoint>], grid_points: usize) -> Vec<PrPoint> {
+    assert!(grid_points >= 2, "need at least two grid points");
+    let mut out = Vec::with_capacity(grid_points);
+    for g in 0..grid_points {
+        let r = g as f64 / (grid_points - 1) as f64;
+        let mut sum = 0.0;
+        for curve in curves {
+            let p = curve
+                .iter()
+                .filter(|pt| pt.recall >= r - 1e-12)
+                .map(|pt| pt.precision)
+                .fold(0.0f64, f64::max);
+            sum += p;
+        }
+        out.push(PrPoint {
+            recall: r,
+            precision: if curves.is_empty() {
+                0.0
+            } else {
+                sum / curves.len() as f64
+            },
+        });
+    }
+    out
+}
+
+/// The ROC curve over the ranked list: one point per rank prefix, plus the
+/// origin. Items never retrieved count as negatives-at-rest, so the curve
+/// ends at `(fp_seen / negatives, recall_reached)` rather than (1, 1) when
+/// the ranked list does not exhaust the corpus.
+pub fn roc_curve(
+    ranked: &[TrajId],
+    relevant: &HashSet<TrajId>,
+    corpus_size: usize,
+) -> Vec<RocPoint> {
+    let negatives = corpus_size.saturating_sub(relevant.len());
+    let mut out = Vec::with_capacity(ranked.len() + 1);
+    out.push(RocPoint {
+        false_positive_rate: 0.0,
+        true_positive_rate: 0.0,
+    });
+    let (mut tp, mut fp) = (0usize, 0usize);
+    for id in ranked {
+        if relevant.contains(id) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        out.push(RocPoint {
+            false_positive_rate: if negatives == 0 {
+                0.0
+            } else {
+                fp as f64 / negatives as f64
+            },
+            true_positive_rate: if relevant.is_empty() {
+                1.0
+            } else {
+                tp as f64 / relevant.len() as f64
+            },
+        });
+    }
+    out
+}
+
+/// Area under the ROC curve, equal to the probability that a random
+/// relevant item ranks above a random irrelevant one (Mann–Whitney).
+///
+/// Items missing from the ranked list are treated as tied at the bottom:
+/// a retrieved relevant beats every unretrieved irrelevant, and
+/// unretrieved relevant/irrelevant pairs contribute ½.
+pub fn auc(ranked: &[TrajId], relevant: &HashSet<TrajId>, corpus_size: usize) -> f64 {
+    let rel_total = relevant.len();
+    let irr_total = corpus_size.saturating_sub(rel_total);
+    if rel_total == 0 || irr_total == 0 {
+        return 1.0;
+    }
+    let ranked_set: HashSet<TrajId> = ranked.iter().copied().collect();
+    let rel_in_list = ranked.iter().filter(|id| relevant.contains(id)).count();
+    let irr_in_list = ranked.len() - rel_in_list;
+    debug_assert_eq!(ranked_set.len(), ranked.len(), "ranked list must be unique");
+    let rel_out = rel_total - rel_in_list;
+    let irr_out = irr_total - irr_in_list;
+    // Pairs won by relevant items inside the list.
+    let mut wins = 0.0f64;
+    let mut irr_seen = 0usize;
+    for id in ranked {
+        if relevant.contains(id) {
+            let irr_after_in_list = irr_in_list - irr_seen;
+            wins += (irr_after_in_list + irr_out) as f64;
+        } else {
+            irr_seen += 1;
+        }
+    }
+    // Unretrieved relevant vs unretrieved irrelevant: ties.
+    wins += 0.5 * rel_out as f64 * irr_out as f64;
+    wins / (rel_total as f64 * irr_total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<TrajId> {
+        v.iter().map(|&i| TrajId::new(i)).collect()
+    }
+
+    fn rel(v: &[u32]) -> HashSet<TrajId> {
+        v.iter().map(|&i| TrajId::new(i)).collect()
+    }
+
+    #[test]
+    fn precision_and_recall_at_k() {
+        let ranked = ids(&[1, 9, 2, 8]);
+        let relevant = rel(&[1, 2, 3]);
+        assert_eq!(precision_at(&ranked, &relevant, 1), 1.0);
+        assert_eq!(precision_at(&ranked, &relevant, 2), 0.5);
+        assert!((precision_at(&ranked, &relevant, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at(&ranked, &relevant, 1), 1.0 / 3.0);
+        assert_eq!(recall_at(&ranked, &relevant, 4), 2.0 / 3.0);
+        // k beyond the list clamps.
+        assert_eq!(recall_at(&ranked, &relevant, 100), 2.0 / 3.0);
+        assert_eq!(precision_at(&ranked, &relevant, 0), 1.0);
+    }
+
+    #[test]
+    fn pr_curve_perfect_ranking() {
+        let ranked = ids(&[1, 2, 9, 8]);
+        let relevant = rel(&[1, 2]);
+        let curve = pr_curve(&ranked, &relevant);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0], PrPoint { recall: 0.5, precision: 1.0 });
+        assert_eq!(curve[1], PrPoint { recall: 1.0, precision: 1.0 });
+        assert_eq!(curve[3].precision, 0.5);
+        assert_eq!(curve[3].recall, 1.0);
+    }
+
+    #[test]
+    fn pr_curve_interleaved_directions_plateaus_at_half() {
+        // The geohash failure mode of Figure 12: relevant and irrelevant
+        // alternate perfectly, so precision hovers at 0.5.
+        let ranked = ids(&[1, 11, 2, 12, 3, 13, 4, 14]);
+        let relevant = rel(&[1, 2, 3, 4]);
+        let curve = pr_curve(&ranked, &relevant);
+        let last = curve.last().unwrap();
+        assert_eq!(last.recall, 1.0);
+        assert_eq!(last.precision, 0.5);
+    }
+
+    #[test]
+    fn average_pr_curve_grid_and_interpolation() {
+        let a = pr_curve(&ids(&[1, 9]), &rel(&[1]));
+        let b = pr_curve(&ids(&[9, 1]), &rel(&[1]));
+        let avg = average_pr_curve(&[a, b], 11);
+        assert_eq!(avg.len(), 11);
+        assert_eq!(avg[0].recall, 0.0);
+        assert_eq!(avg[10].recall, 1.0);
+        // Query a has interpolated precision 1.0 at recall 1, query b 0.5.
+        assert!((avg[10].precision - 0.75).abs() < 1e-12);
+        // Monotone recall grid.
+        assert!(avg.windows(2).all(|w| w[0].recall < w[1].recall));
+    }
+
+    #[test]
+    fn average_pr_curve_empty_input() {
+        let avg = average_pr_curve(&[], 5);
+        assert_eq!(avg.len(), 5);
+        assert!(avg.iter().all(|p| p.precision == 0.0));
+    }
+
+    #[test]
+    fn roc_curve_monotone_and_anchored() {
+        let ranked = ids(&[1, 9, 2, 8]);
+        let relevant = rel(&[1, 2]);
+        let roc = roc_curve(&ranked, &relevant, 10);
+        assert_eq!(roc[0].false_positive_rate, 0.0);
+        assert_eq!(roc[0].true_positive_rate, 0.0);
+        assert!(roc.windows(2).all(|w| {
+            w[0].false_positive_rate <= w[1].false_positive_rate
+                && w[0].true_positive_rate <= w[1].true_positive_rate
+        }));
+        let last = roc.last().unwrap();
+        assert_eq!(last.true_positive_rate, 1.0);
+        assert!((last.false_positive_rate - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let relevant = rel(&[1, 2]);
+        // Perfect: both relevant retrieved first, corpus of 10.
+        assert_eq!(auc(&ids(&[1, 2]), &relevant, 10), 1.0);
+        // Anti-perfect: the 8 irrelevant all retrieved before.
+        let mut bad: Vec<u32> = (10..18).collect();
+        bad.extend([1, 2]);
+        assert_eq!(auc(&ids(&bad), &relevant, 10), 0.0);
+    }
+
+    #[test]
+    fn auc_unretrieved_ties_are_half() {
+        // Nothing retrieved: AUC must be 0.5 (pure chance).
+        let relevant = rel(&[1, 2]);
+        assert_eq!(auc(&[], &relevant, 10), 0.5);
+    }
+
+    #[test]
+    fn auc_partial_retrieval() {
+        // One relevant retrieved first, one relevant never retrieved,
+        // corpus 4 (2 relevant + 2 irrelevant), nothing else retrieved.
+        let relevant = rel(&[1, 2]);
+        let a = auc(&ids(&[1]), &relevant, 4);
+        // Pairs: (1 beats both irrelevants) = 2 wins; (2 ties both) = 1.
+        // AUC = (2 + 1) / 4 = 0.75.
+        assert!((a - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_cases() {
+        assert_eq!(auc(&ids(&[1]), &rel(&[]), 10), 1.0);
+        assert_eq!(auc(&ids(&[1]), &rel(&[1]), 1), 1.0);
+    }
+
+    #[test]
+    fn auc_matches_roc_trapezoid_when_list_is_complete() {
+        // When the ranked list covers the whole corpus, the Mann–Whitney
+        // AUC equals the trapezoidal area under the ROC curve.
+        let ranked = ids(&[1, 9, 2, 8, 3, 7]);
+        let relevant = rel(&[1, 2, 3]);
+        let roc = roc_curve(&ranked, &relevant, 6);
+        let mut area = 0.0;
+        for w in roc.windows(2) {
+            let dx = w[1].false_positive_rate - w[0].false_positive_rate;
+            area += dx * (w[0].true_positive_rate + w[1].true_positive_rate) / 2.0;
+        }
+        let a = auc(&ranked, &relevant, 6);
+        assert!((a - area).abs() < 1e-12, "{a} vs {area}");
+    }
+
+    #[test]
+    fn ranked_ids_extracts_in_order() {
+        let results = vec![
+            SearchResult { id: TrajId::new(3), distance: 0.1 },
+            SearchResult { id: TrajId::new(1), distance: 0.2 },
+        ];
+        assert_eq!(ranked_ids(&results), ids(&[3, 1]));
+    }
+}

@@ -1,0 +1,271 @@
+use geodabs::{Fingerprinter, Fingerprints, GeodabConfig};
+use geodabs_traj::{Normalizer, TrajId, Trajectory};
+use std::collections::{HashMap, HashSet};
+
+use crate::result::finalize;
+use crate::{SearchOptions, SearchResult, TrajectoryIndex};
+
+/// The paper's inverted index: terms are geodab fingerprints, posting
+/// lists hold trajectory ids, and every indexed trajectory keeps its
+/// fingerprint set as a roaring bitmap for fast Jaccard ranking
+/// (Section IV-A).
+#[derive(Debug, Clone)]
+pub struct GeodabIndex {
+    fingerprinter: Fingerprinter,
+    postings: HashMap<u32, Vec<TrajId>>,
+    fingerprints: HashMap<TrajId, Fingerprints>,
+}
+
+impl GeodabIndex {
+    /// Creates an empty index with the given fingerprinting configuration.
+    pub fn new(config: GeodabConfig) -> GeodabIndex {
+        GeodabIndex {
+            fingerprinter: Fingerprinter::new(config),
+            postings: HashMap::new(),
+            fingerprints: HashMap::new(),
+        }
+    }
+
+    /// The fingerprinting configuration in use.
+    pub fn config(&self) -> &GeodabConfig {
+        self.fingerprinter.config()
+    }
+
+    /// Number of distinct terms (geodabs) in the dictionary.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The stored fingerprints of an indexed trajectory.
+    pub fn fingerprints(&self, id: TrajId) -> Option<&Fingerprints> {
+        self.fingerprints.get(&id)
+    }
+
+    /// Fingerprints a query trajectory with the index's pipeline
+    /// (normalization + winnowing), e.g. for motif discovery against
+    /// stored trajectories.
+    pub fn fingerprint_query(&self, query: &Trajectory) -> Fingerprints {
+        self.fingerprinter.normalize_and_fingerprint(query)
+    }
+
+    /// Distinct ids of trajectories sharing at least one fingerprint with
+    /// `query_fp` — the candidate set before ranking.
+    pub fn candidates(&self, query_fp: &Fingerprints) -> Vec<TrajId> {
+        let mut seen: HashSet<TrajId> = HashSet::new();
+        for term in query_fp.set().iter() {
+            if let Some(list) = self.postings.get(&term) {
+                seen.extend(list.iter().copied());
+            }
+        }
+        let mut v: Vec<TrajId> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Indexes a trajectory normalized by the caller-provided normalizer
+    /// instead of the default geohash grid — e.g. a
+    /// [`geodabs_traj::MapMatchNormalizer`] for the paper's Section V-B
+    /// pipeline. Queries against such an index must use
+    /// [`GeodabIndex::search_with_normalizer`] with the same normalizer.
+    pub fn insert_with_normalizer<N: Normalizer + ?Sized>(
+        &mut self,
+        normalizer: &N,
+        id: TrajId,
+        trajectory: &Trajectory,
+    ) {
+        let fp = self.fingerprinter.fingerprint_with(normalizer, trajectory);
+        self.insert_fingerprints(id, fp);
+    }
+
+    /// Ranked retrieval with a caller-provided normalizer; see
+    /// [`GeodabIndex::insert_with_normalizer`].
+    pub fn search_with_normalizer<N: Normalizer + ?Sized>(
+        &self,
+        normalizer: &N,
+        query: &Trajectory,
+        options: &SearchOptions,
+    ) -> Vec<SearchResult> {
+        let fp = self.fingerprinter.fingerprint_with(normalizer, query);
+        self.search_fingerprints(&fp, options)
+    }
+
+    /// Indexes pre-computed fingerprints under the given id, bypassing
+    /// normalization and winnowing. Used by the binary codec on load and
+    /// useful whenever fingerprints are computed elsewhere (e.g. on the
+    /// client, as the sharding layer does).
+    pub fn insert_fingerprints(&mut self, id: TrajId, fp: Fingerprints) {
+        for term in fp.set().iter() {
+            let list = self.postings.entry(term).or_default();
+            if list.last() != Some(&id) && !list.contains(&id) {
+                list.push(id);
+            }
+        }
+        self.fingerprints.insert(id, fp);
+    }
+
+    /// Iterates over `(id, fingerprints)` of every indexed trajectory in
+    /// unspecified order.
+    pub fn iter_fingerprints(&self) -> impl Iterator<Item = (TrajId, &Fingerprints)> {
+        self.fingerprints.iter().map(|(&id, fp)| (id, fp))
+    }
+
+    /// Ranked retrieval starting from pre-computed query fingerprints.
+    pub fn search_fingerprints(
+        &self,
+        query_fp: &Fingerprints,
+        options: &SearchOptions,
+    ) -> Vec<SearchResult> {
+        let hits = self
+            .candidates(query_fp)
+            .into_iter()
+            .map(|id| SearchResult {
+                id,
+                distance: query_fp.jaccard_distance(&self.fingerprints[&id]),
+            })
+            .collect();
+        finalize(hits, options)
+    }
+}
+
+impl TrajectoryIndex for GeodabIndex {
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        let fp = self.fingerprinter.normalize_and_fingerprint(trajectory);
+        for term in fp.set().iter() {
+            let list = self.postings.entry(term).or_default();
+            // Ids are typically inserted in ascending order; keep the list
+            // deduplicated regardless.
+            if list.last() != Some(&id) && !list.contains(&id) {
+                list.push(id);
+            }
+        }
+        self.fingerprints.insert(id, fp);
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        self.search_fingerprints(&self.fingerprint_query(query), options)
+    }
+
+    fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+
+    fn start() -> Point {
+        Point::new(51.5074, -0.1278).unwrap()
+    }
+
+    fn eastward(n: usize, offset_m: f64) -> Trajectory {
+        (0..n)
+            .map(|i| start().destination(90.0, offset_m + i as f64 * 90.0))
+            .collect()
+    }
+
+    fn jittered(t: &Trajectory, bearing: f64, meters: f64) -> Trajectory {
+        t.iter().map(|p| p.destination(bearing, meters)).collect()
+    }
+
+    fn sample_index() -> GeodabIndex {
+        let mut idx = GeodabIndex::new(GeodabConfig::default());
+        idx.insert(TrajId::new(0), &eastward(40, 0.0)); // the target
+        idx.insert(TrajId::new(1), &eastward(40, 0.0).reversed()); // return path
+        idx.insert(TrajId::new(2), &eastward(40, 20_000.0)); // elsewhere
+        idx.insert(TrajId::new(3), &jittered(&eastward(40, 0.0), 200.0, 9.0)); // sibling
+        idx
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let idx = sample_index();
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+        assert!(idx.term_count() > 0);
+        assert!(idx.fingerprints(TrajId::new(0)).is_some());
+        assert!(idx.fingerprints(TrajId::new(9)).is_none());
+    }
+
+    #[test]
+    fn search_ranks_same_direction_first() {
+        let idx = sample_index();
+        let query = jittered(&eastward(40, 0.0), 45.0, 7.0);
+        let hits = idx.search(&query, &SearchOptions::default());
+        assert!(!hits.is_empty());
+        // Forward twin and sibling before anything else; reverse and
+        // far-away trajectories must not precede them.
+        assert!(hits[0].id == TrajId::new(0) || hits[0].id == TrajId::new(3));
+        assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn far_away_trajectory_is_not_a_candidate() {
+        let idx = sample_index();
+        let query = eastward(40, 0.0);
+        let candidates = idx.candidates(&idx.fingerprint_query(&query));
+        assert!(!candidates.contains(&TrajId::new(2)));
+    }
+
+    #[test]
+    fn reverse_direction_scores_far() {
+        let idx = sample_index();
+        let hits = idx.search(&eastward(40, 0.0), &SearchOptions::default());
+        let reverse = hits.iter().find(|h| h.id == TrajId::new(1));
+        if let Some(r) = reverse {
+            assert!(r.distance > 0.9, "reverse at {}", r.distance);
+        }
+        // Either way, the forward twin is ranked strictly better.
+        assert_eq!(hits[0].id, TrajId::new(0));
+        assert!(hits[0].distance < 0.1);
+    }
+
+    #[test]
+    fn threshold_and_limit_apply() {
+        let idx = sample_index();
+        let query = eastward(40, 0.0);
+        let all = idx.search(&query, &SearchOptions::default());
+        let tight = idx.search(&query, &SearchOptions::with_max_distance(0.2));
+        assert!(tight.len() <= all.len());
+        assert!(tight.iter().all(|h| h.distance <= 0.2));
+        let limited = idx.search(&query, &SearchOptions::with_limit(1));
+        assert_eq!(limited.len(), 1);
+        assert_eq!(limited[0].id, all[0].id);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = GeodabIndex::new(GeodabConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx
+            .search(&eastward(40, 0.0), &SearchOptions::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn short_query_produces_no_candidates() {
+        let idx = sample_index();
+        let hits = idx.search(&eastward(3, 0.0), &SearchOptions::default());
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn reinserting_same_id_does_not_duplicate_postings() {
+        let mut idx = GeodabIndex::new(GeodabConfig::default());
+        let t = eastward(40, 0.0);
+        idx.insert(TrajId::new(0), &t);
+        idx.insert(TrajId::new(0), &t);
+        assert_eq!(idx.len(), 1);
+        let hits = idx.search(&t, &SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn exact_duplicate_has_zero_distance() {
+        let idx = sample_index();
+        let hits = idx.search(&eastward(40, 0.0), &SearchOptions::default());
+        assert_eq!(hits[0].id, TrajId::new(0));
+        assert_eq!(hits[0].distance, 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+use geodabs_geo::{BoundingBox, Geohash, MAX_DEPTH};
+use geodabs_traj::{TrajId, Trajectory};
+use std::collections::{HashMap, HashSet};
+
+use crate::result::finalize;
+use crate::{SearchOptions, SearchResult, TrajectoryIndex};
+
+/// The baseline index of Section VI-D: terms are plain geohash cells of
+/// the trajectory's points (as in landmark search engines), ranked by
+/// Jaccard distance over cell *sets*.
+///
+/// Because a set of cells carries no ordering, this index cannot
+/// distinguish a trajectory from its return path — the cause of the
+/// 0.5-precision plateau in Figure 12 — and it discriminates overlapping
+/// trajectories poorly, which Figure 14 shows as query time growing with
+/// dataset density.
+#[derive(Debug, Clone)]
+pub struct GeohashIndex {
+    depth: u8,
+    postings: HashMap<u64, Vec<TrajId>>,
+    cells: HashMap<TrajId, Vec<u64>>,
+}
+
+impl GeohashIndex {
+    /// Creates an empty index over cells of `depth` bits (the paper's
+    /// comparison uses the same 36-bit depth as geodab normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or above 64.
+    pub fn new(depth: u8) -> GeohashIndex {
+        assert!(
+            (1..=MAX_DEPTH).contains(&depth),
+            "cell depth must be in 1..=64"
+        );
+        GeohashIndex {
+            depth,
+            postings: HashMap::new(),
+            cells: HashMap::new(),
+        }
+    }
+
+    /// The cell depth in bits.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Number of distinct cells in the dictionary.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The distinct, sorted cell set of a trajectory at this index depth.
+    pub fn cell_set(&self, trajectory: &Trajectory) -> Vec<u64> {
+        let mut cells: Vec<u64> = trajectory
+            .iter()
+            .map(|p| {
+                Geohash::encode(p, self.depth)
+                    .expect("depth validated at construction")
+                    .bits()
+            })
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Region query: distinct ids of trajectories touching any cell
+    /// intersecting the box, sorted. This is the classic "bounding
+    /// interval" query of spatial indexes (Section I of the paper) — note
+    /// how coarse it is compared to fingerprint ranking: it cannot order
+    /// the results by similarity to anything.
+    pub fn search_region(&self, bbox: &BoundingBox) -> Vec<TrajId> {
+        let cells: Vec<u64> = Geohash::cover_bbox(bbox, self.depth)
+            .expect("index depth is valid")
+            .into_iter()
+            .map(|c| c.bits())
+            .collect();
+        self.candidates(&cells)
+    }
+
+    /// Distinct ids of trajectories sharing at least one cell with the
+    /// query cell set.
+    pub fn candidates(&self, query_cells: &[u64]) -> Vec<TrajId> {
+        let mut seen: HashSet<TrajId> = HashSet::new();
+        for cell in query_cells {
+            if let Some(list) = self.postings.get(cell) {
+                seen.extend(list.iter().copied());
+            }
+        }
+        let mut v: Vec<TrajId> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Jaccard distance between two sorted, deduplicated cell slices.
+fn jaccard_distance_sorted(a: &[u64], b: &[u64]) -> f64 {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - inter as f64 / union as f64
+    }
+}
+
+impl TrajectoryIndex for GeohashIndex {
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        let cells = self.cell_set(trajectory);
+        for &cell in &cells {
+            let list = self.postings.entry(cell).or_default();
+            if list.last() != Some(&id) && !list.contains(&id) {
+                list.push(id);
+            }
+        }
+        self.cells.insert(id, cells);
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        let query_cells = self.cell_set(query);
+        let hits = self
+            .candidates(&query_cells)
+            .into_iter()
+            .map(|id| SearchResult {
+                id,
+                distance: jaccard_distance_sorted(&query_cells, &self.cells[&id]),
+            })
+            .collect();
+        finalize(hits, options)
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+
+    fn start() -> Point {
+        Point::new(51.5074, -0.1278).unwrap()
+    }
+
+    fn eastward(n: usize, offset_m: f64) -> Trajectory {
+        (0..n)
+            .map(|i| start().destination(90.0, offset_m + i as f64 * 90.0))
+            .collect()
+    }
+
+    #[test]
+    fn cell_set_is_sorted_and_deduplicated() {
+        let idx = GeohashIndex::new(36);
+        let t = eastward(40, 0.0);
+        let cells = idx.cell_set(&t);
+        assert!(!cells.is_empty());
+        assert!(cells.windows(2).all(|w| w[0] < w[1]));
+        assert!(cells.len() <= t.len());
+    }
+
+    #[test]
+    fn cannot_discriminate_direction() {
+        // The defining weakness: a trajectory and its reverse have the
+        // same cell set, hence distance zero.
+        let mut idx = GeohashIndex::new(36);
+        let t = eastward(40, 0.0);
+        idx.insert(TrajId::new(0), &t);
+        idx.insert(TrajId::new(1), &t.reversed());
+        let hits = idx.search(&t, &SearchOptions::default());
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].distance, hits[1].distance);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn still_separates_disjoint_regions() {
+        let mut idx = GeohashIndex::new(36);
+        idx.insert(TrajId::new(0), &eastward(40, 0.0));
+        idx.insert(TrajId::new(1), &eastward(40, 20_000.0));
+        let hits = idx.search(&eastward(40, 0.0), &SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, TrajId::new(0));
+    }
+
+    #[test]
+    fn options_apply() {
+        let mut idx = GeohashIndex::new(36);
+        for i in 0..5u32 {
+            idx.insert(TrajId::new(i), &eastward(40, i as f64 * 200.0));
+        }
+        let all = idx.search(&eastward(40, 0.0), &SearchOptions::default());
+        assert!(all.len() > 1, "overlapping offsets should all be candidates");
+        let one = idx.search(&eastward(40, 0.0), &SearchOptions::with_limit(1));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].id, all[0].id);
+        let tight = idx.search(&eastward(40, 0.0), &SearchOptions::with_max_distance(0.1));
+        assert!(tight.iter().all(|h| h.distance <= 0.1));
+    }
+
+    #[test]
+    fn region_query_finds_crossing_trajectories() {
+        use geodabs_geo::BoundingBox;
+        let mut idx = GeohashIndex::new(36);
+        let near = eastward(40, 0.0);
+        let far = eastward(40, 50_000.0);
+        idx.insert(TrajId::new(0), &near);
+        idx.insert(TrajId::new(1), &far);
+        // A box around the start of the near trajectory.
+        let bb = BoundingBox::around(start(), 1_000.0, 1_000.0);
+        let hits = idx.search_region(&bb);
+        assert_eq!(hits, vec![TrajId::new(0)]);
+        // A box in the middle of nowhere finds nothing.
+        let empty = BoundingBox::around(start().destination(180.0, 30_000.0), 500.0, 500.0);
+        assert!(idx.search_region(&empty).is_empty());
+        // A box covering everything finds both.
+        let big = BoundingBox::around(start().destination(90.0, 25_000.0), 120_000.0, 20_000.0);
+        assert_eq!(idx.search_region(&big).len(), 2);
+    }
+
+    #[test]
+    fn depth_accessor_and_validation() {
+        assert_eq!(GeohashIndex::new(36).depth(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_depth_panics() {
+        let _ = GeohashIndex::new(0);
+    }
+
+    #[test]
+    fn empty_index_is_empty() {
+        let idx = GeohashIndex::new(36);
+        assert!(idx.is_empty());
+        assert_eq!(idx.term_count(), 0);
+        assert!(idx
+            .search(&eastward(10, 0.0), &SearchOptions::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn jaccard_distance_sorted_known_values() {
+        assert_eq!(jaccard_distance_sorted(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard_distance_sorted(&[], &[]), 0.0);
+        assert_eq!(jaccard_distance_sorted(&[1], &[2]), 1.0);
+        assert_eq!(jaccard_distance_sorted(&[1, 2], &[1, 2]), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+use geodabs_traj::TrajId;
+
+/// One ranked retrieval hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// The matching trajectory.
+    pub id: TrajId,
+    /// Its distance to the query (Jaccard distance over term sets, in
+    /// `[0, 1]`); smaller is more similar.
+    pub distance: f64,
+}
+
+/// Parameters of a ranked search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchOptions {
+    /// The `Δmax` of the paper's problem statement: results farther than
+    /// this are dropped. The default (1.0) keeps every candidate that
+    /// shares at least one term with the query.
+    pub max_distance: f64,
+    /// Keep at most this many results (`None` = unbounded).
+    pub limit: Option<usize>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> SearchOptions {
+        SearchOptions {
+            max_distance: 1.0,
+            limit: None,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Options with a distance threshold.
+    pub fn with_max_distance(max_distance: f64) -> SearchOptions {
+        SearchOptions {
+            max_distance,
+            ..SearchOptions::default()
+        }
+    }
+
+    /// Options with a result-count cap.
+    pub fn with_limit(limit: usize) -> SearchOptions {
+        SearchOptions {
+            limit: Some(limit),
+            ..SearchOptions::default()
+        }
+    }
+}
+
+/// Sorts hits by ascending distance, breaking ties by id, then applies the
+/// threshold and limit. Shared by all index implementations so ordering
+/// semantics stay identical.
+pub(crate) fn finalize(mut hits: Vec<SearchResult>, options: &SearchOptions) -> Vec<SearchResult> {
+    hits.retain(|h| h.distance <= options.max_distance);
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    if let Some(limit) = options.limit {
+        hits.truncate(limit);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(id: u32, d: f64) -> SearchResult {
+        SearchResult {
+            id: TrajId::new(id),
+            distance: d,
+        }
+    }
+
+    #[test]
+    fn finalize_sorts_by_distance_then_id() {
+        let out = finalize(
+            vec![hit(3, 0.5), hit(1, 0.2), hit(2, 0.2)],
+            &SearchOptions::default(),
+        );
+        assert_eq!(
+            out.iter().map(|h| h.id.raw()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn finalize_applies_threshold_and_limit() {
+        let hits = vec![hit(1, 0.1), hit(2, 0.9), hit(3, 0.3)];
+        let out = finalize(hits.clone(), &SearchOptions::with_max_distance(0.5));
+        assert_eq!(out.len(), 2);
+        let out = finalize(hits, &SearchOptions::with_limit(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.raw(), 1);
+    }
+
+    #[test]
+    fn default_options_keep_everything() {
+        let o = SearchOptions::default();
+        assert_eq!(o.max_distance, 1.0);
+        assert!(o.limit.is_none());
+    }
+}

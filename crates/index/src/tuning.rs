@@ -1,0 +1,254 @@
+//! Hill-climbing configuration search (the paper's stated future work).
+//!
+//! "Automating the discovery of the appropriate parameters is a difficult
+//! task, because the number of possible combinations is very large and
+//! each configuration requires building and querying an index. A
+//! hill-climbing strategy could probably be used to address this problem,
+//! and this might be part of our future work." (Section VI-A2)
+//!
+//! [`hill_climb`] implements that strategy: starting from a seed
+//! [`GeodabConfig`], it greedily moves to the best-scoring neighbor in
+//! the (normalization depth, k, t) space, where the score of a
+//! configuration is the mean R-precision of a geodab index built with it
+//! over a labelled sample of queries.
+
+use geodabs::GeodabConfig;
+use geodabs_traj::{TrajId, Trajectory};
+use std::collections::{HashMap, HashSet};
+
+use crate::eval::{precision_at, ranked_ids};
+use crate::{GeodabIndex, SearchOptions, TrajectoryIndex};
+
+/// A labelled tuning sample: a corpus plus queries with ground truth.
+#[derive(Debug, Clone)]
+pub struct TuningSample {
+    corpus: Vec<(TrajId, Trajectory)>,
+    queries: Vec<(Trajectory, HashSet<TrajId>)>,
+}
+
+impl TuningSample {
+    /// Builds a sample from a corpus and labelled queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus or the query set is empty.
+    pub fn new(
+        corpus: Vec<(TrajId, Trajectory)>,
+        queries: Vec<(Trajectory, HashSet<TrajId>)>,
+    ) -> TuningSample {
+        assert!(!corpus.is_empty(), "tuning needs a non-empty corpus");
+        assert!(!queries.is_empty(), "tuning needs labelled queries");
+        TuningSample { corpus, queries }
+    }
+
+    /// Mean R-precision of a geodab index built with `config` over the
+    /// sample — the objective function of the search.
+    pub fn score(&self, config: GeodabConfig) -> f64 {
+        let mut index = GeodabIndex::new(config);
+        for (id, t) in &self.corpus {
+            index.insert(*id, t);
+        }
+        let mut total = 0.0;
+        for (query, relevant) in &self.queries {
+            let hits = index.search(query, &SearchOptions::default());
+            total += precision_at(&ranked_ids(&hits), relevant, relevant.len());
+        }
+        total / self.queries.len() as f64
+    }
+}
+
+/// The outcome of a hill-climbing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningResult {
+    /// The best configuration found.
+    pub config: GeodabConfig,
+    /// Its score (mean R-precision over the sample).
+    pub score: f64,
+    /// Number of configurations evaluated (index builds).
+    pub evaluations: usize,
+    /// The `(config, score)` trace of accepted moves, starting with the
+    /// seed.
+    pub trace: Vec<(GeodabConfig, f64)>,
+}
+
+/// Greedy hill climbing from `start`: at each step, evaluate all valid
+/// neighbors (depth ± 2 bits, k ± 1, t ± 2) and move to the best if it
+/// improves the score, stopping at a local optimum or after `max_steps`
+/// moves. Evaluations are memoized, so the cost is bounded by the number
+/// of *distinct* configurations visited.
+pub fn hill_climb(sample: &TuningSample, start: GeodabConfig, max_steps: usize) -> TuningResult {
+    let mut cache: HashMap<(u8, usize, usize, u8), f64> = HashMap::new();
+    let mut evaluations = 0usize;
+    let mut eval = |cfg: GeodabConfig, evals: &mut usize| -> f64 {
+        let key = (cfg.normalization_depth(), cfg.k(), cfg.t(), cfg.prefix_bits());
+        if let Some(&s) = cache.get(&key) {
+            return s;
+        }
+        *evals += 1;
+        let s = sample.score(cfg);
+        cache.insert(key, s);
+        s
+    };
+
+    let mut current = start;
+    let mut current_score = eval(current, &mut evaluations);
+    let mut trace = vec![(current, current_score)];
+    for _ in 0..max_steps {
+        let mut best_neighbor: Option<(GeodabConfig, f64)> = None;
+        for neighbor in neighbors(&current) {
+            let s = eval(neighbor, &mut evaluations);
+            if best_neighbor.map(|(_, bs)| s > bs).unwrap_or(true) {
+                best_neighbor = Some((neighbor, s));
+            }
+        }
+        match best_neighbor {
+            Some((cfg, s)) if s > current_score => {
+                current = cfg;
+                current_score = s;
+                trace.push((cfg, s));
+            }
+            _ => break, // local optimum
+        }
+    }
+    TuningResult {
+        config: current,
+        score: current_score,
+        evaluations,
+        trace,
+    }
+}
+
+/// The valid one-step moves in (depth, k, t) space. The prefix width is
+/// held fixed: it is a sharding-geometry decision, not a quality knob
+/// (see the `ablation_prefix_width` bench).
+fn neighbors(cfg: &GeodabConfig) -> Vec<GeodabConfig> {
+    let mut out = Vec::new();
+    let depth = cfg.normalization_depth();
+    let (k, t) = (cfg.k(), cfg.t());
+    let candidates = [
+        (depth.saturating_sub(2), k, t),
+        (depth.saturating_add(2), k, t),
+        (depth, k.saturating_sub(1), t),
+        (depth, k + 1, t),
+        (depth, k, t.saturating_sub(2)),
+        (depth, k, t + 2),
+    ];
+    for (d, nk, nt) in candidates {
+        if !(20..=48).contains(&d) {
+            continue;
+        }
+        if let Ok(c) = GeodabConfig::new(d, nk, nt, cfg.prefix_bits()) {
+            if c != *cfg {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_geo::Point;
+
+    fn start_point() -> Point {
+        Point::new(51.5074, -0.1278).unwrap()
+    }
+
+    /// Dense eastward path with deterministic zigzag noise.
+    fn noisy_path(offset_m: f64, phase: u64, n: usize) -> Trajectory {
+        (0..n)
+            .map(|i| {
+                let base = start_point().destination(90.0, offset_m + i as f64 * 14.0);
+                let lateral = if (i as u64 + phase).is_multiple_of(2) { 12.0 } else { -12.0 };
+                base.destination(0.0, lateral)
+            })
+            .collect()
+    }
+
+    fn sample() -> TuningSample {
+        // 4 routes x 3 siblings; queries labelled with their siblings.
+        let mut corpus = Vec::new();
+        let mut queries = Vec::new();
+        for route in 0..4u32 {
+            let offset = route as f64 * 3_000.0;
+            let mut relevant = HashSet::new();
+            for sib in 0..3u32 {
+                let id = TrajId::new(route * 3 + sib);
+                corpus.push((id, noisy_path(offset, u64::from(sib), 250)));
+                relevant.insert(id);
+            }
+            queries.push((noisy_path(offset, 7, 250), relevant));
+        }
+        TuningSample::new(corpus, queries)
+    }
+
+    #[test]
+    fn score_is_high_for_the_default_config() {
+        let s = sample();
+        let score = s.score(GeodabConfig::default());
+        assert!(score > 0.7, "default config scores {score:.2}");
+    }
+
+    #[test]
+    fn hill_climb_never_degrades_the_seed() {
+        let s = sample();
+        let seed = GeodabConfig::default();
+        let seed_score = s.score(seed);
+        let result = hill_climb(&s, seed, 4);
+        assert!(result.score >= seed_score);
+        assert_eq!(result.trace.first().map(|&(c, _)| c), Some(seed));
+        assert_eq!(result.trace.last().map(|&(c, _)| c), Some(result.config));
+        // The trace is strictly improving after the seed.
+        assert!(result.trace.windows(2).all(|w| w[1].1 > w[0].1));
+    }
+
+    #[test]
+    fn hill_climb_recovers_from_a_bad_seed() {
+        let s = sample();
+        // 48-bit normalization is far too deep for 20 m-scale noise.
+        let bad = GeodabConfig::default().with_normalization_depth(48).unwrap();
+        let bad_score = s.score(bad);
+        let result = hill_climb(&s, bad, 10);
+        assert!(
+            result.score > bad_score,
+            "no improvement from {bad_score:.2}"
+        );
+        assert!(
+            result.config.normalization_depth() < 48,
+            "climb should shallow the grid, got {}",
+            result.config.normalization_depth()
+        );
+    }
+
+    #[test]
+    fn evaluations_are_memoized() {
+        let s = sample();
+        let result = hill_climb(&s, GeodabConfig::default(), 3);
+        // At most seed + 6 neighbors per accepted step, without repeats.
+        assert!(
+            result.evaluations <= 1 + 6 * (result.trace.len() + 1),
+            "{} evaluations for {} moves",
+            result.evaluations,
+            result.trace.len()
+        );
+    }
+
+    #[test]
+    fn neighbors_respect_validity() {
+        for cfg in neighbors(&GeodabConfig::default()) {
+            assert!(cfg.k() >= 2);
+            assert!(cfg.t() >= cfg.k());
+            assert!((20..=48).contains(&cfg.normalization_depth()));
+        }
+        // k cannot drop below 2.
+        let tight = GeodabConfig::new(36, 2, 2, 16).unwrap();
+        assert!(neighbors(&tight).iter().all(|c| c.k() >= 2 && c.t() >= c.k()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty corpus")]
+    fn empty_corpus_panics() {
+        let _ = TuningSample::new(vec![], vec![(Trajectory::default(), HashSet::new())]);
+    }
+}

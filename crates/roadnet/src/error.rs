@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by road-network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadNetError {
+    /// A node id does not belong to the network it was used with.
+    UnknownNode(NodeId),
+    /// No path connects the requested endpoints.
+    NoPath(NodeId, NodeId),
+    /// The operation needs a non-empty network.
+    EmptyNetwork,
+    /// Map matching found no candidate road node near a trajectory point.
+    NoCandidates {
+        /// Index of the unmatched point in the input trajectory.
+        point_index: usize,
+    },
+    /// Map matching was given an empty trajectory.
+    EmptyTrajectory,
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownNode(n) => write!(f, "node {n} does not exist in this network"),
+            RoadNetError::NoPath(a, b) => write!(f, "no path from node {a} to node {b}"),
+            RoadNetError::EmptyNetwork => write!(f, "operation requires a non-empty road network"),
+            RoadNetError::NoCandidates { point_index } => write!(
+                f,
+                "no road node within the matching radius of trajectory point {point_index}"
+            ),
+            RoadNetError::EmptyTrajectory => write!(f, "map matching requires at least one point"),
+        }
+    }
+}
+
+impl Error for RoadNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RoadNetError>();
+    }
+
+    #[test]
+    fn messages_mention_the_relevant_ids() {
+        let msg = RoadNetError::NoPath(NodeId::new(3), NodeId::new(9)).to_string();
+        assert!(msg.contains('3') && msg.contains('9'), "{msg}");
+        let msg = RoadNetError::NoCandidates { point_index: 17 }.to_string();
+        assert!(msg.contains("17"), "{msg}");
+    }
+}

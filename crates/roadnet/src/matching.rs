@@ -1,0 +1,304 @@
+//! Hidden-Markov-model map matching (Newson & Krumm, the paper's ref [22]).
+//!
+//! Map matching is the heavier of the two normalization methods of
+//! Section V: each noisy trajectory point is associated with candidate road
+//! nodes within a radius, and the Viterbi algorithm selects the most
+//! probable node sequence, trading emission likelihood (GPS noise) against
+//! transition likelihood (detour length), as in Goh et al. (ref [12]).
+
+use geodabs_geo::Point;
+use std::collections::HashMap;
+
+use crate::router::distances_within;
+use crate::{NodeId, RoadNetError, RoadNetwork, SpatialIndex};
+
+/// Tuning parameters of the HMM matcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchConfig {
+    /// Candidate search radius around each trajectory point, in meters.
+    pub radius_m: f64,
+    /// Standard deviation of the GPS noise model (emission), in meters.
+    /// The paper's dataset adds 20 m of Gaussian noise.
+    pub sigma_m: f64,
+    /// Scale of the transition model: penalizes the absolute difference
+    /// between network distance and great-circle distance, in meters.
+    pub beta_m: f64,
+    /// Transition search cutoff as a multiple of the great-circle distance
+    /// between consecutive points (plus one radius of slack).
+    pub max_route_factor: f64,
+    /// Keep at most this many candidates per point (closest first).
+    pub max_candidates: usize,
+}
+
+impl Default for MatchConfig {
+    fn default() -> MatchConfig {
+        MatchConfig {
+            radius_m: 120.0,
+            sigma_m: 20.0,
+            beta_m: 60.0,
+            max_route_factor: 4.0,
+            max_candidates: 6,
+        }
+    }
+}
+
+/// Matches a point sequence onto the road network, returning the most
+/// probable node path with consecutive duplicates removed.
+///
+/// Points with no candidate node within the radius are skipped; if a layer
+/// is unreachable from the previous one within the cutoff, the chain is
+/// restarted there (the standard practical treatment of HMM breaks).
+///
+/// # Errors
+///
+/// * [`RoadNetError::EmptyTrajectory`] if `points` is empty.
+/// * [`RoadNetError::NoCandidates`] if *no* point has any candidate.
+pub fn map_match(
+    net: &RoadNetwork,
+    index: &SpatialIndex,
+    points: &[Point],
+    cfg: &MatchConfig,
+) -> Result<Vec<NodeId>, RoadNetError> {
+    if points.is_empty() {
+        return Err(RoadNetError::EmptyTrajectory);
+    }
+    // Build candidate layers; remember the original point of each layer.
+    let mut layers: Vec<(Point, Vec<(NodeId, f64)>)> = Vec::new();
+    for &p in points {
+        let mut cands = index.within(p, cfg.radius_m);
+        cands.truncate(cfg.max_candidates);
+        if !cands.is_empty() {
+            layers.push((p, cands));
+        }
+    }
+    if layers.is_empty() {
+        return Err(RoadNetError::NoCandidates { point_index: 0 });
+    }
+
+    // Viterbi. score[i][k] = best log-prob ending at candidate k of layer i.
+    let emission = |d: f64| -(d * d) / (2.0 * cfg.sigma_m * cfg.sigma_m);
+    let mut scores: Vec<Vec<f64>> = Vec::with_capacity(layers.len());
+    let mut back: Vec<Vec<Option<usize>>> = Vec::with_capacity(layers.len());
+    scores.push(layers[0].1.iter().map(|&(_, d)| emission(d)).collect());
+    back.push(vec![None; layers[0].1.len()]);
+
+    for i in 1..layers.len() {
+        let (prev_point, prev_cands) = &layers[i - 1];
+        let (cur_point, cur_cands) = &layers[i];
+        let gc = prev_point.haversine_distance(*cur_point);
+        let cutoff = gc * cfg.max_route_factor + 2.0 * cfg.radius_m;
+        // Network distances from every previous candidate.
+        let mut reach: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(prev_cands.len());
+        for &(u, _) in prev_cands.iter() {
+            let dists = distances_within(net, u, cutoff)?;
+            reach.push(dists.into_iter().collect());
+        }
+        let mut layer_scores = vec![f64::NEG_INFINITY; cur_cands.len()];
+        let mut layer_back: Vec<Option<usize>> = vec![None; cur_cands.len()];
+        for (k, &(v, emit_d)) in cur_cands.iter().enumerate() {
+            let e = emission(emit_d);
+            for (j, reach_j) in reach.iter().enumerate() {
+                if let Some(&route_d) = reach_j.get(&v) {
+                    let t = -(route_d - gc).abs() / cfg.beta_m;
+                    let s = scores[i - 1][j] + t + e;
+                    if s > layer_scores[k] {
+                        layer_scores[k] = s;
+                        layer_back[k] = Some(j);
+                    }
+                }
+            }
+        }
+        if layer_scores.iter().all(|s| s.is_infinite()) {
+            // HMM break: restart the chain at this layer.
+            for (k, &(_, emit_d)) in cur_cands.iter().enumerate() {
+                layer_scores[k] = emission(emit_d);
+                layer_back[k] = None;
+            }
+        }
+        scores.push(layer_scores);
+        back.push(layer_back);
+    }
+
+    // Backtrack from the best final candidate, following back-pointers and
+    // jumping over chain restarts (None back-pointer mid-sequence simply
+    // continues with the best candidate of the previous layer).
+    let mut path_rev: Vec<NodeId> = Vec::with_capacity(layers.len());
+    let mut layer = layers.len() - 1;
+    let mut k = best_index(&scores[layer]);
+    loop {
+        path_rev.push(layers[layer].1[k].0);
+        match back[layer][k] {
+            Some(j) => {
+                layer -= 1;
+                k = j;
+            }
+            None => {
+                if layer == 0 {
+                    break;
+                }
+                layer -= 1;
+                k = best_index(&scores[layer]);
+            }
+        }
+    }
+    path_rev.reverse();
+    path_rev.dedup();
+    Ok(path_rev)
+}
+
+fn best_index(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("layers are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_network, GridConfig};
+    use crate::router::shortest_path;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (RoadNetwork, SpatialIndex) {
+        let net = grid_network(&GridConfig::default(), 42);
+        let idx = SpatialIndex::build(&net, 300.0);
+        (net, idx)
+    }
+
+    /// Samples points along a route every `step_m` meters with uniform
+    /// noise of up to `noise_m` meters.
+    fn sample_route(
+        net: &RoadNetwork,
+        nodes: &[NodeId],
+        step_m: f64,
+        noise_m: f64,
+        seed: u64,
+    ) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for w in nodes.windows(2) {
+            let a = net.point(w[0]).unwrap();
+            let b = net.point(w[1]).unwrap();
+            let len = a.haversine_distance(b);
+            let steps = (len / step_m).ceil() as usize;
+            for s in 0..steps {
+                let p = a.lerp(b, s as f64 / steps as f64);
+                let angle = rng.random_range(0.0..360.0);
+                let d = rng.random_range(0.0..=noise_m);
+                out.push(p.destination(angle, d));
+            }
+        }
+        out.push(net.point(*nodes.last().unwrap()).unwrap());
+        out
+    }
+
+    #[test]
+    fn empty_trajectory_errors() {
+        let (net, idx) = setup();
+        assert_eq!(
+            map_match(&net, &idx, &[], &MatchConfig::default()),
+            Err(RoadNetError::EmptyTrajectory)
+        );
+    }
+
+    #[test]
+    fn far_away_points_have_no_candidates() {
+        let (net, idx) = setup();
+        let sahara = Point::new(23.0, 13.0).unwrap();
+        let err = map_match(&net, &idx, &[sahara], &MatchConfig::default());
+        assert_eq!(err, Err(RoadNetError::NoCandidates { point_index: 0 }));
+    }
+
+    #[test]
+    fn noiseless_points_on_nodes_match_exactly() {
+        let (net, idx) = setup();
+        let from = net.node_ids().next().unwrap();
+        let to = net.node_ids().nth(150).unwrap();
+        let route = shortest_path(&net, from, to).unwrap();
+        let points: Vec<Point> = route.points().to_vec();
+        let matched = map_match(&net, &idx, &points, &MatchConfig::default()).unwrap();
+        assert_eq!(matched, route.nodes());
+    }
+
+    #[test]
+    fn noisy_samples_recover_most_of_the_route() {
+        let (net, idx) = setup();
+        let from = net.node_ids().next().unwrap();
+        let to = net.node_ids().nth(210).unwrap();
+        let route = shortest_path(&net, from, to).unwrap();
+        let points = sample_route(&net, route.nodes(), 60.0, 20.0, 7);
+        let matched = map_match(&net, &idx, &points, &MatchConfig::default()).unwrap();
+        // The matched path must hit a large fraction of the true nodes, in
+        // order.
+        let mut hits = 0usize;
+        let mut it = matched.iter();
+        for want in route.nodes() {
+            if it.any(|got| got == want) {
+                hits += 1;
+            } else {
+                // restart the scan for the remaining wants
+                it = matched.iter();
+            }
+        }
+        let frac = hits as f64 / route.nodes().len() as f64;
+        assert!(frac >= 0.7, "recovered only {frac:.2} of the route");
+    }
+
+    #[test]
+    fn matched_path_has_no_consecutive_duplicates() {
+        let (net, idx) = setup();
+        let from = net.node_ids().next().unwrap();
+        let to = net.node_ids().nth(50).unwrap();
+        let route = shortest_path(&net, from, to).unwrap();
+        // Oversample heavily so that several samples map to the same node.
+        let points = sample_route(&net, route.nodes(), 15.0, 5.0, 3);
+        let matched = map_match(&net, &idx, &points, &MatchConfig::default()).unwrap();
+        assert!(matched.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn two_similar_noisy_trajectories_converge() {
+        // The whole purpose of normalization (Section V): two noisy
+        // samplings of the same route must normalize to highly overlapping
+        // node sequences.
+        let (net, idx) = setup();
+        let from = net.node_ids().nth(3).unwrap();
+        let to = net.node_ids().nth(333).unwrap();
+        let route = shortest_path(&net, from, to).unwrap();
+        let cfg = MatchConfig::default();
+        let a = map_match(&net, &idx, &sample_route(&net, route.nodes(), 50.0, 20.0, 1), &cfg)
+            .unwrap();
+        let b = map_match(&net, &idx, &sample_route(&net, route.nodes(), 70.0, 20.0, 2), &cfg)
+            .unwrap();
+        let sa: std::collections::HashSet<_> = a.iter().collect();
+        let sb: std::collections::HashSet<_> = b.iter().collect();
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        assert!(inter / union > 0.6, "jaccard {}", inter / union);
+    }
+
+    #[test]
+    fn chain_restart_handles_teleports() {
+        // A trajectory that jumps across the network (broken GPS) should
+        // still match both segments rather than fail.
+        let (net, idx) = setup();
+        let r1 = shortest_path(
+            &net,
+            net.node_ids().next().unwrap(),
+            net.node_ids().nth(21).unwrap(),
+        )
+        .unwrap();
+        let far_a = net.node_ids().nth(350).unwrap();
+        let far_b = net.node_ids().nth(399).unwrap();
+        let r2 = shortest_path(&net, far_a, far_b).unwrap();
+        let mut points: Vec<Point> = r1.points().to_vec();
+        points.extend_from_slice(r2.points());
+        let matched = map_match(&net, &idx, &points, &MatchConfig::default()).unwrap();
+        assert!(matched.contains(&net.node_ids().next().unwrap()));
+        assert!(matched.contains(&far_b));
+    }
+}

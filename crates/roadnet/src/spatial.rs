@@ -1,0 +1,281 @@
+use geodabs_geo::Point;
+
+use crate::{NodeId, RoadNetwork};
+
+/// A uniform-grid spatial index over the nodes of a [`RoadNetwork`].
+///
+/// Supports the two queries map matching and route generation need:
+/// nearest node to a point, and all nodes within a radius. Cells are sized
+/// in degrees from a target cell edge in meters at the network's latitude.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    cell_deg: f64,
+    min_lat: f64,
+    min_lon: f64,
+    cols: usize,
+    rows: usize,
+    /// `cells[row * cols + col]` holds the nodes in that cell.
+    cells: Vec<Vec<NodeId>>,
+    points: Vec<Point>,
+}
+
+/// Roughly one degree of latitude in meters.
+const METERS_PER_DEGREE: f64 = 111_195.0;
+
+impl SpatialIndex {
+    /// Builds an index over every node of the network with the given cell
+    /// edge length (meters). A cell edge around 200–500 m works well for
+    /// city-scale networks.
+    ///
+    /// Returns an index with a single empty cell for an empty network.
+    pub fn build(network: &RoadNetwork, cell_meters: f64) -> SpatialIndex {
+        assert!(cell_meters > 0.0, "cell size must be positive");
+        let points: Vec<Point> = network.node_points().collect();
+        let cell_deg = cell_meters / METERS_PER_DEGREE;
+        let (min_lat, min_lon, max_lat, max_lon) = match network.bounds() {
+            Ok(bb) => (bb.min_lat(), bb.min_lon(), bb.max_lat(), bb.max_lon()),
+            Err(_) => (0.0, 0.0, 0.0, 0.0),
+        };
+        let cols = (((max_lon - min_lon) / cell_deg).floor() as usize + 1).max(1);
+        let rows = (((max_lat - min_lat) / cell_deg).floor() as usize + 1).max(1);
+        let mut cells = vec![Vec::new(); cols * rows];
+        for (i, p) in points.iter().enumerate() {
+            let col = (((p.lon() - min_lon) / cell_deg) as usize).min(cols - 1);
+            let row = (((p.lat() - min_lat) / cell_deg) as usize).min(rows - 1);
+            cells[row * cols + col].push(NodeId::new(i as u32));
+        }
+        SpatialIndex {
+            cell_deg,
+            min_lat,
+            min_lon,
+            cols,
+            rows,
+            cells,
+            points,
+        }
+    }
+
+    /// The node closest to `query`, or `None` for an empty network.
+    pub fn nearest(&self, query: Point) -> Option<NodeId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // Expand rings of cells around the query until a candidate is
+        // found, then keep expanding until the ring distance provably
+        // exceeds the best candidate distance (cells are anisotropic in
+        // meters, so the bound uses the smaller of the two cell extents).
+        let (qrow, qcol) = self.cell_of(query);
+        let cos_lat = query.lat().to_radians().cos().max(0.01);
+        let min_cell_extent_m = self.cell_deg * METERS_PER_DEGREE * cos_lat;
+        let mut best: Option<(NodeId, f64)> = None;
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            if let Some((_, bd)) = best {
+                // A cell at Chebyshev ring `r` is at least `(r - 1) *
+                // min_cell_extent_m` meters away from the query.
+                if (ring as f64 - 1.0) * min_cell_extent_m > bd {
+                    break;
+                }
+            }
+            for (row, col) in self.ring_cells(qrow, qcol, ring) {
+                for &node in &self.cells[row * self.cols + col] {
+                    let d = query.haversine_distance(self.points[node.index()]);
+                    if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                        best = Some((node, d));
+                    }
+                }
+            }
+        }
+        best.map(|(n, _)| n)
+    }
+
+    /// All nodes within `radius_m` meters of `query`, sorted by distance.
+    pub fn within(&self, query: Point, radius_m: f64) -> Vec<(NodeId, f64)> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let (qrow, qcol) = self.cell_of(query);
+        // One degree of longitude shrinks by cos(latitude); widen the column
+        // window accordingly so border nodes are not missed.
+        let cos_lat = query.lat().to_radians().cos().max(0.01);
+        let row_span = (radius_m / METERS_PER_DEGREE / self.cell_deg).ceil() as usize + 1;
+        let col_span =
+            (radius_m / (METERS_PER_DEGREE * cos_lat) / self.cell_deg).ceil() as usize + 1;
+        let mut out = Vec::new();
+        let row_lo = qrow.saturating_sub(row_span);
+        let row_hi = (qrow + row_span).min(self.rows - 1);
+        let col_lo = qcol.saturating_sub(col_span);
+        let col_hi = (qcol + col_span).min(self.cols - 1);
+        for row in row_lo..=row_hi {
+            for col in col_lo..=col_hi {
+                for &node in &self.cells[row * self.cols + col] {
+                    let d = query.haversine_distance(self.points[node.index()]);
+                    if d <= radius_m {
+                        out.push((node, d));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let col = ((p.lon() - self.min_lon) / self.cell_deg).max(0.0) as usize;
+        let row = ((p.lat() - self.min_lat) / self.cell_deg).max(0.0) as usize;
+        (row.min(self.rows - 1), col.min(self.cols - 1))
+    }
+
+    /// The cells at Chebyshev distance `ring` from `(qrow, qcol)`, clipped
+    /// to the grid.
+    fn ring_cells(
+        &self,
+        qrow: usize,
+        qcol: usize,
+        ring: usize,
+    ) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let rows = self.rows as isize;
+        let cols = self.cols as isize;
+        let (qr, qc) = (qrow as isize, qcol as isize);
+        let r = ring as isize;
+        let candidates: Vec<(isize, isize)> = if ring == 0 {
+            vec![(qr, qc)]
+        } else {
+            let mut v = Vec::with_capacity(8 * ring);
+            for dc in -r..=r {
+                v.push((qr - r, qc + dc));
+                v.push((qr + r, qc + dc));
+            }
+            for dr in (-r + 1)..r {
+                v.push((qr + dr, qc - r));
+                v.push((qr + dr, qc + r));
+            }
+            v
+        };
+        candidates
+            .into_iter()
+            .filter(move |&(row, col)| row >= 0 && row < rows && col >= 0 && col < cols)
+            .map(|(row, col)| (row as usize, col as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    fn small_net() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                net.add_node(p(51.0 + i as f64 * 0.01, 0.0 + j as f64 * 0.01));
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn nearest_on_empty_network_is_none() {
+        let idx = SpatialIndex::build(&RoadNetwork::new(), 300.0);
+        assert!(idx.nearest(p(0.0, 0.0)).is_none());
+        assert!(idx.within(p(0.0, 0.0), 1_000.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_exact_node() {
+        let net = small_net();
+        let idx = SpatialIndex::build(&net, 300.0);
+        for node in net.node_ids() {
+            let q = net.point(node).unwrap();
+            assert_eq!(idx.nearest(q), Some(node));
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let net = small_net();
+        let idx = SpatialIndex::build(&net, 300.0);
+        let queries = [p(51.004, 0.004), p(51.05, 0.05), p(50.9, -0.1), p(51.2, 0.2)];
+        for q in queries {
+            let expected = net
+                .node_ids()
+                .min_by(|&a, &b| {
+                    q.haversine_distance(net.point(a).unwrap())
+                        .total_cmp(&q.haversine_distance(net.point(b).unwrap()))
+                })
+                .unwrap();
+            let got = idx.nearest(q).unwrap();
+            let de = q.haversine_distance(net.point(expected).unwrap());
+            let dg = q.haversine_distance(net.point(got).unwrap());
+            assert!((de - dg).abs() < 1e-9, "query {q}: {de} vs {dg}");
+        }
+    }
+
+    #[test]
+    fn within_radius_is_complete_and_sorted() {
+        let net = small_net();
+        let idx = SpatialIndex::build(&net, 300.0);
+        let q = p(51.045, 0.045);
+        let radius = 2_000.0;
+        let got = idx.within(q, radius);
+        let expected: usize = net
+            .node_ids()
+            .filter(|&n| q.haversine_distance(net.point(n).unwrap()) <= radius)
+            .count();
+        assert_eq!(got.len(), expected);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        for (n, d) in &got {
+            assert!((q.haversine_distance(net.point(*n).unwrap()) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn within_zero_radius_only_exact() {
+        let net = small_net();
+        let idx = SpatialIndex::build(&net, 300.0);
+        let q = net.point(NodeId::new(0)).unwrap();
+        let got = idx.within(q, 0.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, NodeId::new(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nearest_agrees_with_scan(
+            qlat in 50.9f64..51.2, qlon in -0.1f64..0.2, cell in 100.0f64..2_000.0
+        ) {
+            let net = small_net();
+            let idx = SpatialIndex::build(&net, cell);
+            let q = p(qlat, qlon);
+            let got = idx.nearest(q).unwrap();
+            let best = net
+                .node_ids()
+                .map(|n| q.haversine_distance(net.point(n).unwrap()))
+                .fold(f64::INFINITY, f64::min);
+            let dg = q.haversine_distance(net.point(got).unwrap());
+            prop_assert!((dg - best).abs() < 1e-9, "got {dg}, best {best}");
+        }
+
+        #[test]
+        fn prop_within_matches_scan(
+            qlat in 50.9f64..51.2, qlon in -0.1f64..0.2, radius in 10.0f64..5_000.0
+        ) {
+            let net = small_net();
+            let idx = SpatialIndex::build(&net, 400.0);
+            let q = p(qlat, qlon);
+            let got: Vec<_> = idx.within(q, radius).into_iter().map(|(n, _)| n).collect();
+            let mut expected: Vec<_> = net
+                .node_ids()
+                .filter(|&n| q.haversine_distance(net.point(n).unwrap()) <= radius)
+                .collect();
+            let mut got_sorted = got.clone();
+            got_sorted.sort();
+            expected.sort();
+            prop_assert_eq!(got_sorted, expected);
+        }
+    }
+}

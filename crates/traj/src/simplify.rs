@@ -1,0 +1,241 @@
+//! Trajectory simplification (Ramer–Douglas–Peucker).
+//!
+//! An extension beyond the paper: RDP is the standard way to shrink
+//! trajectories before storage or transmission while bounding the
+//! geometric error. It composes with the normalization pipeline — a
+//! simplified trajectory normalizes to (nearly) the same cell sequence
+//! as the original as long as the tolerance stays below the cell size.
+
+use geodabs_geo::Point;
+
+use crate::Trajectory;
+
+/// Simplifies a trajectory with the Ramer–Douglas–Peucker algorithm:
+/// keeps the endpoints and, recursively, every point farther than
+/// `tolerance_m` meters from the chord of its segment.
+///
+/// Trajectories with fewer than three points are returned unchanged.
+///
+/// # Panics
+///
+/// Panics if `tolerance_m` is negative.
+pub fn simplify_rdp(trajectory: &Trajectory, tolerance_m: f64) -> Trajectory {
+    assert!(tolerance_m >= 0.0, "tolerance must be non-negative");
+    let pts = trajectory.points();
+    if pts.len() < 3 {
+        return trajectory.clone();
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    // Iterative stack instead of recursion: trajectories can be long.
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut max_d, mut max_i) = (0.0f64, lo + 1);
+        for (i, &p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = point_to_chord_meters(p, pts[lo], pts[hi]);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > tolerance_m {
+            keep[max_i] = true;
+            stack.push((lo, max_i));
+            stack.push((max_i, hi));
+        }
+    }
+    pts.iter()
+        .zip(&keep)
+        .filter_map(|(&p, &k)| k.then_some(p))
+        .collect()
+}
+
+/// Resamples a trajectory at a fixed step along its segments, always
+/// keeping the first and last points. The inverse operation of
+/// simplification: a simplified polyline must be re-densified before
+/// fingerprinting, since normalization maps *points*, not segments.
+///
+/// Trajectories with fewer than two points are returned unchanged.
+///
+/// # Panics
+///
+/// Panics if `step_m` is not strictly positive.
+pub fn resample(trajectory: &Trajectory, step_m: f64) -> Trajectory {
+    assert!(step_m > 0.0, "resampling step must be positive");
+    let pts = trajectory.points();
+    if pts.len() < 2 {
+        return trajectory.clone();
+    }
+    let mut out = Vec::with_capacity(pts.len() * 2);
+    let mut until_next = 0.0;
+    for w in pts.windows(2) {
+        let seg = w[0].haversine_distance(w[1]);
+        if seg == 0.0 {
+            continue;
+        }
+        let mut offset = until_next;
+        while offset < seg {
+            out.push(w[0].lerp(w[1], offset / seg));
+            offset += step_m;
+        }
+        until_next = offset - seg;
+    }
+    out.push(pts[pts.len() - 1]);
+    Trajectory::new(out)
+}
+
+/// Approximate distance from `p` to the chord `a`–`b`, in meters, using a
+/// local equirectangular projection (excellent at segment scale).
+fn point_to_chord_meters(p: Point, a: Point, b: Point) -> f64 {
+    const M: f64 = 111_195.0;
+    let cos_lat = a.lat().to_radians().cos();
+    let (ax, ay) = (a.lon() * M * cos_lat, a.lat() * M);
+    let (bx, by) = (b.lon() * M * cos_lat, b.lat() * M);
+    let (px, py) = (p.lon() * M * cos_lat, p.lat() * M);
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    if len2 == 0.0 {
+        return ((px - ax).powi(2) + (py - ay).powi(2)).sqrt();
+    }
+    let t = (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0);
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let t: Trajectory = (0..50).map(|i| p(0.0, i as f64 * 0.001)).collect();
+        let s = simplify_rdp(&t, 1.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[0], t.points()[0]);
+        assert_eq!(s.points()[1], t.points()[49]);
+    }
+
+    #[test]
+    fn corners_are_preserved() {
+        // An L-shape: the corner survives any tolerance below its offset.
+        let mut pts: Vec<Point> = (0..20).map(|i| p(0.0, i as f64 * 0.001)).collect();
+        pts.extend((1..20).map(|i| p(i as f64 * 0.001, 0.019)));
+        let t = Trajectory::new(pts);
+        let s = simplify_rdp(&t, 10.0);
+        assert_eq!(s.len(), 3, "endpoints + the corner");
+        let corner = s.points()[1];
+        assert!(corner.haversine_distance(p(0.0, 0.019)) < 1.0);
+    }
+
+    #[test]
+    fn short_inputs_unchanged() {
+        for n in 0..3 {
+            let t: Trajectory = (0..n).map(|i| p(0.0, i as f64 * 0.01)).collect();
+            assert_eq!(simplify_rdp(&t, 5.0), t);
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_geometry_points() {
+        // With zero tolerance only exactly-collinear points are dropped.
+        let t = Trajectory::new(vec![
+            p(0.0, 0.0),
+            p(0.001, 0.001),
+            p(0.0, 0.002),
+            p(0.001, 0.003),
+        ]);
+        let s = simplify_rdp(&t, 0.0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn resample_spacing_and_endpoints() {
+        let t: Trajectory = vec![p(0.0, 0.0), p(0.0, 0.01)].into_iter().collect();
+        let r = resample(&t, 100.0);
+        assert!(r.len() > 10);
+        assert_eq!(r.points().first(), t.points().first());
+        assert_eq!(r.points().last(), t.points().last());
+        for w in r.points().windows(2) {
+            assert!(w[0].haversine_distance(w[1]) <= 101.0);
+        }
+        // Short inputs unchanged.
+        let single: Trajectory = vec![p(1.0, 1.0)].into_iter().collect();
+        assert_eq!(resample(&single, 10.0), single);
+    }
+
+    #[test]
+    fn simplify_then_resample_roundtrip_stays_close() {
+        // Zig-zag path: simplify, re-densify, and check every original
+        // point is near the reconstruction.
+        let t: Trajectory = (0..40)
+            .map(|i| p(if i % 2 == 0 { 0.0 } else { 0.0003 }, i as f64 * 0.001))
+            .collect();
+        let s = simplify_rdp(&t, 50.0);
+        let r = resample(&s, 30.0);
+        for &q in t.points() {
+            let d = r
+                .iter()
+                .map(|c| q.haversine_distance(c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d < 80.0, "point {q} is {d} m from the reconstruction");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_resample_step_panics() {
+        let t: Trajectory = (0..3).map(|i| p(0.0, i as f64 * 0.01)).collect();
+        let _ = resample(&t, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_panics() {
+        let t: Trajectory = (0..3).map(|i| p(0.0, i as f64 * 0.01)).collect();
+        let _ = simplify_rdp(&t, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_simplified_error_is_bounded(
+            coords in proptest::collection::vec((-0.2f64..0.2, -0.2f64..0.2), 3..40),
+            tol in 1.0f64..2_000.0,
+        ) {
+            let t: Trajectory = coords.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let s = simplify_rdp(&t, tol);
+            // Endpoints preserved and size never grows.
+            prop_assert_eq!(s.points().first(), t.points().first());
+            prop_assert_eq!(s.points().last(), t.points().last());
+            prop_assert!(s.len() <= t.len());
+            // Every dropped point is within tolerance of the simplified
+            // polyline (the RDP guarantee, checked against all segments).
+            for &q in t.points() {
+                let d = s
+                    .points()
+                    .windows(2)
+                    .map(|w| point_to_chord_meters(q, w[0], w[1]))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(d <= tol + 1e-6, "point {q} at {d} m > {tol} m");
+            }
+        }
+
+        #[test]
+        fn prop_larger_tolerance_keeps_fewer_points(
+            coords in proptest::collection::vec((-0.1f64..0.1, -0.1f64..0.1), 3..30),
+        ) {
+            let t: Trajectory = coords.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let fine = simplify_rdp(&t, 10.0);
+            let coarse = simplify_rdp(&t, 1_000.0);
+            prop_assert!(coarse.len() <= fine.len());
+        }
+    }
+}

@@ -1,0 +1,311 @@
+use geodabs_geo::{BoundingBox, GeoError, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a trajectory in a dataset or an index.
+///
+/// Ids are dense `u32` values so they can double as entries of posting
+/// lists and roaring bitmaps.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TrajId(u32);
+
+impl TrajId {
+    /// Creates an id from a raw value.
+    pub fn new(raw: u32) -> TrajId {
+        TrajId(raw)
+    }
+
+    /// The raw value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TrajId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for TrajId {
+    fn from(raw: u32) -> TrajId {
+        TrajId(raw)
+    }
+}
+
+/// A discrete trajectory: the point sequence a GPS device records for a
+/// moving object (Section II-A of the paper).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from a point sequence (may be empty).
+    pub fn new(points: Vec<Point>) -> Trajectory {
+        Trajectory { points }
+    }
+
+    /// Number of points, the `length(S)` of the paper.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The underlying point sequence.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Iterates over the points in order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Point>> {
+        self.points.iter().copied()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Ground length: the sum of haversine distances between consecutive
+    /// points, in meters.
+    pub fn ground_length_meters(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].haversine_distance(w[1]))
+            .sum()
+    }
+
+    /// The sub-trajectory (motif, `S̄` in the paper) covering
+    /// `start..start + len` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the trajectory bounds.
+    pub fn motif(&self, start: usize, len: usize) -> Trajectory {
+        Trajectory {
+            points: self.points[start..start + len].to_vec(),
+        }
+    }
+
+    /// The trajectory traversed in the opposite direction.
+    pub fn reversed(&self) -> Trajectory {
+        Trajectory {
+            points: self.points.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Iterator over all `k`-grams: sliding windows of `k` consecutive
+    /// points (Figure 4 (c) of the paper).
+    ///
+    /// Yields nothing if the trajectory is shorter than `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn k_grams(&self, k: usize) -> KGrams<'_> {
+        assert!(k > 0, "k-gram size must be positive");
+        KGrams {
+            points: &self.points,
+            k,
+            pos: 0,
+        }
+    }
+
+    /// The bounding box of the trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyPointSet`] for an empty trajectory.
+    pub fn bounds(&self) -> Result<BoundingBox, GeoError> {
+        BoundingBox::enclosing(self.iter())
+    }
+}
+
+impl FromIterator<Point> for Trajectory {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Trajectory {
+        Trajectory {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Point> for Trajectory {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trajectory {
+    type Item = Point;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Point>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the `k`-grams of a trajectory.
+///
+/// Created by [`Trajectory::k_grams`].
+#[derive(Debug, Clone)]
+pub struct KGrams<'a> {
+    points: &'a [Point],
+    k: usize,
+    pos: usize,
+}
+
+impl<'a> Iterator for KGrams<'a> {
+    type Item = &'a [Point];
+
+    fn next(&mut self) -> Option<&'a [Point]> {
+        if self.pos + self.k <= self.points.len() {
+            let gram = &self.points[self.pos..self.pos + self.k];
+            self.pos += 1;
+            Some(gram)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.points.len() + 1)
+            .saturating_sub(self.k)
+            .saturating_sub(self.pos);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for KGrams<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon).unwrap()
+    }
+
+    fn line(n: usize) -> Trajectory {
+        (0..n).map(|i| p(0.0, i as f64 * 0.001)).collect()
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Trajectory::default().is_empty());
+        assert_eq!(line(5).len(), 5);
+        assert!(!line(1).is_empty());
+    }
+
+    #[test]
+    fn ground_length_sums_segments() {
+        let t = line(3);
+        // Two segments of ~111.2 m each.
+        assert!((t.ground_length_meters() - 2.0 * 111.2).abs() < 1.0);
+        assert_eq!(Trajectory::default().ground_length_meters(), 0.0);
+        assert_eq!(line(1).ground_length_meters(), 0.0);
+    }
+
+    #[test]
+    fn motif_extracts_subsequence() {
+        let t = line(10);
+        let m = t.motif(2, 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.points()[0], t.points()[2]);
+        assert_eq!(m.points()[2], t.points()[4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn motif_out_of_bounds_panics() {
+        let _ = line(3).motif(2, 5);
+    }
+
+    #[test]
+    fn reversed_flips_order() {
+        let t = line(4);
+        let r = t.reversed();
+        assert_eq!(r.points()[0], t.points()[3]);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn k_grams_count_and_content() {
+        let t = line(6);
+        let grams: Vec<_> = t.k_grams(5).collect();
+        assert_eq!(grams.len(), 2); // |S| - k + 1 = 6 - 5 + 1
+        assert_eq!(grams[0], &t.points()[0..5]);
+        assert_eq!(grams[1], &t.points()[1..6]);
+        assert_eq!(t.k_grams(5).len(), 2);
+    }
+
+    #[test]
+    fn k_grams_short_trajectory_is_empty() {
+        assert_eq!(line(3).k_grams(5).count(), 0);
+        assert_eq!(Trajectory::default().k_grams(1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = line(3).k_grams(0);
+    }
+
+    #[test]
+    fn k_gram_of_one_is_each_point() {
+        let t = line(4);
+        assert_eq!(t.k_grams(1).count(), 4);
+    }
+
+    #[test]
+    fn traj_id_roundtrip_and_display() {
+        let id = TrajId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.to_string(), "T42");
+        assert_eq!(TrajId::from(42u32), id);
+    }
+
+    #[test]
+    fn bounds_requires_points() {
+        assert!(Trajectory::default().bounds().is_err());
+        let bb = line(3).bounds().unwrap();
+        for q in line(3).iter() {
+            assert!(bb.contains(q));
+        }
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trajectory = [p(1.0, 1.0)].into_iter().collect();
+        t.extend([p(2.0, 2.0), p(3.0, 3.0)]);
+        assert_eq!(t.len(), 3);
+        t.push(p(4.0, 4.0));
+        assert_eq!(t.len(), 4);
+        let via_ref: Vec<Point> = (&t).into_iter().collect();
+        assert_eq!(via_ref.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_k_gram_count_formula(n in 0usize..50, k in 1usize..12) {
+            let t = line(n);
+            let expected = if n >= k { n - k + 1 } else { 0 };
+            prop_assert_eq!(t.k_grams(k).count(), expected);
+        }
+
+        #[test]
+        fn prop_reversed_preserves_length(n in 0usize..50) {
+            let t = line(n);
+            let r = t.reversed();
+            prop_assert_eq!(r.len(), t.len());
+            prop_assert!((r.ground_length_meters() - t.ground_length_meters()).abs() < 1e-9);
+        }
+    }
+}

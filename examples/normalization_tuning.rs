@@ -1,0 +1,55 @@
+//! Normalization tuning: sweep the geohash normalization depth and watch
+//! precision/recall, reproducing the paper's parameter-validation method
+//! (Section V-C / Figure 8) on a small sample.
+//!
+//! Run with `cargo run --release --example normalization_tuning`.
+
+use geodabs_suite::geodabs::GeodabConfig;
+use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_suite::geodabs_index::eval::{average_pr_curve, pr_curve, ranked_ids};
+use geodabs_suite::geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = grid_network(&GridConfig::default(), 42);
+    let dataset = Dataset::generate(
+        &network,
+        &DatasetConfig {
+            routes: 15,
+            per_direction: 5,
+            queries: 10,
+            ..DatasetConfig::default()
+        },
+        8,
+    )?;
+
+    println!("depth sweep over {} queries:", dataset.queries().len());
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "depth", "P@recall=.5", "P@recall=1", "mean P"
+    );
+    for depth in [32u8, 34, 36, 38, 40] {
+        let config = GeodabConfig::default().with_normalization_depth(depth)?;
+        let mut index = GeodabIndex::new(config);
+        for record in dataset.records() {
+            index.insert(record.id, &record.trajectory);
+        }
+        let mut curves = Vec::new();
+        for q in dataset.queries() {
+            let hits = index.search(&q.trajectory, &SearchOptions::default());
+            curves.push(pr_curve(&ranked_ids(&hits), &dataset.relevant_ids(q)));
+        }
+        let avg = average_pr_curve(&curves, 11);
+        let mean: f64 = avg.iter().map(|p| p.precision).sum::<f64>() / avg.len() as f64;
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>12.3}",
+            depth, avg[5].precision, avg[10].precision, mean
+        );
+    }
+    println!(
+        "\nas in the paper, mid depths dominate: too shallow merges distinct \
+         paths (precision drops), too deep defeats noise tolerance (recall \
+         collapses, dragging interpolated precision down)"
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Persistence and boolean retrieval: build an index, save it to disk in
+//! the compact binary format, reload it, and run ranked, boolean and
+//! sub-trajectory queries against the restored copy.
+//!
+//! Run with `cargo run --release --example persistence`.
+
+use geodabs_suite::geodabs::GeodabConfig;
+use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_suite::geodabs_index::{
+    codec, GeodabIndex, PositionalIndex, SearchOptions, TrajectoryIndex,
+};
+use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = grid_network(&GridConfig::default(), 42);
+    let dataset = Dataset::generate(
+        &network,
+        &DatasetConfig {
+            routes: 10,
+            per_direction: 3,
+            queries: 2,
+            ..DatasetConfig::default()
+        },
+        19,
+    )?;
+
+    // Build and persist the ranked index.
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for r in dataset.records() {
+        index.insert(r.id, &r.trajectory);
+    }
+    let path = std::env::temp_dir().join("geodabs-example.gdab");
+    let bytes = codec::encode(&index);
+    std::fs::write(&path, &bytes)?;
+    println!(
+        "saved {} trajectories / {} terms as {} bytes to {}",
+        index.len(),
+        index.term_count(),
+        bytes.len(),
+        path.display()
+    );
+
+    // Reload and query: the restored index answers identically.
+    let restored = codec::decode(&std::fs::read(&path)?)?;
+    let query = &dataset.queries()[0];
+    let hits = restored.search(&query.trajectory, &SearchOptions::with_limit(5));
+    println!("\ntop hits from the restored index:");
+    for h in &hits {
+        println!("  {} at distance {:.3}", h.id, h.distance);
+    }
+    assert_eq!(
+        hits,
+        index.search(&query.trajectory, &SearchOptions::with_limit(5))
+    );
+
+    // Positional retrieval: find trajectories containing a route segment.
+    let mut positional = PositionalIndex::new(GeodabConfig::default());
+    for r in dataset.records() {
+        positional.insert(r.id, &r.trajectory);
+    }
+    let record = &dataset.records()[0];
+    let third = record.trajectory.len() / 3;
+    let segment = record.trajectory.motif(third, third);
+    let (level, ids) = positional.search_subtrajectory(&segment);
+    println!(
+        "\nsub-trajectory search over a {}-point segment: {:?} match on {} trajectorie(s)",
+        segment.len(),
+        level,
+        ids.len()
+    );
+    for id in ids.iter().take(5) {
+        println!("  {id}");
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Sharded cluster: distribute a geodab index over a simulated 10-node
+//! cluster, query it with fan-out, and inspect the locality/balance
+//! trade-off of the sharding strategy (Section VI-E / Figure 16).
+//!
+//! Run with `cargo run --release --example sharded_cluster`.
+
+use geodabs_suite::geodabs::GeodabConfig;
+use geodabs_suite::geodabs_cluster::balance::{imbalance, node_loads};
+use geodabs_suite::geodabs_cluster::{ClusterIndex, ShardRouter};
+use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_suite::geodabs_gen::world::{WorldActivity, WorldConfig};
+use geodabs_suite::geodabs_index::SearchOptions;
+use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A city-scale dataset, indexed across 10 nodes with 10 000 shards.
+    let network = grid_network(&GridConfig::default(), 42);
+    let dataset = Dataset::generate(
+        &network,
+        &DatasetConfig {
+            routes: 15,
+            per_direction: 4,
+            queries: 5,
+            ..DatasetConfig::default()
+        },
+        11,
+    )?;
+    let mut cluster = ClusterIndex::new(GeodabConfig::default(), 10_000, 10)?;
+    for record in dataset.records() {
+        cluster.insert(record.id, &record.trajectory);
+    }
+    println!(
+        "cluster: {} trajectories across {} nodes, {} active shards",
+        cluster.len(),
+        cluster.router().num_nodes(),
+        cluster.active_shards()
+    );
+
+    // Fan-out query: only the nodes owning the query's terms participate.
+    let query = &dataset.queries()[0];
+    let (hits, stats) = cluster.search_with_stats(&query.trajectory, &SearchOptions::with_limit(5));
+    println!(
+        "\nquery touched {} shard(s) on {} node(s), scored {} candidate(s):",
+        stats.shards_contacted, stats.nodes_contacted, stats.candidates_scored
+    );
+    for hit in &hits {
+        println!("  {} at distance {:.3}", hit.id, hit.distance);
+    }
+
+    // World-scale balance: the Figure 16 experiment in miniature.
+    let world = WorldActivity::generate(
+        &WorldConfig {
+            trajectories: 200_000,
+            ..WorldConfig::default()
+        },
+        16,
+    );
+    let cells = world.sorted_counts();
+    println!("\nworld model: {} trajectories in {} cells", world.total(), cells.len());
+    println!("{:>10} {:>16} {:>16}", "node", "100 shards", "10000 shards");
+    let coarse = node_loads(&ShardRouter::new(16, 100, 10)?, &cells);
+    let fine = node_loads(&ShardRouter::new(16, 10_000, 10)?, &cells);
+    for n in 0..10 {
+        println!("{:>10} {:>16} {:>16}", n, coarse[n], fine[n]);
+    }
+    println!(
+        "{:>10} {:>16.2} {:>16.2}",
+        "imbalance",
+        imbalance(&coarse),
+        imbalance(&fine)
+    );
+    println!("\nmore shards break locality into smaller pieces and balance the nodes");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the geodabs workspace.
+//!
+//! This package exists to host the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. It re-exports the
+//! workspace crates so examples and tests can use one coherent namespace.
+//!
+//! See the individual crates for the actual implementation:
+//!
+//! * [`geodabs`] — geodab fingerprinting (the paper's contribution)
+//! * [`geodabs_geo`] — points, haversine, geohash, Morton curve
+//! * [`geodabs_roaring`] — roaring bitmaps
+//! * [`geodabs_roadnet`] — road networks, routing, map matching
+//! * [`geodabs_traj`] — trajectories and normalization
+//! * [`geodabs_distance`] — DTW / discrete Fréchet / BTM baselines
+//! * [`geodabs_index`] — inverted indexes and retrieval evaluation
+//! * [`geodabs_cluster`] — sharded distributed index simulation
+//! * [`geodabs_gen`] — synthetic dataset and workload generation
+
+pub use geodabs;
+pub use geodabs_cluster;
+pub use geodabs_distance;
+pub use geodabs_gen;
+pub use geodabs_geo;
+pub use geodabs_index;
+pub use geodabs_roadnet;
+pub use geodabs_roaring;
+pub use geodabs_traj;

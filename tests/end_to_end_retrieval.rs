@@ -1,0 +1,188 @@
+//! End-to-end retrieval: synthetic road network -> dense noisy dataset ->
+//! geodab index -> ranked queries, asserting the quality properties the
+//! paper's Figures 12 and 13 report.
+
+use geodabs_suite::geodabs::GeodabConfig;
+use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_suite::geodabs_index::eval::{auc, precision_at, ranked_ids, recall_at};
+use geodabs_suite::geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
+use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs_suite::geodabs_roadnet::RoadNetwork;
+
+fn setup() -> (RoadNetwork, Dataset) {
+    let net = grid_network(&GridConfig::default(), 42);
+    let ds = Dataset::generate(
+        &net,
+        &DatasetConfig {
+            routes: 12,
+            per_direction: 4,
+            queries: 8,
+            ..DatasetConfig::default()
+        },
+        3,
+    )
+    .expect("grid network is routable");
+    (net, ds)
+}
+
+fn build_indexes(ds: &Dataset) -> (GeodabIndex, GeohashIndex) {
+    let mut geodab = GeodabIndex::new(GeodabConfig::default());
+    let mut geohash = GeohashIndex::new(36);
+    for r in ds.records() {
+        geodab.insert(r.id, &r.trajectory);
+        geohash.insert(r.id, &r.trajectory);
+    }
+    (geodab, geohash)
+}
+
+#[test]
+fn geodab_retrieval_is_precise_at_the_top() {
+    let (_, ds) = setup();
+    let (geodab, _) = build_indexes(&ds);
+    let mut p_at_r = 0.0;
+    for q in ds.queries() {
+        let relevant = ds.relevant_ids(q);
+        let hits = geodab.search(&q.trajectory, &SearchOptions::default());
+        p_at_r += precision_at(&ranked_ids(&hits), &relevant, relevant.len());
+    }
+    let mean = p_at_r / ds.queries().len() as f64;
+    assert!(mean > 0.8, "mean R-precision only {mean:.2}");
+}
+
+#[test]
+fn geodab_retrieval_has_high_recall() {
+    let (_, ds) = setup();
+    let (geodab, _) = build_indexes(&ds);
+    let mut recall = 0.0;
+    for q in ds.queries() {
+        let relevant = ds.relevant_ids(q);
+        let hits = geodab.search(&q.trajectory, &SearchOptions::default());
+        recall += recall_at(&ranked_ids(&hits), &relevant, usize::MAX);
+    }
+    let mean = recall / ds.queries().len() as f64;
+    assert!(mean > 0.8, "mean recall only {mean:.2}");
+}
+
+#[test]
+fn geodabs_discriminate_direction_geohash_does_not() {
+    let (_, ds) = setup();
+    let (geodab, geohash) = build_indexes(&ds);
+    // For each query, where do the same-route *opposite-direction*
+    // records rank relative to same-direction ones?
+    let mut geodab_wins = 0usize;
+    let mut geohash_confusions = 0usize;
+    let mut checked = 0usize;
+    for q in ds.queries() {
+        let forward = ds.relevant_ids(q);
+        let both = ds.same_route_ids(q);
+        let reverse: Vec<_> = both.difference(&forward).collect();
+        if reverse.is_empty() {
+            continue;
+        }
+        checked += 1;
+        let dab_hits = geodab.search(&q.trajectory, &SearchOptions::default());
+        let hash_hits = geohash.search(&q.trajectory, &SearchOptions::default());
+        // In the geodab ranking, every forward record that appears must
+        // rank above every reverse record that appears.
+        let dab_rank = |id| dab_hits.iter().position(|h| &h.id == id);
+        let worst_forward = forward.iter().filter_map(&dab_rank).max();
+        let best_reverse = reverse.iter().filter_map(|id| dab_rank(id)).min();
+        match (worst_forward, best_reverse) {
+            (Some(wf), Some(br)) if wf < br => geodab_wins += 1,
+            (Some(_), None) => geodab_wins += 1, // reverses not even candidates
+            _ => {}
+        }
+        // The geohash ranking mixes directions: the best reverse record
+        // scores (nearly) as well as the best forward one.
+        let hash_dist = |id| {
+            hash_hits
+                .iter()
+                .find(|h| &h.id == id)
+                .map(|h| h.distance)
+        };
+        let best_fwd = forward
+            .iter()
+            .filter_map(hash_dist)
+            .fold(f64::INFINITY, f64::min);
+        let best_rev = reverse
+            .iter()
+            .copied()
+            .filter_map(hash_dist)
+            .fold(f64::INFINITY, f64::min);
+        if (best_rev - best_fwd).abs() < 0.15 {
+            geohash_confusions += 1;
+        }
+    }
+    assert!(checked >= 4, "not enough queries with reverse records");
+    assert!(
+        geodab_wins as f64 >= 0.75 * checked as f64,
+        "geodabs separated direction on only {geodab_wins}/{checked} queries"
+    );
+    assert!(
+        geohash_confusions as f64 >= 0.75 * checked as f64,
+        "geohash separated direction on {} of {checked} queries — it should not",
+        checked - geohash_confusions
+    );
+}
+
+#[test]
+fn both_indexes_have_high_auc_geodab_sharper_at_top() {
+    let (_, ds) = setup();
+    let (geodab, geohash) = build_indexes(&ds);
+    let corpus = ds.records().len();
+    let mut dab_auc = 0.0;
+    let mut hash_auc = 0.0;
+    let mut dab_p1 = 0.0;
+    let mut hash_p1 = 0.0;
+    for q in ds.queries() {
+        let relevant = ds.relevant_ids(q);
+        let dab = ranked_ids(&geodab.search(&q.trajectory, &SearchOptions::default()));
+        let hash = ranked_ids(&geohash.search(&q.trajectory, &SearchOptions::default()));
+        dab_auc += auc(&dab, &relevant, corpus);
+        hash_auc += auc(&hash, &relevant, corpus);
+        dab_p1 += precision_at(&dab, &relevant, 1);
+        hash_p1 += precision_at(&hash, &relevant, 1);
+    }
+    let n = ds.queries().len() as f64;
+    // Both are high-sensitivity indexes (paper: AUC ~0.999 for both).
+    assert!(dab_auc / n > 0.9, "geodab AUC {:.3}", dab_auc / n);
+    assert!(hash_auc / n > 0.9, "geohash AUC {:.3}", hash_auc / n);
+    // But geodabs put a relevant result first more reliably.
+    assert!(
+        dab_p1 >= hash_p1,
+        "geodab P@1 {dab_p1} < geohash P@1 {hash_p1}"
+    );
+}
+
+#[test]
+fn distance_threshold_bounds_the_result_set() {
+    let (_, ds) = setup();
+    let (geodab, _) = build_indexes(&ds);
+    let q = &ds.queries()[0];
+    let all = geodab.search(&q.trajectory, &SearchOptions::default());
+    for dmax in [0.2, 0.5, 0.8] {
+        let hits = geodab.search(&q.trajectory, &SearchOptions::with_max_distance(dmax));
+        assert!(hits.iter().all(|h| h.distance <= dmax));
+        assert!(hits.len() <= all.len());
+        // The thresholded list is a prefix of the full ranking.
+        assert_eq!(
+            hits.as_slice(),
+            &all[..hits.len()],
+            "Δmax must cut the ranking, not reorder it"
+        );
+    }
+}
+
+#[test]
+fn results_are_sorted_by_distance() {
+    let (_, ds) = setup();
+    let (geodab, geohash) = build_indexes(&ds);
+    for q in ds.queries() {
+        for hits in [
+            geodab.search(&q.trajectory, &SearchOptions::default()),
+            geohash.search(&q.trajectory, &SearchOptions::default()),
+        ] {
+            assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration coverage for the features that extend the paper: cluster
+//! elasticity, region queries, trajectory simplification and the extra
+//! distance measures — all exercised on generated workloads.
+
+use geodabs_suite::geodabs::GeodabConfig;
+use geodabs_suite::geodabs_cluster::ClusterIndex;
+use geodabs_suite::geodabs_distance::{dfd, hausdorff, lcss_similarity};
+use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_suite::geodabs_geo::BoundingBox;
+use geodabs_suite::geodabs_index::{GeohashIndex, SearchOptions, TrajectoryIndex};
+use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs_suite::geodabs_traj::{
+    moving_average, resample, simplify_rdp, GeohashNormalizer, Normalizer, TrajId,
+};
+
+fn dataset() -> Dataset {
+    let net = grid_network(&GridConfig::default(), 42);
+    Dataset::generate(
+        &net,
+        &DatasetConfig {
+            routes: 6,
+            per_direction: 3,
+            queries: 4,
+            ..DatasetConfig::default()
+        },
+        29,
+    )
+    .expect("routable network")
+}
+
+#[test]
+fn cluster_scales_out_and_in_without_changing_answers() {
+    let ds = dataset();
+    let items: Vec<(TrajId, _)> = ds.records().iter().map(|r| (r.id, &r.trajectory)).collect();
+    let mut cluster = ClusterIndex::new(GeodabConfig::default(), 10_000, 4).expect("valid");
+    cluster.insert_batch(&items, 4);
+    let before: Vec<_> = ds
+        .queries()
+        .iter()
+        .map(|q| cluster.search(&q.trajectory, &SearchOptions::default()))
+        .collect();
+    // Scale out, then back in.
+    for nodes in [16usize, 2, 4] {
+        cluster.resize(nodes).expect("valid node count");
+        for (q, expected) in ds.queries().iter().zip(&before) {
+            assert_eq!(
+                &cluster.search(&q.trajectory, &SearchOptions::default()),
+                expected,
+                "{nodes} nodes"
+            );
+        }
+    }
+}
+
+#[test]
+fn region_queries_find_trajectories_through_an_area() {
+    let ds = dataset();
+    let mut index = GeohashIndex::new(36);
+    for r in ds.records() {
+        index.insert(r.id, &r.trajectory);
+    }
+    // A box around the midpoint of the first route must retrieve every
+    // trajectory of that route (both directions pass through it).
+    let route = &ds.routes()[0];
+    let mid = route.points()[route.points().len() / 2];
+    let bb = BoundingBox::around(mid, 1_000.0, 1_000.0);
+    let hits = index.search_region(&bb);
+    let route_ids: Vec<TrajId> = ds
+        .records()
+        .iter()
+        .filter(|r| r.route == 0)
+        .map(|r| r.id)
+        .collect();
+    for id in &route_ids {
+        assert!(hits.contains(id), "{id} should cross the midpoint box");
+    }
+}
+
+#[test]
+fn simplify_resample_preserves_normalized_cells() {
+    // Compression pipeline: smooth away the GPS noise, simplify with a
+    // sub-cell tolerance, store the few remaining vertices, and
+    // re-densify before fingerprinting. The normalized cell sequence must
+    // survive the roundtrip.
+    let ds = dataset();
+    let rec = &ds.records()[0];
+    let smoothed = moving_average(&rec.trajectory, 9);
+    let simplified = simplify_rdp(&smoothed, 25.0);
+    assert!(
+        simplified.len() * 3 < smoothed.len(),
+        "rdp kept {} of {} points",
+        simplified.len(),
+        smoothed.len()
+    );
+    let restored = resample(&simplified, 15.0);
+    let norm = GeohashNormalizer::new(36).expect("valid depth");
+    let cells_of = |t: &geodabs_suite::geodabs_traj::Trajectory| {
+        let n = norm.normalize(t);
+        n.points().to_vec()
+    };
+    let a = cells_of(&smoothed);
+    let b = cells_of(&restored);
+    let shared = a.iter().filter(|p| b.contains(p)).count();
+    assert!(
+        shared * 10 >= a.len() * 7,
+        "only {shared}/{} normalized points survive the roundtrip",
+        a.len()
+    );
+}
+
+#[test]
+fn distance_measures_agree_on_the_obvious_cases() {
+    let ds = dataset();
+    let q = &ds.queries()[0];
+    let sibling = ds
+        .records()
+        .iter()
+        .find(|r| ds.relevant_ids(q).contains(&r.id))
+        .expect("sibling exists");
+    let other = ds
+        .records()
+        .iter()
+        .find(|r| r.route != q.route)
+        .expect("other route exists");
+    // Every measure must rate the sibling closer than the other route.
+    let d_sib_dfd = dfd(&q.trajectory, &sibling.trajectory);
+    let d_oth_dfd = dfd(&q.trajectory, &other.trajectory);
+    assert!(d_sib_dfd < d_oth_dfd);
+    let d_sib_h = hausdorff(&q.trajectory, &sibling.trajectory);
+    let d_oth_h = hausdorff(&q.trajectory, &other.trajectory);
+    assert!(d_sib_h < d_oth_h);
+    let s_sib = lcss_similarity(&q.trajectory, &sibling.trajectory, 60.0);
+    let s_oth = lcss_similarity(&q.trajectory, &other.trajectory, 60.0);
+    assert!(s_sib > s_oth);
+    // And Hausdorff (set-based) lower-bounds DFD (order-aware).
+    assert!(d_sib_h <= d_sib_dfd + 1e-9);
+}

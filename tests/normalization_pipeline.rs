@@ -1,0 +1,178 @@
+//! Normalization end to end (Section V): both normalization methods must
+//! make noisy samplings of the same route converge, and better
+//! normalization must translate into better retrieval.
+
+use geodabs_suite::geodabs::{Fingerprinter, GeodabConfig};
+use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_suite::geodabs_index::eval::{precision_at, ranked_ids};
+use geodabs_suite::geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs_suite::geodabs_roadnet::matching::MatchConfig;
+use geodabs_suite::geodabs_roadnet::{RoadNetwork, SpatialIndex};
+use geodabs_suite::geodabs_traj::{
+    GeohashNormalizer, IdentityNormalizer, MapMatchNormalizer, Normalizer,
+};
+
+fn setup() -> (RoadNetwork, Dataset) {
+    let net = grid_network(&GridConfig::default(), 42);
+    let ds = Dataset::generate(
+        &net,
+        &DatasetConfig {
+            routes: 6,
+            per_direction: 3,
+            queries: 4,
+            ..DatasetConfig::default()
+        },
+        17,
+    )
+    .expect("routable network");
+    (net, ds)
+}
+
+#[test]
+fn sibling_distance_shrinks_with_normalization_quality() {
+    let (net, ds) = setup();
+    let spatial = SpatialIndex::build(&net, 300.0);
+    let fingerprinter = Fingerprinter::new(GeodabConfig::default());
+    let identity = IdentityNormalizer;
+    let robust = GeohashNormalizer::robust(36).expect("valid depth");
+    let map_match = MapMatchNormalizer::new(&net, &spatial, MatchConfig::default());
+
+    let q = &ds.queries()[0];
+    let sibling = ds
+        .records()
+        .iter()
+        .find(|r| ds.relevant_ids(q).contains(&r.id))
+        .expect("queries have siblings");
+
+    let dist = |n: &dyn Normalizer| {
+        fingerprinter
+            .fingerprint_with(n, &q.trajectory)
+            .jaccard_distance(&fingerprinter.fingerprint_with(n, &sibling.trajectory))
+    };
+    let d_identity = dist(&identity);
+    let d_robust = dist(&robust);
+    let d_matched = dist(&map_match);
+    // Raw noisy points share essentially nothing.
+    assert!(d_identity > 0.95, "identity {d_identity}");
+    // Grid normalization recovers a solid overlap.
+    assert!(d_robust < d_identity, "robust {d_robust} vs identity {d_identity}");
+    // Map matching recovers the exact node path: near-perfect.
+    assert!(d_matched < 0.35, "map-matched distance {d_matched}");
+}
+
+#[test]
+fn map_match_normalization_beats_noise() {
+    let (net, ds) = setup();
+    let spatial = SpatialIndex::build(&net, 300.0);
+    let map_match = MapMatchNormalizer::new(&net, &spatial, MatchConfig::default());
+    // Two independent noisy samplings of the same route direction must
+    // normalize to (nearly) the same node sequence.
+    let q = &ds.queries()[0];
+    let relevant = ds.relevant_ids(q);
+    let mut siblings = ds.records().iter().filter(|r| relevant.contains(&r.id));
+    let s1 = siblings.next().expect("sibling 1");
+    let s2 = siblings.next().expect("sibling 2");
+    let n1 = map_match.normalize(&s1.trajectory);
+    let n2 = map_match.normalize(&s2.trajectory);
+    assert!(!n1.is_empty() && !n2.is_empty());
+    let common = n1
+        .points()
+        .iter()
+        .filter(|p| n2.points().contains(p))
+        .count();
+    let frac = common as f64 / n1.len().max(n2.len()) as f64;
+    assert!(frac > 0.8, "only {frac:.2} of matched nodes agree");
+}
+
+#[test]
+fn retrieval_with_normalization_beats_identity() {
+    let (_, ds) = setup();
+    // Index A: the default pipeline (robust geohash normalization).
+    let mut normalized_index = GeodabIndex::new(GeodabConfig::default());
+    for r in ds.records() {
+        normalized_index.insert(r.id, &r.trajectory);
+    }
+    let mut norm_score = 0.0;
+    for q in ds.queries() {
+        let relevant = ds.relevant_ids(q);
+        let hits = normalized_index.search(&q.trajectory, &SearchOptions::default());
+        norm_score += precision_at(&ranked_ids(&hits), &relevant, relevant.len());
+    }
+    // Index B: fingerprint raw points (identity normalization) — the
+    // Figure 5 (a) control. Raw noisy coordinates never produce real
+    // k-gram matches; any overlap is an accidental collision of the
+    // 16-bit hash suffix, so similarities stay negligible.
+    let fingerprinter = Fingerprinter::new(GeodabConfig::default());
+    let mut raw_sim_sum = 0.0;
+    let mut pairs = 0usize;
+    for q in ds.queries() {
+        let qf = fingerprinter.fingerprint(&q.trajectory);
+        for r in ds.records() {
+            let rf = fingerprinter.fingerprint(&r.trajectory);
+            raw_sim_sum += qf.jaccard(&rf);
+            pairs += 1;
+        }
+    }
+    let norm_mean = norm_score / ds.queries().len() as f64;
+    assert!(norm_mean > 0.7, "normalized R-precision {norm_mean:.2}");
+    let raw_mean = raw_sim_sum / pairs as f64;
+    assert!(
+        raw_mean < 0.02,
+        "raw fingerprints should share almost nothing, got mean jaccard {raw_mean:.4}"
+    );
+}
+
+#[test]
+fn map_matched_index_outperforms_grid_index() {
+    // Build two geodab indexes over the same dataset: one with the default
+    // robust grid normalization, one with map matching (Section V-B), and
+    // compare retrieval quality on the same queries.
+    let (net, ds) = setup();
+    let spatial = SpatialIndex::build(&net, 300.0);
+    // Interpolate the matched path at the fingerprinting cell scale so a
+    // single mismatched node stays a local perturbation.
+    let matcher =
+        MapMatchNormalizer::new(&net, &spatial, MatchConfig::default()).with_interpolation(85.0);
+
+    let mut grid_index = GeodabIndex::new(GeodabConfig::default());
+    let mut matched_index = GeodabIndex::new(GeodabConfig::default());
+    for r in ds.records() {
+        grid_index.insert(r.id, &r.trajectory);
+        matched_index.insert_with_normalizer(&matcher, r.id, &r.trajectory);
+    }
+    let mut grid_score = 0.0;
+    let mut matched_score = 0.0;
+    for q in ds.queries() {
+        let relevant = ds.relevant_ids(q);
+        let grid_hits = grid_index.search(&q.trajectory, &SearchOptions::default());
+        grid_score += precision_at(&ranked_ids(&grid_hits), &relevant, relevant.len());
+        let matched_hits =
+            matched_index.search_with_normalizer(&matcher, &q.trajectory, &SearchOptions::default());
+        matched_score += precision_at(&ranked_ids(&matched_hits), &relevant, relevant.len());
+    }
+    let n = ds.queries().len() as f64;
+    assert!(
+        matched_score / n >= grid_score / n - 0.05,
+        "map matching ({:.2}) should not lose to the grid ({:.2})",
+        matched_score / n,
+        grid_score / n
+    );
+    assert!(matched_score / n > 0.8, "map-matched R-precision {:.2}", matched_score / n);
+}
+
+#[test]
+fn deeper_grids_produce_longer_normalized_sequences() {
+    let (_, ds) = setup();
+    let t = &ds.records()[0].trajectory;
+    let mut last_len = 0usize;
+    for depth in [28u8, 32, 36, 40] {
+        let n = GeohashNormalizer::new(depth).expect("valid depth").normalize(t);
+        assert!(
+            n.len() >= last_len,
+            "depth {depth}: {} < previous {last_len}",
+            n.len()
+        );
+        last_len = n.len();
+    }
+}

@@ -1,0 +1,110 @@
+//! Persistence and positional retrieval, end to end on generated data:
+//! an index must survive an encode/decode roundtrip byte for byte, and
+//! the positional index must support the sub-sequence searches of
+//! Section III-A1 on realistic trajectories.
+
+use geodabs_suite::geodabs::GeodabConfig;
+use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_suite::geodabs_index::{
+    codec, GeodabIndex, MatchLevel, PositionalIndex, SearchOptions, TrajectoryIndex,
+};
+use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs_suite::geodabs_traj::Trajectory;
+
+fn dataset() -> Dataset {
+    let net = grid_network(&GridConfig::default(), 42);
+    Dataset::generate(
+        &net,
+        &DatasetConfig {
+            routes: 6,
+            per_direction: 3,
+            queries: 4,
+            ..DatasetConfig::default()
+        },
+        23,
+    )
+    .expect("routable network")
+}
+
+#[test]
+fn persisted_index_answers_every_query_identically() {
+    let ds = dataset();
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for r in ds.records() {
+        index.insert(r.id, &r.trajectory);
+    }
+    let bytes = codec::encode(&index);
+    let restored = codec::decode(&bytes).expect("roundtrip");
+    assert_eq!(restored.len(), index.len());
+    for q in ds.queries() {
+        assert_eq!(
+            index.search(&q.trajectory, &SearchOptions::default()),
+            restored.search(&q.trajectory, &SearchOptions::default())
+        );
+    }
+    // And the roundtrip is stable: encode(decode(x)) == x.
+    assert_eq!(codec::encode(&restored), bytes);
+}
+
+#[test]
+fn persisted_index_survives_disk() {
+    let ds = dataset();
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for r in ds.records() {
+        index.insert(r.id, &r.trajectory);
+    }
+    let dir = std::env::temp_dir().join("geodabs-int-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("persist.gdab");
+    std::fs::write(&path, codec::encode(&index)).expect("write");
+    let bytes = std::fs::read(&path).expect("read");
+    let restored = codec::decode(&bytes).expect("decode");
+    assert_eq!(restored.len(), ds.records().len());
+}
+
+#[test]
+fn positional_index_supports_boolean_retrieval_on_dataset() {
+    let ds = dataset();
+    let mut index = PositionalIndex::new(GeodabConfig::default());
+    for r in ds.records() {
+        index.insert(r.id, &r.trajectory);
+    }
+    assert_eq!(index.len(), ds.records().len());
+    for q in ds.queries() {
+        let terms = index.fingerprint_query(&q.trajectory);
+        if terms.is_empty() {
+            continue;
+        }
+        // OR retrieval must surface the relevant siblings near the top.
+        let or_hits = index.query_or(&terms);
+        assert!(!or_hits.is_empty());
+        let relevant = ds.relevant_ids(q);
+        let top: Vec<_> = or_hits.iter().take(relevant.len()).map(|&(id, _)| id).collect();
+        let found = top.iter().filter(|id| relevant.contains(id)).count();
+        assert!(
+            found * 2 >= relevant.len(),
+            "only {found} of {} relevant in the top ranks",
+            relevant.len()
+        );
+    }
+}
+
+#[test]
+fn subtrajectory_search_locates_route_segments() {
+    let ds = dataset();
+    let mut index = PositionalIndex::new(GeodabConfig::default());
+    for r in ds.records() {
+        index.insert(r.id, &r.trajectory);
+    }
+    // Use the middle third of a stored trajectory as the query.
+    let rec = &ds.records()[0];
+    let third = rec.trajectory.len() / 3;
+    let segment: Trajectory = rec.trajectory.motif(third, third);
+    let (level, hits) = index.search_subtrajectory(&segment);
+    assert_ne!(level, MatchLevel::None, "segment of a stored trajectory must match");
+    assert!(
+        hits.contains(&rec.id),
+        "level {level:?} found {hits:?}, expected {}",
+        rec.id
+    );
+}
