@@ -15,8 +15,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench ablation_normalization`.
 
-use geodabs::GeodabConfig;
 use geodabs_bench::*;
+use geodabs_core::GeodabConfig;
 use geodabs_index::eval::{precision_at, ranked_ids, recall_at};
 use geodabs_index::{GeodabIndex, SearchOptions};
 use geodabs_roadnet::matching::MatchConfig;
@@ -64,12 +64,7 @@ fn main() {
             recall += recall_at(&ranked, &relevant, usize::MAX);
         }
         let n = ds.queries().len() as f64;
-        print_row(&[
-            name.to_string(),
-            f3(rprec / n),
-            f3(recall / n),
-            ms(build),
-        ]);
+        print_row(&[name.to_string(), f3(rprec / n), f3(recall / n), ms(build)]);
     }
     println!();
     println!(

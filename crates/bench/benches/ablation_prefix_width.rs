@@ -10,9 +10,9 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench ablation_prefix_width`.
 
-use geodabs::GeodabConfig;
 use geodabs_bench::*;
 use geodabs_cluster::ClusterIndex;
+use geodabs_core::GeodabConfig;
 use geodabs_index::eval::{precision_at, ranked_ids};
 use geodabs_index::SearchOptions;
 

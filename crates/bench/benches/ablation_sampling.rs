@@ -10,9 +10,9 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench ablation_sampling`.
 
-use geodabs::winnow::{sample_mod_p, winnow};
-use geodabs::{geodab, Fingerprints, GeodabConfig};
 use geodabs_bench::*;
+use geodabs_core::winnow::{sample_mod_p, winnow};
+use geodabs_core::{geodab, Fingerprints, GeodabConfig};
 use geodabs_traj::{GeohashNormalizer, Normalizer, Trajectory};
 
 /// Candidate geodab stream of a trajectory under the default config.
@@ -91,7 +91,11 @@ fn main() {
             }
         }
         rows.push((
-            if method == "winnowing" { "winnowing" } else { "h mod p == 0" },
+            if method == "winnowing" {
+                "winnowing"
+            } else {
+                "h mod p == 0"
+            },
             density,
             zero_overlap as f64 / pairs.max(1) as f64,
             coverage,

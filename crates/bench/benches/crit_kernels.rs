@@ -5,8 +5,8 @@
 //! Run with `cargo bench -p geodabs-bench --bench crit_kernels`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use geodabs::winnow::{winnow, winnow_streaming};
-use geodabs::{geodab, Fingerprinter};
+use geodabs_core::winnow::{winnow, winnow_streaming};
+use geodabs_core::{geodab, Fingerprinter};
 use geodabs_distance::{dfd, dtw, edr, lcss_similarity};
 use geodabs_geo::{Geohash, Point};
 use geodabs_roaring::RoaringBitmap;
@@ -31,7 +31,9 @@ fn bench_geo(c: &mut Criterion) {
     c.bench_function("geohash_encode_36", |bench| {
         bench.iter(|| Geohash::encode(black_box(a), 36).expect("valid depth"))
     });
-    let gram: Vec<Point> = (0..6).map(|i| a.destination(90.0, i as f64 * 85.0)).collect();
+    let gram: Vec<Point> = (0..6)
+        .map(|i| a.destination(90.0, i as f64 * 85.0))
+        .collect();
     c.bench_function("geodab_6gram", |bench| {
         bench.iter(|| geodab(black_box(&gram), 16))
     });
@@ -70,7 +72,11 @@ fn bench_jaccard(c: &mut Criterion) {
         bench.iter(|| black_box(&a).jaccard_distance(black_box(&b)))
     });
     c.bench_function("roaring_union_2k", |bench| {
-        bench.iter_batched(|| (), |_| black_box(&a) | black_box(&b), BatchSize::SmallInput)
+        bench.iter_batched(
+            || (),
+            |_| black_box(&a) | black_box(&b),
+            BatchSize::SmallInput,
+        )
     });
 }
 

@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench fig08_pr_normalization`.
 
-use geodabs::GeodabConfig;
 use geodabs_bench::*;
+use geodabs_core::GeodabConfig;
 use geodabs_index::eval::{average_pr_curve, pr_curve, ranked_ids};
 use geodabs_index::{SearchOptions, TrajectoryIndex};
 
@@ -35,7 +35,9 @@ fn main() {
 
     print_header(
         "Figure 8: precision at recall, by normalization depth",
-        &["recall", "32 bits", "34 bits", "36 bits", "38 bits", "40 bits"],
+        &[
+            "recall", "32 bits", "34 bits", "36 bits", "38 bits", "40 bits",
+        ],
     );
     for g in 0..11 {
         let mut row = vec![f3(g as f64 / 10.0)];
@@ -47,10 +49,12 @@ fn main() {
 
     // Area under the averaged PR curve per depth, as a single-number
     // summary of which depth wins.
-    print_header("Figure 8 summary: mean interpolated precision", &["depth", "mean precision"]);
+    print_header(
+        "Figure 8 summary: mean interpolated precision",
+        &["depth", "mean precision"],
+    );
     for (i, &depth) in depths.iter().enumerate() {
-        let mean: f64 =
-            curves_per_depth[i].iter().map(|p| p.precision).sum::<f64>() / 11.0;
+        let mean: f64 = curves_per_depth[i].iter().map(|p| p.precision).sum::<f64>() / 11.0;
         print_row(&[format!("{depth} bits"), f3(mean)]);
     }
 }

@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench fig09_distance_density`.
 
-use geodabs::Fingerprinter;
 use geodabs_bench::*;
+use geodabs_core::Fingerprinter;
 use geodabs_distance::{dfd, dtw};
 use geodabs_geo::Point;
 use geodabs_traj::Trajectory;
@@ -40,8 +40,9 @@ fn main() {
         &["density c", "DFD", "DTW", "Geodabs"],
     );
     for c in 1..=10usize {
-        let candidates: Vec<Trajectory> =
-            (0..c).map(|i| path(t, i as f64 * 5.0, 13 + i as u64)).collect();
+        let candidates: Vec<Trajectory> = (0..c)
+            .map(|i| path(t, i as f64 * 5.0, 13 + i as u64))
+            .collect();
 
         let t0 = Instant::now();
         let mut acc = 0.0;
@@ -70,11 +71,6 @@ fn main() {
         let geodab_time = t0.elapsed();
         std::hint::black_box(acc);
 
-        print_row(&[
-            c.to_string(),
-            ms(dfd_time),
-            ms(dtw_time),
-            ms(geodab_time),
-        ]);
+        print_row(&[c.to_string(), ms(dfd_time), ms(dtw_time), ms(geodab_time)]);
     }
 }

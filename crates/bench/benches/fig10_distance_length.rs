@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench fig10_distance_length`.
 
-use geodabs::Fingerprinter;
 use geodabs_bench::*;
+use geodabs_core::Fingerprinter;
 use geodabs_distance::{dfd, dtw};
 use geodabs_geo::Point;
 use geodabs_traj::Trajectory;
@@ -38,8 +38,9 @@ fn main() {
     );
     for t in (200..=1_000).step_by(200) {
         let query = path(t, 0.0, 7);
-        let candidates: Vec<Trajectory> =
-            (0..c).map(|i| path(t, i as f64 * 5.0, 13 + i as u64)).collect();
+        let candidates: Vec<Trajectory> = (0..c)
+            .map(|i| path(t, i as f64 * 5.0, 13 + i as u64))
+            .collect();
 
         let t0 = Instant::now();
         let mut acc = 0.0;
@@ -66,11 +67,6 @@ fn main() {
         let geodab_time = t0.elapsed();
         std::hint::black_box(acc);
 
-        print_row(&[
-            t.to_string(),
-            ms(dfd_time),
-            ms(dtw_time),
-            ms(geodab_time),
-        ]);
+        print_row(&[t.to_string(), ms(dfd_time), ms(dtw_time), ms(geodab_time)]);
     }
 }

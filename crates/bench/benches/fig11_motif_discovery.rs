@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench fig11_motif_discovery`.
 
-use geodabs::{discover_motif, Fingerprinter};
 use geodabs_bench::*;
+use geodabs_core::{discover_motif, Fingerprinter};
 use geodabs_distance::btm;
 use geodabs_geo::Point;
 use geodabs_traj::Trajectory;
@@ -59,8 +59,9 @@ fn main() {
         &["density c", "BTM", "Geodabs", "BTM dist m", "Geodab dJ"],
     );
     for c in 1..=10usize {
-        let candidates: Vec<Trajectory> =
-            (1..=c).map(|i| path_with_shared_core(n, i as u64)).collect();
+        let candidates: Vec<Trajectory> = (1..=c)
+            .map(|i| path_with_shared_core(n, i as u64))
+            .collect();
 
         let t0 = Instant::now();
         let mut btm_best = f64::INFINITY;

@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench fig12_pr_index`.
 
-use geodabs::GeodabConfig;
 use geodabs_bench::*;
+use geodabs_core::GeodabConfig;
 use geodabs_index::eval::{average_pr_curve, pr_curve, ranked_ids};
 use geodabs_index::{SearchOptions, TrajectoryIndex};
 

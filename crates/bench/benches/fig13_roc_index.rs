@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench fig13_roc_index`.
 
-use geodabs::GeodabConfig;
 use geodabs_bench::*;
+use geodabs_core::GeodabConfig;
 use geodabs_index::eval::{auc, ranked_ids, roc_curve};
 use geodabs_index::{SearchOptions, TrajectoryIndex};
 
@@ -33,8 +33,7 @@ fn main() {
     for q in ds.queries() {
         let relevant = ds.relevant_ids(q);
         let dab_hits = ranked_ids(&geodab_index.search(&q.trajectory, &SearchOptions::default()));
-        let hash_hits =
-            ranked_ids(&geohash_index.search(&q.trajectory, &SearchOptions::default()));
+        let hash_hits = ranked_ids(&geohash_index.search(&q.trajectory, &SearchOptions::default()));
         let dab_roc = roc_curve(&dab_hits, &relevant, corpus);
         let hash_roc = roc_curve(&hash_hits, &relevant, corpus);
         for (gi, &fpr) in grid.iter().enumerate() {

@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo bench -p geodabs-bench --bench fig14_query_density`.
 
-use geodabs::GeodabConfig;
 use geodabs_bench::*;
+use geodabs_core::GeodabConfig;
 use geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
 use std::time::Instant;
 
@@ -26,7 +26,14 @@ fn main() {
             "Figure 14: executing {} queries on a dataset of increasing density (ms)",
             queries.len()
         ),
-        &["density", "trajectories", "Geohash", "Geodabs", "geohash cand", "geodab cand"],
+        &[
+            "density",
+            "trajectories",
+            "Geohash",
+            "Geodabs",
+            "geohash cand",
+            "geodab cand",
+        ],
     );
     for density in 1..=10usize {
         let take = records.len() * density / 10;

@@ -33,7 +33,10 @@ fn main() {
         print_row(&[name.to_string(), c.to_string(), f.to_string()]);
     }
 
-    print_header("Figure 16 summary", &["metric", "100 shards", "10000 shards"]);
+    print_header(
+        "Figure 16 summary",
+        &["metric", "100 shards", "10000 shards"],
+    );
     print_row(&[
         "imbalance (max/mean)".into(),
         format!("{:.2}", imbalance(&coarse_loads)),

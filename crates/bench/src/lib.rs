@@ -12,7 +12,7 @@
 
 #![forbid(unsafe_code)]
 
-use geodabs::GeodabConfig;
+use geodabs_core::GeodabConfig;
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_index::{GeodabIndex, GeohashIndex, TrajectoryIndex};
 use geodabs_roadnet::generators::{grid_network, GridConfig};

@@ -31,7 +31,9 @@ impl fmt::Display for ParseError {
         match self {
             ParseError::MissingCommand => write!(f, "missing subcommand (try `geodabs help`)"),
             ParseError::UnknownCommand(c) => write!(f, "unknown subcommand {c:?}"),
-            ParseError::MalformedFlag(s) => write!(f, "malformed flag {s:?} (expected --name value)"),
+            ParseError::MalformedFlag(s) => {
+                write!(f, "malformed flag {s:?} (expected --name value)")
+            }
             ParseError::DuplicateFlag(s) => write!(f, "flag --{s} given more than once"),
             ParseError::InvalidValue { flag, value } => {
                 write!(f, "invalid value {value:?} for --{flag}")
@@ -51,7 +53,9 @@ pub struct Args {
 }
 
 /// Subcommands the binary understands.
-pub const COMMANDS: &[&str] = &["build", "stats", "search", "tune", "world", "export", "help"];
+pub const COMMANDS: &[&str] = &[
+    "build", "stats", "search", "tune", "world", "export", "help",
+];
 
 impl Args {
     /// Parses a raw argument list (without the program name).
@@ -164,7 +168,10 @@ mod tests {
             Args::parse(["frobnicate"]),
             Err(ParseError::UnknownCommand("frobnicate".into()))
         );
-        assert_eq!(Args::parse(Vec::<String>::new()), Err(ParseError::MissingCommand));
+        assert_eq!(
+            Args::parse(Vec::<String>::new()),
+            Err(ParseError::MissingCommand)
+        );
     }
 
     #[test]
@@ -210,7 +217,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(ParseError::MissingCommand.to_string().contains("subcommand"));
-        assert!(ParseError::DuplicateFlag("x".into()).to_string().contains("--x"));
+        assert!(ParseError::MissingCommand
+            .to_string()
+            .contains("subcommand"));
+        assert!(ParseError::DuplicateFlag("x".into())
+            .to_string()
+            .contains("--x"));
     }
 }

@@ -1,6 +1,6 @@
 //! The subcommand implementations.
 
-use geodabs::GeodabConfig;
+use geodabs_core::GeodabConfig;
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_gen::world::{WorldActivity, WorldConfig};
 use geodabs_index::tuning::{hill_climb, TuningSample};
@@ -124,12 +124,14 @@ fn search(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error
     let ds = dataset_from_args(args)?;
     let qi = args.usize_or("query", 0)?;
     let limit = args.usize_or("limit", 10)?;
-    let query = ds
-        .queries()
-        .get(qi)
-        .ok_or_else(|| format!("query index {qi} out of range (have {})", ds.queries().len()))?;
+    let query = ds.queries().get(qi).ok_or_else(|| {
+        format!(
+            "query index {qi} out of range (have {})",
+            ds.queries().len()
+        )
+    })?;
     let relevant = ds.relevant_ids(query);
-    let hits = index.search(&query.trajectory, &SearchOptions::with_limit(limit));
+    let hits = index.search(&query.trajectory, &SearchOptions::default().limit(limit));
     writeln!(
         out,
         "query {qi} (route {}, {} points): {} hit(s)",
@@ -144,7 +146,11 @@ fn search(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error
             rank + 1,
             h.id.to_string(),
             h.distance,
-            if relevant.contains(&h.id) { "relevant" } else { "-" }
+            if relevant.contains(&h.id) {
+                "relevant"
+            } else {
+                "-"
+            }
         )?;
     }
     Ok(())
@@ -253,7 +259,15 @@ mod tests {
     fn build_stats_search_roundtrip() {
         let path = tmp("roundtrip.gdab");
         let out = run_to_string(&[
-            "build", "--out", &path, "--routes", "4", "--per-direction", "2", "--seed", "9",
+            "build",
+            "--out",
+            &path,
+            "--routes",
+            "4",
+            "--per-direction",
+            "2",
+            "--seed",
+            "9",
         ])
         .unwrap();
         assert!(out.contains("indexed 16 trajectories"), "{out}");
@@ -263,8 +277,17 @@ mod tests {
         assert!(out.contains("depth=36 k=6 t=12"), "{out}");
 
         let out = run_to_string(&[
-            "search", "--index", &path, "--routes", "4", "--per-direction", "2", "--seed", "9",
-            "--limit", "3",
+            "search",
+            "--index",
+            &path,
+            "--routes",
+            "4",
+            "--per-direction",
+            "2",
+            "--seed",
+            "9",
+            "--limit",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("query 0"), "{out}");
@@ -275,12 +298,29 @@ mod tests {
     fn search_rejects_out_of_range_query() {
         let path = tmp("range.gdab");
         run_to_string(&[
-            "build", "--out", &path, "--routes", "2", "--per-direction", "2", "--seed", "3",
+            "build",
+            "--out",
+            &path,
+            "--routes",
+            "2",
+            "--per-direction",
+            "2",
+            "--seed",
+            "3",
         ])
         .unwrap();
         let err = run_to_string(&[
-            "search", "--index", &path, "--routes", "2", "--per-direction", "2", "--seed", "3",
-            "--query", "99",
+            "search",
+            "--index",
+            &path,
+            "--routes",
+            "2",
+            "--per-direction",
+            "2",
+            "--seed",
+            "3",
+            "--query",
+            "99",
         ])
         .unwrap_err();
         assert!(err.contains("out of range"), "{err}");
@@ -297,7 +337,13 @@ mod tests {
     #[test]
     fn world_prints_summary() {
         let out = run_to_string(&[
-            "world", "--trajectories", "5000", "--cities", "50", "--seed", "2",
+            "world",
+            "--trajectories",
+            "5000",
+            "--cities",
+            "50",
+            "--seed",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("trajectories      5000"), "{out}");
@@ -307,7 +353,15 @@ mod tests {
     #[test]
     fn tune_reports_a_best_config() {
         let out = run_to_string(&[
-            "tune", "--routes", "3", "--per-direction", "2", "--seed", "4", "--steps", "1",
+            "tune",
+            "--routes",
+            "3",
+            "--per-direction",
+            "2",
+            "--seed",
+            "4",
+            "--steps",
+            "1",
         ])
         .unwrap();
         assert!(out.contains("best: depth="), "{out}");
@@ -325,13 +379,20 @@ mod tests {
     fn export_writes_parseable_csv() {
         let path = tmp("export.csv");
         let out = run_to_string(&[
-            "export", "--out", &path, "--routes", "2", "--per-direction", "1", "--seed", "5",
+            "export",
+            "--out",
+            &path,
+            "--routes",
+            "2",
+            "--per-direction",
+            "1",
+            "--seed",
+            "5",
         ])
         .unwrap();
         assert!(out.contains("exported 4 trajectories"), "{out}");
         let file = std::fs::File::open(&path).unwrap();
-        let records =
-            geodabs_gen::csv::read_records(std::io::BufReader::new(file)).unwrap();
+        let records = geodabs_gen::csv::read_records(std::io::BufReader::new(file)).unwrap();
         assert_eq!(records.len(), 4);
         assert!(records.iter().all(|r| r.trajectory.len() > 10));
     }

@@ -1,10 +1,10 @@
-use geodabs::{Fingerprinter, Fingerprints, GeodabConfig};
+use geodabs_core::{Fingerprinter, Fingerprints, GeodabConfig};
 use geodabs_traj::{TrajId, Trajectory};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
 
 use crate::{ClusterConfigError, ShardRouter};
-use geodabs_index::{SearchOptions, SearchResult};
+use geodabs_index::{SearchOptions, SearchResult, TrajectoryIndex};
 
 /// Statistics of one fan-out query, the quantities the sharding strategy
 /// tries to minimize (Section III-A4: "a good sharding strategy tries to
@@ -62,7 +62,9 @@ pub struct ClusterIndex {
     fingerprinter: Fingerprinter,
     router: ShardRouter,
     nodes: Vec<NodeStore>,
-    trajectories: usize,
+    /// Ids known to the coordinator, including trajectories too short to
+    /// produce fingerprints (which no node stores).
+    indexed: BTreeSet<TrajId>,
 }
 
 impl ClusterIndex {
@@ -84,7 +86,7 @@ impl ClusterIndex {
             fingerprinter: Fingerprinter::new(config),
             router,
             nodes: vec![NodeStore::default(); num_nodes],
-            trajectories: 0,
+            indexed: BTreeSet::new(),
         })
     }
 
@@ -95,12 +97,65 @@ impl ClusterIndex {
 
     /// Number of indexed trajectories.
     pub fn len(&self) -> usize {
-        self.trajectories
+        self.indexed.len()
     }
 
     /// Whether no trajectory has been indexed.
     pub fn is_empty(&self) -> bool {
-        self.trajectories == 0
+        self.indexed.is_empty()
+    }
+
+    /// The ids of every indexed trajectory, in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
+        self.indexed.iter().copied()
+    }
+
+    /// Removes a trajectory from every node holding one of its postings or
+    /// fingerprint replicas; returns whether the id was indexed.
+    ///
+    /// Costs `O(terms of id)`, not `O(postings in the cluster)`: the
+    /// fingerprint replica (held by every node referencing the id) names
+    /// exactly the posting lists to scrub, and the router maps each term
+    /// back to the one node owning it.
+    pub fn remove(&mut self, id: TrajId) -> bool {
+        if !self.indexed.remove(&id) {
+            return false;
+        }
+        // Take the first replica by value — every node holding one is
+        // scrubbed below anyway, so no clone is needed.
+        let Some(fp) = self
+            .nodes
+            .iter_mut()
+            .find_map(|node| node.fingerprints.remove(&id))
+        else {
+            // Too short to fingerprint: the coordinator knew the id, but no
+            // node stores anything for it.
+            return true;
+        };
+        for term in fp.set().iter() {
+            let shard = self.router.shard_of_geodab(term);
+            let node = &mut self.nodes[self.router.node_of_shard(shard)];
+            if let Some(list) = node.postings.get_mut(&term) {
+                let before = list.len();
+                list.retain(|&posted| posted != id);
+                let scrubbed = (before - list.len()) as u64;
+                if scrubbed > 0 {
+                    if let Some(load) = node.shard_load.get_mut(&shard) {
+                        *load = load.saturating_sub(scrubbed);
+                        if *load == 0 {
+                            node.shard_load.remove(&shard);
+                        }
+                    }
+                }
+                if list.is_empty() {
+                    node.postings.remove(&term);
+                }
+            }
+        }
+        for node in &mut self.nodes {
+            node.fingerprints.remove(&id);
+        }
+        true
     }
 
     /// Indexes a trajectory: fingerprints it once, then routes each
@@ -122,41 +177,52 @@ impl ClusterIndex {
         assert!(threads > 0, "need at least one worker thread");
         let fingerprinter = self.fingerprinter;
         let chunk = items.len().div_ceil(threads).max(1);
-        let fps: Mutex<Vec<(TrajId, Fingerprints)>> =
+        let fps: Mutex<Vec<(usize, TrajId, Fingerprints)>> =
             Mutex::new(Vec::with_capacity(items.len()));
-        crossbeam::scope(|scope| {
-            for slice in items.chunks(chunk) {
+        std::thread::scope(|scope| {
+            for (chunk_index, slice) in items.chunks(chunk).enumerate() {
                 let fps = &fps;
-                scope.spawn(move |_| {
-                    let local: Vec<(TrajId, Fingerprints)> = slice
+                let base = chunk_index * chunk;
+                scope.spawn(move || {
+                    let local: Vec<(usize, TrajId, Fingerprints)> = slice
                         .iter()
-                        .map(|&(id, t)| (id, fingerprinter.normalize_and_fingerprint(t)))
+                        .enumerate()
+                        .map(|(i, &(id, t))| {
+                            (base + i, id, fingerprinter.normalize_and_fingerprint(t))
+                        })
                         .collect();
-                    fps.lock().extend(local);
+                    fps.lock()
+                        .expect("fingerprinting threads never panic")
+                        .extend(local);
                 });
             }
-        })
-        .expect("fingerprinting threads never panic");
-        let mut fps = fps.into_inner();
-        // Deterministic routing order regardless of thread interleaving.
-        fps.sort_by_key(|&(id, _)| id);
-        for (id, fp) in fps {
+        });
+        let mut fps = fps
+            .into_inner()
+            .expect("fingerprinting threads never panic");
+        // Deterministic routing order regardless of thread interleaving; the
+        // original position breaks ties so a duplicated id keeps its *last*
+        // occurrence under replace-on-reinsert, exactly like repeated
+        // `insert` calls would.
+        fps.sort_by_key(|&(index, id, _)| (id, index));
+        for (_, id, fp) in fps {
             self.insert_fingerprints(id, fp);
         }
     }
 
     /// Routes pre-computed fingerprints to the nodes owning their shards.
+    /// Re-inserting an existing id replaces its previous fingerprints.
     pub fn insert_fingerprints(&mut self, id: TrajId, fp: Fingerprints) {
+        self.remove(id);
         let mut touched: Vec<usize> = Vec::new();
         for term in fp.set().iter() {
             let shard = self.router.shard_of_geodab(term);
             let node_idx = self.router.node_of_shard(shard);
             let node = &mut self.nodes[node_idx];
             let list = node.postings.entry(term).or_default();
-            if list.last() != Some(&id) && !list.contains(&id) {
-                list.push(id);
-                *node.shard_load.entry(shard).or_insert(0) += 1;
-            }
+            debug_assert!(!list.contains(&id), "remove() scrubbed this id");
+            list.push(id);
+            *node.shard_load.entry(shard).or_insert(0) += 1;
             if !touched.contains(&node_idx) {
                 touched.push(node_idx);
             }
@@ -164,7 +230,7 @@ impl ClusterIndex {
         for node_idx in touched {
             self.nodes[node_idx].fingerprints.insert(id, fp.clone());
         }
-        self.trajectories += 1;
+        self.indexed.insert(id);
     }
 
     /// Ranked fan-out query with routing statistics.
@@ -189,19 +255,21 @@ impl ClusterIndex {
             v
         };
         let partials: Mutex<Vec<SearchResult>> = Mutex::new(Vec::new());
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for &ni in &node_ids {
                 let node = &self.nodes[ni];
                 let query_fp = &query_fp;
                 let partials = &partials;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let local = node.score(query_fp);
-                    partials.lock().extend(local);
+                    partials
+                        .lock()
+                        .expect("scoring threads never panic")
+                        .extend(local);
                 });
             }
-        })
-        .expect("scoring threads never panic");
-        let mut merged = partials.into_inner();
+        });
+        let mut merged = partials.into_inner().expect("scoring threads never panic");
         let scored = merged.len();
         // A trajectory referenced from several nodes is scored with the
         // same full bitmap everywhere; deduplicate by id.
@@ -253,11 +321,10 @@ impl ClusterIndex {
                         entry.push(id);
                         *target.shard_load.entry(shard).or_insert(0) += 1;
                         // The fingerprint replica follows its postings.
-                        if !target.fingerprints.contains_key(&id) {
-                            target
-                                .fingerprints
-                                .insert(id, fingerprints[&id].clone());
-                        }
+                        target
+                            .fingerprints
+                            .entry(id)
+                            .or_insert_with(|| fingerprints[&id].clone());
                     }
                 }
             }
@@ -283,6 +350,41 @@ impl ClusterIndex {
     /// Number of non-empty shards.
     pub fn active_shards(&self) -> usize {
         self.nodes.iter().map(|n| n.shard_load.len()).sum()
+    }
+}
+
+/// The cluster is itself a [`TrajectoryIndex`], so evaluation and any
+/// other index-generic code runs unchanged against a sharded deployment.
+/// The trait's default `insert_batch` is overridden to reuse the
+/// multi-threaded batch fingerprinting path.
+impl TrajectoryIndex for ClusterIndex {
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        ClusterIndex::insert(self, id, trajectory);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        ClusterIndex::remove(self, id)
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        ClusterIndex::search(self, query, options)
+    }
+
+    fn len(&self) -> usize {
+        ClusterIndex::len(self)
+    }
+
+    fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
+        ClusterIndex::ids(self)
+    }
+
+    fn insert_batch<'a, I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
+    {
+        let items: Vec<(TrajId, &Trajectory)> = items.into_iter().collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ClusterIndex::insert_batch(self, &items, threads);
     }
 }
 
@@ -329,9 +431,7 @@ mod tests {
         assert!(!c.is_empty());
         assert!(c.active_shards() >= 1);
         assert_eq!(c.postings_per_node().len(), 10);
-        assert!(
-            c.postings_per_node().iter().sum::<u64>() > 0
-        );
+        assert!(c.postings_per_node().iter().sum::<u64>() > 0);
     }
 
     #[test]
@@ -417,10 +517,13 @@ mod tests {
     fn options_apply_after_merge() {
         let c = sample_cluster();
         let all = c.search(&eastward(40, 0.0), &SearchOptions::default());
-        let limited = c.search(&eastward(40, 0.0), &SearchOptions::with_limit(1));
+        let limited = c.search(&eastward(40, 0.0), &SearchOptions::default().limit(1));
         assert_eq!(limited.len(), 1);
         assert_eq!(limited[0], all[0]);
-        let tight = c.search(&eastward(40, 0.0), &SearchOptions::with_max_distance(0.2));
+        let tight = c.search(
+            &eastward(40, 0.0),
+            &SearchOptions::default().max_distance(0.2),
+        );
         assert!(tight.iter().all(|h| h.distance <= 0.2));
     }
 
@@ -440,7 +543,11 @@ mod tests {
             c.resize(nodes).unwrap();
             assert_eq!(c.postings_per_node().len(), nodes);
             for (q, expected) in queries.iter().zip(&before) {
-                assert_eq!(&c.search(q, &SearchOptions::default()), expected, "{nodes} nodes");
+                assert_eq!(
+                    &c.search(q, &SearchOptions::default()),
+                    expected,
+                    "{nodes} nodes"
+                );
             }
         }
         assert!(c.resize(0).is_err());

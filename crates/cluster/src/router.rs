@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use geodabs::geodab_prefix;
+use geodabs_core::geodab_prefix;
 
 /// Errors constructing a [`ShardRouter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,10 +106,7 @@ impl ShardRouter {
 
     /// Distinct shards touched by a term set, sorted.
     pub fn shards_for_terms<I: IntoIterator<Item = u32>>(&self, terms: I) -> Vec<u64> {
-        let mut shards: Vec<u64> = terms
-            .into_iter()
-            .map(|t| self.shard_of_geodab(t))
-            .collect();
+        let mut shards: Vec<u64> = terms.into_iter().map(|t| self.shard_of_geodab(t)).collect();
         shards.sort_unstable();
         shards.dedup();
         shards
@@ -131,7 +128,7 @@ impl ShardRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geodabs::geodab;
+    use geodabs_core::geodab;
     use geodabs_geo::Point;
     use proptest::prelude::*;
 
@@ -146,8 +143,14 @@ mod tests {
             ShardRouter::new(32, 100, 10),
             Err(ClusterConfigError::InvalidPrefixBits(32))
         );
-        assert_eq!(ShardRouter::new(16, 0, 10), Err(ClusterConfigError::NoShards));
-        assert_eq!(ShardRouter::new(16, 100, 0), Err(ClusterConfigError::NoNodes));
+        assert_eq!(
+            ShardRouter::new(16, 0, 10),
+            Err(ClusterConfigError::NoShards)
+        );
+        assert_eq!(
+            ShardRouter::new(16, 100, 0),
+            Err(ClusterConfigError::NoNodes)
+        );
     }
 
     #[test]
@@ -186,12 +189,12 @@ mod tests {
         // the same 16-bit prefix, hence the same shard.
         let r = ShardRouter::new(16, 10_000, 10).unwrap();
         let start = Point::new(51.5074, -0.1278).unwrap();
-        let g1 = geodab(
-            &[start, start.destination(90.0, 100.0)],
-            16,
-        );
+        let g1 = geodab(&[start, start.destination(90.0, 100.0)], 16);
         let g2 = geodab(
-            &[start.destination(0.0, 500.0), start.destination(45.0, 700.0)],
+            &[
+                start.destination(0.0, 500.0),
+                start.destination(45.0, 700.0),
+            ],
             16,
         );
         assert_eq!(r.shard_of_geodab(g1), r.shard_of_geodab(g2));

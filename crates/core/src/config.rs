@@ -29,7 +29,91 @@ impl Default for GeodabConfig {
     }
 }
 
+/// Chainable builder for [`GeodabConfig`], starting from the paper's
+/// defaults. All validation happens in [`GeodabConfigBuilder::build`], so
+/// setters can be combined in any order:
+///
+/// ```
+/// use geodabs_core::GeodabConfig;
+///
+/// # fn main() -> Result<(), geodabs_core::GeodabError> {
+/// let config = GeodabConfig::builder().k(6).t(12).prefix_bits(16).build()?;
+/// assert_eq!(config, GeodabConfig::default());
+/// let coarse = GeodabConfig::builder().normalization_depth(30).build()?;
+/// assert_eq!(coarse.normalization_depth(), 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeodabConfigBuilder {
+    normalization_depth: u8,
+    k: usize,
+    t: usize,
+    prefix_bits: u8,
+}
+
+impl Default for GeodabConfigBuilder {
+    fn default() -> GeodabConfigBuilder {
+        GeodabConfig::default().to_builder()
+    }
+}
+
+impl GeodabConfigBuilder {
+    /// Sets the geohash depth used to normalize trajectories, in bits.
+    pub fn normalization_depth(mut self, depth: u8) -> GeodabConfigBuilder {
+        self.normalization_depth = depth;
+        self
+    }
+
+    /// Sets the winnowing lower bound `k` (noise threshold, in moves).
+    pub fn k(mut self, k: usize) -> GeodabConfigBuilder {
+        self.k = k;
+        self
+    }
+
+    /// Sets the winnowing upper bound `t` (guarantee threshold, in moves).
+    pub fn t(mut self, t: usize) -> GeodabConfigBuilder {
+        self.t = t;
+        self
+    }
+
+    /// Sets the geohash prefix width inside the 32-bit geodab.
+    pub fn prefix_bits(mut self, prefix_bits: u8) -> GeodabConfigBuilder {
+        self.prefix_bits = prefix_bits;
+        self
+    }
+
+    /// Validates the accumulated parameters into a [`GeodabConfig`].
+    ///
+    /// # Errors
+    ///
+    /// * [`GeodabError::InvalidLowerBound`] if `k < 2`,
+    /// * [`GeodabError::InvalidUpperBound`] if `t < k`,
+    /// * [`GeodabError::InvalidPrefixBits`] if `prefix_bits` is 0 or ≥ 32,
+    /// * [`GeodabError::InvalidNormalizationDepth`] if the depth is 0 or
+    ///   above 64.
+    pub fn build(self) -> Result<GeodabConfig, GeodabError> {
+        GeodabConfig::new(self.normalization_depth, self.k, self.t, self.prefix_bits)
+    }
+}
+
 impl GeodabConfig {
+    /// Starts a builder seeded with the paper's default parameters.
+    pub fn builder() -> GeodabConfigBuilder {
+        GeodabConfigBuilder::default()
+    }
+
+    /// Re-opens this configuration as a builder, e.g. to derive a variant
+    /// for a parameter sweep.
+    pub fn to_builder(self) -> GeodabConfigBuilder {
+        GeodabConfigBuilder {
+            normalization_depth: self.normalization_depth,
+            k: self.k,
+            t: self.t,
+            prefix_bits: self.prefix_bits,
+        }
+    }
+
     /// Creates a configuration, validating all parameters.
     ///
     /// # Errors
@@ -190,7 +274,12 @@ mod tests {
     #[test]
     fn with_methods_override_one_field() {
         let c = GeodabConfig::default();
-        assert_eq!(c.with_normalization_depth(40).unwrap().normalization_depth(), 40);
+        assert_eq!(
+            c.with_normalization_depth(40)
+                .unwrap()
+                .normalization_depth(),
+            40
+        );
         let b = c.with_bounds(4, 8).unwrap();
         assert_eq!((b.k(), b.t(), b.window()), (4, 8, 5));
         assert_eq!(c.with_prefix_bits(8).unwrap().prefix_bits(), 8);
@@ -201,5 +290,63 @@ mod tests {
     fn k_equal_t_gives_window_of_one() {
         let c = GeodabConfig::default().with_bounds(6, 6).unwrap();
         assert_eq!(c.window(), 1);
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        assert_eq!(GeodabConfig::builder().build(), Ok(GeodabConfig::default()));
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let c = GeodabConfig::builder()
+            .normalization_depth(40)
+            .k(4)
+            .t(9)
+            .prefix_bits(20)
+            .build()
+            .unwrap();
+        assert_eq!(
+            (c.normalization_depth(), c.k(), c.t(), c.prefix_bits()),
+            (40, 4, 9, 20)
+        );
+    }
+
+    #[test]
+    fn builder_validation_matches_new() {
+        assert_eq!(
+            GeodabConfig::builder().k(1).build(),
+            Err(GeodabError::InvalidLowerBound(1))
+        );
+        assert_eq!(
+            GeodabConfig::builder().k(6).t(5).build(),
+            Err(GeodabError::InvalidUpperBound { t: 5, k: 6 })
+        );
+        assert_eq!(
+            GeodabConfig::builder().prefix_bits(0).build(),
+            Err(GeodabError::InvalidPrefixBits(0))
+        );
+        assert_eq!(
+            GeodabConfig::builder().prefix_bits(32).build(),
+            Err(GeodabError::InvalidPrefixBits(32))
+        );
+        assert_eq!(
+            GeodabConfig::builder().normalization_depth(0).build(),
+            Err(GeodabError::InvalidNormalizationDepth(0))
+        );
+        assert_eq!(
+            GeodabConfig::builder().normalization_depth(65).build(),
+            Err(GeodabError::InvalidNormalizationDepth(65))
+        );
+    }
+
+    #[test]
+    fn to_builder_roundtrips() {
+        let c = GeodabConfig::new(40, 4, 9, 20).unwrap();
+        assert_eq!(c.to_builder().build(), Ok(c));
+        // Deriving a variant only changes the overridden field.
+        let v = c.to_builder().prefix_bits(8).build().unwrap();
+        assert_eq!(v.prefix_bits(), 8);
+        assert_eq!(v.k(), 4);
     }
 }

@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(GeodabError::InvalidLowerBound(1).to_string().contains("k=1"));
+        assert!(GeodabError::InvalidLowerBound(1)
+            .to_string()
+            .contains("k=1"));
         assert!(GeodabError::InvalidUpperBound { t: 3, k: 6 }
             .to_string()
             .contains("t=3"));

@@ -266,7 +266,10 @@ mod tests {
         use geodabs_traj::IdentityNormalizer;
         let fp = Fingerprinter::default();
         let t = eastward(30, 0.0);
-        assert_eq!(fp.fingerprint_with(&IdentityNormalizer, &t), fp.fingerprint(&t));
+        assert_eq!(
+            fp.fingerprint_with(&IdentityNormalizer, &t),
+            fp.fingerprint(&t)
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::hash::hash_points;
 /// # Examples
 ///
 /// ```
-/// use geodabs::{geodab, geodab_prefix};
+/// use geodabs_core::{geodab, geodab_prefix};
 /// use geodabs_geo::{Geohash, Point};
 ///
 /// # fn main() -> Result<(), geodabs_geo::GeoError> {

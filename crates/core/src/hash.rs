@@ -29,7 +29,7 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 /// (Figure 12 of the paper).
 ///
 /// ```
-/// use geodabs::hash::hash_points;
+/// use geodabs_core::hash::hash_points;
 /// use geodabs_geo::Point;
 ///
 /// # fn main() -> Result<(), geodabs_geo::GeoError> {

@@ -21,7 +21,7 @@
 //! # Examples
 //!
 //! ```
-//! use geodabs::{Fingerprinter, GeodabConfig};
+//! use geodabs_core::{Fingerprinter, GeodabConfig};
 //! use geodabs_geo::Point;
 //! use geodabs_traj::Trajectory;
 //!
@@ -52,7 +52,7 @@ pub mod hash;
 pub mod motif;
 pub mod winnow;
 
-pub use config::GeodabConfig;
+pub use config::{GeodabConfig, GeodabConfigBuilder};
 pub use error::GeodabError;
 pub use fingerprint::{Fingerprinter, Fingerprints};
 pub use geodab::{geodab, geodab_prefix};

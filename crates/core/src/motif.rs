@@ -34,7 +34,7 @@ pub struct MotifMatch {
 /// # Examples
 ///
 /// ```
-/// use geodabs::{discover_motif, Fingerprints};
+/// use geodabs_core::{discover_motif, Fingerprints};
 ///
 /// let a = Fingerprints::from_ordered(vec![1, 2, 3, 4, 90, 91]);
 /// let b = Fingerprints::from_ordered(vec![80, 2, 3, 4, 81, 82]);

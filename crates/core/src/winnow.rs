@@ -27,7 +27,7 @@
 /// # Examples
 ///
 /// ```
-/// use geodabs::winnow::winnow;
+/// use geodabs_core::winnow::winnow;
 ///
 /// // Window of 4 over the classic winnowing example sequence.
 /// let hashes = [77, 74, 42, 17, 98, 50, 17, 98, 8, 88, 67, 39, 77, 74, 42, 17, 98];
@@ -233,7 +233,9 @@ mod tests {
             (vec![9, 8, 7, 6, 5], 3),
             (vec![1, 2, 3, 4, 5], 3),
             (
-                vec![77, 74, 42, 17, 98, 50, 17, 98, 8, 88, 67, 39, 77, 74, 42, 17, 98],
+                vec![
+                    77, 74, 42, 17, 98, 50, 17, 98, 8, 88, 67, 39, 77, 74, 42, 17, 98,
+                ],
                 4,
             ),
         ];

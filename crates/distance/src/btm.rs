@@ -94,7 +94,9 @@ mod tests {
     /// Two V-shaped trajectories sharing their second leg.
     fn v_pair() -> (Trajectory, Trajectory) {
         let turn = p(0.0, 0.0);
-        let shared: Vec<Point> = (0..10).map(|i| turn.destination(90.0, i as f64 * 100.0)).collect();
+        let shared: Vec<Point> = (0..10)
+            .map(|i| turn.destination(90.0, i as f64 * 100.0))
+            .collect();
         let mut a: Vec<Point> = (1..8)
             .rev()
             .map(|i| turn.destination(180.0, i as f64 * 100.0))

@@ -38,7 +38,10 @@ pub fn dfd(p: &Trajectory, q: &Trajectory) -> f64 {
 ///
 /// Panics if either slice is empty.
 pub(crate) fn dfd_points(p: &[Point], q: &[Point]) -> f64 {
-    assert!(!p.is_empty() && !q.is_empty(), "dfd requires non-empty inputs");
+    assert!(
+        !p.is_empty() && !q.is_empty(),
+        "dfd requires non-empty inputs"
+    );
     let m = q.len();
     let mut prev = vec![f64::INFINITY; m];
     let mut cur = vec![f64::INFINITY; m];

@@ -20,7 +20,11 @@ use geodabs_traj::Trajectory;
 pub fn lcss_similarity(p: &Trajectory, q: &Trajectory, epsilon_m: f64) -> f64 {
     assert!(epsilon_m >= 0.0, "epsilon must be non-negative");
     if p.is_empty() || q.is_empty() {
-        return if p.is_empty() && q.is_empty() { 1.0 } else { 0.0 };
+        return if p.is_empty() && q.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let (long, short) = if p.len() >= q.len() { (p, q) } else { (q, p) };
     let sp = short.points();
@@ -73,9 +77,7 @@ pub fn edr(p: &Trajectory, q: &Trajectory, epsilon_m: f64) -> usize {
         cur[0] = i + 1;
         for (j, &qj) in sp.iter().enumerate() {
             let subcost = usize::from(pi.haversine_distance(qj) > epsilon_m);
-            cur[j + 1] = (prev[j] + subcost)
-                .min(prev[j + 1] + 1)
-                .min(cur[j] + 1);
+            cur[j + 1] = (prev[j] + subcost).min(prev[j + 1] + 1).min(cur[j] + 1);
         }
         std::mem::swap(&mut prev, &mut cur);
     }

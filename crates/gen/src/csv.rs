@@ -102,7 +102,9 @@ pub fn write_records<W: Write>(records: &[TrajectoryRecord], mut w: W) -> Result
 /// sequence numbers).
 pub fn read_records<R: BufRead>(reader: R) -> Result<Vec<TrajectoryRecord>, CsvError> {
     let mut lines = reader.lines();
-    let header = lines.next().ok_or_else(|| CsvError::BadHeader(String::new()))??;
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::BadHeader(String::new()))??;
     if header.trim() != HEADER {
         return Err(CsvError::BadHeader(header));
     }
@@ -131,8 +133,7 @@ pub fn read_records<R: BufRead>(reader: R) -> Result<Vec<TrajectoryRecord>, CsvE
         let seq: usize = fields[3].parse().map_err(|_| bad("invalid seq"))?;
         let lat: f64 = fields[4].parse().map_err(|_| bad("invalid lat"))?;
         let lon: f64 = fields[5].parse().map_err(|_| bad("invalid lon"))?;
-        let point = Point::new(lat, lon)
-            .map_err(|e| bad(&format!("invalid coordinates: {e}")))?;
+        let point = Point::new(lat, lon).map_err(|e| bad(&format!("invalid coordinates: {e}")))?;
         let id = TrajId::new(id);
         match records.last_mut() {
             Some(last) if last.id == id => {
@@ -218,10 +219,16 @@ mod tests {
     #[test]
     fn malformed_rows_are_rejected_with_line_numbers() {
         let cases = [
-            ("id,route,forward,seq,lat,lon\n1,0,1,0,91.0,0.0\n", "coordinates"),
+            (
+                "id,route,forward,seq,lat,lon\n1,0,1,0,91.0,0.0\n",
+                "coordinates",
+            ),
             ("id,route,forward,seq,lat,lon\n1,0,2,0,1.0,0.0\n", "forward"),
             ("id,route,forward,seq,lat,lon\n1,0,1,5,1.0,0.0\n", "seq 0"),
-            ("id,route,forward,seq,lat,lon\nx,0,1,0,1.0,0.0\n", "invalid id"),
+            (
+                "id,route,forward,seq,lat,lon\nx,0,1,0,1.0,0.0\n",
+                "invalid id",
+            ),
             ("id,route,forward,seq,lat,lon\n1,0,1,0,1.0\n", "6 fields"),
         ];
         for (input, needle) in cases {

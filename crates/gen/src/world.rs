@@ -70,7 +70,10 @@ impl WorldActivity {
     /// Generates the activity histogram. Deterministic per seed.
     pub fn generate(cfg: &WorldConfig, seed: u64) -> WorldActivity {
         assert!(cfg.cities > 0, "need at least one city");
-        assert!((1..=32).contains(&cfg.cell_depth), "cell depth must be 1..=32");
+        assert!(
+            (1..=32).contains(&cfg.cell_depth),
+            "cell depth must be 1..=32"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut gauss = Gaussian::new();
         // Place the cities.

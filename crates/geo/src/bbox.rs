@@ -139,8 +139,7 @@ impl BoundingBox {
     /// East-west extent at the center latitude, in meters.
     pub fn width_meters(&self) -> f64 {
         let mid = (self.min_lat + self.max_lat) / 2.0;
-        Point::clamped(mid, self.min_lon)
-            .haversine_distance(Point::clamped(mid, self.max_lon))
+        Point::clamped(mid, self.min_lon).haversine_distance(Point::clamped(mid, self.max_lon))
     }
 
     /// North-south extent, in meters.

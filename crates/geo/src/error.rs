@@ -29,7 +29,10 @@ impl fmt::Display for GeoError {
                 write!(f, "geohash depth {d} is outside the supported range 1..=64")
             }
             GeoError::InvalidBase32(c) => {
-                write!(f, "character {c:?} is not part of the geohash base32 alphabet")
+                write!(
+                    f,
+                    "character {c:?} is not part of the geohash base32 alphabet"
+                )
             }
             GeoError::EmptyPointSet => write!(f, "operation requires at least one point"),
         }
@@ -54,7 +57,10 @@ mod tests {
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
-            assert!(!msg.ends_with('.'), "error messages have no trailing period");
+            assert!(
+                !msg.ends_with('.'),
+                "error messages have no trailing period"
+            );
         }
     }
 

@@ -34,9 +34,7 @@ const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
 /// # Ok(())
 /// # }
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Geohash {
     // Order matters for the derived `Ord`: compare by depth first so that
     // hashes of equal depth sort along the Z-curve, which is the only
@@ -199,7 +197,9 @@ impl Geohash {
 
     /// Whether the point falls in this cell.
     pub fn contains_point(&self, p: Point) -> bool {
-        Geohash::encode(p, self.depth).map(|g| g == *self).unwrap_or(false)
+        Geohash::encode(p, self.depth)
+            .map(|g| g == *self)
+            .unwrap_or(false)
     }
 
     /// The deepest geohash that overlaps every point of the iterator — the
@@ -215,7 +215,9 @@ impl Geohash {
         let mut prefix_len = MAX_DEPTH;
         let mut bits = first.bits;
         for p in iter {
-            let code = Geohash::encode(p, MAX_DEPTH).expect("depth 64 is valid").bits;
+            let code = Geohash::encode(p, MAX_DEPTH)
+                .expect("depth 64 is valid")
+                .bits;
             let common = (bits ^ code).leading_zeros().min(u32::from(prefix_len)) as u8;
             prefix_len = common;
             if prefix_len == 0 {
@@ -225,7 +227,11 @@ impl Geohash {
         }
         Ok(Geohash {
             depth: prefix_len,
-            bits: if prefix_len == 0 { 0 } else { bits >> (64 - prefix_len) },
+            bits: if prefix_len == 0 {
+                0
+            } else {
+                bits >> (64 - prefix_len)
+            },
         })
     }
 
@@ -247,8 +253,16 @@ impl Geohash {
         let lat_bits = u32::from(self.depth) / 2;
         let lon_bits = u32::from(self.depth).div_ceil(2);
         let (mut lat_cell, mut lon_cell) = (
-            if lat_bits == 0 { 0 } else { lat_q >> (32 - lat_bits) },
-            if lon_bits == 0 { 0 } else { lon_q >> (32 - lon_bits) },
+            if lat_bits == 0 {
+                0
+            } else {
+                lat_q >> (32 - lat_bits)
+            },
+            if lon_bits == 0 {
+                0
+            } else {
+                lon_q >> (32 - lon_bits)
+            },
         );
         match dir {
             Direction::North => {
@@ -270,8 +284,16 @@ impl Geohash {
                 lon_cell = lon_cell.wrapping_sub(1) & ((1u64 << lon_bits) - 1) as u32;
             }
         }
-        let lat_q = if lat_bits == 0 { 0 } else { lat_cell << (32 - lat_bits) };
-        let lon_q = if lon_bits == 0 { 0 } else { lon_cell << (32 - lon_bits) };
+        let lat_q = if lat_bits == 0 {
+            0
+        } else {
+            lat_cell << (32 - lat_bits)
+        };
+        let lon_q = if lon_bits == 0 {
+            0
+        } else {
+            lon_cell << (32 - lon_bits)
+        };
         let code = interleave(lat_q, lon_q);
         Some(Geohash {
             depth: self.depth,
@@ -295,15 +317,21 @@ impl Geohash {
             return Err(GeoError::InvalidDepth(depth));
         }
         let (lat_lo, lat_hi, lon_lo, lon_hi) = cell_ranges(bbox, depth);
-        let mut out = Vec::with_capacity(
-            ((lat_hi - lat_lo + 1) * (lon_hi - lon_lo + 1)) as usize,
-        );
+        let mut out = Vec::with_capacity(((lat_hi - lat_lo + 1) * (lon_hi - lon_lo + 1)) as usize);
         let lat_bits = u32::from(depth) / 2;
         let lon_bits = u32::from(depth).div_ceil(2);
         for lat_cell in lat_lo..=lat_hi {
             for lon_cell in lon_lo..=lon_hi {
-                let lat_q = if lat_bits == 0 { 0 } else { (lat_cell as u32) << (32 - lat_bits) };
-                let lon_q = if lon_bits == 0 { 0 } else { (lon_cell as u32) << (32 - lon_bits) };
+                let lat_q = if lat_bits == 0 {
+                    0
+                } else {
+                    (lat_cell as u32) << (32 - lat_bits)
+                };
+                let lon_q = if lon_bits == 0 {
+                    0
+                } else {
+                    (lon_cell as u32) << (32 - lon_bits)
+                };
                 let code = interleave(lat_q, lon_q);
                 out.push(Geohash {
                     depth,
@@ -390,7 +418,13 @@ impl fmt::Display for Geohash {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.to_base32() {
             Some(s) if !s.is_empty() => write!(f, "{s}"),
-            _ => write!(f, "0b{:0width$b}/{}", self.bits, self.depth, width = self.depth as usize),
+            _ => write!(
+                f,
+                "0b{:0width$b}/{}",
+                self.bits,
+                self.depth,
+                width = self.depth as usize
+            ),
         }
     }
 }
@@ -540,8 +574,16 @@ mod tests {
         // of 95 meters and a height of 76 meters."
         let g = Geohash::encode(p(51.5074, -0.1278), 36).unwrap();
         let b = g.bounds();
-        assert!((b.width_meters() - 95.0).abs() < 5.0, "width {}", b.width_meters());
-        assert!((b.height_meters() - 76.0).abs() < 5.0, "height {}", b.height_meters());
+        assert!(
+            (b.width_meters() - 95.0).abs() < 5.0,
+            "width {}",
+            b.width_meters()
+        );
+        assert!(
+            (b.height_meters() - 76.0).abs() < 5.0,
+            "height {}",
+            b.height_meters()
+        );
     }
 
     #[test]
@@ -549,7 +591,11 @@ mod tests {
         // Paper, Section VI-E: 16-bit cells are ~156 km wide at the equator.
         let g = Geohash::encode(p(0.0, 0.0), 16).unwrap();
         let b = g.bounds();
-        assert!((b.width_meters() - 156_000.0).abs() < 5_000.0, "{}", b.width_meters());
+        assert!(
+            (b.width_meters() - 156_000.0).abs() < 5_000.0,
+            "{}",
+            b.width_meters()
+        );
     }
 
     #[test]
@@ -634,11 +680,17 @@ mod tests {
     fn neighbor_roundtrip() {
         let g = Geohash::encode(p(10.0, 20.0), 30).unwrap();
         assert_eq!(
-            g.neighbor(Direction::East).unwrap().neighbor(Direction::West).unwrap(),
+            g.neighbor(Direction::East)
+                .unwrap()
+                .neighbor(Direction::West)
+                .unwrap(),
             g
         );
         assert_eq!(
-            g.neighbor(Direction::North).unwrap().neighbor(Direction::South).unwrap(),
+            g.neighbor(Direction::North)
+                .unwrap()
+                .neighbor(Direction::South)
+                .unwrap(),
             g
         );
     }
@@ -677,7 +729,10 @@ mod tests {
         let half = area(&c0.bounds()) + area(&c1.bounds());
         assert!((half - area(&pb)).abs() / area(&pb) < 0.01);
         // Max depth has no children.
-        assert!(Geohash::encode(p(0.0, 0.0), 64).unwrap().children().is_none());
+        assert!(Geohash::encode(p(0.0, 0.0), 64)
+            .unwrap()
+            .children()
+            .is_none());
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Point {
     ///
     /// Panics if either coordinate is `NaN`.
     pub fn clamped(lat: f64, lon: f64) -> Point {
-        assert!(!lat.is_nan() && !lon.is_nan(), "coordinates must not be NaN");
+        assert!(
+            !lat.is_nan() && !lon.is_nan(),
+            "coordinates must not be NaN"
+        );
         Point {
             lat: lat.clamp(-90.0, 90.0),
             lon: lon.clamp(-180.0, 180.0),
@@ -110,11 +113,9 @@ impl Point {
         let theta = bearing_deg.to_radians();
         let phi1 = self.lat.to_radians();
         let lambda1 = self.lon.to_radians();
-        let phi2 =
-            (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+        let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
         let lambda2 = lambda1
-            + (theta.sin() * delta.sin() * phi1.cos())
-                .atan2(delta.cos() - phi1.sin() * phi2.sin());
+            + (theta.sin() * delta.sin() * phi1.cos()).atan2(delta.cos() - phi1.sin() * phi2.sin());
         // Normalize the longitude into [-180, 180].
         let mut lon = lambda2.to_degrees();
         if lon > 180.0 {

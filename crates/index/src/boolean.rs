@@ -15,7 +15,7 @@
 //! fingerprint Jaccard ranking — can be verified directly against
 //! [`crate::GeodabIndex`] on the same data.
 
-use geodabs::{Fingerprinter, GeodabConfig};
+use geodabs_core::{Fingerprinter, GeodabConfig};
 use geodabs_traj::{TrajId, Trajectory};
 use std::collections::HashMap;
 
@@ -158,8 +158,7 @@ impl PositionalIndex {
             let mut starts = Vec::new();
             for &start in first_positions {
                 let start = start as usize;
-                if start + phrase.len() <= seq.len()
-                    && seq[start..start + phrase.len()] == *phrase
+                if start + phrase.len() <= seq.len() && seq[start..start + phrase.len()] == *phrase
                 {
                     starts.push(start as u32);
                 }
@@ -347,9 +346,7 @@ mod tests {
         // Find a shared run of 2 consecutive terms between a and b.
         let seq_a = idx.sequence(a).unwrap().to_vec();
         let seq_b = idx.sequence(b).unwrap().to_vec();
-        let shared_run = seq_a
-            .windows(2)
-            .find(|w| seq_b.windows(2).any(|v| v == *w));
+        let shared_run = seq_a.windows(2).find(|w| seq_b.windows(2).any(|v| v == *w));
         if let Some(run) = shared_run {
             let hits = idx.query_phrase(run);
             let ids: Vec<TrajId> = hits.iter().map(|(id, _)| *id).collect();

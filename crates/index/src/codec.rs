@@ -12,8 +12,7 @@
 //! entry*  id u32, len u32, geodab u32 * len
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use geodabs::{Fingerprints, GeodabConfig, GeodabError};
+use geodabs_core::{Fingerprints, GeodabConfig, GeodabError};
 use geodabs_traj::TrajId;
 use std::error::Error;
 use std::fmt;
@@ -59,27 +58,70 @@ impl Error for CodecError {
 }
 
 /// Serializes the index to its compact binary form.
-pub fn encode(index: &GeodabIndex) -> Bytes {
+pub fn encode(index: &GeodabIndex) -> Vec<u8> {
     let cfg = index.config();
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u8(cfg.normalization_depth());
-    buf.put_u8(cfg.prefix_bits());
-    buf.put_u32_le(cfg.k() as u32);
-    buf.put_u32_le(cfg.t() as u32);
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(cfg.normalization_depth());
+    buf.push(cfg.prefix_bits());
+    buf.extend_from_slice(&(cfg.k() as u32).to_le_bytes());
+    buf.extend_from_slice(&(cfg.t() as u32).to_le_bytes());
     // Deterministic output: sort by id.
     let mut entries: Vec<(TrajId, &Fingerprints)> = index.iter_fingerprints().collect();
     entries.sort_by_key(|&(id, _)| id);
-    buf.put_u64_le(entries.len() as u64);
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     for (id, fp) in entries {
-        buf.put_u32_le(id.raw());
-        buf.put_u32_le(fp.ordered().len() as u32);
+        buf.extend_from_slice(&id.raw().to_le_bytes());
+        buf.extend_from_slice(&(fp.ordered().len() as u32).to_le_bytes());
         for &g in fp.ordered() {
-            buf.put_u32_le(g);
+            buf.extend_from_slice(&g.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
+}
+
+/// Little-endian cursor over the encoded byte stream; every read is
+/// bounds-checked so truncated input surfaces as [`CodecError::Truncated`].
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.data.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
 }
 
 /// Reconstructs an index from its binary form.
@@ -89,40 +131,33 @@ pub fn encode(index: &GeodabIndex) -> Bytes {
 /// Returns a [`CodecError`] on malformed input; the index is rebuilt
 /// (postings and bitmaps re-derived), so a successful decode is always
 /// internally consistent.
-pub fn decode(mut data: &[u8]) -> Result<GeodabIndex, CodecError> {
-    if data.remaining() < 4 || &data[..4] != MAGIC {
+pub fn decode(data: &[u8]) -> Result<GeodabIndex, CodecError> {
+    let mut reader = Reader { data };
+    if reader.remaining() < 4 || reader.take(4)? != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    data.advance(4);
-    if data.remaining() < 2 {
-        return Err(CodecError::Truncated);
-    }
-    let version = data.get_u16_le();
+    let version = reader.get_u16_le()?;
     if version != VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
-    if data.remaining() < 1 + 1 + 4 + 4 + 8 {
-        return Err(CodecError::Truncated);
-    }
-    let depth = data.get_u8();
-    let prefix = data.get_u8();
-    let k = data.get_u32_le() as usize;
-    let t = data.get_u32_le() as usize;
+    let depth = reader.get_u8()?;
+    let prefix = reader.get_u8()?;
+    let k = reader.get_u32_le()? as usize;
+    let t = reader.get_u32_le()? as usize;
     let config = GeodabConfig::new(depth, k, t, prefix).map_err(CodecError::InvalidConfig)?;
-    let count = data.get_u64_le();
+    let count = reader.get_u64_le()?;
     let mut index = GeodabIndex::new(config);
     for _ in 0..count {
-        if data.remaining() < 8 {
-            return Err(CodecError::Truncated);
-        }
-        let id = TrajId::new(data.get_u32_le());
-        let len = data.get_u32_le() as usize;
-        if data.remaining() < len * 4 {
+        let id = TrajId::new(reader.get_u32_le()?);
+        let len = reader.get_u32_le()? as usize;
+        // Divide instead of multiplying: `len * 4` could overflow `usize`
+        // on 32-bit targets and let a crafted length through.
+        if reader.remaining() / 4 < len {
             return Err(CodecError::Truncated);
         }
         let mut ordered = Vec::with_capacity(len);
         for _ in 0..len {
-            ordered.push(data.get_u32_le());
+            ordered.push(reader.get_u32_le()?);
         }
         index.insert_fingerprints(id, Fingerprints::from_ordered(ordered));
     }
@@ -202,7 +237,10 @@ mod tests {
         let mut bytes = encode(&sample_index()).to_vec();
         bytes[4] = 0xFF;
         bytes[5] = 0xFF;
-        assert_eq!(decode(&bytes).err(), Some(CodecError::UnsupportedVersion(0xFFFF)));
+        assert_eq!(
+            decode(&bytes).err(),
+            Some(CodecError::UnsupportedVersion(0xFFFF))
+        );
     }
 
     #[test]

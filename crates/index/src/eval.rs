@@ -42,7 +42,10 @@ pub fn precision_at(ranked: &[TrajId], relevant: &HashSet<TrajId>, k: usize) -> 
     if k == 0 {
         return 0.0;
     }
-    let tp = ranked[..k].iter().filter(|id| relevant.contains(id)).count();
+    let tp = ranked[..k]
+        .iter()
+        .filter(|id| relevant.contains(id))
+        .count();
     tp as f64 / k as f64
 }
 
@@ -52,7 +55,10 @@ pub fn recall_at(ranked: &[TrajId], relevant: &HashSet<TrajId>, k: usize) -> f64
         return 1.0;
     }
     let k = k.min(ranked.len());
-    let tp = ranked[..k].iter().filter(|id| relevant.contains(id)).count();
+    let tp = ranked[..k]
+        .iter()
+        .filter(|id| relevant.contains(id))
+        .count();
     tp as f64 / relevant.len() as f64
 }
 
@@ -212,8 +218,20 @@ mod tests {
         let relevant = rel(&[1, 2]);
         let curve = pr_curve(&ranked, &relevant);
         assert_eq!(curve.len(), 4);
-        assert_eq!(curve[0], PrPoint { recall: 0.5, precision: 1.0 });
-        assert_eq!(curve[1], PrPoint { recall: 1.0, precision: 1.0 });
+        assert_eq!(
+            curve[0],
+            PrPoint {
+                recall: 0.5,
+                precision: 1.0
+            }
+        );
+        assert_eq!(
+            curve[1],
+            PrPoint {
+                recall: 1.0,
+                precision: 1.0
+            }
+        );
         assert_eq!(curve[3].precision, 0.5);
         assert_eq!(curve[3].recall, 1.0);
     }
@@ -321,8 +339,14 @@ mod tests {
     #[test]
     fn ranked_ids_extracts_in_order() {
         let results = vec![
-            SearchResult { id: TrajId::new(3), distance: 0.1 },
-            SearchResult { id: TrajId::new(1), distance: 0.2 },
+            SearchResult {
+                id: TrajId::new(3),
+                distance: 0.1,
+            },
+            SearchResult {
+                id: TrajId::new(1),
+                distance: 0.2,
+            },
         ];
         assert_eq!(ranked_ids(&results), ids(&[3, 1]));
     }

@@ -1,4 +1,4 @@
-use geodabs::{Fingerprinter, Fingerprints, GeodabConfig};
+use geodabs_core::{Fingerprinter, Fingerprints, GeodabConfig};
 use geodabs_traj::{Normalizer, TrajId, Trajectory};
 use std::collections::{HashMap, HashSet};
 
@@ -92,13 +92,14 @@ impl GeodabIndex {
     /// Indexes pre-computed fingerprints under the given id, bypassing
     /// normalization and winnowing. Used by the binary codec on load and
     /// useful whenever fingerprints are computed elsewhere (e.g. on the
-    /// client, as the sharding layer does).
+    /// client, as the sharding layer does). Re-inserting an existing id
+    /// replaces its previous fingerprints.
     pub fn insert_fingerprints(&mut self, id: TrajId, fp: Fingerprints) {
+        self.remove(id);
         for term in fp.set().iter() {
             let list = self.postings.entry(term).or_default();
-            if list.last() != Some(&id) && !list.contains(&id) {
-                list.push(id);
-            }
+            debug_assert!(!list.contains(&id), "remove() scrubbed this id");
+            list.push(id);
         }
         self.fingerprints.insert(id, fp);
     }
@@ -130,15 +131,22 @@ impl GeodabIndex {
 impl TrajectoryIndex for GeodabIndex {
     fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
         let fp = self.fingerprinter.normalize_and_fingerprint(trajectory);
+        self.insert_fingerprints(id, fp);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        let Some(fp) = self.fingerprints.remove(&id) else {
+            return false;
+        };
         for term in fp.set().iter() {
-            let list = self.postings.entry(term).or_default();
-            // Ids are typically inserted in ascending order; keep the list
-            // deduplicated regardless.
-            if list.last() != Some(&id) && !list.contains(&id) {
-                list.push(id);
+            if let Some(list) = self.postings.get_mut(&term) {
+                list.retain(|&posted| posted != id);
+                if list.is_empty() {
+                    self.postings.remove(&term);
+                }
             }
         }
-        self.fingerprints.insert(id, fp);
+        true
     }
 
     fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
@@ -147,6 +155,10 @@ impl TrajectoryIndex for GeodabIndex {
 
     fn len(&self) -> usize {
         self.fingerprints.len()
+    }
+
+    fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
+        self.fingerprints.keys().copied()
     }
 }
 
@@ -226,10 +238,10 @@ mod tests {
         let idx = sample_index();
         let query = eastward(40, 0.0);
         let all = idx.search(&query, &SearchOptions::default());
-        let tight = idx.search(&query, &SearchOptions::with_max_distance(0.2));
+        let tight = idx.search(&query, &SearchOptions::default().max_distance(0.2));
         assert!(tight.len() <= all.len());
         assert!(tight.iter().all(|h| h.distance <= 0.2));
-        let limited = idx.search(&query, &SearchOptions::with_limit(1));
+        let limited = idx.search(&query, &SearchOptions::default().limit(1));
         assert_eq!(limited.len(), 1);
         assert_eq!(limited[0].id, all[0].id);
     }

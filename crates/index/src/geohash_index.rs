@@ -118,14 +118,29 @@ fn jaccard_distance_sorted(a: &[u64], b: &[u64]) -> f64 {
 
 impl TrajectoryIndex for GeohashIndex {
     fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        self.remove(id);
         let cells = self.cell_set(trajectory);
         for &cell in &cells {
             let list = self.postings.entry(cell).or_default();
-            if list.last() != Some(&id) && !list.contains(&id) {
-                list.push(id);
-            }
+            debug_assert!(!list.contains(&id), "remove() scrubbed this id");
+            list.push(id);
         }
         self.cells.insert(id, cells);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        let Some(cells) = self.cells.remove(&id) else {
+            return false;
+        };
+        for cell in cells {
+            if let Some(list) = self.postings.get_mut(&cell) {
+                list.retain(|&posted| posted != id);
+                if list.is_empty() {
+                    self.postings.remove(&cell);
+                }
+            }
+        }
+        true
     }
 
     fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
@@ -143,6 +158,10 @@ impl TrajectoryIndex for GeohashIndex {
 
     fn len(&self) -> usize {
         self.cells.len()
+    }
+
+    fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
+        self.cells.keys().copied()
     }
 }
 
@@ -202,11 +221,17 @@ mod tests {
             idx.insert(TrajId::new(i), &eastward(40, i as f64 * 200.0));
         }
         let all = idx.search(&eastward(40, 0.0), &SearchOptions::default());
-        assert!(all.len() > 1, "overlapping offsets should all be candidates");
-        let one = idx.search(&eastward(40, 0.0), &SearchOptions::with_limit(1));
+        assert!(
+            all.len() > 1,
+            "overlapping offsets should all be candidates"
+        );
+        let one = idx.search(&eastward(40, 0.0), &SearchOptions::default().limit(1));
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].id, all[0].id);
-        let tight = idx.search(&eastward(40, 0.0), &SearchOptions::with_max_distance(0.1));
+        let tight = idx.search(
+            &eastward(40, 0.0),
+            &SearchOptions::default().max_distance(0.1),
+        );
         assert!(tight.iter().all(|h| h.distance <= 0.1));
     }
 

@@ -19,7 +19,7 @@
 //! # Examples
 //!
 //! ```
-//! use geodabs::GeodabConfig;
+//! use geodabs_core::GeodabConfig;
 //! use geodabs_geo::Point;
 //! use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
 //! use geodabs_traj::{TrajId, Trajectory};
@@ -58,12 +58,17 @@ pub use result::{SearchOptions, SearchResult};
 
 use geodabs_traj::{TrajId, Trajectory};
 
-/// Common interface of the trajectory indexes, so evaluation and sharding
-/// code can be generic over the index family.
+/// Common interface of the trajectory indexes, so evaluation, cluster
+/// fan-out and future backends can be generic over the index family.
 pub trait TrajectoryIndex {
     /// Indexes a trajectory under the given id (raw, un-normalized input;
-    /// the index applies its own normalization).
+    /// the index applies its own normalization). Re-inserting an existing
+    /// id replaces its previous contents.
     fn insert(&mut self, id: TrajId, trajectory: &Trajectory);
+
+    /// Removes a trajectory and all its postings; returns whether the id
+    /// was present. A removed id can be re-inserted later.
+    fn remove(&mut self, id: TrajId) -> bool;
 
     /// Ranked retrieval: trajectories similar to `query`, ordered by
     /// ascending distance (ties by id), subject to `options`.
@@ -71,6 +76,22 @@ pub trait TrajectoryIndex {
 
     /// Number of indexed trajectories.
     fn len(&self) -> usize;
+
+    /// The ids of every indexed trajectory, in unspecified order.
+    fn ids(&self) -> impl Iterator<Item = TrajId> + '_;
+
+    /// Indexes a batch of trajectories. The default implementation inserts
+    /// sequentially; backends may override it with something smarter (the
+    /// sharded cluster fingerprints batches across worker threads).
+    fn insert_batch<'a, I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
+        Self: Sized,
+    {
+        for (id, trajectory) in items {
+            self.insert(id, trajectory);
+        }
+    }
 
     /// Whether the index is empty.
     fn is_empty(&self) -> bool {

@@ -10,7 +10,15 @@ pub struct SearchResult {
     pub distance: f64,
 }
 
-/// Parameters of a ranked search.
+/// Parameters of a ranked search, composed with chainable setters:
+///
+/// ```
+/// use geodabs_index::SearchOptions;
+///
+/// let options = SearchOptions::default().max_distance(0.4).limit(10);
+/// assert_eq!(options.max_distance, 0.4);
+/// assert_eq!(options.limit, Some(10));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchOptions {
     /// The `Δmax` of the paper's problem statement: results farther than
@@ -31,20 +39,37 @@ impl Default for SearchOptions {
 }
 
 impl SearchOptions {
+    /// Sets the distance threshold `Δmax`; results farther than this are
+    /// dropped.
+    #[must_use]
+    pub fn max_distance(mut self, max_distance: f64) -> SearchOptions {
+        self.max_distance = max_distance;
+        self
+    }
+
+    /// Caps the number of results returned.
+    #[must_use]
+    pub fn limit(mut self, limit: usize) -> SearchOptions {
+        self.limit = Some(limit);
+        self
+    }
+
     /// Options with a distance threshold.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the chainable `SearchOptions::default().max_distance(…)`, which combines with `.limit(…)`"
+    )]
     pub fn with_max_distance(max_distance: f64) -> SearchOptions {
-        SearchOptions {
-            max_distance,
-            ..SearchOptions::default()
-        }
+        SearchOptions::default().max_distance(max_distance)
     }
 
     /// Options with a result-count cap.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the chainable `SearchOptions::default().limit(…)`, which combines with `.max_distance(…)`"
+    )]
     pub fn with_limit(limit: usize) -> SearchOptions {
-        SearchOptions {
-            limit: Some(limit),
-            ..SearchOptions::default()
-        }
+        SearchOptions::default().limit(limit)
     }
 }
 
@@ -86,9 +111,9 @@ mod tests {
     #[test]
     fn finalize_applies_threshold_and_limit() {
         let hits = vec![hit(1, 0.1), hit(2, 0.9), hit(3, 0.3)];
-        let out = finalize(hits.clone(), &SearchOptions::with_max_distance(0.5));
+        let out = finalize(hits.clone(), &SearchOptions::default().max_distance(0.5));
         assert_eq!(out.len(), 2);
-        let out = finalize(hits, &SearchOptions::with_limit(1));
+        let out = finalize(hits, &SearchOptions::default().limit(1));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].id.raw(), 1);
     }
@@ -98,5 +123,27 @@ mod tests {
         let o = SearchOptions::default();
         assert_eq!(o.max_distance, 1.0);
         assert!(o.limit.is_none());
+    }
+
+    #[test]
+    fn setters_chain_and_combine() {
+        // The gap the builders close: threshold *and* limit together.
+        let hits = vec![hit(1, 0.1), hit(2, 0.2), hit(3, 0.9)];
+        let out = finalize(hits, &SearchOptions::default().max_distance(0.5).limit(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.raw(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_behave() {
+        assert_eq!(
+            SearchOptions::with_max_distance(0.5),
+            SearchOptions::default().max_distance(0.5)
+        );
+        assert_eq!(
+            SearchOptions::with_limit(3),
+            SearchOptions::default().limit(3)
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! configuration is the mean R-precision of a geodab index built with it
 //! over a labelled sample of queries.
 
-use geodabs::GeodabConfig;
+use geodabs_core::GeodabConfig;
 use geodabs_traj::{TrajId, Trajectory};
 use std::collections::{HashMap, HashSet};
 
@@ -80,7 +80,12 @@ pub fn hill_climb(sample: &TuningSample, start: GeodabConfig, max_steps: usize) 
     let mut cache: HashMap<(u8, usize, usize, u8), f64> = HashMap::new();
     let mut evaluations = 0usize;
     let mut eval = |cfg: GeodabConfig, evals: &mut usize| -> f64 {
-        let key = (cfg.normalization_depth(), cfg.k(), cfg.t(), cfg.prefix_bits());
+        let key = (
+            cfg.normalization_depth(),
+            cfg.k(),
+            cfg.t(),
+            cfg.prefix_bits(),
+        );
         if let Some(&s) = cache.get(&key) {
             return s;
         }
@@ -160,7 +165,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let base = start_point().destination(90.0, offset_m + i as f64 * 14.0);
-                let lateral = if (i as u64 + phase).is_multiple_of(2) { 12.0 } else { -12.0 };
+                let lateral = if (i as u64 + phase).is_multiple_of(2) {
+                    12.0
+                } else {
+                    -12.0
+                };
                 base.destination(0.0, lateral)
             })
             .collect()
@@ -207,7 +216,9 @@ mod tests {
     fn hill_climb_recovers_from_a_bad_seed() {
         let s = sample();
         // 48-bit normalization is far too deep for 20 m-scale noise.
-        let bad = GeodabConfig::default().with_normalization_depth(48).unwrap();
+        let bad = GeodabConfig::default()
+            .with_normalization_depth(48)
+            .unwrap();
         let bad_score = s.score(bad);
         let result = hill_climb(&s, bad, 10);
         assert!(
@@ -243,7 +254,9 @@ mod tests {
         }
         // k cannot drop below 2.
         let tight = GeodabConfig::new(36, 2, 2, 16).unwrap();
-        assert!(neighbors(&tight).iter().all(|c| c.k() >= 2 && c.t() >= c.k()));
+        assert!(neighbors(&tight)
+            .iter()
+            .all(|c| c.k() >= 2 && c.t() >= c.k()));
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl GridConfig {
 ///
 /// The same `seed` always produces the same network.
 pub fn grid_network(cfg: &GridConfig, seed: u64) -> RoadNetwork {
-    assert!(cfg.rows >= 2 && cfg.cols >= 2, "grid needs at least 2x2 nodes");
+    assert!(
+        cfg.rows >= 2 && cfg.cols >= 2,
+        "grid needs at least 2x2 nodes"
+    );
     let (lo, hi) = cfg.speed_range_mps;
     assert!(lo > 0.0 && hi >= lo, "invalid speed range");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -156,7 +159,10 @@ impl Default for RadialConfig {
 
 /// Generates a radial ring-and-spoke network. Always strongly connected.
 pub fn radial_network(cfg: &RadialConfig, seed: u64) -> RoadNetwork {
-    assert!(cfg.rings >= 1 && cfg.spokes >= 3, "need >=1 ring and >=3 spokes");
+    assert!(
+        cfg.rings >= 1 && cfg.spokes >= 3,
+        "need >=1 ring and >=3 spokes"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = RoadNetwork::new();
     let hub = net.add_node(cfg.center);

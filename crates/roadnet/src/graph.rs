@@ -8,9 +8,7 @@ use crate::RoadNetError;
 ///
 /// Node ids are dense indexes assigned by [`RoadNetwork::add_node`] and are
 /// only meaningful for the network that created them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -100,7 +98,12 @@ impl RoadNetwork {
     /// # Panics
     ///
     /// Panics if `speed_mps` is not strictly positive.
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, speed_mps: f64) -> Result<(), RoadNetError> {
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        speed_mps: f64,
+    ) -> Result<(), RoadNetError> {
         assert!(speed_mps > 0.0, "edge speed must be positive");
         let (a, b) = (self.point(from)?, self.point(to)?);
         let length_m = a.haversine_distance(b);
@@ -222,7 +225,11 @@ mod tests {
         let (net, a, _, _) = triangle();
         let e = &net.edges(a).unwrap()[0];
         // 0.01 degrees of longitude at the equator is ~1112 m.
-        assert!((e.length_meters() - 1_112.0).abs() < 5.0, "{}", e.length_meters());
+        assert!(
+            (e.length_meters() - 1_112.0).abs() < 5.0,
+            "{}",
+            e.length_meters()
+        );
         assert!((e.duration_seconds() - e.length_meters() / 10.0).abs() < 1e-9);
     }
 
@@ -231,7 +238,10 @@ mod tests {
         let (mut net, a, _, _) = triangle();
         let ghost = NodeId::new(99);
         assert_eq!(net.point(ghost), Err(RoadNetError::UnknownNode(ghost)));
-        assert_eq!(net.edges(ghost).err(), Some(RoadNetError::UnknownNode(ghost)));
+        assert_eq!(
+            net.edges(ghost).err(),
+            Some(RoadNetError::UnknownNode(ghost))
+        );
         assert_eq!(
             net.add_edge(a, ghost, 10.0),
             Err(RoadNetError::UnknownNode(ghost))

@@ -270,10 +270,20 @@ mod tests {
         let to = net.node_ids().nth(333).unwrap();
         let route = shortest_path(&net, from, to).unwrap();
         let cfg = MatchConfig::default();
-        let a = map_match(&net, &idx, &sample_route(&net, route.nodes(), 50.0, 20.0, 1), &cfg)
-            .unwrap();
-        let b = map_match(&net, &idx, &sample_route(&net, route.nodes(), 70.0, 20.0, 2), &cfg)
-            .unwrap();
+        let a = map_match(
+            &net,
+            &idx,
+            &sample_route(&net, route.nodes(), 50.0, 20.0, 1),
+            &cfg,
+        )
+        .unwrap();
+        let b = map_match(
+            &net,
+            &idx,
+            &sample_route(&net, route.nodes(), 70.0, 20.0, 2),
+            &cfg,
+        )
+        .unwrap();
         let sa: std::collections::HashSet<_> = a.iter().collect();
         let sb: std::collections::HashSet<_> = b.iter().collect();
         let inter = sa.intersection(&sb).count() as f64;

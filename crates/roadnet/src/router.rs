@@ -114,11 +114,7 @@ impl PartialOrd for HeapEntry {
 ///
 /// Returns [`RoadNetError::UnknownNode`] for foreign ids and
 /// [`RoadNetError::NoPath`] if `to` is unreachable from `from`.
-pub fn shortest_path(
-    net: &RoadNetwork,
-    from: NodeId,
-    to: NodeId,
-) -> Result<Route, RoadNetError> {
+pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Result<Route, RoadNetError> {
     shortest_path_with(net, from, to, Metric::TravelTime)
 }
 

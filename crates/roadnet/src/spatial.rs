@@ -199,7 +199,12 @@ mod tests {
     fn nearest_matches_linear_scan() {
         let net = small_net();
         let idx = SpatialIndex::build(&net, 300.0);
-        let queries = [p(51.004, 0.004), p(51.05, 0.05), p(50.9, -0.1), p(51.2, 0.2)];
+        let queries = [
+            p(51.004, 0.004),
+            p(51.05, 0.05),
+            p(50.9, -0.1),
+            p(51.2, 0.2),
+        ];
         for q in queries {
             let expected = net
                 .node_ids()

@@ -156,7 +156,10 @@ impl Container {
 
     /// Builds the best-fitting container from a sorted, deduplicated vector.
     pub(crate) fn from_sorted_vec(values: Vec<u16>) -> Container {
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "input must be strictly sorted");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "input must be strictly sorted"
+        );
         if values.len() <= ARRAY_MAX {
             Container::Array(values)
         } else {
@@ -182,7 +185,11 @@ impl Container {
                     .map(|w| w.count_ones() as usize)
                     .sum();
                 let bit = low & 63;
-                let mask = if bit == 63 { u64::MAX } else { (1u64 << (bit + 1)) - 1 };
+                let mask = if bit == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (bit + 1)) - 1
+                };
                 count += (b.words[word_idx] & mask).count_ones() as usize;
                 count
             }
@@ -218,9 +225,7 @@ impl Container {
 
     pub(crate) fn and(&self, other: &Container) -> Container {
         match (self, other) {
-            (Container::Array(a), Container::Array(b)) => {
-                Container::Array(intersect_sorted(a, b))
-            }
+            (Container::Array(a), Container::Array(b)) => Container::Array(intersect_sorted(a, b)),
             (Container::Array(a), Container::Bitmap(b)) => {
                 Container::Array(a.iter().copied().filter(|&x| b.contains(x)).collect())
             }

@@ -99,14 +99,20 @@ impl RoaringBitmap {
     /// Smallest value in the set.
     pub fn min(&self) -> Option<u32> {
         self.containers.first().map(|(k, c)| {
-            join(*k, *c.to_sorted_vec().first().expect("containers are non-empty"))
+            join(
+                *k,
+                *c.to_sorted_vec().first().expect("containers are non-empty"),
+            )
         })
     }
 
     /// Largest value in the set.
     pub fn max(&self) -> Option<u32> {
         self.containers.last().map(|(k, c)| {
-            join(*k, *c.to_sorted_vec().last().expect("containers are non-empty"))
+            join(
+                *k,
+                *c.to_sorted_vec().last().expect("containers are non-empty"),
+            )
         })
     }
 

@@ -301,12 +301,7 @@ impl<'a> MapMatchNormalizer<'a> {
     /// Propagates [`RoadNetError`] from the matcher (empty trajectory, no
     /// candidates near any point).
     pub fn try_normalize(&self, trajectory: &Trajectory) -> Result<Trajectory, RoadNetError> {
-        let nodes = map_match(
-            self.network,
-            self.index,
-            trajectory.points(),
-            &self.config,
-        )?;
+        let nodes = map_match(self.network, self.index, trajectory.points(), &self.config)?;
         let mut out = Vec::with_capacity(nodes.len());
         for n in nodes {
             out.push(self.network.point(n).expect("matcher returns valid nodes"));
@@ -421,7 +416,10 @@ mod tests {
         let t: Trajectory = (0..5).map(|i| p(0.0, i as f64 * 0.01)).collect();
         assert_eq!(moving_average(&t, 1), t);
         assert_eq!(moving_average(&t, 0), t);
-        assert_eq!(moving_average(&Trajectory::default(), 9), Trajectory::default());
+        assert_eq!(
+            moving_average(&Trajectory::default(), 9),
+            Trajectory::default()
+        );
     }
 
     #[test]
@@ -515,7 +513,14 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, q)| {
-                    q.destination(if ((i as f64 + phase) as usize).is_multiple_of(2) { 0.0 } else { 180.0 }, 18.0)
+                    q.destination(
+                        if ((i as f64 + phase) as usize).is_multiple_of(2) {
+                            0.0
+                        } else {
+                            180.0
+                        },
+                        18.0,
+                    )
                 })
                 .collect()
         };
@@ -573,8 +578,8 @@ mod tests {
         let route = shortest_path(&net, from, to).unwrap();
         let t = Trajectory::new(route.points().to_vec());
         let plain = MapMatchNormalizer::new(&net, &idx, MatchConfig::default());
-        let dense = MapMatchNormalizer::new(&net, &idx, MatchConfig::default())
-            .with_interpolation(85.0);
+        let dense =
+            MapMatchNormalizer::new(&net, &idx, MatchConfig::default()).with_interpolation(85.0);
         let np = plain.try_normalize(&t).unwrap();
         let nd = dense.try_normalize(&t).unwrap();
         assert!(nd.len() > np.len(), "{} vs {}", nd.len(), np.len());
@@ -594,8 +599,7 @@ mod tests {
     fn zero_interpolation_step_panics() {
         let net = grid_network(&GridConfig::default(), 42);
         let idx = SpatialIndex::build(&net, 300.0);
-        let _ = MapMatchNormalizer::new(&net, &idx, MatchConfig::default())
-            .with_interpolation(0.0);
+        let _ = MapMatchNormalizer::new(&net, &idx, MatchConfig::default()).with_interpolation(0.0);
     }
 
     #[test]

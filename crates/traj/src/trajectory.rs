@@ -6,9 +6,7 @@ use std::fmt;
 ///
 /// Ids are dense `u32` values so they can double as entries of posting
 /// lists and roaring bitmaps.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TrajId(u32);
 
 impl TrajId {

@@ -4,10 +4,9 @@
 //!
 //! Run with `cargo run --release --example motif_discovery`.
 
-use geodabs_suite::geodabs::{discover_motif, Fingerprinter};
-use geodabs_suite::geodabs_distance::btm;
-use geodabs_suite::geodabs_geo::Point;
-use geodabs_suite::geodabs_traj::Trajectory;
+use geodabs::core::discover_motif;
+use geodabs::distance::btm;
+use geodabs::prelude::*;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -4,11 +4,10 @@
 //!
 //! Run with `cargo run --release --example normalization_tuning`.
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_index::eval::{average_pr_curve, pr_curve, ranked_ids};
-use geodabs_suite::geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::index::eval::{average_pr_curve, pr_curve, ranked_ids};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = grid_network(&GridConfig::default(), 42);

@@ -4,12 +4,10 @@
 //!
 //! Run with `cargo run --release --example persistence`.
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_index::{
-    codec, GeodabIndex, PositionalIndex, SearchOptions, TrajectoryIndex,
-};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::index::{codec, PositionalIndex};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = grid_network(&GridConfig::default(), 42);
@@ -43,14 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reload and query: the restored index answers identically.
     let restored = codec::decode(&std::fs::read(&path)?)?;
     let query = &dataset.queries()[0];
-    let hits = restored.search(&query.trajectory, &SearchOptions::with_limit(5));
+    let hits = restored.search(&query.trajectory, &SearchOptions::default().limit(5));
     println!("\ntop hits from the restored index:");
     for h in &hits {
         println!("  {} at distance {:.3}", h.id, h.distance);
     }
     assert_eq!(
         hits,
-        index.search(&query.trajectory, &SearchOptions::with_limit(5))
+        index.search(&query.trajectory, &SearchOptions::default().limit(5))
     );
 
     // Positional retrieval: find trajectories containing a route segment.

@@ -3,10 +3,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic road network around central London (stand-in for the
@@ -36,8 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Build the geodab inverted index with the paper's parameters:
-    //    36-bit normalization, k = 6, t = 12, 16-bit geohash prefix.
-    let mut index = GeodabIndex::new(GeodabConfig::default());
+    //    36-bit normalization, k = 6, t = 12, 16-bit geohash prefix
+    //    (these are also `GeodabConfig::default()`).
+    let config = GeodabConfig::builder()
+        .normalization_depth(36)
+        .k(6)
+        .t(12)
+        .prefix_bits(16)
+        .build()?;
+    let mut index = GeodabIndex::new(config);
     for record in dataset.records() {
         index.insert(record.id, &record.trajectory);
     }
@@ -51,16 +57,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    query, ordered by Jaccard distance over fingerprint sets.
     let query = &dataset.queries()[0];
     let relevant = dataset.relevant_ids(query);
-    let hits = index.search(&query.trajectory, &SearchOptions::with_limit(10));
+    let hits = index.search(&query.trajectory, &SearchOptions::default().limit(10));
     println!("\ntop results for a query on route {}:", query.route);
-    println!("{:>6} {:>10} {:>10} {:>9}", "rank", "trajectory", "distance", "relevant");
+    println!(
+        "{:>6} {:>10} {:>10} {:>9}",
+        "rank", "trajectory", "distance", "relevant"
+    );
     for (rank, hit) in hits.iter().enumerate() {
         println!(
             "{:>6} {:>10} {:>10.3} {:>9}",
             rank + 1,
             hit.id.to_string(),
             hit.distance,
-            if relevant.contains(&hit.id) { "yes" } else { "no" }
+            if relevant.contains(&hit.id) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     Ok(())

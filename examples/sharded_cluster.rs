@@ -4,13 +4,11 @@
 //!
 //! Run with `cargo run --release --example sharded_cluster`.
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_cluster::balance::{imbalance, node_loads};
-use geodabs_suite::geodabs_cluster::{ClusterIndex, ShardRouter};
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_gen::world::{WorldActivity, WorldConfig};
-use geodabs_suite::geodabs_index::SearchOptions;
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs::cluster::balance::{imbalance, node_loads};
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::gen::world::{WorldActivity, WorldConfig};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A city-scale dataset, indexed across 10 nodes with 10 000 shards.
@@ -38,7 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fan-out query: only the nodes owning the query's terms participate.
     let query = &dataset.queries()[0];
-    let (hits, stats) = cluster.search_with_stats(&query.trajectory, &SearchOptions::with_limit(5));
+    let (hits, stats) =
+        cluster.search_with_stats(&query.trajectory, &SearchOptions::default().limit(5));
     println!(
         "\nquery touched {} shard(s) on {} node(s), scored {} candidate(s):",
         stats.shards_contacted, stats.nodes_contacted, stats.candidates_scored
@@ -56,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         16,
     );
     let cells = world.sorted_counts();
-    println!("\nworld model: {} trajectories in {} cells", world.total(), cells.len());
+    println!(
+        "\nworld model: {} trajectories in {} cells",
+        world.total(),
+        cells.len()
+    );
     println!("{:>10} {:>16} {:>16}", "node", "100 shards", "10000 shards");
     let coarse = node_loads(&ShardRouter::new(16, 100, 10)?, &cells);
     let fine = node_loads(&ShardRouter::new(16, 10_000, 10)?, &cells);

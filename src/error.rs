@@ -1,0 +1,138 @@
+//! The workspace-level error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use geodabs_cluster::ClusterConfigError;
+use geodabs_core::GeodabError;
+use geodabs_gen::csv::CsvError;
+use geodabs_geo::GeoError;
+use geodabs_index::codec::CodecError;
+use geodabs_roadnet::RoadNetError;
+
+/// Unified error for the `geodabs` façade: every per-crate error converts
+/// into it with `?`, so applications composing several subsystems can
+/// return one type.
+///
+/// ```
+/// use geodabs::prelude::*;
+///
+/// fn build(k: usize, t: usize) -> Result<GeodabIndex, geodabs::Error> {
+///     let config = GeodabConfig::builder().k(k).t(t).build()?;
+///     Ok(GeodabIndex::new(config))
+/// }
+///
+/// assert!(build(6, 12).is_ok());
+/// assert!(matches!(build(6, 3), Err(geodabs::Error::Geodab(_))));
+/// ```
+// Not `Clone`/`PartialEq`: the CSV variant carries an `std::io::Error`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid fingerprinting configuration (from `geodabs-core`).
+    Geodab(GeodabError),
+    /// Invalid geographic primitive (from `geodabs-geo`).
+    Geo(GeoError),
+    /// Road-network failure (from `geodabs-roadnet`).
+    RoadNet(RoadNetError),
+    /// Invalid cluster topology (from `geodabs-cluster`).
+    Cluster(ClusterConfigError),
+    /// Malformed persisted index (from `geodabs-index`).
+    Codec(CodecError),
+    /// Malformed trajectory CSV (from `geodabs-gen`).
+    Csv(CsvError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Geodab(e) => write!(f, "geodab configuration: {e}"),
+            Error::Geo(e) => write!(f, "geographic primitive: {e}"),
+            Error::RoadNet(e) => write!(f, "road network: {e}"),
+            Error::Cluster(e) => write!(f, "cluster topology: {e}"),
+            Error::Codec(e) => write!(f, "index codec: {e}"),
+            Error::Csv(e) => write!(f, "trajectory csv: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Geodab(e) => Some(e),
+            Error::Geo(e) => Some(e),
+            Error::RoadNet(e) => Some(e),
+            Error::Cluster(e) => Some(e),
+            Error::Codec(e) => Some(e),
+            Error::Csv(e) => Some(e),
+        }
+    }
+}
+
+impl From<GeodabError> for Error {
+    fn from(e: GeodabError) -> Error {
+        Error::Geodab(e)
+    }
+}
+
+impl From<GeoError> for Error {
+    fn from(e: GeoError) -> Error {
+        Error::Geo(e)
+    }
+}
+
+impl From<RoadNetError> for Error {
+    fn from(e: RoadNetError) -> Error {
+        Error::RoadNet(e)
+    }
+}
+
+impl From<ClusterConfigError> for Error {
+    fn from(e: ClusterConfigError) -> Error {
+        Error::Cluster(e)
+    }
+}
+
+impl From<CodecError> for Error {
+    fn from(e: CodecError) -> Error {
+        Error::Codec(e)
+    }
+}
+
+impl From<CsvError> for Error {
+    fn from(e: CsvError) -> Error {
+        Error::Csv(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+
+    #[test]
+    fn conversions_preserve_the_source() {
+        let e: Error = GeodabError::InvalidLowerBound(1).into();
+        assert!(matches!(e, Error::Geodab(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("k=1"));
+
+        let e: Error = GeoError::InvalidLatitude(91.0).into();
+        assert!(matches!(e, Error::Geo(_)));
+        assert!(e.to_string().contains("latitude"));
+    }
+
+    #[test]
+    fn question_mark_converts_anywhere() {
+        fn chained() -> Result<(), Error> {
+            geodabs_core::GeodabConfig::builder().k(0).build()?;
+            Ok(())
+        }
+        assert!(matches!(chained(), Err(Error::Geodab(_))));
+    }
+}

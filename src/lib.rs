@@ -1,27 +1,88 @@
-//! Umbrella crate for the geodabs workspace.
+//! **geodabs** — trajectory fingerprinting, indexing and sharded
+//! similarity search at scale, reproducing *Chapuis & Garbinato,
+//! "Geodabs: Trajectory Indexing Meets Fingerprinting at Scale", ICDCS
+//! 2018*.
 //!
-//! This package exists to host the cross-crate integration tests under
-//! `tests/` and the runnable examples under `examples/`. It re-exports the
-//! workspace crates so examples and tests can use one coherent namespace.
+//! This umbrella crate is the one-stop façade over the workspace: it
+//! re-exports every subsystem under a short module name, surfaces the
+//! everyday types through [`prelude`], and unifies the per-crate errors
+//! into [`Error`]. Applications depend on this crate; the underlying
+//! crates remain usable individually.
 //!
-//! See the individual crates for the actual implementation:
+//! # Quickstart
 //!
-//! * [`geodabs`] — geodab fingerprinting (the paper's contribution)
-//! * [`geodabs_geo`] — points, haversine, geohash, Morton curve
-//! * [`geodabs_roaring`] — roaring bitmaps
-//! * [`geodabs_roadnet`] — road networks, routing, map matching
-//! * [`geodabs_traj`] — trajectories and normalization
-//! * [`geodabs_distance`] — DTW / discrete Fréchet / BTM baselines
-//! * [`geodabs_index`] — inverted indexes and retrieval evaluation
-//! * [`geodabs_cluster`] — sharded distributed index simulation
-//! * [`geodabs_gen`] — synthetic dataset and workload generation
+//! ```
+//! use geodabs::prelude::*;
+//!
+//! # fn main() -> Result<(), geodabs::Error> {
+//! // Fingerprinting parameters, validated by the builder.
+//! let config = GeodabConfig::builder().k(6).t(12).prefix_bits(16).build()?;
+//!
+//! // A straight 3 km path sampled every ~90 m, and a noisy copy of it.
+//! let start = Point::new(51.5074, -0.1278)?;
+//! let path: Trajectory = (0..40).map(|i| start.destination(90.0, i as f64 * 90.0)).collect();
+//! let noisy: Trajectory = path.iter().map(|p| p.destination(45.0, 8.0)).collect();
+//!
+//! // Index forward and return directions, then run a ranked query.
+//! let mut index = GeodabIndex::new(config);
+//! index.insert(TrajId::new(0), &path);
+//! index.insert(TrajId::new(1), &path.reversed());
+//! let hits = index.search(&noisy, &SearchOptions::default().max_distance(0.9).limit(5));
+//! assert_eq!(hits[0].id, TrajId::new(0)); // same direction ranks first
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `geodabs-core` | geodab fingerprints, winnowing, motifs |
+//! | [`geo`] | `geodabs-geo` | points, haversine, geohash, Morton curve |
+//! | [`traj`] | `geodabs-traj` | trajectories, normalization, simplification |
+//! | [`distance`] | `geodabs-distance` | DTW / Fréchet / Hausdorff / LCSS baselines |
+//! | [`index`] | `geodabs-index` | inverted indexes, evaluation, persistence |
+//! | [`cluster`] | `geodabs-cluster` | sharded distributed index simulation |
+//! | [`roadnet`] | `geodabs-roadnet` | road networks, routing, map matching |
+//! | [`roaring`] | `geodabs-roaring` | roaring bitmaps |
+//! | [`gen`] | `geodabs-gen` | synthetic datasets and workloads |
 
-pub use geodabs;
-pub use geodabs_cluster;
-pub use geodabs_distance;
-pub use geodabs_gen;
-pub use geodabs_geo;
-pub use geodabs_index;
-pub use geodabs_roadnet;
-pub use geodabs_roaring;
-pub use geodabs_traj;
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub use error::Error;
+
+pub use geodabs_cluster as cluster;
+pub use geodabs_core as core;
+pub use geodabs_distance as distance;
+pub use geodabs_gen as gen;
+pub use geodabs_geo as geo;
+pub use geodabs_index as index;
+pub use geodabs_roadnet as roadnet;
+pub use geodabs_roaring as roaring;
+pub use geodabs_traj as traj;
+
+pub mod prelude {
+    //! The everyday types in one import: `use geodabs::prelude::*;`.
+    //!
+    //! Brings in the fingerprinting pipeline ([`Fingerprinter`],
+    //! [`GeodabConfig`]), the geometric and trajectory primitives
+    //! ([`Point`], [`Trajectory`], [`TrajId`]), both index families plus
+    //! the [`TrajectoryIndex`] trait and its query types, the sharded
+    //! [`ClusterIndex`], and the workspace [`Error`](crate::Error).
+
+    pub use geodabs_cluster::{ClusterIndex, QueryStats, ShardRouter};
+    pub use geodabs_core::{
+        Fingerprinter, Fingerprints, GeodabConfig, GeodabConfigBuilder, GeodabError,
+    };
+    pub use geodabs_geo::{BoundingBox, GeoError, Geohash, Point};
+    pub use geodabs_index::{
+        GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
+    };
+    pub use geodabs_roaring::RoaringBitmap;
+    pub use geodabs_traj::{TrajId, Trajectory};
+
+    pub use crate::Error;
+}

@@ -2,13 +2,11 @@
 //! distribution is an implementation detail, not a semantic change
 //! (Section VI-E of the paper).
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_cluster::balance::{imbalance, node_loads};
-use geodabs_suite::geodabs_cluster::{ClusterIndex, ShardRouter};
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_gen::world::{WorldActivity, WorldConfig};
-use geodabs_suite::geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs::cluster::balance::{imbalance, node_loads};
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::gen::world::{WorldActivity, WorldConfig};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
 
 fn dataset() -> Dataset {
     let net = grid_network(&GridConfig::default(), 42);
@@ -38,8 +36,8 @@ fn cluster_results_equal_monolithic_results() {
     for q in ds.queries() {
         for options in [
             SearchOptions::default(),
-            SearchOptions::with_limit(3),
-            SearchOptions::with_max_distance(0.5),
+            SearchOptions::default().limit(3),
+            SearchOptions::default().max_distance(0.5),
         ] {
             let mono_hits = mono.search(&q.trajectory, &options);
             let cluster_hits = cluster.search(&q.trajectory, &options);

@@ -2,12 +2,11 @@
 //! geodab index -> ranked queries, asserting the quality properties the
 //! paper's Figures 12 and 13 report.
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_index::eval::{auc, precision_at, ranked_ids, recall_at};
-use geodabs_suite::geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
-use geodabs_suite::geodabs_roadnet::RoadNetwork;
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::index::eval::{auc, precision_at, ranked_ids, recall_at};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
+use geodabs::roadnet::RoadNetwork;
 
 fn setup() -> (RoadNetwork, Dataset) {
     let net = grid_network(&GridConfig::default(), 42);
@@ -94,12 +93,7 @@ fn geodabs_discriminate_direction_geohash_does_not() {
         }
         // The geohash ranking mixes directions: the best reverse record
         // scores (nearly) as well as the best forward one.
-        let hash_dist = |id| {
-            hash_hits
-                .iter()
-                .find(|h| &h.id == id)
-                .map(|h| h.distance)
-        };
+        let hash_dist = |id| hash_hits.iter().find(|h| &h.id == id).map(|h| h.distance);
         let best_fwd = forward
             .iter()
             .filter_map(hash_dist)
@@ -161,7 +155,7 @@ fn distance_threshold_bounds_the_result_set() {
     let q = &ds.queries()[0];
     let all = geodab.search(&q.trajectory, &SearchOptions::default());
     for dmax in [0.2, 0.5, 0.8] {
-        let hits = geodab.search(&q.trajectory, &SearchOptions::with_max_distance(dmax));
+        let hits = geodab.search(&q.trajectory, &SearchOptions::default().max_distance(dmax));
         assert!(hits.iter().all(|h| h.distance <= dmax));
         assert!(hits.len() <= all.len());
         // The thresholded list is a prefix of the full ranking.

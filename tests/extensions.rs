@@ -2,16 +2,11 @@
 //! elasticity, region queries, trajectory simplification and the extra
 //! distance measures — all exercised on generated workloads.
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_cluster::ClusterIndex;
-use geodabs_suite::geodabs_distance::{dfd, hausdorff, lcss_similarity};
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_geo::BoundingBox;
-use geodabs_suite::geodabs_index::{GeohashIndex, SearchOptions, TrajectoryIndex};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
-use geodabs_suite::geodabs_traj::{
-    moving_average, resample, simplify_rdp, GeohashNormalizer, Normalizer, TrajId,
-};
+use geodabs::distance::{dfd, hausdorff, lcss_similarity};
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
+use geodabs::traj::{moving_average, resample, simplify_rdp, GeohashNormalizer, Normalizer};
 
 fn dataset() -> Dataset {
     let net = grid_network(&GridConfig::default(), 42);
@@ -94,7 +89,7 @@ fn simplify_resample_preserves_normalized_cells() {
     );
     let restored = resample(&simplified, 15.0);
     let norm = GeohashNormalizer::new(36).expect("valid depth");
-    let cells_of = |t: &geodabs_suite::geodabs_traj::Trajectory| {
+    let cells_of = |t: &Trajectory| {
         let n = norm.normalize(t);
         n.points().to_vec()
     };

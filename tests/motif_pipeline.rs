@@ -2,10 +2,9 @@
 //! method must locate the same shared segment the exact DFD-based BTM
 //! baseline finds, at a fraction of the cost.
 
-use geodabs_suite::geodabs::{discover_motif, Fingerprinter};
-use geodabs_suite::geodabs_distance::{btm, btm_naive, dfd};
-use geodabs_suite::geodabs_geo::Point;
-use geodabs_suite::geodabs_traj::Trajectory;
+use geodabs::core::discover_motif;
+use geodabs::distance::{btm, btm_naive, dfd};
+use geodabs::prelude::*;
 
 fn hub() -> Point {
     Point::new(51.5074, -0.1278).expect("valid point")

@@ -2,16 +2,13 @@
 //! make noisy samplings of the same route converge, and better
 //! normalization must translate into better retrieval.
 
-use geodabs_suite::geodabs::{Fingerprinter, GeodabConfig};
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_index::eval::{precision_at, ranked_ids};
-use geodabs_suite::geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
-use geodabs_suite::geodabs_roadnet::matching::MatchConfig;
-use geodabs_suite::geodabs_roadnet::{RoadNetwork, SpatialIndex};
-use geodabs_suite::geodabs_traj::{
-    GeohashNormalizer, IdentityNormalizer, MapMatchNormalizer, Normalizer,
-};
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::index::eval::{precision_at, ranked_ids};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
+use geodabs::roadnet::matching::MatchConfig;
+use geodabs::roadnet::{RoadNetwork, SpatialIndex};
+use geodabs::traj::{GeohashNormalizer, IdentityNormalizer, MapMatchNormalizer, Normalizer};
 
 fn setup() -> (RoadNetwork, Dataset) {
     let net = grid_network(&GridConfig::default(), 42);
@@ -56,7 +53,10 @@ fn sibling_distance_shrinks_with_normalization_quality() {
     // Raw noisy points share essentially nothing.
     assert!(d_identity > 0.95, "identity {d_identity}");
     // Grid normalization recovers a solid overlap.
-    assert!(d_robust < d_identity, "robust {d_robust} vs identity {d_identity}");
+    assert!(
+        d_robust < d_identity,
+        "robust {d_robust} vs identity {d_identity}"
+    );
     // Map matching recovers the exact node path: near-perfect.
     assert!(d_matched < 0.35, "map-matched distance {d_matched}");
 }
@@ -147,8 +147,11 @@ fn map_matched_index_outperforms_grid_index() {
         let relevant = ds.relevant_ids(q);
         let grid_hits = grid_index.search(&q.trajectory, &SearchOptions::default());
         grid_score += precision_at(&ranked_ids(&grid_hits), &relevant, relevant.len());
-        let matched_hits =
-            matched_index.search_with_normalizer(&matcher, &q.trajectory, &SearchOptions::default());
+        let matched_hits = matched_index.search_with_normalizer(
+            &matcher,
+            &q.trajectory,
+            &SearchOptions::default(),
+        );
         matched_score += precision_at(&ranked_ids(&matched_hits), &relevant, relevant.len());
     }
     let n = ds.queries().len() as f64;
@@ -158,7 +161,11 @@ fn map_matched_index_outperforms_grid_index() {
         matched_score / n,
         grid_score / n
     );
-    assert!(matched_score / n > 0.8, "map-matched R-precision {:.2}", matched_score / n);
+    assert!(
+        matched_score / n > 0.8,
+        "map-matched R-precision {:.2}",
+        matched_score / n
+    );
 }
 
 #[test]
@@ -167,7 +174,9 @@ fn deeper_grids_produce_longer_normalized_sequences() {
     let t = &ds.records()[0].trajectory;
     let mut last_len = 0usize;
     for depth in [28u8, 32, 36, 40] {
-        let n = GeohashNormalizer::new(depth).expect("valid depth").normalize(t);
+        let n = GeohashNormalizer::new(depth)
+            .expect("valid depth")
+            .normalize(t);
         assert!(
             n.len() >= last_len,
             "depth {depth}: {} < previous {last_len}",

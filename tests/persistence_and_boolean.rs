@@ -3,13 +3,10 @@
 //! the positional index must support the sub-sequence searches of
 //! Section III-A1 on realistic trajectories.
 
-use geodabs_suite::geodabs::GeodabConfig;
-use geodabs_suite::geodabs_gen::dataset::{Dataset, DatasetConfig};
-use geodabs_suite::geodabs_index::{
-    codec, GeodabIndex, MatchLevel, PositionalIndex, SearchOptions, TrajectoryIndex,
-};
-use geodabs_suite::geodabs_roadnet::generators::{grid_network, GridConfig};
-use geodabs_suite::geodabs_traj::Trajectory;
+use geodabs::gen::dataset::{Dataset, DatasetConfig};
+use geodabs::index::{codec, MatchLevel, PositionalIndex};
+use geodabs::prelude::*;
+use geodabs::roadnet::generators::{grid_network, GridConfig};
 
 fn dataset() -> Dataset {
     let net = grid_network(&GridConfig::default(), 42);
@@ -79,7 +76,11 @@ fn positional_index_supports_boolean_retrieval_on_dataset() {
         let or_hits = index.query_or(&terms);
         assert!(!or_hits.is_empty());
         let relevant = ds.relevant_ids(q);
-        let top: Vec<_> = or_hits.iter().take(relevant.len()).map(|&(id, _)| id).collect();
+        let top: Vec<_> = or_hits
+            .iter()
+            .take(relevant.len())
+            .map(|&(id, _)| id)
+            .collect();
         let found = top.iter().filter(|id| relevant.contains(id)).count();
         assert!(
             found * 2 >= relevant.len(),
@@ -101,7 +102,11 @@ fn subtrajectory_search_locates_route_segments() {
     let third = rec.trajectory.len() / 3;
     let segment: Trajectory = rec.trajectory.motif(third, third);
     let (level, hits) = index.search_subtrajectory(&segment);
-    assert_ne!(level, MatchLevel::None, "segment of a stored trajectory must match");
+    assert_ne!(
+        level,
+        MatchLevel::None,
+        "segment of a stored trajectory must match"
+    );
     assert!(
         hits.contains(&rec.id),
         "level {level:?} found {hits:?}, expected {}",

@@ -2,9 +2,8 @@
 //! sub-trajectories of at least `t` moves share a fingerprint; matches
 //! shorter than `k` moves are treated as noise (Section IV-A).
 
-use geodabs_suite::geodabs::{Fingerprinter, GeodabConfig};
-use geodabs_suite::geodabs_geo::Point;
-use geodabs_suite::geodabs_traj::{GeohashNormalizer, Normalizer, Trajectory};
+use geodabs::prelude::*;
+use geodabs::traj::{GeohashNormalizer, Normalizer};
 
 fn start() -> Point {
     Point::new(51.5074, -0.1278).expect("valid point")
@@ -19,7 +18,7 @@ fn cell_path(offset_cells: usize, moves: usize) -> Trajectory {
 }
 
 /// Fingerprint without smoothing (clean input, exact cell sequences).
-fn clean_fingerprint(t: &Trajectory) -> geodabs_suite::geodabs::Fingerprints {
+fn clean_fingerprint(t: &Trajectory) -> Fingerprints {
     let fp = Fingerprinter::new(GeodabConfig::default());
     let plain = GeohashNormalizer::new(36).expect("valid depth");
     fp.fingerprint(&plain.normalize(t))
@@ -109,5 +108,8 @@ fn direction_flip_destroys_all_matches() {
     let a = cell_path(0, 40);
     let fa = clean_fingerprint(&a);
     let fr = clean_fingerprint(&a.reversed());
-    assert!(fa.set().is_disjoint(fr.set()), "reverse path must not match");
+    assert!(
+        fa.set().is_disjoint(fr.set()),
+        "reverse path must not match"
+    );
 }

@@ -1,0 +1,176 @@
+//! Workspace-local stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`] with [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], the builder knobs `sample_size`,
+//! `measurement_time` and `warm_up_time`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a plain wall-clock loop that
+//! reports the per-iteration median of the collected samples — adequate
+//! for relative comparisons, with none of criterion's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: collects samples and prints one line per benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Criterion {
+        assert!(samples > 0, "sample size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs `routine` under the given name and prints its median time.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the routine until the warm-up budget is spent, and
+        // learn how long one pass takes.
+        let warm_up_start = Instant::now();
+        let mut per_pass = Duration::ZERO;
+        let mut passes = 0u32;
+        while warm_up_start.elapsed() < self.warm_up_time || passes == 0 {
+            let mut b = Bencher::default();
+            routine(&mut b);
+            per_pass = b.elapsed.max(Duration::from_nanos(1));
+            passes += 1;
+        }
+        let _ = passes;
+
+        // Sampling: split the measurement budget across the samples.
+        let budget = self.measurement_time / self.sample_size as u32;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let reps = (budget.as_nanos() / per_pass.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+            let mut elapsed = Duration::ZERO;
+            let mut iters = 0u64;
+            for _ in 0..reps {
+                let mut b = Bencher::default();
+                routine(&mut b);
+                elapsed += b.elapsed;
+                iters += b.iters;
+            }
+            if iters > 0 {
+                samples.push(elapsed.as_nanos() as f64 / iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+        println!(
+            "bench {name:<40} {median:>14.1} ns/iter ({} samples)",
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Times the inner loop of one benchmark pass.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (the stub treats all
+/// variants identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const ITERS: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        const ITERS: u64 = 16;
+        let inputs: Vec<I> = (0..ITERS).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy generating `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.random_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s of values from `element`, with a length in `size`:
+/// `vec(any::<u32>(), 0..100)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,360 @@
+//! Workspace-local stand-in for the [`proptest`](https://docs.rs/proptest)
+//! property-testing framework.
+//!
+//! Implements the subset the workspace's tests use: the [`proptest!`]
+//! macro with `arg in strategy` bindings and an optional
+//! `#![proptest_config(…)]` attribute, the `prop_assert*` macros, range
+//! and tuple strategies, [`any`] for integer types and
+//! [`collection::vec`]. Cases are generated deterministically (per test
+//! name) so failures reproduce; there is **no shrinking** — the failing
+//! inputs are printed as-is.
+//!
+//! The number of cases per property defaults to 64 and can be raised or
+//! lowered with the `PROPTEST_CASES` environment variable, exactly like
+//! the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+pub mod collection;
+pub mod prelude;
+
+/// Runner configuration, selected with `#![proptest_config(…)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed or rejected property-test case (produced by the
+/// `prop_assert*` / `prop_assume!` macros; aborts the current case, not
+/// the process).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError {
+            message,
+            rejected: false,
+        }
+    }
+
+    /// Rejects the current case (its inputs do not satisfy a
+    /// `prop_assume!` precondition); the runner skips it.
+    pub fn reject(message: String) -> TestCaseError {
+        TestCaseError {
+            message,
+            rejected: true,
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic RNG driving generation.
+pub type TestRng = StdRng;
+
+/// Generates values of `Self::Value` from random bits.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    self.clone().sample_single(rng)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    self.clone().sample_single(rng)
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),* $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+
+/// Types with a canonical full-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy generating arbitrary values of this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for primitive types (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for AnyPrimitive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+
+            impl Arbitrary for $ty {
+                type Strategy = AnyPrimitive<$ty>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(std::marker::PhantomData)
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for a type: `any::<u32>()` generates any `u32`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Drives one property: generates `config.cases` inputs and runs the body
+/// on each, panicking with the offending inputs on the first failure.
+/// Called by the [`proptest!`] macro expansion, not directly.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    // Per-test deterministic seed: failures reproduce without bookkeeping.
+    let base = fnv1a(name.as_bytes());
+    for i in 0..config.cases {
+        let mut rng =
+            TestRng::seed_from_u64(base ^ (u64::from(i)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (inputs, outcome) = case(&mut rng);
+        if let Err(e) = outcome {
+            if e.rejected {
+                continue;
+            }
+            panic!(
+                "proptest `{name}` failed at case {i}/{}\n  inputs: {inputs}\n  {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash
+}
+
+/// Defines property tests: `proptest! { #[test] fn p(x in 0u32..10) { … } }`.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`. Each argument
+/// is bound by drawing from its strategy; the body may use the
+/// `prop_assert*` macros to reject a case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                    let mut __inputs = ::std::string::String::new();
+                    $crate::__proptest_bind!(__rng, __inputs; $($args)*);
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    (__inputs, __outcome)
+                });
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one argument per step,
+/// either `name in strategy` or `name: Type` (= `any::<Type>()`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $inputs:ident;) => {};
+    ($rng:ident, $inputs:ident; $arg:ident in $strategy:expr) => {
+        $crate::__proptest_bind!($rng, $inputs; $arg in $strategy,);
+    };
+    ($rng:ident, $inputs:ident; $arg:ident in $strategy:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($strategy), $rng);
+        ::std::fmt::Write::write_fmt(
+            &mut $inputs,
+            format_args!("{} = {:?}; ", stringify!($arg), &$arg),
+        )
+        .expect("writing to a String cannot fail");
+        $crate::__proptest_bind!($rng, $inputs; $($rest)*);
+    };
+    ($rng:ident, $inputs:ident; $arg:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng, $inputs; $arg in $crate::any::<$ty>(),);
+    };
+    ($rng:ident, $inputs:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_bind!($rng, $inputs; $arg in $crate::any::<$ty>(), $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (with the
+/// generated inputs) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption not met: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l != *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both are {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}

@@ -1,0 +1,6 @@
+//! One-stop imports for property tests: `use proptest::prelude::*;`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+    ProptestConfig, Strategy, TestCaseError,
+};

@@ -1,0 +1,246 @@
+//! Deserialization half of the mini data model.
+
+use std::fmt::{self, Display};
+
+/// Error raised by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Creates a deserializer-specific error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A sequence ended before element `index` could be read (used by
+    /// derived struct impls).
+    fn missing_element(index: usize) -> Self {
+        Self::custom(format_args!("sequence ended before element {index}"))
+    }
+}
+
+/// A value that can be reconstructed from serde's data model.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` by driving the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that can produce values.
+pub trait Deserializer<'de>: Sized {
+    /// Error raised on failure.
+    type Error: Error;
+
+    /// Deserializes a `bool` into the visitor.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a signed integer into the visitor.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an unsigned integer into the visitor.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a floating-point number into the visitor.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string into the visitor.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a sequence into the visitor.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Receives values from a [`Deserializer`].
+pub trait Visitor<'de>: Sized {
+    /// The value this visitor produces.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(Unexpected("a boolean", self)))
+    }
+
+    /// Visits a signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(Unexpected("a signed integer", self)))
+    }
+
+    /// Visits an unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(Unexpected("an unsigned integer", self)))
+    }
+
+    /// Visits a floating-point number.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(Unexpected("a floating-point number", self)))
+    }
+
+    /// Visits a borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(Unexpected("a string", self)))
+    }
+
+    /// Visits an owned string (delegates to [`Visitor::visit_str`]).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(<A::Error as Error>::custom(Unexpected("a sequence", self)))
+    }
+}
+
+/// Display adapter pairing what a deserializer produced with what the
+/// visitor expected.
+struct Unexpected<'a, V>(&'a str, V);
+
+impl<'de, V: Visitor<'de>> Display for Unexpected<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Expecting<'x, W>(&'x W);
+        impl<'de, W: Visitor<'de>> Display for Expecting<'_, W> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.expecting(f)
+            }
+        }
+        write!(f, "unexpected {}, expected {}", self.0, Expecting(&self.1))
+    }
+}
+
+/// Streaming access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error raised on failure.
+    type Error: Error;
+
+    /// Reads the next element, or `None` at the end of the sequence.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty => ($driver:ident, $visit:ident, $source:ty)),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct PrimitiveVisitor;
+                    impl<'de> Visitor<'de> for PrimitiveVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str(stringify!($ty))
+                        }
+                        fn $visit<E: Error>(self, v: $source) -> Result<$ty, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::custom(format_args!(
+                                    "{v} is out of range for {}",
+                                    stringify!($ty)
+                                ))
+                            })
+                        }
+                    }
+                    deserializer.$driver(PrimitiveVisitor)
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_int! {
+    i8 => (deserialize_i64, visit_i64, i64),
+    i16 => (deserialize_i64, visit_i64, i64),
+    i32 => (deserialize_i64, visit_i64, i64),
+    i64 => (deserialize_i64, visit_i64, i64),
+    isize => (deserialize_i64, visit_i64, i64),
+    u8 => (deserialize_u64, visit_u64, u64),
+    u16 => (deserialize_u64, visit_u64, u64),
+    u32 => (deserialize_u64, visit_u64, u64),
+    u64 => (deserialize_u64, visit_u64, u64),
+    usize => (deserialize_u64, visit_u64, u64),
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BoolVisitor;
+        impl<'de> Visitor<'de> for BoolVisitor {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("bool")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct FloatVisitor;
+                    impl<'de> Visitor<'de> for FloatVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str(stringify!($ty))
+                        }
+                        fn visit_f64<E: Error>(self, v: f64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                    }
+                    deserializer.deserialize_f64(FloatVisitor)
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(std::marker::PhantomData))
+    }
+}

@@ -1,0 +1,29 @@
+//! Workspace-local stand-in for the [`serde`](https://serde.rs) framework.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate provides the *subset* of serde's API that the workspace
+//! actually uses: the four core traits (`Serialize`, `Serializer`,
+//! `Deserialize`, `Deserializer`), the sequence-oriented parts of the
+//! `ser`/`de` data model, and derive macros for plain structs. Swapping it
+//! for the real serde is a one-line change in the workspace manifest; no
+//! source edits are required.
+//!
+//! Design notes:
+//!
+//! * Derived impls model a struct as a **sequence of its fields in
+//!   declaration order** — a compact, self-describing-enough encoding for
+//!   the workspace's value types (points, configs, ids, bitmaps).
+//! * Only the trait surface used by the workspace is provided. Formats can
+//!   be layered on top by implementing [`Serializer`] / [`Deserializer`].
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the companion proc-macro crate; like the real
+// serde, the trait name and the derive macro name coincide.
+pub use serde_derive::{Deserialize, Serialize};

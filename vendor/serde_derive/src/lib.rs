@@ -1,0 +1,283 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! Supports the struct shapes this workspace uses: unit structs, tuple
+//! structs and named-field structs, all without generic parameters. The
+//! generated impls encode a struct as a **sequence of its fields in
+//! declaration order**, matching the mini data model in the `serde` crate
+//! next door. Enums and generics are rejected with a compile error rather
+//! than silently mis-handled.
+//!
+//! The parser below walks the raw `TokenStream` by hand because the usual
+//! helper crates (`syn`, `quote`) are not available offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the struct a derive was applied to.
+enum Fields {
+    /// `struct Foo;`
+    Unit,
+    /// `struct Foo(A, B);` with the number of fields.
+    Tuple(usize),
+    /// `struct Foo { a: A, b: B }` with the field names in order.
+    Named(Vec<String>),
+}
+
+struct StructInfo {
+    name: String,
+    fields: Fields,
+}
+
+/// Derives `serde::Serialize` for a plain struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let info = match parse_struct(input) {
+        Ok(info) => info,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &info.name;
+    let mut body = String::new();
+    match &info.fields {
+        Fields::Unit => {
+            body.push_str(
+                "let __seq = ::serde::Serializer::serialize_seq(__serializer, \
+                 ::core::option::Option::Some(0usize))?;\n",
+            );
+            body.push_str("::serde::ser::SerializeSeq::end(__seq)\n");
+        }
+        Fields::Tuple(n) => {
+            body.push_str(&format!(
+                "let mut __seq = ::serde::Serializer::serialize_seq(__serializer, \
+                 ::core::option::Option::Some({n}usize))?;\n"
+            ));
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeSeq::serialize_element(&mut __seq, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeSeq::end(__seq)\n");
+        }
+        Fields::Named(names) => {
+            body.push_str(&format!(
+                "let mut __seq = ::serde::Serializer::serialize_seq(__serializer, \
+                 ::core::option::Option::Some({}usize))?;\n",
+                names.len()
+            ));
+            for field in names {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeSeq::serialize_element(&mut __seq, &self.{field})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeSeq::end(__seq)\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a plain struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let info = match parse_struct(input) {
+        Ok(info) => info,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &info.name;
+    let construct = match &info.fields {
+        Fields::Unit => name.clone(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n).map(next_element_expr).collect();
+            format!("{name}({})", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let fields: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{f}: {}", next_element_expr(i)))
+                .collect();
+            format!("{name} {{ {} }}", fields.join(", "))
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                         -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"struct {name}\")\n\
+                     }}\n\
+                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let _ = &mut __seq;\n\
+                         ::core::result::Result::Ok({construct})\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_seq(__deserializer, __Visitor)\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Expression reading sequence element `i` inside `visit_seq`.
+fn next_element_expr(i: usize) -> String {
+    format!(
+        "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                 <__A::Error as ::serde::de::Error>::missing_element({i}usize)),\n\
+         }}"
+    )
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+/// Parses `struct Name …` out of the derive input, skipping attributes and
+/// visibility, and rejecting shapes the mini data model cannot represent.
+fn parse_struct(input: TokenStream) -> Result<StructInfo, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and the visibility qualifier until `struct`.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracketed group that follows.
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute on derive input".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` etc.: consume the optional restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(format!(
+                    "the offline serde stand-in derives only plain structs, found `{id}`"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in derive input")),
+            None => return Err("derive input ended before `struct`".into()),
+        }
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a struct name".into()),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde stand-in cannot derive for generic struct `{name}`"
+            ));
+        }
+    }
+
+    let fields = match tokens.next() {
+        None => Fields::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(other) => return Err(format!("unexpected token `{other}` after struct name")),
+    };
+
+    Ok(StructInfo { name, fields })
+}
+
+/// Extracts field names, in order, from the body of a braced struct.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes and visibility.
+        let name = loop {
+            match tokens.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token `{other}` in struct body")),
+            }
+        };
+        names.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after field name".into()),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {}
+            }
+            tokens.next();
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a tuple struct body (top-level commas, ignoring
+/// commas nested inside generic argument lists).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
