@@ -1,0 +1,134 @@
+//! Criterion benchmark of the pruned top-k query engine against the naive
+//! collect-all-then-sort ranker on a 10 000-trajectory corpus.
+//!
+//! The corpus is synthetic but posting-realistic: 500 routes of ~60 terms
+//! each, 20 trajectories per route sharing ~90% of their route's terms,
+//! with a few region-level hot terms shared across routes — so posting
+//! lists range from a handful of entries to thousands, which is exactly
+//! the skew the rarest-first upper-bound pruning exploits.
+//!
+//! Run with `cargo bench -p geodabs-bench --bench crit_query_engine`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geodabs_core::{Fingerprints, GeodabConfig};
+use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_traj::TrajId;
+use std::hint::black_box;
+
+const ROUTES: usize = 500;
+const PER_ROUTE: usize = 20; // 10 000 trajectories total
+const TERMS_PER_ROUTE: usize = 60;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One trajectory's fingerprint set: most of its route's terms, plus its
+/// region's hot terms, plus a small unique tail.
+fn trajectory_terms(rng: &mut XorShift, route: usize) -> Vec<u32> {
+    let region = route / 25; // 20 regions of 25 routes
+    let mut terms: Vec<u32> = Vec::with_capacity(TERMS_PER_ROUTE + 8);
+    let route_base = 10_000 + (route as u32) * TERMS_PER_ROUTE as u32;
+    for t in 0..TERMS_PER_ROUTE as u32 {
+        // Keep ~90% of the route's terms.
+        if rng.below(10) != 0 {
+            terms.push(route_base + t);
+        }
+    }
+    // Region-level hot terms: long posting lists shared by 500 trajectories.
+    for h in 0..4u32 {
+        terms.push(region as u32 * 8 + h);
+    }
+    // Unique noise tail.
+    for _ in 0..4 {
+        terms.push(1_000_000 + rng.below(4_000_000) as u32);
+    }
+    terms
+}
+
+fn build_corpus() -> (GeodabIndex, Vec<Fingerprints>) {
+    let mut rng = XorShift(0xC0FFEE);
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    let mut queries = Vec::new();
+    for route in 0..ROUTES {
+        for i in 0..PER_ROUTE {
+            let id = TrajId::new((route * PER_ROUTE + i) as u32);
+            let terms = trajectory_terms(&mut rng, route);
+            if i == 0 && route % 50 == 0 {
+                // Query workload: a fresh perturbation of this route.
+                queries.push(Fingerprints::from_ordered(trajectory_terms(
+                    &mut rng, route,
+                )));
+            }
+            index.insert_fingerprints(id, Fingerprints::from_ordered(terms));
+        }
+    }
+    (index, queries)
+}
+
+type Ranker = fn(&GeodabIndex, &Fingerprints, &SearchOptions) -> Vec<geodabs_index::SearchResult>;
+
+fn bench_query_engine(c: &mut Criterion) {
+    let (index, queries) = build_corpus();
+    assert_eq!(index.len(), ROUTES * PER_ROUTE);
+
+    let engine: Ranker = GeodabIndex::search_fingerprints;
+    let naive: Ranker = GeodabIndex::search_fingerprints_naive;
+    let cases: [(&str, SearchOptions, Ranker); 6] = [
+        (
+            "engine_topk10_10k",
+            SearchOptions::default().limit(10),
+            engine,
+        ),
+        (
+            "naive_topk10_10k",
+            SearchOptions::default().limit(10),
+            naive,
+        ),
+        (
+            "engine_topk10_d0.4_10k",
+            SearchOptions::default().max_distance(0.4).limit(10),
+            engine,
+        ),
+        (
+            "naive_topk10_d0.4_10k",
+            SearchOptions::default().max_distance(0.4).limit(10),
+            naive,
+        ),
+        ("engine_unbounded_10k", SearchOptions::default(), engine),
+        ("naive_unbounded_10k", SearchOptions::default(), naive),
+    ];
+    for (name, options, ranker) in cases {
+        c.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(ranker(&index, black_box(q), &options))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = query_engine;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_query_engine
+}
+criterion_main!(query_engine);

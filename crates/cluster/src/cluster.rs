@@ -1,9 +1,11 @@
 use geodabs_core::{Fingerprinter, Fingerprints, GeodabConfig};
+use geodabs_roaring::RoaringBitmap;
 use geodabs_traj::{TrajId, Trajectory};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Mutex;
 
 use crate::{ClusterConfigError, ShardRouter};
+use geodabs_index::engine::{IdInterner, TopK};
 use geodabs_index::{SearchOptions, SearchResult, TrajectoryIndex};
 
 /// Statistics of one fan-out query, the quantities the sharding strategy
@@ -26,29 +28,72 @@ pub struct QueryStats {
 /// shared-nothing equivalent).
 #[derive(Debug, Default, Clone)]
 struct NodeStore {
-    postings: HashMap<u32, Vec<TrajId>>,
+    /// Posting lists of this node's terms, as roaring bitmaps of dense
+    /// (node-locally interned) trajectory slots.
+    postings: HashMap<u32, RoaringBitmap>,
+    /// The node's `TrajId ↔ dense` interning table.
+    interner: IdInterner,
     fingerprints: HashMap<TrajId, Fingerprints>,
     /// Posting entries per shard, for balance accounting.
     shard_load: HashMap<u64, u64>,
 }
 
 impl NodeStore {
-    /// Local ranked scoring of the query against this node's candidates.
-    fn score(&self, query_fp: &Fingerprints) -> Vec<SearchResult> {
-        let mut seen: HashMap<TrajId, ()> = HashMap::new();
+    /// Adds `id` to the posting list of `term`.
+    fn add_posting(&mut self, term: u32, id: TrajId) {
+        let dense = self.interner.intern(id);
+        let newly = self.postings.entry(term).or_default().insert(dense);
+        debug_assert!(newly, "remove() scrubbed this id");
+    }
+
+    /// Scrubs `id` from the posting list of `term`; returns whether an
+    /// entry was removed.
+    fn remove_posting(&mut self, term: u32, id: TrajId) -> bool {
+        let Some(dense) = self.interner.dense(id) else {
+            return false;
+        };
+        let Some(list) = self.postings.get_mut(&term) else {
+            return false;
+        };
+        let removed = list.remove(dense);
+        if list.is_empty() {
+            self.postings.remove(&term);
+        }
+        removed
+    }
+
+    /// Forgets `id` entirely: frees its dense slot and drops the
+    /// fingerprint replica. Call after scrubbing its postings.
+    fn drop_id(&mut self, id: TrajId) {
+        self.interner.release(id);
+        self.fingerprints.remove(&id);
+    }
+
+    /// Local ranked scoring: candidates are the union of this node's
+    /// posting bitmaps for the query's terms, each scored exactly against
+    /// its full fingerprint replica and kept in a bounded top-k heap —
+    /// the per-shard heap the coordinator merges.
+    fn score(
+        &self,
+        query_fp: &Fingerprints,
+        options: &SearchOptions,
+    ) -> (Vec<SearchResult>, usize) {
+        let mut candidates = RoaringBitmap::new();
         for term in query_fp.set().iter() {
             if let Some(list) = self.postings.get(&term) {
-                for &id in list {
-                    seen.entry(id).or_insert(());
-                }
+                candidates |= list;
             }
         }
-        seen.into_keys()
-            .map(|id| SearchResult {
+        let scored = candidates.len() as usize;
+        let mut topk = TopK::new(options);
+        for dense in candidates.iter() {
+            let id = self.interner.resolve(dense);
+            topk.push(SearchResult {
                 id,
                 distance: query_fp.jaccard_distance(&self.fingerprints[&id]),
-            })
-            .collect()
+            });
+        }
+        (topk.into_sorted(), scored)
     }
 }
 
@@ -135,25 +180,17 @@ impl ClusterIndex {
         for term in fp.set().iter() {
             let shard = self.router.shard_of_geodab(term);
             let node = &mut self.nodes[self.router.node_of_shard(shard)];
-            if let Some(list) = node.postings.get_mut(&term) {
-                let before = list.len();
-                list.retain(|&posted| posted != id);
-                let scrubbed = (before - list.len()) as u64;
-                if scrubbed > 0 {
-                    if let Some(load) = node.shard_load.get_mut(&shard) {
-                        *load = load.saturating_sub(scrubbed);
-                        if *load == 0 {
-                            node.shard_load.remove(&shard);
-                        }
+            if node.remove_posting(term, id) {
+                if let Some(load) = node.shard_load.get_mut(&shard) {
+                    *load -= 1;
+                    if *load == 0 {
+                        node.shard_load.remove(&shard);
                     }
-                }
-                if list.is_empty() {
-                    node.postings.remove(&term);
                 }
             }
         }
         for node in &mut self.nodes {
-            node.fingerprints.remove(&id);
+            node.drop_id(id);
         }
         true
     }
@@ -219,9 +256,7 @@ impl ClusterIndex {
             let shard = self.router.shard_of_geodab(term);
             let node_idx = self.router.node_of_shard(shard);
             let node = &mut self.nodes[node_idx];
-            let list = node.postings.entry(term).or_default();
-            debug_assert!(!list.contains(&id), "remove() scrubbed this id");
-            list.push(id);
+            node.add_posting(term, id);
             *node.shard_load.entry(shard).or_insert(0) += 1;
             if !touched.contains(&node_idx) {
                 touched.push(node_idx);
@@ -236,14 +271,29 @@ impl ClusterIndex {
     /// Ranked fan-out query with routing statistics.
     ///
     /// Only the nodes owning at least one query term are contacted; each
-    /// contacted node scores its local candidates on its own thread and
-    /// the coordinator merges, deduplicates and finalizes the ranking.
+    /// contacted node scores its local candidates into a bounded top-k
+    /// heap on its own scoped thread, and the coordinator merges the
+    /// per-shard heaps — deduplicating replicas by id — into the global
+    /// ranking. Returns exactly what a monolithic [`geodabs_index::GeodabIndex`]
+    /// holding the same trajectories would.
     pub fn search_with_stats(
         &self,
         query: &Trajectory,
         options: &SearchOptions,
     ) -> (Vec<SearchResult>, QueryStats) {
         let query_fp = self.fingerprinter.normalize_and_fingerprint(query);
+        self.search_fingerprints_with_stats(&query_fp, options)
+    }
+
+    /// Ranked fan-out query starting from pre-computed query fingerprints
+    /// (the client-side-fingerprinting twin of
+    /// [`ClusterIndex::insert_fingerprints`]); see
+    /// [`ClusterIndex::search_with_stats`].
+    pub fn search_fingerprints_with_stats(
+        &self,
+        query_fp: &Fingerprints,
+        options: &SearchOptions,
+    ) -> (Vec<SearchResult>, QueryStats) {
         let shards = self.router.shards_for_terms(query_fp.set().iter());
         let node_ids: Vec<usize> = {
             let mut v: Vec<usize> = shards
@@ -254,30 +304,37 @@ impl ClusterIndex {
             v.dedup();
             v
         };
-        let partials: Mutex<Vec<SearchResult>> = Mutex::new(Vec::new());
+        let partials: Mutex<Vec<(Vec<SearchResult>, usize)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for &ni in &node_ids {
                 let node = &self.nodes[ni];
-                let query_fp = &query_fp;
                 let partials = &partials;
                 scope.spawn(move || {
-                    let local = node.score(query_fp);
+                    let local = node.score(query_fp, options);
                     partials
                         .lock()
                         .expect("scoring threads never panic")
-                        .extend(local);
+                        .push(local);
                 });
             }
         });
-        let mut merged = partials.into_inner().expect("scoring threads never panic");
-        let scored = merged.len();
+        let mut merged: Vec<SearchResult> = Vec::new();
+        let mut scored = 0usize;
+        for (heap, n) in partials.into_inner().expect("scoring threads never panic") {
+            merged.extend(heap);
+            scored += n;
+        }
         // A trajectory referenced from several nodes is scored with the
-        // same full bitmap everywhere; deduplicate by id.
+        // same full bitmap everywhere; deduplicate by id, then re-rank the
+        // merged per-shard heaps under the same options.
         merged.sort_by_key(|a| a.id);
         merged.dedup_by(|a, b| a.id == b.id);
-        let hits = crate::cluster::finalize(merged, options);
+        let mut topk = TopK::new(options);
+        for hit in merged {
+            topk.push(hit);
+        }
         (
-            hits,
+            topk.into_sorted(),
             QueryStats {
                 shards_contacted: shards.len(),
                 nodes_contacted: node_ids.len(),
@@ -289,6 +346,16 @@ impl ClusterIndex {
     /// Ranked fan-out query (see [`ClusterIndex::search_with_stats`]).
     pub fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
         self.search_with_stats(query, options).0
+    }
+
+    /// Ranked fan-out query from pre-computed fingerprints (see
+    /// [`ClusterIndex::search_fingerprints_with_stats`]).
+    pub fn search_fingerprints(
+        &self,
+        query_fp: &Fingerprints,
+        options: &SearchOptions,
+    ) -> Vec<SearchResult> {
+        self.search_fingerprints_with_stats(query_fp, options).0
     }
 
     /// Re-routes every shard onto a different node count, migrating
@@ -309,16 +376,22 @@ impl ClusterIndex {
         for node in self.nodes.drain(..) {
             let NodeStore {
                 postings,
+                interner,
                 fingerprints,
                 ..
             } = node;
             for (term, list) in postings {
                 let shard = new_router.shard_of_geodab(term);
                 let target = &mut new_nodes[new_router.node_of_shard(shard)];
-                for id in list {
-                    let entry = target.postings.entry(term).or_default();
-                    if entry.last() != Some(&id) && !entry.contains(&id) {
-                        entry.push(id);
+                for dense in list.iter() {
+                    let id = interner.resolve(dense);
+                    let target_dense = target.interner.intern(id);
+                    if target
+                        .postings
+                        .entry(term)
+                        .or_default()
+                        .insert(target_dense)
+                    {
                         *target.shard_load.entry(shard).or_insert(0) += 1;
                         // The fingerprint replica follows its postings.
                         target
@@ -386,18 +459,6 @@ impl TrajectoryIndex for ClusterIndex {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         ClusterIndex::insert_batch(self, &items, threads);
     }
-}
-
-/// Re-implementation of the single-index result finalization (sorting,
-/// thresholding, limiting) for merged cluster results; kept identical so a
-/// cluster query returns exactly what a monolithic index would.
-fn finalize(mut hits: Vec<SearchResult>, options: &SearchOptions) -> Vec<SearchResult> {
-    hits.retain(|h| h.distance <= options.max_distance);
-    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
-    if let Some(limit) = options.limit {
-        hits.truncate(limit);
-    }
-    hits
 }
 
 #[cfg(test)]
@@ -576,5 +637,68 @@ mod tests {
     fn invalid_configuration_errors() {
         assert!(ClusterIndex::new(GeodabConfig::default(), 0, 10).is_err());
         assert!(ClusterIndex::new(GeodabConfig::default(), 100, 0).is_err());
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The sharded fan-out (per-shard heaps merged at the
+            /// coordinator) returns exactly what a monolithic index over
+            /// the same fingerprints would — including after removals,
+            /// re-inserts (which recycle node-local interner slots) and a
+            /// resize — for any workload and options.
+            #[test]
+            fn cluster_equals_monolithic_on_random_fingerprints(
+                sets in proptest::collection::vec(
+                    proptest::collection::vec(0u32..5_000, 0..30), 1..40),
+                query in proptest::collection::vec(0u32..5_000, 0..30),
+                nodes in 1usize..12,
+                limit in 0usize..8,
+                threshold_pm in 0u32..101,
+                remove_stride in 2usize..5,
+                resize_to in 0usize..12,
+            ) {
+                let config = GeodabConfig::default();
+                let mut cluster = ClusterIndex::new(config, 10_000, nodes).unwrap();
+                let mut mono = GeodabIndex::new(config);
+                let insert = |cluster: &mut ClusterIndex,
+                              mono: &mut GeodabIndex,
+                              i: usize,
+                              set: &[u32]| {
+                    let fp = geodabs_core::Fingerprints::from_ordered(set.to_vec());
+                    cluster.insert_fingerprints(TrajId::new(i as u32), fp.clone());
+                    mono.insert_fingerprints(TrajId::new(i as u32), fp);
+                };
+                for (i, set) in sets.iter().enumerate() {
+                    insert(&mut cluster, &mut mono, i, set);
+                }
+                // Remove a stride of ids from both, then re-insert every
+                // other removed id with a shifted set — exercising posting
+                // scrubs and dense-slot recycling on both sides.
+                for i in (0..sets.len()).step_by(remove_stride) {
+                    cluster.remove(TrajId::new(i as u32));
+                    mono.remove(TrajId::new(i as u32));
+                }
+                for i in (0..sets.len()).step_by(remove_stride * 2) {
+                    let shifted: Vec<u32> = sets[i].iter().map(|t| t + 1).collect();
+                    insert(&mut cluster, &mut mono, i, &shifted);
+                }
+                if resize_to > 0 {
+                    cluster.resize(resize_to).unwrap();
+                }
+                let query_fp = geodabs_core::Fingerprints::from_ordered(query);
+                let mut options =
+                    SearchOptions::default().max_distance(threshold_pm as f64 / 100.0);
+                if limit > 0 {
+                    options = options.limit(limit - 1);
+                }
+                prop_assert_eq!(
+                    cluster.search_fingerprints(&query_fp, &options),
+                    mono.search_fingerprints(&query_fp, &options)
+                );
+            }
+        }
     }
 }

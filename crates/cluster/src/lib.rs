@@ -11,7 +11,10 @@
 //! * [`ShardRouter`] — the two pure mapping functions
 //!   `shard = ⌊geohash / 2^depth · s⌋` and `node = shard mod n`,
 //! * [`ClusterIndex`] — a simulated cluster of per-node posting stores
-//!   with fan-out ranked queries (parallelized with scoped threads),
+//!   (roaring bitmaps over node-locally interned ids) with fan-out ranked
+//!   queries: every contacted node scores its candidates into a bounded
+//!   top-k heap on its own scoped thread and the coordinator merges the
+//!   per-shard heaps into the exact global ranking,
 //! * [`balance`] — balance statistics over shard/node assignments.
 //!
 //! # Examples

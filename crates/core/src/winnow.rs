@@ -1,5 +1,5 @@
 //! The winnowing fingerprint-selection algorithm (Schleimer, Wilkerson &
-//! Aiken, SIGMOD'03 — the paper's ref [25], adapted in its Algorithm 1).
+//! Aiken, SIGMOD'03 — the paper's ref \[25\], adapted in its Algorithm 1).
 //!
 //! Winnowing slides a window of size `w = t − k + 1` over the sequence of
 //! `k`-gram hashes and selects, in each window, the minimum value (the
@@ -70,7 +70,7 @@ pub fn sample_mod_p(candidates: &[u32], p: u32) -> Vec<u32> {
 }
 
 /// Streaming winnowing over an iterator of candidates, using a monotonic
-/// deque — the "optimised version of this algorithm [relying] on circular
+/// deque — the "optimised version of this algorithm \[relying\] on circular
 /// buffers" the paper mentions (and then drops, since normalized
 /// trajectories are short). `O(n)` total instead of `O(n · w)`.
 ///

@@ -1,5 +1,5 @@
 //! Bounding-based Trajectory Motif discovery (BTM): the exact baseline of
-//! Figure 11 (Tang et al., the paper's ref [27]).
+//! Figure 11 (Tang et al., the paper's ref \[27\]).
 //!
 //! Given two trajectories and a motif length `l` (in points), BTM returns
 //! the pair of length-`l` sub-trajectories with the minimal discrete

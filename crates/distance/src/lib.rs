@@ -3,11 +3,11 @@
 //! These are the quadratic-time competitors the geodabs paper compares
 //! against in Section VI-B and VI-C:
 //!
-//! * [`dtw`] — Dynamic Time Warping (Equation 3; Yi et al., ref [28]),
+//! * [`dtw`] — Dynamic Time Warping (Equation 3; Yi et al., ref \[28\]),
 //! * [`dfd`] — Discrete Fréchet Distance (Equation 4; Eiter & Mannila,
-//!   ref [9]),
+//!   ref \[9\]),
 //! * [`btm`] — Bounding-based Trajectory Motif discovery: the exact
-//!   motif-discovery baseline (Tang et al., ref [27]) that evaluates the
+//!   motif-discovery baseline (Tang et al., ref \[27\]) that evaluates the
 //!   DFD of every pair of same-length sub-trajectories with lower-bound
 //!   pruning.
 //!

@@ -14,6 +14,11 @@
 //! point — that phrase search over long sub-sequences is slow compared to
 //! fingerprint Jaccard ranking — can be verified directly against
 //! [`crate::GeodabIndex`] on the same data.
+//!
+//! Unlike the ranked indexes, this one keeps explicit `(trajectory,
+//! positions)` posting entries rather than the roaring bitmaps of
+//! [`crate::engine`]: positions are per-occurrence payloads, which a plain
+//! membership bitmap cannot carry.
 
 use geodabs_core::{Fingerprinter, GeodabConfig};
 use geodabs_traj::{TrajId, Trajectory};

@@ -1,8 +1,10 @@
 //! Compact binary persistence for [`GeodabIndex`].
 //!
 //! The on-disk format stores the configuration plus, per trajectory, its
-//! ordered fingerprint sequence; posting lists and roaring bitmaps are
-//! rebuilt on load (they are derived data). Layout, all little-endian:
+//! ordered fingerprint sequence; the query engine's derived state —
+//! posting bitmaps, the `TrajId ↔ dense` interning table and per-set
+//! cardinalities (see [`crate::engine`]) — is rebuilt on load. Layout,
+//! all little-endian:
 //!
 //! ```text
 //! magic   b"GDAB"                     4 bytes

@@ -1,0 +1,761 @@
+//! The top-k query engine shared by every index backend.
+//!
+//! The paper's retrieval loop (Section IV-A) gathers candidates from an
+//! inverted index and ranks them by Jaccard distance. This module is the
+//! machinery that makes that loop run at traffic scale:
+//!
+//! * [`IdInterner`] — a `TrajId ↔ u32` interning table assigning *dense*
+//!   slot numbers, so posting lists can be [`RoaringBitmap`]s of small
+//!   contiguous integers instead of `Vec<TrajId>`,
+//! * [`PostingLists`] — roaring posting lists over interned ids with exact
+//!   **term-at-a-time overlap counting**: instead of intersecting bitmap
+//!   pairs per candidate, one pass over the query's posting lists counts
+//!   `|A ∩ B|` for every candidate simultaneously, and
+//!   `δ = 1 − overlap / (|A| + |B| − overlap)` falls out in O(1) per
+//!   candidate,
+//! * [`TopK`] — a bounded heap that keeps the best `limit` hits under the
+//!   `(distance, id)` total order while honoring `max_distance`.
+//!
+//! Query terms are processed **rarest-first** (shortest posting list
+//! first). A candidate first encountered at term `i` of `m` can reach an
+//! overlap of at most `m − i`, hence a Jaccard distance of at least
+//! `1 − (m − i) / |A|`; once that bound exceeds the pruning threshold —
+//! `Δmax`, tightened to the k-th best *guaranteed* distance when a result
+//! limit is set — new candidates can no longer qualify and the scan flips
+//! to an increment-only mode that visits just the postings of already
+//! admitted candidates (via [`RoaringBitmap::intersection_iter`]). The
+//! pruned engine is **exact**: it returns precisely the ranking a full
+//! scan would (same ids, same distances, ties broken by id), which
+//! `crates/index/tests/engine_equivalence.rs` asserts property-based.
+//!
+//! # Examples
+//!
+//! ```
+//! use geodabs_index::engine::PostingLists;
+//! use geodabs_index::SearchOptions;
+//! use geodabs_traj::TrajId;
+//!
+//! let mut lists: PostingLists<u32> = PostingLists::new();
+//! lists.insert(TrajId::new(7), [1, 2, 3]);
+//! lists.insert(TrajId::new(9), [2, 3, 4]);
+//! lists.insert(TrajId::new(4), [40, 41, 42]);
+//!
+//! // Query {1, 2, 3}: T7 matches exactly, T9 overlaps on {2, 3}.
+//! let hits = lists.search([1u32, 2, 3], &SearchOptions::default().limit(2));
+//! assert_eq!(hits.len(), 2);
+//! assert_eq!(hits[0].id, TrajId::new(7));
+//! assert_eq!(hits[0].distance, 0.0);
+//! assert_eq!(hits[1].id, TrajId::new(9));
+//! assert_eq!(hits[1].distance, 0.5); // 1 − 2/4
+//! ```
+
+use geodabs_roaring::RoaringBitmap;
+use geodabs_traj::TrajId;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+use crate::{SearchOptions, SearchResult};
+
+/// A `TrajId ↔ u32` interning table with slot reuse.
+///
+/// Posting lists store *dense* slot numbers so that roaring bitmaps stay
+/// compact; removing a trajectory frees its slot for the next insertion,
+/// keeping the dense space as tight as the live set.
+#[derive(Debug, Clone, Default)]
+pub struct IdInterner {
+    dense_of: HashMap<TrajId, u32>,
+    traj_of: Vec<TrajId>,
+    free: Vec<u32>,
+}
+
+impl IdInterner {
+    /// Creates an empty table.
+    pub fn new() -> IdInterner {
+        IdInterner::default()
+    }
+
+    /// Number of interned (live) ids.
+    pub fn len(&self) -> usize {
+        self.dense_of.len()
+    }
+
+    /// Whether no id is interned.
+    pub fn is_empty(&self) -> bool {
+        self.dense_of.is_empty()
+    }
+
+    /// Number of dense slots ever allocated (live + reusable); every dense
+    /// id handed out so far is `< capacity()`.
+    pub fn capacity(&self) -> usize {
+        self.traj_of.len()
+    }
+
+    /// The dense slot of `id`, interning it if new. Freed slots are reused
+    /// before the table grows.
+    pub fn intern(&mut self, id: TrajId) -> u32 {
+        if let Some(&dense) = self.dense_of.get(&id) {
+            return dense;
+        }
+        let dense = match self.free.pop() {
+            Some(slot) => {
+                self.traj_of[slot as usize] = id;
+                slot
+            }
+            None => {
+                let slot = self.traj_of.len() as u32;
+                self.traj_of.push(id);
+                slot
+            }
+        };
+        self.dense_of.insert(id, dense);
+        dense
+    }
+
+    /// The dense slot of `id`, if interned.
+    pub fn dense(&self, id: TrajId) -> Option<u32> {
+        self.dense_of.get(&id).copied()
+    }
+
+    /// The trajectory id occupying a dense slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` was never allocated; a freed (vacant) slot
+    /// returns its stale id, so only resolve slots known to be live —
+    /// e.g. values read from posting bitmaps, which are scrubbed on
+    /// release.
+    pub fn resolve(&self, dense: u32) -> TrajId {
+        self.traj_of[dense as usize]
+    }
+
+    /// Frees the slot of `id` for reuse; returns the freed dense slot.
+    pub fn release(&mut self, id: TrajId) -> Option<u32> {
+        let dense = self.dense_of.remove(&id)?;
+        self.free.push(dense);
+        Some(dense)
+    }
+}
+
+/// One entry of a [`TopK`] heap, ordered by `(distance, id)` so the heap's
+/// maximum is the worst kept hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry(SearchResult);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &HeapEntry) -> std::cmp::Ordering {
+        self.0
+            .distance
+            .total_cmp(&other.0.distance)
+            .then(self.0.id.cmp(&other.0.id))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &HeapEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded top-k collector with the exact semantics of the collect-all
+/// path: keep hits with `distance ≤ max_distance`, order by ascending
+/// `(distance, id)`, and retain at most `limit` of them — but in
+/// `O(n log k)` with `O(k)` memory instead of sorting every hit.
+///
+/// ```
+/// use geodabs_index::engine::TopK;
+/// use geodabs_index::{SearchOptions, SearchResult};
+/// use geodabs_traj::TrajId;
+///
+/// let mut topk = TopK::new(&SearchOptions::default().limit(2));
+/// for (id, d) in [(1, 0.9), (2, 0.1), (3, 0.5), (4, 0.2)] {
+///     topk.push(SearchResult { id: TrajId::new(id), distance: d });
+/// }
+/// let best: Vec<u32> = topk.into_sorted().iter().map(|h| h.id.raw()).collect();
+/// assert_eq!(best, vec![2, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    limit: Option<usize>,
+    max_distance: f64,
+    heap: BinaryHeap<HeapEntry>,
+    unbounded: Vec<SearchResult>,
+}
+
+impl TopK {
+    /// A collector honoring the limit and threshold of `options`.
+    pub fn new(options: &SearchOptions) -> TopK {
+        TopK {
+            limit: options.limit,
+            max_distance: options.max_distance,
+            heap: BinaryHeap::new(),
+            unbounded: Vec::new(),
+        }
+    }
+
+    /// Offers a hit; it is kept only while it ranks among the best `limit`
+    /// seen so far and passes the distance threshold.
+    // The negated comparison is deliberate: an unordered (NaN) threshold
+    // must keep nothing, matching `retain(|h| h.distance <= max_distance)`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn push(&mut self, hit: SearchResult) {
+        if !(hit.distance <= self.max_distance) {
+            return;
+        }
+        let Some(limit) = self.limit else {
+            self.unbounded.push(hit);
+            return;
+        };
+        if limit == 0 {
+            return;
+        }
+        let entry = HeapEntry(hit);
+        if self.heap.len() < limit {
+            self.heap.push(entry);
+        } else if entry < *self.heap.peek().expect("heap is non-empty at capacity") {
+            self.heap.pop();
+            self.heap.push(entry);
+        }
+    }
+
+    /// The current pruning threshold: a candidate must score strictly
+    /// better than this to change the result set. Equal to `max_distance`
+    /// until the collector holds `limit` hits, then the k-th best distance
+    /// (which only tightens).
+    pub fn threshold(&self) -> f64 {
+        match self.limit {
+            Some(limit) if self.heap.len() >= limit.max(1) => self
+                .heap
+                .peek()
+                .map_or(self.max_distance, |worst| worst.0.distance),
+            _ => self.max_distance,
+        }
+    }
+
+    /// Number of hits currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len() + self.unbounded.len()
+    }
+
+    /// Whether no hit has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finishes the collection: the kept hits, ascending by
+    /// `(distance, id)`.
+    pub fn into_sorted(self) -> Vec<SearchResult> {
+        let mut hits = self.unbounded;
+        hits.extend(self.heap.into_iter().map(|e| e.0));
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        if let Some(limit) = self.limit {
+            hits.truncate(limit);
+        }
+        hits
+    }
+}
+
+/// Roaring posting lists over interned trajectory ids, with the pruned
+/// exact top-k ranking described in the [module docs](self).
+///
+/// The term type `T` is generic so the same engine serves the geodab index
+/// (`u32` fingerprints), the geohash baseline (`u64` cells) and any future
+/// vocabulary. The engine stores only term *sets* and their sizes; callers
+/// keep whatever richer per-trajectory payload they need (ordered
+/// fingerprints, cell vectors, …) and replay the same term set into
+/// [`PostingLists::remove`].
+#[derive(Debug, Clone)]
+pub struct PostingLists<T> {
+    interner: IdInterner,
+    postings: HashMap<T, RoaringBitmap>,
+    /// `set_sizes[dense]` is `|B|`, the number of distinct terms of the
+    /// trajectory in that slot (stale for vacant slots).
+    set_sizes: Vec<u32>,
+}
+
+impl<T: Copy + Eq + Hash + Ord> PostingLists<T> {
+    /// Creates empty posting lists.
+    pub fn new() -> PostingLists<T> {
+        PostingLists {
+            interner: IdInterner::new(),
+            postings: HashMap::new(),
+            set_sizes: Vec::new(),
+        }
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Whether nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Number of distinct terms in the dictionary.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The interning table, e.g. to translate dense posting values.
+    pub fn interner(&self) -> &IdInterner {
+        &self.interner
+    }
+
+    /// The posting bitmap of a term, if any trajectory contains it.
+    pub fn posting(&self, term: T) -> Option<&RoaringBitmap> {
+        self.postings.get(&term)
+    }
+
+    /// Indexes `id` under every term of `terms` (which must be distinct
+    /// and must not already be indexed — remove first to replace).
+    pub fn insert(&mut self, id: TrajId, terms: impl IntoIterator<Item = T>) {
+        debug_assert!(
+            self.interner.dense(id).is_none(),
+            "insert of an id that is already indexed; remove it first"
+        );
+        let dense = self.interner.intern(id);
+        if self.set_sizes.len() <= dense as usize {
+            self.set_sizes.resize(dense as usize + 1, 0);
+        }
+        let mut distinct = 0u32;
+        for term in terms {
+            let newly = self.postings.entry(term).or_default().insert(dense);
+            debug_assert!(newly, "terms of one trajectory must be distinct");
+            distinct += 1;
+        }
+        self.set_sizes[dense as usize] = distinct;
+    }
+
+    /// Removes `id`, scrubbing its dense slot from the posting list of
+    /// every term in `terms` (the same set it was inserted under); returns
+    /// whether the id was indexed.
+    pub fn remove(&mut self, id: TrajId, terms: impl IntoIterator<Item = T>) -> bool {
+        let Some(dense) = self.interner.release(id) else {
+            return false;
+        };
+        for term in terms {
+            if let Some(list) = self.postings.get_mut(&term) {
+                list.remove(dense);
+                if list.is_empty() {
+                    self.postings.remove(&term);
+                }
+            }
+        }
+        self.set_sizes[dense as usize] = 0;
+        true
+    }
+
+    /// Whether `id` is indexed.
+    pub fn contains(&self, id: TrajId) -> bool {
+        self.interner.dense(id).is_some()
+    }
+
+    /// The dense candidate set of a query: every slot sharing at least one
+    /// term with `terms`, as one bitmap union of the posting lists.
+    pub fn candidates_bitmap(&self, terms: impl IntoIterator<Item = T>) -> RoaringBitmap {
+        let mut union = RoaringBitmap::new();
+        for term in terms {
+            if let Some(list) = self.postings.get(&term) {
+                union |= list;
+            }
+        }
+        union
+    }
+
+    /// Distinct ids sharing at least one term with the query, ascending —
+    /// straight off the posting bitmaps and the interning table, with no
+    /// hash-set round-trip.
+    pub fn candidate_ids(&self, terms: impl IntoIterator<Item = T>) -> Vec<TrajId> {
+        let mut ids: Vec<TrajId> = self
+            .candidates_bitmap(terms)
+            .iter()
+            .map(|dense| self.interner.resolve(dense))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Exact pruned top-k ranking of the candidates of `query_terms`
+    /// (which must be distinct; order is irrelevant).
+    ///
+    /// Returns precisely what a full candidate scan would: hits ordered by
+    /// ascending `(distance, id)`, cut at `options.max_distance` and
+    /// `options.limit`. See the [module docs](self) for the algorithm.
+    ///
+    /// ```
+    /// use geodabs_index::engine::PostingLists;
+    /// use geodabs_index::SearchOptions;
+    /// use geodabs_traj::TrajId;
+    ///
+    /// let mut lists: PostingLists<u32> = PostingLists::new();
+    /// lists.insert(TrajId::new(0), [10, 11, 12]);
+    /// lists.insert(TrajId::new(1), [12, 13, 14]);
+    ///
+    /// // Δmax = 0.5 drops the one-term overlap; the exact twin stays.
+    /// let hits = lists.search([10u32, 11, 12], &SearchOptions::default().max_distance(0.5));
+    /// assert_eq!(hits.len(), 1);
+    /// assert_eq!(hits[0].id, TrajId::new(0));
+    /// ```
+    pub fn search(
+        &self,
+        query_terms: impl IntoIterator<Item = T>,
+        options: &SearchOptions,
+    ) -> Vec<SearchResult> {
+        // Partition the query into posting-bearing terms (the only ones
+        // that can contribute overlap) while counting |A| over all terms.
+        let mut qa = 0u64;
+        let mut lists: Vec<&RoaringBitmap> = Vec::new();
+        for term in query_terms {
+            qa += 1;
+            if let Some(list) = self.postings.get(&term) {
+                lists.push(list);
+            }
+        }
+        if qa == 0 || lists.is_empty() || options.limit == Some(0) {
+            return Vec::new();
+        }
+        // Rarest-first: the cheapest lists both seed the fewest candidates
+        // and push the "remaining terms" upper bound down fastest.
+        lists.sort_unstable_by_key(|list| list.len());
+        let m = lists.len();
+
+        let posting_entries: u64 = lists.iter().map(|list| list.len()).sum();
+        let mut overlap = OverlapCounts::sized_for(self.interner.capacity(), posting_entries);
+        let mut touched: Vec<u32> = Vec::new();
+        let mut admitted: RoaringBitmap = RoaringBitmap::new();
+        let mut admit_new = true;
+        let mut threshold = options.max_distance;
+        // Tightening the threshold scans every candidate, so do it at
+        // exponentially spaced list boundaries: O(candidates · log m)
+        // total instead of O(candidates · m). A stale threshold only
+        // admits more, never less — exactness is unaffected.
+        let mut next_tighten = 1usize;
+
+        for (i, list) in lists.iter().enumerate() {
+            if admit_new {
+                // A candidate first seen now can still match at most the
+                // remaining m − i terms, so its distance is at least
+                // 1 − (m − i)/|A| — prune admission once that floor
+                // exceeds the threshold.
+                let best_new = 1.0 - (m - i) as f64 / qa as f64;
+                if best_new > threshold {
+                    admit_new = false;
+                } else if let Some(limit) = options.limit {
+                    if i >= next_tighten && touched.len() > limit {
+                        next_tighten = i * 2;
+                        let kth = self.kth_guaranteed_distance(&touched, &overlap, qa, limit);
+                        if kth < threshold {
+                            threshold = kth;
+                        }
+                        if best_new > threshold {
+                            admit_new = false;
+                        }
+                    }
+                }
+                if !admit_new {
+                    // Freeze the candidate set once; later lists are
+                    // scanned through their intersection with it.
+                    admitted = touched.iter().copied().collect();
+                }
+            }
+            if admit_new {
+                for dense in list.iter() {
+                    if overlap.bump(dense) == 1 {
+                        touched.push(dense);
+                    }
+                }
+            } else {
+                for dense in list.intersection_iter(&admitted) {
+                    overlap.bump(dense);
+                }
+            }
+        }
+
+        // Exact counts in hand, every score is O(1); the bounded heap
+        // keeps the best `limit` under the (distance, id) order.
+        let mut topk = TopK::new(options);
+        for &dense in &touched {
+            let ov = overlap.get(dense) as u64;
+            let b = self.set_sizes[dense as usize] as u64;
+            let union = qa + b - ov;
+            topk.push(SearchResult {
+                id: self.interner.resolve(dense),
+                distance: 1.0 - ov as f64 / union as f64,
+            });
+        }
+        topk.into_sorted()
+    }
+
+    /// The `k`-th smallest *guaranteed* distance among the current
+    /// candidates: each candidate with overlap-so-far `c` will finish at
+    /// distance at most `1 − c/(|A| + |B| − c)` (overlap only grows), so
+    /// at least `k` candidates are guaranteed to beat the returned value —
+    /// a valid, strictly-tightening admission threshold.
+    fn kth_guaranteed_distance(
+        &self,
+        touched: &[u32],
+        overlap: &OverlapCounts,
+        qa: u64,
+        k: usize,
+    ) -> f64 {
+        debug_assert!(k >= 1 && touched.len() > k);
+        let mut guaranteed: Vec<f64> = touched
+            .iter()
+            .map(|&dense| {
+                let c = overlap.get(dense) as u64;
+                let b = self.set_sizes[dense as usize] as u64;
+                1.0 - c as f64 / (qa + b - c) as f64
+            })
+            .collect();
+        let (_, kth, _) = guaranteed.select_nth_unstable_by(k - 1, f64::total_cmp);
+        *kth
+    }
+}
+
+/// Per-query overlap accumulator. Dense queries (posting entries within a
+/// constant factor of the corpus) use a flat array for branch-free
+/// counting; selective queries use a hash map so per-query work stays
+/// proportional to the candidates actually touched instead of Ω(corpus)
+/// from zeroing a corpus-sized array.
+enum OverlapCounts {
+    Dense(Vec<u32>),
+    Sparse(HashMap<u32, u32>),
+}
+
+impl OverlapCounts {
+    /// Picks a representation: `posting_entries` bounds the number of
+    /// candidates a query can touch, `capacity` is the corpus slot count.
+    fn sized_for(capacity: usize, posting_entries: u64) -> OverlapCounts {
+        if posting_entries.saturating_mul(4) >= capacity as u64 {
+            OverlapCounts::Dense(vec![0u32; capacity])
+        } else {
+            OverlapCounts::Sparse(HashMap::with_capacity(posting_entries as usize))
+        }
+    }
+
+    /// Increments the count of a dense slot; returns the new count (1 on
+    /// first touch).
+    fn bump(&mut self, dense: u32) -> u32 {
+        match self {
+            OverlapCounts::Dense(counts) => {
+                let c = &mut counts[dense as usize];
+                *c += 1;
+                *c
+            }
+            OverlapCounts::Sparse(counts) => {
+                let c = counts.entry(dense).or_insert(0);
+                *c += 1;
+                *c
+            }
+        }
+    }
+
+    /// The current count of a dense slot.
+    fn get(&self, dense: u32) -> u32 {
+        match self {
+            OverlapCounts::Dense(counts) => counts[dense as usize],
+            OverlapCounts::Sparse(counts) => counts.get(&dense).copied().unwrap_or(0),
+        }
+    }
+}
+
+impl<T: Copy + Eq + Hash + Ord> Default for PostingLists<T> {
+    fn default() -> PostingLists<T> {
+        PostingLists::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u32) -> TrajId {
+        TrajId::new(raw)
+    }
+
+    fn hit(raw: u32, distance: f64) -> SearchResult {
+        SearchResult {
+            id: id(raw),
+            distance,
+        }
+    }
+
+    #[test]
+    fn interner_assigns_dense_slots_and_reuses_freed_ones() {
+        let mut it = IdInterner::new();
+        assert_eq!(it.intern(id(100)), 0);
+        assert_eq!(it.intern(id(7)), 1);
+        assert_eq!(it.intern(id(100)), 0, "re-interning is idempotent");
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(1), id(7));
+        assert_eq!(it.release(id(100)), Some(0));
+        assert_eq!(it.release(id(100)), None);
+        assert_eq!(it.intern(id(55)), 0, "freed slot is reused");
+        assert_eq!(it.capacity(), 2);
+        assert_eq!(it.dense(id(7)), Some(1));
+        assert_eq!(it.dense(id(100)), None);
+    }
+
+    #[test]
+    fn topk_keeps_best_under_distance_then_id_order() {
+        let mut topk = TopK::new(&SearchOptions::default().limit(2));
+        topk.push(hit(5, 0.3));
+        topk.push(hit(9, 0.3)); // tie: larger id loses once 2 better exist
+        topk.push(hit(1, 0.3));
+        topk.push(hit(2, 0.8));
+        let out = topk.into_sorted();
+        assert_eq!(out, vec![hit(1, 0.3), hit(5, 0.3)]);
+    }
+
+    #[test]
+    fn topk_honors_max_distance_and_zero_limit() {
+        let mut topk = TopK::new(&SearchOptions::default().max_distance(0.5));
+        topk.push(hit(1, 0.5)); // boundary kept
+        topk.push(hit(2, 0.500001));
+        assert_eq!(topk.into_sorted(), vec![hit(1, 0.5)]);
+
+        let mut none = TopK::new(&SearchOptions::default().limit(0));
+        none.push(hit(1, 0.0));
+        assert!(none.is_empty());
+        assert!(none.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn topk_threshold_tightens_once_full() {
+        let mut topk = TopK::new(&SearchOptions::default().limit(2));
+        assert_eq!(topk.threshold(), 1.0);
+        topk.push(hit(1, 0.2));
+        assert_eq!(topk.threshold(), 1.0, "not full yet");
+        topk.push(hit(2, 0.4));
+        assert_eq!(topk.threshold(), 0.4);
+        topk.push(hit(3, 0.1));
+        assert_eq!(topk.threshold(), 0.2);
+        assert_eq!(topk.len(), 2);
+    }
+
+    fn sample() -> PostingLists<u32> {
+        let mut lists = PostingLists::new();
+        lists.insert(id(0), [1, 2, 3, 4]);
+        lists.insert(id(1), [3, 4, 5]);
+        lists.insert(id(2), [100, 101]);
+        lists
+    }
+
+    #[test]
+    fn search_scores_by_overlap_counting() {
+        let lists = sample();
+        let hits = lists.search([1u32, 2, 3, 4], &SearchOptions::default());
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], hit(0, 0.0));
+        // overlap {3,4} of |A|=4, |B|=3 → 1 − 2/5.
+        assert_eq!(hits[1], hit(1, 1.0 - 2.0 / 5.0));
+    }
+
+    #[test]
+    fn search_counts_unknown_query_terms_in_qa() {
+        let lists = sample();
+        // Terms 8 and 9 are not in the dictionary but still enlarge |A|.
+        let hits = lists.search([3u32, 4, 8, 9], &SearchOptions::default());
+        // id 1: overlap {3,4}, |A|=4, |B|=3 → 1 − 2/5.
+        assert_eq!(hits[0], hit(1, 1.0 - 2.0 / 5.0));
+        // id 0: overlap {3,4}, |A|=4, |B|=4 → 1 − 2/6.
+        assert_eq!(hits[1], hit(0, 1.0 - 2.0 / 6.0));
+    }
+
+    #[test]
+    fn search_empty_cases() {
+        let lists = sample();
+        assert!(lists
+            .search(std::iter::empty::<u32>(), &SearchOptions::default())
+            .is_empty());
+        assert!(lists.search([999u32], &SearchOptions::default()).is_empty());
+        let empty: PostingLists<u32> = PostingLists::new();
+        assert!(empty
+            .search([1u32, 2], &SearchOptions::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn remove_scrubs_postings_and_candidates() {
+        let mut lists = sample();
+        assert!(lists.remove(id(0), [1, 2, 3, 4]));
+        assert!(!lists.remove(id(0), [1, 2, 3, 4]));
+        assert_eq!(lists.candidate_ids([1u32, 2, 3, 4]), vec![id(1)]);
+        assert_eq!(lists.len(), 2);
+        // Terms only id 0 carried are gone from the dictionary.
+        assert!(lists.posting(1).is_none());
+        assert!(lists.posting(3).is_some());
+    }
+
+    #[test]
+    fn candidate_ids_are_sorted_by_traj_id_despite_dense_order() {
+        let mut lists = PostingLists::new();
+        // Insert out of TrajId order so dense order ≠ id order.
+        lists.insert(id(50), [1, 2]);
+        lists.insert(id(3), [2, 3]);
+        lists.insert(id(20), [1, 3]);
+        assert_eq!(
+            lists.candidate_ids([1u32, 2, 3]),
+            vec![id(3), id(20), id(50)]
+        );
+    }
+
+    #[test]
+    fn generic_u64_terms_work() {
+        let mut lists: PostingLists<u64> = PostingLists::new();
+        lists.insert(id(1), [u64::MAX, 1 << 40]);
+        lists.insert(id(2), [1 << 40]);
+        let hits = lists.search([u64::MAX, 1 << 40], &SearchOptions::default());
+        assert_eq!(hits[0].id, id(1));
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(hits[1], hit(2, 0.5));
+    }
+
+    #[test]
+    fn limit_prunes_but_stays_exact() {
+        // Many candidates sharing a common term, one sharing every term:
+        // with limit 1, admission must stop early yet the exact best hit
+        // still wins.
+        let mut lists = PostingLists::new();
+        lists.insert(id(0), [1, 2, 3, 4, 5, 6, 7, 8]);
+        for i in 1..200u32 {
+            lists.insert(id(i), [1, 1000 + i, 2000 + i]);
+        }
+        let all = lists.search(1u32..=8, &SearchOptions::default());
+        let top = lists.search(1u32..=8, &SearchOptions::default().limit(1));
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0], all[0]);
+        assert_eq!(top[0], hit(0, 0.0));
+    }
+
+    #[test]
+    fn selective_query_on_large_corpus_uses_sparse_counts_exactly() {
+        // 2 000 indexed trajectories, query touching only 3 of them: the
+        // accumulator must take the sparse path (posting entries ≪
+        // capacity) and still score exactly.
+        let mut lists = PostingLists::new();
+        for i in 0..2_000u32 {
+            lists.insert(id(i), [100_000 + 3 * i, 100_001 + 3 * i, 100_002 + 3 * i]);
+        }
+        lists.insert(id(9_000), [1, 2, 3]);
+        lists.insert(id(9_001), [2, 3, 4]);
+        lists.insert(id(9_002), [3, 4, 5]);
+        let hits = lists.search([1u32, 2, 3], &SearchOptions::default().limit(10));
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0], hit(9_000, 0.0));
+        assert_eq!(hits[1], hit(9_001, 0.5));
+        assert_eq!(hits[2], hit(9_002, 1.0 - 1.0 / 5.0));
+    }
+
+    #[test]
+    fn max_distance_prunes_but_stays_exact() {
+        let mut lists = PostingLists::new();
+        lists.insert(id(0), [1, 2, 3, 4]);
+        lists.insert(id(1), [1, 900, 901, 902]);
+        let tight = lists.search([1u32, 2, 3, 4], &SearchOptions::default().max_distance(0.3));
+        assert_eq!(tight, vec![hit(0, 0.0)]);
+    }
+}

@@ -1,18 +1,44 @@
 use geodabs_core::{Fingerprinter, Fingerprints, GeodabConfig};
 use geodabs_traj::{Normalizer, TrajId, Trajectory};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
+use crate::engine::PostingLists;
 use crate::result::finalize;
 use crate::{SearchOptions, SearchResult, TrajectoryIndex};
 
 /// The paper's inverted index: terms are geodab fingerprints, posting
-/// lists hold trajectory ids, and every indexed trajectory keeps its
-/// fingerprint set as a roaring bitmap for fast Jaccard ranking
-/// (Section IV-A).
+/// lists are roaring bitmaps of interned trajectory ids, and ranked
+/// retrieval runs on the exact pruned top-k engine of
+/// [`crate::engine`] (Section IV-A).
+///
+/// # Examples
+///
+/// ```
+/// use geodabs_core::GeodabConfig;
+/// use geodabs_geo::Point;
+/// use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+/// use geodabs_traj::{TrajId, Trajectory};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let start = Point::new(51.5074, -0.1278)?;
+/// let path: Trajectory =
+///     (0..40).map(|i| start.destination(90.0, i as f64 * 90.0)).collect();
+///
+/// let mut index = GeodabIndex::new(GeodabConfig::default());
+/// index.insert(TrajId::new(0), &path);
+/// index.insert(TrajId::new(1), &path.reversed());
+///
+/// // Top-1 ranked retrieval under a distance threshold.
+/// let hits = index.search(&path, &SearchOptions::default().max_distance(0.5).limit(1));
+/// assert_eq!(hits[0].id, TrajId::new(0));
+/// assert_eq!(hits[0].distance, 0.0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct GeodabIndex {
     fingerprinter: Fingerprinter,
-    postings: HashMap<u32, Vec<TrajId>>,
+    engine: PostingLists<u32>,
     fingerprints: HashMap<TrajId, Fingerprints>,
 }
 
@@ -21,7 +47,7 @@ impl GeodabIndex {
     pub fn new(config: GeodabConfig) -> GeodabIndex {
         GeodabIndex {
             fingerprinter: Fingerprinter::new(config),
-            postings: HashMap::new(),
+            engine: PostingLists::new(),
             fingerprints: HashMap::new(),
         }
     }
@@ -33,7 +59,7 @@ impl GeodabIndex {
 
     /// Number of distinct terms (geodabs) in the dictionary.
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.engine.term_count()
     }
 
     /// The stored fingerprints of an indexed trajectory.
@@ -49,17 +75,17 @@ impl GeodabIndex {
     }
 
     /// Distinct ids of trajectories sharing at least one fingerprint with
-    /// `query_fp` — the candidate set before ranking.
+    /// `query_fp` — the candidate set before ranking, ascending. Answered
+    /// by a union of posting bitmaps plus the interning table; no hash-set
+    /// round-trip.
+    #[deprecated(
+        since = "0.3.0",
+        note = "gathering unranked candidates rescans the postings that `search` \
+                already ranks exactly; use `search`/`search_fingerprints` with \
+                `SearchOptions` instead"
+    )]
     pub fn candidates(&self, query_fp: &Fingerprints) -> Vec<TrajId> {
-        let mut seen: HashSet<TrajId> = HashSet::new();
-        for term in query_fp.set().iter() {
-            if let Some(list) = self.postings.get(&term) {
-                seen.extend(list.iter().copied());
-            }
-        }
-        let mut v: Vec<TrajId> = seen.into_iter().collect();
-        v.sort_unstable();
-        v
+        self.engine.candidate_ids(query_fp.set().iter())
     }
 
     /// Indexes a trajectory normalized by the caller-provided normalizer
@@ -96,11 +122,7 @@ impl GeodabIndex {
     /// replaces its previous fingerprints.
     pub fn insert_fingerprints(&mut self, id: TrajId, fp: Fingerprints) {
         self.remove(id);
-        for term in fp.set().iter() {
-            let list = self.postings.entry(term).or_default();
-            debug_assert!(!list.contains(&id), "remove() scrubbed this id");
-            list.push(id);
-        }
+        self.engine.insert(id, fp.set().iter());
         self.fingerprints.insert(id, fp);
     }
 
@@ -110,14 +132,32 @@ impl GeodabIndex {
         self.fingerprints.iter().map(|(&id, fp)| (id, fp))
     }
 
-    /// Ranked retrieval starting from pre-computed query fingerprints.
+    /// Ranked retrieval starting from pre-computed query fingerprints,
+    /// answered by the pruned top-k engine: overlap counting over roaring
+    /// posting lists, rarest query term first, with candidates that cannot
+    /// reach the current top-k threshold skipped. Exactly equivalent to
+    /// [`GeodabIndex::search_fingerprints_naive`], only faster.
     pub fn search_fingerprints(
         &self,
         query_fp: &Fingerprints,
         options: &SearchOptions,
     ) -> Vec<SearchResult> {
+        self.engine.search(query_fp.set().iter(), options)
+    }
+
+    /// The reference ranker the engine is proven against: materialize the
+    /// full candidate set, compute each bitmap Jaccard distance, sort
+    /// everything, then cut. Kept public for equivalence tests and the
+    /// `crit_query_engine` benchmark; use
+    /// [`GeodabIndex::search_fingerprints`] everywhere else.
+    pub fn search_fingerprints_naive(
+        &self,
+        query_fp: &Fingerprints,
+        options: &SearchOptions,
+    ) -> Vec<SearchResult> {
         let hits = self
-            .candidates(query_fp)
+            .engine
+            .candidate_ids(query_fp.set().iter())
             .into_iter()
             .map(|id| SearchResult {
                 id,
@@ -138,14 +178,7 @@ impl TrajectoryIndex for GeodabIndex {
         let Some(fp) = self.fingerprints.remove(&id) else {
             return false;
         };
-        for term in fp.set().iter() {
-            if let Some(list) = self.postings.get_mut(&term) {
-                list.retain(|&posted| posted != id);
-                if list.is_empty() {
-                    self.postings.remove(&term);
-                }
-            }
-        }
+        self.engine.remove(id, fp.set().iter());
         true
     }
 
@@ -213,11 +246,38 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn far_away_trajectory_is_not_a_candidate() {
         let idx = sample_index();
         let query = eastward(40, 0.0);
         let candidates = idx.candidates(&idx.fingerprint_query(&query));
         assert!(!candidates.contains(&TrajId::new(2)));
+        assert!(candidates.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+    }
+
+    #[test]
+    fn pruned_engine_matches_naive_ranker() {
+        let idx = sample_index();
+        for query in [
+            eastward(40, 0.0),
+            eastward(40, 0.0).reversed(),
+            jittered(&eastward(40, 0.0), 45.0, 7.0),
+            eastward(40, 20_000.0),
+        ] {
+            let fp = idx.fingerprint_query(&query);
+            for options in [
+                SearchOptions::default(),
+                SearchOptions::default().limit(1),
+                SearchOptions::default().limit(2).max_distance(0.5),
+                SearchOptions::default().max_distance(0.0),
+            ] {
+                assert_eq!(
+                    idx.search_fingerprints(&fp, &options),
+                    idx.search_fingerprints_naive(&fp, &options),
+                    "options {options:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 use geodabs_geo::{BoundingBox, Geohash, MAX_DEPTH};
 use geodabs_traj::{TrajId, Trajectory};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use crate::result::finalize;
+use crate::engine::PostingLists;
 use crate::{SearchOptions, SearchResult, TrajectoryIndex};
 
 /// The baseline index of Section VI-D: terms are plain geohash cells of
@@ -17,7 +17,7 @@ use crate::{SearchOptions, SearchResult, TrajectoryIndex};
 #[derive(Debug, Clone)]
 pub struct GeohashIndex {
     depth: u8,
-    postings: HashMap<u64, Vec<TrajId>>,
+    engine: PostingLists<u64>,
     cells: HashMap<TrajId, Vec<u64>>,
 }
 
@@ -35,7 +35,7 @@ impl GeohashIndex {
         );
         GeohashIndex {
             depth,
-            postings: HashMap::new(),
+            engine: PostingLists::new(),
             cells: HashMap::new(),
         }
     }
@@ -47,7 +47,7 @@ impl GeohashIndex {
 
     /// Number of distinct cells in the dictionary.
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.engine.term_count()
     }
 
     /// The distinct, sorted cell set of a trajectory at this index depth.
@@ -80,39 +80,10 @@ impl GeohashIndex {
     }
 
     /// Distinct ids of trajectories sharing at least one cell with the
-    /// query cell set.
+    /// query cell set, ascending — straight off the posting bitmaps, with
+    /// no hash-set round-trip.
     pub fn candidates(&self, query_cells: &[u64]) -> Vec<TrajId> {
-        let mut seen: HashSet<TrajId> = HashSet::new();
-        for cell in query_cells {
-            if let Some(list) = self.postings.get(cell) {
-                seen.extend(list.iter().copied());
-            }
-        }
-        let mut v: Vec<TrajId> = seen.into_iter().collect();
-        v.sort_unstable();
-        v
-    }
-}
-
-/// Jaccard distance between two sorted, deduplicated cell slices.
-fn jaccard_distance_sorted(a: &[u64], b: &[u64]) -> f64 {
-    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                inter += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    let union = a.len() + b.len() - inter;
-    if union == 0 {
-        0.0
-    } else {
-        1.0 - inter as f64 / union as f64
+        self.engine.candidate_ids(query_cells.iter().copied())
     }
 }
 
@@ -120,11 +91,7 @@ impl TrajectoryIndex for GeohashIndex {
     fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
         self.remove(id);
         let cells = self.cell_set(trajectory);
-        for &cell in &cells {
-            let list = self.postings.entry(cell).or_default();
-            debug_assert!(!list.contains(&id), "remove() scrubbed this id");
-            list.push(id);
-        }
+        self.engine.insert(id, cells.iter().copied());
         self.cells.insert(id, cells);
     }
 
@@ -132,28 +99,13 @@ impl TrajectoryIndex for GeohashIndex {
         let Some(cells) = self.cells.remove(&id) else {
             return false;
         };
-        for cell in cells {
-            if let Some(list) = self.postings.get_mut(&cell) {
-                list.retain(|&posted| posted != id);
-                if list.is_empty() {
-                    self.postings.remove(&cell);
-                }
-            }
-        }
+        self.engine.remove(id, cells.iter().copied());
         true
     }
 
     fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
         let query_cells = self.cell_set(query);
-        let hits = self
-            .candidates(&query_cells)
-            .into_iter()
-            .map(|id| SearchResult {
-                id,
-                distance: jaccard_distance_sorted(&query_cells, &self.cells[&id]),
-            })
-            .collect();
-        finalize(hits, options)
+        self.engine.search(query_cells.iter().copied(), options)
     }
 
     fn len(&self) -> usize {
@@ -277,10 +229,22 @@ mod tests {
     }
 
     #[test]
-    fn jaccard_distance_sorted_known_values() {
-        assert_eq!(jaccard_distance_sorted(&[1, 2, 3], &[2, 3, 4]), 0.5);
-        assert_eq!(jaccard_distance_sorted(&[], &[]), 0.0);
-        assert_eq!(jaccard_distance_sorted(&[1], &[2]), 1.0);
-        assert_eq!(jaccard_distance_sorted(&[1, 2], &[1, 2]), 0.0);
+    fn engine_distances_match_brute_force_cell_jaccard() {
+        let mut idx = GeohashIndex::new(36);
+        let stored: Vec<Trajectory> = (0..6).map(|i| eastward(40, i as f64 * 400.0)).collect();
+        for (i, t) in stored.iter().enumerate() {
+            idx.insert(TrajId::new(i as u32), t);
+        }
+        let query = eastward(40, 100.0);
+        let qcells = idx.cell_set(&query);
+        let hits = idx.search(&query, &SearchOptions::default());
+        assert!(!hits.is_empty());
+        for h in &hits {
+            let bcells = idx.cell_set(&stored[h.id.raw() as usize]);
+            let inter = qcells.iter().filter(|c| bcells.contains(c)).count();
+            assert!(inter > 0, "hits share at least one cell");
+            let union = qcells.len() + bcells.len() - inter;
+            assert_eq!(h.distance, 1.0 - inter as f64 / union as f64, "{}", h.id);
+        }
     }
 }

@@ -2,16 +2,18 @@
 //!
 //! This crate assembles the paper's retrieval pipeline (Sections III-A and
 //! IV-A): trajectories are normalized, fingerprinted and posted into an
-//! inverted index whose terms are geodabs; queries gather candidates from
-//! the posting lists of their own fingerprints and rank them by Jaccard
-//! distance between roaring-bitmap fingerprint sets.
+//! inverted index whose terms are geodabs; queries are answered by the
+//! exact pruned top-k engine of the [`engine`] module — roaring posting
+//! lists over interned ids, term-at-a-time overlap counting processed
+//! rarest-first, upper-bound pruning against the current top-k threshold,
+//! and a bounded result heap.
 //!
 //! Two index families are provided:
 //!
 //! * [`GeodabIndex`] — the paper's contribution,
 //! * [`GeohashIndex`] — the baseline using plain geohash cells as terms,
 //!   which cannot discriminate direction (Figure 12's 0.5-precision
-//!   plateau),
+//!   plateau); it runs on the same engine with `u64` cell terms,
 //!
 //! plus the [`eval`] module computing precision/recall curves, ROC curves
 //! and AUC — the measures of Figures 8, 12 and 13.
@@ -45,6 +47,7 @@
 
 mod boolean;
 pub mod codec;
+pub mod engine;
 pub mod eval;
 mod geodab_index;
 mod geohash_index;

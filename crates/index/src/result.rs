@@ -74,8 +74,10 @@ impl SearchOptions {
 }
 
 /// Sorts hits by ascending distance, breaking ties by id, then applies the
-/// threshold and limit. Shared by all index implementations so ordering
-/// semantics stay identical.
+/// threshold and limit — the collect-all reference semantics that
+/// [`crate::engine::TopK`] reproduces in bounded memory. Kept as the
+/// finalization of the naive ranker so equivalence tests compare the
+/// pruned engine against an independent implementation.
 pub(crate) fn finalize(mut hits: Vec<SearchResult>, options: &SearchOptions) -> Vec<SearchResult> {
     hits.retain(|h| h.distance <= options.max_distance);
     hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));

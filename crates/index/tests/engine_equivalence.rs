@@ -1,0 +1,146 @@
+//! Property-based equivalence of the pruned top-k query engine and the
+//! naive full-scan ranker.
+//!
+//! The engine (term-at-a-time overlap counting, rarest-first, with
+//! upper-bound admission pruning and a bounded heap) is an *optimization*,
+//! not an approximation: for every workload and every combination of
+//! `SearchOptions` it must return exactly the ids and distances of the
+//! collect-all-then-sort reference, ties broken by id. These properties
+//! drive randomized workloads through both paths and assert bit-identical
+//! results.
+
+use geodabs_core::{Fingerprints, GeodabConfig};
+use geodabs_index::{GeodabIndex, SearchOptions, SearchResult};
+use geodabs_traj::TrajId;
+use proptest::prelude::*;
+
+fn index_of(sets: &[Vec<u32>]) -> GeodabIndex {
+    let mut idx = GeodabIndex::new(GeodabConfig::default());
+    for (i, set) in sets.iter().enumerate() {
+        idx.insert_fingerprints(
+            TrajId::new(i as u32),
+            Fingerprints::from_ordered(set.clone()),
+        );
+    }
+    idx
+}
+
+fn assert_identical(pruned: &[SearchResult], naive: &[SearchResult]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(pruned.len(), naive.len());
+    for (p, n) in pruned.iter().zip(naive) {
+        prop_assert_eq!(p.id, n.id);
+        // Bit-identical distances: both paths must evaluate the same
+        // 1 − |A∩B| / (|A| + |B| − |A∩B|) expression over the same integers.
+        prop_assert_eq!(p.distance.to_bits(), n.distance.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Unlimited, unthresholded search: the engine must reproduce the
+    /// full ranking.
+    #[test]
+    fn full_ranking_matches_naive(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..400, 0..50), 0..80),
+        query in proptest::collection::vec(0u32..400, 0..50),
+    ) {
+        let idx = index_of(&sets);
+        let fp = Fingerprints::from_ordered(query);
+        let options = SearchOptions::default();
+        assert_identical(
+            &idx.search_fingerprints(&fp, &options),
+            &idx.search_fingerprints_naive(&fp, &options),
+        )?;
+    }
+
+    /// Every combination of limit and threshold, including the degenerate
+    /// ones (`limit == 0`, `max_distance == 0.0`), stays exact — this is
+    /// where admission pruning and the bounded heap actually engage.
+    #[test]
+    fn pruned_topk_matches_naive_under_options(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..300, 0..40), 0..60),
+        query in proptest::collection::vec(0u32..300, 0..40),
+        limit in 0usize..12,
+        threshold_pm in 0u32..101,
+    ) {
+        let idx = index_of(&sets);
+        let fp = Fingerprints::from_ordered(query);
+        // limit 0 means "no limit"; 1..=11 map to explicit limits 0..=10.
+        let mut options = SearchOptions::default()
+            .max_distance(threshold_pm as f64 / 100.0);
+        if limit > 0 {
+            options = options.limit(limit - 1);
+        }
+        assert_identical(
+            &idx.search_fingerprints(&fp, &options),
+            &idx.search_fingerprints_naive(&fp, &options),
+        )?;
+    }
+
+    /// Skewed workloads — one hot term shared by everything plus long
+    /// unique tails — exercise the rarest-first ordering and the flip to
+    /// increment-only scanning.
+    #[test]
+    fn skewed_postings_stay_exact(
+        tails in proptest::collection::vec(
+            proptest::collection::vec(100u32..10_000, 0..25), 1..50),
+        limit in 1usize..6,
+    ) {
+        let sets: Vec<Vec<u32>> = tails
+            .iter()
+            .map(|tail| {
+                let mut s = vec![7u32]; // the hot term
+                s.extend_from_slice(tail);
+                s
+            })
+            .collect();
+        let idx = index_of(&sets);
+        // The query shares the hot term with every trajectory and the
+        // tail of the first one.
+        let fp = Fingerprints::from_ordered(sets[0].clone());
+        let options = SearchOptions::default().limit(limit);
+        assert_identical(
+            &idx.search_fingerprints(&fp, &options),
+            &idx.search_fingerprints_naive(&fp, &options),
+        )?;
+    }
+
+    /// Removals and re-insertions (which recycle interned dense slots)
+    /// must not disturb equivalence.
+    #[test]
+    fn equivalence_survives_removals_and_reinserts(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..200, 1..20), 4..40),
+        remove_stride in 2usize..5,
+        query in proptest::collection::vec(0u32..200, 1..20),
+    ) {
+        use geodabs_index::TrajectoryIndex;
+        let mut idx = index_of(&sets);
+        for i in (0..sets.len()).step_by(remove_stride) {
+            idx.remove(TrajId::new(i as u32));
+        }
+        // Re-insert half of the removed ids with fresh sets.
+        for i in (0..sets.len()).step_by(remove_stride * 2) {
+            let recycled: Vec<u32> = sets[i].iter().map(|t| t + 1).collect();
+            idx.insert_fingerprints(
+                TrajId::new(i as u32),
+                Fingerprints::from_ordered(recycled),
+            );
+        }
+        let fp = Fingerprints::from_ordered(query);
+        for options in [
+            SearchOptions::default(),
+            SearchOptions::default().limit(3),
+            SearchOptions::default().limit(2).max_distance(0.6),
+        ] {
+            assert_identical(
+                &idx.search_fingerprints(&fp, &options),
+                &idx.search_fingerprints_naive(&fp, &options),
+            )?;
+        }
+    }
+}

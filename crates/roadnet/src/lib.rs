@@ -2,7 +2,7 @@
 //!
 //! The paper generates its dense trajectory dataset from 5 000 routes
 //! constrained to a road network (OpenStreetMap + GraphHopper) and uses
-//! map matching (Newson & Krumm, its ref [22]) as a normalization method.
+//! map matching (Newson & Krumm, its ref \[22\]) as a normalization method.
 //! This crate provides those substrates from scratch:
 //!
 //! * [`RoadNetwork`] — a directed graph with geographic nodes and

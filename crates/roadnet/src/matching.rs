@@ -1,10 +1,10 @@
-//! Hidden-Markov-model map matching (Newson & Krumm, the paper's ref [22]).
+//! Hidden-Markov-model map matching (Newson & Krumm, the paper's ref \[22\]).
 //!
 //! Map matching is the heavier of the two normalization methods of
 //! Section V: each noisy trajectory point is associated with candidate road
 //! nodes within a radius, and the Viterbi algorithm selects the most
 //! probable node sequence, trading emission likelihood (GPS noise) against
-//! transition likelihood (detour length), as in Goh et al. (ref [12]).
+//! transition likelihood (detour length), as in Goh et al. (ref \[12\]).
 
 use geodabs_geo::Point;
 use std::collections::HashMap;

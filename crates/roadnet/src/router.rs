@@ -1,7 +1,7 @@
 //! Shortest-path routing on a [`RoadNetwork`].
 //!
 //! This is the substrate that replaces the GraphHopper library (the paper's
-//! ref [16]): routes between random endpoints become the ground-truth paths
+//! ref \[16\]): routes between random endpoints become the ground-truth paths
 //! from which the synthetic trajectory dataset is sampled, using the route
 //! duration for the speed of the moving entity.
 

@@ -4,7 +4,7 @@
 //! high 16 bits. Each non-empty chunk stores its low 16 bits either as a
 //! sorted array (sparse chunks, up to [`ARRAY_MAX`] entries) or as a 2^16-bit
 //! bitset (dense chunks), following Lemire et al., "Roaring Bitmaps:
-//! Implementation of an Optimized Software Library" (the paper's ref [19]).
+//! Implementation of an Optimized Software Library" (the paper's ref \[19\]).
 
 /// A sparse container converts to a bitmap once it exceeds this many values;
 /// past this point the bitset (8 KiB) is smaller than the array.
@@ -243,6 +243,43 @@ impl Container {
                     Container::Array(bm.to_array())
                 } else {
                     Container::Bitmap(bm)
+                }
+            }
+        }
+    }
+
+    /// Writes the sorted intersection of two containers into `out`
+    /// (cleared first) — the allocation-free variant of
+    /// [`Container::and`] for iteration hot paths that reuse one buffer.
+    pub(crate) fn and_into(&self, other: &Container, out: &mut Vec<u16>) {
+        out.clear();
+        match (self, other) {
+            (Container::Array(a), Container::Array(b)) => {
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            (Container::Array(a), Container::Bitmap(b)) => {
+                out.extend(a.iter().copied().filter(|&x| b.contains(x)));
+            }
+            (Container::Bitmap(_), Container::Array(_)) => other.and_into(self, out),
+            (Container::Bitmap(a), Container::Bitmap(b)) => {
+                for i in 0..WORDS {
+                    let mut bits = a.words[i] & b.words[i];
+                    while bits != 0 {
+                        let bit = bits.trailing_zeros();
+                        out.push((i as u16) << 6 | bit as u16);
+                        bits &= bits - 1;
+                    }
                 }
             }
         }

@@ -1,5 +1,5 @@
 //! A from-scratch roaring bitmap, the compressed integer-set representation
-//! the geodabs paper uses to store fingerprint sets (Section IV-A, ref [19]).
+//! the geodabs paper uses to store fingerprint sets (Section IV-A, ref \[19\]).
 //!
 //! A [`RoaringBitmap`] stores a set of `u32` values by splitting each value
 //! into a high 16-bit *chunk key* and a low 16-bit payload. Sparse chunks
@@ -153,6 +153,43 @@ impl RoaringBitmap {
             container_idx: 0,
             values: Vec::new(),
             value_idx: 0,
+        }
+    }
+
+    /// Unions `other` into `self` in place, container by container —
+    /// the allocation-free way to accumulate a candidate set from many
+    /// posting lists (also available as `|=`).
+    pub fn union_with(&mut self, other: &RoaringBitmap) {
+        let mut i = 0;
+        for (key, cb) in &other.containers {
+            // Keys of both bitmaps are sorted, so resume the scan where the
+            // previous container landed instead of searching from scratch.
+            while i < self.containers.len() && self.containers[i].0 < *key {
+                i += 1;
+            }
+            if i < self.containers.len() && self.containers[i].0 == *key {
+                let merged = self.containers[i].1.or(cb);
+                self.containers[i].1 = merged;
+            } else {
+                self.containers.insert(i, (*key, cb.clone()));
+            }
+            i += 1;
+        }
+    }
+
+    /// Iterates over `self ∩ other` in ascending order without
+    /// materializing the intersection — the fast path of the query
+    /// engine's increment-only scan, which visits only posting entries
+    /// that are already candidates.
+    pub fn intersection_iter<'a>(&'a self, other: &'a RoaringBitmap) -> IntersectionIter<'a> {
+        IntersectionIter {
+            a: &self.containers,
+            b: &other.containers,
+            i: 0,
+            j: 0,
+            values: Vec::new(),
+            value_idx: 0,
+            key: 0,
         }
     }
 
@@ -371,6 +408,64 @@ impl Iterator for Iter<'_> {
     }
 }
 
+/// Ascending iterator over the intersection of two bitmaps.
+///
+/// Created by [`RoaringBitmap::intersection_iter`]; only containers whose
+/// 16-bit chunk key appears on both sides are ever touched.
+pub struct IntersectionIter<'a> {
+    a: &'a [(u16, Container)],
+    b: &'a [(u16, Container)],
+    i: usize,
+    j: usize,
+    values: Vec<u16>,
+    value_idx: usize,
+    key: u16,
+}
+
+impl Iterator for IntersectionIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.value_idx < self.values.len() {
+                let low = self.values[self.value_idx];
+                self.value_idx += 1;
+                return Some(join(self.key, low));
+            }
+            while self.i < self.a.len() && self.j < self.b.len() {
+                let (ka, ca) = &self.a[self.i];
+                let (kb, cb) = &self.b[self.j];
+                match ka.cmp(kb) {
+                    std::cmp::Ordering::Less => self.i += 1,
+                    std::cmp::Ordering::Greater => self.j += 1,
+                    std::cmp::Ordering::Equal => {
+                        self.key = *ka;
+                        // Reuse the one buffer across chunk pairs — no
+                        // per-chunk allocation on this hot path.
+                        ca.and_into(cb, &mut self.values);
+                        self.value_idx = 0;
+                        self.i += 1;
+                        self.j += 1;
+                        break;
+                    }
+                }
+            }
+            if self.value_idx >= self.values.len()
+                && (self.i >= self.a.len() || self.j >= self.b.len())
+            {
+                return None;
+            }
+        }
+    }
+}
+
+impl std::ops::BitOrAssign<&RoaringBitmap> for RoaringBitmap {
+    /// In-place union; see [`RoaringBitmap::union_with`].
+    fn bitor_assign(&mut self, rhs: &RoaringBitmap) {
+        self.union_with(rhs);
+    }
+}
+
 impl Serialize for RoaringBitmap {
     /// Serializes as an ascending sequence of `u32` values.
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
@@ -551,6 +646,34 @@ mod tests {
     }
 
     #[test]
+    fn union_with_matches_bitor() {
+        let a = bm(&[1, 2, 3, 100_000]);
+        let b = bm(&[2, 3, 4, 200_000]);
+        let mut c = a.clone();
+        c.union_with(&b);
+        assert_eq!(c, &a | &b);
+        let mut d = a.clone();
+        d |= &RoaringBitmap::new();
+        assert_eq!(d, a);
+        let mut e = RoaringBitmap::new();
+        e |= &b;
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn intersection_iter_matches_bitand() {
+        let a = bm(&[1, 2, 3, 100_000, 200_001]);
+        let b = bm(&[2, 3, 4, 100_000, 300_000]);
+        assert_eq!(
+            a.intersection_iter(&b).collect::<Vec<_>>(),
+            (&a & &b).iter().collect::<Vec<_>>()
+        );
+        assert_eq!(a.intersection_iter(&RoaringBitmap::new()).count(), 0);
+        let disjoint = bm(&[7, 400_000]);
+        assert_eq!(a.intersection_iter(&disjoint).count(), 0);
+    }
+
+    #[test]
     fn rank_known_values() {
         let b = bm(&[2, 5, 9, 100_000]);
         assert_eq!(b.rank(1), 0);
@@ -636,6 +759,13 @@ mod tests {
             );
             prop_assert_eq!(a.intersection_len(&b), (&a & &b).len());
             prop_assert_eq!(a.union_len(&b), (&a | &b).len());
+            prop_assert_eq!(
+                a.intersection_iter(&b).collect::<Vec<_>>(),
+                sa.intersection(&sb).copied().collect::<Vec<_>>()
+            );
+            let mut inplace = a.clone();
+            inplace.union_with(&b);
+            prop_assert_eq!(inplace, &a | &b);
         }
 
         #[test]

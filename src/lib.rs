@@ -41,11 +41,18 @@
 //! | [`geo`] | `geodabs-geo` | points, haversine, geohash, Morton curve |
 //! | [`traj`] | `geodabs-traj` | trajectories, normalization, simplification |
 //! | [`distance`] | `geodabs-distance` | DTW / Fréchet / Hausdorff / LCSS baselines |
-//! | [`index`] | `geodabs-index` | inverted indexes, evaluation, persistence |
+//! | [`index`] | `geodabs-index` | inverted indexes, top-k query engine, evaluation, persistence |
 //! | [`cluster`] | `geodabs-cluster` | sharded distributed index simulation |
 //! | [`roadnet`] | `geodabs-roadnet` | road networks, routing, map matching |
 //! | [`roaring`] | `geodabs-roaring` | roaring bitmaps |
 //! | [`gen`] | `geodabs-gen` | synthetic datasets and workloads |
+//!
+//! Ranked retrieval — single-node or sharded — runs on the exact pruned
+//! top-k engine of [`index::engine`]: roaring posting lists over interned
+//! trajectory ids, term-at-a-time overlap counting (rarest term first,
+//! with upper-bound pruning against the evolving top-k threshold) and
+//! bounded result heaps, merged per shard by the cluster. See
+//! `docs/ARCHITECTURE.md` for the full query-path walkthrough.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,13 +78,15 @@ pub mod prelude {
     //! [`GeodabConfig`]), the geometric and trajectory primitives
     //! ([`Point`], [`Trajectory`], [`TrajId`]), both index families plus
     //! the [`TrajectoryIndex`] trait and its query types, the sharded
-    //! [`ClusterIndex`], and the workspace [`Error`](crate::Error).
+    //! [`ClusterIndex`], the bounded [`TopK`] collector, and the
+    //! workspace [`Error`].
 
     pub use geodabs_cluster::{ClusterIndex, QueryStats, ShardRouter};
     pub use geodabs_core::{
         Fingerprinter, Fingerprints, GeodabConfig, GeodabConfigBuilder, GeodabError,
     };
     pub use geodabs_geo::{BoundingBox, GeoError, Geohash, Point};
+    pub use geodabs_index::engine::TopK;
     pub use geodabs_index::{
         GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
     };
