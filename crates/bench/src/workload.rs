@@ -1,0 +1,752 @@
+//! The machine-readable workload harness behind `geodabs bench`.
+//!
+//! Named scenarios combine a dataset *preset* (built from the
+//! [`geodabs_gen`] generators) with a corpus size; running one measures
+//! the throughput layer end to end — parallel batch ingest at several
+//! thread counts, per-query latency percentiles and batch-query
+//! throughput — and emits a versioned `BENCH_<scenario>.json` report.
+//! Those reports are the repo's perf trajectory: every scaling PR is
+//! judged against them, and CI's `perf-smoke` job gates merges on the
+//! `smoke` scenario against a checked-in baseline
+//! (`bench/baselines/smoke.json`).
+//!
+//! # Report schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "scenario": "smoke",
+//!   "preset": "dense-urban",
+//!   "seed": 42,
+//!   "geodab_config": { "depth": 36, "k": 6, "t": 12, "prefix_bits": 16 },
+//!   "corpus": { "trajectories": 240, "points": 68712, "routes": 12,
+//!               "distinct_terms": 1204, "generation_seconds": 0.11 },
+//!   "ingest": { "consistent": true,
+//!               "runs": [ { "threads": 1, "seconds": 0.5, "traj_per_sec": 480.0 } ] },
+//!   "query": { "count": 24, "limit": 10,
+//!              "latency_ms": { "p50": 0.2, "p95": 0.4, "p99": 0.5,
+//!                              "mean": 0.22, "max": 0.6 },
+//!              "batch_runs": [ { "threads": 1, "seconds": 0.01,
+//!                                "queries_per_sec": 2400.0 } ] }
+//! }
+//! ```
+//!
+//! `schema_version` is bumped whenever a field changes meaning; consumers
+//! (the CI gate, plotting scripts) must check it before reading further.
+
+use geodabs_core::GeodabConfig;
+use geodabs_gen::dataset::{Dataset, DatasetConfig};
+use geodabs_gen::sampler::SamplerConfig;
+use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs_traj::{TrajId, Trajectory};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// The current `BENCH_*.json` schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A dataset family: how the synthetic world and its trajectories look.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Short overlapping urban routes at 1 Hz with 20 m GPS noise — the
+    /// paper's dense-London workload.
+    DenseUrban,
+    /// A wide-spacing network with long, mostly disjoint routes, noisier
+    /// fixes and faster travel — sparse rural traffic.
+    SparseRural,
+    /// Dense-urban routes with zero positional noise, as if every fix had
+    /// been map-matched onto the network (the Section V-B pipeline).
+    RoadMatched,
+    /// Route lengths spread from a few hundred meters to network-scale,
+    /// stressing fingerprint-count variance within one corpus.
+    MixedLength,
+}
+
+impl Preset {
+    /// The preset's stable name (used in scenario names and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::DenseUrban => "dense-urban",
+            Preset::SparseRural => "sparse-rural",
+            Preset::RoadMatched => "road-matched",
+            Preset::MixedLength => "mixed-length",
+        }
+    }
+
+    /// The road network the preset generates trajectories on.
+    pub fn grid(&self) -> GridConfig {
+        match self {
+            Preset::DenseUrban | Preset::RoadMatched | Preset::MixedLength => GridConfig::default(),
+            Preset::SparseRural => GridConfig {
+                rows: 24,
+                cols: 24,
+                spacing_m: 1_500.0,
+                jitter_m: 200.0,
+                speed_range_mps: (15.0, 30.0),
+                ..GridConfig::default()
+            },
+        }
+    }
+
+    /// The dataset configuration producing roughly `corpus` trajectories
+    /// (routes × per-direction × 2, reverse paths included) and `queries`
+    /// query trajectories.
+    pub fn dataset(&self, corpus: usize, queries: usize) -> DatasetConfig {
+        let (per_direction, min_route_m, noise_sigma_m) = match self {
+            Preset::DenseUrban => (10, 2_000.0, 20.0),
+            Preset::SparseRural => (5, 6_000.0, 30.0),
+            Preset::RoadMatched => (10, 2_000.0, 0.0),
+            Preset::MixedLength => (10, 400.0, 20.0),
+        };
+        let routes = (corpus / (per_direction * 2)).max(1);
+        DatasetConfig {
+            routes,
+            per_direction,
+            include_reverse: true,
+            sampler: SamplerConfig {
+                period_s: 1.0,
+                noise_sigma_m,
+            },
+            min_route_m,
+            queries,
+            max_attempts_per_route: 400,
+        }
+    }
+}
+
+/// A named, reproducible workload: preset + corpus size + query count +
+/// seed. The same scenario always generates the same trajectories, so two
+/// `BENCH_<scenario>.json` files are comparable measurement to
+/// measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The scenario's stable name; the report lands in
+    /// `BENCH_<name>.json`.
+    pub name: String,
+    /// Dataset family.
+    pub preset: Preset,
+    /// Target corpus size in trajectories.
+    pub corpus: usize,
+    /// Number of query trajectories.
+    pub queries: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    fn new(name: &str, preset: Preset, corpus: usize, queries: usize, seed: u64) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            preset,
+            corpus,
+            queries,
+            seed,
+        }
+    }
+}
+
+/// The scenario catalog. `smoke` is the seconds-scale config CI's
+/// `perf-smoke` job runs on every push; `micro` exists for the test
+/// suite; the `-1k/-10k/-100k` families are the sizes scaling PRs report
+/// against.
+pub fn catalog() -> Vec<Scenario> {
+    let mut scenarios = vec![
+        Scenario::new("micro", Preset::DenseUrban, 40, 4, 7),
+        Scenario::new("smoke", Preset::DenseUrban, 2_000, 40, 42),
+    ];
+    for (suffix, corpus, queries) in [
+        ("1k", 1_000, 50),
+        ("10k", 10_000, 100),
+        ("100k", 100_000, 100),
+    ] {
+        scenarios.push(Scenario::new(
+            &format!("dense-urban-{suffix}"),
+            Preset::DenseUrban,
+            corpus,
+            queries,
+            42,
+        ));
+    }
+    for preset in [
+        Preset::SparseRural,
+        Preset::RoadMatched,
+        Preset::MixedLength,
+    ] {
+        for (suffix, corpus, queries) in [("1k", 1_000, 50), ("10k", 10_000, 100)] {
+            scenarios.push(Scenario::new(
+                &format!("{}-{suffix}", preset.name()),
+                preset,
+                corpus,
+                queries,
+                42,
+            ));
+        }
+    }
+    scenarios
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+/// The thread counts a run measures: the powers of two `1, 2, 4, 8, …`
+/// up to `max_threads`, plus `max_threads` itself.
+pub fn thread_ladder(max_threads: usize) -> Vec<usize> {
+    let max_threads = max_threads.max(1);
+    let mut ladder: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    if ladder.last() != Some(&max_threads) {
+        ladder.push(max_threads);
+    }
+    ladder
+}
+
+/// One timed batch-ingest build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestRun {
+    /// Worker threads used for fingerprinting.
+    pub threads: usize,
+    /// Wall-clock build time in seconds.
+    pub seconds: f64,
+    /// Trajectories indexed per second.
+    pub traj_per_sec: f64,
+}
+
+/// One timed batch-query run over the full query set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryBatchRun {
+    /// Worker threads used for query fan-out.
+    pub threads: usize,
+    /// Wall-clock time for the whole batch in seconds.
+    pub seconds: f64,
+    /// Queries answered per second.
+    pub queries_per_sec: f64,
+}
+
+/// Per-query latency percentiles, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyMs {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Slowest query.
+    pub max: f64,
+}
+
+/// Everything one scenario run measured; serialize with
+/// [`WorkloadReport::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The fingerprinting configuration used.
+    pub config: GeodabConfig,
+    /// Trajectories in the corpus.
+    pub trajectories: usize,
+    /// Total points across the corpus.
+    pub points: usize,
+    /// Distinct routes behind the corpus.
+    pub routes: usize,
+    /// Distinct geodab terms after ingest.
+    pub distinct_terms: usize,
+    /// Seconds spent generating the dataset (not part of any throughput).
+    pub generation_seconds: f64,
+    /// Whether every build produced identical `(len, term_count)` — the
+    /// cheap online check that parallel ingest matched serial ingest (the
+    /// test suite pins full bit-identity).
+    pub ingest_consistent: bool,
+    /// One build per measured thread count.
+    pub ingest: Vec<IngestRun>,
+    /// Result cap used for all queries.
+    pub query_limit: usize,
+    /// Per-query latencies (sequential pass).
+    pub latency: LatencyMs,
+    /// One batch-query run per measured thread count.
+    pub query_batches: Vec<QueryBatchRun>,
+}
+
+impl WorkloadReport {
+    /// The canonical report file name: `BENCH_<scenario>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.scenario.name)
+    }
+
+    /// The best (highest) measured ingest throughput, in trajectories per
+    /// second — the single number the CI perf gate compares.
+    pub fn best_ingest_throughput(&self) -> f64 {
+        self.ingest
+            .iter()
+            .map(|r| r.traj_per_sec)
+            .fold(0.0, f64::max)
+    }
+
+    /// Serializes the report (schema version [`SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("preset", Json::Str(self.scenario.preset.name().into())),
+            ("seed", Json::Num(self.scenario.seed as f64)),
+            (
+                "geodab_config",
+                Json::obj(vec![
+                    ("depth", Json::Num(self.config.normalization_depth() as f64)),
+                    ("k", Json::Num(self.config.k() as f64)),
+                    ("t", Json::Num(self.config.t() as f64)),
+                    ("prefix_bits", Json::Num(self.config.prefix_bits() as f64)),
+                ]),
+            ),
+            (
+                "corpus",
+                Json::obj(vec![
+                    ("trajectories", Json::Num(self.trajectories as f64)),
+                    ("points", Json::Num(self.points as f64)),
+                    ("routes", Json::Num(self.routes as f64)),
+                    ("distinct_terms", Json::Num(self.distinct_terms as f64)),
+                    (
+                        "generation_seconds",
+                        Json::Num(round6(self.generation_seconds)),
+                    ),
+                ]),
+            ),
+            (
+                "ingest",
+                Json::obj(vec![
+                    ("consistent", Json::Bool(self.ingest_consistent)),
+                    (
+                        "runs",
+                        Json::Arr(
+                            self.ingest
+                                .iter()
+                                .map(|r| {
+                                    Json::obj(vec![
+                                        ("threads", Json::Num(r.threads as f64)),
+                                        ("seconds", Json::Num(round6(r.seconds))),
+                                        ("traj_per_sec", Json::Num(round3(r.traj_per_sec))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "query",
+                Json::obj(vec![
+                    ("count", Json::Num(self.scenario.queries as f64)),
+                    ("limit", Json::Num(self.query_limit as f64)),
+                    (
+                        "latency_ms",
+                        Json::obj(vec![
+                            ("p50", Json::Num(round6(self.latency.p50))),
+                            ("p95", Json::Num(round6(self.latency.p95))),
+                            ("p99", Json::Num(round6(self.latency.p99))),
+                            ("mean", Json::Num(round6(self.latency.mean))),
+                            ("max", Json::Num(round6(self.latency.max))),
+                        ]),
+                    ),
+                    (
+                        "batch_runs",
+                        Json::Arr(
+                            self.query_batches
+                                .iter()
+                                .map(|r| {
+                                    Json::obj(vec![
+                                        ("threads", Json::Num(r.threads as f64)),
+                                        ("seconds", Json::Num(round6(r.seconds))),
+                                        ("queries_per_sec", Json::Num(round3(r.queries_per_sec))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// Nearest-rank percentile of an **already sorted** sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs a scenario: generates its dataset, builds the index once per
+/// thread count (timing batch ingest), then measures per-query latency
+/// and batch-query throughput at the same thread counts.
+///
+/// Deterministic workload, non-deterministic timings — run on quiet
+/// hardware for comparable numbers.
+pub fn run_scenario(scenario: &Scenario, threads: &[usize]) -> WorkloadReport {
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let started = Instant::now();
+    let network = grid_network(&scenario.preset.grid(), scenario.seed);
+    let dataset_cfg = scenario.preset.dataset(scenario.corpus, scenario.queries);
+    let dataset = Dataset::generate(&network, &dataset_cfg, scenario.seed)
+        .expect("grid networks are always routable");
+    let generation_seconds = started.elapsed().as_secs_f64();
+
+    let items: Vec<(TrajId, &Trajectory)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let config = GeodabConfig::default();
+
+    // Ingest: one full build per thread count. The thread-1 build is the
+    // serial reference; `consistent` records that every other build
+    // reached the same (len, term_count).
+    let mut ingest = Vec::with_capacity(threads.len());
+    let mut shapes: Vec<(usize, usize)> = Vec::with_capacity(threads.len());
+    let mut index = GeodabIndex::new(config);
+    for &t in threads {
+        let mut built = GeodabIndex::new(config);
+        let started = Instant::now();
+        built.insert_batch_threads(&items, t);
+        let seconds = started.elapsed().as_secs_f64();
+        ingest.push(IngestRun {
+            threads: t,
+            seconds,
+            traj_per_sec: items.len() as f64 / seconds.max(1e-9),
+        });
+        shapes.push((built.len(), built.term_count()));
+        index = built;
+    }
+    let ingest_consistent = shapes.windows(2).all(|w| w[0] == w[1]);
+
+    // Queries: a sequential pass for the latency distribution, then one
+    // batch run per thread count for throughput.
+    let query_limit = 10;
+    let options = SearchOptions::default().limit(query_limit);
+    let queries: Vec<Trajectory> = dataset
+        .queries()
+        .iter()
+        .map(|q| q.trajectory.clone())
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(queries.len());
+    for query in &queries {
+        let started = Instant::now();
+        let hits = index.search(query, &options);
+        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(hits);
+    }
+    latencies_ms.sort_by(f64::total_cmp);
+    let latency = LatencyMs {
+        p50: percentile(&latencies_ms, 50.0),
+        p95: percentile(&latencies_ms, 95.0),
+        p99: percentile(&latencies_ms, 99.0),
+        mean: latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64,
+        max: latencies_ms.last().copied().unwrap_or(0.0),
+    };
+    let mut query_batches = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let started = Instant::now();
+        let all = index.search_batch_threads(&queries, &options, t);
+        let seconds = started.elapsed().as_secs_f64();
+        std::hint::black_box(&all);
+        query_batches.push(QueryBatchRun {
+            threads: t,
+            seconds,
+            queries_per_sec: queries.len() as f64 / seconds.max(1e-9),
+        });
+    }
+
+    WorkloadReport {
+        scenario: scenario.clone(),
+        config,
+        trajectories: dataset.records().len(),
+        points: dataset.total_points(),
+        routes: dataset.routes().len(),
+        distinct_terms: index.term_count(),
+        generation_seconds,
+        ingest_consistent,
+        ingest,
+        query_limit,
+        latency,
+        query_batches,
+    }
+}
+
+/// The CI perf gate's verdict: current vs baseline batch-ingest
+/// throughput, with the allowed regression applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateVerdict {
+    /// Best ingest throughput of the fresh run, trajectories/second.
+    pub current: f64,
+    /// Best ingest throughput recorded in the baseline file.
+    pub baseline: f64,
+    /// The floor the current run must clear:
+    /// `baseline × (1 − max_regress_pct/100)`.
+    pub floor: f64,
+    /// Whether the gate passes.
+    pub pass: bool,
+}
+
+/// The fields of a baseline `BENCH_*.json` the gate consumes.
+struct BaselineData {
+    scenario: String,
+    seed: f64,
+    best_ingest: f64,
+}
+
+fn parse_baseline(baseline_text: &str) -> Result<BaselineData, String> {
+    let baseline = Json::parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let version = baseline
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("baseline: missing schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "baseline schema version {version} != supported {SCHEMA_VERSION}; re-baseline"
+        ));
+    }
+    let scenario = baseline
+        .get("scenario")
+        .and_then(Json::as_str)
+        .ok_or("baseline: missing scenario")?;
+    let seed = baseline
+        .get("seed")
+        .and_then(Json::as_f64)
+        .ok_or("baseline: missing seed")?;
+    let runs = baseline
+        .get("ingest")
+        .and_then(|i| i.get("runs"))
+        .and_then(Json::as_array)
+        .ok_or("baseline: missing ingest.runs")?;
+    let best_ingest = runs
+        .iter()
+        .filter_map(|r| r.get("traj_per_sec").and_then(Json::as_f64))
+        .fold(f64::NAN, f64::max);
+    if !best_ingest.is_finite() || best_ingest <= 0.0 {
+        return Err("baseline: no positive ingest.runs[].traj_per_sec".into());
+    }
+    Ok(BaselineData {
+        scenario: scenario.to_string(),
+        seed,
+        best_ingest,
+    })
+}
+
+fn validate_gate(
+    scenario: &Scenario,
+    data: &BaselineData,
+    max_regress_pct: f64,
+) -> Result<(), String> {
+    if data.scenario != scenario.name {
+        return Err(format!(
+            "baseline is for scenario {:?}, this run is {:?}",
+            data.scenario, scenario.name
+        ));
+    }
+    // A different seed generates a different corpus; its throughput is
+    // not comparable, so the gate verdict would be meaningless.
+    if data.seed != scenario.seed as f64 {
+        return Err(format!(
+            "baseline was measured with seed {}, this run used seed {} — \
+             not the same workload",
+            data.seed, scenario.seed
+        ));
+    }
+    if !(0.0..100.0).contains(&max_regress_pct) {
+        return Err(format!(
+            "max regression must be in 0..100 percent (got {max_regress_pct}); \
+             100% or more would make the gate vacuous"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates gate inputs **before** a (possibly minutes-long) scenario
+/// run: the baseline must parse, match the scenario's name and seed, and
+/// the allowed regression must be a sane percentage. Input errors fail
+/// in milliseconds instead of after the measurement.
+///
+/// # Errors
+///
+/// Returns the same messages [`check_gate`] would for bad inputs.
+pub fn preflight_gate(
+    scenario: &Scenario,
+    baseline_text: &str,
+    max_regress_pct: f64,
+) -> Result<(), String> {
+    validate_gate(scenario, &parse_baseline(baseline_text)?, max_regress_pct)
+}
+
+/// Compares a fresh report against a checked-in baseline `BENCH_*.json`
+/// (any report emitted by this harness is a valid baseline). The gate
+/// fails when the best batch-ingest throughput drops more than
+/// `max_regress_pct` percent below the baseline's.
+///
+/// # Errors
+///
+/// Returns a message when the baseline is unparsable, has a different
+/// schema version, names a different scenario or seed, or the allowed
+/// regression is outside `0..100` percent.
+pub fn check_gate(
+    report: &WorkloadReport,
+    baseline_text: &str,
+    max_regress_pct: f64,
+) -> Result<GateVerdict, String> {
+    let data = parse_baseline(baseline_text)?;
+    validate_gate(&report.scenario, &data, max_regress_pct)?;
+    let current = report.best_ingest_throughput();
+    let floor = data.best_ingest * (1.0 - max_regress_pct / 100.0);
+    Ok(GateVerdict {
+        current,
+        baseline: data.best_ingest,
+        floor,
+        pass: current >= floor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_cover_the_presets_and_sizes() {
+        let scenarios = catalog();
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "duplicate scenario names");
+        for required in [
+            "smoke",
+            "micro",
+            "dense-urban-1k",
+            "dense-urban-10k",
+            "dense-urban-100k",
+            "sparse-rural-1k",
+            "road-matched-1k",
+            "mixed-length-1k",
+        ] {
+            assert!(find(required).is_some(), "missing scenario {required}");
+        }
+    }
+
+    #[test]
+    fn presets_hit_their_corpus_targets() {
+        for preset in [
+            Preset::DenseUrban,
+            Preset::SparseRural,
+            Preset::RoadMatched,
+            Preset::MixedLength,
+        ] {
+            for corpus in [1_000usize, 10_000] {
+                let cfg = preset.dataset(corpus, 10);
+                let produced = cfg.routes * cfg.per_direction * 2;
+                assert_eq!(produced, corpus, "{} at {corpus}", preset.name());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_ladder_caps_and_includes_max() {
+        assert_eq!(thread_ladder(1), vec![1]);
+        assert_eq!(thread_ladder(2), vec![1, 2]);
+        assert_eq!(thread_ladder(4), vec![1, 2, 4]);
+        assert_eq!(thread_ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_ladder(6), vec![1, 2, 4, 6]);
+        assert_eq!(thread_ladder(0), vec![1], "zero clamps to one");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sample: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sample, 50.0), 50.0);
+        assert_eq!(percentile(&sample, 95.0), 95.0);
+        assert_eq!(percentile(&sample, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn micro_scenario_runs_and_serializes_a_valid_report() {
+        let scenario = find("micro").expect("catalog has micro");
+        let report = run_scenario(&scenario, &[1, 2]);
+        assert_eq!(report.trajectories, 40);
+        assert!(report.ingest_consistent);
+        assert_eq!(report.ingest.len(), 2);
+        assert!(report.best_ingest_throughput() > 0.0);
+        assert!(report.latency.p50 <= report.latency.p95);
+        assert!(report.latency.p95 <= report.latency.p99);
+        assert!(report.latency.p99 <= report.latency.max);
+        // The emitted JSON parses back and carries the schema markers the
+        // gate checks.
+        let text = report.to_json().pretty();
+        let parsed = Json::parse(&text).expect("report is valid JSON");
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(parsed.get("scenario").and_then(Json::as_str), Some("micro"));
+        assert_eq!(report.file_name(), "BENCH_micro.json");
+    }
+
+    #[test]
+    fn gate_passes_within_allowance_and_fails_beyond_it() {
+        let scenario = find("micro").expect("catalog has micro");
+        let report = run_scenario(&scenario, &[1]);
+        let own = report.to_json().pretty();
+        // A run always clears a gate against its own numbers.
+        let verdict = check_gate(&report, &own, 30.0).expect("own report is a valid baseline");
+        assert!(verdict.pass);
+        // The serialized baseline rounds to 3 decimals.
+        assert!((verdict.current - verdict.baseline).abs() < 0.01);
+
+        // An impossibly fast baseline fails the gate…
+        let inflated = r#"{"schema_version": 1, "scenario": "micro", "seed": 7,
+                           "ingest": {"runs": [{"threads": 1, "traj_per_sec": 1e12}]}}"#;
+        let verdict = check_gate(&report, inflated, 30.0).expect("valid baseline");
+        assert!(!verdict.pass, "{verdict:?}");
+        assert!(verdict.floor > verdict.current);
+
+        // …and malformed baselines are reported, not panicked on.
+        assert!(check_gate(&report, "not json", 30.0).is_err());
+        assert!(check_gate(&report, "{}", 30.0).is_err());
+        let wrong = own.replace("\"micro\"", "\"smoke\"");
+        assert!(check_gate(&report, &wrong, 30.0)
+            .unwrap_err()
+            .contains("scenario"));
+        let wrong_version = own.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(check_gate(&report, &wrong_version, 30.0)
+            .unwrap_err()
+            .contains("schema version"));
+        // A baseline measured on a different workload (other seed) is not
+        // comparable and must be rejected rather than gated against.
+        let other_seed = own.replace("\"seed\": 7", "\"seed\": 8");
+        assert!(check_gate(&report, &other_seed, 30.0)
+            .unwrap_err()
+            .contains("seed"));
+        // Allowances of 100% or more would make the gate vacuous
+        // (zero or negative floor): reject them.
+        for pct in [100.0, 300.0, -5.0] {
+            assert!(check_gate(&report, &own, pct)
+                .unwrap_err()
+                .contains("max regression"));
+        }
+    }
+}

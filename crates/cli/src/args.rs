@@ -13,6 +13,9 @@ pub enum ParseError {
     UnknownCommand(String),
     /// A flag without the `--` prefix or without a value.
     MalformedFlag(String),
+    /// A flag the subcommand does not understand (likely a typo that
+    /// would otherwise silently change behavior).
+    UnknownFlag(String),
     /// The same flag was given twice.
     DuplicateFlag(String),
     /// A flag value failed to parse.
@@ -34,6 +37,7 @@ impl fmt::Display for ParseError {
             ParseError::MalformedFlag(s) => {
                 write!(f, "malformed flag {s:?} (expected --name value)")
             }
+            ParseError::UnknownFlag(s) => write!(f, "unknown flag --{s}"),
             ParseError::DuplicateFlag(s) => write!(f, "flag --{s} given more than once"),
             ParseError::InvalidValue { flag, value } => {
                 write!(f, "invalid value {value:?} for --{flag}")
@@ -54,7 +58,7 @@ pub struct Args {
 
 /// Subcommands the binary understands.
 pub const COMMANDS: &[&str] = &[
-    "build", "stats", "search", "tune", "world", "export", "help",
+    "build", "stats", "search", "tune", "world", "export", "bench", "help",
 ];
 
 impl Args {
@@ -96,6 +100,29 @@ impl Args {
     /// The subcommand.
     pub fn command(&self) -> &str {
         &self.command
+    }
+
+    /// Whether any flag was given at all.
+    pub fn has_flags(&self) -> bool {
+        !self.flags.is_empty()
+    }
+
+    /// Rejects flags outside `allowed` — a typo'd flag must fail loudly
+    /// instead of silently falling back to a default (fatal when the
+    /// default skips a CI gate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::UnknownFlag`] naming the first offender.
+    pub fn reject_unknown_flags(&self, allowed: &[&str]) -> Result<(), ParseError> {
+        let mut names: Vec<&String> = self.flags.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ParseError::UnknownFlag(name.clone()));
+            }
+        }
+        Ok(())
     }
 
     /// A string flag, or `default` when absent.
@@ -204,6 +231,21 @@ mod tests {
                 value: "banana".into()
             })
         );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_when_asked() {
+        let a = Args::parse(["bench", "--scenario", "smoke", "--basline", "f"]).unwrap();
+        assert_eq!(
+            a.reject_unknown_flags(&["scenario", "baseline"]),
+            Err(ParseError::UnknownFlag("basline".into()))
+        );
+        assert_eq!(a.reject_unknown_flags(&["scenario", "basline"]), Ok(()));
+        assert!(!Args::parse(["bench"]).unwrap().has_flags());
+        assert!(a.has_flags());
+        assert!(ParseError::UnknownFlag("x".into())
+            .to_string()
+            .contains("--x"));
     }
 
     #[test]

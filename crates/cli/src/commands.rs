@@ -26,6 +26,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Erro
         "tune" => tune(args, out),
         "world" => world(args, out),
         "export" => export(args, out),
+        "bench" => bench(args, out),
         "help" => {
             write!(out, "{}", HELP)?;
             Ok(())
@@ -46,11 +47,19 @@ USAGE:
   geodabs tune   [--routes N] [--seed S] [--steps T]
   geodabs world  [--trajectories N] [--cities C] [--seed S]
   geodabs export --out FILE.csv [--routes N] [--per-direction M] [--seed S]
+  geodabs bench  [--scenario NAME] [--threads T] [--out DIR] [--seed S]
+                 [--baseline FILE] [--max-regress PCT]
   geodabs help
 
 Datasets are synthetic and reproducible: the same (routes, per-direction,
 seed) triple always generates the same trajectories, so `search` can
 regenerate its query workload against a persisted index.
+
+`bench` without --scenario lists the workload catalog; with one it runs
+the scenario at thread counts 1,2,4,8 (capped by --threads) and writes a
+machine-readable BENCH_<scenario>.json report. With --baseline it also
+enforces the CI perf gate: the run fails if batch-ingest throughput
+drops more than --max-regress percent (default 30) below the baseline's.
 ";
 
 fn network(seed: u64) -> RoadNetwork {
@@ -214,6 +223,123 @@ fn world(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
     Ok(())
 }
 
+fn bench(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_bench::workload;
+
+    // A typo'd flag must fail loudly: silently ignoring `--scenari` or
+    // `--basline` would skip the benchmark or the CI gate while the job
+    // reports success.
+    args.reject_unknown_flags(&[
+        "scenario",
+        "threads",
+        "out",
+        "seed",
+        "baseline",
+        "max-regress",
+    ])?;
+    if !args.has_flags() {
+        writeln!(out, "available scenarios (run with --scenario NAME):")?;
+        for s in workload::catalog() {
+            writeln!(
+                out,
+                "  {:<18} {:<13} corpus {:>7}  queries {:>4}  seed {}",
+                s.name,
+                s.preset.name(),
+                s.corpus,
+                s.queries,
+                s.seed
+            )?;
+        }
+        return Ok(());
+    }
+    let name = args.string_required("scenario")?;
+    let mut scenario = workload::find(&name)
+        .ok_or_else(|| format!("unknown scenario {name:?} (run `geodabs bench` to list)"))?;
+    scenario.seed = args.u64_or("seed", scenario.seed)?;
+    let max_threads = args.usize_or("threads", 8)?;
+    let threads = workload::thread_ladder(max_threads);
+    let out_dir = args.string_or("out", ".");
+    let max_regress = args.u64_or("max-regress", 30)? as f64;
+
+    // Gate inputs are validated *before* the (possibly minutes-long)
+    // measurement so an unreadable baseline or a vacuous allowance fails
+    // in milliseconds.
+    let baseline = match args.string_required("baseline") {
+        Ok(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading baseline {path}: {e}"))?;
+            workload::preflight_gate(&scenario, &text, max_regress)?;
+            Some(text)
+        }
+        Err(_) => None,
+    };
+
+    writeln!(
+        out,
+        "scenario {} ({}, corpus {}, {} queries, seed {}), threads {threads:?}",
+        scenario.name,
+        scenario.preset.name(),
+        scenario.corpus,
+        scenario.queries,
+        scenario.seed
+    )?;
+    let report = workload::run_scenario(&scenario, &threads);
+    writeln!(
+        out,
+        "corpus            {} trajectories, {} points, {} distinct terms ({:.2}s to generate)",
+        report.trajectories, report.points, report.distinct_terms, report.generation_seconds
+    )?;
+    for run in &report.ingest {
+        writeln!(
+            out,
+            "ingest  {:>2} thread(s)  {:>9.3}s  {:>11.1} traj/s",
+            run.threads, run.seconds, run.traj_per_sec
+        )?;
+    }
+    writeln!(
+        out,
+        "query latency     p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (n={})",
+        report.latency.p50, report.latency.p95, report.latency.p99, scenario.queries
+    )?;
+    for run in &report.query_batches {
+        writeln!(
+            out,
+            "query   {:>2} thread(s)  {:>9.3}s  {:>11.1} queries/s",
+            run.threads, run.seconds, run.queries_per_sec
+        )?;
+    }
+
+    // Write the report before any failure below: a consistency or gate
+    // failure is exactly when the machine-readable record matters most
+    // (CI uploads it as an artifact even for failing runs).
+    let path = std::path::Path::new(&out_dir).join(report.file_name());
+    std::fs::write(&path, report.to_json().pretty())?;
+    writeln!(out, "report            {}", path.display())?;
+
+    if !report.ingest_consistent {
+        return Err("parallel ingest diverged from the serial build (len/term_count)".into());
+    }
+
+    if let Some(baseline) = baseline {
+        let verdict = workload::check_gate(&report, &baseline, max_regress)?;
+        writeln!(
+            out,
+            "perf gate         current {:.1} traj/s vs baseline {:.1} (floor {:.1}, -{max_regress}%)",
+            verdict.current, verdict.baseline, verdict.floor
+        )?;
+        if !verdict.pass {
+            return Err(format!(
+                "perf gate FAILED: ingest throughput {:.1} traj/s is below the floor {:.1} \
+                 ({:.1} baseline − {max_regress}%)",
+                verdict.current, verdict.floor, verdict.baseline
+            )
+            .into());
+        }
+        writeln!(out, "perf gate         PASS")?;
+    }
+    Ok(())
+}
+
 fn export(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
     let path = args.string_required("out")?;
     let ds = dataset_from_args(args)?;
@@ -373,6 +499,116 @@ mod tests {
         assert!(run_to_string(&["build"]).unwrap_err().contains("--out"));
         assert!(run_to_string(&["stats"]).unwrap_err().contains("--index"));
         assert!(run_to_string(&["export"]).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn bench_without_scenario_lists_the_catalog() {
+        let out = run_to_string(&["bench"]).unwrap();
+        assert!(out.contains("available scenarios"), "{out}");
+        assert!(out.contains("smoke"), "{out}");
+        assert!(out.contains("dense-urban-10k"), "{out}");
+        assert!(out.contains("sparse-rural-1k"), "{out}");
+    }
+
+    #[test]
+    fn bench_rejects_unknown_scenarios() {
+        let err = run_to_string(&["bench", "--scenario", "warp-speed"]).unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+
+    #[test]
+    fn bench_fails_loudly_on_typoed_or_missing_flags() {
+        // A typo'd flag must not silently fall back to listing the
+        // catalog (which would let a broken CI invocation pass green).
+        let err = run_to_string(&["bench", "--scenari", "smoke"]).unwrap_err();
+        assert!(err.contains("unknown flag --scenari"), "{err}");
+        let err = run_to_string(&["bench", "--scenario", "micro", "--basline", "x"]).unwrap_err();
+        assert!(err.contains("unknown flag --basline"), "{err}");
+        // Flags without a scenario: an incomplete invocation, not a
+        // listing request.
+        let err = run_to_string(&["bench", "--threads", "2"]).unwrap_err();
+        assert!(err.contains("--scenario"), "{err}");
+    }
+
+    #[test]
+    fn bench_micro_emits_a_valid_report_and_gates_against_it() {
+        use geodabs_bench::json::Json;
+        let dir = std::env::temp_dir().join("geodabs-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = run_to_string(&[
+            "bench",
+            "--scenario",
+            "micro",
+            "--threads",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("ingest   1 thread(s)"), "{out}");
+        assert!(out.contains("query latency"), "{out}");
+        let report_path = dir.join("BENCH_micro.json");
+        let text = std::fs::read_to_string(&report_path).expect("report written");
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("scenario").and_then(Json::as_str), Some("micro"));
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(1.0)
+        );
+
+        // A fresh run gates cleanly against the report it just produced.
+        let out = run_to_string(&[
+            "bench",
+            "--scenario",
+            "micro",
+            "--threads",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+            "--baseline",
+            report_path.to_str().unwrap(),
+            "--max-regress",
+            "95",
+        ])
+        .unwrap();
+        assert!(out.contains("perf gate         PASS"), "{out}");
+
+        // An impossibly fast baseline fails the gate with a clear error.
+        let inflated = dir.join("inflated.json");
+        std::fs::write(
+            &inflated,
+            r#"{"schema_version": 1, "scenario": "micro", "seed": 7,
+                "ingest": {"runs": [{"threads": 1, "traj_per_sec": 1e15}]}}"#,
+        )
+        .unwrap();
+        let err = run_to_string(&[
+            "bench",
+            "--scenario",
+            "micro",
+            "--out",
+            dir.to_str().unwrap(),
+            "--baseline",
+            inflated.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("perf gate FAILED"), "{err}");
+        // …and the report was still written for the failing run.
+        assert!(dir.join("BENCH_micro.json").exists());
+
+        // Vacuous allowances are rejected in preflight, before the run.
+        let err = run_to_string(&[
+            "bench",
+            "--scenario",
+            "micro",
+            "--out",
+            dir.to_str().unwrap(),
+            "--baseline",
+            report_path.to_str().unwrap(),
+            "--max-regress",
+            "100",
+        ])
+        .unwrap_err();
+        assert!(err.contains("max regression"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Implementation of the `geodabs` command-line tool.
 //!
-//! The binary wraps the workspace crates into five subcommands:
+//! The binary wraps the workspace crates into these subcommands:
 //!
 //! ```text
 //! geodabs build  --out FILE [--routes N] [--per-direction M] [--seed S]
@@ -9,11 +9,16 @@
 //!                [--query Q] [--limit K]
 //! geodabs tune   [--routes N] [--seed S] [--steps T]
 //! geodabs world  [--trajectories N] [--cities C] [--seed S]
+//! geodabs bench  [--scenario NAME] [--threads T] [--out DIR] [--seed S]
+//!                [--baseline FILE] [--max-regress PCT]
 //! ```
 //!
 //! Datasets are synthetic and fully determined by `(routes,
 //! per-direction, seed)`, so `search` regenerates the query workload
-//! instead of shipping trajectories around.
+//! instead of shipping trajectories around. `bench` runs the named
+//! workload scenario from [`geodabs_bench::workload`] and writes the
+//! machine-readable `BENCH_<scenario>.json` report CI's perf gate
+//! consumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -202,48 +202,87 @@ impl ClusterIndex {
         self.insert_fingerprints(id, fp);
     }
 
-    /// Indexes a batch, fingerprinting trajectories in parallel across
-    /// `threads` scoped worker threads and then routing the postings
-    /// sequentially. Produces exactly the same index as repeated
-    /// [`ClusterIndex::insert`] calls.
+    /// Indexes a batch: trajectories are fingerprinted in parallel across
+    /// `threads` scoped worker threads, then the postings ship to the
+    /// shard nodes **concurrently** — each node applies its own slice of
+    /// the batch on its own scoped thread (node stores are disjoint, so no
+    /// lock is ever taken on the hot path). Produces exactly the same
+    /// index as repeated [`ClusterIndex::insert`] calls, including
+    /// last-occurrence-wins semantics for ids repeated within the batch.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
-    pub fn insert_batch(&mut self, items: &[(TrajId, &Trajectory)], threads: usize) {
-        assert!(threads > 0, "need at least one worker thread");
-        let fingerprinter = self.fingerprinter;
-        let chunk = items.len().div_ceil(threads).max(1);
-        let fps: Mutex<Vec<(usize, TrajId, Fingerprints)>> =
-            Mutex::new(Vec::with_capacity(items.len()));
+    pub fn insert_batch_threads(&mut self, items: &[(TrajId, &Trajectory)], threads: usize) {
+        let fps = geodabs_index::batch::parallel_map(items, threads, |&(id, trajectory)| {
+            (id, self.fingerprinter.normalize_and_fingerprint(trajectory))
+        });
+        // Repeated inserts are replace-on-reinsert, so only the *last*
+        // occurrence of an id in the batch survives; drop the others up
+        // front (in input order, like a sequential loop would resolve it).
+        let mut last_of: HashMap<TrajId, usize> = HashMap::with_capacity(fps.len());
+        for (position, &(id, _)) in fps.iter().enumerate() {
+            last_of.insert(id, position);
+        }
+        let batch: Vec<(TrajId, Fingerprints)> = fps
+            .into_iter()
+            .enumerate()
+            .filter(|(position, (id, _))| last_of[id] == *position)
+            .map(|(_, entry)| entry)
+            .collect();
+        // Scrub previous contents of re-inserted ids while the nodes are
+        // still quiescent.
+        for &(id, _) in &batch {
+            self.remove(id);
+        }
+        // Route every posting to its node up front; `item` indexes into
+        // `batch`. Per-node work lists preserve batch order, so each node
+        // interns ids in exactly the order sequential inserts would.
+        struct NodeWork {
+            /// `(term, shard, item)` posting entries owned by this node.
+            postings: Vec<(u32, u64, u32)>,
+            /// Batch items whose fingerprint replica this node stores.
+            replicas: Vec<u32>,
+        }
+        let mut work: Vec<NodeWork> = (0..self.nodes.len())
+            .map(|_| NodeWork {
+                postings: Vec::new(),
+                replicas: Vec::new(),
+            })
+            .collect();
+        for (item, (_, fp)) in batch.iter().enumerate() {
+            let item = item as u32;
+            for term in fp.set().iter() {
+                let shard = self.router.shard_of_geodab(term);
+                let node_work = &mut work[self.router.node_of_shard(shard)];
+                node_work.postings.push((term, shard, item));
+                if node_work.replicas.last() != Some(&item) {
+                    node_work.replicas.push(item);
+                }
+            }
+        }
+        // Ship concurrently: one scoped thread per node with work, each
+        // holding a disjoint `&mut NodeStore`.
         std::thread::scope(|scope| {
-            for (chunk_index, slice) in items.chunks(chunk).enumerate() {
-                let fps = &fps;
-                let base = chunk_index * chunk;
+            for (node, node_work) in self.nodes.iter_mut().zip(&work) {
+                if node_work.postings.is_empty() {
+                    continue;
+                }
+                let batch = &batch;
                 scope.spawn(move || {
-                    let local: Vec<(usize, TrajId, Fingerprints)> = slice
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &(id, t))| {
-                            (base + i, id, fingerprinter.normalize_and_fingerprint(t))
-                        })
-                        .collect();
-                    fps.lock()
-                        .expect("fingerprinting threads never panic")
-                        .extend(local);
+                    for &(term, shard, item) in &node_work.postings {
+                        node.add_posting(term, batch[item as usize].0);
+                        *node.shard_load.entry(shard).or_insert(0) += 1;
+                    }
+                    for &item in &node_work.replicas {
+                        let (id, fp) = &batch[item as usize];
+                        node.fingerprints.insert(*id, fp.clone());
+                    }
                 });
             }
         });
-        let mut fps = fps
-            .into_inner()
-            .expect("fingerprinting threads never panic");
-        // Deterministic routing order regardless of thread interleaving; the
-        // original position breaks ties so a duplicated id keeps its *last*
-        // occurrence under replace-on-reinsert, exactly like repeated
-        // `insert` calls would.
-        fps.sort_by_key(|&(index, id, _)| (id, index));
-        for (_, id, fp) in fps {
-            self.insert_fingerprints(id, fp);
+        for &(id, _) in &batch {
+            self.indexed.insert(id);
         }
     }
 
@@ -457,7 +496,7 @@ impl TrajectoryIndex for ClusterIndex {
     {
         let items: Vec<(TrajId, &Trajectory)> = items.into_iter().collect();
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        ClusterIndex::insert_batch(self, &items, threads);
+        ClusterIndex::insert_batch_threads(self, &items, threads);
     }
 }
 
@@ -515,7 +554,7 @@ mod tests {
             .collect();
         for threads in [1usize, 2, 4] {
             let mut batched = ClusterIndex::new(GeodabConfig::default(), 10_000, 10).unwrap();
-            batched.insert_batch(&items, threads);
+            batched.insert_batch_threads(&items, threads);
             assert_eq!(batched.len(), sequential.len());
             assert_eq!(batched.postings_per_node(), sequential.postings_per_node());
             for t in &trajectories {
@@ -532,7 +571,7 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         let mut c = ClusterIndex::new(GeodabConfig::default(), 10, 2).unwrap();
-        c.insert_batch(&[], 0);
+        c.insert_batch_threads(&[], 0);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Scoped-thread fan-out used by the batch ingest and batch query paths.
+//!
+//! Fingerprinting (and cell-set extraction) is embarrassingly parallel,
+//! and so is answering independent queries against shared read-only
+//! engine state. This module provides the one primitive both paths need:
+//! an order-preserving parallel map over a slice, built on
+//! [`std::thread::scope`] so it borrows freely and never detaches a
+//! worker. Mutation of index structures stays out of here by design —
+//! posting-list insertion remains single-writer, which is what makes the
+//! batch paths bit-identical to their sequential equivalents.
+
+use std::sync::Mutex;
+
+/// Applies `f` to every item of `items` across up to `threads` scoped
+/// worker threads, returning the outputs **in input order** — exactly
+/// `items.iter().map(f).collect()`, only faster.
+///
+/// The slice is split into at most `threads` contiguous chunks, one
+/// worker per chunk; with `threads == 1` (or a single-element slice) the
+/// work still runs on a worker thread but degenerates to the sequential
+/// order. Panics in `f` propagate.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use geodabs_index::batch::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4, 5], 4, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for (chunk_index, slice) in items.chunks(chunk).enumerate() {
+            let parts = &parts;
+            let f = &f;
+            scope.spawn(move || {
+                let local: Vec<R> = slice.iter().map(f).collect();
+                parts
+                    .lock()
+                    .expect("worker threads propagate panics via scope")
+                    .push((chunk_index, local));
+            });
+        }
+    });
+    let mut parts = parts
+        .into_inner()
+        .expect("worker threads propagate panics via scope");
+    // Workers finish in any order; chunk indexes restore the input order
+    // deterministically.
+    parts.sort_unstable_by_key(|&(chunk_index, _)| chunk_index);
+    parts.into_iter().flat_map(|(_, local)| local).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u32> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3).collect();
+        for threads in [1usize, 2, 3, 4, 8, 16, 200] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| u64::from(x) * 3),
+                expected,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = parallel_map(&[1u32], 0, |&x| x);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&[1u32, 2, 3], 2, |&x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -115,6 +115,25 @@ impl GeodabIndex {
         self.search_fingerprints(&fp, options)
     }
 
+    /// Indexes a batch of trajectories, fingerprinting them across
+    /// `threads` scoped worker threads; posting-list insertion stays
+    /// single-writer, applied in input order. Produces exactly the index a
+    /// sequential [`TrajectoryIndex::insert`] loop over `items` would —
+    /// same fingerprints, same postings, same search results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn insert_batch_threads(&mut self, items: &[(TrajId, &Trajectory)], threads: usize) {
+        let fingerprinter = self.fingerprinter;
+        let fps = crate::batch::parallel_map(items, threads, |&(id, trajectory)| {
+            (id, fingerprinter.normalize_and_fingerprint(trajectory))
+        });
+        for (id, fp) in fps {
+            self.insert_fingerprints(id, fp);
+        }
+    }
+
     /// Indexes pre-computed fingerprints under the given id, bypassing
     /// normalization and winnowing. Used by the binary codec on load and
     /// useful whenever fingerprints are computed elsewhere (e.g. on the
@@ -192,6 +211,15 @@ impl TrajectoryIndex for GeodabIndex {
 
     fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
         self.fingerprints.keys().copied()
+    }
+
+    fn insert_batch<'a, I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
+    {
+        let items: Vec<(TrajId, &Trajectory)> = items.into_iter().collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        GeodabIndex::insert_batch_threads(self, &items, threads);
     }
 }
 

@@ -52,17 +52,27 @@ impl GeohashIndex {
 
     /// The distinct, sorted cell set of a trajectory at this index depth.
     pub fn cell_set(&self, trajectory: &Trajectory) -> Vec<u64> {
-        let mut cells: Vec<u64> = trajectory
-            .iter()
-            .map(|p| {
-                Geohash::encode(p, self.depth)
-                    .expect("depth validated at construction")
-                    .bits()
-            })
-            .collect();
-        cells.sort_unstable();
-        cells.dedup();
-        cells
+        cell_set_at(self.depth, trajectory)
+    }
+
+    /// Indexes a batch of trajectories, extracting cell sets across
+    /// `threads` scoped worker threads; posting-list insertion stays
+    /// single-writer, applied in input order. Produces exactly the index a
+    /// sequential [`TrajectoryIndex::insert`] loop over `items` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn insert_batch_threads(&mut self, items: &[(TrajId, &Trajectory)], threads: usize) {
+        let depth = self.depth;
+        let cell_sets = crate::batch::parallel_map(items, threads, |&(id, trajectory)| {
+            (id, cell_set_at(depth, trajectory))
+        });
+        for (id, cells) in cell_sets {
+            self.remove(id);
+            self.engine.insert(id, cells.iter().copied());
+            self.cells.insert(id, cells);
+        }
     }
 
     /// Region query: distinct ids of trajectories touching any cell
@@ -115,6 +125,31 @@ impl TrajectoryIndex for GeohashIndex {
     fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
         self.cells.keys().copied()
     }
+
+    fn insert_batch<'a, I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
+    {
+        let items: Vec<(TrajId, &Trajectory)> = items.into_iter().collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        GeohashIndex::insert_batch_threads(self, &items, threads);
+    }
+}
+
+/// The distinct, sorted cell set of a trajectory at `depth` bits — free of
+/// `&self` so batch workers can run it while the index is mutably held.
+fn cell_set_at(depth: u8, trajectory: &Trajectory) -> Vec<u64> {
+    let mut cells: Vec<u64> = trajectory
+        .iter()
+        .map(|p| {
+            Geohash::encode(p, depth)
+                .expect("depth validated at construction")
+                .bits()
+        })
+        .collect();
+    cells.sort_unstable();
+    cells.dedup();
+    cells
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod boolean;
 pub mod codec;
 pub mod engine;
@@ -84,8 +85,10 @@ pub trait TrajectoryIndex {
     fn ids(&self) -> impl Iterator<Item = TrajId> + '_;
 
     /// Indexes a batch of trajectories. The default implementation inserts
-    /// sequentially; backends may override it with something smarter (the
-    /// sharded cluster fingerprints batches across worker threads).
+    /// sequentially; every workspace backend overrides it to fingerprint
+    /// the batch across scoped worker threads (posting-list insertion
+    /// stays single-writer), producing exactly the index a sequential
+    /// insert loop would.
     fn insert_batch<'a, I>(&mut self, items: I)
     where
         I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
@@ -94,6 +97,43 @@ pub trait TrajectoryIndex {
         for (id, trajectory) in items {
             self.insert(id, trajectory);
         }
+    }
+
+    /// Ranked retrieval for a batch of queries, answered in parallel over
+    /// the shared read-only engine state with one worker per available
+    /// core. Returns exactly
+    /// `queries.iter().map(|q| self.search(q, options)).collect()` — the
+    /// per-query rankings in query order, each bit-identical to a
+    /// standalone [`TrajectoryIndex::search`] call.
+    fn search_batch(
+        &self,
+        queries: &[Trajectory],
+        options: &SearchOptions,
+    ) -> Vec<Vec<SearchResult>>
+    where
+        Self: Sized + Sync,
+    {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.search_batch_threads(queries, options, threads)
+    }
+
+    /// [`TrajectoryIndex::search_batch`] with an explicit worker-thread
+    /// count, for benchmarking thread scaling and for callers managing
+    /// their own core budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    fn search_batch_threads(
+        &self,
+        queries: &[Trajectory],
+        options: &SearchOptions,
+        threads: usize,
+    ) -> Vec<Vec<SearchResult>>
+    where
+        Self: Sized + Sync,
+    {
+        batch::parallel_map(queries, threads, |query| self.search(query, options))
     }
 
     /// Whether the index is empty.

@@ -1,0 +1,157 @@
+//! Property tests pinning the parallel batch paths to their sequential
+//! equivalents, bit for bit:
+//!
+//! * `insert_batch(items, threads)` must produce exactly the index a
+//!   sequential `insert` loop over the same items would — same stored
+//!   fingerprints / cell sets, same term dictionary, same rankings — for
+//!   any thread count, including batches with repeated ids and
+//!   re-inserts over a pre-populated index;
+//! * `search_batch_threads` must return exactly
+//!   `queries.map(|q| search(q))` in query order for any thread count.
+
+use geodabs_core::GeodabConfig;
+use geodabs_geo::Point;
+use geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
+use geodabs_traj::{TrajId, Trajectory};
+use proptest::prelude::*;
+
+/// Builds a deterministic trajectory from integer parameters: a walk of
+/// `steps` legs from a jittered start, each leg `leg_m` meters on a
+/// heading that drifts by `turn` degrees per step.
+fn walk(start_offset_m: u16, heading: u16, turn: i8, leg_m: u8, steps: u8) -> Trajectory {
+    let origin = Point::new(51.5074, -0.1278).expect("valid point");
+    let start = origin.destination(f64::from(heading % 360), f64::from(start_offset_m));
+    let mut heading = f64::from(heading % 360);
+    let mut here = start;
+    let mut points = vec![here];
+    for _ in 0..steps {
+        heading = (heading + f64::from(turn) * 0.5).rem_euclid(360.0);
+        here = here.destination(heading, f64::from(leg_m) + 30.0);
+        points.push(here);
+    }
+    points.into_iter().collect()
+}
+
+type WalkParams = (u16, u16, i8, u8, u8);
+
+fn trajectories(params: &[WalkParams]) -> Vec<Trajectory> {
+    params
+        .iter()
+        .map(|&(o, h, t, l, s)| walk(o, h, t, l, s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel geodab ingest is bit-identical to a serial insert loop:
+    /// identical fingerprint tables, identical term dictionaries and
+    /// identical rankings for every stored trajectory used as a query —
+    /// across thread counts, with repeated ids in the batch (`id % 7`
+    /// forces collisions) and over an index that already held some of
+    /// the ids.
+    #[test]
+    fn geodab_parallel_ingest_equals_serial(
+        params in proptest::collection::vec(
+            (0u16..5_000, 0u16..360, -40i8..40, 0u8..120, 0u8..80), 1..24),
+        threads in 1usize..6,
+        prefill in 0usize..4,
+    ) {
+        let ts = trajectories(&params);
+        let items: Vec<(TrajId, &Trajectory)> = ts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TrajId::new((i % 7) as u32), t))
+            .collect();
+
+        let config = GeodabConfig::default();
+        let mut serial = GeodabIndex::new(config);
+        let mut parallel = GeodabIndex::new(config);
+        // Pre-populate both sides so the batch exercises replace-on-
+        // reinsert against existing contents.
+        for (id, t) in items.iter().take(prefill) {
+            serial.insert(*id, t);
+            parallel.insert(*id, t);
+        }
+        for (id, t) in &items {
+            serial.insert(*id, t);
+        }
+        parallel.insert_batch_threads(&items, threads);
+
+        prop_assert_eq!(parallel.len(), serial.len());
+        prop_assert_eq!(parallel.term_count(), serial.term_count());
+        for (id, fp) in serial.iter_fingerprints() {
+            prop_assert_eq!(parallel.fingerprints(id), Some(fp));
+        }
+        for (_, t) in &items {
+            for options in [
+                SearchOptions::default(),
+                SearchOptions::default().limit(3),
+                SearchOptions::default().max_distance(0.5).limit(2),
+            ] {
+                prop_assert_eq!(
+                    parallel.search(t, &options),
+                    serial.search(t, &options)
+                );
+            }
+        }
+    }
+
+    /// Same property for the geohash baseline: identical cell postings
+    /// (term dictionary) and rankings after parallel ingest.
+    #[test]
+    fn geohash_parallel_ingest_equals_serial(
+        params in proptest::collection::vec(
+            (0u16..5_000, 0u16..360, -40i8..40, 0u8..120, 0u8..60), 1..20),
+        threads in 1usize..6,
+    ) {
+        let ts = trajectories(&params);
+        let items: Vec<(TrajId, &Trajectory)> = ts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TrajId::new((i % 5) as u32), t))
+            .collect();
+
+        let mut serial = GeohashIndex::new(36);
+        for (id, t) in &items {
+            serial.insert(*id, t);
+        }
+        let mut parallel = GeohashIndex::new(36);
+        parallel.insert_batch_threads(&items, threads);
+
+        prop_assert_eq!(parallel.len(), serial.len());
+        prop_assert_eq!(parallel.term_count(), serial.term_count());
+        for (_, t) in &items {
+            prop_assert_eq!(
+                parallel.search(t, &SearchOptions::default()),
+                serial.search(t, &SearchOptions::default())
+            );
+        }
+    }
+
+    /// `search_batch_threads` is exactly the per-query `search` map, in
+    /// query order, for any thread count and options.
+    #[test]
+    fn search_batch_equals_query_loop(
+        corpus in proptest::collection::vec(
+            (0u16..3_000, 0u16..360, -40i8..40, 0u8..120, 4u8..60), 1..16),
+        queries in proptest::collection::vec(
+            (0u16..3_000, 0u16..360, -40i8..40, 0u8..120, 0u8..60), 0..8),
+        threads in 1usize..6,
+        limit in 0usize..5,
+    ) {
+        let corpus = trajectories(&corpus);
+        let queries = trajectories(&queries);
+        let mut index = GeodabIndex::new(GeodabConfig::default());
+        for (i, t) in corpus.iter().enumerate() {
+            index.insert(TrajId::new(i as u32), t);
+        }
+        let mut options = SearchOptions::default().max_distance(0.9);
+        if limit > 0 {
+            options = options.limit(limit);
+        }
+        let batched = index.search_batch_threads(&queries, &options, threads);
+        let looped: Vec<_> = queries.iter().map(|q| index.search(q, &options)).collect();
+        prop_assert_eq!(batched, looped);
+    }
+}

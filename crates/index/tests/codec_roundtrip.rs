@@ -1,0 +1,145 @@
+//! Property tests pinning the binary persistence format before future
+//! versions extend it: `decode ∘ encode ≡ id` over random corpora, and
+//! malformed input (truncation, bad magic, header corruption) must
+//! surface as a [`CodecError`], never a panic or a silently-wrong index.
+
+use geodabs_core::{Fingerprints, GeodabConfig};
+use geodabs_index::codec::{decode, encode, CodecError};
+use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_traj::TrajId;
+use proptest::prelude::*;
+
+/// Builds an index holding the given raw fingerprint sequences (ids get
+/// a stride so they are non-dense, as after deletions).
+fn index_of(sets: &[Vec<u32>]) -> GeodabIndex {
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for (i, ordered) in sets.iter().enumerate() {
+        index.insert_fingerprints(
+            TrajId::new((i * 3 + 1) as u32),
+            Fingerprints::from_ordered(ordered.clone()),
+        );
+    }
+    index
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round trip preserves every fingerprint sequence (ordered view
+    /// included — the part a set-based bug would drop), the config and
+    /// the rankings.
+    #[test]
+    fn decode_encode_is_identity(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 0..40), 0..20),
+        query in proptest::collection::vec(0u32..100_000, 0..40),
+    ) {
+        let original = index_of(&sets);
+        let decoded = decode(&encode(&original)).expect("roundtrip");
+        prop_assert_eq!(decoded.len(), original.len());
+        prop_assert_eq!(decoded.term_count(), original.term_count());
+        prop_assert_eq!(decoded.config(), original.config());
+        for (id, fp) in original.iter_fingerprints() {
+            prop_assert_eq!(decoded.fingerprints(id), Some(fp));
+        }
+        // Same bytes out again: encoding is deterministic.
+        prop_assert_eq!(encode(&decoded), encode(&original));
+        // And the decoded index ranks identically.
+        let query = Fingerprints::from_ordered(query);
+        for options in [
+            SearchOptions::default(),
+            SearchOptions::default().limit(3).max_distance(0.8),
+        ] {
+            prop_assert_eq!(
+                decoded.search_fingerprints(&query, &options),
+                original.search_fingerprints(&query, &options)
+            );
+        }
+    }
+
+    /// Every strict prefix of a valid encoding fails to decode with a
+    /// structured error — no panic, no partial index.
+    #[test]
+    fn truncation_always_errors(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..50_000, 0..20), 0..8),
+        cut_seed in 0usize..10_000,
+    ) {
+        let bytes = encode(&index_of(&sets));
+        let cut = cut_seed % bytes.len();
+        let err = decode(&bytes[..cut]).expect_err("truncated input must fail");
+        prop_assert!(
+            matches!(err, CodecError::Truncated | CodecError::BadMagic),
+            "cut at {}: {:?}", cut, err
+        );
+    }
+
+    /// Corrupting the magic is always rejected as `BadMagic`.
+    #[test]
+    fn bad_magic_always_errors(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..50_000, 0..10), 0..4),
+        byte in 0usize..4,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode(&index_of(&sets));
+        bytes[byte] ^= xor;
+        prop_assert_eq!(decode(&bytes).err(), Some(CodecError::BadMagic));
+    }
+
+    /// Arbitrary bit flips anywhere in the stream never panic: they
+    /// either decode (the flip hit fingerprint payload, yielding a
+    /// different but well-formed index) or fail with a codec error.
+    #[test]
+    fn random_corruption_never_panics(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..50_000, 0..10), 1..6),
+        offset_seed in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode(&index_of(&sets));
+        let offset = offset_seed % bytes.len();
+        bytes[offset] ^= xor;
+        match decode(&bytes) {
+            Ok(index) => {
+                // Whatever decoded is internally consistent.
+                prop_assert!(index.len() <= sets.len());
+            }
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
+/// Fixed adversarial cases that random corruption is unlikely to hit.
+#[test]
+fn crafted_length_prefixes_are_rejected() {
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    index.insert_fingerprints(TrajId::new(0), Fingerprints::from_ordered(vec![1, 2, 3]));
+    let bytes = encode(&index);
+    // The per-entry fingerprint count sits right after the entry id;
+    // inflate it so it claims far more payload than the stream holds.
+    let count_offset = 4 + 2 + 10 + 8 + 4;
+    let mut crafted = bytes.clone();
+    crafted[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(decode(&crafted).err(), Some(CodecError::Truncated));
+
+    // An entry-count header promising more records than exist.
+    let mut crafted = bytes;
+    let count_offset = 4 + 2 + 10;
+    crafted[count_offset..count_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(decode(&crafted).err(), Some(CodecError::Truncated));
+}
+
+#[test]
+fn empty_input_and_foreign_files_are_rejected() {
+    assert_eq!(decode(b"").err(), Some(CodecError::BadMagic));
+    assert_eq!(decode(b"GDA").err(), Some(CodecError::BadMagic));
+    assert_eq!(
+        decode(b"PK\x03\x04zipfile").err(),
+        Some(CodecError::BadMagic)
+    );
+    // Valid magic, then nothing: truncated header.
+    assert_eq!(decode(b"GDAB").err(), Some(CodecError::Truncated));
+}

@@ -28,7 +28,7 @@ fn cluster_scales_out_and_in_without_changing_answers() {
     let ds = dataset();
     let items: Vec<(TrajId, _)> = ds.records().iter().map(|r| (r.id, &r.trajectory)).collect();
     let mut cluster = ClusterIndex::new(GeodabConfig::default(), 10_000, 4).expect("valid");
-    cluster.insert_batch(&items, 4);
+    cluster.insert_batch_threads(&items, 4);
     let before: Vec<_> = ds
         .queries()
         .iter()

@@ -179,7 +179,7 @@ fn cluster_batch_insert_resolves_duplicate_ids_like_sequential_insert() {
     ];
     for threads in [1usize, 2, 4] {
         let mut cluster = ClusterIndex::new(GeodabConfig::default(), 10_000, 10).expect("valid");
-        cluster.insert_batch(&items, threads);
+        cluster.insert_batch_threads(&items, threads);
         assert_eq!(cluster.len(), 2);
         let far_hits = cluster.search(&far, &SearchOptions::default());
         assert!(
@@ -210,4 +210,120 @@ fn batch_insert_default_equals_sequential() {
         batched.search(&query, &SearchOptions::default()),
         sequential.search(&query, &SearchOptions::default())
     );
+}
+
+/// Batch ingest ≡ a sequential insert loop, and batch search ≡ a
+/// sequential query loop, on any backend, at several explicit thread
+/// counts. Runs against all three index families below.
+fn batch_paths_match_sequential<I, F>(make: F)
+where
+    I: TrajectoryIndex + Sync,
+    F: Fn() -> I,
+{
+    let items = sample_items();
+    let refs: Vec<(TrajId, &Trajectory)> = items.iter().map(|(id, t)| (*id, t)).collect();
+    let queries: Vec<Trajectory> = vec![
+        eastward(40, 0.0),
+        eastward(40, 0.0).reversed(),
+        eastward(50, 1_000.0),
+        eastward(40, 20_000.0),
+        eastward(3, 0.0), // too short to fingerprint
+    ];
+    let mut sequential = make();
+    for (id, t) in &items {
+        sequential.insert(*id, t);
+    }
+    for options in [
+        SearchOptions::default(),
+        SearchOptions::default().limit(2),
+        SearchOptions::default().max_distance(0.5).limit(1),
+    ] {
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| sequential.search(q, &options))
+            .collect();
+        let mut batched = make();
+        batched.insert_batch(refs.iter().copied());
+        assert_eq!(batched.len(), sequential.len());
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                batched.search_batch_threads(&queries, &options, threads),
+                expected,
+                "search_batch at {threads} threads, options {options:?}"
+            );
+        }
+        assert_eq!(batched.search_batch(&queries, &options), expected);
+    }
+}
+
+#[test]
+fn geodab_batch_paths_match_sequential() {
+    batch_paths_match_sequential(|| GeodabIndex::new(GeodabConfig::default()));
+}
+
+#[test]
+fn geohash_batch_paths_match_sequential() {
+    batch_paths_match_sequential(|| GeohashIndex::new(36));
+}
+
+#[test]
+fn cluster_batch_paths_match_sequential() {
+    batch_paths_match_sequential(|| {
+        ClusterIndex::new(GeodabConfig::default(), 10_000, 10).expect("valid topology")
+    });
+}
+
+#[test]
+fn explicit_thread_batch_insert_equals_sequential_on_every_backend() {
+    let items = sample_items();
+    let refs: Vec<(TrajId, &Trajectory)> = items.iter().map(|(id, t)| (*id, t)).collect();
+    let query = eastward(40, 0.0);
+
+    let mut sequential = GeodabIndex::new(GeodabConfig::default());
+    for (id, t) in &items {
+        sequential.insert(*id, t);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let mut batched = GeodabIndex::new(GeodabConfig::default());
+        batched.insert_batch_threads(&refs, threads);
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.term_count(), sequential.term_count());
+        assert_eq!(
+            batched.search(&query, &SearchOptions::default()),
+            sequential.search(&query, &SearchOptions::default()),
+            "geodab at {threads} threads"
+        );
+    }
+
+    let mut sequential = GeohashIndex::new(36);
+    for (id, t) in &items {
+        sequential.insert(*id, t);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let mut batched = GeohashIndex::new(36);
+        batched.insert_batch_threads(&refs, threads);
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.term_count(), sequential.term_count());
+        assert_eq!(
+            batched.search(&query, &SearchOptions::default()),
+            sequential.search(&query, &SearchOptions::default()),
+            "geohash at {threads} threads"
+        );
+    }
+
+    let mut sequential = ClusterIndex::new(GeodabConfig::default(), 10_000, 10).expect("valid");
+    for (id, t) in &items {
+        sequential.insert(*id, t);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let mut batched = ClusterIndex::new(GeodabConfig::default(), 10_000, 10).expect("valid");
+        batched.insert_batch_threads(&refs, threads);
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.postings_per_node(), sequential.postings_per_node());
+        assert_eq!(
+            batched.search(&query, &SearchOptions::default()),
+            sequential.search(&query, &SearchOptions::default()),
+            "cluster at {threads} threads"
+        );
+    }
 }

@@ -138,7 +138,14 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 /// Types with a canonical full-domain strategy, for [`any`].
 pub trait Arbitrary: Sized {
