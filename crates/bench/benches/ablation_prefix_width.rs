@@ -26,8 +26,9 @@ fn main() {
         &["prefix bits", "R-precision", "shards/query", "nodes/query"],
     );
     for prefix_bits in [8u8, 12, 16, 20, 24] {
-        let config = GeodabConfig::default()
-            .with_prefix_bits(prefix_bits)
+        let config = GeodabConfig::builder()
+            .prefix_bits(prefix_bits)
+            .build()
             .expect("widths are valid");
         let mut cluster = ClusterIndex::new(config, 10_000, 10).expect("valid cluster");
         for r in ds.records() {

@@ -20,8 +20,9 @@ fn main() {
 
     let mut curves_per_depth = Vec::new();
     for &depth in &depths {
-        let config = GeodabConfig::default()
-            .with_normalization_depth(depth)
+        let config = GeodabConfig::builder()
+            .normalization_depth(depth)
+            .build()
             .expect("depths are valid");
         let index = build_geodab_index(&ds, config);
         let mut curves = Vec::new();

@@ -37,6 +37,7 @@
 use geodabs_core::GeodabConfig;
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_gen::sampler::SamplerConfig;
+use geodabs_index::store::Persist;
 use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
 use geodabs_roadnet::generators::{grid_network, GridConfig};
 use geodabs_traj::{TrajId, Trajectory};
@@ -155,6 +156,9 @@ pub fn catalog() -> Vec<Scenario> {
     let mut scenarios = vec![
         Scenario::new("micro", Preset::DenseUrban, 40, 4, 7),
         Scenario::new("smoke", Preset::DenseUrban, 2_000, 40, 42),
+        // Snapshot restore vs re-ingest on the 10k preset; runs through
+        // `run_cold_start` instead of `run_scenario`.
+        Scenario::new(COLD_START, Preset::DenseUrban, 10_000, 50, 42),
     ];
     for (suffix, corpus, queries) in [
         ("1k", 1_000, 50),
@@ -186,6 +190,11 @@ pub fn catalog() -> Vec<Scenario> {
     }
     scenarios
 }
+
+/// The snapshot cold-start scenario's name; it measures save/load
+/// bandwidth and restore-vs-reingest speedup via [`run_cold_start`]
+/// rather than the throughput ladder of [`run_scenario`].
+pub const COLD_START: &str = "cold-start";
 
 /// Looks a scenario up by name.
 pub fn find(name: &str) -> Option<Scenario> {
@@ -489,6 +498,157 @@ pub fn run_scenario(scenario: &Scenario, threads: &[usize]) -> WorkloadReport {
     }
 }
 
+/// Everything one cold-start run measured: how fast engine state moves
+/// to and from its snapshot form, and how that compares to rebuilding
+/// the index from raw trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColdStartReport {
+    /// The scenario that ran (normally [`COLD_START`]).
+    pub scenario: Scenario,
+    /// The fingerprinting configuration used.
+    pub config: GeodabConfig,
+    /// Trajectories in the corpus.
+    pub trajectories: usize,
+    /// Total points across the corpus.
+    pub points: usize,
+    /// Distinct geodab terms after ingest.
+    pub distinct_terms: usize,
+    /// Seconds spent generating the dataset (not part of any rate).
+    pub generation_seconds: f64,
+    /// Worker threads used for the re-ingest build.
+    pub reingest_threads: usize,
+    /// Wall-clock seconds to build the index from raw trajectories.
+    pub reingest_seconds: f64,
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// Wall-clock seconds to serialize the snapshot.
+    pub save_seconds: f64,
+    /// Wall-clock seconds to materialize the index from the snapshot.
+    pub load_seconds: f64,
+    /// `reingest_seconds / load_seconds` — how much faster a cold start
+    /// from a snapshot is than re-ingesting the corpus.
+    pub restore_speedup: f64,
+    /// Whether the restored index answered every scenario query exactly
+    /// like the freshly built one.
+    pub consistent: bool,
+}
+
+impl ColdStartReport {
+    /// The canonical report file name: `BENCH_<scenario>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.scenario.name)
+    }
+
+    /// Snapshot serialization bandwidth in MB/s (decimal megabytes).
+    pub fn save_mb_per_s(&self) -> f64 {
+        self.snapshot_bytes as f64 / 1e6 / self.save_seconds.max(1e-9)
+    }
+
+    /// Snapshot materialization bandwidth in MB/s (decimal megabytes).
+    pub fn load_mb_per_s(&self) -> f64 {
+        self.snapshot_bytes as f64 / 1e6 / self.load_seconds.max(1e-9)
+    }
+
+    /// Serializes the report. Shares `schema_version` with the workload
+    /// report; the `kind` field marks the different shape, so the ingest
+    /// perf gate rejects a cold-start report as a baseline (it has no
+    /// `ingest.runs`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("kind", Json::Str("cold-start".into())),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("preset", Json::Str(self.scenario.preset.name().into())),
+            ("seed", Json::Num(self.scenario.seed as f64)),
+            (
+                "corpus",
+                Json::obj(vec![
+                    ("trajectories", Json::Num(self.trajectories as f64)),
+                    ("points", Json::Num(self.points as f64)),
+                    ("distinct_terms", Json::Num(self.distinct_terms as f64)),
+                    (
+                        "generation_seconds",
+                        Json::Num(round6(self.generation_seconds)),
+                    ),
+                ]),
+            ),
+            (
+                "snapshot",
+                Json::obj(vec![
+                    ("bytes", Json::Num(self.snapshot_bytes as f64)),
+                    ("save_seconds", Json::Num(round6(self.save_seconds))),
+                    ("save_mb_per_s", Json::Num(round3(self.save_mb_per_s()))),
+                    ("load_seconds", Json::Num(round6(self.load_seconds))),
+                    ("load_mb_per_s", Json::Num(round3(self.load_mb_per_s()))),
+                    ("reingest_threads", Json::Num(self.reingest_threads as f64)),
+                    ("reingest_seconds", Json::Num(round6(self.reingest_seconds))),
+                    ("restore_speedup", Json::Num(round3(self.restore_speedup))),
+                    ("consistent", Json::Bool(self.consistent)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs the cold-start scenario: build the index once from raw
+/// trajectories (timed re-ingest at `threads` workers), serialize it to a
+/// v2 snapshot, materialize it back, and verify the restored index
+/// answers every scenario query identically to the built one.
+///
+/// Deterministic workload, non-deterministic timings — run on quiet
+/// hardware for comparable numbers.
+pub fn run_cold_start(scenario: &Scenario, threads: usize) -> ColdStartReport {
+    let started = Instant::now();
+    let network = grid_network(&scenario.preset.grid(), scenario.seed);
+    let dataset_cfg = scenario.preset.dataset(scenario.corpus, scenario.queries);
+    let dataset = Dataset::generate(&network, &dataset_cfg, scenario.seed)
+        .expect("grid networks are always routable");
+    let generation_seconds = started.elapsed().as_secs_f64();
+
+    let items: Vec<(TrajId, &Trajectory)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let config = GeodabConfig::default();
+
+    let mut index = GeodabIndex::new(config);
+    let started = Instant::now();
+    index.insert_batch_threads(&items, threads.max(1));
+    let reingest_seconds = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let snapshot = index.to_snapshot();
+    let save_seconds = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let restored = GeodabIndex::from_snapshot(&snapshot).expect("own snapshot always loads");
+    let load_seconds = started.elapsed().as_secs_f64();
+
+    let options = SearchOptions::default().limit(10);
+    let consistent = restored.len() == index.len()
+        && restored.term_count() == index.term_count()
+        && dataset.queries().iter().all(|q| {
+            restored.search(&q.trajectory, &options) == index.search(&q.trajectory, &options)
+        });
+
+    ColdStartReport {
+        scenario: scenario.clone(),
+        config,
+        trajectories: dataset.records().len(),
+        points: dataset.total_points(),
+        distinct_terms: index.term_count(),
+        generation_seconds,
+        reingest_threads: threads.max(1),
+        reingest_seconds,
+        snapshot_bytes: snapshot.len(),
+        save_seconds,
+        load_seconds,
+        restore_speedup: reingest_seconds / load_seconds.max(1e-9),
+        consistent,
+    }
+}
+
 /// The CI perf gate's verdict: current vs baseline batch-ingest
 /// throughput, with the allowed regression applied.
 #[derive(Debug, Clone, PartialEq)]
@@ -500,7 +660,18 @@ pub struct GateVerdict {
     /// The floor the current run must clear:
     /// `baseline × (1 − max_regress_pct/100)`.
     pub floor: f64,
-    /// Whether the gate passes.
+    /// p95 query latency of the fresh run, milliseconds.
+    pub latency_p95: f64,
+    /// Baseline p95 latency, when the baseline records one (older or
+    /// hand-written baselines may not; the latency check is skipped
+    /// then).
+    pub latency_baseline_p95: Option<f64>,
+    /// The ceiling the current p95 must stay under:
+    /// `baseline_p95 × (1 + max_regress_pct/100)`.
+    pub latency_ceiling: Option<f64>,
+    /// Whether the gate passes: throughput at or above the floor **and**
+    /// — when the baseline records latency — p95 at or under the
+    /// ceiling.
     pub pass: bool,
 }
 
@@ -509,6 +680,7 @@ struct BaselineData {
     scenario: String,
     seed: f64,
     best_ingest: f64,
+    latency_p95: Option<f64>,
 }
 
 fn parse_baseline(baseline_text: &str) -> Result<BaselineData, String> {
@@ -542,10 +714,23 @@ fn parse_baseline(baseline_text: &str) -> Result<BaselineData, String> {
     if !best_ingest.is_finite() || best_ingest <= 0.0 {
         return Err("baseline: no positive ingest.runs[].traj_per_sec".into());
     }
+    // Latency is optional so minimal or pre-p95 baselines stay usable;
+    // when present it must be a sane positive number.
+    let latency_p95 = baseline
+        .get("query")
+        .and_then(|q| q.get("latency_ms"))
+        .and_then(|l| l.get("p95"))
+        .and_then(Json::as_f64);
+    if let Some(p95) = latency_p95 {
+        if !p95.is_finite() || p95 <= 0.0 {
+            return Err("baseline: query.latency_ms.p95 must be positive".into());
+        }
+    }
     Ok(BaselineData {
         scenario: scenario.to_string(),
         seed,
         best_ingest,
+        latency_p95,
     })
 }
 
@@ -597,7 +782,9 @@ pub fn preflight_gate(
 /// Compares a fresh report against a checked-in baseline `BENCH_*.json`
 /// (any report emitted by this harness is a valid baseline). The gate
 /// fails when the best batch-ingest throughput drops more than
-/// `max_regress_pct` percent below the baseline's.
+/// `max_regress_pct` percent below the baseline's, or — when the
+/// baseline records query latency — when the fresh p95 rises more than
+/// `max_regress_pct` percent above the baseline's.
 ///
 /// # Errors
 ///
@@ -613,11 +800,19 @@ pub fn check_gate(
     validate_gate(&report.scenario, &data, max_regress_pct)?;
     let current = report.best_ingest_throughput();
     let floor = data.best_ingest * (1.0 - max_regress_pct / 100.0);
+    let latency_p95 = report.latency.p95;
+    let latency_ceiling = data
+        .latency_p95
+        .map(|p95| p95 * (1.0 + max_regress_pct / 100.0));
+    let latency_pass = latency_ceiling.is_none_or(|ceiling| latency_p95 <= ceiling);
     Ok(GateVerdict {
         current,
         baseline: data.best_ingest,
         floor,
-        pass: current >= floor,
+        latency_p95,
+        latency_baseline_p95: data.latency_p95,
+        latency_ceiling,
+        pass: current >= floor && latency_pass,
     })
 }
 
@@ -704,6 +899,92 @@ mod tests {
         );
         assert_eq!(parsed.get("scenario").and_then(Json::as_str), Some("micro"));
         assert_eq!(report.file_name(), "BENCH_micro.json");
+    }
+
+    #[test]
+    fn cold_start_scenario_is_in_the_catalog() {
+        let scenario = find(COLD_START).expect("catalog has cold-start");
+        assert_eq!(scenario.preset, Preset::DenseUrban);
+        assert_eq!(scenario.corpus, 10_000);
+    }
+
+    #[test]
+    fn cold_start_runs_and_serializes_a_valid_report() {
+        // A scaled-down twin of the real scenario so the test suite stays
+        // fast; the CLI runs the 10k catalog entry.
+        let scenario = Scenario {
+            name: "cold-start".into(),
+            preset: Preset::DenseUrban,
+            corpus: 60,
+            queries: 6,
+            seed: 7,
+        };
+        let report = run_cold_start(&scenario, 2);
+        assert_eq!(report.trajectories, 60);
+        assert!(report.consistent, "restored index must answer identically");
+        assert!(report.snapshot_bytes > 0);
+        assert!(report.save_seconds >= 0.0 && report.load_seconds >= 0.0);
+        assert!(report.restore_speedup > 0.0);
+        assert!(report.save_mb_per_s() > 0.0);
+        assert!(report.load_mb_per_s() > 0.0);
+        let text = report.to_json().pretty();
+        let parsed = Json::parse(&text).expect("report is valid JSON");
+        assert_eq!(
+            parsed.get("kind").and_then(Json::as_str),
+            Some("cold-start")
+        );
+        assert_eq!(
+            parsed
+                .get("snapshot")
+                .and_then(|s| s.get("consistent"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(report.file_name(), "BENCH_cold-start.json");
+        // A cold-start report is not a valid ingest-gate baseline.
+        let scenario = find("micro").unwrap();
+        let workload_report = run_scenario(&scenario, &[1]);
+        assert!(check_gate(&workload_report, &text, 30.0).is_err());
+    }
+
+    #[test]
+    fn latency_gate_checks_p95_against_the_baseline() {
+        let scenario = find("micro").expect("catalog has micro");
+        let report = run_scenario(&scenario, &[1]);
+        let own = report.to_json().pretty();
+
+        // Against its own numbers both checks pass and the ceiling is
+        // recorded.
+        let verdict = check_gate(&report, &own, 30.0).expect("valid baseline");
+        assert!(verdict.pass);
+        let baseline_p95 = verdict.latency_baseline_p95.expect("baseline has p95");
+        assert!((verdict.latency_ceiling.unwrap() - baseline_p95 * 1.3).abs() < 1e-9);
+
+        // An impossibly fast baseline p95 fails the latency check even
+        // with throughput far above the floor.
+        let tight = r#"{"schema_version": 1, "scenario": "micro", "seed": 7,
+                        "ingest": {"runs": [{"threads": 1, "traj_per_sec": 0.001}]},
+                        "query": {"latency_ms": {"p95": 1e-12}}}"#;
+        let verdict = check_gate(&report, tight, 30.0).expect("valid baseline");
+        assert!(!verdict.pass, "{verdict:?}");
+        assert!(verdict.current >= verdict.floor, "throughput was fine");
+        assert!(verdict.latency_p95 > verdict.latency_ceiling.unwrap());
+
+        // A baseline without latency skips the check (still gating
+        // throughput).
+        let no_latency = r#"{"schema_version": 1, "scenario": "micro", "seed": 7,
+                             "ingest": {"runs": [{"threads": 1, "traj_per_sec": 0.001}]}}"#;
+        let verdict = check_gate(&report, no_latency, 30.0).expect("valid baseline");
+        assert!(verdict.pass);
+        assert!(verdict.latency_baseline_p95.is_none());
+        assert!(verdict.latency_ceiling.is_none());
+
+        // A garbage p95 is rejected in parsing, not silently ignored.
+        let bad = no_latency.replace(
+            r#""ingest""#,
+            r#""query": {"latency_ms": {"p95": -3}}, "ingest""#,
+        );
+        assert!(check_gate(&report, &bad, 30.0).unwrap_err().contains("p95"));
     }
 
     #[test]

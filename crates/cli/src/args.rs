@@ -16,6 +16,14 @@ pub enum ParseError {
     /// A flag the subcommand does not understand (likely a typo that
     /// would otherwise silently change behavior).
     UnknownFlag(String),
+    /// An action token the subcommand does not understand (e.g.
+    /// `snapshot savee`), or a missing one where required.
+    UnknownAction {
+        /// The subcommand.
+        command: String,
+        /// The offending action, if any was given.
+        action: Option<String>,
+    },
     /// The same flag was given twice.
     DuplicateFlag(String),
     /// A flag value failed to parse.
@@ -38,6 +46,10 @@ impl fmt::Display for ParseError {
                 write!(f, "malformed flag {s:?} (expected --name value)")
             }
             ParseError::UnknownFlag(s) => write!(f, "unknown flag --{s}"),
+            ParseError::UnknownAction { command, action } => match action {
+                Some(action) => write!(f, "unknown action {action:?} for `{command}`"),
+                None => write!(f, "`{command}` needs an action (e.g. `{command} save`)"),
+            },
             ParseError::DuplicateFlag(s) => write!(f, "flag --{s} given more than once"),
             ParseError::InvalidValue { flag, value } => {
                 write!(f, "invalid value {value:?} for --{flag}")
@@ -49,34 +61,58 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
-/// The parsed command line: a subcommand plus `--flag value` pairs.
+/// The parsed command line: a subcommand, an optional action token (for
+/// commands like `snapshot save`) plus `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     command: String,
+    action: Option<String>,
     flags: HashMap<String, String>,
 }
 
 /// Subcommands the binary understands.
 pub const COMMANDS: &[&str] = &[
-    "build", "stats", "search", "tune", "world", "export", "bench", "help",
+    "build", "stats", "search", "tune", "world", "export", "bench", "snapshot", "help",
 ];
+
+/// Commands taking a bare action token before the flags, with the actions
+/// they accept.
+const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load", "inspect"])];
 
 impl Args {
     /// Parses a raw argument list (without the program name).
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseError`] on unknown commands, malformed or
-    /// duplicated flags.
+    /// Returns a [`ParseError`] on unknown commands or actions, malformed
+    /// or duplicated flags.
     pub fn parse<I, S>(argv: I) -> Result<Args, ParseError>
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut iter = argv.into_iter().map(Into::into);
+        let mut iter = argv.into_iter().map(Into::into).peekable();
         let command = iter.next().ok_or(ParseError::MissingCommand)?;
         if !COMMANDS.contains(&command.as_str()) {
             return Err(ParseError::UnknownCommand(command));
+        }
+        let mut action = None;
+        if let Some((_, allowed)) = ACTIONS.iter().find(|&&(c, _)| c == command) {
+            // The action is the first token when it does not look like a
+            // flag; it is validated here so a typo'd action fails loudly.
+            let candidate = iter.peek().filter(|a| !a.starts_with("--")).cloned();
+            match candidate {
+                Some(a) if allowed.contains(&a.as_str()) => {
+                    iter.next();
+                    action = Some(a);
+                }
+                other => {
+                    return Err(ParseError::UnknownAction {
+                        command,
+                        action: other,
+                    });
+                }
+            }
         }
         let mut flags = HashMap::new();
         while let Some(flag) = iter.next() {
@@ -94,7 +130,11 @@ impl Args {
                 return Err(ParseError::DuplicateFlag(name));
             }
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            action,
+            flags,
+        })
     }
 
     /// The subcommand.
@@ -102,9 +142,20 @@ impl Args {
         &self.command
     }
 
+    /// The action token, for subcommands that take one (e.g.
+    /// `snapshot save`).
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
+    }
+
     /// Whether any flag was given at all.
     pub fn has_flags(&self) -> bool {
         !self.flags.is_empty()
+    }
+
+    /// Whether a specific flag was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
     }
 
     /// Rejects flags outside `allowed` — a typo'd flag must fail loudly
@@ -246,6 +297,45 @@ mod tests {
         assert!(ParseError::UnknownFlag("x".into())
             .to_string()
             .contains("--x"));
+    }
+
+    #[test]
+    fn snapshot_actions_parse_and_validate() {
+        let a = Args::parse(["snapshot", "save", "--out", "x.gdab"]).unwrap();
+        assert_eq!(a.command(), "snapshot");
+        assert_eq!(a.action(), Some("save"));
+        assert_eq!(a.string_required("out").unwrap(), "x.gdab");
+        // A typo'd or missing action fails loudly instead of being read
+        // as a flag soup.
+        assert!(matches!(
+            Args::parse(["snapshot", "savee"]),
+            Err(ParseError::UnknownAction {
+                action: Some(_),
+                ..
+            })
+        ));
+        assert!(matches!(
+            Args::parse(["snapshot"]),
+            Err(ParseError::UnknownAction { action: None, .. })
+        ));
+        assert!(matches!(
+            Args::parse(["snapshot", "--out", "x"]),
+            Err(ParseError::UnknownAction { .. })
+        ));
+        // Action-less commands stay action-less.
+        assert_eq!(Args::parse(["world"]).unwrap().action(), None);
+        assert!(ParseError::UnknownAction {
+            command: "snapshot".into(),
+            action: None
+        }
+        .to_string()
+        .contains("needs an action"));
+        assert!(ParseError::UnknownAction {
+            command: "snapshot".into(),
+            action: Some("savee".into())
+        }
+        .to_string()
+        .contains("savee"));
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! The subcommand implementations.
 
+use geodabs_cluster::ClusterIndex;
 use geodabs_core::GeodabConfig;
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_gen::world::{WorldActivity, WorldConfig};
+use geodabs_index::store::{self, BackendKind, Persist, SnapshotReader};
 use geodabs_index::tuning::{hill_climb, TuningSample};
-use geodabs_index::{codec, GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_index::{codec, GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
 use geodabs_roadnet::generators::{grid_network, GridConfig};
 use geodabs_roadnet::RoadNetwork;
 use std::collections::HashSet;
 use std::error::Error;
+use std::time::Instant;
 
 use crate::Args;
 
@@ -27,6 +30,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Erro
         "world" => world(args, out),
         "export" => export(args, out),
         "bench" => bench(args, out),
+        "snapshot" => snapshot(args, out),
         "help" => {
             write!(out, "{}", HELP)?;
             Ok(())
@@ -49,6 +53,10 @@ USAGE:
   geodabs export --out FILE.csv [--routes N] [--per-direction M] [--seed S]
   geodabs bench  [--scenario NAME] [--threads T] [--out DIR] [--seed S]
                  [--baseline FILE] [--max-regress PCT]
+  geodabs snapshot save    --out FILE [--backend geodab|geohash|cluster]
+                           [--scenario NAME] [--seed S] [--nodes N] [--shards P]
+  geodabs snapshot load    --in FILE [--verify rebuild] [--scenario NAME] [--seed S]
+  geodabs snapshot inspect --in FILE
   geodabs help
 
 Datasets are synthetic and reproducible: the same (routes, per-direction,
@@ -59,7 +67,17 @@ regenerate its query workload against a persisted index.
 the scenario at thread counts 1,2,4,8 (capped by --threads) and writes a
 machine-readable BENCH_<scenario>.json report. With --baseline it also
 enforces the CI perf gate: the run fails if batch-ingest throughput
-drops more than --max-regress percent (default 30) below the baseline's.
+drops more than --max-regress percent (default 30) below the baseline's,
+or if query-latency p95 rises more than the same percentage above it.
+The special `cold-start` scenario instead measures snapshot save/load
+bandwidth and the restore-vs-reingest speedup.
+
+`snapshot save` ingests a bench scenario's corpus (default: micro) into
+the chosen backend and writes a GDAB v2 snapshot; `load` restores it
+(any backend, v1 blobs included) and with `--verify rebuild` re-ingests
+the same corpus and fails unless both answer every scenario query
+identically; `inspect` prints the container header and section table
+without materializing the index.
 ";
 
 fn network(seed: u64) -> RoadNetwork {
@@ -261,6 +279,68 @@ fn bench(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
     let out_dir = args.string_or("out", ".");
     let max_regress = args.u64_or("max-regress", 30)? as f64;
 
+    // The cold-start scenario measures snapshot save/load instead of the
+    // ingest/query ladder and emits a differently-shaped report, so it
+    // cannot gate against an ingest baseline.
+    if scenario.name == workload::COLD_START {
+        // Fail loudly on gate flags instead of silently skipping the
+        // gate: a CI script passing them would otherwise read as
+        // "regression checked" while nothing was enforced.
+        if args.has("baseline") || args.has("max-regress") {
+            return Err(
+                "the cold-start scenario has no ingest gate; run it without \
+                        --baseline/--max-regress"
+                    .into(),
+            );
+        }
+        writeln!(
+            out,
+            "scenario {} ({}, corpus {}, {} queries, seed {}), reingest threads {}",
+            scenario.name,
+            scenario.preset.name(),
+            scenario.corpus,
+            scenario.queries,
+            scenario.seed,
+            max_threads.max(1)
+        )?;
+        let report = workload::run_cold_start(&scenario, max_threads);
+        writeln!(
+            out,
+            "corpus            {} trajectories, {} points, {} distinct terms ({:.2}s to generate)",
+            report.trajectories, report.points, report.distinct_terms, report.generation_seconds
+        )?;
+        writeln!(
+            out,
+            "reingest          {:>9.3}s  ({} threads)",
+            report.reingest_seconds, report.reingest_threads
+        )?;
+        writeln!(
+            out,
+            "snapshot save     {:>9.3}s  {:>8.1} MB/s  ({} bytes)",
+            report.save_seconds,
+            report.save_mb_per_s(),
+            report.snapshot_bytes
+        )?;
+        writeln!(
+            out,
+            "snapshot load     {:>9.3}s  {:>8.1} MB/s",
+            report.load_seconds,
+            report.load_mb_per_s()
+        )?;
+        writeln!(
+            out,
+            "restore speedup   {:.1}× faster than re-ingest",
+            report.restore_speedup
+        )?;
+        let path = std::path::Path::new(&out_dir).join(report.file_name());
+        std::fs::write(&path, report.to_json().pretty())?;
+        writeln!(out, "report            {}", path.display())?;
+        if !report.consistent {
+            return Err("restored index diverged from the freshly built index".into());
+        }
+        return Ok(());
+    }
+
     // Gate inputs are validated *before* the (possibly minutes-long)
     // measurement so an unreadable baseline or a vacuous allowance fails
     // in milliseconds.
@@ -327,15 +407,297 @@ fn bench(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
             "perf gate         current {:.1} traj/s vs baseline {:.1} (floor {:.1}, -{max_regress}%)",
             verdict.current, verdict.baseline, verdict.floor
         )?;
+        match (verdict.latency_baseline_p95, verdict.latency_ceiling) {
+            (Some(baseline_p95), Some(ceiling)) => writeln!(
+                out,
+                "perf gate         current p95 {:.3} ms vs baseline {baseline_p95:.3} \
+                 (ceiling {ceiling:.3}, +{max_regress}%)",
+                verdict.latency_p95
+            )?,
+            _ => writeln!(
+                out,
+                "perf gate         baseline records no query latency; p95 check skipped"
+            )?,
+        }
         if !verdict.pass {
+            if verdict.current < verdict.floor {
+                return Err(format!(
+                    "perf gate FAILED: ingest throughput {:.1} traj/s is below the floor {:.1} \
+                     ({:.1} baseline − {max_regress}%)",
+                    verdict.current, verdict.floor, verdict.baseline
+                )
+                .into());
+            }
             return Err(format!(
-                "perf gate FAILED: ingest throughput {:.1} traj/s is below the floor {:.1} \
-                 ({:.1} baseline − {max_regress}%)",
-                verdict.current, verdict.floor, verdict.baseline
+                "perf gate FAILED: query-latency p95 {:.3} ms is above the ceiling {:.3} ms \
+                 ({:.3} baseline + {max_regress}%)",
+                verdict.latency_p95,
+                verdict.latency_ceiling.unwrap_or(f64::NAN),
+                verdict.latency_baseline_p95.unwrap_or(f64::NAN)
             )
             .into());
         }
         writeln!(out, "perf gate         PASS")?;
+    }
+    Ok(())
+}
+
+fn snapshot(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    match args.action().expect("parser guarantees a snapshot action") {
+        "save" => snapshot_save(args, out),
+        "load" => snapshot_load(args, out),
+        "inspect" => snapshot_inspect(args, out),
+        other => unreachable!("parser rejects unknown action {other}"),
+    }
+}
+
+/// Resolves a bench scenario (for `snapshot save`/`load --verify`) and
+/// generates its reproducible dataset.
+fn scenario_dataset(
+    args: &Args,
+) -> Result<(geodabs_bench::workload::Scenario, Dataset), Box<dyn Error>> {
+    use geodabs_bench::workload;
+    let name = args.string_or("scenario", "micro");
+    let mut scenario = workload::find(&name)
+        .ok_or_else(|| format!("unknown scenario {name:?} (run `geodabs bench` to list)"))?;
+    scenario.seed = args.u64_or("seed", scenario.seed)?;
+    let network = grid_network(&scenario.preset.grid(), scenario.seed);
+    let dataset = Dataset::generate(
+        &network,
+        &scenario.preset.dataset(scenario.corpus, scenario.queries),
+        scenario.seed,
+    )?;
+    Ok((scenario, dataset))
+}
+
+fn snapshot_save(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    args.reject_unknown_flags(&["backend", "out", "scenario", "seed", "nodes", "shards"])?;
+    let path = args.string_required("out")?;
+    let backend = args.string_or("backend", "geodab");
+    // Validate the backend *before* the (possibly minutes-long) corpus
+    // generation, so a typo fails in milliseconds.
+    if !["geodab", "geohash", "cluster"].contains(&backend.as_str()) {
+        return Err(format!("unknown backend {backend:?} (geodab|geohash|cluster)").into());
+    }
+    let (scenario, dataset) = scenario_dataset(args)?;
+    let items: Vec<_> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let config = GeodabConfig::default();
+
+    let started = Instant::now();
+    let (len, terms, written) = match backend.as_str() {
+        "geodab" => {
+            let mut index = GeodabIndex::new(config);
+            index.insert_batch(items);
+            (index.len(), index.term_count(), index.save_to(&path)?)
+        }
+        "geohash" => {
+            let mut index = GeohashIndex::new(config.normalization_depth());
+            index.insert_batch(items);
+            (index.len(), index.term_count(), index.save_to(&path)?)
+        }
+        "cluster" => {
+            let shards = args.u64_or("shards", 10_000)?;
+            let nodes = args.usize_or("nodes", 8)?;
+            let mut index = ClusterIndex::new(config, shards, nodes)?;
+            index.insert_batch(items);
+            (index.len(), index.active_shards(), index.save_to(&path)?)
+        }
+        other => {
+            return Err(format!("unknown backend {other:?} (geodab|geohash|cluster)").into());
+        }
+    };
+    let seconds = started.elapsed().as_secs_f64();
+    writeln!(
+        out,
+        "saved {backend} snapshot of scenario {} ({len} trajectories, {terms} terms/shards) \
+         to {path}: {written} bytes in {seconds:.3}s",
+        scenario.name
+    )?;
+    Ok(())
+}
+
+/// A snapshot materialized without knowing its backend up front.
+enum Loaded {
+    Geodab(GeodabIndex),
+    Geohash(GeohashIndex),
+    Cluster(ClusterIndex),
+}
+
+impl Loaded {
+    fn from_bytes(bytes: &[u8]) -> Result<Loaded, Box<dyn Error>> {
+        match store::peek_version(bytes)? {
+            store::VERSION_V1 => Ok(Loaded::Geodab(codec::decode(bytes)?)),
+            _ => {
+                let reader = SnapshotReader::parse(bytes)?;
+                match reader.backend() {
+                    Some(BackendKind::Geodab) => {
+                        Ok(Loaded::Geodab(GeodabIndex::from_snapshot(bytes)?))
+                    }
+                    Some(BackendKind::Geohash) => {
+                        Ok(Loaded::Geohash(GeohashIndex::from_snapshot(bytes)?))
+                    }
+                    Some(BackendKind::Cluster) => {
+                        Ok(Loaded::Cluster(ClusterIndex::from_snapshot(bytes)?))
+                    }
+                    None => Err(format!("unknown backend tag {}", reader.backend_tag()).into()),
+                }
+            }
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        match self {
+            Loaded::Geodab(_) => "geodab",
+            Loaded::Geohash(_) => "geohash",
+            Loaded::Cluster(_) => "cluster",
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Loaded::Geodab(index) => index.len(),
+            Loaded::Geohash(index) => index.len(),
+            Loaded::Cluster(index) => index.len(),
+        }
+    }
+}
+
+fn snapshot_load(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    args.reject_unknown_flags(&["in", "verify", "scenario", "seed"])?;
+    let path = args.string_required("in")?;
+    let bytes = std::fs::read(&path)?;
+    let started = Instant::now();
+    let loaded = Loaded::from_bytes(&bytes)?;
+    let seconds = started.elapsed().as_secs_f64();
+    writeln!(
+        out,
+        "loaded {} snapshot: {} trajectories from {} bytes in {seconds:.3}s ({:.1} MB/s)",
+        loaded.backend_name(),
+        loaded.len(),
+        bytes.len(),
+        bytes.len() as f64 / 1e6 / seconds.max(1e-9)
+    )?;
+
+    match args.string_or("verify", "").as_str() {
+        "" => Ok(()),
+        "rebuild" => {
+            let (scenario, dataset) = scenario_dataset(args)?;
+            let items: Vec<_> = dataset
+                .records()
+                .iter()
+                .map(|r| (r.id, &r.trajectory))
+                .collect();
+            let options = SearchOptions::default().limit(10);
+            // Re-ingest the same corpus into a fresh index of the same
+            // backend and demand identical answers on every scenario
+            // query.
+            fn mismatches_against<I: TrajectoryIndex, J: TrajectoryIndex>(
+                dataset: &Dataset,
+                options: &SearchOptions,
+                restored: &I,
+                fresh: &J,
+            ) -> usize {
+                dataset
+                    .queries()
+                    .iter()
+                    .filter(|q| {
+                        restored.search(&q.trajectory, options)
+                            != fresh.search(&q.trajectory, options)
+                    })
+                    .count()
+            }
+            let mismatches = match &loaded {
+                Loaded::Geodab(index) => {
+                    let mut fresh = GeodabIndex::new(*index.config());
+                    fresh.insert_batch(items);
+                    if fresh.len() != index.len() || fresh.term_count() != index.term_count() {
+                        return Err("rebuilt index shape differs from the snapshot".into());
+                    }
+                    mismatches_against(&dataset, &options, index, &fresh)
+                }
+                Loaded::Geohash(index) => {
+                    let mut fresh = GeohashIndex::new(index.depth());
+                    fresh.insert_batch(items);
+                    if fresh.len() != index.len() || fresh.term_count() != index.term_count() {
+                        return Err("rebuilt index shape differs from the snapshot".into());
+                    }
+                    mismatches_against(&dataset, &options, index, &fresh)
+                }
+                Loaded::Cluster(index) => {
+                    let mut fresh = ClusterIndex::new(
+                        *index.config(),
+                        index.router().num_shards(),
+                        index.router().num_nodes(),
+                    )?;
+                    fresh.insert_batch(items);
+                    if fresh.len() != index.len() {
+                        return Err("rebuilt cluster shape differs from the snapshot".into());
+                    }
+                    mismatches_against(&dataset, &options, index, &fresh)
+                }
+            };
+            if mismatches > 0 {
+                return Err(format!(
+                    "snapshot verify FAILED: {mismatches} of {} queries answered differently \
+                     than a fresh rebuild of scenario {}",
+                    dataset.queries().len(),
+                    scenario.name
+                )
+                .into());
+            }
+            writeln!(
+                out,
+                "verify            PASS ({} queries identical to a fresh rebuild of {})",
+                dataset.queries().len(),
+                scenario.name
+            )?;
+            Ok(())
+        }
+        other => Err(format!("invalid value {other:?} for --verify (expected \"rebuild\")").into()),
+    }
+}
+
+fn snapshot_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    args.reject_unknown_flags(&["in"])?;
+    let path = args.string_required("in")?;
+    let bytes = std::fs::read(&path)?;
+    let version = store::peek_version(&bytes)?;
+    writeln!(out, "snapshot file     {path}")?;
+    writeln!(out, "size              {} bytes", bytes.len())?;
+    writeln!(out, "format version    {version}")?;
+    if version == store::VERSION_V1 {
+        writeln!(
+            out,
+            "layout            legacy v1 geodab codec (raw fingerprint sequences, \
+             engine state rebuilt on load)"
+        )?;
+        return Ok(());
+    }
+    let reader = SnapshotReader::parse(&bytes)?;
+    match reader.backend() {
+        Some(kind) => writeln!(out, "backend           {kind}")?,
+        None => writeln!(
+            out,
+            "backend           unknown (tag {})",
+            reader.backend_tag()
+        )?,
+    }
+    writeln!(
+        out,
+        "sections          {} (all checksums OK)",
+        reader.sections().len()
+    )?;
+    for &(id, payload) in reader.sections() {
+        writeln!(
+            out,
+            "  {:<8} {:>12} bytes",
+            store::section_name(id),
+            payload.len()
+        )?;
     }
     Ok(())
 }
@@ -556,7 +918,27 @@ mod tests {
             Some(1.0)
         );
 
-        // A fresh run gates cleanly against the report it just produced.
+        // A fresh run gates cleanly against the report it just produced —
+        // with the baseline's p95 relaxed, since micro-scale latency on a
+        // loaded test machine is far too noisy to gate the test suite on
+        // (the workload tests cover the latency gate deterministically).
+        let relaxed: String = text
+            .lines()
+            .map(|line| {
+                if let Some(idx) = line.find("\"p95\":") {
+                    let comma = if line.trim_end().ends_with(',') {
+                        ","
+                    } else {
+                        ""
+                    };
+                    format!("{}\"p95\": 1000000{comma}\n", &line[..idx])
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        let relaxed_path = dir.join("relaxed.json");
+        std::fs::write(&relaxed_path, relaxed).unwrap();
         let out = run_to_string(&[
             "bench",
             "--scenario",
@@ -566,7 +948,7 @@ mod tests {
             "--out",
             dir.to_str().unwrap(),
             "--baseline",
-            report_path.to_str().unwrap(),
+            relaxed_path.to_str().unwrap(),
             "--max-regress",
             "95",
         ])
@@ -609,6 +991,132 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("max regression"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_save_load_inspect_roundtrip_all_backends() {
+        for backend in ["geodab", "geohash", "cluster"] {
+            let path = tmp(&format!("snap-{backend}.gdab"));
+            let out = run_to_string(&[
+                "snapshot",
+                "save",
+                "--backend",
+                backend,
+                "--scenario",
+                "micro",
+                "--out",
+                &path,
+            ])
+            .unwrap();
+            assert!(out.contains(&format!("saved {backend} snapshot")), "{out}");
+            assert!(out.contains("40 trajectories"), "{out}");
+
+            let out =
+                run_to_string(&["snapshot", "load", "--in", &path, "--scenario", "micro"]).unwrap();
+            assert!(out.contains(&format!("loaded {backend} snapshot")), "{out}");
+            assert!(out.contains("40 trajectories"), "{out}");
+
+            // Full verification: rebuild the corpus and compare answers.
+            let out = run_to_string(&[
+                "snapshot",
+                "load",
+                "--in",
+                &path,
+                "--scenario",
+                "micro",
+                "--verify",
+                "rebuild",
+            ])
+            .unwrap();
+            assert!(out.contains("verify            PASS"), "{out}");
+
+            let out = run_to_string(&["snapshot", "inspect", "--in", &path]).unwrap();
+            assert!(out.contains("format version    2"), "{out}");
+            assert!(
+                out.contains(&format!("backend           {backend}")),
+                "{out}"
+            );
+            assert!(out.contains("checksums OK"), "{out}");
+            assert!(out.contains("CONF"), "{out}");
+        }
+    }
+
+    #[test]
+    fn snapshot_load_rejects_corrupted_files() {
+        let path = tmp("snap-corrupt.gdab");
+        run_to_string(&["snapshot", "save", "--scenario", "micro", "--out", &path]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = bytes.len() - 30;
+        bytes[offset] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = run_to_string(&["snapshot", "load", "--in", &path]).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        let err = run_to_string(&["snapshot", "inspect", "--in", &path]).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_inspect_reports_legacy_v1_blobs() {
+        // `build` writes through the codec; craft a v1 blob explicitly.
+        let ds = Dataset::generate(
+            &network(9),
+            &DatasetConfig {
+                routes: 2,
+                per_direction: 2,
+                ..DatasetConfig::default()
+            },
+            9,
+        )
+        .unwrap();
+        let mut index = GeodabIndex::new(GeodabConfig::default());
+        for r in ds.records() {
+            index.insert(r.id, &r.trajectory);
+        }
+        let path = tmp("snap-v1.gdab");
+        std::fs::write(&path, codec::encode_v1(&index)).unwrap();
+        let out = run_to_string(&["snapshot", "inspect", "--in", &path]).unwrap();
+        assert!(out.contains("format version    1"), "{out}");
+        assert!(out.contains("legacy v1"), "{out}");
+        // And the v1 blob loads through the version switch.
+        let out = run_to_string(&["snapshot", "load", "--in", &path]).unwrap();
+        assert!(out.contains("loaded geodab snapshot"), "{out}");
+    }
+
+    #[test]
+    fn snapshot_flags_fail_loudly() {
+        let err = run_to_string(&["snapshot", "save", "--scenario", "micro"]).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        let err = run_to_string(&["snapshot", "save", "--out", "x.gdab", "--backend", "warp"])
+            .unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        let err = run_to_string(&["snapshot", "frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown action"), "{err}");
+        let err =
+            run_to_string(&["snapshot", "load", "--in", "x", "--verfiy", "rebuild"]).unwrap_err();
+        assert!(err.contains("unknown flag --verfiy"), "{err}");
+        let path = tmp("snap-verify-flag.gdab");
+        run_to_string(&["snapshot", "save", "--scenario", "micro", "--out", &path]).unwrap();
+        let err =
+            run_to_string(&["snapshot", "load", "--in", &path, "--verify", "yes"]).unwrap_err();
+        assert!(err.contains("--verify"), "{err}");
+    }
+
+    #[test]
+    fn bench_cold_start_rejects_an_ingest_baseline() {
+        // Validated before the (multi-second) 10k run starts.
+        let err = run_to_string(&[
+            "bench",
+            "--scenario",
+            "cold-start",
+            "--baseline",
+            "bench/baselines/smoke.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
+        // --max-regress alone must fail too, not silently skip the gate.
+        let err = run_to_string(&["bench", "--scenario", "cold-start", "--max-regress", "10"])
+            .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
     }
 
     #[test]

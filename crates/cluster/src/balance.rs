@@ -30,26 +30,30 @@ pub fn shard_loads(router: &ShardRouter, cells: &[(u64, u64)]) -> Vec<u64> {
 }
 
 /// The imbalance ratio `max / mean` of a load vector; `1.0` is perfectly
-/// balanced, larger is worse. Returns `0.0` for an all-zero load.
+/// balanced, larger is worse. Total, for any input — empty and all-zero
+/// vectors report `0.0`, and the sum accumulates in `f64` so extreme
+/// loads can neither overflow nor produce NaN/∞.
 pub fn imbalance(loads: &[u64]) -> f64 {
     if loads.is_empty() {
         return 0.0;
     }
-    let total: u64 = loads.iter().sum();
-    if total == 0 {
+    let total: f64 = loads.iter().map(|&l| l as f64).sum();
+    if total == 0.0 {
         return 0.0;
     }
-    let mean = total as f64 / loads.len() as f64;
+    let mean = total / loads.len() as f64;
     *loads.iter().max().expect("non-empty") as f64 / mean
 }
 
 /// Coefficient of variation (σ/μ) of a load vector; `0.0` is perfectly
-/// balanced.
+/// balanced. Total, for any input — empty and all-zero vectors report
+/// `0.0`, and all accumulation happens in `f64` so extreme loads can
+/// neither overflow nor produce NaN/∞.
 pub fn coefficient_of_variation(loads: &[u64]) -> f64 {
     if loads.is_empty() {
         return 0.0;
     }
-    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let mean = loads.iter().map(|&l| l as f64).sum::<f64>() / loads.len() as f64;
     if mean == 0.0 {
         return 0.0;
     }
@@ -103,8 +107,61 @@ mod tests {
     fn degenerate_inputs() {
         assert_eq!(imbalance(&[]), 0.0);
         assert_eq!(imbalance(&[0, 0]), 0.0);
+        assert_eq!(imbalance(&[0]), 0.0);
         assert_eq!(coefficient_of_variation(&[]), 0.0);
         assert_eq!(coefficient_of_variation(&[0, 0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0]), 0.0);
+    }
+
+    #[test]
+    fn single_element_vectors_are_perfectly_balanced() {
+        assert_eq!(imbalance(&[7]), 1.0);
+        assert_eq!(coefficient_of_variation(&[7]), 0.0);
+    }
+
+    #[test]
+    fn extreme_loads_do_not_overflow_or_produce_nan() {
+        // A u64 accumulator would overflow (and panic in debug builds) on
+        // these; the f64 path must stay finite and sensible.
+        let huge = [u64::MAX, u64::MAX, u64::MAX, u64::MAX];
+        let i = imbalance(&huge);
+        assert!(i.is_finite() && (i - 1.0).abs() < 1e-9, "imbalance {i}");
+        let cv = coefficient_of_variation(&huge);
+        assert!(cv.is_finite() && cv.abs() < 1e-9, "cv {cv}");
+
+        let skewed = [u64::MAX, 0, 0, 0];
+        let i = imbalance(&skewed);
+        assert!(i.is_finite() && (i - 4.0).abs() < 1e-9, "imbalance {i}");
+        let cv = coefficient_of_variation(&skewed);
+        assert!(cv.is_finite() && cv > 1.0, "cv {cv}");
+    }
+
+    #[test]
+    fn statistics_are_total_and_finite_for_arbitrary_vectors() {
+        // A coarse sweep standing in for a property test: no input may
+        // panic or return NaN/∞, and the invariants imbalance ≥ 1 (when
+        // load exists) and cv ≥ 0 always hold.
+        let samples: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, u64::MAX],
+            vec![1; 1000],
+            (0..100).map(|i| i * i).collect(),
+            vec![u64::MAX / 2, u64::MAX / 2, u64::MAX],
+        ];
+        for loads in &samples {
+            let i = imbalance(loads);
+            let cv = coefficient_of_variation(loads);
+            assert!(i.is_finite() && !i.is_nan(), "{loads:?} → imbalance {i}");
+            assert!(cv.is_finite() && !cv.is_nan(), "{loads:?} → cv {cv}");
+            assert!(cv >= 0.0, "{loads:?} → cv {cv}");
+            if loads.iter().any(|&l| l > 0) {
+                assert!(i >= 1.0 - 1e-12, "{loads:?} → imbalance {i}");
+            } else {
+                assert_eq!(i, 0.0);
+            }
+        }
     }
 
     #[test]

@@ -27,15 +27,15 @@ pub struct QueryStats {
 /// each posting entry; replication per referencing node is the
 /// shared-nothing equivalent).
 #[derive(Debug, Default, Clone)]
-struct NodeStore {
+pub(crate) struct NodeStore {
     /// Posting lists of this node's terms, as roaring bitmaps of dense
     /// (node-locally interned) trajectory slots.
-    postings: HashMap<u32, RoaringBitmap>,
+    pub(crate) postings: HashMap<u32, RoaringBitmap>,
     /// The node's `TrajId ↔ dense` interning table.
-    interner: IdInterner,
-    fingerprints: HashMap<TrajId, Fingerprints>,
+    pub(crate) interner: IdInterner,
+    pub(crate) fingerprints: HashMap<TrajId, Fingerprints>,
     /// Posting entries per shard, for balance accounting.
-    shard_load: HashMap<u64, u64>,
+    pub(crate) shard_load: HashMap<u64, u64>,
 }
 
 impl NodeStore {
@@ -104,12 +104,12 @@ impl NodeStore {
 /// thread per contacted node) and merges the ranked partial results.
 #[derive(Debug)]
 pub struct ClusterIndex {
-    fingerprinter: Fingerprinter,
-    router: ShardRouter,
-    nodes: Vec<NodeStore>,
+    pub(crate) fingerprinter: Fingerprinter,
+    pub(crate) router: ShardRouter,
+    pub(crate) nodes: Vec<NodeStore>,
     /// Ids known to the coordinator, including trajectories too short to
     /// produce fingerprints (which no node stores).
-    indexed: BTreeSet<TrajId>,
+    pub(crate) indexed: BTreeSet<TrajId>,
 }
 
 impl ClusterIndex {
@@ -138,6 +138,11 @@ impl ClusterIndex {
     /// The shard router in use.
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// The fingerprinting configuration in use.
+    pub fn config(&self) -> &GeodabConfig {
+        self.fingerprinter.config()
     }
 
     /// Number of indexed trajectories.

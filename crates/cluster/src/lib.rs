@@ -36,6 +36,7 @@
 pub mod balance;
 mod cluster;
 mod router;
+mod snapshot;
 
 pub use cluster::{ClusterIndex, QueryStats};
 pub use router::{ClusterConfigError, ShardRouter};

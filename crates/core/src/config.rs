@@ -149,36 +149,6 @@ impl GeodabConfig {
         })
     }
 
-    /// The default configuration with a different normalization depth
-    /// (used by the Figure 8 depth sweep).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GeodabError::InvalidNormalizationDepth`] for 0 or > 64.
-    pub fn with_normalization_depth(self, depth: u8) -> Result<GeodabConfig, GeodabError> {
-        GeodabConfig::new(depth, self.k, self.t, self.prefix_bits)
-    }
-
-    /// The default configuration with different winnowing bounds.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GeodabError::InvalidLowerBound`] / [`GeodabError::InvalidUpperBound`]
-    /// on invalid bounds.
-    pub fn with_bounds(self, k: usize, t: usize) -> Result<GeodabConfig, GeodabError> {
-        GeodabConfig::new(self.normalization_depth, k, t, self.prefix_bits)
-    }
-
-    /// The default configuration with a different geohash prefix width
-    /// (used by the prefix-width ablation).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GeodabError::InvalidPrefixBits`] for 0 or ≥ 32.
-    pub fn with_prefix_bits(self, prefix_bits: u8) -> Result<GeodabConfig, GeodabError> {
-        GeodabConfig::new(self.normalization_depth, self.k, self.t, prefix_bits)
-    }
-
     /// Geohash depth used to normalize trajectories, in bits.
     pub fn normalization_depth(&self) -> u8 {
         self.normalization_depth
@@ -272,23 +242,28 @@ mod tests {
     }
 
     #[test]
-    fn with_methods_override_one_field() {
+    fn builder_variants_override_one_field() {
         let c = GeodabConfig::default();
         assert_eq!(
-            c.with_normalization_depth(40)
+            c.to_builder()
+                .normalization_depth(40)
+                .build()
                 .unwrap()
                 .normalization_depth(),
             40
         );
-        let b = c.with_bounds(4, 8).unwrap();
+        let b = c.to_builder().k(4).t(8).build().unwrap();
         assert_eq!((b.k(), b.t(), b.window()), (4, 8, 5));
-        assert_eq!(c.with_prefix_bits(8).unwrap().prefix_bits(), 8);
-        assert!(c.with_prefix_bits(0).is_err());
+        assert_eq!(
+            c.to_builder().prefix_bits(8).build().unwrap().prefix_bits(),
+            8
+        );
+        assert!(c.to_builder().prefix_bits(0).build().is_err());
     }
 
     #[test]
     fn k_equal_t_gives_window_of_one() {
-        let c = GeodabConfig::default().with_bounds(6, 6).unwrap();
+        let c = GeodabConfig::builder().k(6).t(6).build().unwrap();
         assert_eq!(c.window(), 1);
     }
 

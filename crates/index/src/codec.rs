@@ -1,70 +1,433 @@
-//! Compact binary persistence for [`GeodabIndex`].
+//! Binary persistence for the single-node index backends.
 //!
-//! The on-disk format stores the configuration plus, per trajectory, its
-//! ordered fingerprint sequence; the query engine's derived state —
-//! posting bitmaps, the `TrajId ↔ dense` interning table and per-set
-//! cardinalities (see [`crate::engine`]) — is rebuilt on load. Layout,
-//! all little-endian:
+//! Snapshots use the sectioned `GDAB` v2 container of [`crate::store`]
+//! and serialize **derived engine state** — roaring posting bitmaps in
+//! their wire form, the `TrajId ↔ dense` interner table and per-set
+//! cardinalities — so loading is a direct materialization instead of an
+//! O(corpus) rebuild. [`GeodabIndex`] and [`GeohashIndex`] both implement
+//! [`Persist`] here; the cluster backend does the same in its own crate
+//! over per-node segments.
+//!
+//! # `GeodabIndex` section layout (backend tag 1)
 //!
 //! ```text
-//! magic   b"GDAB"                     4 bytes
-//! version u16                         2 bytes
-//! config  depth u8, prefix u8, k u32, t u32
-//! count   u64                         number of trajectories
-//! entry*  id u32, len u32, geodab u32 * len
+//! CONF  depth u8, prefix u8, k u32, t u32
+//! SLOT  capacity u32, live u32, live × (dense u32, id u32, set_size u32)
+//! POST  terms u32, terms × (term u32, posting bitmap wire form)
+//! FPRS  count u32, count × (id u32, len u32, len × geodab u32)
 //! ```
+//!
+//! # `GeohashIndex` section layout (backend tag 2)
+//!
+//! ```text
+//! CONF  depth u8
+//! SLOT  as above (set_size = number of distinct cells)
+//! POST  terms u32, terms × (term u64, posting bitmap wire form)
+//! CELL  count u32, count × (id u32, len u32, len × cell u64)
+//! ```
+//!
+//! The original v1 format (raw fingerprint sequences only, postings
+//! rebuilt on load) remains fully decodable: [`decode`] switches on the
+//! version field, and [`encode_v1`] still writes it for compatibility
+//! testing and migration tooling.
 
-use geodabs_core::{Fingerprints, GeodabConfig, GeodabError};
+use geodabs_core::{Fingerprints, GeodabConfig};
+use geodabs_geo::MAX_DEPTH;
+use geodabs_roaring::RoaringBitmap;
 use geodabs_traj::TrajId;
-use std::error::Error;
-use std::fmt;
+use std::collections::HashMap;
 
-use crate::GeodabIndex;
+use crate::engine::PostingLists;
+use crate::store::{
+    peek_version, BackendKind, Cursor, Persist, SnapshotError, SnapshotReader, SnapshotWriter,
+    MAGIC, SEC_CELLS, SEC_CONFIG, SEC_FINGERPRINTS, SEC_POSTINGS, SEC_SLOTS, VERSION_V1,
+};
+use crate::{GeodabIndex, GeohashIndex};
 
-const MAGIC: &[u8; 4] = b"GDAB";
-const VERSION: u16 = 1;
-
-/// Errors decoding a serialized index.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CodecError {
-    /// The input does not start with the `GDAB` magic.
-    BadMagic,
-    /// The format version is newer than this library understands.
-    UnsupportedVersion(u16),
-    /// The input ended in the middle of a record.
-    Truncated,
-    /// The stored configuration fails validation.
-    InvalidConfig(GeodabError),
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CodecError::BadMagic => write!(f, "input is not a geodab index (bad magic)"),
-            CodecError::UnsupportedVersion(v) => {
-                write!(f, "unsupported geodab index format version {v}")
-            }
-            CodecError::Truncated => write!(f, "truncated geodab index data"),
-            CodecError::InvalidConfig(e) => write!(f, "invalid stored configuration: {e}"),
-        }
-    }
-}
-
-impl Error for CodecError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            CodecError::InvalidConfig(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-/// Serializes the index to its compact binary form.
+/// Serializes the index in the current (v2) snapshot format.
+///
+/// Equivalent to [`Persist::to_snapshot`]; kept as a free function for
+/// continuity with the v1 API.
 pub fn encode(index: &GeodabIndex) -> Vec<u8> {
+    index.to_snapshot()
+}
+
+/// Reconstructs an index from either snapshot version: v2 containers are
+/// materialized directly from their serialized engine state, v1 blobs are
+/// decoded through the legacy rebuild path.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] on malformed input; a successful decode is
+/// always internally consistent.
+pub fn decode(data: &[u8]) -> Result<GeodabIndex, SnapshotError> {
+    match peek_version(data)? {
+        VERSION_V1 => decode_v1(data),
+        crate::store::VERSION => GeodabIndex::from_snapshot(data),
+        other => Err(SnapshotError::UnsupportedVersion(other)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared section helpers
+// ---------------------------------------------------------------------
+
+/// Caps a `Vec::with_capacity` taken from untrusted input: never reserve
+/// more entries than the remaining payload could possibly hold.
+fn claimed_capacity(claimed: usize, remaining: usize, entry_size: usize) -> usize {
+    claimed.min(remaining / entry_size.max(1))
+}
+
+fn write_slots(out: &mut Vec<u8>, capacity: u32, slots: &[(u32, TrajId, u32)]) {
+    out.extend_from_slice(&capacity.to_le_bytes());
+    out.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+    for &(dense, id, set_size) in slots {
+        out.extend_from_slice(&dense.to_le_bytes());
+        out.extend_from_slice(&id.raw().to_le_bytes());
+        out.extend_from_slice(&set_size.to_le_bytes());
+    }
+}
+
+/// The `(dense, id, set_size)` triples of a SLOT section plus the slot
+/// capacity.
+type SlotTable = (u32, Vec<(u32, TrajId, u32)>);
+
+fn read_slots(payload: &[u8]) -> Result<SlotTable, SnapshotError> {
+    let mut cursor = Cursor::new(payload);
+    let capacity = cursor.u32()?;
+    let live = cursor.u32()? as usize;
+    let mut slots = Vec::with_capacity(claimed_capacity(live, cursor.remaining(), 12));
+    for _ in 0..live {
+        let dense = cursor.u32()?;
+        let id = TrajId::new(cursor.u32()?);
+        let set_size = cursor.u32()?;
+        slots.push((dense, id, set_size));
+    }
+    cursor.expect_end()?;
+    Ok((capacity, slots))
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// A fixed-width little-endian value a snapshot record can carry — the
+/// term/sequence element types of the backends (`u32` geodabs, `u64`
+/// geohash cells). Sealed: the on-disk format admits exactly these
+/// widths.
+pub trait SectionValue: Copy + sealed::Sealed {
+    /// Byte width on the wire.
+    const WIDTH: usize;
+
+    /// Appends the little-endian encoding to `out`.
+    fn write(self, out: &mut Vec<u8>);
+
+    /// Reads one value.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of input.
+    fn read(cursor: &mut Cursor<'_>) -> Result<Self, SnapshotError>;
+}
+
+impl SectionValue for u32 {
+    const WIDTH: usize = 4;
+
+    fn write(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read(cursor: &mut Cursor<'_>) -> Result<u32, SnapshotError> {
+        cursor.u32()
+    }
+}
+
+impl SectionValue for u64 {
+    const WIDTH: usize = 8;
+
+    fn write(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read(cursor: &mut Cursor<'_>) -> Result<u64, SnapshotError> {
+        cursor.u64()
+    }
+}
+
+/// Writes the `(id, ordered sequence)` record family shared by the
+/// geodab FPRS section, the geohash CELL section and the cluster
+/// manifest: a `u32` record count, then per record the id, the sequence
+/// length and the values, all little-endian. Ids must be strictly
+/// ascending.
+pub fn write_sequences<V: SectionValue>(out: &mut Vec<u8>, records: &[(TrajId, &[V])]) {
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for &(id, seq) in records {
+        out.extend_from_slice(&id.raw().to_le_bytes());
+        out.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+        for &value in seq {
+            value.write(out);
+        }
+    }
+}
+
+/// Reads the record family [`write_sequences`] produces, verifying the
+/// strictly-ascending id order.
+///
+/// # Errors
+///
+/// [`SnapshotError::Truncated`] / [`SnapshotError::Corrupt`] on
+/// malformed input.
+pub fn read_sequences<V: SectionValue>(
+    payload: &[u8],
+) -> Result<Vec<(TrajId, Vec<V>)>, SnapshotError> {
+    let mut cursor = Cursor::new(payload);
+    let count = cursor.u32()? as usize;
+    let mut records = Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 8));
+    let mut last: Option<u32> = None;
+    for _ in 0..count {
+        let id = cursor.u32()?;
+        if last.is_some_and(|prev| prev >= id) {
+            return Err(SnapshotError::Corrupt("record ids not strictly ascending"));
+        }
+        last = Some(id);
+        let len = cursor.u32()? as usize;
+        // Divide instead of multiplying: `len * WIDTH` could overflow
+        // `usize` on 32-bit targets and let a crafted length through.
+        if cursor.remaining() / V::WIDTH < len {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut seq = Vec::with_capacity(len);
+        for _ in 0..len {
+            seq.push(V::read(&mut cursor)?);
+        }
+        records.push((TrajId::new(id), seq));
+    }
+    cursor.expect_end()?;
+    Ok(records)
+}
+
+/// Writes a term → posting-bitmap dictionary: a `u32` term count, then
+/// per term its value and the posting list in roaring wire form. Terms
+/// must be strictly ascending (the deterministic-encode order).
+pub fn write_postings<V: SectionValue>(out: &mut Vec<u8>, postings: &[(V, &RoaringBitmap)]) {
+    out.extend_from_slice(&(postings.len() as u32).to_le_bytes());
+    for &(term, list) in postings {
+        term.write(out);
+        list.serialize_into(out);
+    }
+}
+
+/// Reads a dictionary [`write_postings`] produced, from a cursor (the
+/// cluster node segments embed one mid-payload), verifying the
+/// strictly-ascending term order.
+///
+/// # Errors
+///
+/// [`SnapshotError::Truncated`] / [`SnapshotError::Corrupt`] on
+/// malformed input.
+pub fn read_postings<V: SectionValue + Ord>(
+    cursor: &mut Cursor<'_>,
+) -> Result<Vec<(V, RoaringBitmap)>, SnapshotError> {
+    let term_count = cursor.u32()? as usize;
+    let mut postings = Vec::with_capacity(claimed_capacity(
+        term_count,
+        cursor.remaining(),
+        V::WIDTH + 4,
+    ));
+    let mut last: Option<V> = None;
+    for _ in 0..term_count {
+        let term = V::read(cursor)?;
+        if last.is_some_and(|prev| prev >= term) {
+            return Err(SnapshotError::Corrupt(
+                "posting terms not strictly ascending",
+            ));
+        }
+        last = Some(term);
+        postings.push((term, cursor.bitmap()?));
+    }
+    Ok(postings)
+}
+
+// ---------------------------------------------------------------------
+// GeodabIndex (backend tag 1)
+// ---------------------------------------------------------------------
+
+impl Persist for GeodabIndex {
+    fn to_snapshot(&self) -> Vec<u8> {
+        let cfg = self.config();
+        let mut writer = SnapshotWriter::new(BackendKind::Geodab);
+
+        let mut conf = Vec::with_capacity(10);
+        conf.push(cfg.normalization_depth());
+        conf.push(cfg.prefix_bits());
+        conf.extend_from_slice(&(cfg.k() as u32).to_le_bytes());
+        conf.extend_from_slice(&(cfg.t() as u32).to_le_bytes());
+        writer.section(SEC_CONFIG, conf);
+
+        let slots = self.engine().snapshot_slots();
+        let mut slot_bytes = Vec::with_capacity(8 + 12 * slots.len());
+        write_slots(
+            &mut slot_bytes,
+            self.engine().interner().capacity() as u32,
+            &slots,
+        );
+        writer.section(SEC_SLOTS, slot_bytes);
+
+        let mut post = Vec::new();
+        write_postings(&mut post, &self.engine().postings_sorted());
+        writer.section(SEC_POSTINGS, post);
+
+        let mut records: Vec<(TrajId, &[u32])> = self
+            .iter_fingerprints()
+            .map(|(id, fp)| (id, fp.ordered()))
+            .collect();
+        records.sort_unstable_by_key(|&(id, _)| id);
+        let mut fprs = Vec::new();
+        write_sequences(&mut fprs, &records);
+        writer.section(SEC_FINGERPRINTS, fprs);
+
+        writer.finish()
+    }
+
+    fn from_snapshot(data: &[u8]) -> Result<GeodabIndex, SnapshotError> {
+        let reader = SnapshotReader::parse(data)?;
+        reader.expect_backend(BackendKind::Geodab)?;
+
+        let mut conf = Cursor::new(reader.section(SEC_CONFIG)?);
+        let depth = conf.u8()?;
+        let prefix = conf.u8()?;
+        let k = conf.u32()? as usize;
+        let t = conf.u32()? as usize;
+        conf.expect_end()?;
+        let config =
+            GeodabConfig::new(depth, k, t, prefix).map_err(SnapshotError::InvalidConfig)?;
+
+        let (capacity, slots) = read_slots(reader.section(SEC_SLOTS)?)?;
+
+        let mut post = Cursor::new(reader.section(SEC_POSTINGS)?);
+        let postings = read_postings::<u32>(&mut post)?;
+        post.expect_end()?;
+
+        let records = read_sequences::<u32>(reader.section(SEC_FINGERPRINTS)?)?;
+        if records.len() != slots.len() {
+            return Err(SnapshotError::Corrupt(
+                "fingerprint records and live slots disagree",
+            ));
+        }
+        let mut fingerprints: HashMap<TrajId, Fingerprints> = HashMap::with_capacity(records.len());
+        for (id, ordered) in records {
+            fingerprints.insert(id, Fingerprints::from_ordered(ordered));
+        }
+        for &(_, id, set_size) in &slots {
+            let Some(fp) = fingerprints.get(&id) else {
+                return Err(SnapshotError::Corrupt("live slot without fingerprints"));
+            };
+            if fp.distinct_len() != set_size as u64 {
+                return Err(SnapshotError::Corrupt(
+                    "set cardinality disagrees with fingerprints",
+                ));
+            }
+        }
+
+        let engine = PostingLists::from_snapshot_parts(capacity, &slots, postings)
+            .map_err(SnapshotError::Corrupt)?;
+        Ok(GeodabIndex::from_engine_parts(config, engine, fingerprints))
+    }
+}
+
+// ---------------------------------------------------------------------
+// GeohashIndex (backend tag 2)
+// ---------------------------------------------------------------------
+
+impl Persist for GeohashIndex {
+    fn to_snapshot(&self) -> Vec<u8> {
+        let mut writer = SnapshotWriter::new(BackendKind::Geohash);
+        writer.section(SEC_CONFIG, vec![self.depth()]);
+
+        let slots = self.engine().snapshot_slots();
+        let mut slot_bytes = Vec::with_capacity(8 + 12 * slots.len());
+        write_slots(
+            &mut slot_bytes,
+            self.engine().interner().capacity() as u32,
+            &slots,
+        );
+        writer.section(SEC_SLOTS, slot_bytes);
+
+        let mut post = Vec::new();
+        write_postings(&mut post, &self.engine().postings_sorted());
+        writer.section(SEC_POSTINGS, post);
+
+        let mut records: Vec<(TrajId, &[u64])> = self.iter_cells().collect();
+        records.sort_unstable_by_key(|&(id, _)| id);
+        let mut cells = Vec::new();
+        write_sequences(&mut cells, &records);
+        writer.section(SEC_CELLS, cells);
+
+        writer.finish()
+    }
+
+    fn from_snapshot(data: &[u8]) -> Result<GeohashIndex, SnapshotError> {
+        let reader = SnapshotReader::parse(data)?;
+        reader.expect_backend(BackendKind::Geohash)?;
+
+        let mut conf = Cursor::new(reader.section(SEC_CONFIG)?);
+        let depth = conf.u8()?;
+        conf.expect_end()?;
+        if depth == 0 || depth > MAX_DEPTH {
+            return Err(SnapshotError::Corrupt("cell depth out of range"));
+        }
+
+        let (capacity, slots) = read_slots(reader.section(SEC_SLOTS)?)?;
+
+        let mut post = Cursor::new(reader.section(SEC_POSTINGS)?);
+        let postings = read_postings::<u64>(&mut post)?;
+        post.expect_end()?;
+
+        let records = read_sequences::<u64>(reader.section(SEC_CELLS)?)?;
+        if records.len() != slots.len() {
+            return Err(SnapshotError::Corrupt(
+                "cell records and live slots disagree",
+            ));
+        }
+        let mut cells: HashMap<TrajId, Vec<u64>> = HashMap::with_capacity(records.len());
+        for (id, seq) in records {
+            if !seq.windows(2).all(|w| w[0] < w[1]) {
+                return Err(SnapshotError::Corrupt("cell set not strictly sorted"));
+            }
+            cells.insert(id, seq);
+        }
+        for &(_, id, set_size) in &slots {
+            let Some(seq) = cells.get(&id) else {
+                return Err(SnapshotError::Corrupt("live slot without a cell set"));
+            };
+            if seq.len() != set_size as usize {
+                return Err(SnapshotError::Corrupt(
+                    "set cardinality disagrees with cell set",
+                ));
+            }
+        }
+
+        let engine = PostingLists::from_snapshot_parts(capacity, &slots, postings)
+            .map_err(SnapshotError::Corrupt)?;
+        Ok(GeohashIndex::from_engine_parts(depth, engine, cells))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy v1 format
+// ---------------------------------------------------------------------
+
+/// Serializes the index in the legacy v1 format: configuration plus raw
+/// fingerprint sequences, with all engine state rebuilt on load. Kept so
+/// migration tooling and compatibility tests can still produce v1 blobs;
+/// new snapshots should use [`encode`] / [`Persist::to_snapshot`].
+pub fn encode_v1(index: &GeodabIndex) -> Vec<u8> {
     let cfg = index.config();
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&VERSION_V1.to_le_bytes());
     buf.push(cfg.normalization_depth());
     buf.push(cfg.prefix_bits());
     buf.extend_from_slice(&(cfg.k() as u32).to_le_bytes());
@@ -83,83 +446,29 @@ pub fn encode(index: &GeodabIndex) -> Vec<u8> {
     buf
 }
 
-/// Little-endian cursor over the encoded byte stream; every read is
-/// bounds-checked so truncated input surfaces as [`CodecError::Truncated`].
-struct Reader<'a> {
-    data: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
-        self.data.len()
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.data.len() < n {
-            return Err(CodecError::Truncated);
-        }
-        let (head, tail) = self.data.split_at(n);
-        self.data = tail;
-        Ok(head)
-    }
-
-    fn get_u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn get_u16_le(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
-    }
-
-    fn get_u32_le(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn get_u64_le(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-}
-
-/// Reconstructs an index from its binary form.
-///
-/// # Errors
-///
-/// Returns a [`CodecError`] on malformed input; the index is rebuilt
-/// (postings and bitmaps re-derived), so a successful decode is always
-/// internally consistent.
-pub fn decode(data: &[u8]) -> Result<GeodabIndex, CodecError> {
-    let mut reader = Reader { data };
-    if reader.remaining() < 4 || reader.take(4)? != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = reader.get_u16_le()?;
-    if version != VERSION {
-        return Err(CodecError::UnsupportedVersion(version));
-    }
-    let depth = reader.get_u8()?;
-    let prefix = reader.get_u8()?;
-    let k = reader.get_u32_le()? as usize;
-    let t = reader.get_u32_le()? as usize;
-    let config = GeodabConfig::new(depth, k, t, prefix).map_err(CodecError::InvalidConfig)?;
-    let count = reader.get_u64_le()?;
+/// The v1 rebuild path: replay every stored fingerprint sequence through
+/// [`GeodabIndex::insert_fingerprints`].
+fn decode_v1(data: &[u8]) -> Result<GeodabIndex, SnapshotError> {
+    // The version switch in `decode` already verified magic + version.
+    let mut reader = Cursor::new(&data[6..]);
+    let depth = reader.u8()?;
+    let prefix = reader.u8()?;
+    let k = reader.u32()? as usize;
+    let t = reader.u32()? as usize;
+    let config = GeodabConfig::new(depth, k, t, prefix).map_err(SnapshotError::InvalidConfig)?;
+    let count = reader.u64()?;
     let mut index = GeodabIndex::new(config);
     for _ in 0..count {
-        let id = TrajId::new(reader.get_u32_le()?);
-        let len = reader.get_u32_le()? as usize;
+        let id = TrajId::new(reader.u32()?);
+        let len = reader.u32()? as usize;
         // Divide instead of multiplying: `len * 4` could overflow `usize`
         // on 32-bit targets and let a crafted length through.
         if reader.remaining() / 4 < len {
-            return Err(CodecError::Truncated);
+            return Err(SnapshotError::Truncated);
         }
         let mut ordered = Vec::with_capacity(len);
         for _ in 0..len {
-            ordered.push(reader.get_u32_le()?);
+            ordered.push(reader.u32()?);
         }
         index.insert_fingerprints(id, Fingerprints::from_ordered(ordered));
     }
@@ -173,14 +482,23 @@ mod tests {
     use geodabs_geo::Point;
     use geodabs_traj::Trajectory;
 
-    fn sample_index() -> GeodabIndex {
+    fn path(offset: f64) -> Trajectory {
         let start = Point::new(51.5074, -0.1278).unwrap();
-        let path = |offset: f64| -> Trajectory {
-            (0..200)
-                .map(|i| start.destination(90.0, offset + i as f64 * 14.0))
-                .collect()
-        };
+        (0..200)
+            .map(|i| start.destination(90.0, offset + i as f64 * 14.0))
+            .collect()
+    }
+
+    fn sample_index() -> GeodabIndex {
         let mut idx = GeodabIndex::new(GeodabConfig::default());
+        idx.insert(TrajId::new(0), &path(0.0));
+        idx.insert(TrajId::new(1), &path(0.0).reversed());
+        idx.insert(TrajId::new(5), &path(10_000.0));
+        idx
+    }
+
+    fn sample_geohash() -> GeohashIndex {
+        let mut idx = GeohashIndex::new(36);
         idx.insert(TrajId::new(0), &path(0.0));
         idx.insert(TrajId::new(1), &path(0.0).reversed());
         idx.insert(TrajId::new(5), &path(10_000.0));
@@ -204,10 +522,7 @@ mod tests {
     fn decoded_index_answers_queries_identically() {
         let original = sample_index();
         let decoded = decode(&encode(&original)).expect("roundtrip");
-        let start = Point::new(51.5074, -0.1278).unwrap();
-        let query: Trajectory = (0..200)
-            .map(|i| start.destination(90.0, i as f64 * 14.0))
-            .collect();
+        let query = path(0.0);
         assert_eq!(
             original.search(&query, &SearchOptions::default()),
             decoded.search(&query, &SearchOptions::default())
@@ -215,62 +530,141 @@ mod tests {
     }
 
     #[test]
-    fn encoding_is_deterministic() {
-        let idx = sample_index();
-        assert_eq!(encode(&idx), encode(&idx));
-    }
-
-    #[test]
-    fn empty_index_roundtrips() {
-        let idx = GeodabIndex::new(GeodabConfig::default());
-        let decoded = decode(&encode(&idx)).expect("roundtrip");
-        assert_eq!(decoded.len(), 0);
-        assert_eq!(decoded.term_count(), 0);
-    }
-
-    #[test]
-    fn bad_magic_is_rejected() {
-        assert_eq!(decode(b"NOPE").err(), Some(CodecError::BadMagic));
-        assert_eq!(decode(b"").err(), Some(CodecError::BadMagic));
-    }
-
-    #[test]
-    fn wrong_version_is_rejected() {
-        let mut bytes = encode(&sample_index()).to_vec();
-        bytes[4] = 0xFF;
-        bytes[5] = 0xFF;
+    fn v1_blobs_still_decode() {
+        let original = sample_index();
+        let v1 = encode_v1(&original);
+        assert_eq!(v1[4], 1, "legacy writer stamps version 1");
+        let decoded = decode(&v1).expect("v1 decode");
+        assert_eq!(decoded.len(), original.len());
+        assert_eq!(decoded.term_count(), original.term_count());
+        let query = path(0.0);
         assert_eq!(
-            decode(&bytes).err(),
-            Some(CodecError::UnsupportedVersion(0xFFFF))
+            original.search(&query, &SearchOptions::default()),
+            decoded.search(&query, &SearchOptions::default())
         );
+        // Re-encoding a v1-loaded index produces the same v2 bytes as the
+        // original: both paths land on identical engine state.
+        assert_eq!(encode(&decoded), encode(&original));
     }
 
     #[test]
-    fn truncation_is_detected_everywhere() {
-        let bytes = encode(&sample_index());
-        for cut in [5usize, 7, 10, 15, bytes.len() / 2, bytes.len() - 1] {
-            let err = decode(&bytes[..cut]).expect_err("must fail");
-            assert!(
-                matches!(err, CodecError::Truncated | CodecError::BadMagic),
-                "cut at {cut}: {err:?}"
+    fn geohash_roundtrip_preserves_everything() {
+        let original = sample_geohash();
+        let decoded = GeohashIndex::from_snapshot(&original.to_snapshot()).expect("roundtrip");
+        assert_eq!(decoded.len(), original.len());
+        assert_eq!(decoded.term_count(), original.term_count());
+        assert_eq!(decoded.depth(), original.depth());
+        for query in [path(0.0), path(0.0).reversed(), path(10_000.0)] {
+            assert_eq!(
+                original.search(&query, &SearchOptions::default()),
+                decoded.search(&query, &SearchOptions::default())
             );
         }
     }
 
     #[test]
-    fn corrupted_config_is_rejected() {
-        let mut bytes = encode(&sample_index()).to_vec();
-        bytes[6] = 0; // normalization depth 0
+    fn wrong_backend_is_rejected() {
+        let geodab = sample_index().to_snapshot();
         assert!(matches!(
-            decode(&bytes).err(),
-            Some(CodecError::InvalidConfig(_))
+            GeohashIndex::from_snapshot(&geodab),
+            Err(SnapshotError::WrongBackend { .. })
+        ));
+        let geohash = sample_geohash().to_snapshot();
+        assert!(matches!(
+            GeodabIndex::from_snapshot(&geohash),
+            Err(SnapshotError::WrongBackend { .. })
         ));
     }
 
     #[test]
-    fn codec_error_display() {
-        assert!(CodecError::BadMagic.to_string().contains("magic"));
-        assert!(CodecError::Truncated.to_string().contains("truncated"));
-        assert!(CodecError::UnsupportedVersion(9).to_string().contains('9'));
+    fn encoding_is_deterministic() {
+        let idx = sample_index();
+        assert_eq!(encode(&idx), encode(&idx));
+        let gh = sample_geohash();
+        assert_eq!(gh.to_snapshot(), gh.to_snapshot());
+    }
+
+    #[test]
+    fn empty_indexes_roundtrip() {
+        let idx = GeodabIndex::new(GeodabConfig::default());
+        let decoded = decode(&encode(&idx)).expect("roundtrip");
+        assert_eq!(decoded.len(), 0);
+        assert_eq!(decoded.term_count(), 0);
+        let gh = GeohashIndex::new(36);
+        let decoded = GeohashIndex::from_snapshot(&gh.to_snapshot()).expect("roundtrip");
+        assert_eq!(decoded.len(), 0);
+        assert_eq!(decoded.term_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_after_removals_keeps_vacant_slots_reusable() {
+        let mut idx = sample_index();
+        idx.remove(TrajId::new(1));
+        let mut decoded = decode(&encode(&idx)).expect("roundtrip");
+        assert_eq!(decoded.len(), 2);
+        // The vacant slot is usable again after the load.
+        decoded.insert(TrajId::new(9), &path(500.0));
+        let fresh_hits = decoded.search(&path(500.0), &SearchOptions::default().limit(1));
+        assert_eq!(fresh_hits[0].id, TrajId::new(9));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(decode(b"NOPE"), Err(SnapshotError::BadMagic)));
+        assert!(matches!(decode(b""), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode(&sample_index());
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        assert!(matches!(
+            decode(&bytes),
+            Err(SnapshotError::UnsupportedVersion(0xFFFF))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        for bytes in [encode(&sample_index()), encode_v1(&sample_index())] {
+            for cut in [5usize, 7, 10, 15, bytes.len() / 2, bytes.len() - 1] {
+                let err = decode(&bytes[..cut]).expect_err("must fail");
+                assert!(
+                    matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
+                    "cut at {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_checksums() {
+        let bytes = encode(&sample_index());
+        // Flip one bit somewhere inside the last section's payload.
+        let offset = bytes.len() - 20;
+        let mut corrupted = bytes.clone();
+        corrupted[offset] ^= 0x10;
+        assert!(matches!(
+            decode(&corrupted),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_config_is_rejected() {
+        let mut v1 = encode_v1(&sample_index());
+        v1[6] = 0; // normalization depth 0
+        assert!(matches!(decode(&v1), Err(SnapshotError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn snapshot_error_display() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+        assert!(SnapshotError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+        assert!(SnapshotError::Corrupt("x").to_string().contains('x'));
     }
 }

@@ -134,6 +134,65 @@ impl IdInterner {
         self.free.push(dense);
         Some(dense)
     }
+
+    /// The live `(dense, id)` pairs, ascending by dense slot — the
+    /// serializable view of the table the snapshot layer persists.
+    pub fn live_slots(&self) -> Vec<(u32, TrajId)> {
+        let mut slots: Vec<(u32, TrajId)> = self
+            .dense_of
+            .iter()
+            .map(|(&id, &dense)| (dense, id))
+            .collect();
+        slots.sort_unstable_by_key(|&(dense, _)| dense);
+        slots
+    }
+
+    /// Rebuilds a table from its slot capacity and live `(dense, id)`
+    /// pairs (as produced by [`IdInterner::live_slots`]): vacant slots
+    /// become reusable, live slots resolve exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range or non-ascending dense slots and duplicate
+    /// trajectory ids — the direct-materialization path must never build
+    /// a table [`IdInterner::resolve`] could misbehave on.
+    pub fn from_live_slots(
+        capacity: u32,
+        live: &[(u32, TrajId)],
+    ) -> Result<IdInterner, &'static str> {
+        if live.len() > capacity as usize {
+            return Err("more live slots than capacity");
+        }
+        let mut traj_of = vec![TrajId::new(0); capacity as usize];
+        let mut dense_of = HashMap::with_capacity(live.len());
+        let mut last: Option<u32> = None;
+        for &(dense, id) in live {
+            if dense >= capacity {
+                return Err("dense slot out of range");
+            }
+            if last.is_some_and(|prev| prev >= dense) {
+                return Err("dense slots not strictly ascending");
+            }
+            last = Some(dense);
+            traj_of[dense as usize] = id;
+            if dense_of.insert(id, dense).is_some() {
+                return Err("duplicate trajectory id");
+            }
+        }
+        // Vacant slots are reusable; hand the lowest out first.
+        let free: Vec<u32> = (0..capacity)
+            .rev()
+            .filter(|slot| {
+                live.binary_search_by_key(slot, |&(dense, _)| dense)
+                    .is_err()
+            })
+            .collect();
+        Ok(IdInterner {
+            dense_of,
+            traj_of,
+            free,
+        })
+    }
 }
 
 /// One entry of a [`TopK`] heap, ordered by `(distance, id)` so the heap's
@@ -376,6 +435,72 @@ impl<T: Copy + Eq + Hash + Ord> PostingLists<T> {
             .collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// The serializable view of the engine's slot state: every live
+    /// `(dense, id, set_size)` triple, ascending by dense slot. Together
+    /// with [`PostingLists::postings_sorted`] and the slot capacity this
+    /// is the full derived state the snapshot layer persists.
+    pub fn snapshot_slots(&self) -> Vec<(u32, TrajId, u32)> {
+        self.interner
+            .live_slots()
+            .into_iter()
+            .map(|(dense, id)| (dense, id, self.set_sizes[dense as usize]))
+            .collect()
+    }
+
+    /// Every posting list, ascending by term — the deterministic
+    /// serialization order of the snapshot layer.
+    pub fn postings_sorted(&self) -> Vec<(T, &RoaringBitmap)> {
+        let mut postings: Vec<(T, &RoaringBitmap)> = self
+            .postings
+            .iter()
+            .map(|(&term, list)| (term, list))
+            .collect();
+        postings.sort_unstable_by_key(|&(term, _)| term);
+        postings
+    }
+
+    /// Materializes an engine directly from persisted derived state —
+    /// the inverse of [`PostingLists::snapshot_slots`] +
+    /// [`PostingLists::postings_sorted`] — without replaying a single
+    /// insert.
+    ///
+    /// # Errors
+    ///
+    /// Rejects structurally inconsistent parts (slots out of range or out
+    /// of order, duplicate ids or terms, empty posting lists, postings
+    /// referencing vacant slots): a successful load must never panic or
+    /// resolve a stale slot at query time.
+    pub fn from_snapshot_parts(
+        capacity: u32,
+        slots: &[(u32, TrajId, u32)],
+        posting_lists: Vec<(T, RoaringBitmap)>,
+    ) -> Result<PostingLists<T>, &'static str> {
+        let live: Vec<(u32, TrajId)> = slots.iter().map(|&(dense, id, _)| (dense, id)).collect();
+        let interner = IdInterner::from_live_slots(capacity, &live)?;
+        let mut set_sizes = vec![0u32; capacity as usize];
+        for &(dense, _, size) in slots {
+            set_sizes[dense as usize] = size;
+        }
+        let live_bitmap: RoaringBitmap = live.iter().map(|&(dense, _)| dense).collect();
+        let mut postings: HashMap<T, RoaringBitmap> = HashMap::with_capacity(posting_lists.len());
+        for (term, list) in posting_lists {
+            if list.is_empty() {
+                return Err("empty posting list");
+            }
+            if !list.is_subset(&live_bitmap) {
+                return Err("posting references a vacant slot");
+            }
+            if postings.insert(term, list).is_some() {
+                return Err("duplicate posting term");
+            }
+        }
+        Ok(PostingLists {
+            interner,
+            postings,
+            set_sizes,
+        })
     }
 
     /// Exact pruned top-k ranking of the candidates of `query_terms`
@@ -748,6 +873,77 @@ mod tests {
         assert_eq!(hits[0], hit(9_000, 0.0));
         assert_eq!(hits[1], hit(9_001, 0.5));
         assert_eq!(hits[2], hit(9_002, 1.0 - 1.0 / 5.0));
+    }
+
+    #[test]
+    fn interner_live_slots_roundtrip_including_vacancies() {
+        let mut it = IdInterner::new();
+        it.intern(id(100));
+        it.intern(id(7));
+        it.intern(id(55));
+        it.release(id(7));
+        let live = it.live_slots();
+        assert_eq!(live, vec![(0, id(100)), (2, id(55))]);
+        let mut rebuilt = IdInterner::from_live_slots(it.capacity() as u32, &live).unwrap();
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt.capacity(), 3);
+        assert_eq!(rebuilt.dense(id(100)), Some(0));
+        assert_eq!(rebuilt.dense(id(55)), Some(2));
+        assert_eq!(rebuilt.dense(id(7)), None);
+        // The vacant slot is handed out again before the table grows.
+        assert_eq!(rebuilt.intern(id(9)), 1);
+    }
+
+    #[test]
+    fn from_live_slots_rejects_malformed_tables() {
+        assert!(IdInterner::from_live_slots(1, &[(0, id(1)), (1, id(2))]).is_err());
+        assert!(IdInterner::from_live_slots(4, &[(5, id(1))]).is_err());
+        assert!(IdInterner::from_live_slots(4, &[(1, id(1)), (0, id(2))]).is_err());
+        assert!(IdInterner::from_live_slots(4, &[(0, id(1)), (1, id(1))]).is_err());
+        assert!(IdInterner::from_live_slots(0, &[]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_parts_roundtrip_the_engine_exactly() {
+        let mut lists = sample();
+        lists.remove(id(1), [3, 4, 5]);
+        let capacity = lists.interner().capacity() as u32;
+        let slots = lists.snapshot_slots();
+        let postings: Vec<(u32, RoaringBitmap)> = lists
+            .postings_sorted()
+            .into_iter()
+            .map(|(term, list)| (term, list.clone()))
+            .collect();
+        let rebuilt = PostingLists::from_snapshot_parts(capacity, &slots, postings).unwrap();
+        assert_eq!(rebuilt.len(), lists.len());
+        assert_eq!(rebuilt.term_count(), lists.term_count());
+        for query in [vec![1u32, 2, 3, 4], vec![100, 101], vec![9]] {
+            for options in [SearchOptions::default(), SearchOptions::default().limit(1)] {
+                assert_eq!(
+                    rebuilt.search(query.iter().copied(), &options),
+                    lists.search(query.iter().copied(), &options)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_parts_reject_inconsistent_state() {
+        let slots = [(0u32, id(1), 2u32)];
+        // Empty posting list.
+        assert!(
+            PostingLists::from_snapshot_parts(1, &slots, vec![(5u32, RoaringBitmap::new())])
+                .is_err()
+        );
+        // Posting referencing a vacant slot.
+        let stray: RoaringBitmap = [3u32].into_iter().collect();
+        assert!(PostingLists::from_snapshot_parts(4, &slots, vec![(5u32, stray)]).is_err());
+        // Duplicate term.
+        let a: RoaringBitmap = [0u32].into_iter().collect();
+        assert!(
+            PostingLists::from_snapshot_parts(1, &slots, vec![(5u32, a.clone()), (5u32, a)])
+                .is_err()
+        );
     }
 
     #[test]

@@ -52,6 +52,26 @@ impl GeodabIndex {
         }
     }
 
+    /// Assembles an index from persisted engine state — the snapshot
+    /// loader's direct-materialization path. The codec validates the
+    /// parts against each other before calling this.
+    pub(crate) fn from_engine_parts(
+        config: GeodabConfig,
+        engine: PostingLists<u32>,
+        fingerprints: HashMap<TrajId, Fingerprints>,
+    ) -> GeodabIndex {
+        GeodabIndex {
+            fingerprinter: Fingerprinter::new(config),
+            engine,
+            fingerprints,
+        }
+    }
+
+    /// The query engine's posting state, for the snapshot codec.
+    pub(crate) fn engine(&self) -> &PostingLists<u32> {
+        &self.engine
+    }
+
     /// The fingerprinting configuration in use.
     pub fn config(&self) -> &GeodabConfig {
         self.fingerprinter.config()
@@ -72,20 +92,6 @@ impl GeodabIndex {
     /// stored trajectories.
     pub fn fingerprint_query(&self, query: &Trajectory) -> Fingerprints {
         self.fingerprinter.normalize_and_fingerprint(query)
-    }
-
-    /// Distinct ids of trajectories sharing at least one fingerprint with
-    /// `query_fp` — the candidate set before ranking, ascending. Answered
-    /// by a union of posting bitmaps plus the interning table; no hash-set
-    /// round-trip.
-    #[deprecated(
-        since = "0.3.0",
-        note = "gathering unranked candidates rescans the postings that `search` \
-                already ranks exactly; use `search`/`search_fingerprints` with \
-                `SearchOptions` instead"
-    )]
-    pub fn candidates(&self, query_fp: &Fingerprints) -> Vec<TrajId> {
-        self.engine.candidate_ids(query_fp.set().iter())
     }
 
     /// Indexes a trajectory normalized by the caller-provided normalizer
@@ -274,11 +280,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn far_away_trajectory_is_not_a_candidate() {
         let idx = sample_index();
         let query = eastward(40, 0.0);
-        let candidates = idx.candidates(&idx.fingerprint_query(&query));
+        let candidates = idx
+            .engine()
+            .candidate_ids(idx.fingerprint_query(&query).set().iter());
         assert!(!candidates.contains(&TrajId::new(2)));
         assert!(candidates.windows(2).all(|w| w[0] < w[1]), "ascending ids");
     }

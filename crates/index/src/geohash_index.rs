@@ -40,6 +40,32 @@ impl GeohashIndex {
         }
     }
 
+    /// Assembles an index from persisted engine state — the snapshot
+    /// loader's direct-materialization path. The codec validates the
+    /// parts against each other before calling this.
+    pub(crate) fn from_engine_parts(
+        depth: u8,
+        engine: PostingLists<u64>,
+        cells: HashMap<TrajId, Vec<u64>>,
+    ) -> GeohashIndex {
+        GeohashIndex {
+            depth,
+            engine,
+            cells,
+        }
+    }
+
+    /// The query engine's posting state, for the snapshot codec.
+    pub(crate) fn engine(&self) -> &PostingLists<u64> {
+        &self.engine
+    }
+
+    /// Iterates over `(id, cells)` of every indexed trajectory in
+    /// unspecified order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (TrajId, &[u64])> {
+        self.cells.iter().map(|(&id, cells)| (id, cells.as_slice()))
+    }
+
     /// The cell depth in bits.
     pub fn depth(&self) -> u8 {
         self.depth

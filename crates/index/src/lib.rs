@@ -53,6 +53,7 @@ pub mod eval;
 mod geodab_index;
 mod geohash_index;
 mod result;
+pub mod store;
 pub mod tuning;
 
 pub use boolean::{MatchLevel, PositionalIndex};

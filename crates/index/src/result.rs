@@ -53,24 +53,6 @@ impl SearchOptions {
         self.limit = Some(limit);
         self
     }
-
-    /// Options with a distance threshold.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the chainable `SearchOptions::default().max_distance(…)`, which combines with `.limit(…)`"
-    )]
-    pub fn with_max_distance(max_distance: f64) -> SearchOptions {
-        SearchOptions::default().max_distance(max_distance)
-    }
-
-    /// Options with a result-count cap.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the chainable `SearchOptions::default().limit(…)`, which combines with `.max_distance(…)`"
-    )]
-    pub fn with_limit(limit: usize) -> SearchOptions {
-        SearchOptions::default().limit(limit)
-    }
 }
 
 /// Sorts hits by ascending distance, breaking ties by id, then applies the
@@ -134,18 +116,5 @@ mod tests {
         let out = finalize(hits, &SearchOptions::default().max_distance(0.5).limit(1));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].id.raw(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_behave() {
-        assert_eq!(
-            SearchOptions::with_max_distance(0.5),
-            SearchOptions::default().max_distance(0.5)
-        );
-        assert_eq!(
-            SearchOptions::with_limit(3),
-            SearchOptions::default().limit(3)
-        );
     }
 }

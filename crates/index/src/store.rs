@@ -1,0 +1,712 @@
+//! The workspace-wide snapshot container: a versioned, checksummed,
+//! sectioned binary format (`GDAB` v2) shared by every index backend.
+//!
+//! A snapshot is a sequence of independently checksummed *sections*, each
+//! holding one piece of serialized **derived engine state** (posting
+//! bitmaps in their [roaring wire form](geodabs_roaring::RoaringBitmap::serialize_into),
+//! interner tables, per-set cardinalities), so loading is a direct
+//! materialization instead of an O(corpus) rebuild. Layout, all
+//! little-endian:
+//!
+//! ```text
+//! magic    b"GDAB"                                  4 bytes
+//! version  u16 = 2                                  2 bytes
+//! backend  u8   (1 = geodab, 2 = geohash, 3 = cluster)
+//! count    u32                                      number of sections
+//! section* id u32, len u64, crc32 u32, payload
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the payload; [`SnapshotReader::parse`]
+//! verifies every section before any backend code touches a byte, so
+//! bit-rot surfaces as [`SnapshotError::ChecksumMismatch`] rather than a
+//! quietly wrong index. Version 1 (the original `GeodabIndex`-only codec
+//! storing raw fingerprint sequences) remains decodable through
+//! [`crate::codec::decode`], which switches on the version field.
+//!
+//! The [`Persist`] trait is the one entry point: every backend —
+//! [`crate::GeodabIndex`], [`crate::GeohashIndex`] and the cluster index —
+//! implements `to_snapshot`/`from_snapshot` over this container, and gets
+//! file-level `save_to`/`load_from` for free.
+
+use geodabs_core::GeodabError;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// The file magic shared by every snapshot version.
+pub const MAGIC: &[u8; 4] = b"GDAB";
+
+/// The sectioned container format this module reads and writes.
+pub const VERSION: u16 = 2;
+
+/// The legacy single-blob `GeodabIndex` format (raw fingerprint
+/// sequences, engine state rebuilt on load).
+pub const VERSION_V1: u16 = 1;
+
+/// Which index backend a snapshot holds, stored in the container header
+/// so a load into the wrong type fails with
+/// [`SnapshotError::WrongBackend`] instead of a section-soup error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// A [`crate::GeodabIndex`] snapshot.
+    Geodab,
+    /// A [`crate::GeohashIndex`] snapshot.
+    Geohash,
+    /// A cluster snapshot: router manifest plus per-node segments.
+    Cluster,
+}
+
+impl BackendKind {
+    /// The header tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            BackendKind::Geodab => 1,
+            BackendKind::Geohash => 2,
+            BackendKind::Cluster => 3,
+        }
+    }
+
+    /// Parses a header tag byte.
+    pub fn from_tag(tag: u8) -> Option<BackendKind> {
+        match tag {
+            1 => Some(BackendKind::Geodab),
+            2 => Some(BackendKind::Geohash),
+            3 => Some(BackendKind::Cluster),
+            _ => None,
+        }
+    }
+
+    /// The backend's stable name (used by the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Geodab => "geodab",
+            BackendKind::Geohash => "geohash",
+            BackendKind::Cluster => "cluster",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a section id from a four-character code.
+pub const fn section_id(name: &[u8; 4]) -> u32 {
+    u32::from_le_bytes(*name)
+}
+
+/// Backend configuration (`GeodabConfig` or cell depth).
+pub const SEC_CONFIG: u32 = section_id(b"CONF");
+/// Interner table: live `(dense, id)` slots plus capacity.
+pub const SEC_SLOTS: u32 = section_id(b"SLOT");
+/// Posting lists: term dictionary with roaring bitmaps of dense slots.
+pub const SEC_POSTINGS: u32 = section_id(b"POST");
+/// Ordered fingerprint sequences per trajectory.
+pub const SEC_FINGERPRINTS: u32 = section_id(b"FPRS");
+/// Distinct cell sets per trajectory (geohash backend).
+pub const SEC_CELLS: u32 = section_id(b"CELL");
+/// The coordinator's indexed-id set (cluster backend).
+pub const SEC_IDSET: u32 = section_id(b"IDST");
+
+/// The section id of cluster node `i`'s segment. Node indexes are bounded
+/// well below the offset, so these never collide with the ASCII
+/// four-character codes above.
+pub fn node_section_id(node: usize) -> u32 {
+    debug_assert!(node <= MAX_NODE_SECTIONS, "node index out of range");
+    section_id(b"NOD\0") + node as u32
+}
+
+/// The largest node index [`node_section_id`] accepts.
+pub const MAX_NODE_SECTIONS: usize = 0x00FF_FFFF;
+
+/// A printable rendering of a section id: the four-character code when it
+/// is one, a node label for node segments, hex otherwise.
+pub fn section_name(id: u32) -> String {
+    let base = section_id(b"NOD\0");
+    if (base..=base + MAX_NODE_SECTIONS as u32).contains(&id) {
+        return format!("NODE{}", id - base);
+    }
+    let bytes = id.to_le_bytes();
+    if bytes.iter().all(|b| b.is_ascii_graphic()) {
+        String::from_utf8_lossy(&bytes).into_owned()
+    } else {
+        format!("{id:#010x}")
+    }
+}
+
+/// Errors reading a snapshot (or writing one to disk).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading or writing the snapshot file failed.
+    Io(std::io::Error),
+    /// The input does not start with the `GDAB` magic.
+    BadMagic,
+    /// The format version is not one this library understands.
+    UnsupportedVersion(u16),
+    /// The input ended in the middle of a record.
+    Truncated,
+    /// A section's payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// The corrupted section.
+        section: u32,
+    },
+    /// The snapshot holds a different backend than the one loading it.
+    WrongBackend {
+        /// The backend of the loading type.
+        expected: BackendKind,
+        /// The tag byte found in the header.
+        found: u8,
+    },
+    /// A required section is absent.
+    MissingSection(u32),
+    /// The same section id appears twice.
+    DuplicateSection(u32),
+    /// A section payload is structurally invalid.
+    Corrupt(&'static str),
+    /// The stored configuration fails validation.
+    InvalidConfig(GeodabError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "input is not a geodabs snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            SnapshotError::Truncated => write!(f, "truncated snapshot data"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {}", section_name(*section))
+            }
+            SnapshotError::WrongBackend { expected, found } => {
+                match BackendKind::from_tag(*found) {
+                    Some(found) => write!(f, "snapshot holds a {found} index, expected {expected}"),
+                    None => write!(f, "unknown backend tag {found}, expected {expected}"),
+                }
+            }
+            SnapshotError::MissingSection(id) => {
+                write!(f, "snapshot is missing section {}", section_name(*id))
+            }
+            SnapshotError::DuplicateSection(id) => {
+                write!(f, "snapshot repeats section {}", section_name(*id))
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::InvalidConfig(e) => write!(f, "invalid stored configuration: {e}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::InvalidConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<geodabs_roaring::WireError> for SnapshotError {
+    fn from(e: geodabs_roaring::WireError) -> SnapshotError {
+        match e {
+            geodabs_roaring::WireError::Truncated => SnapshotError::Truncated,
+            geodabs_roaring::WireError::Corrupt(what) => SnapshotError::Corrupt(what),
+        }
+    }
+}
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The IEEE CRC-32 of `data` (the polynomial zip, PNG and ethernet use).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &byte in data {
+        c = CRC_TABLE[((c ^ byte as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Little-endian cursor over a byte stream; every read is bounds-checked
+/// so truncated input surfaces as [`SnapshotError::Truncated`] instead of
+/// a panic.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.data.len() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] when fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a roaring bitmap in its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bitmap decoder's truncation/corruption errors.
+    pub fn bitmap(&mut self) -> Result<geodabs_roaring::RoaringBitmap, SnapshotError> {
+        let (bitmap, used) = geodabs_roaring::RoaringBitmap::deserialize_from(self.data)?;
+        self.data = &self.data[used..];
+        Ok(bitmap)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] when trailing bytes remain.
+    pub fn expect_end(&self) -> Result<(), SnapshotError> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(
+                "trailing bytes after section payload",
+            ))
+        }
+    }
+}
+
+/// Accumulates sections and serializes the `GDAB` v2 container.
+///
+/// ```
+/// use geodabs_index::store::{BackendKind, SnapshotReader, SnapshotWriter, SEC_CONFIG};
+///
+/// let mut writer = SnapshotWriter::new(BackendKind::Geodab);
+/// writer.section(SEC_CONFIG, vec![1, 2, 3]);
+/// let bytes = writer.finish();
+/// let reader = SnapshotReader::parse(&bytes).unwrap();
+/// assert_eq!(reader.section(SEC_CONFIG).unwrap(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotWriter {
+    backend: BackendKind,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot for the given backend.
+    pub fn new(backend: BackendKind) -> SnapshotWriter {
+        SnapshotWriter {
+            backend,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section. Sections are written in insertion order; ids
+    /// must be unique (checked on read).
+    pub fn section(&mut self, id: u32, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|&(existing, _)| existing != id),
+            "duplicate section id"
+        );
+        self.sections.push((id, payload));
+    }
+
+    /// Serializes the container: header, then every section with its
+    /// length and CRC-32.
+    pub fn finish(self) -> Vec<u8> {
+        let total: usize = self.sections.iter().map(|(_, p)| 16 + p.len()).sum();
+        let mut out = Vec::with_capacity(11 + total);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.backend.tag());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// Reads the snapshot version from a byte stream without parsing the
+/// body — how [`crate::codec::decode`] switches between the v1 and v2
+/// paths.
+///
+/// # Errors
+///
+/// [`SnapshotError::BadMagic`] / [`SnapshotError::Truncated`] on inputs
+/// too foreign to carry a version at all.
+pub fn peek_version(data: &[u8]) -> Result<u16, SnapshotError> {
+    if data.len() < 4 {
+        return Err(SnapshotError::BadMagic);
+    }
+    if &data[..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut cursor = Cursor::new(&data[4..]);
+    cursor.u16()
+}
+
+/// A parsed v2 container: header fields plus the section table, every
+/// payload already checksum-verified.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    backend_tag: u8,
+    sections: Vec<(u32, &'a [u8])>,
+    /// Section id → index into `sections`, so duplicate detection during
+    /// parse and every lookup stay O(1) — cluster loads do one lookup
+    /// per node, and a crafted section count must not buy quadratic CPU.
+    by_id: std::collections::HashMap<u32, usize>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parses and verifies a v2 container: magic, version, section table
+    /// and every section's CRC-32.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] a malformed container can produce; never
+    /// panics on arbitrary input.
+    pub fn parse(data: &'a [u8]) -> Result<SnapshotReader<'a>, SnapshotError> {
+        let version = peek_version(data)?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let mut cursor = Cursor::new(&data[6..]);
+        let backend_tag = cursor.u8()?;
+        let count = cursor.u32()? as usize;
+        let mut sections: Vec<(u32, &[u8])> = Vec::new();
+        let mut by_id = std::collections::HashMap::new();
+        for _ in 0..count {
+            let id = cursor.u32()?;
+            let len = cursor.u64()?;
+            let stored_crc = cursor.u32()?;
+            if cursor.remaining() < len as usize {
+                return Err(SnapshotError::Truncated);
+            }
+            let payload = cursor.take(len as usize)?;
+            if crc32(payload) != stored_crc {
+                return Err(SnapshotError::ChecksumMismatch { section: id });
+            }
+            if by_id.insert(id, sections.len()).is_some() {
+                return Err(SnapshotError::DuplicateSection(id));
+            }
+            sections.push((id, payload));
+        }
+        if cursor.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing bytes after last section"));
+        }
+        Ok(SnapshotReader {
+            backend_tag,
+            sections,
+            by_id,
+        })
+    }
+
+    /// The raw backend tag byte from the header.
+    pub fn backend_tag(&self) -> u8 {
+        self.backend_tag
+    }
+
+    /// The backend, when the tag is a known one.
+    pub fn backend(&self) -> Option<BackendKind> {
+        BackendKind::from_tag(self.backend_tag)
+    }
+
+    /// Fails unless the snapshot holds the given backend.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::WrongBackend`] naming both sides.
+    pub fn expect_backend(&self, expected: BackendKind) -> Result<(), SnapshotError> {
+        if self.backend_tag == expected.tag() {
+            Ok(())
+        } else {
+            Err(SnapshotError::WrongBackend {
+                expected,
+                found: self.backend_tag,
+            })
+        }
+    }
+
+    /// The payload of a required section.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MissingSection`] when absent.
+    pub fn section(&self, id: u32) -> Result<&'a [u8], SnapshotError> {
+        self.optional_section(id)
+            .ok_or(SnapshotError::MissingSection(id))
+    }
+
+    /// The payload of a section that may be absent.
+    pub fn optional_section(&self, id: u32) -> Option<&'a [u8]> {
+        self.by_id.get(&id).map(|&index| self.sections[index].1)
+    }
+
+    /// Every section in file order, as `(id, payload)`.
+    pub fn sections(&self) -> &[(u32, &'a [u8])] {
+        &self.sections
+    }
+}
+
+/// Snapshot persistence, implemented by every index backend.
+///
+/// `to_snapshot`/`from_snapshot` round-trip the full engine state through
+/// the `GDAB` v2 container; `save_to`/`load_from` add the file I/O. The
+/// contract every implementation upholds (and the snapshot test-suites
+/// pin): `from_snapshot(to_snapshot(index))` answers every query exactly
+/// like `index`, and `from_snapshot` never panics on arbitrary bytes.
+pub trait Persist: Sized {
+    /// Serializes the index into a self-contained snapshot.
+    fn to_snapshot(&self) -> Vec<u8>;
+
+    /// Materializes an index from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// A [`SnapshotError`] on malformed input; a successful load is
+    /// always internally consistent.
+    fn from_snapshot(data: &[u8]) -> Result<Self, SnapshotError>;
+
+    /// Writes the snapshot to a file, returning the byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failures.
+    fn save_to<P: AsRef<Path>>(&self, path: P) -> Result<u64, SnapshotError> {
+        let bytes = self.to_snapshot();
+        std::fs::write(path, &bytes).map_err(SnapshotError::Io)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads a snapshot file back into an index.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failures, any decode error on
+    /// malformed contents.
+    fn load_from<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        Self::from_snapshot(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut writer = SnapshotWriter::new(BackendKind::Geodab);
+        writer.section(SEC_CONFIG, vec![36, 16, 6, 0, 0, 0]);
+        writer.section(SEC_POSTINGS, (0u8..200).collect());
+        writer.section(node_section_id(3), Vec::new());
+        writer.finish()
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let bytes = sample();
+        let reader = SnapshotReader::parse(&bytes).expect("valid container");
+        assert_eq!(reader.backend(), Some(BackendKind::Geodab));
+        assert_eq!(reader.section(SEC_CONFIG).unwrap(), &[36, 16, 6, 0, 0, 0]);
+        assert_eq!(reader.section(SEC_POSTINGS).unwrap().len(), 200);
+        assert_eq!(reader.section(node_section_id(3)).unwrap().len(), 0);
+        assert_eq!(reader.sections().len(), 3);
+        assert!(reader.optional_section(SEC_CELLS).is_none());
+        assert!(matches!(
+            reader.section(SEC_CELLS),
+            Err(SnapshotError::MissingSection(_))
+        ));
+        assert!(reader.expect_backend(BackendKind::Geodab).is_ok());
+        assert!(matches!(
+            reader.expect_backend(BackendKind::Cluster),
+            Err(SnapshotError::WrongBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn payload_bitflips_are_caught_by_the_checksum() {
+        let bytes = sample();
+        let reader = SnapshotReader::parse(&bytes).unwrap();
+        // Find where the POST payload lives and flip a bit inside it.
+        let payload = reader.section(SEC_POSTINGS).unwrap();
+        let offset = payload.as_ptr() as usize - bytes.as_ptr() as usize + 100;
+        drop(reader);
+        let mut corrupted = bytes.clone();
+        corrupted[offset] ^= 0x40;
+        assert!(matches!(
+            SnapshotReader::parse(&corrupted),
+            Err(SnapshotError::ChecksumMismatch { section }) if section == SEC_POSTINGS
+        ));
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::parse(&bytes[..cut]).expect_err("strict prefix");
+            assert!(!err.to_string().is_empty(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            SnapshotReader::parse(&padded),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn versions_and_magic_are_enforced() {
+        assert!(matches!(peek_version(b""), Err(SnapshotError::BadMagic)));
+        assert!(matches!(
+            peek_version(b"NOPE\x02\x00"),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert_eq!(peek_version(b"GDAB\x02\x00").unwrap(), 2);
+        assert_eq!(peek_version(b"GDAB\x01\x00").unwrap(), 1);
+        assert!(matches!(
+            SnapshotReader::parse(b"GDAB\x01\x00rest"),
+            Err(SnapshotError::UnsupportedVersion(1))
+        ));
+        assert!(matches!(
+            SnapshotReader::parse(b"GDAB\x63\x00rest"),
+            Err(SnapshotError::UnsupportedVersion(0x63))
+        ));
+    }
+
+    #[test]
+    fn duplicate_sections_are_rejected() {
+        // Hand-assemble a container repeating SEC_CONFIG.
+        let mut writer = SnapshotWriter::new(BackendKind::Geohash);
+        writer.section(SEC_CONFIG, vec![1]);
+        let mut bytes = writer.finish();
+        // Append a copy of the one section and bump the count.
+        let section_bytes = bytes[11..].to_vec();
+        bytes.extend_from_slice(&section_bytes);
+        bytes[7..11].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::parse(&bytes),
+            Err(SnapshotError::DuplicateSection(id)) if id == SEC_CONFIG
+        ));
+    }
+
+    #[test]
+    fn cursor_reads_are_bounds_checked() {
+        let mut cursor = Cursor::new(&[1, 2, 3]);
+        assert_eq!(cursor.u8().unwrap(), 1);
+        assert_eq!(cursor.u16().unwrap(), u16::from_le_bytes([2, 3]));
+        assert!(matches!(cursor.u8(), Err(SnapshotError::Truncated)));
+        assert!(cursor.expect_end().is_ok());
+        let mut cursor = Cursor::new(&[0; 12]);
+        assert_eq!(cursor.u32().unwrap(), 0);
+        assert_eq!(cursor.u64().unwrap(), 0);
+        let trailing = Cursor::new(&[0; 2]);
+        assert!(trailing.expect_end().is_err());
+    }
+
+    #[test]
+    fn section_names_render() {
+        assert_eq!(section_name(SEC_CONFIG), "CONF");
+        assert_eq!(section_name(node_section_id(0)), "NODE0");
+        assert_eq!(section_name(node_section_id(42)), "NODE42");
+        assert_eq!(section_name(1), "0x00000001");
+    }
+
+    #[test]
+    fn backend_tags_roundtrip() {
+        for kind in [
+            BackendKind::Geodab,
+            BackendKind::Geohash,
+            BackendKind::Cluster,
+        ] {
+            assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(BackendKind::from_tag(0), None);
+        assert_eq!(BackendKind::from_tag(99), None);
+    }
+}

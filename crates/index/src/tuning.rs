@@ -216,8 +216,9 @@ mod tests {
     fn hill_climb_recovers_from_a_bad_seed() {
         let s = sample();
         // 48-bit normalization is far too deep for 20 m-scale noise.
-        let bad = GeodabConfig::default()
-            .with_normalization_depth(48)
+        let bad = GeodabConfig::builder()
+            .normalization_depth(48)
+            .build()
             .unwrap();
         let bad_score = s.score(bad);
         let result = hill_climb(&s, bad, 10);

@@ -1,11 +1,13 @@
-//! Property tests pinning the binary persistence format before future
-//! versions extend it: `decode ∘ encode ≡ id` over random corpora, and
-//! malformed input (truncation, bad magic, header corruption) must
-//! surface as a [`CodecError`], never a panic or a silently-wrong index.
+//! Property tests pinning the snapshot formats: `load ∘ save ≡ id` on
+//! search results for both single-node backends, legacy v1 blobs still
+//! decoding, and malformed input (truncation, bit flips, checksum damage)
+//! surfacing as a [`SnapshotError`] — never a panic or a silently-wrong
+//! index.
 
 use geodabs_core::{Fingerprints, GeodabConfig};
-use geodabs_index::codec::{decode, encode, CodecError};
-use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_index::codec::{decode, encode, encode_v1};
+use geodabs_index::store::{Persist, SnapshotError};
+use geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
 use geodabs_traj::TrajId;
 use proptest::prelude::*;
 
@@ -27,14 +29,19 @@ proptest! {
 
     /// Round trip preserves every fingerprint sequence (ordered view
     /// included — the part a set-based bug would drop), the config and
-    /// the rankings.
+    /// the rankings — including after removals, which leave vacant
+    /// interner slots behind.
     #[test]
-    fn decode_encode_is_identity(
+    fn load_save_is_identity(
         sets in proptest::collection::vec(
             proptest::collection::vec(0u32..100_000, 0..40), 0..20),
         query in proptest::collection::vec(0u32..100_000, 0..40),
+        remove_stride in 2usize..5,
     ) {
-        let original = index_of(&sets);
+        let mut original = index_of(&sets);
+        for i in (0..sets.len()).step_by(remove_stride) {
+            original.remove(TrajId::new((i * 3 + 1) as u32));
+        }
         let decoded = decode(&encode(&original)).expect("roundtrip");
         prop_assert_eq!(decoded.len(), original.len());
         prop_assert_eq!(decoded.term_count(), original.term_count());
@@ -57,19 +64,41 @@ proptest! {
         }
     }
 
-    /// Every strict prefix of a valid encoding fails to decode with a
-    /// structured error — no panic, no partial index.
+    /// Legacy v1 blobs decode into exactly the index the v2 path
+    /// produces: same contents, same rankings, same re-encoded bytes.
+    #[test]
+    fn v1_blobs_still_decode(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 0..30), 0..12),
+        query in proptest::collection::vec(0u32..100_000, 0..30),
+    ) {
+        let original = index_of(&sets);
+        let from_v1 = decode(&encode_v1(&original)).expect("v1 decode");
+        prop_assert_eq!(from_v1.len(), original.len());
+        prop_assert_eq!(from_v1.term_count(), original.term_count());
+        prop_assert_eq!(encode(&from_v1), encode(&original));
+        let query = Fingerprints::from_ordered(query);
+        prop_assert_eq!(
+            from_v1.search_fingerprints(&query, &SearchOptions::default()),
+            original.search_fingerprints(&query, &SearchOptions::default())
+        );
+    }
+
+    /// Every strict prefix of a valid encoding (either version) fails to
+    /// decode with a structured error — no panic, no partial index.
     #[test]
     fn truncation_always_errors(
         sets in proptest::collection::vec(
             proptest::collection::vec(0u32..50_000, 0..20), 0..8),
         cut_seed in 0usize..10_000,
+        legacy in any::<bool>(),
     ) {
-        let bytes = encode(&index_of(&sets));
+        let index = index_of(&sets);
+        let bytes = if legacy { encode_v1(&index) } else { encode(&index) };
         let cut = cut_seed % bytes.len();
         let err = decode(&bytes[..cut]).expect_err("truncated input must fail");
         prop_assert!(
-            matches!(err, CodecError::Truncated | CodecError::BadMagic),
+            matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
             "cut at {}: {:?}", cut, err
         );
     }
@@ -84,12 +113,13 @@ proptest! {
     ) {
         let mut bytes = encode(&index_of(&sets));
         bytes[byte] ^= xor;
-        prop_assert_eq!(decode(&bytes).err(), Some(CodecError::BadMagic));
+        prop_assert!(matches!(decode(&bytes), Err(SnapshotError::BadMagic)));
     }
 
-    /// Arbitrary bit flips anywhere in the stream never panic: they
-    /// either decode (the flip hit fingerprint payload, yielding a
-    /// different but well-formed index) or fail with a codec error.
+    /// Arbitrary bit flips anywhere in a v2 stream never panic — and a
+    /// flip inside any section payload is always caught by its CRC-32
+    /// (flips in the header or section table surface as other structured
+    /// errors).
     #[test]
     fn random_corruption_never_panics(
         sets in proptest::collection::vec(
@@ -97,49 +127,133 @@ proptest! {
         offset_seed in 0usize..10_000,
         xor in 1u8..=255,
     ) {
-        let mut bytes = encode(&index_of(&sets));
+        let bytes = encode(&index_of(&sets));
+        let offset = offset_seed % bytes.len();
+        let mut corrupted = bytes;
+        corrupted[offset] ^= xor;
+        let err = decode(&corrupted).expect_err("a v2 bit flip is always detected");
+        prop_assert!(!err.to_string().is_empty());
+    }
+
+    /// Bit flips in legacy v1 streams never panic either: they decode to
+    /// a well-formed (if different) index or fail with a codec error —
+    /// v1 has no checksums, which is part of why v2 exists.
+    #[test]
+    fn v1_corruption_never_panics(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..50_000, 0..10), 1..6),
+        offset_seed in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_v1(&index_of(&sets));
         let offset = offset_seed % bytes.len();
         bytes[offset] ^= xor;
         match decode(&bytes) {
-            Ok(index) => {
-                // Whatever decoded is internally consistent.
-                prop_assert!(index.len() <= sets.len());
-            }
-            Err(e) => {
-                prop_assert!(!e.to_string().is_empty());
-            }
+            Ok(index) => prop_assert!(index.len() <= sets.len()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
         }
+    }
+
+    /// The geohash backend round-trips exactly too, over synthetic cell
+    /// sets exercised through the public trajectory API.
+    #[test]
+    fn geohash_load_save_is_identity(
+        paths in proptest::collection::vec((0usize..40, 0u8..3), 1..10),
+        depth in 20u8..40,
+    ) {
+        use geodabs_geo::Point;
+        use geodabs_traj::Trajectory;
+        let start = Point::new(51.5074, -0.1278).unwrap();
+        let mut index = GeohashIndex::new(depth);
+        let trajectories: Vec<Trajectory> = paths
+            .iter()
+            .map(|&(len, dir)| {
+                (0..len + 2)
+                    .map(|i| start.destination(dir as f64 * 90.0, i as f64 * 120.0))
+                    .collect()
+            })
+            .collect();
+        for (i, t) in trajectories.iter().enumerate() {
+            index.insert(TrajId::new(i as u32), t);
+        }
+        // A removal leaves a vacant slot behind.
+        index.remove(TrajId::new(0));
+        let decoded = GeohashIndex::from_snapshot(&index.to_snapshot()).expect("roundtrip");
+        prop_assert_eq!(decoded.len(), index.len());
+        prop_assert_eq!(decoded.term_count(), index.term_count());
+        prop_assert_eq!(decoded.to_snapshot(), index.to_snapshot());
+        for t in &trajectories {
+            prop_assert_eq!(
+                decoded.search(t, &SearchOptions::default()),
+                index.search(t, &SearchOptions::default())
+            );
+        }
+    }
+
+    /// Bit flips in a geohash snapshot never panic.
+    #[test]
+    fn geohash_corruption_never_panics(
+        offset_seed in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        use geodabs_geo::Point;
+        use geodabs_traj::Trajectory;
+        let start = Point::new(51.5074, -0.1278).unwrap();
+        let t: Trajectory = (0..30).map(|i| start.destination(90.0, i as f64 * 120.0)).collect();
+        let mut index = GeohashIndex::new(36);
+        index.insert(TrajId::new(3), &t);
+        let mut bytes = index.to_snapshot();
+        let offset = offset_seed % bytes.len();
+        bytes[offset] ^= xor;
+        let err = GeohashIndex::from_snapshot(&bytes).expect_err("always detected");
+        prop_assert!(!err.to_string().is_empty());
     }
 }
 
 /// Fixed adversarial cases that random corruption is unlikely to hit.
 #[test]
-fn crafted_length_prefixes_are_rejected() {
+fn crafted_v1_length_prefixes_are_rejected() {
     let mut index = GeodabIndex::new(GeodabConfig::default());
     index.insert_fingerprints(TrajId::new(0), Fingerprints::from_ordered(vec![1, 2, 3]));
-    let bytes = encode(&index);
+    let bytes = encode_v1(&index);
     // The per-entry fingerprint count sits right after the entry id;
     // inflate it so it claims far more payload than the stream holds.
     let count_offset = 4 + 2 + 10 + 8 + 4;
     let mut crafted = bytes.clone();
     crafted[count_offset..count_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-    assert_eq!(decode(&crafted).err(), Some(CodecError::Truncated));
+    assert!(matches!(decode(&crafted), Err(SnapshotError::Truncated)));
 
     // An entry-count header promising more records than exist.
     let mut crafted = bytes;
     let count_offset = 4 + 2 + 10;
     crafted[count_offset..count_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
-    assert_eq!(decode(&crafted).err(), Some(CodecError::Truncated));
+    assert!(matches!(decode(&crafted), Err(SnapshotError::Truncated)));
 }
 
 #[test]
 fn empty_input_and_foreign_files_are_rejected() {
-    assert_eq!(decode(b"").err(), Some(CodecError::BadMagic));
-    assert_eq!(decode(b"GDA").err(), Some(CodecError::BadMagic));
-    assert_eq!(
-        decode(b"PK\x03\x04zipfile").err(),
-        Some(CodecError::BadMagic)
-    );
+    assert!(matches!(decode(b""), Err(SnapshotError::BadMagic)));
+    assert!(matches!(decode(b"GDA"), Err(SnapshotError::BadMagic)));
+    assert!(matches!(
+        decode(b"PK\x03\x04zipfile"),
+        Err(SnapshotError::BadMagic)
+    ));
     // Valid magic, then nothing: truncated header.
-    assert_eq!(decode(b"GDAB").err(), Some(CodecError::Truncated));
+    assert!(matches!(decode(b"GDAB"), Err(SnapshotError::Truncated)));
+}
+
+#[test]
+fn file_roundtrip_through_save_and_load() {
+    let dir = std::env::temp_dir().join("geodabs-codec-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("roundtrip.gdab");
+    let index = index_of(&[vec![1, 2, 3], vec![2, 3, 4]]);
+    let written = index.save_to(&path).expect("save");
+    assert_eq!(written, std::fs::metadata(&path).expect("stat").len());
+    let loaded = GeodabIndex::load_from(&path).expect("load");
+    assert_eq!(loaded.len(), index.len());
+    assert!(matches!(
+        GeodabIndex::load_from(dir.join("does-not-exist.gdab")),
+        Err(SnapshotError::Io(_))
+    ));
 }

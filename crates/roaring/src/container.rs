@@ -396,6 +396,80 @@ impl Container {
         }
     }
 
+    /// Bytes [`Container::write_wire`] will append for this container's
+    /// payload (excluding the key and cardinality fields the bitmap-level
+    /// framing writes).
+    pub(crate) fn wire_size(&self) -> usize {
+        match self {
+            Container::Array(v) => 2 * v.len(),
+            Container::Bitmap(_) => 8 * WORDS,
+        }
+    }
+
+    /// Appends the container payload in its canonical wire form: sorted
+    /// `u16` little-endian values for arrays, the raw 1024-word bitset for
+    /// bitmaps. The representation is implied by the cardinality (arrays
+    /// hold at most [`ARRAY_MAX`] values), so no kind tag is written.
+    pub(crate) fn write_wire(&self, out: &mut Vec<u8>) {
+        match self {
+            Container::Array(v) => {
+                for &low in v {
+                    out.extend_from_slice(&low.to_le_bytes());
+                }
+            }
+            Container::Bitmap(b) => {
+                for &word in b.words.iter() {
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Reads a container payload of the given cardinality back, returning
+    /// it plus the number of bytes consumed. Rejects (rather than panics
+    /// on) every malformed input: short payloads, unsorted arrays, and
+    /// bitsets whose population count disagrees with the framed
+    /// cardinality.
+    pub(crate) fn read_wire(
+        data: &[u8],
+        cardinality: usize,
+    ) -> Result<(Container, usize), &'static str> {
+        if cardinality == 0 {
+            return Err("empty container");
+        }
+        if cardinality <= ARRAY_MAX {
+            let need = 2 * cardinality;
+            if data.len() < need {
+                return Err("truncated array container");
+            }
+            let values: Vec<u16> = data[..need]
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                .collect();
+            if !values.windows(2).all(|w| w[0] < w[1]) {
+                return Err("array container not strictly sorted");
+            }
+            Ok((Container::Array(values), need))
+        } else {
+            let need = 8 * WORDS;
+            if data.len() < need {
+                return Err("truncated bitmap container");
+            }
+            let mut store = BitmapStore::new();
+            let mut popcount = 0u32;
+            for (wi, chunk) in data[..need].chunks_exact(8).enumerate() {
+                let word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                store.words[wi] = word;
+                popcount += word.count_ones();
+            }
+            if popcount as usize != cardinality {
+                return Err("bitmap cardinality mismatch");
+            }
+            store.cardinality = popcount;
+            Ok((Container::Bitmap(store), need))
+        }
+    }
+
     pub(crate) fn is_subset(&self, other: &Container) -> bool {
         if self.len() > other.len() {
             return false;

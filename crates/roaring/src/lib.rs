@@ -25,6 +25,9 @@
 #![warn(missing_docs)]
 
 mod container;
+pub mod wire;
+
+pub use wire::WireError;
 
 use container::Container;
 use serde::de::{SeqAccess, Visitor};

@@ -1,0 +1,254 @@
+//! Compact on-wire encoding of a [`RoaringBitmap`].
+//!
+//! The snapshot layer (`geodabs_index::store`) persists posting lists as
+//! bitmaps, so loading an index must materialize each bitmap directly
+//! instead of replaying inserts. The format mirrors the in-memory layout,
+//! all little-endian:
+//!
+//! ```text
+//! n_containers  u32
+//! container*    key u16, cardinality−1 u16, payload
+//! ```
+//!
+//! The payload representation is implied by the cardinality — at most
+//! `ARRAY_MAX` (4096) values: a sorted `u16` array; more: the
+//! raw 1024 × `u64` bitset — so every bitmap has exactly one encoding and
+//! `serialize ∘ deserialize ≡ id` on the bytes as well as the set.
+//! Decoding validates everything it reads (container keys strictly
+//! ascending, arrays strictly sorted, bitset population counts matching
+//! the framed cardinality) and returns a [`WireError`] instead of
+//! panicking on malformed input.
+
+use crate::container::Container;
+use crate::RoaringBitmap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors decoding a serialized bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the encoded bitmap did.
+    Truncated,
+    /// The input is structurally invalid (unsorted keys or values,
+    /// cardinality mismatch).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated roaring bitmap data"),
+            WireError::Corrupt(what) => write!(f, "corrupt roaring bitmap data: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl RoaringBitmap {
+    /// Exact number of bytes [`RoaringBitmap::serialize_into`] appends.
+    pub fn serialized_size(&self) -> usize {
+        4 + self
+            .containers
+            .iter()
+            .map(|(_, c)| 4 + c.wire_size())
+            .sum::<usize>()
+    }
+
+    /// Appends the canonical wire form of the bitmap to `out`. See the
+    /// [module docs](self) for the layout.
+    ///
+    /// ```
+    /// use geodabs_roaring::RoaringBitmap;
+    ///
+    /// let bm: RoaringBitmap = [1u32, 2, 100_000].into_iter().collect();
+    /// let mut bytes = Vec::new();
+    /// bm.serialize_into(&mut bytes);
+    /// assert_eq!(bytes.len(), bm.serialized_size());
+    /// let (back, used) = RoaringBitmap::deserialize_from(&bytes).unwrap();
+    /// assert_eq!(back, bm);
+    /// assert_eq!(used, bytes.len());
+    /// ```
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.serialized_size());
+        out.extend_from_slice(&(self.containers.len() as u32).to_le_bytes());
+        for (key, container) in &self.containers {
+            out.extend_from_slice(&key.to_le_bytes());
+            debug_assert!(!container.is_empty(), "empty containers are never stored");
+            out.extend_from_slice(&((container.len() as u16).wrapping_sub(1)).to_le_bytes());
+            container.write_wire(out);
+        }
+    }
+
+    /// Decodes a bitmap from the front of `data`, returning it together
+    /// with the number of bytes consumed (the framing is self-delimiting,
+    /// so callers can pack bitmaps back to back).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated or structurally invalid input;
+    /// a successful decode is always a canonical, internally consistent
+    /// bitmap.
+    pub fn deserialize_from(data: &[u8]) -> Result<(RoaringBitmap, usize), WireError> {
+        let take = |at: usize, n: usize| -> Result<&[u8], WireError> {
+            data.get(at..at + n).ok_or(WireError::Truncated)
+        };
+        let n_containers = u32::from_le_bytes(take(0, 4)?.try_into().expect("4 bytes")) as usize;
+        let mut at = 4;
+        let mut containers: Vec<(u16, Container)> = Vec::new();
+        // Don't trust the count for preallocation: a crafted header could
+        // claim 2^32 containers against a tiny payload.
+        for _ in 0..n_containers {
+            let key = u16::from_le_bytes(take(at, 2)?.try_into().expect("2 bytes"));
+            let cardinality =
+                u16::from_le_bytes(take(at + 2, 2)?.try_into().expect("2 bytes")) as usize + 1;
+            at += 4;
+            if let Some(&(last, _)) = containers.last() {
+                if last >= key {
+                    return Err(WireError::Corrupt("container keys not strictly ascending"));
+                }
+            }
+            let (container, used) =
+                Container::read_wire(&data[at..], cardinality).map_err(|what| {
+                    if what.starts_with("truncated") {
+                        WireError::Truncated
+                    } else {
+                        WireError::Corrupt(what)
+                    }
+                })?;
+            at += used;
+            containers.push((key, container));
+        }
+        Ok((RoaringBitmap { containers }, at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(bm: &RoaringBitmap) -> RoaringBitmap {
+        let mut bytes = Vec::new();
+        bm.serialize_into(&mut bytes);
+        assert_eq!(bytes.len(), bm.serialized_size());
+        let (back, used) = RoaringBitmap::deserialize_from(&bytes).expect("roundtrip");
+        assert_eq!(used, bytes.len());
+        back
+    }
+
+    #[test]
+    fn empty_and_small_bitmaps_roundtrip() {
+        assert_eq!(roundtrip(&RoaringBitmap::new()), RoaringBitmap::new());
+        let small: RoaringBitmap = [0u32, 1, 65_535, 65_536, u32::MAX].into_iter().collect();
+        assert_eq!(roundtrip(&small), small);
+    }
+
+    #[test]
+    fn dense_chunks_roundtrip_through_the_bitset_payload() {
+        // Straddles the array→bitset boundary within one chunk and spills
+        // into a second chunk.
+        let dense: RoaringBitmap = (0..70_000u32).collect();
+        assert_eq!(roundtrip(&dense), dense);
+        // A full chunk exercises the cardinality−1 framing (65 536 does
+        // not fit in a u16).
+        let full: RoaringBitmap = (0..65_536u32).collect();
+        assert_eq!(roundtrip(&full), full);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_canonical() {
+        let a: RoaringBitmap = (0..10_000u32).map(|i| i * 7).collect();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        a.serialize_into(&mut x);
+        roundtrip(&a).serialize_into(&mut y);
+        assert_eq!(x, y, "serialize ∘ deserialize is the identity on bytes");
+    }
+
+    #[test]
+    fn truncation_and_garbage_error_instead_of_panicking() {
+        let bm: RoaringBitmap = (0..9_000u32).collect();
+        let mut bytes = Vec::new();
+        bm.serialize_into(&mut bytes);
+        for cut in [0, 1, 3, 4, 5, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                RoaringBitmap::deserialize_from(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // A count claiming far more containers than the payload holds.
+        assert_eq!(
+            RoaringBitmap::deserialize_from(&u32::MAX.to_le_bytes()),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_rejected() {
+        // Two containers with non-ascending keys.
+        let a: RoaringBitmap = [1u32, 65_537].into_iter().collect();
+        let mut bytes = Vec::new();
+        a.serialize_into(&mut bytes);
+        // Swap the two container keys (key at offset 4, next key follows
+        // the first container's 2-byte payload at offset 4+4+2).
+        bytes.swap(4, 10);
+        assert!(matches!(
+            RoaringBitmap::deserialize_from(&bytes),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_preserves_the_set(
+            xs in proptest::collection::vec(any::<u32>(), 0..600),
+        ) {
+            let bm: RoaringBitmap = xs.iter().copied().collect();
+            let back = roundtrip(&bm);
+            prop_assert_eq!(&back, &bm);
+            prop_assert_eq!(
+                back.iter().collect::<Vec<_>>(),
+                bm.iter().collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn prop_bitflips_never_panic(
+            xs in proptest::collection::vec(0u32..100_000, 1..300),
+            offset_seed in 0usize..10_000,
+            xor in 1u8..=255,
+        ) {
+            let bm: RoaringBitmap = xs.iter().copied().collect();
+            let mut bytes = Vec::new();
+            bm.serialize_into(&mut bytes);
+            let offset = offset_seed % bytes.len();
+            bytes[offset] ^= xor;
+            match RoaringBitmap::deserialize_from(&bytes) {
+                Ok((decoded, used)) => {
+                    prop_assert!(used <= bytes.len());
+                    // Whatever decoded is internally consistent.
+                    prop_assert_eq!(decoded.iter().count() as u64, decoded.len());
+                }
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+        }
+
+        #[test]
+        fn prop_truncation_never_panics(
+            xs in proptest::collection::vec(0u32..100_000, 0..300),
+            cut_seed in 0usize..10_000,
+        ) {
+            let bm: RoaringBitmap = xs.iter().copied().collect();
+            let mut bytes = Vec::new();
+            bm.serialize_into(&mut bytes);
+            let cut = cut_seed % (bytes.len() + 1);
+            if let Ok((decoded, used)) = RoaringBitmap::deserialize_from(&bytes[..cut]) {
+                // A shorter valid prefix can only happen when the cut
+                // kept the whole encoding.
+                prop_assert_eq!(used, bytes.len());
+                prop_assert_eq!(decoded, bm);
+            }
+        }
+    }
+}

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "depth", "P@recall=.5", "P@recall=1", "mean P"
     );
     for depth in [32u8, 34, 36, 38, 40] {
-        let config = GeodabConfig::default().with_normalization_depth(depth)?;
+        let config = GeodabConfig::builder().normalization_depth(depth).build()?;
         let mut index = GeodabIndex::new(config);
         for record in dataset.records() {
             index.insert(record.id, &record.trajectory);

@@ -1,11 +1,13 @@
-//! Persistence and boolean retrieval: build an index, save it to disk in
-//! the compact binary format, reload it, and run ranked, boolean and
-//! sub-trajectory queries against the restored copy.
+//! Snapshots and boolean retrieval: build all three index backends,
+//! save each to disk in the sectioned `GDAB` v2 snapshot format, reload
+//! them cold, and verify the restored indexes answer exactly like the
+//! originals — plus a sub-trajectory query against the positional index.
 //!
 //! Run with `cargo run --release --example persistence`.
 
+use geodabs::cluster::ClusterIndex;
 use geodabs::gen::dataset::{Dataset, DatasetConfig};
-use geodabs::index::{codec, PositionalIndex};
+use geodabs::index::{GeohashIndex, PositionalIndex};
 use geodabs::prelude::*;
 use geodabs::roadnet::generators::{grid_network, GridConfig};
 
@@ -21,35 +23,79 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         19,
     )?;
+    let items: Vec<_> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let query = &dataset.queries()[0];
+    let options = SearchOptions::default().limit(5);
+    let dir = std::env::temp_dir();
 
-    // Build and persist the ranked index.
-    let mut index = GeodabIndex::new(GeodabConfig::default());
-    for r in dataset.records() {
-        index.insert(r.id, &r.trajectory);
-    }
-    let path = std::env::temp_dir().join("geodabs-example.gdab");
-    let bytes = codec::encode(&index);
-    std::fs::write(&path, &bytes)?;
+    // Build, save and reload the paper's geodab index. `Persist` gives
+    // every backend `save_to`/`load_from` over the same container format;
+    // the snapshot stores the engine's derived state (posting bitmaps,
+    // interner table), so loading materializes directly instead of
+    // re-ingesting.
+    let mut geodab = GeodabIndex::new(GeodabConfig::default());
+    geodab.insert_batch(items.clone());
+    let path = dir.join("geodabs-example.gdab");
+    let bytes = geodab.save_to(&path)?;
     println!(
-        "saved {} trajectories / {} terms as {} bytes to {}",
-        index.len(),
-        index.term_count(),
-        bytes.len(),
+        "geodab:  saved {} trajectories / {} terms as {} bytes to {}",
+        geodab.len(),
+        geodab.term_count(),
+        bytes,
+        path.display()
+    );
+    let restored = GeodabIndex::load_from(&path)?;
+    assert_eq!(
+        restored.search(&query.trajectory, &options),
+        geodab.search(&query.trajectory, &options)
+    );
+    println!("         restored index answers identically");
+
+    // The geohash baseline persists the same way (terms are u64 cells).
+    let mut geohash = GeohashIndex::new(36);
+    geohash.insert_batch(items.clone());
+    let path = dir.join("geodabs-example-geohash.gdab");
+    geohash.save_to(&path)?;
+    let restored = GeohashIndex::load_from(&path)?;
+    assert_eq!(
+        restored.search(&query.trajectory, &options),
+        geohash.search(&query.trajectory, &options)
+    );
+    println!(
+        "geohash: {} trajectories / {} cells round-trip through {}",
+        geohash.len(),
+        geohash.term_count(),
         path.display()
     );
 
-    // Reload and query: the restored index answers identically.
-    let restored = codec::decode(&std::fs::read(&path)?)?;
-    let query = &dataset.queries()[0];
-    let hits = restored.search(&query.trajectory, &SearchOptions::default().limit(5));
-    println!("\ntop hits from the restored index:");
-    for h in &hits {
+    // A sharded cluster snapshot is a manifest plus per-node segments,
+    // written and read concurrently — the cold-start path of a sharded
+    // deployment.
+    let mut cluster = ClusterIndex::new(GeodabConfig::default(), 10_000, 8)?;
+    cluster.insert_batch(items);
+    let path = dir.join("geodabs-example-cluster.gdab");
+    cluster.save_to(&path)?;
+    let restored = ClusterIndex::load_from(&path)?;
+    assert_eq!(restored.postings_per_node(), cluster.postings_per_node());
+    let (hits, stats) = restored.search_with_stats(&query.trajectory, &options);
+    assert_eq!(hits, cluster.search(&query.trajectory, &options));
+    println!(
+        "cluster: {} nodes restored; query contacted {} node(s) for {} hit(s)",
+        restored.router().num_nodes(),
+        stats.nodes_contacted,
+        hits.len()
+    );
+
+    println!("\ntop hits from the restored geodab index:");
+    for h in GeodabIndex::load_from(dir.join("geodabs-example.gdab"))?
+        .search(&query.trajectory, &options)
+    {
         println!("  {} at distance {:.3}", h.id, h.distance);
     }
-    assert_eq!(
-        hits,
-        index.search(&query.trajectory, &SearchOptions::default().limit(5))
-    );
 
     // Positional retrieval: find trajectories containing a route segment.
     let mut positional = PositionalIndex::new(GeodabConfig::default());

@@ -7,7 +7,7 @@ use geodabs_cluster::ClusterConfigError;
 use geodabs_core::GeodabError;
 use geodabs_gen::csv::CsvError;
 use geodabs_geo::GeoError;
-use geodabs_index::codec::CodecError;
+use geodabs_index::store::SnapshotError;
 use geodabs_roadnet::RoadNetError;
 
 /// Unified error for the `geodabs` façade: every per-crate error converts
@@ -37,8 +37,9 @@ pub enum Error {
     RoadNet(RoadNetError),
     /// Invalid cluster topology (from `geodabs-cluster`).
     Cluster(ClusterConfigError),
-    /// Malformed persisted index (from `geodabs-index`).
-    Codec(CodecError),
+    /// Malformed or unreadable snapshot (from the `geodabs-index`
+    /// persistence layer).
+    Snapshot(SnapshotError),
     /// Malformed trajectory CSV (from `geodabs-gen`).
     Csv(CsvError),
 }
@@ -50,7 +51,7 @@ impl fmt::Display for Error {
             Error::Geo(e) => write!(f, "geographic primitive: {e}"),
             Error::RoadNet(e) => write!(f, "road network: {e}"),
             Error::Cluster(e) => write!(f, "cluster topology: {e}"),
-            Error::Codec(e) => write!(f, "index codec: {e}"),
+            Error::Snapshot(e) => write!(f, "index snapshot: {e}"),
             Error::Csv(e) => write!(f, "trajectory csv: {e}"),
         }
     }
@@ -63,7 +64,7 @@ impl StdError for Error {
             Error::Geo(e) => Some(e),
             Error::RoadNet(e) => Some(e),
             Error::Cluster(e) => Some(e),
-            Error::Codec(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
             Error::Csv(e) => Some(e),
         }
     }
@@ -93,9 +94,9 @@ impl From<ClusterConfigError> for Error {
     }
 }
 
-impl From<CodecError> for Error {
-    fn from(e: CodecError) -> Error {
-        Error::Codec(e)
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Error {
+        Error::Snapshot(e)
     }
 }
 

@@ -78,8 +78,9 @@ pub mod prelude {
     //! [`GeodabConfig`]), the geometric and trajectory primitives
     //! ([`Point`], [`Trajectory`], [`TrajId`]), both index families plus
     //! the [`TrajectoryIndex`] trait and its query types, the sharded
-    //! [`ClusterIndex`], the bounded [`TopK`] collector, and the
-    //! workspace [`Error`].
+    //! [`ClusterIndex`], the [`Persist`] snapshot trait every backend
+    //! implements, the bounded [`TopK`] collector, and the workspace
+    //! [`Error`].
 
     pub use geodabs_cluster::{ClusterIndex, QueryStats, ShardRouter};
     pub use geodabs_core::{
@@ -87,6 +88,7 @@ pub mod prelude {
     };
     pub use geodabs_geo::{BoundingBox, GeoError, Geohash, Point};
     pub use geodabs_index::engine::TopK;
+    pub use geodabs_index::store::{Persist, SnapshotError};
     pub use geodabs_index::{
         GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
     };
