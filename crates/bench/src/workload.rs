@@ -34,14 +34,18 @@
 //! `schema_version` is bumped whenever a field changes meaning; consumers
 //! (the CI gate, plotting scripts) must check it before reading further.
 
+use geodabs_cluster::ClusterIndex;
 use geodabs_core::GeodabConfig;
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_gen::sampler::SamplerConfig;
-use geodabs_index::store::Persist;
-use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+use geodabs_index::store::{self, Persist, SnapshotError};
+use geodabs_index::{
+    codec, GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
+};
 use geodabs_roadnet::generators::{grid_network, GridConfig};
+use geodabs_serve::{LoadClient, LoadRun, Server, ServerConfig};
 use geodabs_traj::{TrajId, Trajectory};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 
@@ -159,6 +163,9 @@ pub fn catalog() -> Vec<Scenario> {
         // Snapshot restore vs re-ingest on the 10k preset; runs through
         // `run_cold_start` instead of `run_scenario`.
         Scenario::new(COLD_START, Preset::DenseUrban, 10_000, 50, 42),
+        // Network serving over loopback; runs through `run_serve`
+        // instead of `run_scenario`.
+        Scenario::new(SERVE, Preset::DenseUrban, 2_000, 40, 42),
     ];
     for (suffix, corpus, queries) in [
         ("1k", 1_000, 50),
@@ -195,6 +202,20 @@ pub fn catalog() -> Vec<Scenario> {
 /// bandwidth and restore-vs-reingest speedup via [`run_cold_start`]
 /// rather than the throughput ladder of [`run_scenario`].
 pub const COLD_START: &str = "cold-start";
+
+/// The network-serving scenario's name; it measures client-observed QPS
+/// and latency percentiles over loopback per connection count via
+/// [`run_serve`] rather than the in-process ladder of [`run_scenario`].
+pub const SERVE: &str = "serve";
+
+/// Generates a scenario's reproducible dataset (network + corpus +
+/// queries) — the one corpus-construction path shared by the scenario
+/// runners, `snapshot save/load --verify`, and the serving layer.
+pub fn generate(scenario: &Scenario) -> Dataset {
+    let network = grid_network(&scenario.preset.grid(), scenario.seed);
+    let config = scenario.preset.dataset(scenario.corpus, scenario.queries);
+    Dataset::generate(&network, &config, scenario.seed).expect("grid networks are always routable")
+}
 
 /// Looks a scenario up by name.
 pub fn find(name: &str) -> Option<Scenario> {
@@ -393,14 +414,10 @@ fn round6(x: f64) -> f64 {
     (x * 1e6).round() / 1e6
 }
 
-/// Nearest-rank percentile of an **already sorted** sample.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+// The latency percentile definition is shared with the load client
+// (`geodabs_serve::percentile`, nearest-rank) so serve-side and
+// bench-side numbers stay comparable.
+use geodabs_serve::percentile;
 
 /// Runs a scenario: generates its dataset, builds the index once per
 /// thread count (timing batch ingest), then measures per-query latency
@@ -411,10 +428,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 pub fn run_scenario(scenario: &Scenario, threads: &[usize]) -> WorkloadReport {
     assert!(!threads.is_empty(), "need at least one thread count");
     let started = Instant::now();
-    let network = grid_network(&scenario.preset.grid(), scenario.seed);
-    let dataset_cfg = scenario.preset.dataset(scenario.corpus, scenario.queries);
-    let dataset = Dataset::generate(&network, &dataset_cfg, scenario.seed)
-        .expect("grid networks are always routable");
+    let dataset = generate(scenario);
     let generation_seconds = started.elapsed().as_secs_f64();
 
     let items: Vec<(TrajId, &Trajectory)> = dataset
@@ -599,10 +613,7 @@ impl ColdStartReport {
 /// hardware for comparable numbers.
 pub fn run_cold_start(scenario: &Scenario, threads: usize) -> ColdStartReport {
     let started = Instant::now();
-    let network = grid_network(&scenario.preset.grid(), scenario.seed);
-    let dataset_cfg = scenario.preset.dataset(scenario.corpus, scenario.queries);
-    let dataset = Dataset::generate(&network, &dataset_cfg, scenario.seed)
-        .expect("grid networks are always routable");
+    let dataset = generate(scenario);
     let generation_seconds = started.elapsed().as_secs_f64();
 
     let items: Vec<(TrajId, &Trajectory)> = dataset
@@ -647,6 +658,449 @@ pub fn run_cold_start(scenario: &Scenario, threads: usize) -> ColdStartReport {
         restore_speedup: reingest_seconds / load_seconds.max(1e-9),
         consistent,
     }
+}
+
+/// Any index backend behind one value — the common currency of the
+/// snapshot CLI and the serving layer, which both must host whatever
+/// backend a `GDAB` v2 snapshot happens to hold.
+#[derive(Debug)]
+pub enum AnyIndex {
+    /// The paper's geodab index.
+    Geodab(GeodabIndex),
+    /// The geohash-cell baseline.
+    Geohash(GeohashIndex),
+    /// The sharded cluster index.
+    Cluster(ClusterIndex),
+}
+
+impl AnyIndex {
+    /// Materializes whichever backend a snapshot holds (v1 blobs load as
+    /// geodab through the legacy path).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] a malformed container produces; an unknown
+    /// backend tag is [`SnapshotError::Corrupt`].
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<AnyIndex, SnapshotError> {
+        match store::peek_version(bytes)? {
+            store::VERSION_V1 => Ok(AnyIndex::Geodab(codec::decode(bytes)?)),
+            _ => {
+                let reader = store::SnapshotReader::parse(bytes)?;
+                match reader.backend() {
+                    Some(store::BackendKind::Geodab) => {
+                        Ok(AnyIndex::Geodab(GeodabIndex::from_snapshot(bytes)?))
+                    }
+                    Some(store::BackendKind::Geohash) => {
+                        Ok(AnyIndex::Geohash(GeohashIndex::from_snapshot(bytes)?))
+                    }
+                    Some(store::BackendKind::Cluster) => {
+                        Ok(AnyIndex::Cluster(ClusterIndex::from_snapshot(bytes)?))
+                    }
+                    None => Err(SnapshotError::UnknownBackend(reader.backend_tag())),
+                }
+            }
+        }
+    }
+
+    /// Builds an empty index of the named backend under the default
+    /// configuration (`cluster` gets `shards` × `nodes`).
+    ///
+    /// # Errors
+    ///
+    /// An unknown backend name, or an invalid cluster shape.
+    pub fn empty(backend: &str, shards: u64, nodes: usize) -> Result<AnyIndex, String> {
+        let config = GeodabConfig::default();
+        match backend {
+            "geodab" => Ok(AnyIndex::Geodab(GeodabIndex::new(config))),
+            "geohash" => Ok(AnyIndex::Geohash(GeohashIndex::new(
+                config.normalization_depth(),
+            ))),
+            "cluster" => Ok(AnyIndex::Cluster(
+                ClusterIndex::new(config, shards, nodes).map_err(|e| e.to_string())?,
+            )),
+            other => Err(format!(
+                "unknown backend {other:?} (geodab|geohash|cluster)"
+            )),
+        }
+    }
+
+    /// The backend's stable name.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            AnyIndex::Geodab(_) => "geodab",
+            AnyIndex::Geohash(_) => "geohash",
+            AnyIndex::Cluster(_) => "cluster",
+        }
+    }
+
+    /// Distinct terms (active shards for the cluster backend).
+    pub fn term_count(&self) -> usize {
+        match self {
+            AnyIndex::Geodab(index) => index.term_count(),
+            AnyIndex::Geohash(index) => index.term_count(),
+            AnyIndex::Cluster(index) => index.active_shards(),
+        }
+    }
+
+    /// An empty index of the same backend and shape (configuration,
+    /// depth, cluster geometry) as `self` — what a verification rebuild
+    /// re-ingests into.
+    fn fresh_twin(&self) -> Result<AnyIndex, String> {
+        Ok(match self {
+            AnyIndex::Geodab(index) => AnyIndex::Geodab(GeodabIndex::new(*index.config())),
+            AnyIndex::Geohash(index) => AnyIndex::Geohash(GeohashIndex::new(index.depth())),
+            AnyIndex::Cluster(index) => AnyIndex::Cluster(
+                ClusterIndex::new(
+                    *index.config(),
+                    index.router().num_shards(),
+                    index.router().num_nodes(),
+                )
+                .map_err(|e| e.to_string())?,
+            ),
+        })
+    }
+}
+
+impl TrajectoryIndex for AnyIndex {
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        match self {
+            AnyIndex::Geodab(index) => index.insert(id, trajectory),
+            AnyIndex::Geohash(index) => index.insert(id, trajectory),
+            AnyIndex::Cluster(index) => TrajectoryIndex::insert(index, id, trajectory),
+        }
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        match self {
+            AnyIndex::Geodab(index) => TrajectoryIndex::remove(index, id),
+            AnyIndex::Geohash(index) => TrajectoryIndex::remove(index, id),
+            AnyIndex::Cluster(index) => ClusterIndex::remove(index, id),
+        }
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        match self {
+            AnyIndex::Geodab(index) => TrajectoryIndex::search(index, query, options),
+            AnyIndex::Geohash(index) => TrajectoryIndex::search(index, query, options),
+            AnyIndex::Cluster(index) => ClusterIndex::search(index, query, options),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::Geodab(index) => TrajectoryIndex::len(index),
+            AnyIndex::Geohash(index) => TrajectoryIndex::len(index),
+            AnyIndex::Cluster(index) => ClusterIndex::len(index),
+        }
+    }
+
+    fn ids(&self) -> impl Iterator<Item = TrajId> + '_ {
+        let ids: Vec<TrajId> = match self {
+            AnyIndex::Geodab(index) => TrajectoryIndex::ids(index).collect(),
+            AnyIndex::Geohash(index) => TrajectoryIndex::ids(index).collect(),
+            AnyIndex::Cluster(index) => ClusterIndex::ids(index).collect(),
+        };
+        ids.into_iter()
+    }
+
+    fn insert_batch<'a, I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
+    {
+        match self {
+            AnyIndex::Geodab(index) => index.insert_batch(items),
+            AnyIndex::Geohash(index) => index.insert_batch(items),
+            AnyIndex::Cluster(index) => index.insert_batch(items),
+        }
+    }
+}
+
+/// Any backend can be served; the serving layer and the snapshot CLI
+/// host the same value.
+impl geodabs_serve::ServeBackend for AnyIndex {
+    fn backend_name(&self) -> &'static str {
+        AnyIndex::backend_name(self)
+    }
+
+    fn len(&self) -> usize {
+        TrajectoryIndex::len(self)
+    }
+
+    fn term_count(&self) -> usize {
+        AnyIndex::term_count(self)
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        TrajectoryIndex::search(self, query, options)
+    }
+
+    fn search_fingerprints(
+        &self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        match self {
+            AnyIndex::Geodab(index) => {
+                geodabs_serve::ServeBackend::search_fingerprints(index, ordered, options)
+            }
+            AnyIndex::Geohash(index) => {
+                geodabs_serve::ServeBackend::search_fingerprints(index, ordered, options)
+            }
+            AnyIndex::Cluster(index) => {
+                geodabs_serve::ServeBackend::search_fingerprints(index, ordered, options)
+            }
+        }
+    }
+
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        TrajectoryIndex::insert(self, id, trajectory);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        TrajectoryIndex::remove(self, id)
+    }
+}
+
+/// The result cap every verification replay queries with.
+pub const VERIFY_LIMIT: usize = 10;
+
+/// Verifies a restored (or warm-started) index against a fresh rebuild:
+/// re-ingests the scenario's corpus into an empty index of the same
+/// backend and shape, demands the same index shape, then replays every
+/// scenario query and demands bit-identical rankings. The one
+/// query-replay loop behind `geodabs snapshot load --verify rebuild` and
+/// `geodabs serve --verify rebuild`.
+///
+/// Returns the number of queries that were compared.
+///
+/// # Errors
+///
+/// A message naming the divergence (shape mismatch or the count of
+/// differing queries).
+pub fn verify_against_rebuild(restored: &AnyIndex, scenario: &Scenario) -> Result<usize, String> {
+    let dataset = generate(scenario);
+    let items: Vec<(TrajId, &Trajectory)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let mut fresh = restored.fresh_twin()?;
+    fresh.insert_batch(items);
+    if TrajectoryIndex::len(&fresh) != TrajectoryIndex::len(restored)
+        || fresh.term_count() != restored.term_count()
+    {
+        return Err(format!(
+            "rebuilt {} index shape differs from the loaded one \
+             ({} vs {} trajectories, {} vs {} terms)",
+            restored.backend_name(),
+            TrajectoryIndex::len(&fresh),
+            TrajectoryIndex::len(restored),
+            fresh.term_count(),
+            restored.term_count()
+        ));
+    }
+    let options = SearchOptions::default().limit(VERIFY_LIMIT);
+    let mismatches = dataset
+        .queries()
+        .iter()
+        .filter(|q| {
+            TrajectoryIndex::search(restored, &q.trajectory, &options)
+                != TrajectoryIndex::search(&fresh, &q.trajectory, &options)
+        })
+        .count();
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} of {} queries answered differently than a fresh rebuild of \
+             scenario {}",
+            dataset.queries().len(),
+            scenario.name
+        ));
+    }
+    Ok(dataset.queries().len())
+}
+
+/// Everything one serving run measured: client-observed throughput and
+/// latency per concurrent-connection count, over loopback or against a
+/// remote server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The workload scenario supplying corpus and queries.
+    pub scenario: Scenario,
+    /// The served backend's name (as reported by the server's `Stats`).
+    pub backend: String,
+    /// Trajectories held by the server.
+    pub trajectories: usize,
+    /// Result cap used for all queries.
+    pub query_limit: usize,
+    /// Whether responses were verified against in-process rankings.
+    pub verified: bool,
+    /// One load point per measured connection count.
+    pub points: Vec<LoadRun>,
+}
+
+impl ServeReport {
+    /// The canonical report file name: `BENCH_serve.json`, regardless of
+    /// which workload scenario supplied the traffic (the `scenario`
+    /// field in the report records that).
+    pub fn file_name(&self) -> String {
+        "BENCH_serve.json".to_string()
+    }
+
+    /// Whether every response matched and every connection survived.
+    pub fn consistent(&self) -> bool {
+        self.points.iter().all(|p| p.mismatches == 0)
+    }
+
+    /// Serializes the report. Shares `schema_version` with the workload
+    /// report; the `kind` field marks the different shape, so the ingest
+    /// perf gate rejects a serve report as a baseline.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("kind", Json::Str("serve".into())),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("preset", Json::Str(self.scenario.preset.name().into())),
+            ("seed", Json::Num(self.scenario.seed as f64)),
+            ("backend", Json::Str(self.backend.clone())),
+            (
+                "corpus",
+                Json::obj(vec![("trajectories", Json::Num(self.trajectories as f64))]),
+            ),
+            (
+                "query",
+                Json::obj(vec![
+                    ("count", Json::Num(self.scenario.queries as f64)),
+                    ("limit", Json::Num(self.query_limit as f64)),
+                    ("verified", Json::Bool(self.verified)),
+                    ("consistent", Json::Bool(self.consistent())),
+                ]),
+            ),
+            (
+                "connections",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("connections", Json::Num(p.connections as f64)),
+                                ("requests", Json::Num(p.requests as f64)),
+                                ("mismatches", Json::Num(p.mismatches as f64)),
+                                ("seconds", Json::Num(round6(p.seconds))),
+                                ("qps", Json::Num(round3(p.qps))),
+                                (
+                                    "latency_ms",
+                                    Json::obj(vec![
+                                        ("p50", Json::Num(round6(p.p50_ms))),
+                                        ("p95", Json::Num(round6(p.p95_ms))),
+                                        ("p99", Json::Num(round6(p.p99_ms))),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Drives the connection ladder against an already-listening server:
+/// one closed-loop load point per ladder entry, each for
+/// `seconds_per_point`. `expected` installs per-query bit-identity
+/// verification.
+///
+/// # Errors
+///
+/// The first connection or wire error — broken connections fail the run
+/// loudly instead of deflating the numbers.
+pub fn run_load_ladder(
+    addr: &str,
+    queries: Vec<Trajectory>,
+    options: SearchOptions,
+    expected: Option<Vec<Vec<SearchResult>>>,
+    ladder: &[usize],
+    seconds_per_point: f64,
+) -> Result<Vec<LoadRun>, String> {
+    let mut load = LoadClient::new(addr.to_string(), queries, options);
+    if let Some(expected) = expected {
+        load = load.expect_results(expected);
+    }
+    let duration = Duration::from_secs_f64(seconds_per_point.max(0.05));
+    let mut points = Vec::with_capacity(ladder.len());
+    for &connections in ladder {
+        let point = load
+            .run(connections, duration)
+            .map_err(|e| format!("load run at {connections} connection(s): {e}"))?;
+        points.push(point);
+    }
+    Ok(points)
+}
+
+/// Runs the serving scenario end to end on loopback: ingest the
+/// scenario's corpus into a geodab index, serve it from an OS-assigned
+/// port, then drive the connection ladder `1, 2, 4, …` (capped by
+/// `max_connections`) with the scenario's queries — every response
+/// verified bit-identical against the in-process ranking.
+///
+/// # Errors
+///
+/// Bind/connection failures, or any response mismatch.
+pub fn run_serve(
+    scenario: &Scenario,
+    max_connections: usize,
+    seconds_per_point: f64,
+) -> Result<ServeReport, String> {
+    let dataset = generate(scenario);
+    let items: Vec<(TrajId, &Trajectory)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let mut index = AnyIndex::empty("geodab", 0, 0)?;
+    index.insert_batch(items);
+    let trajectories = TrajectoryIndex::len(&index);
+    let backend = index.backend_name().to_string();
+
+    let query_limit = VERIFY_LIMIT;
+    let options = SearchOptions::default().limit(query_limit);
+    let queries: Vec<Trajectory> = dataset
+        .queries()
+        .iter()
+        .map(|q| q.trajectory.clone())
+        .collect();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| TrajectoryIndex::search(&index, q, &options))
+        .collect();
+
+    // Size the pool to the widest ladder point: a worker owns its
+    // connection for that connection's lifetime, so a pool smaller than
+    // the ladder would starve the excess connections and pollute the
+    // latency tail with queueing delay instead of server speed.
+    let pool = geodabs_index::batch::default_threads().max(max_connections);
+    let server = Server::bind("127.0.0.1:0", index, ServerConfig { threads: pool })
+        .map_err(|e| format!("binding loopback: {e}"))?;
+    let running = server.spawn();
+    let ladder = thread_ladder(max_connections);
+    let points = run_load_ladder(
+        &running.addr().to_string(),
+        queries,
+        options,
+        Some(expected),
+        &ladder,
+        seconds_per_point,
+    );
+    running
+        .shutdown()
+        .map_err(|e| format!("server shutdown: {e}"))?;
+    Ok(ServeReport {
+        scenario: scenario.clone(),
+        backend,
+        trajectories,
+        query_limit,
+        verified: true,
+        points: points?,
+    })
 }
 
 /// The CI perf gate's verdict: current vs baseline batch-ingest
@@ -944,6 +1398,104 @@ mod tests {
         // A cold-start report is not a valid ingest-gate baseline.
         let scenario = find("micro").unwrap();
         let workload_report = run_scenario(&scenario, &[1]);
+        assert!(check_gate(&workload_report, &text, 30.0).is_err());
+    }
+
+    #[test]
+    fn serve_scenario_is_in_the_catalog() {
+        let scenario = find(SERVE).expect("catalog has serve");
+        assert_eq!(scenario.preset, Preset::DenseUrban);
+        assert_eq!(scenario.corpus, 2_000);
+    }
+
+    #[test]
+    fn any_index_roundtrips_snapshots_and_verifies_against_rebuild() {
+        let scenario = find("micro").expect("catalog has micro");
+        let dataset = generate(&scenario);
+        let items: Vec<(TrajId, &Trajectory)> = dataset
+            .records()
+            .iter()
+            .map(|r| (r.id, &r.trajectory))
+            .collect();
+        for backend in ["geodab", "geohash", "cluster"] {
+            let mut index = AnyIndex::empty(backend, 1_000, 3).expect("known backend");
+            index.insert_batch(items.clone());
+            assert_eq!(index.backend_name(), backend);
+            assert_eq!(TrajectoryIndex::len(&index), 40);
+            assert_eq!(TrajectoryIndex::ids(&index).count(), 40);
+
+            // Snapshot → AnyIndex round trip picks the right backend…
+            let bytes = match &index {
+                AnyIndex::Geodab(i) => i.to_snapshot(),
+                AnyIndex::Geohash(i) => i.to_snapshot(),
+                AnyIndex::Cluster(i) => i.to_snapshot(),
+            };
+            let restored = AnyIndex::from_snapshot_bytes(&bytes).expect("roundtrip");
+            assert_eq!(restored.backend_name(), backend);
+            assert_eq!(restored.term_count(), index.term_count());
+
+            // …and the shared verification replay passes on it.
+            let checked = verify_against_rebuild(&restored, &scenario).expect("verify");
+            assert_eq!(checked, dataset.queries().len());
+        }
+        assert!(AnyIndex::empty("warp", 1, 1).is_err());
+        assert!(AnyIndex::from_snapshot_bytes(b"garbage").is_err());
+    }
+
+    #[test]
+    fn verify_against_rebuild_detects_divergence() {
+        let scenario = find("micro").expect("catalog has micro");
+        let dataset = generate(&scenario);
+        let mut index = AnyIndex::empty("geodab", 0, 0).unwrap();
+        let items: Vec<(TrajId, &Trajectory)> = dataset
+            .records()
+            .iter()
+            .map(|r| (r.id, &r.trajectory))
+            .collect();
+        index.insert_batch(items);
+        // Drop one trajectory: the rebuild must notice the shape drift.
+        let some_id = TrajectoryIndex::ids(&index).next().unwrap();
+        TrajectoryIndex::remove(&mut index, some_id);
+        let err = verify_against_rebuild(&index, &scenario).unwrap_err();
+        assert!(err.contains("shape differs"), "{err}");
+    }
+
+    #[test]
+    fn serve_runner_reports_verified_consistent_traffic() {
+        // A scaled-down twin of the catalog scenario so the test suite
+        // stays fast; the CLI runs the 2k catalog entry.
+        let scenario = Scenario {
+            name: SERVE.into(),
+            preset: Preset::DenseUrban,
+            corpus: 40,
+            queries: 4,
+            seed: 7,
+        };
+        let report = run_serve(&scenario, 2, 0.1).expect("serve run");
+        assert_eq!(report.backend, "geodab");
+        assert_eq!(report.trajectories, 40);
+        assert!(report.verified);
+        assert!(report.consistent(), "{report:?}");
+        assert_eq!(report.points.len(), thread_ladder(2).len());
+        for point in &report.points {
+            assert!(point.requests > 0, "{point:?}");
+            assert!(point.qps > 0.0);
+            assert!(point.p50_ms <= point.p95_ms && point.p95_ms <= point.p99_ms);
+        }
+        let text = report.to_json().pretty();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("serve"));
+        assert_eq!(
+            parsed
+                .get("query")
+                .and_then(|q| q.get("consistent"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(report.file_name(), "BENCH_serve.json");
+        // A serve report is not a valid ingest-gate baseline.
+        let micro = find("micro").unwrap();
+        let workload_report = run_scenario(&micro, &[1]);
         assert!(check_gate(&workload_report, &text, 30.0).is_err());
     }
 

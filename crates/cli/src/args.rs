@@ -72,7 +72,8 @@ pub struct Args {
 
 /// Subcommands the binary understands.
 pub const COMMANDS: &[&str] = &[
-    "build", "stats", "search", "tune", "world", "export", "bench", "snapshot", "help",
+    "build", "stats", "search", "tune", "world", "export", "bench", "snapshot", "serve",
+    "loadtest", "help",
 ];
 
 /// Commands taking a bare action token before the flags, with the actions

@@ -4,7 +4,7 @@ use geodabs_cluster::ClusterIndex;
 use geodabs_core::GeodabConfig;
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_gen::world::{WorldActivity, WorldConfig};
-use geodabs_index::store::{self, BackendKind, Persist, SnapshotReader};
+use geodabs_index::store::{self, Persist, SnapshotReader};
 use geodabs_index::tuning::{hill_climb, TuningSample};
 use geodabs_index::{codec, GeodabIndex, GeohashIndex, SearchOptions, TrajectoryIndex};
 use geodabs_roadnet::generators::{grid_network, GridConfig};
@@ -31,6 +31,8 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Erro
         "export" => export(args, out),
         "bench" => bench(args, out),
         "snapshot" => snapshot(args, out),
+        "serve" => serve(args, out),
+        "loadtest" => loadtest(args, out),
         "help" => {
             write!(out, "{}", HELP)?;
             Ok(())
@@ -57,6 +59,12 @@ USAGE:
                            [--scenario NAME] [--seed S] [--nodes N] [--shards P]
   geodabs snapshot load    --in FILE [--verify rebuild] [--scenario NAME] [--seed S]
   geodabs snapshot inspect --in FILE
+  geodabs serve    --addr HOST:PORT (--snapshot FILE | --scenario NAME)
+                   [--backend geodab|geohash|cluster] [--seed S] [--threads T]
+                   [--verify rebuild] [--duration SECS] [--nodes N] [--shards P]
+  geodabs loadtest --addr HOST:PORT [--connections N] [--duration SECS]
+                   [--scenario NAME] [--seed S] [--limit K]
+                   [--verify local|none] [--out DIR]
   geodabs help
 
 Datasets are synthetic and reproducible: the same (routes, per-direction,
@@ -78,6 +86,21 @@ the chosen backend and writes a GDAB v2 snapshot; `load` restores it
 the same corpus and fails unless both answer every scenario query
 identically; `inspect` prints the container header and section table
 without materializing the index.
+
+`serve` hosts an index over the binary wire protocol: warm-started from
+a GDAB v2 snapshot (--snapshot) or freshly ingested from a bench
+scenario (--scenario), behind a thread pool of T workers (default: all
+cores; a worker owns its connection until the client disconnects, so T
+is also the concurrent-connection capacity). `--verify rebuild` (with
+--snapshot; a scenario ingest is already a fresh rebuild) replays the
+scenario queries against a fresh rebuild before serving; `--duration`
+shuts down cleanly after that many
+seconds (0 = serve until killed). `loadtest` drives 1,2,4,…,N concurrent
+connections against a running server with a scenario's queries for
+--duration seconds per point, writes BENCH_serve.json (qps + latency
+percentiles per connection count), and — with the default
+`--verify local` — compares every response bit-identically against an
+in-process rebuild, exiting nonzero on any mismatch or connection error.
 ";
 
 fn network(seed: u64) -> RoadNetwork {
@@ -274,10 +297,60 @@ fn bench(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
     let mut scenario = workload::find(&name)
         .ok_or_else(|| format!("unknown scenario {name:?} (run `geodabs bench` to list)"))?;
     scenario.seed = args.u64_or("seed", scenario.seed)?;
-    let max_threads = args.usize_or("threads", 8)?;
+    // "All cores" is decided in exactly one place (batch::default_threads);
+    // the flag only caps it.
+    let max_threads = args.usize_or("threads", geodabs_index::batch::default_threads())?;
     let threads = workload::thread_ladder(max_threads);
     let out_dir = args.string_or("out", ".");
     let max_regress = args.u64_or("max-regress", 30)? as f64;
+
+    // The serve scenario measures client-observed QPS/latency over
+    // loopback per connection count (--threads caps the connection
+    // ladder) and emits a differently-shaped report, so it cannot gate
+    // against an ingest baseline.
+    if scenario.name == workload::SERVE {
+        if args.has("baseline") || args.has("max-regress") {
+            return Err(
+                "the serve scenario has no ingest gate; run it without --baseline/--max-regress"
+                    .into(),
+            );
+        }
+        writeln!(
+            out,
+            "scenario {} ({}, corpus {}, {} queries, seed {}), connections {threads:?}",
+            scenario.name,
+            scenario.preset.name(),
+            scenario.corpus,
+            scenario.queries,
+            scenario.seed
+        )?;
+        let report = workload::run_serve(&scenario, max_threads, 2.0)?;
+        writeln!(
+            out,
+            "served corpus     {} trajectories ({} backend), every response verified",
+            report.trajectories, report.backend
+        )?;
+        for point in &report.points {
+            writeln!(
+                out,
+                "serve   {:>2} conn(s)   {:>9.1} qps  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  \
+                 ({} requests)",
+                point.connections,
+                point.qps,
+                point.p50_ms,
+                point.p95_ms,
+                point.p99_ms,
+                point.requests
+            )?;
+        }
+        let path = std::path::Path::new(&out_dir).join(report.file_name());
+        std::fs::write(&path, report.to_json().pretty())?;
+        writeln!(out, "report            {}", path.display())?;
+        if !report.consistent() {
+            return Err("served responses diverged from the in-process engine".into());
+        }
+        return Ok(());
+    }
 
     // The cold-start scenario measures snapshot save/load instead of the
     // ingest/query ladder and emits a differently-shaped report, so it
@@ -451,22 +524,23 @@ fn snapshot(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
     }
 }
 
-/// Resolves a bench scenario (for `snapshot save`/`load --verify`) and
-/// generates its reproducible dataset.
-fn scenario_dataset(
-    args: &Args,
-) -> Result<(geodabs_bench::workload::Scenario, Dataset), Box<dyn Error>> {
+/// Resolves a bench scenario by flag (for `snapshot save`/`load
+/// --verify` and the serving layer).
+fn scenario_from_args(args: &Args) -> Result<geodabs_bench::workload::Scenario, Box<dyn Error>> {
     use geodabs_bench::workload;
     let name = args.string_or("scenario", "micro");
     let mut scenario = workload::find(&name)
         .ok_or_else(|| format!("unknown scenario {name:?} (run `geodabs bench` to list)"))?;
     scenario.seed = args.u64_or("seed", scenario.seed)?;
-    let network = grid_network(&scenario.preset.grid(), scenario.seed);
-    let dataset = Dataset::generate(
-        &network,
-        &scenario.preset.dataset(scenario.corpus, scenario.queries),
-        scenario.seed,
-    )?;
+    Ok(scenario)
+}
+
+/// Resolves a bench scenario and generates its reproducible dataset.
+fn scenario_dataset(
+    args: &Args,
+) -> Result<(geodabs_bench::workload::Scenario, Dataset), Box<dyn Error>> {
+    let scenario = scenario_from_args(args)?;
+    let dataset = geodabs_bench::workload::generate(&scenario);
     Ok((scenario, dataset))
 }
 
@@ -520,58 +594,13 @@ fn snapshot_save(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dy
     Ok(())
 }
 
-/// A snapshot materialized without knowing its backend up front.
-enum Loaded {
-    Geodab(GeodabIndex),
-    Geohash(GeohashIndex),
-    Cluster(ClusterIndex),
-}
-
-impl Loaded {
-    fn from_bytes(bytes: &[u8]) -> Result<Loaded, Box<dyn Error>> {
-        match store::peek_version(bytes)? {
-            store::VERSION_V1 => Ok(Loaded::Geodab(codec::decode(bytes)?)),
-            _ => {
-                let reader = SnapshotReader::parse(bytes)?;
-                match reader.backend() {
-                    Some(BackendKind::Geodab) => {
-                        Ok(Loaded::Geodab(GeodabIndex::from_snapshot(bytes)?))
-                    }
-                    Some(BackendKind::Geohash) => {
-                        Ok(Loaded::Geohash(GeohashIndex::from_snapshot(bytes)?))
-                    }
-                    Some(BackendKind::Cluster) => {
-                        Ok(Loaded::Cluster(ClusterIndex::from_snapshot(bytes)?))
-                    }
-                    None => Err(format!("unknown backend tag {}", reader.backend_tag()).into()),
-                }
-            }
-        }
-    }
-
-    fn backend_name(&self) -> &'static str {
-        match self {
-            Loaded::Geodab(_) => "geodab",
-            Loaded::Geohash(_) => "geohash",
-            Loaded::Cluster(_) => "cluster",
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Loaded::Geodab(index) => index.len(),
-            Loaded::Geohash(index) => index.len(),
-            Loaded::Cluster(index) => index.len(),
-        }
-    }
-}
-
 fn snapshot_load(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_bench::workload::{verify_against_rebuild, AnyIndex};
     args.reject_unknown_flags(&["in", "verify", "scenario", "seed"])?;
     let path = args.string_required("in")?;
     let bytes = std::fs::read(&path)?;
     let started = Instant::now();
-    let loaded = Loaded::from_bytes(&bytes)?;
+    let loaded = AnyIndex::from_snapshot_bytes(&bytes)?;
     let seconds = started.elapsed().as_secs_f64();
     writeln!(
         out,
@@ -585,74 +614,14 @@ fn snapshot_load(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dy
     match args.string_or("verify", "").as_str() {
         "" => Ok(()),
         "rebuild" => {
-            let (scenario, dataset) = scenario_dataset(args)?;
-            let items: Vec<_> = dataset
-                .records()
-                .iter()
-                .map(|r| (r.id, &r.trajectory))
-                .collect();
-            let options = SearchOptions::default().limit(10);
-            // Re-ingest the same corpus into a fresh index of the same
-            // backend and demand identical answers on every scenario
-            // query.
-            fn mismatches_against<I: TrajectoryIndex, J: TrajectoryIndex>(
-                dataset: &Dataset,
-                options: &SearchOptions,
-                restored: &I,
-                fresh: &J,
-            ) -> usize {
-                dataset
-                    .queries()
-                    .iter()
-                    .filter(|q| {
-                        restored.search(&q.trajectory, options)
-                            != fresh.search(&q.trajectory, options)
-                    })
-                    .count()
-            }
-            let mismatches = match &loaded {
-                Loaded::Geodab(index) => {
-                    let mut fresh = GeodabIndex::new(*index.config());
-                    fresh.insert_batch(items);
-                    if fresh.len() != index.len() || fresh.term_count() != index.term_count() {
-                        return Err("rebuilt index shape differs from the snapshot".into());
-                    }
-                    mismatches_against(&dataset, &options, index, &fresh)
-                }
-                Loaded::Geohash(index) => {
-                    let mut fresh = GeohashIndex::new(index.depth());
-                    fresh.insert_batch(items);
-                    if fresh.len() != index.len() || fresh.term_count() != index.term_count() {
-                        return Err("rebuilt index shape differs from the snapshot".into());
-                    }
-                    mismatches_against(&dataset, &options, index, &fresh)
-                }
-                Loaded::Cluster(index) => {
-                    let mut fresh = ClusterIndex::new(
-                        *index.config(),
-                        index.router().num_shards(),
-                        index.router().num_nodes(),
-                    )?;
-                    fresh.insert_batch(items);
-                    if fresh.len() != index.len() {
-                        return Err("rebuilt cluster shape differs from the snapshot".into());
-                    }
-                    mismatches_against(&dataset, &options, index, &fresh)
-                }
-            };
-            if mismatches > 0 {
-                return Err(format!(
-                    "snapshot verify FAILED: {mismatches} of {} queries answered differently \
-                     than a fresh rebuild of scenario {}",
-                    dataset.queries().len(),
-                    scenario.name
-                )
-                .into());
-            }
+            // The query-replay loop is shared with `geodabs serve
+            // --verify rebuild` — one verification routine, two callers.
+            let scenario = scenario_from_args(args)?;
+            let checked = verify_against_rebuild(&loaded, &scenario)
+                .map_err(|e| format!("snapshot verify FAILED: {e}"))?;
             writeln!(
                 out,
-                "verify            PASS ({} queries identical to a fresh rebuild of {})",
-                dataset.queries().len(),
+                "verify            PASS ({checked} queries identical to a fresh rebuild of {})",
                 scenario.name
             )?;
             Ok(())
@@ -698,6 +667,279 @@ fn snapshot_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box
             store::section_name(id),
             payload.len()
         )?;
+    }
+    Ok(())
+}
+
+fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_bench::workload::{self, AnyIndex};
+    use geodabs_serve::{Server, ServerConfig};
+
+    args.reject_unknown_flags(&[
+        "addr", "backend", "snapshot", "scenario", "seed", "threads", "verify", "duration",
+        "shards", "nodes",
+    ])?;
+    let addr = args.string_required("addr")?;
+    let threads = args.usize_or("threads", geodabs_index::batch::default_threads())?;
+    let duration = args.u64_or("duration", 0)?;
+    let verify = args.string_or("verify", "");
+    if !["", "rebuild"].contains(&verify.as_str()) {
+        return Err(format!("invalid value {verify:?} for --verify (expected \"rebuild\")").into());
+    }
+    // Both together are fine (--snapshot serves, --scenario names the
+    // verify corpus); neither is not.
+    if !args.has("snapshot") && !args.has("scenario") {
+        return Err("serve needs a corpus: pass --snapshot FILE or --scenario NAME".into());
+    }
+    // A scenario ingest IS a fresh rebuild (batch ≡ serial ingest is
+    // pinned by the equivalence proptests), so verifying it against
+    // another fresh rebuild could never fail — reject the vacuous check
+    // instead of doubling startup cost for nothing.
+    if verify == "rebuild" && !args.has("snapshot") {
+        return Err(
+            "--verify rebuild needs --snapshot: a --scenario ingest is itself a fresh rebuild, \
+             so the check would be vacuous"
+                .into(),
+        );
+    }
+
+    // Warm-start from a snapshot, or ingest a scenario's corpus.
+    let started = Instant::now();
+    let index = if args.has("snapshot") {
+        if args.has("backend") {
+            return Err(
+                "--backend conflicts with --snapshot (the snapshot names its backend)".into(),
+            );
+        }
+        let path = args.string_required("snapshot")?;
+        let bytes = std::fs::read(&path)?;
+        let index = AnyIndex::from_snapshot_bytes(&bytes)?;
+        writeln!(
+            out,
+            "warm-start        {} snapshot: {} trajectories from {} bytes in {:.3}s",
+            index.backend_name(),
+            index.len(),
+            bytes.len(),
+            started.elapsed().as_secs_f64()
+        )?;
+        index
+    } else {
+        let backend = args.string_or("backend", "geodab");
+        let shards = args.u64_or("shards", 10_000)?;
+        let nodes = args.usize_or("nodes", 8)?;
+        let mut index = AnyIndex::empty(&backend, shards, nodes)?;
+        let (scenario, dataset) = scenario_dataset(args)?;
+        let items: Vec<_> = dataset
+            .records()
+            .iter()
+            .map(|r| (r.id, &r.trajectory))
+            .collect();
+        index.insert_batch(items);
+        writeln!(
+            out,
+            "ingested          scenario {} into a {} index: {} trajectories in {:.3}s",
+            scenario.name,
+            index.backend_name(),
+            index.len(),
+            started.elapsed().as_secs_f64()
+        )?;
+        index
+    };
+
+    if verify == "rebuild" {
+        // The same query-replay loop `snapshot load --verify rebuild`
+        // runs; a server must not come up on a corpus it cannot prove.
+        let scenario = scenario_from_args(args)?;
+        let checked = workload::verify_against_rebuild(&index, &scenario)
+            .map_err(|e| format!("startup verify FAILED: {e}"))?;
+        writeln!(
+            out,
+            "verify            PASS ({checked} queries identical to a fresh rebuild of {})",
+            scenario.name
+        )?;
+    }
+
+    let server = Server::bind(addr.as_str(), index, ServerConfig { threads })?;
+    writeln!(
+        out,
+        "listening on      {} ({} worker threads{})",
+        server.local_addr(),
+        threads,
+        if duration > 0 {
+            format!(", shutting down after {duration}s")
+        } else {
+            String::new()
+        }
+    )?;
+    out.flush()?;
+    if duration > 0 {
+        let handle = server.handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(duration));
+            handle.shutdown();
+        });
+    }
+    let served = server.run()?;
+    writeln!(
+        out,
+        "served            {served} request(s); shut down cleanly"
+    )?;
+    Ok(())
+}
+
+fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_bench::workload::{self, AnyIndex, ServeReport};
+    use geodabs_serve::Client;
+    use geodabs_traj::Trajectory;
+
+    args.reject_unknown_flags(&[
+        "addr",
+        "connections",
+        "duration",
+        "scenario",
+        "seed",
+        "limit",
+        "verify",
+        "out",
+    ])?;
+    let addr = args.string_required("addr")?;
+    let connections = args.usize_or("connections", 4)?.max(1);
+    let seconds_per_point = args.u64_or("duration", 2)?.max(1) as f64;
+    let limit = args.usize_or("limit", workload::VERIFY_LIMIT)?;
+    let verify = args.string_or("verify", "local");
+    if !["local", "none"].contains(&verify.as_str()) {
+        return Err(format!("invalid value {verify:?} for --verify (local|none)").into());
+    }
+    let out_dir = args.string_or("out", ".");
+    let (scenario, dataset) = scenario_dataset(args)?;
+    let queries: Vec<Trajectory> = dataset
+        .queries()
+        .iter()
+        .map(|q| q.trajectory.clone())
+        .collect();
+    if queries.is_empty() {
+        return Err(format!("scenario {} has no queries", scenario.name).into());
+    }
+    let options = SearchOptions::default().limit(limit);
+
+    // One probe connection up front: fail fast on a dead address and
+    // learn the served backend.
+    let stats = Client::connect(addr.as_str())
+        .map_err(|e| format!("connecting to {addr}: {e}"))?
+        .stats()
+        .map_err(|e| format!("probing {addr}: {e}"))?;
+    writeln!(
+        out,
+        "server            {} at {addr}: {} trajectories, {} terms, {} worker(s)",
+        stats.backend, stats.trajectories, stats.terms, stats.workers
+    )?;
+    // A worker owns its connection for that connection's lifetime, so
+    // ladder points beyond the pool would measure queueing delay, not
+    // server speed — say so instead of reporting distorted percentiles
+    // as if they were real.
+    if (connections as u64) > stats.workers {
+        writeln!(
+            out,
+            "note              ladder points above {} connection(s) exceed the server's worker \
+             pool; their latency percentiles measure queueing, not server speed \
+             (restart the server with --threads {connections})",
+            stats.workers
+        )?;
+    }
+
+    let expected = match verify.as_str() {
+        "none" => None,
+        _ => {
+            // Rebuild the scenario corpus in-process and pin every
+            // response bit-identically. The cluster ranks exactly like
+            // the monolithic geodab index (its equivalence proptests pin
+            // that), so one twin covers both; the geohash baseline needs
+            // its own vocabulary.
+            let twin_backend = if stats.backend == "geohash" {
+                "geohash"
+            } else {
+                "geodab"
+            };
+            let mut twin = AnyIndex::empty(twin_backend, 0, 0)?;
+            let items: Vec<_> = dataset
+                .records()
+                .iter()
+                .map(|r| (r.id, &r.trajectory))
+                .collect();
+            twin.insert_batch(items);
+            if twin.len() as u64 != stats.trajectories {
+                return Err(format!(
+                    "server holds {} trajectories but scenario {} generates {} — verification \
+                     would always fail; pass the right --scenario/--seed or --verify none",
+                    stats.trajectories,
+                    scenario.name,
+                    twin.len()
+                )
+                .into());
+            }
+            Some(
+                queries
+                    .iter()
+                    .map(|q| twin.search(q, &options))
+                    .collect::<Vec<_>>(),
+            )
+        }
+    };
+    let verified = expected.is_some();
+
+    let ladder = workload::thread_ladder(connections);
+    writeln!(
+        out,
+        "driving           connections {ladder:?}, {seconds_per_point:.0}s per point, \
+         {} queries (limit {limit}), verify {verify}",
+        queries.len()
+    )?;
+    let points = workload::run_load_ladder(
+        &addr,
+        queries,
+        options,
+        expected,
+        &ladder,
+        seconds_per_point,
+    )?;
+    for point in &points {
+        writeln!(
+            out,
+            "load    {:>2} conn(s)   {:>9.1} qps  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  \
+             ({} requests, {} mismatches)",
+            point.connections,
+            point.qps,
+            point.p50_ms,
+            point.p95_ms,
+            point.p99_ms,
+            point.requests,
+            point.mismatches
+        )?;
+    }
+
+    // Write the report before any failure below: the machine-readable
+    // record matters most exactly when the run fails (CI uploads it as
+    // an artifact either way).
+    let report = ServeReport {
+        scenario,
+        backend: stats.backend,
+        trajectories: stats.trajectories as usize,
+        query_limit: limit,
+        verified,
+        points,
+    };
+    let path = std::path::Path::new(&out_dir).join(report.file_name());
+    std::fs::write(&path, report.to_json().pretty())?;
+    writeln!(out, "report            {}", path.display())?;
+    if !report.consistent() {
+        let mismatches: u64 = report.points.iter().map(|p| p.mismatches).sum();
+        return Err(format!(
+            "loadtest FAILED: {mismatches} response(s) diverged from the in-process engine"
+        )
+        .into());
+    }
+    if verified {
+        writeln!(out, "verify            PASS (every response bit-identical)")?;
     }
     Ok(())
 }
@@ -1116,6 +1358,220 @@ mod tests {
         // --max-regress alone must fail too, not silently skip the gate.
         let err = run_to_string(&["bench", "--scenario", "cold-start", "--max-regress", "10"])
             .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
+    }
+
+    /// A `Write` target observable from another thread, so the serve
+    /// test can learn the OS-assigned port while the server blocks.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).expect("utf8 output")
+        }
+
+        /// Polls until a line starting with `prefix` appears, returning
+        /// the rest of that line.
+        fn wait_for(&self, prefix: &str) -> String {
+            for _ in 0..400 {
+                if let Some(line) = self
+                    .contents()
+                    .lines()
+                    .find_map(|l| l.strip_prefix(prefix).map(str::to_string))
+                {
+                    return line.trim().to_string();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            panic!("server never printed {prefix:?}: {:?}", self.contents());
+        }
+    }
+
+    #[test]
+    fn serve_and_loadtest_roundtrip_on_loopback() {
+        let dir = std::env::temp_dir().join("geodabs-cli-serve-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Warm-start the server from a real snapshot (the acceptance
+        // path), on an OS-assigned port, with a startup verify.
+        let snap = tmp("serve-roundtrip.gdab");
+        run_to_string(&["snapshot", "save", "--scenario", "micro", "--out", &snap]).unwrap();
+
+        let buf = SharedBuf::default();
+        let server_buf = buf.clone();
+        let snap_for_server = snap.clone();
+        // Detached on purpose: --duration bounds the server's lifetime,
+        // and the test must not block on that timer.
+        std::thread::spawn(move || {
+            let args = Args::parse([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--snapshot",
+                &snap_for_server,
+                "--scenario",
+                "micro",
+                "--verify",
+                "rebuild",
+                "--threads",
+                "4",
+                "--duration",
+                "60",
+            ])
+            .expect("valid serve args");
+            let mut out = server_buf;
+            run(&args, &mut out).map_err(|e| e.to_string())
+        });
+        let verify_line = buf.wait_for("verify            ");
+        assert!(verify_line.contains("PASS"), "{verify_line}");
+
+        let addr_line = buf.wait_for("listening on      ");
+        let addr = addr_line.split_whitespace().next().expect("addr token");
+
+        // Drive it: 4 connections, short points, full local verification.
+        let out = run_to_string(&[
+            "loadtest",
+            "--addr",
+            addr,
+            "--connections",
+            "4",
+            "--duration",
+            "1",
+            "--scenario",
+            "micro",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("server            geodab"), "{out}");
+        assert!(out.contains("verify            PASS"), "{out}");
+        assert!(out.contains("load     4 conn(s)"), "{out}");
+        let report = std::fs::read_to_string(dir.join("BENCH_serve.json")).expect("report");
+        let parsed = geodabs_bench::json::Json::parse(&report).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("kind")
+                .and_then(geodabs_bench::json::Json::as_str),
+            Some("serve")
+        );
+        assert_eq!(
+            parsed
+                .get("query")
+                .and_then(|q| q.get("consistent"))
+                .and_then(geodabs_bench::json::Json::as_bool),
+            Some(true)
+        );
+
+        // A same-size corpus from another seed passes the length probe
+        // but every response then diverges from the local expectation —
+        // the mismatch detector must fail the run loudly.
+        let err = run_to_string(&[
+            "loadtest",
+            "--addr",
+            addr,
+            "--connections",
+            "1",
+            "--scenario",
+            "micro",
+            "--seed",
+            "8",
+            "--duration",
+            "1",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn serve_flags_fail_loudly() {
+        let err = run_to_string(&["serve", "--addr", "127.0.0.1:0"]).unwrap_err();
+        assert!(
+            err.contains("--snapshot") && err.contains("--scenario"),
+            "{err}"
+        );
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--snapshot",
+            "x.gdab",
+            "--backend",
+            "geodab",
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--scenario",
+            "micro",
+            "--verify",
+            "yes",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--verify"), "{err}");
+        let err = run_to_string(&["serve", "--scenario", "micro"]).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        // Verifying a fresh ingest against a fresh rebuild is vacuous.
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--scenario",
+            "micro",
+            "--verify",
+            "rebuild",
+        ])
+        .unwrap_err();
+        assert!(err.contains("vacuous"), "{err}");
+        let err =
+            run_to_string(&["serve", "--addr", "127.0.0.1:0", "--scenari", "micro"]).unwrap_err();
+        assert!(err.contains("unknown flag --scenari"), "{err}");
+    }
+
+    #[test]
+    fn loadtest_flags_fail_loudly() {
+        let err = run_to_string(&["loadtest"]).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err =
+            run_to_string(&["loadtest", "--addr", "127.0.0.1:1", "--verify", "maybe"]).unwrap_err();
+        assert!(err.contains("--verify"), "{err}");
+        let err = run_to_string(&["loadtest", "--addr", "127.0.0.1:1", "--connectoins", "2"])
+            .unwrap_err();
+        assert!(err.contains("unknown flag --connectoins"), "{err}");
+        // A dead address fails on the probe connection, fast.
+        let err =
+            run_to_string(&["loadtest", "--addr", "127.0.0.1:1", "--duration", "1"]).unwrap_err();
+        assert!(err.contains("connecting to"), "{err}");
+    }
+
+    #[test]
+    fn bench_serve_rejects_an_ingest_baseline() {
+        let err = run_to_string(&[
+            "bench",
+            "--scenario",
+            "serve",
+            "--baseline",
+            "bench/baselines/smoke.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
+        let err =
+            run_to_string(&["bench", "--scenario", "serve", "--max-regress", "10"]).unwrap_err();
         assert!(err.contains("no ingest gate"), "{err}");
     }
 

@@ -11,6 +11,8 @@
 //! geodabs world  [--trajectories N] [--cities C] [--seed S]
 //! geodabs bench  [--scenario NAME] [--threads T] [--out DIR] [--seed S]
 //!                [--baseline FILE] [--max-regress PCT]
+//! geodabs serve    --addr HOST:PORT (--snapshot FILE | --scenario NAME) …
+//! geodabs loadtest --addr HOST:PORT [--connections N] [--duration SECS] …
 //! ```
 //!
 //! Datasets are synthetic and fully determined by `(routes,
@@ -18,7 +20,10 @@
 //! instead of shipping trajectories around. `bench` runs the named
 //! workload scenario from [`geodabs_bench::workload`] and writes the
 //! machine-readable `BENCH_<scenario>.json` report CI's perf gate
-//! consumes.
+//! consumes. `serve` hosts any backend over the `geodabs-serve` wire
+//! protocol (warm-started from a `GDAB` v2 snapshot or ingested from a
+//! scenario); `loadtest` drives a connection ladder against it and
+//! writes `BENCH_serve.json`, failing on any response mismatch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

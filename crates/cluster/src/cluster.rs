@@ -500,7 +500,7 @@ impl TrajectoryIndex for ClusterIndex {
         I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
     {
         let items: Vec<(TrajId, &Trajectory)> = items.into_iter().collect();
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = geodabs_index::batch::default_threads();
         ClusterIndex::insert_batch_threads(self, &items, threads);
     }
 }

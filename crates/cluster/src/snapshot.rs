@@ -25,7 +25,7 @@
 //! load rather than stored.
 
 use geodabs_core::Fingerprints;
-use geodabs_index::batch::parallel_map;
+use geodabs_index::batch::{self, parallel_map};
 use geodabs_index::codec::{read_postings, read_sequences, write_postings, write_sequences};
 use geodabs_index::engine::IdInterner;
 use geodabs_index::store::{
@@ -93,7 +93,9 @@ fn decode_node(
         if list.is_empty() {
             return Err(SnapshotError::Corrupt("empty posting list"));
         }
-        if !list.is_subset(&live_bitmap) {
+        // Count the live overlap without materializing the intersection:
+        // every posting entry must be a live slot.
+        if list.intersection_len(&live_bitmap) != list.len() {
             return Err(SnapshotError::Corrupt("posting references a vacant slot"));
         }
         let shard = router.shard_of_geodab(term);
@@ -148,8 +150,7 @@ impl Persist for ClusterIndex {
         writer.section(SEC_FINGERPRINTS, fprs);
 
         // Per-node segments are independent: serialize them concurrently.
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let segments = parallel_map(&self.nodes, threads, encode_node);
+        let segments = parallel_map(&self.nodes, batch::default_threads(), encode_node);
         for (i, segment) in segments.into_iter().enumerate() {
             writer.section(node_section_id(i), segment);
         }
@@ -193,11 +194,11 @@ impl Persist for ClusterIndex {
             segments.push((i, reader.section(node_section_id(i))?));
         }
         // Node segments are independent: materialize them concurrently.
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let nodes: Vec<Result<NodeStore, SnapshotError>> =
-            parallel_map(&segments, threads, |&(node_index, payload)| {
-                decode_node(payload, node_index, &router, &global_fps)
-            });
+        let nodes: Vec<Result<NodeStore, SnapshotError>> = parallel_map(
+            &segments,
+            batch::default_threads(),
+            |&(node_index, payload)| decode_node(payload, node_index, &router, &global_fps),
+        );
         let nodes: Vec<NodeStore> = nodes.into_iter().collect::<Result<_, _>>()?;
 
         Ok(ClusterIndex {

@@ -11,6 +11,22 @@
 
 use std::sync::Mutex;
 
+/// The worker-thread count meaning "use every core": the machine's
+/// available parallelism, clamped to at least 1 when it cannot be
+/// determined. The single source of truth for every "all cores" default
+/// in the workspace — batch ingest, batch query, concurrent snapshot
+/// encode/decode, the bench thread ladder and the serve connection pool
+/// all resolve their defaults here.
+///
+/// # Examples
+///
+/// ```
+/// assert!(geodabs_index::batch::default_threads() >= 1);
+/// ```
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Applies `f` to every item of `items` across up to `threads` scoped
 /// worker threads, returning the outputs **in input order** — exactly
 /// `items.iter().map(f).collect()`, only faster.

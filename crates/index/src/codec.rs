@@ -140,7 +140,7 @@ impl SectionValue for u32 {
     }
 
     fn read(cursor: &mut Cursor<'_>) -> Result<u32, SnapshotError> {
-        cursor.u32()
+        Ok(cursor.u32()?)
     }
 }
 
@@ -152,7 +152,7 @@ impl SectionValue for u64 {
     }
 
     fn read(cursor: &mut Cursor<'_>) -> Result<u64, SnapshotError> {
-        cursor.u64()
+        Ok(cursor.u64()?)
     }
 }
 

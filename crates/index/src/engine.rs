@@ -489,7 +489,9 @@ impl<T: Copy + Eq + Hash + Ord> PostingLists<T> {
             if list.is_empty() {
                 return Err("empty posting list");
             }
-            if !list.is_subset(&live_bitmap) {
+            // Count the live overlap without materializing the
+            // intersection: every posting entry must be a live slot.
+            if list.intersection_len(&live_bitmap) != list.len() {
                 return Err("posting references a vacant slot");
             }
             if postings.insert(term, list).is_some() {
@@ -582,8 +584,12 @@ impl<T: Copy + Eq + Hash + Ord> PostingLists<T> {
                 }
                 if !admit_new {
                     // Freeze the candidate set once; later lists are
-                    // scanned through their intersection with it.
+                    // scanned through their intersection with it. No
+                    // candidates at all means no overlap left to count.
                     admitted = touched.iter().copied().collect();
+                    if admitted.is_empty() {
+                        break;
+                    }
                 }
             }
             if admit_new {

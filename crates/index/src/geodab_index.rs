@@ -224,8 +224,7 @@ impl TrajectoryIndex for GeodabIndex {
         I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
     {
         let items: Vec<(TrajId, &Trajectory)> = items.into_iter().collect();
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        GeodabIndex::insert_batch_threads(self, &items, threads);
+        GeodabIndex::insert_batch_threads(self, &items, crate::batch::default_threads());
     }
 }
 

@@ -157,8 +157,7 @@ impl TrajectoryIndex for GeohashIndex {
         I: IntoIterator<Item = (TrajId, &'a Trajectory)>,
     {
         let items: Vec<(TrajId, &Trajectory)> = items.into_iter().collect();
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        GeohashIndex::insert_batch_threads(self, &items, threads);
+        GeohashIndex::insert_batch_threads(self, &items, crate::batch::default_threads());
     }
 }
 

@@ -102,7 +102,7 @@ pub trait TrajectoryIndex {
 
     /// Ranked retrieval for a batch of queries, answered in parallel over
     /// the shared read-only engine state with one worker per available
-    /// core. Returns exactly
+    /// core ([`batch::default_threads`]). Returns exactly
     /// `queries.iter().map(|q| self.search(q, options)).collect()` — the
     /// per-query rankings in query order, each bit-identical to a
     /// standalone [`TrajectoryIndex::search`] call.
@@ -114,8 +114,7 @@ pub trait TrajectoryIndex {
     where
         Self: Sized + Sync,
     {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        self.search_batch_threads(queries, options, threads)
+        self.search_batch_threads(queries, options, batch::default_threads())
     }
 
     /// [`TrajectoryIndex::search_batch`] with an explicit worker-thread

@@ -136,6 +136,47 @@ pub fn section_name(id: u32) -> String {
     }
 }
 
+/// Errors produced by the bounds-checked [`Cursor`] alone — the part of
+/// the decoding machinery shared between the snapshot layer and the
+/// `geodabs-serve` wire protocol, which embed cursor reads in different
+/// outer error types. Converts into [`SnapshotError`] with `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// The input ended in the middle of a record.
+    Truncated,
+    /// A payload is structurally invalid.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Truncated => write!(f, "truncated input"),
+            ReadError::Corrupt(what) => write!(f, "corrupt input: {what}"),
+        }
+    }
+}
+
+impl Error for ReadError {}
+
+impl From<ReadError> for SnapshotError {
+    fn from(e: ReadError) -> SnapshotError {
+        match e {
+            ReadError::Truncated => SnapshotError::Truncated,
+            ReadError::Corrupt(what) => SnapshotError::Corrupt(what),
+        }
+    }
+}
+
+impl From<geodabs_roaring::WireError> for ReadError {
+    fn from(e: geodabs_roaring::WireError) -> ReadError {
+        match e {
+            geodabs_roaring::WireError::Truncated => ReadError::Truncated,
+            geodabs_roaring::WireError::Corrupt(what) => ReadError::Corrupt(what),
+        }
+    }
+}
+
 /// Errors reading a snapshot (or writing one to disk).
 #[derive(Debug)]
 pub enum SnapshotError {
@@ -159,6 +200,10 @@ pub enum SnapshotError {
         /// The tag byte found in the header.
         found: u8,
     },
+    /// The backend tag byte is not one this library knows (loads that
+    /// accept *any* backend report this instead of
+    /// [`SnapshotError::WrongBackend`]).
+    UnknownBackend(u8),
     /// A required section is absent.
     MissingSection(u32),
     /// The same section id appears twice.
@@ -187,6 +232,7 @@ impl fmt::Display for SnapshotError {
                     None => write!(f, "unknown backend tag {found}, expected {expected}"),
                 }
             }
+            SnapshotError::UnknownBackend(tag) => write!(f, "unknown backend tag {tag}"),
             SnapshotError::MissingSection(id) => {
                 write!(f, "snapshot is missing section {}", section_name(*id))
             }
@@ -248,8 +294,10 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// Little-endian cursor over a byte stream; every read is bounds-checked
-/// so truncated input surfaces as [`SnapshotError::Truncated`] instead of
-/// a panic.
+/// so truncated input surfaces as [`ReadError::Truncated`] instead of a
+/// panic. Shared by the snapshot layer and the `geodabs-serve` wire
+/// protocol — errors convert into [`SnapshotError`] (and the serve
+/// crate's wire error) with `?`.
 pub struct Cursor<'a> {
     data: &'a [u8],
 }
@@ -269,10 +317,10 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Truncated`] when fewer than `n` bytes remain.
-    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    /// [`ReadError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ReadError> {
         if self.data.len() < n {
-            return Err(SnapshotError::Truncated);
+            return Err(ReadError::Truncated);
         }
         let (head, tail) = self.data.split_at(n);
         self.data = tail;
@@ -283,8 +331,8 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Truncated`] at end of input.
-    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+    /// [`ReadError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, ReadError> {
         Ok(self.take(1)?[0])
     }
 
@@ -292,8 +340,8 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Truncated`] when fewer than 2 bytes remain.
-    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+    /// [`ReadError::Truncated`] when fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, ReadError> {
         Ok(u16::from_le_bytes(
             self.take(2)?.try_into().expect("2 bytes"),
         ))
@@ -303,8 +351,8 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Truncated`] when fewer than 4 bytes remain.
-    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+    /// [`ReadError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, ReadError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
@@ -314,11 +362,20 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Truncated`] when fewer than 8 bytes remain.
-    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+    /// [`ReadError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, ReadError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
+    }
+
+    /// Reads a little-endian IEEE-754 `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Truncated`] when fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, ReadError> {
+        Ok(f64::from_bits(self.u64()?))
     }
 
     /// Reads a roaring bitmap in its wire form.
@@ -326,7 +383,7 @@ impl<'a> Cursor<'a> {
     /// # Errors
     ///
     /// Propagates the bitmap decoder's truncation/corruption errors.
-    pub fn bitmap(&mut self) -> Result<geodabs_roaring::RoaringBitmap, SnapshotError> {
+    pub fn bitmap(&mut self) -> Result<geodabs_roaring::RoaringBitmap, ReadError> {
         let (bitmap, used) = geodabs_roaring::RoaringBitmap::deserialize_from(self.data)?;
         self.data = &self.data[used..];
         Ok(bitmap)
@@ -336,14 +393,12 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Corrupt`] when trailing bytes remain.
-    pub fn expect_end(&self) -> Result<(), SnapshotError> {
+    /// [`ReadError::Corrupt`] when trailing bytes remain.
+    pub fn expect_end(&self) -> Result<(), ReadError> {
         if self.data.is_empty() {
             Ok(())
         } else {
-            Err(SnapshotError::Corrupt(
-                "trailing bytes after section payload",
-            ))
+            Err(ReadError::Corrupt("trailing bytes after section payload"))
         }
     }
 }
@@ -419,7 +474,7 @@ pub fn peek_version(data: &[u8]) -> Result<u16, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let mut cursor = Cursor::new(&data[4..]);
-    cursor.u16()
+    Ok(cursor.u16()?)
 }
 
 /// A parsed v2 container: header fields plus the section table, every
@@ -679,13 +734,25 @@ mod tests {
         let mut cursor = Cursor::new(&[1, 2, 3]);
         assert_eq!(cursor.u8().unwrap(), 1);
         assert_eq!(cursor.u16().unwrap(), u16::from_le_bytes([2, 3]));
-        assert!(matches!(cursor.u8(), Err(SnapshotError::Truncated)));
+        assert_eq!(cursor.u8(), Err(ReadError::Truncated));
         assert!(cursor.expect_end().is_ok());
-        let mut cursor = Cursor::new(&[0; 12]);
+        let mut cursor = Cursor::new(&[0; 20]);
         assert_eq!(cursor.u32().unwrap(), 0);
         assert_eq!(cursor.u64().unwrap(), 0);
+        assert_eq!(cursor.f64().unwrap(), 0.0);
         let trailing = Cursor::new(&[0; 2]);
         assert!(trailing.expect_end().is_err());
+        // Cursor errors convert into the snapshot error vocabulary.
+        assert!(matches!(
+            SnapshotError::from(ReadError::Truncated),
+            SnapshotError::Truncated
+        ));
+        assert!(matches!(
+            SnapshotError::from(ReadError::Corrupt("x")),
+            SnapshotError::Corrupt("x")
+        ));
+        assert!(!ReadError::Truncated.to_string().is_empty());
+        assert!(ReadError::Corrupt("boom").to_string().contains("boom"));
     }
 
     #[test]

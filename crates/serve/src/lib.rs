@@ -1,0 +1,64 @@
+//! Network serving for the geodabs index family: a binary wire
+//! protocol, a concurrent thread-pooled query server, and a
+//! load-generation client.
+//!
+//! The paper's index answers top-k trajectory-similarity queries at
+//! interactive latency; this crate turns the in-process engine into an
+//! actual service — the ROADMAP's "serving heavy traffic" layer — using
+//! nothing but `std::net` and scoped threads:
+//!
+//! * [`proto`] — length-prefixed, CRC-32-guarded frames carrying typed
+//!   requests (`Ping`, `Stats`, `Query`, `QueryBatch`, `Insert`,
+//!   `Remove`) and responses; malformed frames surface as typed
+//!   [`WireError`]s, never panics.
+//! * [`Server`] — hosts any [`ServeBackend`] (the geodab index, the
+//!   geohash baseline, or the sharded cluster — typically warm-started
+//!   from a `GDAB` v2 snapshot) behind a bounded worker pool over
+//!   read-mostly shared state; connections may pipeline requests, and
+//!   shutdown is clean on both an explicit signal and a poisoned write
+//!   lock.
+//! * [`Client`] / [`LoadClient`] — the blocking protocol client, and a
+//!   closed-loop load generator reporting QPS plus p50/p95/p99 latency
+//!   per connection count.
+//!
+//! Responses are **bit-identical** to in-process calls: hits carry the
+//! exact IEEE-754 distance bits the engine produced, which the loopback
+//! equivalence tests pin with `==` across concurrent pipelined clients.
+//!
+//! # Examples
+//!
+//! ```
+//! use geodabs_core::GeodabConfig;
+//! use geodabs_geo::Point;
+//! use geodabs_index::{GeodabIndex, SearchOptions, TrajectoryIndex};
+//! use geodabs_serve::{Client, Server, ServerConfig};
+//! use geodabs_traj::{TrajId, Trajectory};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build (or `Persist::load_from` a snapshot of) an index…
+//! let start = Point::new(51.5074, -0.1278)?;
+//! let path: Trajectory = (0..40).map(|i| start.destination(90.0, i as f64 * 90.0)).collect();
+//! let mut index = GeodabIndex::new(GeodabConfig::default());
+//! index.insert(TrajId::new(0), &path);
+//! let expected = index.search(&path, &SearchOptions::default().limit(3));
+//!
+//! // …serve it, query it over loopback, and get the same ranking back.
+//! let running = Server::bind("127.0.0.1:0", index, ServerConfig::default())?.spawn();
+//! let mut client = Client::connect(running.addr())?;
+//! let hits = client.query(&path, &SearchOptions::default().limit(3))?;
+//! assert_eq!(hits, expected);
+//! running.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod proto;
+mod server;
+
+pub use client::{percentile, Client, LoadClient, LoadRun};
+pub use proto::{QueryBody, Request, Response, StatsBody, WireError};
+pub use server::{RunningServer, ServeBackend, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,836 @@
+//! The binary wire protocol: length-prefixed, CRC-guarded frames
+//! carrying typed requests and responses.
+//!
+//! # Frame layout
+//!
+//! Every message travels in one frame, all integers little-endian:
+//!
+//! ```text
+//! len      u32   payload byte count (≤ MAX_FRAME_LEN)
+//! crc32    u32   IEEE CRC-32 of the payload
+//! payload  len bytes
+//! ```
+//!
+//! The length prefix is validated against [`MAX_FRAME_LEN`] **before**
+//! any allocation, so a crafted multi-gigabyte length is rejected as
+//! [`WireError::FrameTooLarge`] instead of an OOM; the checksum is
+//! verified before the payload is decoded, so a flipped bit surfaces as
+//! [`WireError::ChecksumMismatch`] instead of a silently wrong answer —
+//! the same discipline the `GDAB` snapshot container applies per section
+//! (and the payload decoders reuse its bounds-checked [`Cursor`]
+//! machinery).
+//!
+//! # Payload layout
+//!
+//! The first payload byte is a message tag; the body follows. Requests:
+//!
+//! ```text
+//! 1 Ping
+//! 2 Stats
+//! 3 Query       options, query body
+//! 4 QueryBatch  options, count u32, count × query body
+//! 5 Insert      id u32, points u32, points × (lat f64, lon f64)
+//! 6 Remove      id u32
+//! ```
+//!
+//! A query body is `1` (raw trajectory: `points u32, points × (lat f64,
+//! lon f64)`, fingerprinted server-side) or `2` (pre-computed
+//! fingerprints: `terms u32, terms × geodab u32`, the cluster paper's
+//! client-side-fingerprinting mode). Options are `max_distance f64,
+//! has_limit u8, limit u64`. Responses:
+//!
+//! ```text
+//! 1 Pong
+//! 2 Stats       name u32 + utf8, trajectories u64, terms u64, workers u64
+//! 3 Hits        count u32, count × (id u32, distance f64)
+//! 4 HitsBatch   batches u32, batches × Hits body
+//! 5 Inserted    indexed trajectories u64
+//! 6 Removed     was_present u8
+//! 7 Error       message u32 + utf8
+//! ```
+//!
+//! Distances are IEEE-754 bit patterns, so a hit decodes bit-identical
+//! to the [`SearchResult`] the engine produced — the loopback
+//! equivalence tests pin responses against direct in-process calls with
+//! `==`, not a tolerance.
+
+use geodabs_geo::Point;
+use geodabs_index::store::{crc32, Cursor, ReadError};
+use geodabs_index::{SearchOptions, SearchResult};
+use geodabs_traj::{TrajId, Trajectory};
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// The largest payload a frame may carry (64 MiB). Frames claiming more
+/// are rejected before any allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Errors reading, writing or decoding wire traffic. Every malformed
+/// input maps to a typed variant; nothing on this path panics.
+#[derive(Debug)]
+pub enum WireError {
+    /// A socket read or write failed.
+    Io(std::io::Error),
+    /// The peer closed the connection between frames (clean EOF).
+    Closed,
+    /// A frame header claimed more than [`MAX_FRAME_LEN`] bytes.
+    FrameTooLarge {
+        /// The claimed payload length.
+        claimed: u32,
+    },
+    /// The payload does not match the CRC-32 in the frame header.
+    ChecksumMismatch,
+    /// The input ended in the middle of a frame or record.
+    Truncated,
+    /// A payload is structurally invalid.
+    Corrupt(&'static str),
+    /// A message or body tag outside the protocol.
+    UnknownTag {
+        /// What was being decoded (`"request"`, `"response"`, …).
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The server answered with its error response.
+    Remote(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::FrameTooLarge { claimed } => {
+                write!(f, "frame claims {claimed} bytes (max {MAX_FRAME_LEN})")
+            }
+            WireError::ChecksumMismatch => write!(f, "frame payload fails its checksum"),
+            WireError::Truncated => write!(f, "truncated wire data"),
+            WireError::Corrupt(what) => write!(f, "corrupt wire data: {what}"),
+            WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl Error for WireError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl From<ReadError> for WireError {
+    fn from(e: ReadError) -> WireError {
+        match e {
+            ReadError::Truncated => WireError::Truncated,
+            ReadError::Corrupt(what) => WireError::Corrupt(what),
+        }
+    }
+}
+
+/// Whether an I/O error is a read timeout (the server's idle-poll tick).
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes one frame: header (length + CRC-32) then payload.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on socket failures; [`WireError::FrameTooLarge`] if
+/// the payload exceeds [`MAX_FRAME_LEN`] (nothing is written then).
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(WireError::FrameTooLarge {
+            claimed: payload.len().min(u32::MAX as usize) as u32,
+        });
+    }
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+enum FrameState {
+    /// Collecting the 8-byte header; `have` bytes arrived so far.
+    Header { have: usize },
+    /// Collecting the payload; length and expected CRC already parsed.
+    Payload { crc: u32, buf: Vec<u8>, have: usize },
+}
+
+/// Incremental frame reader over any byte stream.
+///
+/// Partial reads (short socket reads, read timeouts used as idle polls)
+/// leave the reader mid-frame; the next [`FrameReader::read_frame`] call
+/// resumes where the last one stopped, so no byte is ever lost to a
+/// timeout.
+pub struct FrameReader<R> {
+    inner: R,
+    header: [u8; 8],
+    state: FrameState,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            header: [0u8; 8],
+            state: FrameState::Header { have: 0 },
+        }
+    }
+
+    /// Reads the next complete frame's payload, verifying its length and
+    /// checksum. Returns `Ok(None)` on a clean close (EOF exactly between
+    /// frames).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on socket errors — including timeouts, after
+    /// which the call can simply be retried; [`WireError::Truncated`] on
+    /// EOF mid-frame; [`WireError::FrameTooLarge`] /
+    /// [`WireError::ChecksumMismatch`] on malformed frames. Never
+    /// panics and never allocates more than the validated length.
+    pub fn read_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        loop {
+            match &mut self.state {
+                FrameState::Header { have } => {
+                    let n = self.inner.read(&mut self.header[*have..])?;
+                    if n == 0 {
+                        return if *have == 0 {
+                            Ok(None)
+                        } else {
+                            Err(WireError::Truncated)
+                        };
+                    }
+                    *have += n;
+                    if *have == 8 {
+                        let len = u32::from_le_bytes(self.header[..4].try_into().expect("4 bytes"));
+                        let crc = u32::from_le_bytes(self.header[4..].try_into().expect("4 bytes"));
+                        if len > MAX_FRAME_LEN {
+                            // Reset so a caller that survives the error
+                            // does not reparse the poisoned header.
+                            self.state = FrameState::Header { have: 0 };
+                            return Err(WireError::FrameTooLarge { claimed: len });
+                        }
+                        self.state = FrameState::Payload {
+                            crc,
+                            buf: vec![0u8; len as usize],
+                            have: 0,
+                        };
+                    }
+                }
+                FrameState::Payload { crc, buf, have } => {
+                    if *have < buf.len() {
+                        let n = self.inner.read(&mut buf[*have..])?;
+                        if n == 0 {
+                            return Err(WireError::Truncated);
+                        }
+                        *have += n;
+                        if *have < buf.len() {
+                            continue;
+                        }
+                    }
+                    let expected = *crc;
+                    let payload = std::mem::take(buf);
+                    self.state = FrameState::Header { have: 0 };
+                    if crc32(&payload) != expected {
+                        return Err(WireError::ChecksumMismatch);
+                    }
+                    return Ok(Some(payload));
+                }
+            }
+        }
+    }
+}
+
+/// A query, in either of the two forms the paper's serving story needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    /// A raw trajectory; the server normalizes and fingerprints it.
+    Trajectory(Trajectory),
+    /// Pre-computed geodab fingerprints (ordered sequence) — the
+    /// client-side-fingerprinting mode; only the geodab and cluster
+    /// backends can score these.
+    Fingerprints(Vec<u32>),
+}
+
+/// A request message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Index statistics.
+    Stats,
+    /// One ranked search.
+    Query {
+        /// The query, raw or pre-fingerprinted.
+        query: QueryBody,
+        /// Ranking options.
+        options: SearchOptions,
+    },
+    /// Several ranked searches answered in one response, in order.
+    QueryBatch {
+        /// The queries, answered independently.
+        queries: Vec<QueryBody>,
+        /// Ranking options shared by the batch.
+        options: SearchOptions,
+    },
+    /// Index a trajectory (replaces any previous contents of the id).
+    Insert {
+        /// The trajectory id.
+        id: TrajId,
+        /// The raw trajectory.
+        trajectory: Trajectory,
+    },
+    /// Remove a trajectory.
+    Remove {
+        /// The trajectory id.
+        id: TrajId,
+    },
+}
+
+/// Index statistics as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsBody {
+    /// The backend's stable name (`geodab`, `geohash`, `cluster`, …).
+    pub backend: String,
+    /// Indexed trajectories.
+    pub trajectories: u64,
+    /// Distinct terms (active shards for the cluster backend).
+    pub terms: u64,
+    /// Worker threads in the server's connection pool — also its
+    /// concurrent-connection capacity, which load generators use to
+    /// flag ladder points that would only measure queueing.
+    pub workers: u64,
+}
+
+/// A response message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Stats`].
+    Stats(StatsBody),
+    /// Answer to [`Request::Query`].
+    Hits(Vec<SearchResult>),
+    /// Answer to [`Request::QueryBatch`], rankings in query order.
+    HitsBatch(Vec<Vec<SearchResult>>),
+    /// Answer to [`Request::Insert`]: the post-insert trajectory count.
+    Inserted {
+        /// Indexed trajectories after the insert.
+        len: u64,
+    },
+    /// Answer to [`Request::Remove`].
+    Removed {
+        /// Whether the id was indexed.
+        was_present: bool,
+    },
+    /// The request failed server-side; the connection stays usable.
+    Error(String),
+}
+
+const REQ_PING: u8 = 1;
+const REQ_STATS: u8 = 2;
+const REQ_QUERY: u8 = 3;
+const REQ_QUERY_BATCH: u8 = 4;
+const REQ_INSERT: u8 = 5;
+const REQ_REMOVE: u8 = 6;
+
+const BODY_TRAJECTORY: u8 = 1;
+const BODY_FINGERPRINTS: u8 = 2;
+
+const RESP_PONG: u8 = 1;
+const RESP_STATS: u8 = 2;
+const RESP_HITS: u8 = 3;
+const RESP_HITS_BATCH: u8 = 4;
+const RESP_INSERTED: u8 = 5;
+const RESP_REMOVED: u8 = 6;
+const RESP_ERROR: u8 = 7;
+
+/// Caps a `Vec::with_capacity` taken from untrusted input: never reserve
+/// more entries than the remaining payload could possibly hold.
+fn claimed_capacity(claimed: usize, remaining: usize, entry_size: usize) -> usize {
+    claimed.min(remaining / entry_size.max(1))
+}
+
+fn write_options(out: &mut Vec<u8>, options: &SearchOptions) {
+    out.extend_from_slice(&options.max_distance.to_bits().to_le_bytes());
+    match options.limit {
+        Some(limit) => {
+            out.push(1);
+            out.extend_from_slice(&(limit as u64).to_le_bytes());
+        }
+        None => {
+            out.push(0);
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+    }
+}
+
+fn read_options(cursor: &mut Cursor<'_>) -> Result<SearchOptions, WireError> {
+    let max_distance = cursor.f64()?;
+    let has_limit = cursor.u8()?;
+    let limit = cursor.u64()?;
+    let mut options = SearchOptions::default().max_distance(max_distance);
+    match has_limit {
+        0 => {}
+        1 => {
+            let limit = usize::try_from(limit)
+                .map_err(|_| WireError::Corrupt("result limit exceeds usize"))?;
+            options = options.limit(limit);
+        }
+        _ => return Err(WireError::Corrupt("limit flag is not 0 or 1")),
+    }
+    Ok(options)
+}
+
+fn write_trajectory(out: &mut Vec<u8>, trajectory: &Trajectory) {
+    out.extend_from_slice(&(trajectory.len() as u32).to_le_bytes());
+    for p in trajectory.iter() {
+        out.extend_from_slice(&p.lat().to_bits().to_le_bytes());
+        out.extend_from_slice(&p.lon().to_bits().to_le_bytes());
+    }
+}
+
+fn read_trajectory(cursor: &mut Cursor<'_>) -> Result<Trajectory, WireError> {
+    let count = cursor.u32()? as usize;
+    let mut points = Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 16));
+    for _ in 0..count {
+        let lat = cursor.f64()?;
+        let lon = cursor.f64()?;
+        points.push(Point::new(lat, lon).map_err(|_| WireError::Corrupt("invalid coordinate"))?);
+    }
+    Ok(Trajectory::new(points))
+}
+
+fn write_query_body(out: &mut Vec<u8>, body: &QueryBody) {
+    match body {
+        QueryBody::Trajectory(trajectory) => {
+            out.push(BODY_TRAJECTORY);
+            write_trajectory(out, trajectory);
+        }
+        QueryBody::Fingerprints(terms) => {
+            out.push(BODY_FINGERPRINTS);
+            out.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+            for &term in terms {
+                out.extend_from_slice(&term.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn read_query_body(cursor: &mut Cursor<'_>) -> Result<QueryBody, WireError> {
+    match cursor.u8()? {
+        BODY_TRAJECTORY => Ok(QueryBody::Trajectory(read_trajectory(cursor)?)),
+        BODY_FINGERPRINTS => {
+            let count = cursor.u32()? as usize;
+            let mut terms = Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 4));
+            for _ in 0..count {
+                terms.push(cursor.u32()?);
+            }
+            Ok(QueryBody::Fingerprints(terms))
+        }
+        tag => Err(WireError::UnknownTag {
+            what: "query body",
+            tag,
+        }),
+    }
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_string(cursor: &mut Cursor<'_>) -> Result<String, WireError> {
+    let len = cursor.u32()? as usize;
+    let bytes = cursor.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("string is not utf-8"))
+}
+
+fn write_hits(out: &mut Vec<u8>, hits: &[SearchResult]) {
+    out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+    for hit in hits {
+        out.extend_from_slice(&hit.id.raw().to_le_bytes());
+        out.extend_from_slice(&hit.distance.to_bits().to_le_bytes());
+    }
+}
+
+fn read_hits(cursor: &mut Cursor<'_>) -> Result<Vec<SearchResult>, WireError> {
+    let count = cursor.u32()? as usize;
+    let mut hits = Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 12));
+    for _ in 0..count {
+        let id = TrajId::new(cursor.u32()?);
+        let distance = cursor.f64()?;
+        hits.push(SearchResult { id, distance });
+    }
+    Ok(hits)
+}
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(REQ_PING),
+            Request::Stats => out.push(REQ_STATS),
+            Request::Query { query, options } => {
+                out.push(REQ_QUERY);
+                write_options(&mut out, options);
+                write_query_body(&mut out, query);
+            }
+            Request::QueryBatch { queries, options } => {
+                out.push(REQ_QUERY_BATCH);
+                write_options(&mut out, options);
+                out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+                for query in queries {
+                    write_query_body(&mut out, query);
+                }
+            }
+            Request::Insert { id, trajectory } => {
+                out.push(REQ_INSERT);
+                out.extend_from_slice(&id.raw().to_le_bytes());
+                write_trajectory(&mut out, trajectory);
+            }
+            Request::Remove { id } => {
+                out.push(REQ_REMOVE);
+                out.extend_from_slice(&id.raw().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] on any malformed payload; never panics on
+    /// arbitrary bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut cursor = Cursor::new(payload);
+        let request = match cursor.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_STATS => Request::Stats,
+            REQ_QUERY => {
+                let options = read_options(&mut cursor)?;
+                let query = read_query_body(&mut cursor)?;
+                Request::Query { query, options }
+            }
+            REQ_QUERY_BATCH => {
+                let options = read_options(&mut cursor)?;
+                let count = cursor.u32()? as usize;
+                let mut queries =
+                    Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 5));
+                for _ in 0..count {
+                    queries.push(read_query_body(&mut cursor)?);
+                }
+                Request::QueryBatch { queries, options }
+            }
+            REQ_INSERT => {
+                let id = TrajId::new(cursor.u32()?);
+                let trajectory = read_trajectory(&mut cursor)?;
+                Request::Insert { id, trajectory }
+            }
+            REQ_REMOVE => Request::Remove {
+                id: TrajId::new(cursor.u32()?),
+            },
+            tag => {
+                return Err(WireError::UnknownTag {
+                    what: "request",
+                    tag,
+                })
+            }
+        };
+        cursor.expect_end()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => out.push(RESP_PONG),
+            Response::Stats(stats) => {
+                out.push(RESP_STATS);
+                write_string(&mut out, &stats.backend);
+                out.extend_from_slice(&stats.trajectories.to_le_bytes());
+                out.extend_from_slice(&stats.terms.to_le_bytes());
+                out.extend_from_slice(&stats.workers.to_le_bytes());
+            }
+            Response::Hits(hits) => {
+                out.push(RESP_HITS);
+                write_hits(&mut out, hits);
+            }
+            Response::HitsBatch(batches) => {
+                out.push(RESP_HITS_BATCH);
+                out.extend_from_slice(&(batches.len() as u32).to_le_bytes());
+                for hits in batches {
+                    write_hits(&mut out, hits);
+                }
+            }
+            Response::Inserted { len } => {
+                out.push(RESP_INSERTED);
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Response::Removed { was_present } => {
+                out.push(RESP_REMOVED);
+                out.push(u8::from(*was_present));
+            }
+            Response::Error(message) => {
+                out.push(RESP_ERROR);
+                write_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a response.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] on any malformed payload; never panics on
+    /// arbitrary bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut cursor = Cursor::new(payload);
+        let response = match cursor.u8()? {
+            RESP_PONG => Response::Pong,
+            RESP_STATS => {
+                let backend = read_string(&mut cursor)?;
+                let trajectories = cursor.u64()?;
+                let terms = cursor.u64()?;
+                let workers = cursor.u64()?;
+                Response::Stats(StatsBody {
+                    backend,
+                    trajectories,
+                    terms,
+                    workers,
+                })
+            }
+            RESP_HITS => Response::Hits(read_hits(&mut cursor)?),
+            RESP_HITS_BATCH => {
+                let count = cursor.u32()? as usize;
+                let mut batches =
+                    Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 4));
+                for _ in 0..count {
+                    batches.push(read_hits(&mut cursor)?);
+                }
+                Response::HitsBatch(batches)
+            }
+            RESP_INSERTED => Response::Inserted { len: cursor.u64()? },
+            RESP_REMOVED => Response::Removed {
+                was_present: match cursor.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Corrupt("presence flag is not 0 or 1")),
+                },
+            },
+            RESP_ERROR => Response::Error(read_string(&mut cursor)?),
+            tag => {
+                return Err(WireError::UnknownTag {
+                    what: "response",
+                    tag,
+                })
+            }
+        };
+        cursor.expect_end()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trajectory() -> Trajectory {
+        let start = Point::new(51.5074, -0.1278).unwrap();
+        (0..5)
+            .map(|i| start.destination(90.0, i as f64 * 90.0))
+            .collect()
+    }
+
+    fn roundtrip_request(request: Request) {
+        let decoded = Request::decode(&request.encode()).expect("roundtrip");
+        assert_eq!(decoded, request);
+    }
+
+    fn roundtrip_response(response: Response) {
+        let decoded = Response::decode(&response.encode()).expect("roundtrip");
+        assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Query {
+            query: QueryBody::Trajectory(sample_trajectory()),
+            options: SearchOptions::default().max_distance(0.75).limit(10),
+        });
+        roundtrip_request(Request::Query {
+            query: QueryBody::Fingerprints(vec![1, 2, 3, u32::MAX]),
+            options: SearchOptions::default(),
+        });
+        roundtrip_request(Request::QueryBatch {
+            queries: vec![
+                QueryBody::Trajectory(sample_trajectory()),
+                QueryBody::Fingerprints(vec![7]),
+                QueryBody::Trajectory(Trajectory::default()),
+            ],
+            options: SearchOptions::default().limit(0),
+        });
+        roundtrip_request(Request::Insert {
+            id: TrajId::new(42),
+            trajectory: sample_trajectory(),
+        });
+        roundtrip_request(Request::Remove {
+            id: TrajId::new(u32::MAX),
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Stats(StatsBody {
+            backend: "geodab".into(),
+            trajectories: 12,
+            terms: 3400,
+            workers: 8,
+        }));
+        roundtrip_response(Response::Hits(vec![
+            SearchResult {
+                id: TrajId::new(3),
+                distance: 0.0,
+            },
+            SearchResult {
+                id: TrajId::new(9),
+                distance: 0.1234567890123,
+            },
+        ]));
+        roundtrip_response(Response::HitsBatch(vec![
+            vec![],
+            vec![SearchResult {
+                id: TrajId::new(1),
+                distance: 1.0,
+            }],
+        ]));
+        roundtrip_response(Response::Inserted { len: 41 });
+        roundtrip_response(Response::Removed { was_present: true });
+        roundtrip_response(Response::Removed { was_present: false });
+        roundtrip_response(Response::Error("boom".into()));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let payload = Request::Query {
+            query: QueryBody::Trajectory(sample_trajectory()),
+            options: SearchOptions::default().limit(3),
+        }
+        .encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        write_frame(&mut wire, &[]).unwrap();
+        let mut reader = FrameReader::new(wire.as_slice());
+        assert_eq!(reader.read_frame().unwrap(), Some(payload));
+        assert_eq!(reader.read_frame().unwrap(), Some(Vec::new()));
+        assert_eq!(reader.read_frame().unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut reader = FrameReader::new(wire.as_slice());
+        assert!(matches!(
+            reader.read_frame(),
+            Err(WireError::FrameTooLarge { claimed }) if claimed == MAX_FRAME_LEN + 1
+        ));
+        // A payload larger than the cap is refused on the write side too.
+        struct NullWriter;
+        impl Write for NullWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let big = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        assert!(matches!(
+            write_frame(&mut NullWriter, &big),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_coordinates_are_rejected() {
+        let mut payload = vec![REQ_INSERT];
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        payload.extend_from_slice(&0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Corrupt("invalid coordinate"))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_and_unknown_tags_are_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Request::decode(&[200]),
+            Err(WireError::UnknownTag {
+                what: "request",
+                tag: 200
+            })
+        ));
+        assert!(matches!(
+            Response::decode(&[200]),
+            Err(WireError::UnknownTag {
+                what: "response",
+                tag: 200
+            })
+        ));
+        assert!(matches!(Request::decode(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            WireError::Closed,
+            WireError::ChecksumMismatch,
+            WireError::Truncated,
+            WireError::Corrupt("x"),
+            WireError::FrameTooLarge { claimed: 9 },
+            WireError::UnknownTag { what: "y", tag: 3 },
+            WireError::Remote("z".into()),
+            WireError::Io(std::io::Error::other("io")),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

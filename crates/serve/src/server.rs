@@ -1,0 +1,633 @@
+//! The concurrent query server: a bounded thread pool over shared
+//! read-mostly index state.
+//!
+//! # Threading model
+//!
+//! One acceptor (the thread calling [`Server::run`]) hands accepted
+//! connections to a pool of `threads` workers over an MPSC channel; each
+//! worker owns one connection **for that connection's lifetime** and
+//! answers its frames in order, so clients may pipeline requests
+//! freely. The pool size is therefore also the concurrent-connection
+//! capacity: connection `threads + 1` queues unserved until an earlier
+//! client disconnects — size [`ServerConfig::threads`] to the expected
+//! connection count, not just the core count, for long-lived clients.
+//! The index lives in one [`RwLock`]: queries
+//! (`Ping`/`Stats`/`Query`/`QueryBatch`) take the shared read lock and
+//! run concurrently across workers; writes (`Insert`/`Remove`) take the
+//! exclusive lock. With the default
+//! [`geodabs_index::batch::default_threads`] pool size, every core
+//! answers queries.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or dropping the pipe on a poisoned lock)
+//! flips a shared flag and pokes the listener so the accept loop wakes
+//! up; workers poll the flag on a short read timeout between frames and
+//! drain. If a request handler panics while holding the **write** lock,
+//! the lock is poisoned: every subsequent request is answered with an
+//! error frame and the server initiates the same clean shutdown rather
+//! than serving from possibly half-mutated state.
+
+use geodabs_cluster::ClusterIndex;
+use geodabs_core::Fingerprints;
+use geodabs_index::batch::default_threads;
+use geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex};
+use geodabs_traj::{TrajId, Trajectory};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::proto::{
+    is_timeout, write_frame, FrameReader, QueryBody, Request, Response, StatsBody, WireError,
+    MAX_FRAME_LEN,
+};
+
+/// Upper bound on hits across one response (12 wire bytes per hit, so
+/// this is what fits in a frame). Enforced **while the response is
+/// being built**, so a small request fanning out to millions of hits is
+/// refused with a typed error instead of materializing a response that
+/// could never be framed (or OOM-ing the server first).
+const MAX_RESPONSE_HITS: usize = MAX_FRAME_LEN as usize / 12;
+
+/// The error sent when a response would blow the frame cap.
+const RESPONSE_TOO_LARGE: &str =
+    "response exceeds the frame cap; narrow the query with a result limit";
+
+/// How often an idle worker wakes up to poll the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// The index interface the server hosts: every backend the workspace
+/// ships (and any future one) answers the full request vocabulary
+/// through it.
+pub trait ServeBackend: Send + Sync + 'static {
+    /// The backend's stable name, reported by `Stats`.
+    fn backend_name(&self) -> &'static str;
+
+    /// Indexed trajectories.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct terms (active shards for the cluster backend).
+    fn term_count(&self) -> usize;
+
+    /// Ranked retrieval from a raw trajectory.
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult>;
+
+    /// Ranked retrieval from pre-computed geodab fingerprints (ordered
+    /// sequence), when the backend's term vocabulary supports it.
+    ///
+    /// # Errors
+    ///
+    /// A static message when the backend cannot score fingerprint
+    /// queries (the geohash baseline uses `u64` cell terms).
+    fn search_fingerprints(
+        &self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str>;
+
+    /// Indexes a trajectory (replace-on-reinsert).
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory);
+
+    /// Removes a trajectory; returns whether the id was indexed.
+    fn remove(&mut self, id: TrajId) -> bool;
+}
+
+impl ServeBackend for GeodabIndex {
+    fn backend_name(&self) -> &'static str {
+        "geodab"
+    }
+
+    fn len(&self) -> usize {
+        TrajectoryIndex::len(self)
+    }
+
+    fn term_count(&self) -> usize {
+        GeodabIndex::term_count(self)
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        TrajectoryIndex::search(self, query, options)
+    }
+
+    fn search_fingerprints(
+        &self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        let fp = Fingerprints::from_ordered(ordered.to_vec());
+        Ok(GeodabIndex::search_fingerprints(self, &fp, options))
+    }
+
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        TrajectoryIndex::insert(self, id, trajectory);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        TrajectoryIndex::remove(self, id)
+    }
+}
+
+impl ServeBackend for GeohashIndex {
+    fn backend_name(&self) -> &'static str {
+        "geohash"
+    }
+
+    fn len(&self) -> usize {
+        TrajectoryIndex::len(self)
+    }
+
+    fn term_count(&self) -> usize {
+        GeohashIndex::term_count(self)
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        TrajectoryIndex::search(self, query, options)
+    }
+
+    fn search_fingerprints(
+        &self,
+        _ordered: &[u32],
+        _options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        Err("the geohash backend cannot score geodab fingerprint queries")
+    }
+
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        TrajectoryIndex::insert(self, id, trajectory);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        TrajectoryIndex::remove(self, id)
+    }
+}
+
+impl ServeBackend for ClusterIndex {
+    fn backend_name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn len(&self) -> usize {
+        ClusterIndex::len(self)
+    }
+
+    fn term_count(&self) -> usize {
+        self.active_shards()
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        ClusterIndex::search(self, query, options)
+    }
+
+    fn search_fingerprints(
+        &self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        let fp = Fingerprints::from_ordered(ordered.to_vec());
+        Ok(ClusterIndex::search_fingerprints(self, &fp, options))
+    }
+
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        ClusterIndex::insert(self, id, trajectory);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        ClusterIndex::remove(self, id)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads in the connection pool — also the number of
+    /// connections served concurrently, since a worker owns its
+    /// connection until the client disconnects. Defaults to
+    /// [`default_threads`] — one per core.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: default_threads(),
+        }
+    }
+}
+
+struct Shared<B> {
+    index: RwLock<B>,
+    addr: SocketAddr,
+    /// Pool size, reported via `Stats` so load generators can flag
+    /// ladder points beyond the concurrent-connection capacity.
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+    requests: AtomicU64,
+}
+
+impl<B> Shared<B> {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag and wakes the acceptor.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_listener(self.addr);
+    }
+}
+
+/// Best-effort poke so a blocked `accept()` observes the shutdown flag.
+/// A wildcard bind address (`0.0.0.0` / `::`) is not connectable on
+/// every platform, so the poke targets loopback at the bound port.
+fn wake_listener(addr: SocketAddr) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(match target {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(200));
+}
+
+/// Remote control for a bound server: carries the address and the
+/// shutdown flag, independent of the backend type.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a clean shutdown: stop accepting, let workers drain.
+    /// Idempotent; returns once the flag is set (the accept loop exits on
+    /// its next wake-up).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_listener(self.addr);
+    }
+}
+
+/// A server bound to its socket but not yet serving; call
+/// [`Server::run`] (blocking) or [`Server::spawn`] (background thread).
+///
+/// # Examples
+///
+/// ```
+/// use geodabs_core::GeodabConfig;
+/// use geodabs_index::GeodabIndex;
+/// use geodabs_serve::{Client, Server, ServerConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let index = GeodabIndex::new(GeodabConfig::default());
+/// let server = Server::bind("127.0.0.1:0", index, ServerConfig::default())?;
+/// let running = server.spawn();
+///
+/// let mut client = Client::connect(running.addr())?;
+/// client.ping()?;
+/// assert_eq!(client.stats()?.backend, "geodab");
+///
+/// running.shutdown()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server<B> {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServerConfig,
+    shared: Arc<Shared<B>>,
+}
+
+/// A server running on a background thread (see [`Server::spawn`]).
+pub struct RunningServer {
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<u64>>,
+}
+
+impl RunningServer {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// A cloneable remote-control handle.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Shuts the server down and waits for it to drain; returns the
+    /// number of requests served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serve loop's I/O error, if it died on one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serve thread itself panicked.
+    pub fn shutdown(self) -> std::io::Result<u64> {
+        self.handle.shutdown();
+        self.join.join().expect("serve thread panicked")
+    }
+}
+
+impl<B: ServeBackend> Server<B> {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port)
+    /// hosting `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure binding the listener.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        backend: B,
+        config: ServerConfig,
+    ) -> std::io::Result<Server<B>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            index: RwLock::new(backend),
+            addr,
+            workers: config.threads.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            requests: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            config,
+            shared,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote-control handle usable from any thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shared.shutdown),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called (this thread is
+    /// the acceptor). Returns the number of requests served.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors; per-connection errors only drop that
+    /// connection.
+    pub fn run(self) -> std::io::Result<u64> {
+        let threads = self.config.threads.max(1);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = &self.shared;
+        let mut fatal: Option<std::io::Error> = None;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || loop {
+                    // Holding the receiver lock only for the recv keeps
+                    // hand-off fair across workers.
+                    let conn = rx.lock().expect("receiver lock never poisons").recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, shared),
+                        Err(_) => break,
+                    }
+                });
+            }
+            // Transient accept() errors (a peer resetting mid-handshake)
+            // are retried with a small back-off; a persistent error
+            // streak (e.g. fd exhaustion) is fatal rather than a silent
+            // 100%-CPU spin.
+            let mut error_streak = 0u32;
+            for conn in self.listener.incoming() {
+                if shared.shutting_down() {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        error_streak = 0;
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        error_streak += 1;
+                        if error_streak >= 100 {
+                            fatal = Some(e);
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            drop(tx);
+        });
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(self.shared.requests.load(Ordering::SeqCst)),
+        }
+    }
+
+    /// Moves the server onto a background thread and returns its
+    /// controls.
+    pub fn spawn(self) -> RunningServer {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        RunningServer { handle, join }
+    }
+}
+
+fn handle_connection<B: ServeBackend>(stream: TcpStream, shared: &Shared<B>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut reader = FrameReader::new(&stream);
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match reader.read_frame() {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let response = match Request::decode(&payload) {
+                    // A panicking handler must not take the worker pool
+                    // (or the whole accept scope) down with it: catch it
+                    // at the request boundary and answer with an error.
+                    // If the panic struck under the write lock, the lock
+                    // is now poisoned and the next lock acquisition
+                    // triggers the clean shutdown path.
+                    Ok(request) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        execute(shared, request)
+                    }))
+                    .unwrap_or_else(|_| Response::Error("request handler panicked".to_string())),
+                    Err(e) => Response::Error(format!("bad request: {e}")),
+                };
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = write_frame(&mut &stream, &response.encode()) {
+                    // write_frame validates the cap before touching the
+                    // socket, so an oversized response (a batch of many
+                    // empty rankings can exceed the cap on record
+                    // overhead alone) can still be answered with a
+                    // small typed error instead of a silent hang-up.
+                    if matches!(e, WireError::FrameTooLarge { .. }) {
+                        let fallback = Response::Error(RESPONSE_TOO_LARGE.to_string());
+                        if write_frame(&mut &stream, &fallback.encode()).is_ok() {
+                            continue;
+                        }
+                    }
+                    break;
+                }
+            }
+            Err(WireError::Io(e)) if is_timeout(&e) => continue,
+            Err(e) => {
+                // Framing is lost (bad checksum, oversized length, EOF
+                // mid-frame): answer best-effort, then drop the
+                // connection — later bytes cannot be trusted.
+                let response = Response::Error(format!("bad frame: {e}"));
+                let _ = write_frame(&mut &stream, &response.encode());
+                break;
+            }
+        }
+    }
+}
+
+fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => match shared.index.read() {
+            Ok(index) => Response::Stats(StatsBody {
+                backend: index.backend_name().to_string(),
+                trajectories: index.len() as u64,
+                terms: index.term_count() as u64,
+                workers: shared.workers as u64,
+            }),
+            Err(_) => poisoned(shared),
+        },
+        Request::Query { query, options } => match shared.index.read() {
+            Ok(index) => match run_query(&*index, &query, &options) {
+                Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
+                    Response::Error(RESPONSE_TOO_LARGE.to_string())
+                }
+                Ok(hits) => Response::Hits(hits),
+                Err(message) => Response::Error(message.to_string()),
+            },
+            Err(_) => poisoned(shared),
+        },
+        Request::QueryBatch { queries, options } => match shared.index.read() {
+            Ok(index) => {
+                let mut batches = Vec::with_capacity(queries.len());
+                let mut total_hits = 0usize;
+                for query in &queries {
+                    match run_query(&*index, query, &options) {
+                        Ok(hits) => {
+                            // Bail as soon as the running total blows
+                            // the frame cap — before the rest of the
+                            // batch materializes.
+                            total_hits += hits.len();
+                            if total_hits > MAX_RESPONSE_HITS {
+                                return Response::Error(RESPONSE_TOO_LARGE.to_string());
+                            }
+                            batches.push(hits);
+                        }
+                        Err(message) => return Response::Error(message.to_string()),
+                    }
+                }
+                Response::HitsBatch(batches)
+            }
+            Err(_) => poisoned(shared),
+        },
+        Request::Insert { id, trajectory } => match shared.index.write() {
+            Ok(mut index) => {
+                index.insert(id, &trajectory);
+                Response::Inserted {
+                    len: index.len() as u64,
+                }
+            }
+            Err(_) => poisoned(shared),
+        },
+        Request::Remove { id } => match shared.index.write() {
+            Ok(mut index) => Response::Removed {
+                was_present: index.remove(id),
+            },
+            Err(_) => poisoned(shared),
+        },
+    }
+}
+
+fn run_query<B: ServeBackend>(
+    index: &B,
+    query: &QueryBody,
+    options: &SearchOptions,
+) -> Result<Vec<SearchResult>, &'static str> {
+    match query {
+        QueryBody::Trajectory(trajectory) => Ok(index.search(trajectory, options)),
+        QueryBody::Fingerprints(ordered) => index.search_fingerprints(ordered, options),
+    }
+}
+
+/// A write-lock panic left the index in an unknown state: refuse to
+/// serve from it and shut the server down cleanly (flag **and**
+/// listener wake-up, so the acceptor does not sit in `accept()` waiting
+/// for an unrelated connection to notice).
+fn poisoned<B>(shared: &Shared<B>) -> Response {
+    shared.initiate_shutdown();
+    Response::Error("server index is poisoned; shutting down".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_core::GeodabConfig;
+
+    #[test]
+    fn config_defaults_to_all_cores() {
+        assert_eq!(ServerConfig::default().threads, default_threads());
+        assert!(ServerConfig::default().threads >= 1);
+    }
+
+    #[test]
+    fn backend_names_and_stats_dispatch() {
+        let geodab = GeodabIndex::new(GeodabConfig::default());
+        assert_eq!(geodab.backend_name(), "geodab");
+        assert!(
+            ServeBackend::search_fingerprints(&geodab, &[1, 2], &SearchOptions::default()).is_ok()
+        );
+        let geohash = GeohashIndex::new(36);
+        assert_eq!(geohash.backend_name(), "geohash");
+        assert!(
+            ServeBackend::search_fingerprints(&geohash, &[1, 2], &SearchOptions::default())
+                .is_err()
+        );
+        let cluster = ClusterIndex::new(GeodabConfig::default(), 100, 2).unwrap();
+        assert_eq!(cluster.backend_name(), "cluster");
+        assert_eq!(ServeBackend::term_count(&cluster), 0);
+    }
+
+    #[test]
+    fn bind_run_shutdown_without_traffic() {
+        let index = GeodabIndex::new(GeodabConfig::default());
+        let server =
+            Server::bind("127.0.0.1:0", index, ServerConfig { threads: 2 }).expect("bind loopback");
+        assert_ne!(server.local_addr().port(), 0);
+        let running = server.spawn();
+        let served = running.shutdown().expect("clean shutdown");
+        assert_eq!(served, 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! End-to-end loopback tests: the served rankings must be
+//! **bit-identical** to direct in-process `TrajectoryIndex::search`
+//! calls — across concurrent pipelined clients — and the server must
+//! shut down cleanly on both an explicit signal and a poisoned write
+//! lock.
+
+use geodabs_cluster::ClusterIndex;
+use geodabs_core::GeodabConfig;
+use geodabs_geo::Point;
+use geodabs_index::{GeodabIndex, SearchOptions, SearchResult, TrajectoryIndex};
+use geodabs_serve::{Client, LoadClient, QueryBody, Request, Response, Server, ServerConfig};
+use geodabs_traj::{TrajId, Trajectory};
+use std::time::Duration;
+
+fn eastward(n: usize, offset_m: f64) -> Trajectory {
+    let start = Point::new(51.5074, -0.1278).unwrap();
+    (0..n)
+        .map(|i| start.destination(90.0, offset_m + i as f64 * 90.0))
+        .collect()
+}
+
+/// A small but non-trivial corpus: forward/reverse pairs at several
+/// offsets, so queries see real rankings with distance ties.
+fn corpus() -> Vec<(TrajId, Trajectory)> {
+    let mut items = Vec::new();
+    for route in 0..10u32 {
+        let path = eastward(40, route as f64 * 400.0);
+        items.push((TrajId::new(route * 2), path.clone()));
+        items.push((TrajId::new(route * 2 + 1), path.reversed()));
+    }
+    items
+}
+
+fn build_index() -> GeodabIndex {
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for (id, trajectory) in corpus() {
+        index.insert(id, &trajectory);
+    }
+    index
+}
+
+fn queries() -> Vec<Trajectory> {
+    (0..8)
+        .map(|i| {
+            eastward(40, i as f64 * 400.0)
+                .iter()
+                .map(|p| p.destination(45.0, 6.0))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn four_concurrent_pipelined_clients_get_bit_identical_rankings() {
+    let reference = build_index();
+    let options = SearchOptions::default().limit(10);
+    let queries = queries();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| reference.search(q, &options))
+        .collect();
+
+    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 4 })
+        .expect("bind loopback")
+        .spawn();
+    let addr = running.addr();
+
+    std::thread::scope(|scope| {
+        for client_index in 0..4 {
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Pipeline: enqueue every request before reading any
+                // response; the server must answer them in order.
+                for (qi, query) in queries.iter().enumerate() {
+                    let rotated = (qi + client_index) % queries.len();
+                    client
+                        .send(&Request::Query {
+                            query: QueryBody::Trajectory(queries[rotated].clone()),
+                            options,
+                        })
+                        .expect("send");
+                    let _ = query;
+                }
+                for qi in 0..queries.len() {
+                    let rotated = (qi + client_index) % queries.len();
+                    match client.recv().expect("recv") {
+                        Response::Hits(hits) => {
+                            assert_eq!(hits, expected[rotated], "client {client_index}")
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    running.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn batch_fingerprint_and_mutation_requests_match_in_process_state() {
+    let mut reference = build_index();
+    let options = SearchOptions::default().limit(5);
+    let queries = queries();
+
+    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 2 })
+        .expect("bind loopback")
+        .spawn();
+    let mut client = Client::connect(running.addr()).expect("connect");
+
+    // Batch query ≡ per-query loop on the in-process index.
+    let batches = client.query_batch(&queries, &options).expect("batch");
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| reference.search(q, &options))
+        .collect();
+    assert_eq!(batches, expected);
+
+    // Client-side fingerprinting ≡ server-side fingerprinting.
+    let fp = reference.fingerprint_query(&queries[0]);
+    let via_fingerprints = client
+        .query_fingerprints(fp.ordered(), &options)
+        .expect("fingerprint query");
+    assert_eq!(via_fingerprints, reference.search(&queries[0], &options));
+
+    // Insert / remove round-trips mirror the in-process index.
+    let fresh = eastward(50, 9_000.0);
+    reference.insert(TrajId::new(500), &fresh);
+    let len = client.insert(TrajId::new(500), &fresh).expect("insert");
+    assert_eq!(len as usize, reference.len());
+    let hits = client.query(&fresh, &options).expect("query");
+    assert_eq!(hits, reference.search(&fresh, &options));
+    assert_eq!(hits[0].id, TrajId::new(500));
+
+    assert!(client.remove(TrajId::new(500)).expect("remove"));
+    assert!(!client.remove(TrajId::new(500)).expect("re-remove"));
+    reference.remove(TrajId::new(500));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.backend, "geodab");
+    assert_eq!(stats.trajectories as usize, reference.len());
+    assert_eq!(stats.terms as usize, reference.term_count());
+
+    client.ping().expect("ping");
+    running.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn cluster_backend_serves_identically_to_monolithic() {
+    let mut cluster = ClusterIndex::new(GeodabConfig::default(), 10_000, 4).unwrap();
+    for (id, trajectory) in corpus() {
+        cluster.insert(id, &trajectory);
+    }
+    let reference = build_index();
+    let options = SearchOptions::default().limit(10);
+
+    let running = Server::bind("127.0.0.1:0", cluster, ServerConfig { threads: 2 })
+        .expect("bind loopback")
+        .spawn();
+    let mut client = Client::connect(running.addr()).expect("connect");
+    for query in queries() {
+        let hits = client.query(&query, &options).expect("query");
+        assert_eq!(hits, reference.search(&query, &options));
+    }
+    assert_eq!(client.stats().expect("stats").backend, "cluster");
+    running.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn load_client_reports_traffic_and_zero_mismatches() {
+    let reference = build_index();
+    let options = SearchOptions::default().limit(10);
+    let queries = queries();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| reference.search(q, &options))
+        .collect();
+
+    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 4 })
+        .expect("bind loopback")
+        .spawn();
+    let load =
+        LoadClient::new(running.addr().to_string(), queries, options).expect_results(expected);
+    let run = load.run(4, Duration::from_millis(300)).expect("load run");
+    assert_eq!(run.connections, 4);
+    assert!(run.requests > 0, "{run:?}");
+    assert_eq!(run.mismatches, 0, "{run:?}");
+    assert!(run.qps > 0.0);
+    assert!(run.p50_ms <= run.p95_ms && run.p95_ms <= run.p99_ms);
+    let served = running.shutdown().expect("clean shutdown");
+    assert!(served >= run.requests);
+}
+
+#[test]
+fn malformed_frames_get_an_error_response_and_the_server_survives() {
+    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 2 })
+        .expect("bind loopback")
+        .spawn();
+
+    // Hand-write a frame whose checksum is wrong: the server answers
+    // with a typed error frame, then drops that connection.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(running.addr()).expect("connect");
+        let payload = [1u8]; // a Ping…
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&0xBAD0_BAD0u32.to_le_bytes()); // …with a bogus CRC
+        wire.extend_from_slice(&payload);
+        stream.write_all(&wire).expect("write");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read");
+        assert!(!response.is_empty(), "server answered before closing");
+        let mut reader = geodabs_serve::proto::FrameReader::new(response.as_slice());
+        match reader
+            .read_frame()
+            .expect("error frame")
+            .map(|p| Response::decode(&p))
+        {
+            Some(Ok(Response::Error(message))) => {
+                assert!(message.contains("checksum"), "{message}")
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
+
+    // A fresh connection still works: the bad frame hurt nobody else.
+    let mut client = Client::connect(running.addr()).expect("connect");
+    client.ping().expect("ping after corruption");
+    running.shutdown().expect("clean shutdown");
+}
+
+/// A backend that panics while holding the write lock, to exercise the
+/// poison path.
+struct PanicOnInsert(GeodabIndex);
+
+impl geodabs_serve::ServeBackend for PanicOnInsert {
+    fn backend_name(&self) -> &'static str {
+        "panic-on-insert"
+    }
+    fn len(&self) -> usize {
+        TrajectoryIndex::len(&self.0)
+    }
+    fn term_count(&self) -> usize {
+        self.0.term_count()
+    }
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        TrajectoryIndex::search(&self.0, query, options)
+    }
+    fn search_fingerprints(
+        &self,
+        _ordered: &[u32],
+        _options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        Err("unsupported")
+    }
+    fn insert(&mut self, _id: TrajId, _trajectory: &Trajectory) {
+        panic!("injected failure while holding the write lock");
+    }
+    fn remove(&mut self, id: TrajId) -> bool {
+        TrajectoryIndex::remove(&mut self.0, id)
+    }
+}
+
+#[test]
+fn poisoned_write_lock_shuts_the_server_down_cleanly() {
+    let running = Server::bind(
+        "127.0.0.1:0",
+        PanicOnInsert(build_index()),
+        ServerConfig { threads: 2 },
+    )
+    .expect("bind loopback")
+    .spawn();
+    let addr = running.addr();
+
+    // The panicking insert is caught at the request boundary: the
+    // victim gets an error response instead of a dead socket…
+    {
+        let mut victim = Client::connect(addr).expect("connect");
+        let err = victim.insert(TrajId::new(9), &eastward(40, 0.0));
+        assert!(
+            matches!(&err, Err(geodabs_serve::WireError::Remote(m)) if m.contains("panicked")),
+            "expected a remote panic report: {err:?}"
+        );
+    }
+    // …and the poisoned lock turns every later request into an error
+    // response while the server starts its clean shutdown.
+    let mut witness = Client::connect(addr).expect("connect");
+    match witness.request(&Request::Stats) {
+        Ok(Response::Error(message)) => assert!(message.contains("poisoned"), "{message}"),
+        // The shutdown may already have won the race and closed the
+        // socket — equally acceptable, as long as join() returns.
+        Ok(other) => panic!("unexpected response {other:?}"),
+        Err(_) => {}
+    }
+    running.shutdown().expect("clean shutdown after poison");
+}

@@ -1,0 +1,163 @@
+//! Corruption suite for the wire protocol, mirroring the snapshot
+//! layer's `codec_roundtrip.rs` discipline: truncated, bit-flipped and
+//! length-prefix-attack frames must be rejected with a typed
+//! [`WireError`] — never a panic, never an unbounded allocation — and
+//! arbitrary bytes must never decode-panic either.
+
+use geodabs_geo::Point;
+use geodabs_index::{SearchOptions, SearchResult};
+use geodabs_serve::proto::{write_frame, FrameReader, MAX_FRAME_LEN};
+use geodabs_serve::{QueryBody, Request, Response, WireError};
+use geodabs_traj::{TrajId, Trajectory};
+use proptest::prelude::*;
+
+fn sample_trajectory(points: usize) -> Trajectory {
+    let start = Point::new(51.5074, -0.1278).unwrap();
+    (0..points)
+        .map(|i| start.destination(90.0, i as f64 * 90.0))
+        .collect()
+}
+
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, payload).expect("payload under the cap");
+    wire
+}
+
+fn read_one(wire: &[u8]) -> Result<Option<Vec<u8>>, WireError> {
+    FrameReader::new(wire).read_frame()
+}
+
+/// A representative request exercising every body shape.
+fn sample_request() -> Request {
+    Request::QueryBatch {
+        queries: vec![
+            QueryBody::Trajectory(sample_trajectory(8)),
+            QueryBody::Fingerprints(vec![1, 99, 100_000]),
+        ],
+        options: SearchOptions::default().max_distance(0.7).limit(10),
+    }
+}
+
+#[test]
+fn every_strict_prefix_of_a_frame_is_rejected() {
+    let wire = framed(&sample_request().encode());
+    for cut in 1..wire.len() {
+        let result = read_one(&wire[..cut]);
+        assert!(
+            matches!(result, Err(WireError::Truncated)),
+            "cut at {cut}: {result:?}"
+        );
+    }
+    // The empty prefix is a clean close, not an error.
+    assert!(matches!(read_one(&[]), Ok(None)));
+}
+
+#[test]
+fn every_single_bit_flip_in_a_frame_is_rejected() {
+    let wire = framed(&sample_request().encode());
+    for byte in 0..wire.len() {
+        for bit in 0..8u8 {
+            let mut corrupted = wire.clone();
+            corrupted[byte] ^= 1 << bit;
+            let outcome = read_one(&corrupted);
+            // A flip in the length prefix can shrink the claimed length;
+            // the CRC (over different bytes) then catches it. A flip
+            // anywhere else fails the checksum, the length cap or the
+            // truncation check. Nothing may decode cleanly.
+            assert!(
+                outcome.is_err(),
+                "flip of bit {bit} in byte {byte} survived: {outcome:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn length_prefix_attacks_fail_before_allocating() {
+    for claimed in [MAX_FRAME_LEN + 1, u32::MAX / 2, u32::MAX] {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&claimed.to_le_bytes());
+        wire.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 64]);
+        assert!(
+            matches!(
+                read_one(&wire),
+                Err(WireError::FrameTooLarge { claimed: c }) if c == claimed
+            ),
+            "claimed {claimed}"
+        );
+    }
+    // The largest admissible claim with a missing body is truncation,
+    // and the reader's buffer is bounded by the claim it validated.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&1024u32.to_le_bytes());
+    wire.extend_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(read_one(&wire), Err(WireError::Truncated)));
+}
+
+#[test]
+fn corrupt_payloads_inside_valid_frames_are_typed_errors() {
+    // A frame can be pristine while its payload is garbage: the decoder
+    // must still fail typed.
+    let garbage = framed(&[42u8; 33]);
+    let payload = read_one(&garbage).unwrap().unwrap();
+    assert!(Request::decode(&payload).is_err());
+    assert!(Response::decode(&payload).is_err());
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let _ = read_one(&bytes);
+    }
+
+    #[test]
+    fn truncated_random_requests_never_panic(
+        points in 0usize..20,
+        cut_permille in 0u32..1000,
+    ) {
+        let payload = Request::Insert {
+            id: TrajId::new(7),
+            trajectory: sample_trajectory(points),
+        }
+        .encode();
+        let cut = (payload.len() as u64 * cut_permille as u64 / 1000) as usize;
+        prop_assert!(Request::decode(&payload[..cut]).is_err() || cut == payload.len());
+    }
+
+    #[test]
+    fn request_roundtrip_is_identity(
+        terms in proptest::collection::vec(any::<u32>(), 0..50),
+        max_distance_pm in 0u32..1001,
+        limit in 0usize..100,
+    ) {
+        let mut options = SearchOptions::default().max_distance(max_distance_pm as f64 / 1000.0);
+        // limit == 0 doubles as the "no limit" case.
+        if limit > 0 {
+            options = options.limit(limit - 1);
+        }
+        let request = Request::Query {
+            query: QueryBody::Fingerprints(terms),
+            options,
+        };
+        prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+    }
+
+    #[test]
+    fn response_roundtrip_is_identity(
+        hits in proptest::collection::vec((any::<u32>(), 0u32..1001), 0..50),
+    ) {
+        let hits: Vec<SearchResult> = hits
+            .into_iter()
+            .map(|(id, d)| SearchResult {
+                id: TrajId::new(id),
+                distance: d as f64 / 1000.0,
+            })
+            .collect();
+        let response = Response::Hits(hits);
+        prop_assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+    }
+}

@@ -46,6 +46,7 @@
 //! | [`roadnet`] | `geodabs-roadnet` | road networks, routing, map matching |
 //! | [`roaring`] | `geodabs-roaring` | roaring bitmaps |
 //! | [`gen`] | `geodabs-gen` | synthetic datasets and workloads |
+//! | [`serve`] | `geodabs-serve` | network serving: wire protocol, server, load client |
 //!
 //! Ranked retrieval — single-node or sharded — runs on the exact pruned
 //! top-k engine of [`index::engine`]: roaring posting lists over interned
@@ -69,6 +70,7 @@ pub use geodabs_geo as geo;
 pub use geodabs_index as index;
 pub use geodabs_roadnet as roadnet;
 pub use geodabs_roaring as roaring;
+pub use geodabs_serve as serve;
 pub use geodabs_traj as traj;
 
 pub mod prelude {
@@ -79,10 +81,14 @@ pub mod prelude {
     //! ([`Point`], [`Trajectory`], [`TrajId`]), both index families plus
     //! the [`TrajectoryIndex`] trait and its query types, the sharded
     //! [`ClusterIndex`], the [`Persist`] snapshot trait every backend
-    //! implements, the bounded [`TopK`] collector, and the workspace
+    //! implements, the bounded [`TopK`] collector, the serving layer
+    //! ([`Server`], [`Client`], [`LoadClient`]), and the workspace
     //! [`Error`].
 
     pub use geodabs_cluster::{ClusterIndex, QueryStats, ShardRouter};
+    // `ServeBackend` stays out on purpose: its method names mirror
+    // `TrajectoryIndex`, and importing both would make plain
+    // `index.search(…)` calls ambiguous for every prelude user.
     pub use geodabs_core::{
         Fingerprinter, Fingerprints, GeodabConfig, GeodabConfigBuilder, GeodabError,
     };
@@ -93,6 +99,7 @@ pub mod prelude {
         GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
     };
     pub use geodabs_roaring::RoaringBitmap;
+    pub use geodabs_serve::{Client, LoadClient, Server, ServerConfig};
     pub use geodabs_traj::{TrajId, Trajectory};
 
     pub use crate::Error;
