@@ -43,8 +43,9 @@ use geodabs_index::{
     codec, GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
 };
 use geodabs_roadnet::generators::{grid_network, GridConfig};
-use geodabs_serve::{LoadClient, LoadRun, Server, ServerConfig};
+use geodabs_serve::{Client, LoadClient, LoadRun, Server, ServerConfig};
 use geodabs_traj::{TrajId, Trajectory};
+use geodabs_wal::{SyncPolicy, Wal, WalOp};
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
@@ -166,6 +167,9 @@ pub fn catalog() -> Vec<Scenario> {
         // Network serving over loopback; runs through `run_serve`
         // instead of `run_scenario`.
         Scenario::new(SERVE, Preset::DenseUrban, 2_000, 40, 42),
+        // Write-ahead-log durability; runs through `run_durability`
+        // instead of `run_scenario`.
+        Scenario::new(DURABILITY, Preset::DenseUrban, 500, 40, 42),
     ];
     for (suffix, corpus, queries) in [
         ("1k", 1_000, 50),
@@ -207,6 +211,13 @@ pub const COLD_START: &str = "cold-start";
 /// and latency percentiles over loopback per connection count via
 /// [`run_serve`] rather than the in-process ladder of [`run_scenario`].
 pub const SERVE: &str = "serve";
+
+/// The durability scenario's name; it measures acknowledged-write
+/// latency per WAL sync policy, replay-on-boot recovery speed, and the
+/// query-latency cost of concurrent background compaction via
+/// [`run_durability`] rather than the in-process ladder of
+/// [`run_scenario`].
+pub const DURABILITY: &str = "durability";
 
 /// Generates a scenario's reproducible dataset (network + corpus +
 /// queries) — the one corpus-construction path shared by the scenario
@@ -859,6 +870,14 @@ impl geodabs_serve::ServeBackend for AnyIndex {
     fn remove(&mut self, id: TrajId) -> bool {
         TrajectoryIndex::remove(self, id)
     }
+
+    fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
+        match self {
+            AnyIndex::Geodab(index) => geodabs_serve::ServeBackend::to_snapshot_bytes(index),
+            AnyIndex::Geohash(index) => geodabs_serve::ServeBackend::to_snapshot_bytes(index),
+            AnyIndex::Cluster(index) => geodabs_serve::ServeBackend::to_snapshot_bytes(index),
+        }
+    }
 }
 
 /// The result cap every verification replay queries with.
@@ -1100,6 +1119,356 @@ pub fn run_serve(
         query_limit,
         verified: true,
         points: points?,
+    })
+}
+
+/// Acknowledged-write latency under one WAL sync policy: the client
+/// round-trip of `Insert` requests against a durable loopback server,
+/// where every ack implies the record hit the log per that policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AckRun {
+    /// The sync policy, as `SyncPolicy::to_string` renders it.
+    pub policy: String,
+    /// Acknowledged inserts measured.
+    pub inserts: usize,
+    /// Wall-clock for the whole insert stream, seconds.
+    pub seconds: f64,
+    /// Acknowledged writes per second.
+    pub acks_per_sec: f64,
+    /// Median ack latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile ack latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile ack latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Everything one durability run measured: ack latency per sync policy,
+/// replay-on-boot recovery, and query latency with background
+/// compaction off vs on. Serialize with [`DurabilityReport::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityReport {
+    /// The workload scenario supplying corpus and queries.
+    pub scenario: Scenario,
+    /// The served backend's name.
+    pub backend: String,
+    /// One insert stream per measured sync policy.
+    pub acks: Vec<AckRun>,
+    /// Log records replayed during the recovery phase.
+    pub replayed_records: usize,
+    /// Wall-clock to scan the log and rebuild the index, seconds.
+    pub recovery_seconds: f64,
+    /// Trajectories live after recovery (must equal the acked inserts).
+    pub recovered_trajectories: usize,
+    /// Query p95 with the WAL on but compaction off, milliseconds.
+    pub baseline_query_p95_ms: f64,
+    /// Query p95 while the compactor folds the log concurrently,
+    /// milliseconds.
+    pub compacting_query_p95_ms: f64,
+    /// The snapshot watermark after the compacting phase (nonzero iff
+    /// at least one compaction actually ran).
+    pub compacted_watermark: u64,
+    /// Whether recovery restored every acked write and compaction
+    /// actually ran during the concurrent phase.
+    pub consistent: bool,
+}
+
+impl DurabilityReport {
+    /// The canonical report file name: `BENCH_durability.json`.
+    pub fn file_name(&self) -> String {
+        "BENCH_durability.json".to_string()
+    }
+
+    /// Serializes the report. Shares `schema_version` with the workload
+    /// report; the `kind` field marks the different shape, so the ingest
+    /// perf gate rejects a durability report as a baseline.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("kind", Json::Str("durability".into())),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("preset", Json::Str(self.scenario.preset.name().into())),
+            ("seed", Json::Num(self.scenario.seed as f64)),
+            ("backend", Json::Str(self.backend.clone())),
+            (
+                "acks",
+                Json::Arr(
+                    self.acks
+                        .iter()
+                        .map(|run| {
+                            Json::obj(vec![
+                                ("policy", Json::Str(run.policy.clone())),
+                                ("inserts", Json::Num(run.inserts as f64)),
+                                ("seconds", Json::Num(round6(run.seconds))),
+                                ("acks_per_sec", Json::Num(round3(run.acks_per_sec))),
+                                (
+                                    "latency_ms",
+                                    Json::obj(vec![
+                                        ("p50", Json::Num(round6(run.p50_ms))),
+                                        ("p95", Json::Num(round6(run.p95_ms))),
+                                        ("p99", Json::Num(round6(run.p99_ms))),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "recovery",
+                Json::obj(vec![
+                    ("records", Json::Num(self.replayed_records as f64)),
+                    ("seconds", Json::Num(round6(self.recovery_seconds))),
+                    (
+                        "trajectories",
+                        Json::Num(self.recovered_trajectories as f64),
+                    ),
+                ]),
+            ),
+            (
+                "compaction",
+                Json::obj(vec![
+                    (
+                        "baseline_query_p95_ms",
+                        Json::Num(round6(self.baseline_query_p95_ms)),
+                    ),
+                    (
+                        "concurrent_query_p95_ms",
+                        Json::Num(round6(self.compacting_query_p95_ms)),
+                    ),
+                    ("watermark", Json::Num(self.compacted_watermark as f64)),
+                ]),
+            ),
+            ("consistent", Json::Bool(self.consistent)),
+        ])
+    }
+}
+
+/// A scratch directory for one durability phase; recreated empty.
+fn durability_dir(tag: &str) -> Result<std::path::PathBuf, String> {
+    let dir = std::env::temp_dir().join(format!(
+        "geodabs-bench-durability-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+/// Measures query latency percentiles against a running durable server
+/// while a writer connection concurrently re-inserts corpus
+/// trajectories (replace-on-reinsert keeps state stable), for roughly
+/// `seconds` of wall clock. Returns the sorted query latencies in
+/// milliseconds.
+fn query_under_write_load(
+    addr: std::net::SocketAddr,
+    queries: &[Trajectory],
+    options: &SearchOptions,
+    writes: &[(TrajId, Trajectory)],
+    seconds: f64,
+) -> Result<Vec<f64>, String> {
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| -> Result<u64, String> {
+            let mut client = Client::connect(addr).map_err(|e| format!("writer connect: {e}"))?;
+            let mut written = 0u64;
+            'outer: loop {
+                for (id, trajectory) in writes {
+                    if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                    client
+                        .insert(*id, trajectory)
+                        .map_err(|e| format!("writer insert: {e}"))?;
+                    written += 1;
+                }
+            }
+            Ok(written)
+        });
+        let mut client = Client::connect(addr).map_err(|e| format!("reader connect: {e}"))?;
+        let deadline = Instant::now() + Duration::from_secs_f64(seconds.max(0.05));
+        let mut latencies = Vec::new();
+        'measure: loop {
+            for query in queries {
+                if Instant::now() >= deadline {
+                    break 'measure;
+                }
+                let t0 = Instant::now();
+                client
+                    .query(query, options)
+                    .map_err(|e| format!("reader query: {e}"))?;
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let written = writer.join().expect("writer thread panicked")?;
+        if written == 0 {
+            return Err("writer made no progress during the measurement".into());
+        }
+        latencies.sort_by(f64::total_cmp);
+        Ok(latencies)
+    })
+}
+
+/// Runs the durability scenario end to end on loopback:
+///
+/// 1. **Ack latency** — for each sync policy (`always`, a 5 ms
+///    interval, `never`), stream `max_inserts` acknowledged inserts
+///    into an empty durable server and record the client-observed ack
+///    percentiles.
+/// 2. **Recovery** — replay the `always` run's log into a fresh index,
+///    timing the scan+rebuild and demanding zero acked-write loss.
+/// 3. **Compaction** — serve the full corpus durably and measure query
+///    p95 under a concurrent writer, once with compaction off and once
+///    with the compactor folding the log continuously; the report
+///    records both so CI can see compaction is not blocking readers.
+///
+/// `max_inserts` bounds phase 1 (capped by the corpus size) and
+/// `seconds_per_phase` bounds each phase-3 measurement, so tests can
+/// run the whole thing in well under a second.
+///
+/// # Errors
+///
+/// I/O, bind and wire failures, or a writer that made no progress.
+pub fn run_durability(
+    scenario: &Scenario,
+    max_inserts: usize,
+    seconds_per_phase: f64,
+) -> Result<DurabilityReport, String> {
+    let dataset = generate(scenario);
+    let records = dataset.records();
+    let inserts = max_inserts.clamp(1, records.len());
+    let queries: Vec<Trajectory> = dataset
+        .queries()
+        .iter()
+        .map(|q| q.trajectory.clone())
+        .collect();
+    let options = SearchOptions::default().limit(VERIFY_LIMIT);
+
+    // Phase 1: acknowledged-write latency per sync policy.
+    let policies = [
+        SyncPolicy::Always,
+        SyncPolicy::Interval(Duration::from_millis(5)),
+        SyncPolicy::Never,
+    ];
+    let mut acks = Vec::with_capacity(policies.len());
+    let mut always_dir = None;
+    for (phase, policy) in policies.into_iter().enumerate() {
+        let dir = durability_dir(&format!("ack{phase}"))?;
+        let wal = Wal::open(&dir, policy).map_err(|e| format!("opening wal: {e}"))?;
+        let index = AnyIndex::empty("geodab", 0, 0)?;
+        let running = Server::bind("127.0.0.1:0", index, ServerConfig { threads: 2 })
+            .map_err(|e| format!("binding loopback: {e}"))?
+            .with_durability(wal, 0, None)
+            .spawn();
+        let mut client =
+            Client::connect(running.addr()).map_err(|e| format!("ack client connect: {e}"))?;
+        let mut latencies = Vec::with_capacity(inserts);
+        let started = Instant::now();
+        for record in &records[..inserts] {
+            let t0 = Instant::now();
+            client
+                .insert(record.id, &record.trajectory)
+                .map_err(|e| format!("ack insert: {e}"))?;
+            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let seconds = started.elapsed().as_secs_f64();
+        running
+            .shutdown()
+            .map_err(|e| format!("ack server shutdown: {e}"))?;
+        latencies.sort_by(f64::total_cmp);
+        acks.push(AckRun {
+            policy: policy.to_string(),
+            inserts,
+            seconds,
+            acks_per_sec: inserts as f64 / seconds.max(1e-9),
+            p50_ms: geodabs_serve::percentile(&latencies, 50.0),
+            p95_ms: geodabs_serve::percentile(&latencies, 95.0),
+            p99_ms: geodabs_serve::percentile(&latencies, 99.0),
+        });
+        if policy == SyncPolicy::Always {
+            always_dir = Some(dir);
+        } else {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // Phase 2: replay-on-boot recovery from the sync-always log — the
+    // exact read path `geodabs serve --wal-dir` boots through.
+    let dir = always_dir.expect("the always policy ran");
+    let recovery_started = Instant::now();
+    let mut restored = AnyIndex::empty("geodab", 0, 0)?;
+    let mut replayed = 0usize;
+    for record in Wal::records(&dir).map_err(|e| format!("recovery scan: {e}"))? {
+        match record.op {
+            WalOp::Insert { id, trajectory } => {
+                TrajectoryIndex::insert(&mut restored, id, &trajectory);
+            }
+            WalOp::Remove { id } => {
+                TrajectoryIndex::remove(&mut restored, id);
+            }
+        }
+        replayed += 1;
+    }
+    let recovery_seconds = recovery_started.elapsed().as_secs_f64();
+    let recovered_trajectories = TrajectoryIndex::len(&restored);
+    let recovery_consistent = replayed == inserts && recovered_trajectories == inserts;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 3: query latency under write load, compaction off vs on.
+    // Both sides run the full corpus behind a sync-always WAL; the only
+    // difference is the background compactor, so the p95 delta isolates
+    // what folding the log costs concurrent readers.
+    let writes: Vec<(TrajId, Trajectory)> = records
+        .iter()
+        .take(inserts)
+        .map(|r| (r.id, r.trajectory.clone()))
+        .collect();
+    let measure = |compact_every: Option<Duration>, tag: &str| -> Result<(Vec<f64>, u64), String> {
+        let dir = durability_dir(tag)?;
+        let wal = Wal::open(&dir, SyncPolicy::Always).map_err(|e| format!("opening wal: {e}"))?;
+        let mut index = AnyIndex::empty("geodab", 0, 0)?;
+        index.insert_batch(records.iter().map(|r| (r.id, &r.trajectory)));
+        let running = Server::bind("127.0.0.1:0", index, ServerConfig { threads: 2 })
+            .map_err(|e| format!("binding loopback: {e}"))?
+            .with_durability(wal, 0, compact_every)
+            .spawn();
+        let latencies = query_under_write_load(
+            running.addr(),
+            &queries,
+            &options,
+            &writes,
+            seconds_per_phase,
+        )?;
+        let stats = Client::connect(running.addr())
+            .map_err(|e| format!("stats connect: {e}"))?
+            .stats_durable()
+            .map_err(|e| format!("stats probe: {e}"))?;
+        let watermark = stats.durability.map(|d| d.snapshot_watermark).unwrap_or(0);
+        running
+            .shutdown()
+            .map_err(|e| format!("phase-3 server shutdown: {e}"))?;
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok((latencies, watermark))
+    };
+    let (baseline_latencies, baseline_watermark) = measure(None, "compact-off")?;
+    // Fold continuously (a 1 ms period re-arms as fast as the compactor
+    // can cycle) so the measurement overlaps real compactions.
+    let (compacting_latencies, compacted_watermark) =
+        measure(Some(Duration::from_millis(1)), "compact-on")?;
+
+    let consistent = recovery_consistent && baseline_watermark == 0 && compacted_watermark > 0;
+    Ok(DurabilityReport {
+        scenario: scenario.clone(),
+        backend: "geodab".to_string(),
+        acks,
+        replayed_records: replayed,
+        recovery_seconds,
+        recovered_trajectories,
+        baseline_query_p95_ms: geodabs_serve::percentile(&baseline_latencies, 95.0),
+        compacting_query_p95_ms: geodabs_serve::percentile(&compacting_latencies, 95.0),
+        compacted_watermark,
+        consistent,
     })
 }
 
@@ -1537,6 +1906,59 @@ mod tests {
             r#""query": {"latency_ms": {"p95": -3}}, "ingest""#,
         );
         assert!(check_gate(&report, &bad, 30.0).unwrap_err().contains("p95"));
+    }
+
+    #[test]
+    fn durability_run_measures_acks_recovery_and_compaction() {
+        let scenario = find(DURABILITY).expect("catalog has durability");
+        // Micro-sized: 8 acked inserts per policy and ~0.3 s per
+        // compaction phase keep the test well under test-suite budget.
+        let report = run_durability(&scenario, 8, 0.3).expect("durability run");
+        assert_eq!(report.backend, "geodab");
+        assert_eq!(report.acks.len(), 3, "{:?}", report.acks);
+        let policies: Vec<&str> = report.acks.iter().map(|a| a.policy.as_str()).collect();
+        assert_eq!(policies, ["always", "interval:5", "never"]);
+        for run in &report.acks {
+            assert_eq!(run.inserts, 8);
+            assert!(run.acks_per_sec > 0.0, "{run:?}");
+            assert!(
+                run.p50_ms <= run.p95_ms && run.p95_ms <= run.p99_ms,
+                "{run:?}"
+            );
+        }
+        // Zero acked-write loss through the replay path…
+        assert_eq!(report.replayed_records, 8);
+        assert_eq!(report.recovered_trajectories, 8);
+        // …and the compactor provably ran while queries flowed.
+        assert!(report.compacted_watermark > 0, "{report:?}");
+        assert!(report.baseline_query_p95_ms > 0.0);
+        assert!(report.compacting_query_p95_ms > 0.0);
+        assert!(report.consistent, "{report:?}");
+
+        // The serialized report is machine-readable and shape-marked.
+        let json = report.to_json();
+        let text = json.pretty();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed.get("kind").and_then(Json::as_str),
+            Some("durability")
+        );
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            parsed
+                .get("recovery")
+                .and_then(|r| r.get("records"))
+                .and_then(Json::as_f64),
+            Some(8.0)
+        );
+        assert_eq!(report.file_name(), "BENCH_durability.json");
+
+        // The ingest perf gate must reject a durability report as a
+        // baseline instead of misreading its numbers.
+        assert!(preflight_gate(&scenario, &text, 30.0).is_err());
     }
 
     #[test]

@@ -73,12 +73,19 @@ pub struct Args {
 /// Subcommands the binary understands.
 pub const COMMANDS: &[&str] = &[
     "build", "stats", "search", "tune", "world", "export", "bench", "snapshot", "serve",
-    "loadtest", "help",
+    "loadtest", "wal", "help",
 ];
 
 /// Commands taking a bare action token before the flags, with the actions
 /// they accept.
-const ACTIONS: &[(&str, &[&str])] = &[("snapshot", &["save", "load", "inspect"])];
+const ACTIONS: &[(&str, &[&str])] = &[
+    ("snapshot", &["save", "load", "inspect"]),
+    ("wal", &["inspect", "replay"]),
+];
+
+/// Flags that take no value: their presence is the whole message (read
+/// with [`Args::has`]). Everything else requires `--name value`.
+const BOOLEAN_FLAGS: &[&str] = &["json"];
 
 impl Args {
     /// Parses a raw argument list (without the program name).
@@ -124,9 +131,12 @@ impl Args {
             if name.is_empty() {
                 return Err(ParseError::MalformedFlag(flag));
             }
-            let value = iter
-                .next()
-                .ok_or_else(|| ParseError::MalformedFlag(flag.clone()))?;
+            let value = if BOOLEAN_FLAGS.contains(&name.as_str()) {
+                "true".to_string()
+            } else {
+                iter.next()
+                    .ok_or_else(|| ParseError::MalformedFlag(flag.clone()))?
+            };
             if flags.insert(name.clone(), value).is_some() {
                 return Err(ParseError::DuplicateFlag(name));
             }
@@ -323,6 +333,21 @@ mod tests {
             Args::parse(["snapshot", "--out", "x"]),
             Err(ParseError::UnknownAction { .. })
         ));
+        // The wal command follows the same action discipline.
+        let a = Args::parse(["wal", "inspect", "--dir", "logs"]).unwrap();
+        assert_eq!(a.command(), "wal");
+        assert_eq!(a.action(), Some("inspect"));
+        assert_eq!(
+            Args::parse(["wal", "replay"]).unwrap().action(),
+            Some("replay")
+        );
+        assert!(matches!(
+            Args::parse(["wal", "compact"]),
+            Err(ParseError::UnknownAction {
+                action: Some(_),
+                ..
+            })
+        ));
         // Action-less commands stay action-less.
         assert_eq!(Args::parse(["world"]).unwrap().action(), None);
         assert!(ParseError::UnknownAction {
@@ -337,6 +362,20 @@ mod tests {
         }
         .to_string()
         .contains("savee"));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse(["snapshot", "inspect", "--json", "--in", "x.gdab"]).unwrap();
+        assert!(a.has("json"));
+        assert_eq!(a.string_required("in").unwrap(), "x.gdab");
+        // Trailing position works too (nothing left to swallow).
+        let a = Args::parse(["snapshot", "inspect", "--in", "x.gdab", "--json"]).unwrap();
+        assert!(a.has("json"));
+        assert_eq!(
+            Args::parse(["snapshot", "inspect", "--json", "--json"]),
+            Err(ParseError::DuplicateFlag("json".into()))
+        );
     }
 
     #[test]

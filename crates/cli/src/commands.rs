@@ -33,6 +33,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Erro
         "snapshot" => snapshot(args, out),
         "serve" => serve(args, out),
         "loadtest" => loadtest(args, out),
+        "wal" => wal(args, out),
         "help" => {
             write!(out, "{}", HELP)?;
             Ok(())
@@ -58,13 +59,18 @@ USAGE:
   geodabs snapshot save    --out FILE [--backend geodab|geohash|cluster]
                            [--scenario NAME] [--seed S] [--nodes N] [--shards P]
   geodabs snapshot load    --in FILE [--verify rebuild] [--scenario NAME] [--seed S]
-  geodabs snapshot inspect --in FILE
-  geodabs serve    --addr HOST:PORT (--snapshot FILE | --scenario NAME)
+  geodabs snapshot inspect --in FILE [--json]
+  geodabs serve    --addr HOST:PORT (--snapshot FILE | --scenario NAME | --wal-dir DIR)
                    [--backend geodab|geohash|cluster] [--seed S] [--threads T]
                    [--verify rebuild] [--duration SECS] [--nodes N] [--shards P]
+                   [--wal-dir DIR] [--sync-policy always|never|interval[:MS]]
+                   [--compact-every SECS]
   geodabs loadtest --addr HOST:PORT [--connections N] [--duration SECS]
                    [--scenario NAME] [--seed S] [--limit K]
                    [--verify local|none] [--out DIR]
+  geodabs wal inspect --dir DIR
+  geodabs wal replay  --dir DIR [--out FILE]
+                      [--backend geodab|geohash|cluster] [--nodes N] [--shards P]
   geodabs help
 
 Datasets are synthetic and reproducible: the same (routes, per-direction,
@@ -78,7 +84,9 @@ enforces the CI perf gate: the run fails if batch-ingest throughput
 drops more than --max-regress percent (default 30) below the baseline's,
 or if query-latency p95 rises more than the same percentage above it.
 The special `cold-start` scenario instead measures snapshot save/load
-bandwidth and the restore-vs-reingest speedup.
+bandwidth and the restore-vs-reingest speedup; `durability` measures
+acked-write latency per WAL sync policy, replay-on-boot recovery, and
+query p95 with background compaction off vs on (BENCH_durability.json).
 
 `snapshot save` ingests a bench scenario's corpus (default: micro) into
 the chosen backend and writes a GDAB v2 snapshot; `load` restores it
@@ -101,6 +109,18 @@ connections against a running server with a scenario's queries for
 percentiles per connection count), and — with the default
 `--verify local` — compares every response bit-identically against an
 in-process rebuild, exiting nonzero on any mismatch or connection error.
+
+`serve --wal-dir` makes the server durable: every Insert/Remove is
+appended to a CRC-framed write-ahead log (synced per --sync-policy,
+default `always`) before it is acknowledged, and on restart the server
+warm-starts from the latest compacted snapshot in the log directory and
+replays the log suffix beyond its watermark — acknowledged writes
+survive a SIGKILL. With --compact-every the server periodically folds
+the log into a fresh watermark-stamped snapshot without blocking
+readers. SIGTERM/Ctrl-C flush the log and exit through the clean
+shutdown path. `wal inspect` prints the segment table; `wal replay`
+reconstructs the state offline (snapshot + log suffix) and with --out
+writes it as a compacted snapshot.
 ";
 
 fn network(seed: u64) -> RoadNetwork {
@@ -348,6 +368,61 @@ fn bench(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
         writeln!(out, "report            {}", path.display())?;
         if !report.consistent() {
             return Err("served responses diverged from the in-process engine".into());
+        }
+        return Ok(());
+    }
+
+    // The durability scenario measures acked-write latency per WAL sync
+    // policy, recovery speed, and compaction's effect on concurrent
+    // queries; its report has its own shape, so it cannot gate against
+    // an ingest baseline.
+    if scenario.name == workload::DURABILITY {
+        if args.has("baseline") || args.has("max-regress") {
+            return Err(
+                "the durability scenario has no ingest gate; run it without \
+                 --baseline/--max-regress"
+                    .into(),
+            );
+        }
+        writeln!(
+            out,
+            "scenario {} ({}, corpus {}, {} queries, seed {})",
+            scenario.name,
+            scenario.preset.name(),
+            scenario.corpus,
+            scenario.queries,
+            scenario.seed
+        )?;
+        let report = workload::run_durability(&scenario, scenario.corpus, 2.0)?;
+        for run in &report.acks {
+            writeln!(
+                out,
+                "ack     {:<12} {:>9.1} acks/s  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  \
+                 ({} inserts)",
+                run.policy, run.acks_per_sec, run.p50_ms, run.p95_ms, run.p99_ms, run.inserts
+            )?;
+        }
+        writeln!(
+            out,
+            "recovery          {} record(s) replayed in {:.3}s → {} trajectories",
+            report.replayed_records, report.recovery_seconds, report.recovered_trajectories
+        )?;
+        writeln!(
+            out,
+            "compaction        query p95 {:.3} ms (off) vs {:.3} ms (folding, watermark {})",
+            report.baseline_query_p95_ms,
+            report.compacting_query_p95_ms,
+            report.compacted_watermark
+        )?;
+        let path = std::path::Path::new(&out_dir).join(report.file_name());
+        std::fs::write(&path, report.to_json().pretty())?;
+        writeln!(out, "report            {}", path.display())?;
+        if !report.consistent {
+            return Err(
+                "durability run inconsistent: acked writes lost in replay or the compactor \
+                 never ran"
+                    .into(),
+            );
         }
         return Ok(());
     }
@@ -631,14 +706,30 @@ fn snapshot_load(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dy
 }
 
 fn snapshot_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
-    args.reject_unknown_flags(&["in"])?;
+    use geodabs_bench::json::Json;
+    args.reject_unknown_flags(&["in", "json"])?;
     let path = args.string_required("in")?;
     let bytes = std::fs::read(&path)?;
     let version = store::peek_version(&bytes)?;
-    writeln!(out, "snapshot file     {path}")?;
-    writeln!(out, "size              {} bytes", bytes.len())?;
-    writeln!(out, "format version    {version}")?;
+    let machine = args.has("json");
     if version == store::VERSION_V1 {
+        if machine {
+            let report = Json::obj(vec![
+                ("schema_version", Json::Num(1.0)),
+                ("kind", Json::Str("snapshot".into())),
+                ("file", Json::Str(path.clone())),
+                ("bytes", Json::Num(bytes.len() as f64)),
+                ("format_version", Json::Num(f64::from(version))),
+                ("backend", Json::Str("geodab".into())),
+                ("watermark", Json::Null),
+                ("sections", Json::Arr(Vec::new())),
+            ]);
+            writeln!(out, "{}", report.pretty())?;
+            return Ok(());
+        }
+        writeln!(out, "snapshot file     {path}")?;
+        writeln!(out, "size              {} bytes", bytes.len())?;
+        writeln!(out, "format version    {version}")?;
         writeln!(
             out,
             "layout            legacy v1 geodab codec (raw fingerprint sequences, \
@@ -647,6 +738,46 @@ fn snapshot_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box
         return Ok(());
     }
     let reader = SnapshotReader::parse(&bytes)?;
+    let watermark = store::watermark(&bytes)?;
+    if machine {
+        let sections: Vec<Json> = reader
+            .sections()
+            .iter()
+            .map(|&(id, payload)| {
+                Json::obj(vec![
+                    ("name", Json::Str(store::section_name(id))),
+                    ("bytes", Json::Num(payload.len() as f64)),
+                ])
+            })
+            .collect();
+        let report = Json::obj(vec![
+            ("schema_version", Json::Num(1.0)),
+            ("kind", Json::Str("snapshot".into())),
+            ("file", Json::Str(path.clone())),
+            ("bytes", Json::Num(bytes.len() as f64)),
+            ("format_version", Json::Num(f64::from(version))),
+            (
+                "backend",
+                match reader.backend() {
+                    Some(kind) => Json::Str(kind.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "watermark",
+                match watermark {
+                    Some(seq) => Json::Num(seq as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("sections", Json::Arr(sections)),
+        ]);
+        writeln!(out, "{}", report.pretty())?;
+        return Ok(());
+    }
+    writeln!(out, "snapshot file     {path}")?;
+    writeln!(out, "size              {} bytes", bytes.len())?;
+    writeln!(out, "format version    {version}")?;
     match reader.backend() {
         Some(kind) => writeln!(out, "backend           {kind}")?,
         None => writeln!(
@@ -654,6 +785,9 @@ fn snapshot_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box
             "backend           unknown (tag {})",
             reader.backend_tag()
         )?,
+    }
+    if let Some(seq) = watermark {
+        writeln!(out, "wal watermark     seq {seq} folded into this snapshot")?;
     }
     writeln!(
         out,
@@ -673,11 +807,25 @@ fn snapshot_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box
 
 fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
     use geodabs_bench::workload::{self, AnyIndex};
-    use geodabs_serve::{Server, ServerConfig};
+    use geodabs_serve::{Server, ServerConfig, WAL_SNAPSHOT_FILE};
+    use geodabs_wal::{SyncPolicy, Wal, WalOp};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
     args.reject_unknown_flags(&[
-        "addr", "backend", "snapshot", "scenario", "seed", "threads", "verify", "duration",
-        "shards", "nodes",
+        "addr",
+        "backend",
+        "snapshot",
+        "scenario",
+        "seed",
+        "threads",
+        "verify",
+        "duration",
+        "shards",
+        "nodes",
+        "wal-dir",
+        "sync-policy",
+        "compact-every",
     ])?;
     let addr = args.string_required("addr")?;
     let threads = args.usize_or("threads", geodabs_index::batch::default_threads())?;
@@ -686,15 +834,35 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
     if !["", "rebuild"].contains(&verify.as_str()) {
         return Err(format!("invalid value {verify:?} for --verify (expected \"rebuild\")").into());
     }
+    let wal_dir = match args.has("wal-dir") {
+        true => Some(args.string_required("wal-dir")?),
+        false => None,
+    };
+    // Durability knobs only mean something with a log to apply them to.
+    if wal_dir.is_none() && (args.has("sync-policy") || args.has("compact-every")) {
+        return Err("--sync-policy/--compact-every need --wal-dir".into());
+    }
+    let sync_policy = SyncPolicy::parse(&args.string_or("sync-policy", "always"))?;
+    let compact_every = args.u64_or("compact-every", 0)?;
     // Both together are fine (--snapshot serves, --scenario names the
-    // verify corpus); neither is not.
-    if !args.has("snapshot") && !args.has("scenario") {
-        return Err("serve needs a corpus: pass --snapshot FILE or --scenario NAME".into());
+    // verify corpus); a durable server may also boot from its log
+    // directory alone. No corpus source at all is an error.
+    if wal_dir.is_none() && !args.has("snapshot") && !args.has("scenario") {
+        return Err(
+            "serve needs a corpus: pass --snapshot FILE, --scenario NAME or --wal-dir DIR".into(),
+        );
     }
     // A scenario ingest IS a fresh rebuild (batch ≡ serial ingest is
     // pinned by the equivalence proptests), so verifying it against
     // another fresh rebuild could never fail — reject the vacuous check
     // instead of doubling startup cost for nothing.
+    if verify == "rebuild" && wal_dir.is_some() {
+        return Err(
+            "--verify rebuild conflicts with --wal-dir: replayed log mutations legitimately \
+             diverge from the scenario corpus, so the check would fail spuriously"
+                .into(),
+        );
+    }
     if verify == "rebuild" && !args.has("snapshot") {
         return Err(
             "--verify rebuild needs --snapshot: a --scenario ingest is itself a fresh rebuild, \
@@ -703,9 +871,30 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
         );
     }
 
-    // Warm-start from a snapshot, or ingest a scenario's corpus.
+    // Boot order for a durable server: the latest compacted snapshot in
+    // the log directory wins (it reflects acknowledged state newer than
+    // any --snapshot the caller passes), then the log suffix beyond its
+    // watermark is replayed.
     let started = Instant::now();
-    let index = if args.has("snapshot") {
+    let compacted = wal_dir
+        .as_ref()
+        .map(|d| std::path::Path::new(d).join(WAL_SNAPSHOT_FILE))
+        .filter(|p| p.exists());
+    let (mut index, snapshot_watermark) = if let Some(path) = compacted {
+        let bytes = std::fs::read(&path)?;
+        let watermark = store::watermark(&bytes)?.unwrap_or(0);
+        let index = AnyIndex::from_snapshot_bytes(&bytes)?;
+        writeln!(
+            out,
+            "warm-start        {} compacted snapshot (watermark {watermark}): {} trajectories \
+             from {} bytes in {:.3}s",
+            index.backend_name(),
+            index.len(),
+            bytes.len(),
+            started.elapsed().as_secs_f64()
+        )?;
+        (index, watermark)
+    } else if args.has("snapshot") {
         if args.has("backend") {
             return Err(
                 "--backend conflicts with --snapshot (the snapshot names its backend)".into(),
@@ -713,6 +902,7 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
         }
         let path = args.string_required("snapshot")?;
         let bytes = std::fs::read(&path)?;
+        let watermark = store::watermark(&bytes)?.unwrap_or(0);
         let index = AnyIndex::from_snapshot_bytes(&bytes)?;
         writeln!(
             out,
@@ -722,8 +912,8 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
             bytes.len(),
             started.elapsed().as_secs_f64()
         )?;
-        index
-    } else {
+        (index, watermark)
+    } else if args.has("scenario") {
         let backend = args.string_or("backend", "geodab");
         let shards = args.u64_or("shards", 10_000)?;
         let nodes = args.usize_or("nodes", 8)?;
@@ -743,8 +933,45 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
             index.len(),
             started.elapsed().as_secs_f64()
         )?;
-        index
+        (index, 0)
+    } else {
+        // --wal-dir alone: a durable server that has not compacted yet
+        // (or is brand new) boots empty and replays its whole log.
+        let backend = args.string_or("backend", "geodab");
+        let shards = args.u64_or("shards", 10_000)?;
+        let nodes = args.usize_or("nodes", 8)?;
+        let index = AnyIndex::empty(&backend, shards, nodes)?;
+        writeln!(
+            out,
+            "fresh             empty {} index",
+            index.backend_name()
+        )?;
+        (index, 0)
     };
+
+    if let Some(dir) = &wal_dir {
+        let mut replayed = 0usize;
+        for record in Wal::records(std::path::Path::new(dir))? {
+            if record.seq <= snapshot_watermark {
+                continue;
+            }
+            match record.op {
+                WalOp::Insert { id, trajectory } => {
+                    TrajectoryIndex::insert(&mut index, id, &trajectory);
+                }
+                WalOp::Remove { id } => {
+                    TrajectoryIndex::remove(&mut index, id);
+                }
+            }
+            replayed += 1;
+        }
+        writeln!(
+            out,
+            "wal replay        {replayed} record(s) beyond watermark {snapshot_watermark} \
+             from {dir}: {} trajectories now live",
+            TrajectoryIndex::len(&index)
+        )?;
+    }
 
     if verify == "rebuild" {
         // The same query-replay loop `snapshot load --verify rebuild`
@@ -759,7 +986,25 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
         )?;
     }
 
-    let server = Server::bind(addr.as_str(), index, ServerConfig { threads })?;
+    let mut server = Server::bind(addr.as_str(), index, ServerConfig { threads })?;
+    if let Some(dir) = &wal_dir {
+        let wal = Wal::open(std::path::Path::new(dir), sync_policy)?;
+        writeln!(
+            out,
+            "durability        wal {dir} at seq {} (sync {sync_policy}, compaction {})",
+            wal.last_seq(),
+            if compact_every > 0 {
+                format!("every {compact_every}s")
+            } else {
+                "off".to_string()
+            }
+        )?;
+        server = server.with_durability(
+            wal,
+            snapshot_watermark,
+            (compact_every > 0).then(|| std::time::Duration::from_secs(compact_every)),
+        );
+    }
     writeln!(
         out,
         "listening on      {} ({} worker threads{})",
@@ -779,7 +1024,27 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
             handle.shutdown();
         });
     }
+    // SIGTERM/Ctrl-C route into the same clean-shutdown path as
+    // --duration: the serving loop drains, the WAL flushes, and the
+    // process exits 0 instead of being torn mid-append.
+    let stop = crate::signals::install();
+    let handle = server.handle();
+    let finished = Arc::new(AtomicBool::new(false));
+    {
+        let finished = Arc::clone(&finished);
+        std::thread::spawn(move || loop {
+            if finished.load(Ordering::SeqCst) {
+                break;
+            }
+            if stop.load(Ordering::SeqCst) {
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
     let served = server.run()?;
+    finished.store(true, Ordering::SeqCst);
     writeln!(
         out,
         "served            {served} request(s); shut down cleanly"
@@ -940,6 +1205,131 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
     }
     if verified {
         writeln!(out, "verify            PASS (every response bit-identical)")?;
+    }
+    Ok(())
+}
+
+fn wal(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    match args.action().expect("parser guarantees a wal action") {
+        "inspect" => wal_inspect(args, out),
+        "replay" => wal_replay(args, out),
+        other => unreachable!("parser rejects unknown action {other}"),
+    }
+}
+
+fn wal_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_serve::WAL_SNAPSHOT_FILE;
+    use geodabs_wal::Wal;
+    args.reject_unknown_flags(&["dir"])?;
+    let dir = args.string_required("dir")?;
+    let segments = Wal::segments(std::path::Path::new(&dir))?;
+    writeln!(out, "wal directory     {dir}")?;
+    let snapshot = std::path::Path::new(&dir).join(WAL_SNAPSHOT_FILE);
+    match std::fs::read(&snapshot) {
+        Ok(bytes) => {
+            let watermark = store::watermark(&bytes)?;
+            writeln!(
+                out,
+                "snapshot          {} bytes, watermark {}",
+                bytes.len(),
+                watermark.map_or_else(|| "none".to_string(), |seq| format!("seq {seq}")),
+            )?;
+        }
+        Err(_) => writeln!(out, "snapshot          none (no compaction yet)")?,
+    }
+    let records: u64 = segments.iter().map(|s| s.records).sum();
+    let bytes: u64 = segments.iter().map(|s| s.bytes).sum();
+    let last_seq = segments.iter().filter_map(|s| s.last_seq()).max();
+    writeln!(
+        out,
+        "segments          {} ({records} records, {bytes} bytes, last seq {})",
+        segments.len(),
+        last_seq.map_or_else(|| "none".to_string(), |seq| seq.to_string()),
+    )?;
+    for segment in &segments {
+        writeln!(
+            out,
+            "  {:<26} start {:>8}  {:>8} record(s)  {:>12} bytes",
+            segment.file_name, segment.start_seq, segment.records, segment.bytes
+        )?;
+    }
+    Ok(())
+}
+
+fn wal_replay(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_bench::workload::AnyIndex;
+    use geodabs_serve::{ServeBackend, WAL_SNAPSHOT_FILE};
+    use geodabs_wal::{Wal, WalOp};
+    args.reject_unknown_flags(&["dir", "out", "backend", "nodes", "shards"])?;
+    let dir = args.string_required("dir")?;
+
+    // The same recovery `serve --wal-dir` performs, runnable offline:
+    // latest compacted snapshot (if any), then the log suffix beyond
+    // its watermark.
+    let snapshot = std::path::Path::new(&dir).join(WAL_SNAPSHOT_FILE);
+    let (mut index, watermark) = match std::fs::read(&snapshot) {
+        Ok(bytes) => {
+            let watermark = store::watermark(&bytes)?.unwrap_or(0);
+            let index = AnyIndex::from_snapshot_bytes(&bytes)?;
+            writeln!(
+                out,
+                "snapshot          {} backend, {} trajectories, watermark {watermark}",
+                index.backend_name(),
+                TrajectoryIndex::len(&index)
+            )?;
+            (index, watermark)
+        }
+        Err(_) => {
+            let backend = args.string_or("backend", "geodab");
+            let shards = args.u64_or("shards", 10_000)?;
+            let nodes = args.usize_or("nodes", 8)?;
+            let index = AnyIndex::empty(&backend, shards, nodes)?;
+            writeln!(
+                out,
+                "snapshot          none; replaying into an empty {} index",
+                index.backend_name()
+            )?;
+            (index, 0)
+        }
+    };
+    let mut replayed = 0usize;
+    let mut last_seq = watermark;
+    for record in Wal::records(std::path::Path::new(&dir))? {
+        last_seq = record.seq;
+        if record.seq <= watermark {
+            continue;
+        }
+        match record.op {
+            WalOp::Insert { id, trajectory } => {
+                TrajectoryIndex::insert(&mut index, id, &trajectory);
+            }
+            WalOp::Remove { id } => {
+                TrajectoryIndex::remove(&mut index, id);
+            }
+        }
+        replayed += 1;
+    }
+    writeln!(
+        out,
+        "replayed          {replayed} record(s) beyond watermark {watermark}: \
+         {} trajectories at seq {last_seq}",
+        TrajectoryIndex::len(&index)
+    )?;
+
+    // With --out the reconstruction is persisted as a compacted,
+    // watermark-stamped snapshot — offline compaction for a server that
+    // is not running.
+    if args.has("out") {
+        let path = args.string_required("out")?;
+        let bytes = ServeBackend::to_snapshot_bytes(&index)
+            .ok_or("this backend does not support snapshots")?;
+        let stamped = store::with_watermark(&bytes, last_seq)?;
+        std::fs::write(&path, &stamped)?;
+        writeln!(
+            out,
+            "compacted         {} bytes to {path} (watermark {last_seq})",
+            stamped.len()
+        )?;
     }
     Ok(())
 }
@@ -1400,6 +1790,11 @@ mod tests {
 
     #[test]
     fn serve_and_loadtest_roundtrip_on_loopback() {
+        // Serializes against the signals tests: they flip the global
+        // shutdown flag this server's watcher thread polls.
+        let _guard = crate::signals::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join("geodabs-cli-serve-test");
         std::fs::create_dir_all(&dir).expect("mkdir");
 
@@ -1560,6 +1955,22 @@ mod tests {
     }
 
     #[test]
+    fn bench_durability_rejects_an_ingest_baseline() {
+        let err = run_to_string(&[
+            "bench",
+            "--scenario",
+            "durability",
+            "--baseline",
+            "bench/baselines/smoke.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
+        let err = run_to_string(&["bench", "--scenario", "durability", "--max-regress", "10"])
+            .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
+    }
+
+    #[test]
     fn bench_serve_rejects_an_ingest_baseline() {
         let err = run_to_string(&[
             "bench",
@@ -1573,6 +1984,226 @@ mod tests {
         let err =
             run_to_string(&["bench", "--scenario", "serve", "--max-regress", "10"]).unwrap_err();
         assert!(err.contains("no ingest gate"), "{err}");
+    }
+
+    #[test]
+    fn serve_durability_flags_fail_loudly() {
+        let err = run_to_string(&["serve", "--addr", "127.0.0.1:0", "--sync-policy", "always"])
+            .unwrap_err();
+        assert!(err.contains("--wal-dir"), "{err}");
+        let err =
+            run_to_string(&["serve", "--addr", "127.0.0.1:0", "--compact-every", "5"]).unwrap_err();
+        assert!(err.contains("--wal-dir"), "{err}");
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            "logs",
+            "--verify",
+            "rebuild",
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts with --wal-dir"), "{err}");
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            "logs",
+            "--sync-policy",
+            "sometimes",
+        ])
+        .unwrap_err();
+        assert!(err.contains("sync policy"), "{err}");
+    }
+
+    #[test]
+    fn wal_flags_fail_loudly() {
+        let err = run_to_string(&["wal", "inspect"]).unwrap_err();
+        assert!(err.contains("--dir"), "{err}");
+        let err = run_to_string(&["wal", "replay"]).unwrap_err();
+        assert!(err.contains("--dir"), "{err}");
+        let err = run_to_string(&["wal", "inspect", "--dri", "logs"]).unwrap_err();
+        assert!(err.contains("unknown flag --dri"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_inspect_json_is_machine_readable() {
+        use geodabs_bench::json::Json;
+        let path = tmp("inspect-json.gdab");
+        run_to_string(&["snapshot", "save", "--scenario", "micro", "--out", &path]).unwrap();
+        let out = run_to_string(&["snapshot", "inspect", "--in", &path, "--json"]).unwrap();
+        let parsed = Json::parse(&out).expect("valid JSON");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("snapshot"));
+        assert_eq!(parsed.get("backend").and_then(Json::as_str), Some("geodab"));
+        assert_eq!(
+            parsed.get("format_version").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(parsed.get("watermark"), Some(&Json::Null));
+        let sections = parsed
+            .get("sections")
+            .and_then(Json::as_array)
+            .expect("sections array");
+        assert!(!sections.is_empty());
+        assert!(sections
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("CONF")));
+    }
+
+    #[test]
+    fn wal_inspect_replay_and_stamped_snapshot_roundtrip() {
+        use geodabs_bench::json::Json;
+        use geodabs_wal::{SyncPolicy, Wal, WalOp};
+        let dir = std::env::temp_dir().join(format!("geodabs-cli-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Log three inserts and one remove through the real WAL.
+        let ds = Dataset::generate(
+            &network(5),
+            &DatasetConfig {
+                routes: 2,
+                per_direction: 2,
+                ..DatasetConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        let mut wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+        for r in &ds.records()[..3] {
+            wal.append(&WalOp::Insert {
+                id: r.id,
+                trajectory: r.trajectory.clone(),
+            })
+            .unwrap();
+        }
+        wal.append(&WalOp::Remove {
+            id: ds.records()[0].id,
+        })
+        .unwrap();
+        drop(wal);
+
+        let out = run_to_string(&["wal", "inspect", "--dir", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("snapshot          none"), "{out}");
+        assert!(out.contains("4 records"), "{out}");
+        assert!(out.contains("last seq 4"), "{out}");
+
+        // Offline replay: 3 inserts − 1 remove = 2 live trajectories,
+        // persisted as a watermark-stamped compacted snapshot.
+        let compacted = dir.join("offline.gdab");
+        let out = run_to_string(&[
+            "wal",
+            "replay",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--out",
+            compacted.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("snapshot          none"), "{out}");
+        assert!(
+            out.contains("replayed          4 record(s) beyond watermark 0: 2 trajectories"),
+            "{out}"
+        );
+        assert!(out.contains("watermark 4"), "{out}");
+
+        // The stamp is visible to both inspect modes…
+        let out =
+            run_to_string(&["snapshot", "inspect", "--in", compacted.to_str().unwrap()]).unwrap();
+        assert!(out.contains("wal watermark     seq 4"), "{out}");
+        let out = run_to_string(&[
+            "snapshot",
+            "inspect",
+            "--in",
+            compacted.to_str().unwrap(),
+            "--json",
+        ])
+        .unwrap();
+        let parsed = Json::parse(&out).expect("valid JSON");
+        assert_eq!(parsed.get("watermark").and_then(Json::as_f64), Some(4.0));
+
+        // …and the snapshot still loads (the WMRK section is ignored by
+        // the backend decoder).
+        let out =
+            run_to_string(&["snapshot", "load", "--in", compacted.to_str().unwrap()]).unwrap();
+        assert!(out.contains("2 trajectories"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_boots_from_a_wal_dir_and_replays_acked_writes() {
+        use geodabs_serve::Client;
+        use geodabs_wal::{SyncPolicy, Wal, WalOp};
+        let _guard = crate::signals::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir =
+            std::env::temp_dir().join(format!("geodabs-cli-serve-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Seed the log as a crashed durable server would have left it.
+        let ds = Dataset::generate(
+            &network(6),
+            &DatasetConfig {
+                routes: 2,
+                per_direction: 2,
+                ..DatasetConfig::default()
+            },
+            6,
+        )
+        .unwrap();
+        let mut wal = Wal::open(&dir, SyncPolicy::Always).unwrap();
+        for r in &ds.records()[..3] {
+            wal.append(&WalOp::Insert {
+                id: r.id,
+                trajectory: r.trajectory.clone(),
+            })
+            .unwrap();
+        }
+        drop(wal);
+
+        // Boot from the log directory alone: empty index + full replay.
+        let buf = SharedBuf::default();
+        let server_buf = buf.clone();
+        let dir_for_server = dir.to_str().unwrap().to_string();
+        std::thread::spawn(move || {
+            let args = Args::parse([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--wal-dir",
+                &dir_for_server,
+                "--threads",
+                "2",
+                "--duration",
+                "60",
+            ])
+            .expect("valid serve args");
+            let mut out = server_buf;
+            run(&args, &mut out).map_err(|e| e.to_string())
+        });
+        let replay_line = buf.wait_for("wal replay        ");
+        assert!(
+            replay_line.contains("3 record(s) beyond watermark 0"),
+            "{replay_line}"
+        );
+        let addr_line = buf.wait_for("listening on      ");
+        let addr = addr_line.split_whitespace().next().expect("addr token");
+
+        // The replayed state serves, and new acked writes extend the log.
+        let mut client = Client::connect(addr).expect("connect");
+        let stats = client.stats_durable().expect("stats");
+        assert_eq!(stats.trajectories, 3);
+        let durability = stats.durability.expect("durable server reports wal state");
+        assert_eq!(durability.last_durable_seq, 3);
+        let next = &ds.records()[3];
+        client.insert(next.id, &next.trajectory).expect("insert");
+        let stats = client.stats_durable().expect("stats");
+        assert_eq!(stats.trajectories, 4);
+        assert_eq!(stats.durability.expect("durability").last_durable_seq, 4);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! geodabs world  [--trajectories N] [--cities C] [--seed S]
 //! geodabs bench  [--scenario NAME] [--threads T] [--out DIR] [--seed S]
 //!                [--baseline FILE] [--max-regress PCT]
-//! geodabs serve    --addr HOST:PORT (--snapshot FILE | --scenario NAME) …
+//! geodabs serve    --addr HOST:PORT (--snapshot FILE | --scenario NAME | --wal-dir DIR) …
 //! geodabs loadtest --addr HOST:PORT [--connections N] [--duration SECS] …
+//! geodabs wal      inspect|replay --dir DIR …
 //! ```
 //!
 //! Datasets are synthetic and fully determined by `(routes,
@@ -23,12 +24,19 @@
 //! consumes. `serve` hosts any backend over the `geodabs-serve` wire
 //! protocol (warm-started from a `GDAB` v2 snapshot or ingested from a
 //! scenario); `loadtest` drives a connection ladder against it and
-//! writes `BENCH_serve.json`, failing on any response mismatch.
+//! writes `BENCH_serve.json`, failing on any response mismatch. With
+//! `--wal-dir` the server is durable: mutations are logged before they
+//! are acknowledged, boot replays the log suffix beyond the latest
+//! compacted snapshot's watermark, and `wal inspect`/`wal replay`
+//! examine or reconstruct that state offline.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the signals module scopes one audited
+// `#[allow(unsafe_code)]` around the POSIX `signal(2)` declaration.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod signals;
 
 pub use args::{Args, ParseError};

@@ -1,0 +1,110 @@
+//! Minimal SIGINT/SIGTERM trapping for `geodabs serve`, so a durable
+//! server flushes its write-ahead log and exits through the clean
+//! shutdown path instead of being torn mid-append.
+//!
+//! The handler does the only async-signal-safe thing possible: it
+//! stores into a process-global atomic. A watcher thread owned by the
+//! caller polls that flag and triggers [`geodabs_serve::ServerHandle::
+//! shutdown`], which the serving loop already honors.
+//!
+//! `libc` stays out of the dependency tree: the two signal numbers and
+//! the `signal(2)` prototype are POSIX-stable, declared here directly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on the first SIGINT/SIGTERM; reset by
+/// [`install`].
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Serializes tests that touch the process-global flag against the
+/// in-process `serve` tests that watch it: a stray `true` would shut a
+/// test server down mid-run.
+#[cfg(test)]
+pub(crate) static TEST_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(unix)]
+mod os {
+    /// POSIX `SIGINT` (Ctrl-C at a terminal).
+    const SIGINT: i32 = 2;
+    /// POSIX `SIGTERM` (the default `kill`, and what orchestrators send
+    /// before escalating to SIGKILL).
+    const SIGTERM: i32 = 15;
+
+    // `signal(2)` returns the previous handler; it is modelled as a
+    // `usize` because the previous disposition may be `SIG_DFL` (0) or
+    // `SIG_IGN` (1), neither of which is a valid Rust fn pointer.
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work is allowed here: one atomic store.
+        super::SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    #[allow(unsafe_code)]
+    pub(super) fn install_handlers() {
+        // SAFETY: `signal` is the POSIX prototype; `on_signal` is an
+        // `extern "C" fn(i32)` that only performs an atomic store, which
+        // is async-signal-safe. The returned previous handler is
+        // deliberately discarded — the process keeps these handlers for
+        // its remaining lifetime.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod os {
+    pub(super) fn install_handlers() {
+        // No POSIX signals; Ctrl-C terminates the process directly and
+        // the WAL's torn-tail recovery covers the abrupt exit.
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers (idempotent) and returns the flag
+/// they set. The caller polls it — typically from a small watcher
+/// thread — and routes `true` into the server's clean-shutdown path.
+pub fn install() -> &'static AtomicBool {
+    SHUTDOWN_REQUESTED.store(false, Ordering::SeqCst);
+    os::install_handlers();
+    &SHUTDOWN_REQUESTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_resets_the_flag_and_is_idempotent() {
+        let _guard = TEST_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let flag = install();
+        assert!(!flag.load(Ordering::SeqCst));
+        flag.store(true, Ordering::SeqCst);
+        // Reinstalling (e.g. a second in-process `serve` run in tests)
+        // clears a stale request instead of shutting the new server
+        // down immediately.
+        let flag = install();
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn the_handler_sets_the_flag() {
+        // The handler is invoked directly: sending a *real* SIGTERM to
+        // the test binary would race the in-process serve tests sharing
+        // this process. End-to-end delivery (kill -TERM against the
+        // actual binary) is pinned by the crash-recovery integration
+        // test, which owns its child process.
+        let _guard = TEST_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let flag = install();
+        os::on_signal(15);
+        assert!(flag.load(Ordering::SeqCst));
+        // Leave the flag clear for any serve test that starts next.
+        let flag = install();
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+}

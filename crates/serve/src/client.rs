@@ -77,14 +77,33 @@ impl Client {
         }
     }
 
-    /// Index statistics.
+    /// Index statistics (the legacy shape — [`StatsBody::durability`]
+    /// is always `None`; see [`Client::stats_durable`]).
     ///
     /// # Errors
     ///
     /// Wire errors, or [`WireError::Remote`] if the server reported one.
     pub fn stats(&mut self) -> Result<StatsBody, WireError> {
-        match self.request(&Request::Stats)? {
+        match self.request(&Request::Stats { durability: false })? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Index statistics including the durability fields. Servers that
+    /// predate the flag answer the flagged request with an error; this
+    /// falls back to the legacy request then, so against an old server
+    /// (or a WAL-less new one) the call succeeds with
+    /// [`StatsBody::durability`] `= None`.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors, or [`WireError::Remote`] if even the legacy
+    /// request failed.
+    pub fn stats_durable(&mut self) -> Result<StatsBody, WireError> {
+        match self.request(&Request::Stats { durability: true })? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(_) => self.stats(),
             other => Err(unexpected(other)),
         }
     }
@@ -392,5 +411,42 @@ mod tests {
     #[should_panic(expected = "at least one query")]
     fn empty_query_set_panics() {
         let _ = LoadClient::new("127.0.0.1:1".into(), vec![], SearchOptions::default());
+    }
+
+    /// End-to-end pin of the new-client/old-server direction: a mock
+    /// pre-durability server rejects the flagged request (its strict
+    /// decoder saw trailing bytes) and only understands the bare-tag
+    /// one; `stats_durable` must come back `Ok` with no durability.
+    #[test]
+    fn stats_durable_falls_back_against_an_old_server() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = FrameReader::new(stream.try_clone().unwrap());
+            for _ in 0..2 {
+                let payload = reader.read_frame().unwrap().unwrap();
+                // Frozen old behavior: request tag 2 alone is Stats;
+                // anything longer failed the trailing-bytes check.
+                let reply: Vec<u8> = if payload == [2u8] {
+                    let mut out = vec![2u8];
+                    out.extend_from_slice(&6u32.to_le_bytes());
+                    out.extend_from_slice(b"geodab");
+                    out.extend_from_slice(&10u64.to_le_bytes());
+                    out.extend_from_slice(&20u64.to_le_bytes());
+                    out.extend_from_slice(&4u64.to_le_bytes());
+                    out
+                } else {
+                    Response::Error("bad request: corrupt wire data".into()).encode()
+                };
+                write_frame(&mut &stream, &reply).unwrap();
+            }
+        });
+        let mut client = Client::connect(addr).unwrap();
+        let stats = client.stats_durable().unwrap();
+        assert_eq!(stats.backend, "geodab");
+        assert_eq!(stats.trajectories, 10);
+        assert_eq!(stats.durability, None);
+        server.join().unwrap();
     }
 }

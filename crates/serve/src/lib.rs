@@ -16,7 +16,10 @@
 //!   from a `GDAB` v2 snapshot) behind a bounded worker pool over
 //!   read-mostly shared state; connections may pipeline requests, and
 //!   shutdown is clean on both an explicit signal and a poisoned write
-//!   lock.
+//!   lock. With [`Server::with_durability`], every mutation is appended
+//!   to a `geodabs-wal` write-ahead log **before** it is acknowledged,
+//!   and a background thread compacts the log into watermark-stamped
+//!   snapshots without blocking readers.
 //! * [`Client`] / [`LoadClient`] — the blocking protocol client, and a
 //!   closed-loop load generator reporting QPS plus p50/p95/p99 latency
 //!   per connection count.
@@ -60,5 +63,7 @@ pub mod proto;
 mod server;
 
 pub use client::{percentile, Client, LoadClient, LoadRun};
-pub use proto::{QueryBody, Request, Response, StatsBody, WireError};
-pub use server::{RunningServer, ServeBackend, Server, ServerConfig, ServerHandle};
+pub use proto::{DurabilityStats, QueryBody, Request, Response, StatsBody, WireError};
+pub use server::{
+    RunningServer, ServeBackend, Server, ServerConfig, ServerHandle, WAL_SNAPSHOT_FILE,
+};

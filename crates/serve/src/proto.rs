@@ -26,7 +26,7 @@
 //!
 //! ```text
 //! 1 Ping
-//! 2 Stats
+//! 2 Stats       [flags u8]   (0x01 = include durability fields)
 //! 3 Query       options, query body
 //! 4 QueryBatch  options, count u32, count × query body
 //! 5 Insert      id u32, points u32, points × (lat f64, lon f64)
@@ -42,12 +42,25 @@
 //! ```text
 //! 1 Pong
 //! 2 Stats       name u32 + utf8, trajectories u64, terms u64, workers u64
+//!               [durable seq u64, wal bytes u64, watermark u64]
 //! 3 Hits        count u32, count × (id u32, distance f64)
 //! 4 HitsBatch   batches u32, batches × Hits body
 //! 5 Inserted    indexed trajectories u64
 //! 6 Removed     was_present u8
 //! 7 Error       message u32 + utf8
 //! ```
+//!
+//! # Stats compatibility
+//!
+//! Both bracketed extensions above are **optional and symmetric**: a
+//! legacy `Stats` request is the bare tag byte and always earns the
+//! legacy response shape, while a request carrying the durability flag
+//! asks a durability-aware server to append the three-field tail.
+//! Decoders accept both shapes — an old client never sees the tail it
+//! cannot parse, and a new client treats an absent tail (old server,
+//! or no write-ahead log configured) as [`StatsBody::durability`] `=
+//! None`. The compatibility tests pin both directions against frozen
+//! v1-era byte strings.
 //!
 //! Distances are IEEE-754 bit patterns, so a hit decodes bit-identical
 //! to the [`SearchResult`] the engine produced — the loopback
@@ -276,7 +289,12 @@ pub enum Request {
     /// Liveness probe.
     Ping,
     /// Index statistics.
-    Stats,
+    Stats {
+        /// Ask a durability-aware server to include the durability
+        /// fields. `false` encodes byte-identically to the legacy
+        /// request, so old servers keep answering it.
+        durability: bool,
+    },
     /// One ranked search.
     Query {
         /// The query, raw or pre-fingerprinted.
@@ -318,6 +336,23 @@ pub struct StatsBody {
     /// concurrent-connection capacity, which load generators use to
     /// flag ladder points that would only measure queueing.
     pub workers: u64,
+    /// Durability state, when it was requested **and** the server runs
+    /// with a write-ahead log. `None` from old servers and WAL-less
+    /// ones — absent on the wire, not zeroed.
+    pub durability: Option<DurabilityStats>,
+}
+
+/// The durability fields of a [`StatsBody`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Sequence number of the last record known durable per the sync
+    /// policy — the acknowledged-write horizon a crash cannot erase.
+    pub last_durable_seq: u64,
+    /// Bytes of complete records across the log's segments.
+    pub wal_bytes: u64,
+    /// The latest compacted snapshot's watermark (0 before the first
+    /// compaction): replay on boot starts after this sequence number.
+    pub snapshot_watermark: u64,
 }
 
 /// A response message.
@@ -351,6 +386,9 @@ const REQ_QUERY: u8 = 3;
 const REQ_QUERY_BATCH: u8 = 4;
 const REQ_INSERT: u8 = 5;
 const REQ_REMOVE: u8 = 6;
+
+/// The only `Stats` request flag so far: append the durability tail.
+const STATS_FLAG_DURABILITY: u8 = 0x01;
 
 const BODY_TRAJECTORY: u8 = 1;
 const BODY_FINGERPRINTS: u8 = 2;
@@ -489,7 +527,14 @@ impl Request {
         let mut out = Vec::new();
         match self {
             Request::Ping => out.push(REQ_PING),
-            Request::Stats => out.push(REQ_STATS),
+            Request::Stats { durability } => {
+                out.push(REQ_STATS);
+                // Without the flag the legacy single-byte shape goes
+                // out, so old servers keep understanding new clients.
+                if *durability {
+                    out.push(STATS_FLAG_DURABILITY);
+                }
+            }
             Request::Query { query, options } => {
                 out.push(REQ_QUERY);
                 write_options(&mut out, options);
@@ -526,7 +571,19 @@ impl Request {
         let mut cursor = Cursor::new(payload);
         let request = match cursor.u8()? {
             REQ_PING => Request::Ping,
-            REQ_STATS => Request::Stats,
+            REQ_STATS => {
+                // Legacy clients send the bare tag; flag-aware ones
+                // append one flags byte.
+                let durability = match cursor.remaining() {
+                    0 => false,
+                    _ => match cursor.u8()? {
+                        STATS_FLAG_DURABILITY => true,
+                        0 => false,
+                        _ => return Err(WireError::Corrupt("unknown stats flags")),
+                    },
+                };
+                Request::Stats { durability }
+            }
             REQ_QUERY => {
                 let options = read_options(&mut cursor)?;
                 let query = read_query_body(&mut cursor)?;
@@ -574,6 +631,13 @@ impl Response {
                 out.extend_from_slice(&stats.trajectories.to_le_bytes());
                 out.extend_from_slice(&stats.terms.to_le_bytes());
                 out.extend_from_slice(&stats.workers.to_le_bytes());
+                // The tail only goes out when the client asked for it,
+                // so legacy strict decoders never see trailing bytes.
+                if let Some(d) = &stats.durability {
+                    out.extend_from_slice(&d.last_durable_seq.to_le_bytes());
+                    out.extend_from_slice(&d.wal_bytes.to_le_bytes());
+                    out.extend_from_slice(&d.snapshot_watermark.to_le_bytes());
+                }
             }
             Response::Hits(hits) => {
                 out.push(RESP_HITS);
@@ -617,11 +681,22 @@ impl Response {
                 let trajectories = cursor.u64()?;
                 let terms = cursor.u64()?;
                 let workers = cursor.u64()?;
+                // An old server's response ends here; a durability tail
+                // is exactly three more words.
+                let durability = match cursor.remaining() {
+                    0 => None,
+                    _ => Some(DurabilityStats {
+                        last_durable_seq: cursor.u64()?,
+                        wal_bytes: cursor.u64()?,
+                        snapshot_watermark: cursor.u64()?,
+                    }),
+                };
                 Response::Stats(StatsBody {
                     backend,
                     trajectories,
                     terms,
                     workers,
+                    durability,
                 })
             }
             RESP_HITS => Response::Hits(read_hits(&mut cursor)?),
@@ -679,7 +754,8 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         roundtrip_request(Request::Ping);
-        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Stats { durability: false });
+        roundtrip_request(Request::Stats { durability: true });
         roundtrip_request(Request::Query {
             query: QueryBody::Trajectory(sample_trajectory()),
             options: SearchOptions::default().max_distance(0.75).limit(10),
@@ -713,6 +789,18 @@ mod tests {
             trajectories: 12,
             terms: 3400,
             workers: 8,
+            durability: None,
+        }));
+        roundtrip_response(Response::Stats(StatsBody {
+            backend: "cluster".into(),
+            trajectories: 12,
+            terms: 3400,
+            workers: 8,
+            durability: Some(DurabilityStats {
+                last_durable_seq: 77,
+                wal_bytes: 4096,
+                snapshot_watermark: 50,
+            }),
         }));
         roundtrip_response(Response::Hits(vec![
             SearchResult {
@@ -735,6 +823,98 @@ mod tests {
         roundtrip_response(Response::Removed { was_present: true });
         roundtrip_response(Response::Removed { was_present: false });
         roundtrip_response(Response::Error("boom".into()));
+    }
+
+    /// The exact bytes the pre-durability protocol used for `Stats`, as
+    /// a frozen reference for both compatibility directions.
+    fn frozen_old_stats_request() -> Vec<u8> {
+        vec![REQ_STATS]
+    }
+
+    fn frozen_old_stats_response(
+        backend: &str,
+        trajectories: u64,
+        terms: u64,
+        workers: u64,
+    ) -> Vec<u8> {
+        let mut out = vec![RESP_STATS];
+        out.extend_from_slice(&(backend.len() as u32).to_le_bytes());
+        out.extend_from_slice(backend.as_bytes());
+        out.extend_from_slice(&trajectories.to_le_bytes());
+        out.extend_from_slice(&terms.to_le_bytes());
+        out.extend_from_slice(&workers.to_le_bytes());
+        out
+    }
+
+    /// Old client, new server: the legacy request still decodes, and
+    /// the response it earns is byte-identical to what the old strict
+    /// decoder (which rejects trailing bytes) expects.
+    #[test]
+    fn stats_compat_old_client_against_new_server() {
+        let decoded = Request::decode(&frozen_old_stats_request()).unwrap();
+        assert_eq!(decoded, Request::Stats { durability: false });
+        // A legacy-shaped answer (durability absent on the wire)…
+        let response = Response::Stats(StatsBody {
+            backend: "geodab".into(),
+            trajectories: 5,
+            terms: 90,
+            workers: 4,
+            durability: None,
+        });
+        // …is bit-for-bit the old encoding: nothing an old client's
+        // trailing-bytes check could trip over.
+        assert_eq!(
+            response.encode(),
+            frozen_old_stats_response("geodab", 5, 90, 4)
+        );
+    }
+
+    /// New client, old server: the flagless request is byte-identical
+    /// to the old one, and the old response shape decodes with
+    /// `durability: None` rather than erroring on the missing tail.
+    #[test]
+    fn stats_compat_new_client_against_old_server() {
+        assert_eq!(
+            Request::Stats { durability: false }.encode(),
+            frozen_old_stats_request()
+        );
+        let decoded = Response::decode(&frozen_old_stats_response("cluster", 7, 3, 2)).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Stats(StatsBody {
+                backend: "cluster".into(),
+                trajectories: 7,
+                terms: 3,
+                workers: 2,
+                durability: None,
+            })
+        );
+    }
+
+    #[test]
+    fn stats_malformed_extensions_are_rejected() {
+        // Unknown request flag bits are an error, not silently zero.
+        assert!(matches!(
+            Request::decode(&[REQ_STATS, 0x80]),
+            Err(WireError::Corrupt("unknown stats flags"))
+        ));
+        // A partial durability tail is truncation, not a short read.
+        let mut partial = frozen_old_stats_response("geodab", 1, 2, 3);
+        partial.extend_from_slice(&9u64.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&partial),
+            Err(WireError::Truncated)
+        ));
+        // And a tail with trailing garbage still fails the end check.
+        let mut overlong = frozen_old_stats_response("geodab", 1, 2, 3);
+        for word in [9u64, 10, 11] {
+            overlong.extend_from_slice(&word.to_le_bytes());
+        }
+        overlong.push(0);
+        assert!(matches!(
+            Response::decode(&overlong),
+            Err(WireError::Corrupt(_))
+        ));
     }
 
     #[test]

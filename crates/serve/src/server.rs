@@ -31,17 +31,21 @@
 use geodabs_cluster::ClusterIndex;
 use geodabs_core::Fingerprints;
 use geodabs_index::batch::default_threads;
+use geodabs_index::store::{self, Persist};
 use geodabs_index::{GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex};
 use geodabs_traj::{TrajId, Trajectory};
+use geodabs_wal::{Wal, WalOp};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{
-    is_timeout, write_frame, FrameReader, QueryBody, Request, Response, StatsBody, WireError,
-    MAX_FRAME_LEN,
+    is_timeout, write_frame, DurabilityStats, FrameReader, QueryBody, Request, Response, StatsBody,
+    WireError, MAX_FRAME_LEN,
 };
 
 /// Upper bound on hits across one response (12 wire bytes per hit, so
@@ -57,6 +61,11 @@ const RESPONSE_TOO_LARGE: &str =
 
 /// How often an idle worker wakes up to poll the shutdown flag.
 const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// File name of the compacted snapshot inside a WAL directory: boot
+/// loads it (when present) and replays only the log suffix beyond its
+/// watermark; the compaction thread atomically replaces it.
+pub const WAL_SNAPSHOT_FILE: &str = "snapshot.gdab";
 
 /// The index interface the server hosts: every backend the workspace
 /// ships (and any future one) answers the full request vocabulary
@@ -97,6 +106,14 @@ pub trait ServeBackend: Send + Sync + 'static {
 
     /// Removes a trajectory; returns whether the id was indexed.
     fn remove(&mut self, id: TrajId) -> bool;
+
+    /// Serializes the backend into a `GDAB` snapshot, for the
+    /// durability compaction path. The default `None` disables
+    /// compaction for backends without snapshot support; the
+    /// write-ahead log itself still works for them.
+    fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 impl ServeBackend for GeodabIndex {
@@ -132,6 +149,10 @@ impl ServeBackend for GeodabIndex {
     fn remove(&mut self, id: TrajId) -> bool {
         TrajectoryIndex::remove(self, id)
     }
+
+    fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
+        Some(Persist::to_snapshot(self))
+    }
 }
 
 impl ServeBackend for GeohashIndex {
@@ -165,6 +186,10 @@ impl ServeBackend for GeohashIndex {
 
     fn remove(&mut self, id: TrajId) -> bool {
         TrajectoryIndex::remove(self, id)
+    }
+
+    fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
+        Some(Persist::to_snapshot(self))
     }
 }
 
@@ -201,6 +226,10 @@ impl ServeBackend for ClusterIndex {
     fn remove(&mut self, id: TrajId) -> bool {
         ClusterIndex::remove(self, id)
     }
+
+    fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
+        Some(Persist::to_snapshot(self))
+    }
 }
 
 /// Server tuning knobs.
@@ -221,6 +250,41 @@ impl Default for ServerConfig {
     }
 }
 
+/// Durability state for a serving process: the open write-ahead log
+/// plus the lock-free counters `Stats` reports from read paths.
+struct Durability {
+    wal: Mutex<Wal>,
+    /// Where compaction lands its snapshot (inside the WAL directory).
+    snapshot_path: PathBuf,
+    /// How often the compaction thread folds the log; `None` disables
+    /// the thread (the log only ever grows until a restart).
+    compact_every: Option<Duration>,
+    last_durable: AtomicU64,
+    wal_bytes: AtomicU64,
+    watermark: AtomicU64,
+}
+
+impl Durability {
+    fn new(wal: Wal, snapshot_watermark: u64, compact_every: Option<Duration>) -> Durability {
+        Durability {
+            snapshot_path: wal.dir().join(WAL_SNAPSHOT_FILE),
+            compact_every,
+            last_durable: AtomicU64::new(wal.last_durable_seq()),
+            wal_bytes: AtomicU64::new(wal.size_bytes()),
+            watermark: AtomicU64::new(snapshot_watermark),
+            wal: Mutex::new(wal),
+        }
+    }
+
+    fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            last_durable_seq: self.last_durable.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshot_watermark: self.watermark.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct Shared<B> {
     index: RwLock<B>,
     addr: SocketAddr,
@@ -229,6 +293,7 @@ struct Shared<B> {
     workers: usize,
     shutdown: Arc<AtomicBool>,
     requests: AtomicU64,
+    durability: Option<Durability>,
 }
 
 impl<B> Shared<B> {
@@ -363,6 +428,7 @@ impl<B: ServeBackend> Server<B> {
             workers: config.threads.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: AtomicU64::new(0),
+            durability: None,
         });
         Ok(Server {
             listener,
@@ -370,6 +436,34 @@ impl<B: ServeBackend> Server<B> {
             config,
             shared,
         })
+    }
+
+    /// Makes the server durable: every `Insert`/`Remove` is appended to
+    /// `wal` (and synced per its policy) **before** it is acknowledged,
+    /// and — when `compact_every` is set — a background thread
+    /// periodically folds the log into a watermark-stamped snapshot at
+    /// [`WAL_SNAPSHOT_FILE`] inside the log directory, pruning the
+    /// folded segments.
+    ///
+    /// The caller has already restored the backend (snapshot load plus
+    /// replay of the log suffix beyond `snapshot_watermark`), so the
+    /// log and the in-memory state agree when serving starts.
+    ///
+    /// # Panics
+    ///
+    /// Must be called between [`Server::bind`] and [`Server::run`] /
+    /// [`Server::spawn`]; panics if the server is already shared with
+    /// other threads.
+    pub fn with_durability(
+        mut self,
+        wal: Wal,
+        snapshot_watermark: u64,
+        compact_every: Option<Duration>,
+    ) -> Server<B> {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("with_durability must be called before the server starts serving");
+        shared.durability = Some(Durability::new(wal, snapshot_watermark, compact_every));
+        self
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -399,6 +493,9 @@ impl<B: ServeBackend> Server<B> {
         let shared = &self.shared;
         let mut fatal: Option<std::io::Error> = None;
         std::thread::scope(|scope| {
+            if let Some(every) = shared.durability.as_ref().and_then(|d| d.compact_every) {
+                scope.spawn(move || compaction_loop(shared, every));
+            }
             for _ in 0..threads {
                 let rx = Arc::clone(&rx);
                 scope.spawn(move || loop {
@@ -440,6 +537,16 @@ impl<B: ServeBackend> Server<B> {
             }
             drop(tx);
         });
+        // Clean shutdown flushes the log regardless of sync policy:
+        // every acknowledged write survives a graceful stop even under
+        // `never`.
+        if let Some(d) = &self.shared.durability {
+            if let Ok(mut wal) = d.wal.lock() {
+                let _ = wal.sync();
+                d.last_durable
+                    .store(wal.last_durable_seq(), Ordering::Relaxed);
+            }
+        }
         match fatal {
             Some(e) => Err(e),
             None => Ok(self.shared.requests.load(Ordering::SeqCst)),
@@ -511,12 +618,19 @@ fn handle_connection<B: ServeBackend>(stream: TcpStream, shared: &Shared<B>) {
 fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Stats => match shared.index.read() {
+        Request::Stats { durability } => match shared.index.read() {
             Ok(index) => Response::Stats(StatsBody {
                 backend: index.backend_name().to_string(),
                 trajectories: index.len() as u64,
                 terms: index.term_count() as u64,
                 workers: shared.workers as u64,
+                // The tail goes out only when asked for it (a legacy
+                // client's strict decoder must not see it) and when a
+                // log is actually configured.
+                durability: match durability {
+                    true => shared.durability.as_ref().map(Durability::stats),
+                    false => None,
+                },
             }),
             Err(_) => poisoned(shared),
         },
@@ -555,6 +669,15 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
         },
         Request::Insert { id, trajectory } => match shared.index.write() {
             Ok(mut index) => {
+                if let Err(message) = log_op(
+                    shared,
+                    &WalOp::Insert {
+                        id,
+                        trajectory: trajectory.clone(),
+                    },
+                ) {
+                    return Response::Error(message);
+                }
                 index.insert(id, &trajectory);
                 Response::Inserted {
                     len: index.len() as u64,
@@ -563,12 +686,116 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
             Err(_) => poisoned(shared),
         },
         Request::Remove { id } => match shared.index.write() {
-            Ok(mut index) => Response::Removed {
-                was_present: index.remove(id),
-            },
+            Ok(mut index) => {
+                if let Err(message) = log_op(shared, &WalOp::Remove { id }) {
+                    return Response::Error(message);
+                }
+                Response::Removed {
+                    was_present: index.remove(id),
+                }
+            }
             Err(_) => poisoned(shared),
         },
     }
+}
+
+/// Appends one mutation to the write-ahead log (when one is configured)
+/// and waits for it to be durable per the sync policy. Called **under
+/// the index write lock**, so log order and apply order agree. On
+/// error the caller must refuse the write without applying it: a
+/// mutation is either logged-then-applied or rejected whole.
+fn log_op<B>(shared: &Shared<B>, op: &WalOp) -> Result<(), String> {
+    let Some(d) = &shared.durability else {
+        return Ok(());
+    };
+    let mut wal = d
+        .wal
+        .lock()
+        .map_err(|_| "write-ahead log is poisoned".to_string())?;
+    wal.append(op)
+        .map_err(|e| format!("write-ahead log append failed: {e}"))?;
+    d.last_durable
+        .store(wal.last_durable_seq(), Ordering::Relaxed);
+    d.wal_bytes.store(wal.size_bytes(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Folds the log into snapshots on a timer until shutdown. Failures are
+/// skipped — the next tick retries with the log intact.
+fn compaction_loop<B: ServeBackend>(shared: &Shared<B>, every: Duration) {
+    let mut last = Instant::now();
+    while !shared.shutting_down() {
+        std::thread::sleep(IDLE_POLL.min(every));
+        if last.elapsed() < every {
+            continue;
+        }
+        let _ = compact(shared);
+        last = Instant::now();
+    }
+}
+
+/// One compaction cycle: fold everything the log holds into a fresh
+/// watermark-stamped snapshot, swap it in atomically (tmp file →
+/// fsync → rename → fsync-of-dir), then prune the folded segments.
+/// Readers are never blocked; writers only wait during the in-memory
+/// serialization under the brief shared lock — the "consistent view".
+/// Returns whether a snapshot landed (`false` when there was nothing
+/// new to fold or the backend has no snapshot support).
+fn compact<B: ServeBackend>(shared: &Shared<B>) -> Result<bool, String> {
+    let Some(d) = &shared.durability else {
+        return Ok(false);
+    };
+    let (bytes, watermark) = {
+        let index = shared
+            .index
+            .read()
+            .map_err(|_| "server index is poisoned".to_string())?;
+        let mut wal = d
+            .wal
+            .lock()
+            .map_err(|_| "write-ahead log is poisoned".to_string())?;
+        if wal.last_seq() <= d.watermark.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        let Some(bytes) = index.to_snapshot_bytes() else {
+            return Ok(false);
+        };
+        // Rotating under the same lock ties the watermark to exactly
+        // the records the serialized state covers.
+        let watermark = wal
+            .rotate()
+            .map_err(|e| format!("write-ahead log rotation failed: {e}"))?;
+        (bytes, watermark)
+    };
+    let stamped = store::with_watermark(&bytes, watermark)
+        .map_err(|e| format!("stamping the snapshot watermark failed: {e}"))?;
+    write_snapshot_atomically(&d.snapshot_path, &stamped)
+        .map_err(|e| format!("writing the compacted snapshot failed: {e}"))?;
+    let mut wal = d
+        .wal
+        .lock()
+        .map_err(|_| "write-ahead log is poisoned".to_string())?;
+    wal.prune(watermark)
+        .map_err(|e| format!("pruning the write-ahead log failed: {e}"))?;
+    d.watermark.store(watermark, Ordering::Relaxed);
+    d.wal_bytes.store(wal.size_bytes(), Ordering::Relaxed);
+    Ok(true)
+}
+
+/// Readers of the snapshot path must only ever see a complete snapshot:
+/// write to a sibling tmp file, fsync it, rename over the destination,
+/// then fsync the directory so the rename itself is durable.
+fn write_snapshot_atomically(dst: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dst.with_extension("gdab.tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, dst)?;
+    if let Some(dir) = dst.parent() {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
 }
 
 fn run_query<B: ServeBackend>(

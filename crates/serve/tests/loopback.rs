@@ -7,9 +7,13 @@
 use geodabs_cluster::ClusterIndex;
 use geodabs_core::GeodabConfig;
 use geodabs_geo::Point;
+use geodabs_index::store::{self, Persist};
 use geodabs_index::{GeodabIndex, SearchOptions, SearchResult, TrajectoryIndex};
-use geodabs_serve::{Client, LoadClient, QueryBody, Request, Response, Server, ServerConfig};
+use geodabs_serve::{
+    Client, LoadClient, QueryBody, Request, Response, Server, ServerConfig, WAL_SNAPSHOT_FILE,
+};
 use geodabs_traj::{TrajId, Trajectory};
+use geodabs_wal::{SyncPolicy, Wal, WalOp};
 use std::time::Duration;
 
 fn eastward(n: usize, offset_m: f64) -> Trajectory {
@@ -288,7 +292,7 @@ fn poisoned_write_lock_shuts_the_server_down_cleanly() {
     // …and the poisoned lock turns every later request into an error
     // response while the server starts its clean shutdown.
     let mut witness = Client::connect(addr).expect("connect");
-    match witness.request(&Request::Stats) {
+    match witness.request(&Request::Stats { durability: false }) {
         Ok(Response::Error(message)) => assert!(message.contains("poisoned"), "{message}"),
         // The shutdown may already have won the race and closed the
         // socket — equally acceptable, as long as join() returns.
@@ -296,4 +300,103 @@ fn poisoned_write_lock_shuts_the_server_down_cleanly() {
         Err(_) => {}
     }
     running.shutdown().expect("clean shutdown after poison");
+}
+
+/// A fresh per-test WAL directory under the target-adjacent temp root.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "geodabs-serve-durability-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create wal dir");
+    dir
+}
+
+#[test]
+fn acked_writes_survive_restart_and_compaction_advances_the_watermark() {
+    let dir = wal_dir("e2e");
+    let corpus_len = corpus().len() as u64;
+
+    // Phase 1: a durable server; every ack implies the WAL has synced.
+    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 2 })
+        .expect("bind loopback")
+        .with_durability(
+            Wal::open(&dir, SyncPolicy::Always).expect("open wal"),
+            0,
+            Some(Duration::from_millis(20)),
+        )
+        .spawn();
+    let addr = running.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut acked = Vec::new();
+    for i in 0..12u32 {
+        let id = TrajId::new(100 + i);
+        let trajectory = eastward(30, 5_000.0 + i as f64 * 250.0);
+        client.insert(id, &trajectory).expect("insert acked");
+        acked.push((id, trajectory));
+    }
+    // A replace of an existing id and a removal also go through the log.
+    client
+        .insert(TrajId::new(100), &acked[1].1)
+        .expect("replace");
+    assert!(client.remove(TrajId::new(111)).expect("remove"));
+
+    // The durability stats must reflect all 14 mutations as durable…
+    let stats = client.stats_durable().expect("stats");
+    let durability = stats.durability.expect("durability stats present");
+    assert_eq!(durability.last_durable_seq, 14);
+    assert!(durability.wal_bytes > 0, "live WAL bytes");
+
+    // …and the background compactor must fold them into a snapshot.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let watermark = loop {
+        let stats = client.stats_durable().expect("stats");
+        let durability = stats.durability.expect("durability stats present");
+        if durability.snapshot_watermark >= 14 {
+            break durability.snapshot_watermark;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compaction never advanced the watermark: {durability:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    running.shutdown().expect("clean shutdown");
+
+    // Phase 2: boot the way the CLI does — snapshot, then the log suffix.
+    let snapshot_path = dir.join(WAL_SNAPSHOT_FILE);
+    let bytes = std::fs::read(&snapshot_path).expect("compacted snapshot exists");
+    assert_eq!(
+        store::watermark(&bytes).expect("stamped snapshot"),
+        Some(watermark)
+    );
+    let mut restored = GeodabIndex::from_snapshot(&bytes).expect("load snapshot");
+    for record in Wal::records(&dir).expect("replayable wal") {
+        if record.seq <= watermark {
+            continue;
+        }
+        match record.op {
+            WalOp::Insert { id, trajectory } => restored.insert(id, &trajectory),
+            WalOp::Remove { id } => {
+                restored.remove(id);
+            }
+        }
+    }
+
+    // Zero acked-write loss: corpus + 12 inserts − 1 remove (the
+    // replace of id 100 reuses its slot), and the replaced trajectory
+    // ranks for its new shape.
+    assert_eq!(restored.len() as u64, corpus_len + 12 - 1);
+    assert!(
+        !restored.remove(TrajId::new(111)),
+        "removed id stays removed"
+    );
+    let hits = restored.search(&acked[1].1, &SearchOptions::default().limit(3));
+    assert!(
+        hits.iter().any(|h| h.id == TrajId::new(100)),
+        "replaced id 100 must rank for its new trajectory: {hits:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -9,6 +9,7 @@ use geodabs_gen::csv::CsvError;
 use geodabs_geo::GeoError;
 use geodabs_index::store::SnapshotError;
 use geodabs_roadnet::RoadNetError;
+use geodabs_wal::WalError;
 
 /// Unified error for the `geodabs` façade: every per-crate error converts
 /// into it with `?`, so applications composing several subsystems can
@@ -42,6 +43,8 @@ pub enum Error {
     Snapshot(SnapshotError),
     /// Malformed trajectory CSV (from `geodabs-gen`).
     Csv(CsvError),
+    /// Unreadable or corrupt write-ahead log (from `geodabs-wal`).
+    Wal(WalError),
 }
 
 impl fmt::Display for Error {
@@ -53,6 +56,7 @@ impl fmt::Display for Error {
             Error::Cluster(e) => write!(f, "cluster topology: {e}"),
             Error::Snapshot(e) => write!(f, "index snapshot: {e}"),
             Error::Csv(e) => write!(f, "trajectory csv: {e}"),
+            Error::Wal(e) => write!(f, "write-ahead log: {e}"),
         }
     }
 }
@@ -66,6 +70,7 @@ impl StdError for Error {
             Error::Cluster(e) => Some(e),
             Error::Snapshot(e) => Some(e),
             Error::Csv(e) => Some(e),
+            Error::Wal(e) => Some(e),
         }
     }
 }
@@ -103,6 +108,12 @@ impl From<SnapshotError> for Error {
 impl From<CsvError> for Error {
     fn from(e: CsvError) -> Error {
         Error::Csv(e)
+    }
+}
+
+impl From<WalError> for Error {
+    fn from(e: WalError) -> Error {
+        Error::Wal(e)
     }
 }
 

@@ -47,6 +47,7 @@
 //! | [`roaring`] | `geodabs-roaring` | roaring bitmaps |
 //! | [`gen`] | `geodabs-gen` | synthetic datasets and workloads |
 //! | [`serve`] | `geodabs-serve` | network serving: wire protocol, server, load client |
+//! | [`wal`] | `geodabs-wal` | write-ahead log: group commit, torn-tail recovery, rotation |
 //!
 //! Ranked retrieval — single-node or sharded — runs on the exact pruned
 //! top-k engine of [`index::engine`]: roaring posting lists over interned
@@ -72,6 +73,7 @@ pub use geodabs_roadnet as roadnet;
 pub use geodabs_roaring as roaring;
 pub use geodabs_serve as serve;
 pub use geodabs_traj as traj;
+pub use geodabs_wal as wal;
 
 pub mod prelude {
     //! The everyday types in one import: `use geodabs::prelude::*;`.
@@ -82,8 +84,9 @@ pub mod prelude {
     //! the [`TrajectoryIndex`] trait and its query types, the sharded
     //! [`ClusterIndex`], the [`Persist`] snapshot trait every backend
     //! implements, the bounded [`TopK`] collector, the serving layer
-    //! ([`Server`], [`Client`], [`LoadClient`]), and the workspace
-    //! [`Error`].
+    //! ([`Server`], [`Client`], [`LoadClient`]), the durable
+    //! write-ahead log ([`Wal`] and its [`SyncPolicy`]), and the
+    //! workspace [`Error`].
 
     pub use geodabs_cluster::{ClusterIndex, QueryStats, ShardRouter};
     // `ServeBackend` stays out on purpose: its method names mirror
@@ -101,6 +104,7 @@ pub mod prelude {
     pub use geodabs_roaring::RoaringBitmap;
     pub use geodabs_serve::{Client, LoadClient, Server, ServerConfig};
     pub use geodabs_traj::{TrajId, Trajectory};
+    pub use geodabs_wal::{SyncPolicy, Wal, WalOp};
 
     pub use crate::Error;
 }
