@@ -34,8 +34,8 @@
 //! `schema_version` is bumped whenever a field changes meaning; consumers
 //! (the CI gate, plotting scripts) must check it before reading further.
 
-use geodabs_cluster::ClusterIndex;
-use geodabs_core::GeodabConfig;
+use geodabs_cluster::{ClusterIndex, ShardNode, ShardRouter};
+use geodabs_core::{Fingerprinter, Fingerprints, GeodabConfig};
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_gen::sampler::SamplerConfig;
 use geodabs_index::store::{self, Persist, SnapshotError};
@@ -43,7 +43,7 @@ use geodabs_index::{
     codec, GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
 };
 use geodabs_roadnet::generators::{grid_network, GridConfig};
-use geodabs_serve::{Client, LoadClient, LoadRun, Server, ServerConfig};
+use geodabs_serve::{Client, Frontend, FrontendConfig, LoadClient, LoadRun, Server, ServerConfig};
 use geodabs_traj::{TrajId, Trajectory};
 use geodabs_wal::{SyncPolicy, Wal, WalOp};
 use std::time::{Duration, Instant};
@@ -170,6 +170,9 @@ pub fn catalog() -> Vec<Scenario> {
         // Write-ahead-log durability; runs through `run_durability`
         // instead of `run_scenario`.
         Scenario::new(DURABILITY, Preset::DenseUrban, 500, 40, 42),
+        // Scatter/gather serving over remote shard servers; runs
+        // through `run_distributed` instead of `run_scenario`.
+        Scenario::new(DISTRIBUTED, Preset::DenseUrban, 2_000, 40, 42),
     ];
     for (suffix, corpus, queries) in [
         ("1k", 1_000, 50),
@@ -211,6 +214,14 @@ pub const COLD_START: &str = "cold-start";
 /// and latency percentiles over loopback per connection count via
 /// [`run_serve`] rather than the in-process ladder of [`run_scenario`].
 pub const SERVE: &str = "serve";
+
+/// The distributed-serving scenario's name; it measures
+/// client-observed QPS and latency against a scatter/gather frontend
+/// over in-process shard servers at several shard-server counts, every
+/// response verified bit-identical against the monolithic index, via
+/// [`run_distributed`] rather than the in-process ladder of
+/// [`run_scenario`].
+pub const DISTRIBUTED: &str = "distributed";
 
 /// The durability scenario's name; it measures acknowledged-write
 /// latency per WAL sync policy, replay-on-boot recovery speed, and the
@@ -682,6 +693,9 @@ pub enum AnyIndex {
     Geohash(GeohashIndex),
     /// The sharded cluster index.
     Cluster(ClusterIndex),
+    /// One node's standalone slice of a sharded cluster — what a
+    /// remote shard server hosts.
+    Node(ShardNode),
 }
 
 impl AnyIndex {
@@ -707,6 +721,9 @@ impl AnyIndex {
                     Some(store::BackendKind::Cluster) => {
                         Ok(AnyIndex::Cluster(ClusterIndex::from_snapshot(bytes)?))
                     }
+                    Some(store::BackendKind::Node) => {
+                        Ok(AnyIndex::Node(ShardNode::from_snapshot(bytes)?))
+                    }
                     None => Err(SnapshotError::UnknownBackend(reader.backend_tag())),
                 }
             }
@@ -729,6 +746,8 @@ impl AnyIndex {
             "cluster" => Ok(AnyIndex::Cluster(
                 ClusterIndex::new(config, shards, nodes).map_err(|e| e.to_string())?,
             )),
+            // A shard node needs a node id on top of the cluster shape;
+            // `serve --shard-id` constructs it directly.
             other => Err(format!(
                 "unknown backend {other:?} (geodab|geohash|cluster)"
             )),
@@ -741,6 +760,7 @@ impl AnyIndex {
             AnyIndex::Geodab(_) => "geodab",
             AnyIndex::Geohash(_) => "geohash",
             AnyIndex::Cluster(_) => "cluster",
+            AnyIndex::Node(_) => "node",
         }
     }
 
@@ -750,6 +770,39 @@ impl AnyIndex {
             AnyIndex::Geodab(index) => index.term_count(),
             AnyIndex::Geohash(index) => index.term_count(),
             AnyIndex::Cluster(index) => index.active_shards(),
+            AnyIndex::Node(index) => index.term_count(),
+        }
+    }
+
+    /// Applies one write-ahead-log record — the replay loop every
+    /// boot-from-log shares (`serve --wal-dir`, `wal replay`, the bench
+    /// recovery phase).
+    ///
+    /// # Errors
+    ///
+    /// A shard-server record (`InsertFingerprints`) replayed onto a
+    /// backend that is not a shard node: the log belongs to a different
+    /// kind of server, so booting from it would silently drop writes.
+    pub fn apply_wal_op(&mut self, op: WalOp) -> Result<(), String> {
+        match op {
+            WalOp::Insert { id, trajectory } => {
+                TrajectoryIndex::insert(self, id, &trajectory);
+                Ok(())
+            }
+            WalOp::Remove { id } => {
+                TrajectoryIndex::remove(self, id);
+                Ok(())
+            }
+            WalOp::InsertFingerprints { id, terms } => match self {
+                AnyIndex::Node(node) => {
+                    node.insert_fingerprints(id, Fingerprints::from_ordered(terms));
+                    Ok(())
+                }
+                other => Err(format!(
+                    "cannot replay a shard-server log record onto the {} backend",
+                    other.backend_name()
+                )),
+            },
         }
     }
 
@@ -768,6 +821,15 @@ impl AnyIndex {
                 )
                 .map_err(|e| e.to_string())?,
             ),
+            AnyIndex::Node(index) => AnyIndex::Node(
+                ShardNode::new(
+                    *index.config(),
+                    index.router().num_shards(),
+                    index.router().num_nodes(),
+                    index.node_id(),
+                )
+                .map_err(|e| e.to_string())?,
+            ),
         })
     }
 }
@@ -778,6 +840,7 @@ impl TrajectoryIndex for AnyIndex {
             AnyIndex::Geodab(index) => index.insert(id, trajectory),
             AnyIndex::Geohash(index) => index.insert(id, trajectory),
             AnyIndex::Cluster(index) => TrajectoryIndex::insert(index, id, trajectory),
+            AnyIndex::Node(index) => index.insert(id, trajectory),
         }
     }
 
@@ -786,6 +849,7 @@ impl TrajectoryIndex for AnyIndex {
             AnyIndex::Geodab(index) => TrajectoryIndex::remove(index, id),
             AnyIndex::Geohash(index) => TrajectoryIndex::remove(index, id),
             AnyIndex::Cluster(index) => ClusterIndex::remove(index, id),
+            AnyIndex::Node(index) => index.remove(id),
         }
     }
 
@@ -794,6 +858,7 @@ impl TrajectoryIndex for AnyIndex {
             AnyIndex::Geodab(index) => TrajectoryIndex::search(index, query, options),
             AnyIndex::Geohash(index) => TrajectoryIndex::search(index, query, options),
             AnyIndex::Cluster(index) => ClusterIndex::search(index, query, options),
+            AnyIndex::Node(index) => index.search(query, options),
         }
     }
 
@@ -802,6 +867,7 @@ impl TrajectoryIndex for AnyIndex {
             AnyIndex::Geodab(index) => TrajectoryIndex::len(index),
             AnyIndex::Geohash(index) => TrajectoryIndex::len(index),
             AnyIndex::Cluster(index) => ClusterIndex::len(index),
+            AnyIndex::Node(index) => index.len(),
         }
     }
 
@@ -810,6 +876,7 @@ impl TrajectoryIndex for AnyIndex {
             AnyIndex::Geodab(index) => TrajectoryIndex::ids(index).collect(),
             AnyIndex::Geohash(index) => TrajectoryIndex::ids(index).collect(),
             AnyIndex::Cluster(index) => ClusterIndex::ids(index).collect(),
+            AnyIndex::Node(index) => index.ids().collect(),
         };
         ids.into_iter()
     }
@@ -822,6 +889,13 @@ impl TrajectoryIndex for AnyIndex {
             AnyIndex::Geodab(index) => index.insert_batch(items),
             AnyIndex::Geohash(index) => index.insert_batch(items),
             AnyIndex::Cluster(index) => index.insert_batch(items),
+            // A node keeps only its routed slice; batched fingerprint
+            // fan-out buys little, so ingest serially.
+            AnyIndex::Node(index) => {
+                for (id, trajectory) in items {
+                    index.insert(id, trajectory);
+                }
+            }
         }
     }
 }
@@ -860,6 +934,9 @@ impl geodabs_serve::ServeBackend for AnyIndex {
             AnyIndex::Cluster(index) => {
                 geodabs_serve::ServeBackend::search_fingerprints(index, ordered, options)
             }
+            AnyIndex::Node(index) => {
+                geodabs_serve::ServeBackend::search_fingerprints(index, ordered, options)
+            }
         }
     }
 
@@ -876,6 +953,27 @@ impl geodabs_serve::ServeBackend for AnyIndex {
             AnyIndex::Geodab(index) => geodabs_serve::ServeBackend::to_snapshot_bytes(index),
             AnyIndex::Geohash(index) => geodabs_serve::ServeBackend::to_snapshot_bytes(index),
             AnyIndex::Cluster(index) => geodabs_serve::ServeBackend::to_snapshot_bytes(index),
+            AnyIndex::Node(index) => geodabs_serve::ServeBackend::to_snapshot_bytes(index),
+        }
+    }
+
+    fn shard_query(
+        &self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        match self {
+            AnyIndex::Node(index) => {
+                geodabs_serve::ServeBackend::shard_query(index, ordered, options)
+            }
+            _ => Err("this backend is not a shard node; start the server with --shard-id"),
+        }
+    }
+
+    fn shard_insert(&mut self, id: TrajId, ordered: &[u32]) -> Result<(), &'static str> {
+        match self {
+            AnyIndex::Node(index) => geodabs_serve::ServeBackend::shard_insert(index, id, ordered),
+            _ => Err("this backend is not a shard node; start the server with --shard-id"),
         }
     }
 }
@@ -1400,14 +1498,9 @@ pub fn run_durability(
     let mut restored = AnyIndex::empty("geodab", 0, 0)?;
     let mut replayed = 0usize;
     for record in Wal::records(&dir).map_err(|e| format!("recovery scan: {e}"))? {
-        match record.op {
-            WalOp::Insert { id, trajectory } => {
-                TrajectoryIndex::insert(&mut restored, id, &trajectory);
-            }
-            WalOp::Remove { id } => {
-                TrajectoryIndex::remove(&mut restored, id);
-            }
-        }
+        restored
+            .apply_wal_op(record.op)
+            .map_err(|e| format!("recovery replay: {e}"))?;
         replayed += 1;
     }
     let recovery_seconds = recovery_started.elapsed().as_secs_f64();
@@ -1469,6 +1562,213 @@ pub fn run_durability(
         compacting_query_p95_ms: geodabs_serve::percentile(&compacting_latencies, 95.0),
         compacted_watermark,
         consistent,
+    })
+}
+
+/// One measured shard-server count of the distributed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedPoint {
+    /// Shard servers behind the frontend.
+    pub shard_servers: usize,
+    /// The closed-loop load point measured against the frontend.
+    pub load: LoadRun,
+}
+
+/// Everything one distributed-serving run measured: client-observed
+/// QPS and latency through a scatter/gather frontend, at several
+/// shard-server counts, every response verified bit-identical against
+/// the monolithic index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedReport {
+    /// The workload scenario supplying corpus and queries.
+    pub scenario: Scenario,
+    /// Logical shards the router slices the Z-curve into.
+    pub num_shards: u64,
+    /// Trajectories in the corpus.
+    pub trajectories: usize,
+    /// Result cap used for all queries.
+    pub query_limit: usize,
+    /// Concurrent connections each point drove.
+    pub connections: usize,
+    /// One load point per measured shard-server count.
+    pub points: Vec<DistributedPoint>,
+}
+
+impl DistributedReport {
+    /// The canonical report file name: `BENCH_distributed.json`.
+    pub fn file_name(&self) -> String {
+        "BENCH_distributed.json".to_string()
+    }
+
+    /// Whether every response at every shard count matched the
+    /// monolithic ranking bit for bit.
+    pub fn consistent(&self) -> bool {
+        self.points.iter().all(|p| p.load.mismatches == 0)
+    }
+
+    /// Serializes the report. Shares `schema_version` with the workload
+    /// report; the `kind` field marks the different shape, so the ingest
+    /// perf gate rejects a distributed report as a baseline.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("kind", Json::Str("distributed".into())),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("preset", Json::Str(self.scenario.preset.name().into())),
+            ("seed", Json::Num(self.scenario.seed as f64)),
+            ("num_shards", Json::Num(self.num_shards as f64)),
+            (
+                "corpus",
+                Json::obj(vec![("trajectories", Json::Num(self.trajectories as f64))]),
+            ),
+            (
+                "query",
+                Json::obj(vec![
+                    ("count", Json::Num(self.scenario.queries as f64)),
+                    ("limit", Json::Num(self.query_limit as f64)),
+                    ("connections", Json::Num(self.connections as f64)),
+                    ("verified", Json::Bool(true)),
+                    ("consistent", Json::Bool(self.consistent())),
+                ]),
+            ),
+            (
+                "shard_servers",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("shard_servers", Json::Num(p.shard_servers as f64)),
+                                ("requests", Json::Num(p.load.requests as f64)),
+                                ("mismatches", Json::Num(p.load.mismatches as f64)),
+                                ("seconds", Json::Num(round6(p.load.seconds))),
+                                ("qps", Json::Num(round3(p.load.qps))),
+                                (
+                                    "latency_ms",
+                                    Json::obj(vec![
+                                        ("p50", Json::Num(round6(p.load.p50_ms))),
+                                        ("p95", Json::Num(round6(p.load.p95_ms))),
+                                        ("p99", Json::Num(round6(p.load.p99_ms))),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The logical shard count of the distributed scenario — the paper's
+/// fine-grained 10 000-shard configuration (Figure 16).
+pub const DISTRIBUTED_NUM_SHARDS: u64 = 10_000;
+
+/// Runs the distributed-serving scenario end to end on loopback: for
+/// each entry of `shard_server_counts`, boot that many in-process shard
+/// servers (each hosting one [`ShardNode`] slice of the corpus) plus a
+/// scatter/gather [`Frontend`], then drive `connections` closed-loop
+/// connections of scenario queries against the frontend — every
+/// response verified **bit-identical** against the monolithic geodab
+/// index.
+///
+/// # Errors
+///
+/// Bind/connection failures, a cluster-shape error, or any response
+/// mismatch surfacing as a nonzero mismatch count in the report.
+pub fn run_distributed(
+    scenario: &Scenario,
+    shard_server_counts: &[usize],
+    connections: usize,
+    seconds_per_point: f64,
+) -> Result<DistributedReport, String> {
+    assert!(
+        !shard_server_counts.is_empty(),
+        "need at least one shard-server count"
+    );
+    let dataset = generate(scenario);
+    let items: Vec<(TrajId, &Trajectory)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let config = GeodabConfig::default();
+
+    // The monolithic reference: the exact rankings every distributed
+    // answer must reproduce bit for bit.
+    let mut monolith = GeodabIndex::new(config);
+    monolith.insert_batch(items.clone());
+    let query_limit = VERIFY_LIMIT;
+    let options = SearchOptions::default().limit(query_limit);
+    let queries: Vec<Trajectory> = dataset
+        .queries()
+        .iter()
+        .map(|q| q.trajectory.clone())
+        .collect();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| monolith.search(q, &options))
+        .collect();
+
+    // Every frontend worker may hold a client connection plus one
+    // connection per shard server, so both pools are sized to the
+    // driven connection count.
+    let pool = geodabs_index::batch::default_threads().max(connections);
+    let duration = Duration::from_secs_f64(seconds_per_point.max(0.05));
+    let mut points = Vec::with_capacity(shard_server_counts.len());
+    for &servers in shard_server_counts {
+        let mut cluster = ClusterIndex::new(config, DISTRIBUTED_NUM_SHARDS, servers)
+            .map_err(|e| e.to_string())?;
+        cluster.insert_batch(items.clone());
+        let mut running = Vec::with_capacity(servers);
+        let mut addrs = Vec::with_capacity(servers);
+        for node in 0..servers {
+            let slice = cluster.shard_node(node).expect("node id in range");
+            let server = Server::bind("127.0.0.1:0", slice, ServerConfig { threads: pool })
+                .map_err(|e| format!("binding shard server {node}: {e}"))?;
+            addrs.push(server.local_addr().to_string());
+            running.push(server.spawn());
+        }
+        let router = ShardRouter::new(config.prefix_bits(), DISTRIBUTED_NUM_SHARDS, servers)
+            .map_err(|e| e.to_string())?;
+        let frontend = Frontend::bind(
+            "127.0.0.1:0",
+            Fingerprinter::new(config),
+            router,
+            addrs,
+            FrontendConfig {
+                threads: pool,
+                ..FrontendConfig::default()
+            },
+        )
+        .map_err(|e| format!("binding frontend: {e}"))?
+        .spawn();
+        let load = LoadClient::new(frontend.addr().to_string(), queries.clone(), options)
+            .expect_results(expected.clone());
+        let point = load
+            .run(connections, duration)
+            .map_err(|e| format!("load run at {servers} shard server(s): {e}"))?;
+        frontend
+            .shutdown()
+            .map_err(|e| format!("frontend shutdown: {e}"))?;
+        for server in running {
+            server
+                .shutdown()
+                .map_err(|e| format!("shard server shutdown: {e}"))?;
+        }
+        points.push(DistributedPoint {
+            shard_servers: servers,
+            load: point,
+        });
+    }
+
+    Ok(DistributedReport {
+        scenario: scenario.clone(),
+        num_shards: DISTRIBUTED_NUM_SHARDS,
+        trajectories: dataset.records().len(),
+        query_limit,
+        connections,
+        points,
     })
 }
 
@@ -1798,6 +2098,7 @@ mod tests {
                 AnyIndex::Geodab(i) => i.to_snapshot(),
                 AnyIndex::Geohash(i) => i.to_snapshot(),
                 AnyIndex::Cluster(i) => i.to_snapshot(),
+                AnyIndex::Node(i) => i.to_snapshot(),
             };
             let restored = AnyIndex::from_snapshot_bytes(&bytes).expect("roundtrip");
             assert_eq!(restored.backend_name(), backend);
@@ -1866,6 +2167,84 @@ mod tests {
         let micro = find("micro").unwrap();
         let workload_report = run_scenario(&micro, &[1]);
         assert!(check_gate(&workload_report, &text, 30.0).is_err());
+    }
+
+    #[test]
+    fn distributed_scenario_is_in_the_catalog() {
+        let scenario = find(DISTRIBUTED).expect("catalog has distributed");
+        assert_eq!(scenario.preset, Preset::DenseUrban);
+        assert_eq!(scenario.corpus, 2_000);
+    }
+
+    #[test]
+    fn distributed_runner_matches_the_monolith_at_every_shard_count() {
+        // A scaled-down twin of the catalog scenario so the test suite
+        // stays fast; the CLI runs the 2k catalog entry.
+        let scenario = Scenario {
+            name: DISTRIBUTED.into(),
+            preset: Preset::DenseUrban,
+            corpus: 40,
+            queries: 4,
+            seed: 7,
+        };
+        let report = run_distributed(&scenario, &[1, 2], 2, 0.1).expect("distributed run");
+        assert_eq!(report.trajectories, 40);
+        assert_eq!(report.num_shards, DISTRIBUTED_NUM_SHARDS);
+        assert!(report.consistent(), "{report:?}");
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert!(point.load.requests > 0, "{point:?}");
+            assert_eq!(point.load.mismatches, 0, "{point:?}");
+        }
+        let text = report.to_json().pretty();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed.get("kind").and_then(Json::as_str),
+            Some("distributed")
+        );
+        assert_eq!(
+            parsed
+                .get("query")
+                .and_then(|q| q.get("consistent"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(report.file_name(), "BENCH_distributed.json");
+        // A distributed report is not a valid ingest-gate baseline.
+        assert!(preflight_gate(&scenario, &text, 30.0).is_err());
+    }
+
+    #[test]
+    fn any_index_node_backend_roundtrips_and_replays_shard_ops() {
+        let scenario = find("micro").expect("catalog has micro");
+        let dataset = generate(&scenario);
+        let config = GeodabConfig::default();
+        let mut cluster = ClusterIndex::new(config, 1_000, 2).unwrap();
+        cluster.insert_batch(dataset.records().iter().map(|r| (r.id, &r.trajectory)));
+        let node = cluster.shard_node(0).unwrap();
+        let bytes = Persist::to_snapshot(&node);
+        let restored = AnyIndex::from_snapshot_bytes(&bytes).expect("node snapshot loads");
+        assert_eq!(restored.backend_name(), "node");
+        assert_eq!(TrajectoryIndex::len(&restored), node.len());
+        assert_eq!(TrajectoryIndex::ids(&restored).count(), node.len());
+        // The shared verification replay covers the node backend too.
+        verify_against_rebuild(&restored, &scenario).expect("verify");
+
+        // Shard-op replay lands on a node backend and is refused
+        // anywhere else.
+        let mut restored = restored;
+        let fingerprinter = Fingerprinter::new(config);
+        let fp = fingerprinter.normalize_and_fingerprint(&dataset.records()[0].trajectory);
+        let op = WalOp::InsertFingerprints {
+            id: TrajId::new(9_999),
+            terms: fp.ordered().to_vec(),
+        };
+        restored
+            .apply_wal_op(op.clone())
+            .expect("node replays shard ops");
+        let mut geodab = AnyIndex::empty("geodab", 0, 0).unwrap();
+        let err = geodab.apply_wal_op(op).unwrap_err();
+        assert!(err.contains("shard-server"), "{err}");
     }
 
     #[test]

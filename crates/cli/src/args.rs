@@ -73,7 +73,7 @@ pub struct Args {
 /// Subcommands the binary understands.
 pub const COMMANDS: &[&str] = &[
     "build", "stats", "search", "tune", "world", "export", "bench", "snapshot", "serve",
-    "loadtest", "wal", "help",
+    "frontend", "loadtest", "wal", "help",
 ];
 
 /// Commands taking a bare action token before the flags, with the actions

@@ -1,6 +1,6 @@
 //! The subcommand implementations.
 
-use geodabs_cluster::ClusterIndex;
+use geodabs_cluster::{ClusterIndex, ShardNode};
 use geodabs_core::GeodabConfig;
 use geodabs_gen::dataset::{Dataset, DatasetConfig};
 use geodabs_gen::world::{WorldActivity, WorldConfig};
@@ -32,6 +32,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Erro
         "bench" => bench(args, out),
         "snapshot" => snapshot(args, out),
         "serve" => serve(args, out),
+        "frontend" => frontend(args, out),
         "loadtest" => loadtest(args, out),
         "wal" => wal(args, out),
         "help" => {
@@ -63,14 +64,18 @@ USAGE:
   geodabs serve    --addr HOST:PORT (--snapshot FILE | --scenario NAME | --wal-dir DIR)
                    [--backend geodab|geohash|cluster] [--seed S] [--threads T]
                    [--verify rebuild] [--duration SECS] [--nodes N] [--shards P]
-                   [--wal-dir DIR] [--sync-policy always|never|interval[:MS]]
+                   [--shard-id I] [--wal-dir DIR]
+                   [--sync-policy always|never|interval[:MS]]
                    [--compact-every SECS]
+  geodabs frontend --addr HOST:PORT --shards ADDR,ADDR,...
+                   [--threads T] [--duration SECS] [--num-shards P]
   geodabs loadtest --addr HOST:PORT [--connections N] [--duration SECS]
                    [--scenario NAME] [--seed S] [--limit K]
                    [--verify local|none] [--out DIR]
   geodabs wal inspect --dir DIR
   geodabs wal replay  --dir DIR [--out FILE]
                       [--backend geodab|geohash|cluster] [--nodes N] [--shards P]
+                      [--shard-id I]
   geodabs help
 
 Datasets are synthetic and reproducible: the same (routes, per-direction,
@@ -121,6 +126,22 @@ readers. SIGTERM/Ctrl-C flush the log and exit through the clean
 shutdown path. `wal inspect` prints the segment table; `wal replay`
 reconstructs the state offline (snapshot + log suffix) and with --out
 writes it as a compacted snapshot.
+
+`serve --shard-id I --nodes N` hosts shard node I of an N-node cluster:
+the node backend keeps the full fingerprint replica of every trajectory
+that routes at least one posting here, answers per-shard top-k
+sub-queries, and composes with --wal-dir/--snapshot like any other
+backend. `frontend` coordinates such shard servers: it fingerprints
+each query once, scatters sub-queries to the servers named by --shards
+(the i-th address hosts router node i), and merges the returned heaps
+exactly — every ranking is bit-identical to a monolithic index over the
+same corpus. A lost shard yields a typed \"shard node unavailable\"
+error, never a silently partial ranking, and the frontend redials on
+the next request without a restart; `loadtest` verifies a frontend
+exactly like a monolithic server. The `distributed` bench scenario
+boots 1, 2 and 4 shard servers plus a frontend on loopback and writes
+BENCH_distributed.json (QPS vs shard-server count, every response
+verified).
 ";
 
 fn network(seed: u64) -> RoadNetwork {
@@ -423,6 +444,56 @@ fn bench(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
                  never ran"
                     .into(),
             );
+        }
+        return Ok(());
+    }
+
+    // The distributed scenario boots real shard servers plus a frontend
+    // on loopback and measures client-observed QPS through the
+    // scatter/gather path; its report has its own shape, so it cannot
+    // gate against an ingest baseline.
+    if scenario.name == workload::DISTRIBUTED {
+        if args.has("baseline") || args.has("max-regress") {
+            return Err(
+                "the distributed scenario has no ingest gate; run it without \
+                 --baseline/--max-regress"
+                    .into(),
+            );
+        }
+        let connections = max_threads.max(1);
+        writeln!(
+            out,
+            "scenario {} ({}, corpus {}, {} queries, seed {}), {connections} connection(s)",
+            scenario.name,
+            scenario.preset.name(),
+            scenario.corpus,
+            scenario.queries,
+            scenario.seed
+        )?;
+        let report = workload::run_distributed(&scenario, &[1, 2, 4], connections, 2.0)?;
+        writeln!(
+            out,
+            "corpus            {} trajectories over {} logical shards, every response verified",
+            report.trajectories, report.num_shards
+        )?;
+        for point in &report.points {
+            writeln!(
+                out,
+                "scatter {:>2} node(s)   {:>9.1} qps  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  \
+                 ({} requests)",
+                point.shard_servers,
+                point.load.qps,
+                point.load.p50_ms,
+                point.load.p95_ms,
+                point.load.p99_ms,
+                point.load.requests
+            )?;
+        }
+        let path = std::path::Path::new(&out_dir).join(report.file_name());
+        std::fs::write(&path, report.to_json().pretty())?;
+        writeln!(out, "report            {}", path.display())?;
+        if !report.consistent() {
+            return Err("distributed responses diverged from the monolithic engine".into());
         }
         return Ok(());
     }
@@ -808,7 +879,7 @@ fn snapshot_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box
 fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
     use geodabs_bench::workload::{self, AnyIndex};
     use geodabs_serve::{Server, ServerConfig, WAL_SNAPSHOT_FILE};
-    use geodabs_wal::{SyncPolicy, Wal, WalOp};
+    use geodabs_wal::{SyncPolicy, Wal};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
@@ -823,6 +894,7 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
         "duration",
         "shards",
         "nodes",
+        "shard-id",
         "wal-dir",
         "sync-policy",
         "compact-every",
@@ -870,6 +942,20 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
                 .into(),
         );
     }
+    let shard_id = match args.has("shard-id") {
+        true => Some(args.usize_or("shard-id", 0)?),
+        false => None,
+    };
+    if shard_id.is_some() && args.has("backend") {
+        return Err(
+            "--backend conflicts with --shard-id (a shard server hosts the node backend)".into(),
+        );
+    }
+    if shard_id.is_some() && args.has("snapshot") {
+        return Err(
+            "--shard-id conflicts with --snapshot (the snapshot records which node it is)".into(),
+        );
+    }
 
     // Boot order for a durable server: the latest compacted snapshot in
     // the log directory wins (it reflects acknowledged state newer than
@@ -914,33 +1000,56 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
         )?;
         (index, watermark)
     } else if args.has("scenario") {
-        let backend = args.string_or("backend", "geodab");
         let shards = args.u64_or("shards", 10_000)?;
         let nodes = args.usize_or("nodes", 8)?;
-        let mut index = AnyIndex::empty(&backend, shards, nodes)?;
         let (scenario, dataset) = scenario_dataset(args)?;
         let items: Vec<_> = dataset
             .records()
             .iter()
             .map(|r| (r.id, &r.trajectory))
             .collect();
-        index.insert_batch(items);
+        let index = match shard_id {
+            // A shard server routes the whole corpus through the
+            // cluster and keeps node `node_id`'s slice — exactly the
+            // state it would hold after a live N-node ingest, so the
+            // per-shard heaps it answers merge exactly at the frontend.
+            Some(node_id) => {
+                let mut cluster = ClusterIndex::new(GeodabConfig::default(), shards, nodes)?;
+                cluster.insert_batch(items);
+                AnyIndex::Node(cluster.shard_node(node_id).ok_or_else(|| {
+                    format!("--shard-id {node_id} out of range for --nodes {nodes}")
+                })?)
+            }
+            None => {
+                let backend = args.string_or("backend", "geodab");
+                let mut index = AnyIndex::empty(&backend, shards, nodes)?;
+                index.insert_batch(items);
+                index
+            }
+        };
         writeln!(
             out,
             "ingested          scenario {} into a {} index: {} trajectories in {:.3}s",
             scenario.name,
             index.backend_name(),
-            index.len(),
+            TrajectoryIndex::len(&index),
             started.elapsed().as_secs_f64()
         )?;
         (index, 0)
     } else {
         // --wal-dir alone: a durable server that has not compacted yet
         // (or is brand new) boots empty and replays its whole log.
-        let backend = args.string_or("backend", "geodab");
         let shards = args.u64_or("shards", 10_000)?;
         let nodes = args.usize_or("nodes", 8)?;
-        let index = AnyIndex::empty(&backend, shards, nodes)?;
+        let index = match shard_id {
+            Some(node_id) => AnyIndex::Node(ShardNode::new(
+                GeodabConfig::default(),
+                shards,
+                nodes,
+                node_id,
+            )?),
+            None => AnyIndex::empty(&args.string_or("backend", "geodab"), shards, nodes)?,
+        };
         writeln!(
             out,
             "fresh             empty {} index",
@@ -955,14 +1064,9 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
             if record.seq <= snapshot_watermark {
                 continue;
             }
-            match record.op {
-                WalOp::Insert { id, trajectory } => {
-                    TrajectoryIndex::insert(&mut index, id, &trajectory);
-                }
-                WalOp::Remove { id } => {
-                    TrajectoryIndex::remove(&mut index, id);
-                }
-            }
+            index
+                .apply_wal_op(record.op)
+                .map_err(|e| format!("wal replay: {e}"))?;
             replayed += 1;
         }
         writeln!(
@@ -1052,6 +1156,96 @@ fn serve(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
     Ok(())
 }
 
+fn frontend(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_cluster::ShardRouter;
+    use geodabs_core::Fingerprinter;
+    use geodabs_serve::{Frontend, FrontendConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    args.reject_unknown_flags(&["addr", "shards", "threads", "duration", "num-shards"])?;
+    let addr = args.string_required("addr")?;
+    let shard_addrs: Vec<String> = args
+        .string_required("shards")?
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if shard_addrs.is_empty() {
+        return Err("--shards needs at least one HOST:PORT".into());
+    }
+    let threads = args.usize_or("threads", geodabs_index::batch::default_threads())?;
+    let duration = args.u64_or("duration", 0)?;
+    // The logical shard count must match the shard servers' (both
+    // default to the paper's 10 000): the router is shared verbatim, and
+    // a disagreement would silently drop postings.
+    let num_shards = args.u64_or("num-shards", 10_000)?;
+    let config = GeodabConfig::default();
+    let router = ShardRouter::new(config.prefix_bits(), num_shards, shard_addrs.len())?;
+    writeln!(
+        out,
+        "topology          {num_shards} logical shard(s) over {} shard server(s)",
+        shard_addrs.len()
+    )?;
+    for (node, shard_addr) in shard_addrs.iter().enumerate() {
+        writeln!(out, "  node {node:<4} {shard_addr}")?;
+    }
+    let frontend = Frontend::bind(
+        addr.as_str(),
+        Fingerprinter::new(config),
+        router,
+        shard_addrs,
+        FrontendConfig {
+            threads,
+            ..FrontendConfig::default()
+        },
+    )?;
+    writeln!(
+        out,
+        "listening on      {} ({} worker threads{})",
+        frontend.local_addr(),
+        threads,
+        if duration > 0 {
+            format!(", shutting down after {duration}s")
+        } else {
+            String::new()
+        }
+    )?;
+    out.flush()?;
+    if duration > 0 {
+        let handle = frontend.handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(duration));
+            handle.shutdown();
+        });
+    }
+    // SIGTERM/Ctrl-C drain through the same clean-shutdown path as
+    // --duration, exactly like `serve`.
+    let stop = crate::signals::install();
+    let handle = frontend.handle();
+    let finished = Arc::new(AtomicBool::new(false));
+    {
+        let finished = Arc::clone(&finished);
+        std::thread::spawn(move || loop {
+            if finished.load(Ordering::SeqCst) {
+                break;
+            }
+            if stop.load(Ordering::SeqCst) {
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    let served = frontend.run()?;
+    finished.store(true, Ordering::SeqCst);
+    writeln!(
+        out,
+        "served            {served} request(s); shut down cleanly"
+    )?;
+    Ok(())
+}
+
 fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
     use geodabs_bench::workload::{self, AnyIndex, ServeReport};
     use geodabs_serve::Client;
@@ -1098,6 +1292,16 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
         "server            {} at {addr}: {} trajectories, {} terms, {} worker(s)",
         stats.backend, stats.trajectories, stats.terms, stats.workers
     )?;
+    // A frontend reports its shard-server count in the `terms` slot; it
+    // ranks exactly like a monolithic index, so the single-process
+    // geodab twin below stays the right verification oracle.
+    if stats.backend == "frontend" {
+        writeln!(
+            out,
+            "topology          frontend over {} shard server(s)",
+            stats.terms
+        )?;
+    }
     // A worker owns its connection for that connection's lifetime, so
     // ladder points beyond the pool would measure queueing delay, not
     // server speed — say so instead of reporting distorted percentiles
@@ -1132,7 +1336,18 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
                 .map(|r| (r.id, &r.trajectory))
                 .collect();
             twin.insert_batch(items);
-            if twin.len() as u64 != stats.trajectories {
+            if stats.backend == "frontend" && stats.trajectories == 0 {
+                // A frontend only counts mutations routed through it;
+                // shard servers that ingested their slices at boot leave
+                // that count at zero, so there is no corpus size to
+                // probe. The bit-exact response comparison below still
+                // fails loudly on any corpus mismatch.
+                writeln!(
+                    out,
+                    "note              shard corpora were loaded out-of-band; corpus-size probe \
+                     skipped (responses are still verified bit-exactly)"
+                )?;
+            } else if twin.len() as u64 != stats.trajectories {
                 return Err(format!(
                     "server holds {} trajectories but scenario {} generates {} — verification \
                      would always fail; pass the right --scenario/--seed or --verify none",
@@ -1259,8 +1474,8 @@ fn wal_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn 
 fn wal_replay(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
     use geodabs_bench::workload::AnyIndex;
     use geodabs_serve::{ServeBackend, WAL_SNAPSHOT_FILE};
-    use geodabs_wal::{Wal, WalOp};
-    args.reject_unknown_flags(&["dir", "out", "backend", "nodes", "shards"])?;
+    use geodabs_wal::Wal;
+    args.reject_unknown_flags(&["dir", "out", "backend", "nodes", "shards", "shard-id"])?;
     let dir = args.string_required("dir")?;
 
     // The same recovery `serve --wal-dir` performs, runnable offline:
@@ -1280,10 +1495,17 @@ fn wal_replay(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn E
             (index, watermark)
         }
         Err(_) => {
-            let backend = args.string_or("backend", "geodab");
             let shards = args.u64_or("shards", 10_000)?;
             let nodes = args.usize_or("nodes", 8)?;
-            let index = AnyIndex::empty(&backend, shards, nodes)?;
+            let index = match args.has("shard-id") {
+                true => AnyIndex::Node(ShardNode::new(
+                    GeodabConfig::default(),
+                    shards,
+                    nodes,
+                    args.usize_or("shard-id", 0)?,
+                )?),
+                false => AnyIndex::empty(&args.string_or("backend", "geodab"), shards, nodes)?,
+            };
             writeln!(
                 out,
                 "snapshot          none; replaying into an empty {} index",
@@ -1299,14 +1521,9 @@ fn wal_replay(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn E
         if record.seq <= watermark {
             continue;
         }
-        match record.op {
-            WalOp::Insert { id, trajectory } => {
-                TrajectoryIndex::insert(&mut index, id, &trajectory);
-            }
-            WalOp::Remove { id } => {
-                TrajectoryIndex::remove(&mut index, id);
-            }
-        }
+        index
+            .apply_wal_op(record.op)
+            .map_err(|e| format!("wal replay: {e}"))?;
         replayed += 1;
     }
     writeln!(
@@ -2204,6 +2421,175 @@ mod tests {
         let stats = client.stats_durable().expect("stats");
         assert_eq!(stats.trajectories, 4);
         assert_eq!(stats.durability.expect("durability").last_durable_seq, 4);
+    }
+
+    #[test]
+    fn bench_distributed_rejects_an_ingest_baseline() {
+        let err = run_to_string(&[
+            "bench",
+            "--scenario",
+            "distributed",
+            "--baseline",
+            "bench/baselines/smoke.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
+        let err = run_to_string(&["bench", "--scenario", "distributed", "--max-regress", "10"])
+            .unwrap_err();
+        assert!(err.contains("no ingest gate"), "{err}");
+    }
+
+    #[test]
+    fn frontend_flags_fail_loudly() {
+        let err = run_to_string(&["frontend", "--shards", "127.0.0.1:1"]).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = run_to_string(&["frontend", "--addr", "127.0.0.1:0"]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err =
+            run_to_string(&["frontend", "--addr", "127.0.0.1:0", "--shards", ",,"]).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        let err = run_to_string(&[
+            "frontend",
+            "--addr",
+            "127.0.0.1:0",
+            "--shrads",
+            "127.0.0.1:1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown flag --shrads"), "{err}");
+    }
+
+    #[test]
+    fn serve_shard_id_flags_fail_loudly() {
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--scenario",
+            "micro",
+            "--shard-id",
+            "0",
+            "--backend",
+            "geohash",
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts with --shard-id"), "{err}");
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--snapshot",
+            "x.gdab",
+            "--shard-id",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("conflicts with --snapshot"), "{err}");
+        let err = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--scenario",
+            "micro",
+            "--shard-id",
+            "9",
+            "--nodes",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    /// The full distributed loop in one process: two `serve --shard-id`
+    /// servers, a `frontend` over them, and `loadtest --verify local`
+    /// proving every scattered answer bit-identical to the monolithic
+    /// rebuild.
+    #[test]
+    fn shard_servers_and_frontend_roundtrip_on_loopback() {
+        let _guard = crate::signals::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("geodabs-cli-frontend-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let mut shard_addrs = Vec::new();
+        for shard_id in ["0", "1"] {
+            let buf = SharedBuf::default();
+            let server_buf = buf.clone();
+            std::thread::spawn(move || {
+                let args = Args::parse([
+                    "serve",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--scenario",
+                    "micro",
+                    "--shard-id",
+                    shard_id,
+                    "--nodes",
+                    "2",
+                    "--threads",
+                    "4",
+                    "--duration",
+                    "60",
+                ])
+                .expect("valid serve args");
+                let mut out = server_buf;
+                run(&args, &mut out).map_err(|e| e.to_string())
+            });
+            let ingest_line = buf.wait_for("ingested          ");
+            assert!(ingest_line.contains("node index"), "{ingest_line}");
+            let addr_line = buf.wait_for("listening on      ");
+            shard_addrs.push(
+                addr_line
+                    .split_whitespace()
+                    .next()
+                    .expect("addr token")
+                    .to_string(),
+            );
+        }
+
+        let buf = SharedBuf::default();
+        let frontend_buf = buf.clone();
+        let shards_flag = shard_addrs.join(",");
+        std::thread::spawn(move || {
+            let args = Args::parse([
+                "frontend",
+                "--addr",
+                "127.0.0.1:0",
+                "--shards",
+                &shards_flag,
+                "--threads",
+                "4",
+                "--duration",
+                "60",
+            ])
+            .expect("valid frontend args");
+            let mut out = frontend_buf;
+            run(&args, &mut out).map_err(|e| e.to_string())
+        });
+        let addr_line = buf.wait_for("listening on      ");
+        let addr = addr_line.split_whitespace().next().expect("addr token");
+
+        let out = run_to_string(&[
+            "loadtest",
+            "--addr",
+            addr,
+            "--connections",
+            "2",
+            "--duration",
+            "1",
+            "--scenario",
+            "micro",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("server            frontend"), "{out}");
+        assert!(
+            out.contains("topology          frontend over 2 shard server(s)"),
+            "{out}"
+        );
+        assert!(out.contains("verify            PASS"), "{out}");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub(crate) struct NodeStore {
 
 impl NodeStore {
     /// Adds `id` to the posting list of `term`.
-    fn add_posting(&mut self, term: u32, id: TrajId) {
+    pub(crate) fn add_posting(&mut self, term: u32, id: TrajId) {
         let dense = self.interner.intern(id);
         let newly = self.postings.entry(term).or_default().insert(dense);
         debug_assert!(newly, "remove() scrubbed this id");
@@ -48,7 +48,7 @@ impl NodeStore {
 
     /// Scrubs `id` from the posting list of `term`; returns whether an
     /// entry was removed.
-    fn remove_posting(&mut self, term: u32, id: TrajId) -> bool {
+    pub(crate) fn remove_posting(&mut self, term: u32, id: TrajId) -> bool {
         let Some(dense) = self.interner.dense(id) else {
             return false;
         };
@@ -64,7 +64,7 @@ impl NodeStore {
 
     /// Forgets `id` entirely: frees its dense slot and drops the
     /// fingerprint replica. Call after scrubbing its postings.
-    fn drop_id(&mut self, id: TrajId) {
+    pub(crate) fn drop_id(&mut self, id: TrajId) {
         self.interner.release(id);
         self.fingerprints.remove(&id);
     }
@@ -73,7 +73,7 @@ impl NodeStore {
     /// posting bitmaps for the query's terms, each scored exactly against
     /// its full fingerprint replica and kept in a bounded top-k heap —
     /// the per-shard heap the coordinator merges.
-    fn score(
+    pub(crate) fn score(
         &self,
         query_fp: &Fingerprints,
         options: &SearchOptions,
@@ -95,6 +95,31 @@ impl NodeStore {
         }
         (topk.into_sorted(), scored)
     }
+}
+
+/// Merges per-shard top-k heaps into the exact global ranking.
+///
+/// A trajectory referenced from several nodes is scored with the same
+/// full fingerprint replica everywhere, so duplicates are identical;
+/// deduplicate by id, then re-rank the union under the same options.
+/// This is the one merge both the in-process [`ClusterIndex`]
+/// coordinator and the network frontend use, so sharded answers are
+/// bit-identical to the monolithic index by construction.
+pub fn merge_heaps<I>(partials: I, options: &SearchOptions) -> Vec<SearchResult>
+where
+    I: IntoIterator<Item = Vec<SearchResult>>,
+{
+    let mut merged: Vec<SearchResult> = Vec::new();
+    for heap in partials {
+        merged.extend(heap);
+    }
+    merged.sort_by_key(|a| a.id);
+    merged.dedup_by(|a, b| a.id == b.id);
+    let mut topk = TopK::new(options);
+    for hit in merged {
+        topk.push(hit);
+    }
+    topk.into_sorted()
 }
 
 /// A simulated cluster hosting a sharded geodab index.
@@ -362,23 +387,14 @@ impl ClusterIndex {
                 });
             }
         });
-        let mut merged: Vec<SearchResult> = Vec::new();
+        let mut heaps: Vec<Vec<SearchResult>> = Vec::new();
         let mut scored = 0usize;
         for (heap, n) in partials.into_inner().expect("scoring threads never panic") {
-            merged.extend(heap);
+            heaps.push(heap);
             scored += n;
         }
-        // A trajectory referenced from several nodes is scored with the
-        // same full bitmap everywhere; deduplicate by id, then re-rank the
-        // merged per-shard heaps under the same options.
-        merged.sort_by_key(|a| a.id);
-        merged.dedup_by(|a, b| a.id == b.id);
-        let mut topk = TopK::new(options);
-        for hit in merged {
-            topk.push(hit);
-        }
         (
-            topk.into_sorted(),
+            merge_heaps(heaps, options),
             QueryStats {
                 shards_contacted: shards.len(),
                 nodes_contacted: node_ids.len(),

@@ -15,6 +15,9 @@
 //!   queries: every contacted node scores its candidates into a bounded
 //!   top-k heap on its own scoped thread and the coordinator merges the
 //!   per-shard heaps into the exact global ranking,
+//! * [`ShardNode`] — one node's slice of the index hosted standalone,
+//!   the state a remote shard server boots from in the distributed
+//!   deployment (its per-shard heaps merge exactly via [`merge_heaps`]),
 //! * [`balance`] — balance statistics over shard/node assignments.
 //!
 //! # Examples
@@ -35,8 +38,10 @@
 
 pub mod balance;
 mod cluster;
+mod node;
 mod router;
 mod snapshot;
 
-pub use cluster::{ClusterIndex, QueryStats};
+pub use cluster::{merge_heaps, ClusterIndex, QueryStats};
+pub use node::ShardNode;
 pub use router::{ClusterConfigError, ShardRouter};

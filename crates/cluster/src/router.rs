@@ -12,6 +12,13 @@ pub enum ClusterConfigError {
     NoShards,
     /// At least one node is required.
     NoNodes,
+    /// A standalone shard node's id must be less than the node count.
+    NodeIdOutOfRange {
+        /// The offending node id.
+        node_id: usize,
+        /// The cluster's node count.
+        num_nodes: usize,
+    },
 }
 
 impl fmt::Display for ClusterConfigError {
@@ -22,6 +29,9 @@ impl fmt::Display for ClusterConfigError {
             }
             ClusterConfigError::NoShards => write!(f, "cluster needs at least one shard"),
             ClusterConfigError::NoNodes => write!(f, "cluster needs at least one node"),
+            ClusterConfigError::NodeIdOutOfRange { node_id, num_nodes } => {
+                write!(f, "node id {node_id} out of range for {num_nodes} node(s)")
+            }
         }
     }
 }

@@ -39,7 +39,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use crate::cluster::NodeStore;
 use crate::{ClusterIndex, ShardRouter};
 
-fn encode_node(node: &NodeStore) -> Vec<u8> {
+pub(crate) fn encode_node(node: &NodeStore) -> Vec<u8> {
     let live = node.interner.live_slots();
     let mut out = Vec::with_capacity(12 + 8 * live.len());
     out.extend_from_slice(&(node.interner.capacity() as u32).to_le_bytes());
@@ -58,7 +58,7 @@ fn encode_node(node: &NodeStore) -> Vec<u8> {
     out
 }
 
-fn decode_node(
+pub(crate) fn decode_node(
     payload: &[u8],
     node_index: usize,
     router: &ShardRouter,

@@ -54,6 +54,9 @@ pub enum BackendKind {
     Geohash,
     /// A cluster snapshot: router manifest plus per-node segments.
     Cluster,
+    /// A single shard node's standalone snapshot: the node-local slice
+    /// of a cluster, bootable by a shard server on its own.
+    Node,
 }
 
 impl BackendKind {
@@ -63,6 +66,7 @@ impl BackendKind {
             BackendKind::Geodab => 1,
             BackendKind::Geohash => 2,
             BackendKind::Cluster => 3,
+            BackendKind::Node => 4,
         }
     }
 
@@ -72,6 +76,7 @@ impl BackendKind {
             1 => Some(BackendKind::Geodab),
             2 => Some(BackendKind::Geohash),
             3 => Some(BackendKind::Cluster),
+            4 => Some(BackendKind::Node),
             _ => None,
         }
     }
@@ -82,6 +87,7 @@ impl BackendKind {
             BackendKind::Geodab => "geodab",
             BackendKind::Geohash => "geohash",
             BackendKind::Cluster => "cluster",
+            BackendKind::Node => "node",
         }
     }
 }
@@ -863,6 +869,7 @@ mod tests {
             BackendKind::Geodab,
             BackendKind::Geohash,
             BackendKind::Cluster,
+            BackendKind::Node,
         ] {
             assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
             assert!(!kind.name().is_empty());

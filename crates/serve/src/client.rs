@@ -33,6 +33,18 @@ impl Client {
         Ok(Client { stream, reader })
     }
 
+    /// Sets the read timeout on the underlying socket — how long
+    /// [`Client::recv`] blocks before the peer counts as unreachable
+    /// (`None` waits forever). The frontend uses this to bound how
+    /// long a dead shard can stall a scatter.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
     /// Sends one request frame without waiting for the response.
     ///
     /// # Errors
@@ -196,11 +208,50 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// A frontend's scatter sub-query against one shard server: the
+    /// node's exact top-k heap for the full ordered term sequence.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors, or [`WireError::Remote`] — e.g. against a server
+    /// that is not hosting a shard node.
+    pub fn shard_query(
+        &mut self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, WireError> {
+        match self.request(&Request::ShardQuery {
+            terms: ordered.to_vec(),
+            options: *options,
+        })? {
+            Response::ShardTopK(hits) => Ok(hits),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// A frontend's broadcast insert against one shard server; returns
+    /// the node's post-insert replica count.
+    ///
+    /// # Errors
+    ///
+    /// Wire errors, or [`WireError::Remote`] — e.g. against a server
+    /// that is not hosting a shard node.
+    pub fn shard_insert(&mut self, id: TrajId, ordered: &[u32]) -> Result<u64, WireError> {
+        match self.request(&Request::ShardInsert {
+            id,
+            terms: ordered.to_vec(),
+        })? {
+            Response::Inserted { len } => Ok(len),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 fn unexpected(response: Response) -> WireError {
     match response {
         Response::Error(message) => WireError::Remote(message),
+        Response::Unavailable { node, message } => WireError::Unavailable { node, message },
         _ => WireError::Corrupt("response type does not match the request"),
     }
 }

@@ -1,0 +1,684 @@
+//! The scatter/gather frontend: the coordinator of a distributed
+//! deployment, routing queries and mutations to remote shard servers.
+//!
+//! # Topology
+//!
+//! A frontend owns the [`ShardRouter`] and the [`Fingerprinter`]; each
+//! shard server is a plain `Server<ShardNode>` hosting one node's slice
+//! of the index (routed-subset postings plus full fingerprint
+//! replicas). A query is fingerprinted once at the frontend, the
+//! router names the nodes its terms touch, and a `ShardQuery` carrying
+//! the **full** ordered term sequence is pipelined to each of them;
+//! every node answers its exact local top-k heap (`ShardTopK`), and the
+//! frontend merges the heaps with [`merge_heaps`] — the same merge the
+//! in-process [`ClusterIndex`](geodabs_cluster::ClusterIndex)
+//! coordinator uses, so the distributed ranking is **bit-identical** to
+//! the monolithic one by construction.
+//!
+//! # Mutations
+//!
+//! `Insert` is fingerprinted once and **broadcast** to every node as a
+//! `ShardInsert`: each node keeps the routed subset (replace-on-
+//! reinsert scrubs stale replicas on nodes the new shape no longer
+//! touches). `Remove` broadcasts too — any node might hold the id. The
+//! frontend tracks the indexed id set so `Removed { was_present }` and
+//! `Inserted { len }` match the monolithic answers; queries hold that
+//! set's read lock across the scatter, mutations hold the write lock
+//! across the broadcast, so pipelined clients observe the same
+//! read-your-writes ordering a single-process server gives them.
+//!
+//! # Degraded mode
+//!
+//! Results are exact or refused — never silently partial. When a shard
+//! cannot be reached (connect, send, or receive failure) the frontend
+//! reconnects and retries per [`FrontendConfig::retries`]; if the node
+//! still cannot answer, the whole request is answered with the typed
+//! [`Response::Unavailable`] naming the dead node. The failed
+//! connection is dropped from the pool, so the next request redials —
+//! a shard coming back is picked up without restarting the frontend.
+//! A mutation refused this way may have been applied by a subset of
+//! the nodes; re-issuing it (the op is idempotent) converges the
+//! cluster once the node is back.
+
+use geodabs_cluster::{merge_heaps, ShardRouter};
+use geodabs_core::{Fingerprinter, Fingerprints};
+use geodabs_index::batch::default_threads;
+use geodabs_index::{SearchOptions, SearchResult};
+use geodabs_traj::TrajId;
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::client::Client;
+use crate::proto::{
+    is_timeout, write_frame, FrameReader, QueryBody, Request, Response, StatsBody, WireError,
+    MAX_FRAME_LEN,
+};
+
+/// Upper bound on hits across one response — the same frame-cap
+/// arithmetic the single-process server enforces.
+const MAX_RESPONSE_HITS: usize = MAX_FRAME_LEN as usize / 12;
+
+/// The error sent when a merged response would blow the frame cap.
+const RESPONSE_TOO_LARGE: &str =
+    "response exceeds the frame cap; narrow the query with a result limit";
+
+/// How often an idle worker wakes up to poll the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Frontend tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Worker threads — also the concurrent client-connection capacity
+    /// (each worker owns its client connection, plus one private
+    /// connection per shard server). Defaults to [`default_threads`].
+    pub threads: usize,
+    /// Reconnect-and-retry attempts per shard per request before the
+    /// request is refused as [`Response::Unavailable`].
+    pub retries: u32,
+    /// Read timeout on shard connections: a shard silent for this long
+    /// counts as unreachable. `None` waits forever.
+    pub shard_timeout: Option<Duration>,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> FrontendConfig {
+        FrontendConfig {
+            threads: default_threads(),
+            retries: 1,
+            shard_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+struct FrontendShared {
+    fingerprinter: Fingerprinter,
+    router: ShardRouter,
+    shard_addrs: Vec<String>,
+    /// Ids acknowledged by the cluster, so `Inserted { len }` /
+    /// `Removed { was_present }` answer exactly like a monolithic
+    /// server. Queries hold the read lock across their scatter,
+    /// mutations the write lock across their broadcast.
+    indexed: RwLock<BTreeSet<TrajId>>,
+    retries: u32,
+    shard_timeout: Option<Duration>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+    requests: AtomicU64,
+}
+
+impl FrontendShared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Best-effort poke so a blocked `accept()` observes the shutdown flag.
+fn wake_listener(addr: SocketAddr) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(match target {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(200));
+}
+
+/// Remote control for a bound frontend.
+#[derive(Debug, Clone)]
+pub struct FrontendHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl FrontendHandle {
+    /// The address the frontend is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a clean shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_listener(self.addr);
+    }
+}
+
+/// A frontend bound to its socket but not yet serving; call
+/// [`Frontend::run`] (blocking) or [`Frontend::spawn`] (background
+/// thread). The module-level docs sketch the topology.
+pub struct Frontend {
+    listener: TcpListener,
+    addr: SocketAddr,
+    threads: usize,
+    shared: Arc<FrontendShared>,
+}
+
+/// A frontend running on a background thread (see [`Frontend::spawn`]).
+pub struct RunningFrontend {
+    handle: FrontendHandle,
+    join: std::thread::JoinHandle<std::io::Result<u64>>,
+}
+
+impl RunningFrontend {
+    /// The address the frontend is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// A cloneable remote-control handle.
+    pub fn handle(&self) -> FrontendHandle {
+        self.handle.clone()
+    }
+
+    /// Shuts the frontend down and waits for it to drain; returns the
+    /// number of requests served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serve loop's I/O error, if it died on one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serve thread itself panicked.
+    pub fn shutdown(self) -> std::io::Result<u64> {
+        self.handle.shutdown();
+        self.join.join().expect("frontend thread panicked")
+    }
+}
+
+impl Frontend {
+    /// Binds to `addr`, coordinating the shard servers at
+    /// `shard_addrs` (index `i` hosts the router's node `i`).
+    /// Connections to the shards are opened lazily, per worker, on
+    /// first use — the shards need not be up yet.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure binding the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shard_addrs` has exactly `router.num_nodes()`
+    /// entries — the address list *is* the node list.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        fingerprinter: Fingerprinter,
+        router: ShardRouter,
+        shard_addrs: Vec<String>,
+        config: FrontendConfig,
+    ) -> std::io::Result<Frontend> {
+        assert_eq!(
+            shard_addrs.len(),
+            router.num_nodes(),
+            "one shard server address per router node"
+        );
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(FrontendShared {
+            fingerprinter,
+            router,
+            shard_addrs,
+            indexed: RwLock::new(BTreeSet::new()),
+            retries: config.retries,
+            shard_timeout: config.shard_timeout,
+            workers: config.threads.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            requests: AtomicU64::new(0),
+        });
+        Ok(Frontend {
+            listener,
+            addr,
+            threads: config.threads.max(1),
+            shared,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote-control handle usable from any thread.
+    pub fn handle(&self) -> FrontendHandle {
+        FrontendHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shared.shutdown),
+        }
+    }
+
+    /// Serves until [`FrontendHandle::shutdown`]; returns the number of
+    /// requests served. Mirrors the single-process server's acceptor +
+    /// worker-pool loop; each worker additionally owns one lazy
+    /// connection per shard server.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors; per-connection errors only drop that
+    /// connection.
+    pub fn run(self) -> std::io::Result<u64> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = &self.shared;
+        let mut fatal: Option<std::io::Error> = None;
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || {
+                    let mut pool = ShardPool::new(shared);
+                    loop {
+                        let conn = rx.lock().expect("receiver lock never poisons").recv();
+                        match conn {
+                            Ok(stream) => handle_connection(stream, shared, &mut pool),
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            let mut error_streak = 0u32;
+            for conn in self.listener.incoming() {
+                if shared.shutting_down() {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        error_streak = 0;
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        error_streak += 1;
+                        if error_streak >= 100 {
+                            fatal = Some(e);
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            drop(tx);
+        });
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(self.shared.requests.load(Ordering::SeqCst)),
+        }
+    }
+
+    /// Moves the frontend onto a background thread and returns its
+    /// controls.
+    pub fn spawn(self) -> RunningFrontend {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        RunningFrontend { handle, join }
+    }
+}
+
+/// One worker's private connections to the shard servers, opened
+/// lazily and dropped on failure (the next use redials — that is the
+/// recovery path after a shard restart).
+struct ShardPool<'a> {
+    shared: &'a FrontendShared,
+    clients: Vec<Option<Client>>,
+}
+
+impl<'a> ShardPool<'a> {
+    fn new(shared: &'a FrontendShared) -> ShardPool<'a> {
+        ShardPool {
+            clients: (0..shared.shard_addrs.len()).map(|_| None).collect(),
+            shared,
+        }
+    }
+
+    /// The live connection to `node`, dialing if needed.
+    fn client(&mut self, node: usize) -> Result<&mut Client, WireError> {
+        if self.clients[node].is_none() {
+            let client =
+                Client::connect(self.shared.shard_addrs[node].as_str()).map_err(WireError::Io)?;
+            client
+                .set_read_timeout(self.shared.shard_timeout)
+                .map_err(WireError::Io)?;
+            self.clients[node] = Some(client);
+        }
+        Ok(self.clients[node].as_mut().expect("just connected"))
+    }
+
+    /// One request/response against `node`, reconnecting and retrying
+    /// on connection-level failure per the configured retry budget. A
+    /// *remote* error (the shard answered, but refused) is returned
+    /// as-is — retrying cannot change a typed refusal.
+    fn exchange(&mut self, node: usize, request: &Request) -> Result<Response, WireError> {
+        let mut last: Option<WireError> = None;
+        for _ in 0..=self.shared.retries {
+            match self.try_exchange(node, request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    self.clients[node] = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    fn try_exchange(&mut self, node: usize, request: &Request) -> Result<Response, WireError> {
+        let client = self.client(node)?;
+        client.send(request)?;
+        client.recv()
+    }
+
+    /// Scatter one request to every node in `nodes` (pipelined sends,
+    /// then in-order receives) and gather the responses. Nodes whose
+    /// pipelined leg failed are retried individually; a node that
+    /// still cannot answer fails the whole scatter with its error.
+    fn scatter(
+        &mut self,
+        nodes: &[usize],
+        request: &Request,
+    ) -> Result<Vec<Response>, (usize, WireError)> {
+        let mut sent = vec![false; nodes.len()];
+        for (slot, &node) in nodes.iter().enumerate() {
+            sent[slot] = match self.client(node) {
+                Ok(client) => client.send(request).is_ok(),
+                Err(_) => false,
+            };
+        }
+        let mut responses = Vec::with_capacity(nodes.len());
+        for (slot, &node) in nodes.iter().enumerate() {
+            let first = if sent[slot] {
+                match self.clients[node].as_mut().expect("sent on it").recv() {
+                    Ok(response) => Some(response),
+                    Err(_) => {
+                        self.clients[node] = None;
+                        None
+                    }
+                }
+            } else {
+                self.clients[node] = None;
+                None
+            };
+            match first {
+                Some(response) => responses.push(response),
+                // The pipelined leg failed: fall back to the serial
+                // reconnect-and-retry path for this node alone.
+                None => match self.exchange(node, request) {
+                    Ok(response) => responses.push(response),
+                    Err(e) => return Err((node, e)),
+                },
+            }
+        }
+        Ok(responses)
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &FrontendShared, pool: &mut ShardPool<'_>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut reader = FrameReader::new(&stream);
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match reader.read_frame() {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let response = match Request::decode(&payload) {
+                    Ok(request) => execute(shared, pool, request),
+                    Err(e) => Response::Error(format!("bad request: {e}")),
+                };
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = write_frame(&mut &stream, &response.encode()) {
+                    if matches!(e, WireError::FrameTooLarge { .. }) {
+                        let fallback = Response::Error(RESPONSE_TOO_LARGE.to_string());
+                        if write_frame(&mut &stream, &fallback.encode()).is_ok() {
+                            continue;
+                        }
+                    }
+                    break;
+                }
+            }
+            Err(WireError::Io(e)) if is_timeout(&e) => continue,
+            Err(e) => {
+                let response = Response::Error(format!("bad frame: {e}"));
+                let _ = write_frame(&mut &stream, &response.encode());
+                break;
+            }
+        }
+    }
+}
+
+/// Maps a failed scatter leg to the typed degraded response.
+fn unavailable(node: usize, error: WireError) -> Response {
+    match error {
+        // The shard answered with a typed refusal: forward it verbatim
+        // — the node is alive, the request is at fault.
+        WireError::Remote(message) => Response::Error(message),
+        other => Response::Unavailable {
+            node: node as u32,
+            message: other.to_string(),
+        },
+    }
+}
+
+/// The fingerprints a query body denotes (the frontend fingerprints raw
+/// trajectories exactly once; pre-fingerprinted bodies pass through).
+fn query_fingerprints(shared: &FrontendShared, query: &QueryBody) -> Fingerprints {
+    match query {
+        QueryBody::Trajectory(trajectory) => {
+            shared.fingerprinter.normalize_and_fingerprint(trajectory)
+        }
+        QueryBody::Fingerprints(ordered) => Fingerprints::from_ordered(ordered.clone()),
+    }
+}
+
+/// One scatter/gather ranked retrieval. The caller holds the indexed
+/// set's read lock.
+fn scatter_query(
+    shared: &FrontendShared,
+    pool: &mut ShardPool<'_>,
+    fp: &Fingerprints,
+    options: &SearchOptions,
+) -> Result<Vec<SearchResult>, Response> {
+    if fp.is_empty() {
+        return Ok(Vec::new());
+    }
+    let nodes = shared.router.nodes_for_terms(fp.ordered().iter().copied());
+    let request = Request::ShardQuery {
+        terms: fp.ordered().to_vec(),
+        options: *options,
+    };
+    let responses = pool
+        .scatter(&nodes, &request)
+        .map_err(|(node, e)| unavailable(node, e))?;
+    let mut heaps = Vec::with_capacity(responses.len());
+    for (response, &node) in responses.into_iter().zip(&nodes) {
+        match response {
+            Response::ShardTopK(heap) => heaps.push(heap),
+            Response::Error(message) => return Err(Response::Error(message)),
+            _ => {
+                return Err(Response::Unavailable {
+                    node: node as u32,
+                    message: "shard answered with the wrong response type".to_string(),
+                })
+            }
+        }
+    }
+    Ok(merge_heaps(heaps, options))
+}
+
+/// Broadcast one mutation to **all** nodes; every node must ack. The
+/// caller holds the indexed set's write lock.
+fn broadcast(
+    shared: &FrontendShared,
+    pool: &mut ShardPool<'_>,
+    request: &Request,
+) -> Result<(), Response> {
+    let nodes: Vec<usize> = (0..shared.shard_addrs.len()).collect();
+    let responses = pool
+        .scatter(&nodes, request)
+        .map_err(|(node, e)| unavailable(node, e))?;
+    for (response, node) in responses.into_iter().zip(nodes) {
+        match response {
+            Response::Inserted { .. } | Response::Removed { .. } => {}
+            Response::Error(message) => return Err(Response::Error(message)),
+            _ => {
+                return Err(Response::Unavailable {
+                    node: node as u32,
+                    message: "shard answered with the wrong response type".to_string(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+fn execute(shared: &FrontendShared, pool: &mut ShardPool<'_>, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats { .. } => match shared.indexed.read() {
+            Ok(indexed) => Response::Stats(StatsBody {
+                backend: "frontend".to_string(),
+                trajectories: indexed.len() as u64,
+                terms: shared.shard_addrs.len() as u64,
+                workers: shared.workers as u64,
+                durability: None,
+            }),
+            Err(_) => poisoned(),
+        },
+        Request::Query { query, options } => match shared.indexed.read() {
+            Ok(_indexed) => {
+                let fp = query_fingerprints(shared, &query);
+                match scatter_query(shared, pool, &fp, &options) {
+                    Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
+                        Response::Error(RESPONSE_TOO_LARGE.to_string())
+                    }
+                    Ok(hits) => Response::Hits(hits),
+                    Err(refusal) => refusal,
+                }
+            }
+            Err(_) => poisoned(),
+        },
+        Request::QueryBatch { queries, options } => match shared.indexed.read() {
+            Ok(_indexed) => {
+                let mut batches = Vec::with_capacity(queries.len());
+                let mut total_hits = 0usize;
+                for query in &queries {
+                    let fp = query_fingerprints(shared, query);
+                    match scatter_query(shared, pool, &fp, &options) {
+                        Ok(hits) => {
+                            total_hits += hits.len();
+                            if total_hits > MAX_RESPONSE_HITS {
+                                return Response::Error(RESPONSE_TOO_LARGE.to_string());
+                            }
+                            batches.push(hits);
+                        }
+                        Err(refusal) => return refusal,
+                    }
+                }
+                Response::HitsBatch(batches)
+            }
+            Err(_) => poisoned(),
+        },
+        Request::Insert { id, trajectory } => match shared.indexed.write() {
+            Ok(mut indexed) => {
+                let fp = shared.fingerprinter.normalize_and_fingerprint(&trajectory);
+                if !fp.is_empty() {
+                    let request = Request::ShardInsert {
+                        id,
+                        terms: fp.ordered().to_vec(),
+                    };
+                    if let Err(refusal) = broadcast(shared, pool, &request) {
+                        return refusal;
+                    }
+                } else if indexed.contains(&id) {
+                    // Replace-on-reinsert with an unindexable shape:
+                    // scrub the previous shape from the shards.
+                    if let Err(refusal) = broadcast(shared, pool, &Request::Remove { id }) {
+                        return refusal;
+                    }
+                }
+                indexed.insert(id);
+                Response::Inserted {
+                    len: indexed.len() as u64,
+                }
+            }
+            Err(_) => poisoned(),
+        },
+        Request::Remove { id } => match shared.indexed.write() {
+            Ok(mut indexed) => {
+                if !indexed.contains(&id) {
+                    return Response::Removed { was_present: false };
+                }
+                if let Err(refusal) = broadcast(shared, pool, &Request::Remove { id }) {
+                    return refusal;
+                }
+                indexed.remove(&id);
+                Response::Removed { was_present: true }
+            }
+            Err(_) => poisoned(),
+        },
+        Request::ShardQuery { .. } | Request::ShardInsert { .. } => Response::Error(
+            "the frontend does not answer shard frames; address them to a shard server".to_string(),
+        ),
+    }
+}
+
+/// The indexed-set lock only poisons if a broadcast panicked midway —
+/// refuse rather than answer from unknown state. (The frontend holds no
+/// index of its own, so unlike the single-process server there is no
+/// state worth shutting down to protect.)
+fn poisoned() -> Response {
+    Response::Error("frontend state is poisoned".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodabs_core::GeodabConfig;
+
+    #[test]
+    fn config_defaults() {
+        let config = FrontendConfig::default();
+        assert_eq!(config.threads, default_threads());
+        assert_eq!(config.retries, 1);
+        assert_eq!(config.shard_timeout, Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard server address per router node")]
+    fn address_count_must_match_node_count() {
+        let router = ShardRouter::new(16, 100, 2).unwrap();
+        let _ = Frontend::bind(
+            "127.0.0.1:0",
+            Fingerprinter::new(GeodabConfig::default()),
+            router,
+            vec!["127.0.0.1:1".to_string()],
+            FrontendConfig::default(),
+        );
+    }
+
+    #[test]
+    fn bind_run_shutdown_without_traffic() {
+        let router = ShardRouter::new(16, 100, 1).unwrap();
+        let frontend = Frontend::bind(
+            "127.0.0.1:0",
+            Fingerprinter::new(GeodabConfig::default()),
+            router,
+            vec!["127.0.0.1:1".to_string()],
+            FrontendConfig {
+                threads: 2,
+                ..FrontendConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        assert_ne!(frontend.local_addr().port(), 0);
+        let running = frontend.spawn();
+        let served = running.shutdown().expect("clean shutdown");
+        assert_eq!(served, 0);
+    }
+}

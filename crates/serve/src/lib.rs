@@ -20,6 +20,12 @@
 //!   to a `geodabs-wal` write-ahead log **before** it is acknowledged,
 //!   and a background thread compacts the log into watermark-stamped
 //!   snapshots without blocking readers.
+//! * [`Frontend`] — the distributed deployment's coordinator: it
+//!   fingerprints queries, scatters `ShardQuery` frames to remote
+//!   shard servers (each a `Server` hosting a
+//!   [`ShardNode`](geodabs_cluster::ShardNode)), and merges the
+//!   per-shard heaps exactly; shard loss yields the typed
+//!   `Unavailable` response, never silently-partial rankings.
 //! * [`Client`] / [`LoadClient`] — the blocking protocol client, and a
 //!   closed-loop load generator reporting QPS plus p50/p95/p99 latency
 //!   per connection count.
@@ -59,10 +65,12 @@
 #![warn(missing_docs)]
 
 mod client;
+mod frontend;
 pub mod proto;
 mod server;
 
 pub use client::{percentile, Client, LoadClient, LoadRun};
+pub use frontend::{Frontend, FrontendConfig, FrontendHandle, RunningFrontend};
 pub use proto::{DurabilityStats, QueryBody, Request, Response, StatsBody, WireError};
 pub use server::{
     RunningServer, ServeBackend, Server, ServerConfig, ServerHandle, WAL_SNAPSHOT_FILE,

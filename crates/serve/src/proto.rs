@@ -31,6 +31,8 @@
 //! 4 QueryBatch  options, count u32, count × query body
 //! 5 Insert      id u32, points u32, points × (lat f64, lon f64)
 //! 6 Remove      id u32
+//! 7 ShardQuery  options, terms u32, terms × geodab u32
+//! 8 ShardInsert id u32, terms u32, terms × geodab u32
 //! ```
 //!
 //! A query body is `1` (raw trajectory: `points u32, points × (lat f64,
@@ -48,7 +50,24 @@
 //! 5 Inserted    indexed trajectories u64
 //! 6 Removed     was_present u8
 //! 7 Error       message u32 + utf8
+//! 8 ShardTopK   count u32, count × (id u32, distance f64)
+//! 9 Unavailable node u32, message u32 + utf8
 //! ```
+//!
+//! # Distributed frames
+//!
+//! `ShardQuery`/`ShardTopK` carry the scatter/gather leg of the
+//! distributed deployment: the frontend ships the query's **full**
+//! ordered fingerprints to each contacted shard server, which answers
+//! with its node-local top-k heap (same hit encoding as `Hits`, tagged
+//! separately so a frontend can never mistake a shard partial for a
+//! final ranking). `ShardInsert` broadcasts a trajectory's full
+//! fingerprints for node-local filtering. `Unavailable` is the
+//! frontend's **typed degraded response**: a shard could not be
+//! reached even after retrying, so the client gets the failing node's
+//! id and a reason instead of a silently partial ranking. Servers
+//! predating these tags reject them with their typed unknown-tag
+//! error, never garbage.
 //!
 //! # Stats compatibility
 //!
@@ -107,6 +126,15 @@ pub enum WireError {
     },
     /// The server answered with its error response.
     Remote(String),
+    /// A frontend answered with its typed degraded response: a shard
+    /// server was unreachable, so no (possibly partial) ranking was
+    /// returned.
+    Unavailable {
+        /// The unreachable shard's node id.
+        node: u32,
+        /// Why the shard could not be reached.
+        message: String,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -122,6 +150,9 @@ impl fmt::Display for WireError {
             WireError::Corrupt(what) => write!(f, "corrupt wire data: {what}"),
             WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
             WireError::Remote(msg) => write!(f, "server error: {msg}"),
+            WireError::Unavailable { node, message } => {
+                write!(f, "shard node {node} unavailable: {message}")
+            }
         }
     }
 }
@@ -321,6 +352,22 @@ pub enum Request {
         /// The trajectory id.
         id: TrajId,
     },
+    /// A frontend's per-shard sub-query: the query's **full** ordered
+    /// fingerprints, scored node-locally into a top-k heap.
+    ShardQuery {
+        /// The query's full ordered fingerprint sequence.
+        terms: Vec<u32>,
+        /// Ranking options (shared by every shard of one query).
+        options: SearchOptions,
+    },
+    /// A frontend's insert broadcast: the trajectory's **full** ordered
+    /// fingerprints; the shard server keeps its routed slice.
+    ShardInsert {
+        /// The trajectory id.
+        id: TrajId,
+        /// The trajectory's full ordered fingerprint sequence.
+        terms: Vec<u32>,
+    },
 }
 
 /// Index statistics as reported over the wire.
@@ -378,6 +425,19 @@ pub enum Response {
     },
     /// The request failed server-side; the connection stays usable.
     Error(String),
+    /// Answer to [`Request::ShardQuery`]: one shard's top-k heap. A
+    /// distinct tag from [`Response::Hits`] so a partial can never be
+    /// mistaken for a final ranking.
+    ShardTopK(Vec<SearchResult>),
+    /// A frontend's typed degraded response: the named shard was
+    /// unreachable, so the request was refused rather than answered
+    /// partially. The connection stays usable.
+    Unavailable {
+        /// The unreachable shard's node id.
+        node: u32,
+        /// Why the shard could not be reached.
+        message: String,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -386,6 +446,8 @@ const REQ_QUERY: u8 = 3;
 const REQ_QUERY_BATCH: u8 = 4;
 const REQ_INSERT: u8 = 5;
 const REQ_REMOVE: u8 = 6;
+const REQ_SHARD_QUERY: u8 = 7;
+const REQ_SHARD_INSERT: u8 = 8;
 
 /// The only `Stats` request flag so far: append the durability tail.
 const STATS_FLAG_DURABILITY: u8 = 0x01;
@@ -400,6 +462,8 @@ const RESP_HITS_BATCH: u8 = 4;
 const RESP_INSERTED: u8 = 5;
 const RESP_REMOVED: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_SHARD_TOPK: u8 = 8;
+const RESP_UNAVAILABLE: u8 = 9;
 
 /// Caps a `Vec::with_capacity` taken from untrusted input: never reserve
 /// more entries than the remaining payload could possibly hold.
@@ -457,6 +521,22 @@ fn read_trajectory(cursor: &mut Cursor<'_>) -> Result<Trajectory, WireError> {
     Ok(Trajectory::new(points))
 }
 
+fn write_terms(out: &mut Vec<u8>, terms: &[u32]) {
+    out.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+    for &term in terms {
+        out.extend_from_slice(&term.to_le_bytes());
+    }
+}
+
+fn read_terms(cursor: &mut Cursor<'_>) -> Result<Vec<u32>, WireError> {
+    let count = cursor.u32()? as usize;
+    let mut terms = Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 4));
+    for _ in 0..count {
+        terms.push(cursor.u32()?);
+    }
+    Ok(terms)
+}
+
 fn write_query_body(out: &mut Vec<u8>, body: &QueryBody) {
     match body {
         QueryBody::Trajectory(trajectory) => {
@@ -465,10 +545,7 @@ fn write_query_body(out: &mut Vec<u8>, body: &QueryBody) {
         }
         QueryBody::Fingerprints(terms) => {
             out.push(BODY_FINGERPRINTS);
-            out.extend_from_slice(&(terms.len() as u32).to_le_bytes());
-            for &term in terms {
-                out.extend_from_slice(&term.to_le_bytes());
-            }
+            write_terms(out, terms);
         }
     }
 }
@@ -476,14 +553,7 @@ fn write_query_body(out: &mut Vec<u8>, body: &QueryBody) {
 fn read_query_body(cursor: &mut Cursor<'_>) -> Result<QueryBody, WireError> {
     match cursor.u8()? {
         BODY_TRAJECTORY => Ok(QueryBody::Trajectory(read_trajectory(cursor)?)),
-        BODY_FINGERPRINTS => {
-            let count = cursor.u32()? as usize;
-            let mut terms = Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 4));
-            for _ in 0..count {
-                terms.push(cursor.u32()?);
-            }
-            Ok(QueryBody::Fingerprints(terms))
-        }
+        BODY_FINGERPRINTS => Ok(QueryBody::Fingerprints(read_terms(cursor)?)),
         tag => Err(WireError::UnknownTag {
             what: "query body",
             tag,
@@ -557,6 +627,16 @@ impl Request {
                 out.push(REQ_REMOVE);
                 out.extend_from_slice(&id.raw().to_le_bytes());
             }
+            Request::ShardQuery { terms, options } => {
+                out.push(REQ_SHARD_QUERY);
+                write_options(&mut out, options);
+                write_terms(&mut out, terms);
+            }
+            Request::ShardInsert { id, terms } => {
+                out.push(REQ_SHARD_INSERT);
+                out.extend_from_slice(&id.raw().to_le_bytes());
+                write_terms(&mut out, terms);
+            }
         }
         out
     }
@@ -607,6 +687,16 @@ impl Request {
             REQ_REMOVE => Request::Remove {
                 id: TrajId::new(cursor.u32()?),
             },
+            REQ_SHARD_QUERY => {
+                let options = read_options(&mut cursor)?;
+                let terms = read_terms(&mut cursor)?;
+                Request::ShardQuery { terms, options }
+            }
+            REQ_SHARD_INSERT => {
+                let id = TrajId::new(cursor.u32()?);
+                let terms = read_terms(&mut cursor)?;
+                Request::ShardInsert { id, terms }
+            }
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "request",
@@ -660,6 +750,15 @@ impl Response {
             }
             Response::Error(message) => {
                 out.push(RESP_ERROR);
+                write_string(&mut out, message);
+            }
+            Response::ShardTopK(hits) => {
+                out.push(RESP_SHARD_TOPK);
+                write_hits(&mut out, hits);
+            }
+            Response::Unavailable { node, message } => {
+                out.push(RESP_UNAVAILABLE);
+                out.extend_from_slice(&node.to_le_bytes());
                 write_string(&mut out, message);
             }
         }
@@ -718,6 +817,12 @@ impl Response {
                 },
             },
             RESP_ERROR => Response::Error(read_string(&mut cursor)?),
+            RESP_SHARD_TOPK => Response::ShardTopK(read_hits(&mut cursor)?),
+            RESP_UNAVAILABLE => {
+                let node = cursor.u32()?;
+                let message = read_string(&mut cursor)?;
+                Response::Unavailable { node, message }
+            }
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "response",
@@ -779,6 +884,22 @@ mod tests {
         roundtrip_request(Request::Remove {
             id: TrajId::new(u32::MAX),
         });
+        roundtrip_request(Request::ShardQuery {
+            terms: vec![1, 1, 2, u32::MAX],
+            options: SearchOptions::default().max_distance(0.5).limit(7),
+        });
+        roundtrip_request(Request::ShardQuery {
+            terms: vec![],
+            options: SearchOptions::default(),
+        });
+        roundtrip_request(Request::ShardInsert {
+            id: TrajId::new(9),
+            terms: vec![3, 3, 3, 8],
+        });
+        roundtrip_request(Request::ShardInsert {
+            id: TrajId::new(0),
+            terms: vec![],
+        });
     }
 
     #[test]
@@ -823,6 +944,39 @@ mod tests {
         roundtrip_response(Response::Removed { was_present: true });
         roundtrip_response(Response::Removed { was_present: false });
         roundtrip_response(Response::Error("boom".into()));
+        roundtrip_response(Response::ShardTopK(vec![SearchResult {
+            id: TrajId::new(4),
+            distance: 0.25,
+        }]));
+        roundtrip_response(Response::ShardTopK(vec![]));
+        roundtrip_response(Response::Unavailable {
+            node: 3,
+            message: "connection refused".into(),
+        });
+    }
+
+    /// The shard frames are strictly additive: their tag bytes were
+    /// rejected by the pre-distributed protocol and every older tag
+    /// still encodes to the same byte. A PR 5-era server answers a
+    /// distributed frontend with its typed unknown-tag error, never
+    /// garbage.
+    #[test]
+    fn shard_frames_are_additive() {
+        assert_eq!(REQ_SHARD_QUERY, 7);
+        assert_eq!(REQ_SHARD_INSERT, 8);
+        assert_eq!(RESP_SHARD_TOPK, 8);
+        assert_eq!(RESP_UNAVAILABLE, 9);
+        let shard_query = Request::ShardQuery {
+            terms: vec![1],
+            options: SearchOptions::default(),
+        }
+        .encode();
+        assert_eq!(shard_query[0], REQ_SHARD_QUERY);
+        // A shard partial and a final ranking never share a tag.
+        assert_ne!(
+            Response::ShardTopK(vec![]).encode()[0],
+            Response::Hits(vec![]).encode()[0]
+        );
     }
 
     /// The exact bytes the pre-durability protocol used for `Stats`, as
@@ -1008,6 +1162,10 @@ mod tests {
             WireError::FrameTooLarge { claimed: 9 },
             WireError::UnknownTag { what: "y", tag: 3 },
             WireError::Remote("z".into()),
+            WireError::Unavailable {
+                node: 1,
+                message: "down".into(),
+            },
             WireError::Io(std::io::Error::other("io")),
         ] {
             assert!(!e.to_string().is_empty());

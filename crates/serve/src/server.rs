@@ -28,7 +28,7 @@
 //! error frame and the server initiates the same clean shutdown rather
 //! than serving from possibly half-mutated state.
 
-use geodabs_cluster::ClusterIndex;
+use geodabs_cluster::{ClusterIndex, ShardNode};
 use geodabs_core::Fingerprints;
 use geodabs_index::batch::default_threads;
 use geodabs_index::store::{self, Persist};
@@ -113,6 +113,35 @@ pub trait ServeBackend: Send + Sync + 'static {
     /// write-ahead log itself still works for them.
     fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
         None
+    }
+
+    /// Answers a frontend's scatter sub-query: score the node-local
+    /// slice against the query's full ordered term sequence and return
+    /// this node's exact top-k heap (the frontend merges heaps across
+    /// shards). Only shard backends implement it — on anything else the
+    /// default refuses, so pointing a frontend at a monolithic server
+    /// is a typed error, not silently-partial ranking.
+    ///
+    /// # Errors
+    ///
+    /// A static message when the backend is not a shard node.
+    fn shard_query(
+        &self,
+        _ordered: &[u32],
+        _options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        Err("this backend is not a shard node; start the server with --shard-id")
+    }
+
+    /// Applies a frontend's broadcast insert: keep the routed subset of
+    /// the full ordered term sequence (and the fingerprint replica, if
+    /// any term landed here). Only shard backends implement it.
+    ///
+    /// # Errors
+    ///
+    /// A static message when the backend is not a shard node.
+    fn shard_insert(&mut self, _id: TrajId, _ordered: &[u32]) -> Result<(), &'static str> {
+        Err("this backend is not a shard node; start the server with --shard-id")
     }
 }
 
@@ -229,6 +258,60 @@ impl ServeBackend for ClusterIndex {
 
     fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
         Some(Persist::to_snapshot(self))
+    }
+}
+
+impl ServeBackend for ShardNode {
+    fn backend_name(&self) -> &'static str {
+        "node"
+    }
+
+    fn len(&self) -> usize {
+        ShardNode::len(self)
+    }
+
+    fn term_count(&self) -> usize {
+        ShardNode::term_count(self)
+    }
+
+    fn search(&self, query: &Trajectory, options: &SearchOptions) -> Vec<SearchResult> {
+        ShardNode::search(self, query, options)
+    }
+
+    fn search_fingerprints(
+        &self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        let fp = Fingerprints::from_ordered(ordered.to_vec());
+        Ok(ShardNode::search_fingerprints(self, &fp, options))
+    }
+
+    fn insert(&mut self, id: TrajId, trajectory: &Trajectory) {
+        ShardNode::insert(self, id, trajectory);
+    }
+
+    fn remove(&mut self, id: TrajId) -> bool {
+        ShardNode::remove(self, id)
+    }
+
+    fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
+        Some(Persist::to_snapshot(self))
+    }
+
+    fn shard_query(
+        &self,
+        ordered: &[u32],
+        options: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, &'static str> {
+        let fp = Fingerprints::from_ordered(ordered.to_vec());
+        Ok(ShardNode::search_fingerprints(self, &fp, options))
+    }
+
+    fn shard_insert(&mut self, id: TrajId, ordered: &[u32]) -> Result<(), &'static str> {
+        let fp = Fingerprints::from_ordered(ordered.to_vec());
+        ShardNode::insert_fingerprints(self, id, fp);
+        Ok(())
     }
 }
 
@@ -692,6 +775,43 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
                 }
                 Response::Removed {
                     was_present: index.remove(id),
+                }
+            }
+            Err(_) => poisoned(shared),
+        },
+        Request::ShardQuery { terms, options } => match shared.index.read() {
+            Ok(index) => match index.shard_query(&terms, &options) {
+                Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
+                    Response::Error(RESPONSE_TOO_LARGE.to_string())
+                }
+                Ok(hits) => Response::ShardTopK(hits),
+                Err(message) => Response::Error(message.to_string()),
+            },
+            Err(_) => poisoned(shared),
+        },
+        Request::ShardInsert { id, terms } => match shared.index.write() {
+            Ok(mut index) => {
+                // Shard support is a static property of the backend:
+                // probe it through the read-only hook first, so an
+                // unsupported op is refused whole instead of landing in
+                // the write-ahead log unapplied.
+                if let Err(message) = index.shard_query(&[], &SearchOptions::default()) {
+                    return Response::Error(message.to_string());
+                }
+                if let Err(message) = log_op(
+                    shared,
+                    &WalOp::InsertFingerprints {
+                        id,
+                        terms: terms.clone(),
+                    },
+                ) {
+                    return Response::Error(message);
+                }
+                match index.shard_insert(id, &terms) {
+                    Ok(()) => Response::Inserted {
+                        len: index.len() as u64,
+                    },
+                    Err(message) => Response::Error(message.to_string()),
                 }
             }
             Err(_) => poisoned(shared),

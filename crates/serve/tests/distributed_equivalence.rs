@@ -1,0 +1,320 @@
+//! Distributed equivalence suite: a scatter/gather frontend over N
+//! shard servers on loopback must answer every query **bit-identical**
+//! (`==` on the IEEE-754 distance bits) to the monolithic in-process
+//! index — across shard counts, mutations routed through the frontend,
+//! pipelined clients, and a restart from per-shard snapshots. Shard
+//! loss yields the typed `Unavailable` error, never a silently partial
+//! ranking, and the frontend recovers without a restart.
+
+use geodabs_cluster::{ClusterIndex, ShardNode, ShardRouter};
+use geodabs_core::{Fingerprinter, GeodabConfig};
+use geodabs_geo::Point;
+use geodabs_index::store::Persist;
+use geodabs_index::{GeodabIndex, SearchOptions, SearchResult, TrajectoryIndex};
+use geodabs_serve::{
+    Client, Frontend, FrontendConfig, QueryBody, Request, Response, RunningFrontend, Server,
+    ServerConfig, WireError,
+};
+use geodabs_traj::{TrajId, Trajectory};
+
+/// The paper's fine-grained logical shard count, scaled down enough to
+/// keep the suite fast while still spreading terms across every node.
+const NUM_SHARDS: u64 = 1_000;
+
+fn eastward(n: usize, offset_m: f64) -> Trajectory {
+    let start = Point::new(51.5074, -0.1278).unwrap();
+    (0..n)
+        .map(|i| start.destination(90.0, offset_m + i as f64 * 90.0))
+        .collect()
+}
+
+/// Forward/reverse pairs at several offsets: real rankings with
+/// distance ties, spread across shards by the Z-curve prefixes.
+fn corpus() -> Vec<(TrajId, Trajectory)> {
+    let mut items = Vec::new();
+    for route in 0..10u32 {
+        let path = eastward(40, route as f64 * 400.0);
+        items.push((TrajId::new(route * 2), path.clone()));
+        items.push((TrajId::new(route * 2 + 1), path.reversed()));
+    }
+    items
+}
+
+fn build_monolith() -> GeodabIndex {
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for (id, trajectory) in corpus() {
+        index.insert(id, &trajectory);
+    }
+    index
+}
+
+fn queries() -> Vec<Trajectory> {
+    (0..8)
+        .map(|i| {
+            eastward(40, i as f64 * 400.0)
+                .iter()
+                .map(|p| p.destination(45.0, 6.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Boots `nodes` shard servers hosting the given [`ShardNode`] slices
+/// plus a frontend over them, all on OS-assigned loopback ports.
+fn boot(slices: Vec<ShardNode>) -> (Vec<geodabs_serve::RunningServer>, RunningFrontend) {
+    let nodes = slices.len();
+    let mut servers = Vec::with_capacity(nodes);
+    let mut addrs = Vec::with_capacity(nodes);
+    for slice in slices {
+        let server = Server::bind("127.0.0.1:0", slice, ServerConfig { threads: 4 })
+            .expect("bind shard server");
+        addrs.push(server.local_addr().to_string());
+        servers.push(server.spawn());
+    }
+    let config = GeodabConfig::default();
+    let router = ShardRouter::new(config.prefix_bits(), NUM_SHARDS, nodes).expect("router");
+    let frontend = Frontend::bind(
+        "127.0.0.1:0",
+        Fingerprinter::new(config),
+        router,
+        addrs,
+        FrontendConfig {
+            threads: 4,
+            ..FrontendConfig::default()
+        },
+    )
+    .expect("bind frontend")
+    .spawn();
+    (servers, frontend)
+}
+
+/// Slices the whole corpus through one cluster ingest — the state each
+/// node would hold after a live N-node ingest.
+fn preloaded_slices(nodes: usize) -> Vec<ShardNode> {
+    let mut cluster =
+        ClusterIndex::new(GeodabConfig::default(), NUM_SHARDS, nodes).expect("cluster");
+    for (id, trajectory) in corpus() {
+        cluster.insert(id, &trajectory);
+    }
+    (0..nodes)
+        .map(|node| cluster.shard_node(node).expect("node in range"))
+        .collect()
+}
+
+fn empty_slices(nodes: usize) -> Vec<ShardNode> {
+    (0..nodes)
+        .map(|node| {
+            ShardNode::new(GeodabConfig::default(), NUM_SHARDS, nodes, node).expect("shard node")
+        })
+        .collect()
+}
+
+#[test]
+fn scatter_gather_matches_the_monolith_at_two_and_four_shards() {
+    let monolith = build_monolith();
+    let options = SearchOptions::default().limit(10);
+    for nodes in [2usize, 4] {
+        let (servers, frontend) = boot(preloaded_slices(nodes));
+        let mut client = Client::connect(frontend.addr()).expect("connect");
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.backend, "frontend");
+        assert_eq!(stats.terms, nodes as u64, "terms slot = shard servers");
+
+        for query in queries() {
+            let hits = client.query(&query, &options).expect("query");
+            let expected = monolith.search(&query, &options);
+            assert_eq!(hits, expected, "{nodes} shards");
+        }
+        // An unfingerprintable (too short) query short-circuits to an
+        // empty ranking without touching the shards, like the monolith.
+        let tiny: Trajectory = eastward(2, 0.0);
+        assert_eq!(
+            client.query(&tiny, &options).expect("tiny query"),
+            monolith.search(&tiny, &options)
+        );
+
+        frontend.shutdown().expect("frontend shutdown");
+        for server in servers {
+            server.shutdown().expect("shard shutdown");
+        }
+    }
+}
+
+#[test]
+fn mutations_through_the_frontend_match_the_monolith() {
+    let options = SearchOptions::default().limit(10);
+    let (servers, frontend) = boot(empty_slices(2));
+    let mut client = Client::connect(frontend.addr()).expect("connect");
+    let mut monolith = GeodabIndex::new(GeodabConfig::default());
+
+    // Inserts are acked with the frontend's corpus count and replicate
+    // to every shard server.
+    for (step, (id, trajectory)) in corpus().into_iter().enumerate() {
+        let len = client.insert(id, &trajectory).expect("insert");
+        monolith.insert(id, &trajectory);
+        assert_eq!(len, step as u64 + 1);
+    }
+    for query in queries() {
+        assert_eq!(
+            client.query(&query, &options).expect("query"),
+            monolith.search(&query, &options)
+        );
+    }
+
+    // Removes: present ids ack true and scrub every shard; absent ids
+    // ack false without touching any.
+    assert!(client.remove(TrajId::new(3)).expect("remove"));
+    assert!(monolith.remove(TrajId::new(3)));
+    assert!(!client.remove(TrajId::new(999)).expect("remove absent"));
+
+    // Replace-on-reinsert: the new shape must fully scrub the old one
+    // on every shard, not leave stale postings behind.
+    let replacement = eastward(40, 5_000.0);
+    client
+        .insert(TrajId::new(0), &replacement)
+        .expect("replace");
+    monolith.insert(TrajId::new(0), &replacement);
+
+    for query in queries() {
+        assert_eq!(
+            client.query(&query, &options).expect("query"),
+            monolith.search(&query, &options)
+        );
+    }
+
+    frontend.shutdown().expect("frontend shutdown");
+    for server in servers {
+        server.shutdown().expect("shard shutdown");
+    }
+}
+
+#[test]
+fn four_pipelined_clients_get_bit_identical_rankings_through_the_frontend() {
+    let monolith = build_monolith();
+    let options = SearchOptions::default().limit(10);
+    let queries = queries();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| monolith.search(q, &options))
+        .collect();
+
+    let (servers, frontend) = boot(preloaded_slices(2));
+    let addr = frontend.addr();
+    std::thread::scope(|scope| {
+        for client_index in 0..4 {
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Pipeline: enqueue every request before reading any
+                // response; the frontend must answer them in order.
+                for qi in 0..queries.len() {
+                    let rotated = (qi + client_index) % queries.len();
+                    client
+                        .send(&Request::Query {
+                            query: QueryBody::Trajectory(queries[rotated].clone()),
+                            options,
+                        })
+                        .expect("send");
+                }
+                for qi in 0..queries.len() {
+                    let rotated = (qi + client_index) % queries.len();
+                    match client.recv().expect("recv") {
+                        Response::Hits(hits) => {
+                            assert_eq!(hits, expected[rotated], "client {client_index}")
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    frontend.shutdown().expect("frontend shutdown");
+    for server in servers {
+        server.shutdown().expect("shard shutdown");
+    }
+}
+
+#[test]
+fn restart_from_per_shard_snapshots_preserves_rankings() {
+    let monolith = build_monolith();
+    let options = SearchOptions::default().limit(10);
+
+    // Snapshot each node's slice, "restart" by decoding fresh nodes
+    // from the bytes, and serve those.
+    let snapshots: Vec<Vec<u8>> = preloaded_slices(4)
+        .iter()
+        .map(Persist::to_snapshot)
+        .collect();
+    let restored: Vec<ShardNode> = snapshots
+        .iter()
+        .map(|bytes| ShardNode::from_snapshot(bytes).expect("decode slice"))
+        .collect();
+    for (node, slice) in restored.iter().enumerate() {
+        assert_eq!(slice.node_id(), node, "snapshot remembers its node id");
+    }
+
+    let (servers, frontend) = boot(restored);
+    let mut client = Client::connect(frontend.addr()).expect("connect");
+    for query in queries() {
+        assert_eq!(
+            client.query(&query, &options).expect("query"),
+            monolith.search(&query, &options)
+        );
+    }
+    frontend.shutdown().expect("frontend shutdown");
+    for server in servers {
+        server.shutdown().expect("shard shutdown");
+    }
+}
+
+#[test]
+fn killed_shard_yields_typed_unavailable_and_the_frontend_recovers() {
+    let monolith = build_monolith();
+    let options = SearchOptions::default().limit(10);
+    let slices = preloaded_slices(2);
+    let spare = slices[0].clone();
+    let (mut servers, frontend) = boot(slices);
+    let mut client = Client::connect(frontend.addr()).expect("connect");
+
+    let query = &queries()[0];
+    let expected = monolith.search(query, &options);
+    assert_eq!(client.query(query, &options).expect("warm query"), expected);
+
+    // Kill shard 0 (its worker connections drop mid-service)…
+    let node0_addr = servers[0].addr();
+    servers.remove(0).shutdown().expect("kill shard 0");
+
+    // …and the frontend answers with the *typed* unavailable error —
+    // never a silently partial ranking assembled from the survivors.
+    match client.query(query, &options) {
+        Err(WireError::Unavailable { node, message }) => {
+            assert_eq!(node, 0);
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected a typed Unavailable, got {other:?}"),
+    }
+
+    // Bring the shard back on the same port: the frontend redials on
+    // the next request and recovers without a restart.
+    let reborn = Server::bind(node0_addr, spare, ServerConfig { threads: 4 })
+        .expect("rebind shard 0")
+        .spawn();
+    let mut recovered = Err(WireError::Closed);
+    for _ in 0..20 {
+        recovered = client.query(query, &options);
+        if recovered.is_ok() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert_eq!(recovered.expect("recovered query"), expected);
+
+    frontend.shutdown().expect("frontend shutdown");
+    reborn.shutdown().expect("shard shutdown");
+    for server in servers {
+        server.shutdown().expect("shard shutdown");
+    }
+}

@@ -382,6 +382,9 @@ fn acked_writes_survive_restart_and_compaction_advances_the_watermark() {
             WalOp::Remove { id } => {
                 restored.remove(id);
             }
+            WalOp::InsertFingerprints { .. } => {
+                panic!("a monolithic server never logs shard ops")
+            }
         }
     }
 

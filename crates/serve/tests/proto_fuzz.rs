@@ -39,6 +39,91 @@ fn sample_request() -> Request {
     }
 }
 
+/// The distributed frames run through the same corruption gauntlets.
+fn shard_frames() -> Vec<Vec<u8>> {
+    vec![
+        Request::ShardQuery {
+            terms: vec![3, 77, 65_536],
+            options: SearchOptions::default().limit(5),
+        }
+        .encode(),
+        Request::ShardInsert {
+            id: TrajId::new(11),
+            terms: vec![0, 1, u32::MAX],
+        }
+        .encode(),
+        Response::ShardTopK(vec![SearchResult {
+            id: TrajId::new(4),
+            distance: 0.25,
+        }])
+        .encode(),
+        Response::Unavailable {
+            node: 2,
+            message: "dial tcp: connection refused".into(),
+        }
+        .encode(),
+    ]
+}
+
+#[test]
+fn every_strict_prefix_of_a_shard_frame_is_rejected() {
+    for payload in shard_frames() {
+        let wire = framed(&payload);
+        for cut in 1..wire.len() {
+            let result = read_one(&wire[..cut]);
+            assert!(
+                matches!(result, Err(WireError::Truncated)),
+                "cut at {cut}: {result:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_in_a_shard_frame_is_rejected() {
+    for payload in shard_frames() {
+        let wire = framed(&payload);
+        for byte in 0..wire.len() {
+            for bit in 0..8u8 {
+                let mut corrupted = wire.clone();
+                corrupted[byte] ^= 1 << bit;
+                let outcome = read_one(&corrupted);
+                assert!(
+                    outcome.is_err(),
+                    "flip of bit {bit} in byte {byte} survived: {outcome:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_shard_payloads_are_typed_errors() {
+    // A pristine frame around a cut-short shard payload must fail its
+    // decoder typed, never panic — the length-attack path for the new
+    // tags. (Only the matching decoder is asserted: request and
+    // response tags are separate spaces, so a request prefix may
+    // coincidentally parse as some response.)
+    let [shard_query, shard_insert, shard_topk, unavailable]: [Vec<u8>; 4] =
+        shard_frames().try_into().expect("four shard frames");
+    for payload in [shard_query, shard_insert] {
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "request cut at {cut}"
+            );
+        }
+    }
+    for payload in [shard_topk, unavailable] {
+        for cut in 0..payload.len() {
+            assert!(
+                Response::decode(&payload[..cut]).is_err(),
+                "response cut at {cut}"
+            );
+        }
+    }
+}
+
 #[test]
 fn every_strict_prefix_of_a_frame_is_rejected() {
     let wire = framed(&sample_request().encode());
@@ -144,6 +229,58 @@ proptest! {
             options,
         };
         prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+    }
+
+    #[test]
+    fn shard_query_roundtrip_is_identity(
+        terms in proptest::collection::vec(any::<u32>(), 0..80),
+        limit in 0usize..50,
+    ) {
+        let request = Request::ShardQuery {
+            terms,
+            options: SearchOptions::default().limit(limit),
+        };
+        prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+    }
+
+    #[test]
+    fn shard_insert_roundtrip_is_identity(
+        id in any::<u32>(),
+        terms in proptest::collection::vec(any::<u32>(), 0..80),
+    ) {
+        let request = Request::ShardInsert { id: TrajId::new(id), terms };
+        prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+    }
+
+    #[test]
+    fn shard_topk_and_unavailable_roundtrip_is_identity(
+        hits in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..50),
+        node in any::<u32>(),
+        message_bytes in proptest::collection::vec(0x20u8..0x7f, 0..60),
+    ) {
+        let message = String::from_utf8(message_bytes).expect("printable ascii");
+        // Raw bit patterns for the distances: the frame must carry the
+        // exact IEEE-754 bits, including NaNs and infinities.
+        let hits: Vec<SearchResult> = hits
+            .into_iter()
+            .map(|(id, bits)| SearchResult {
+                id: TrajId::new(id),
+                distance: f64::from_bits(bits),
+            })
+            .collect();
+        let response = Response::ShardTopK(hits.clone());
+        match Response::decode(&response.encode()).unwrap() {
+            Response::ShardTopK(decoded) => {
+                prop_assert_eq!(decoded.len(), hits.len());
+                for (d, h) in decoded.iter().zip(&hits) {
+                    prop_assert_eq!(d.id, h.id);
+                    prop_assert_eq!(d.distance.to_bits(), h.distance.to_bits());
+                }
+            }
+            other => prop_assert!(false, "wrong variant {:?}", other),
+        }
+        let response = Response::Unavailable { node, message };
+        prop_assert_eq!(Response::decode(&response.encode()).unwrap(), response);
     }
 
     #[test]

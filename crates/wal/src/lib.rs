@@ -11,9 +11,10 @@
 //! crc32    u32   IEEE CRC-32 of the body
 //! body:
 //!   seq    u64   strictly contiguous, starts at the segment's name
-//!   op     u8    1 = insert, 2 = remove
+//!   op     u8    1 = insert, 2 = remove, 3 = insert-fingerprints
 //!   insert       id u32, points u32, points × (lat f64, lon f64)
 //!   remove       id u32
+//!   insert-fp    id u32, terms u32, terms × (term u32)
 //! ```
 //!
 //! The length prefix is validated against [`MAX_RECORD_LEN`] **before**
@@ -90,6 +91,7 @@ const SEGMENT_SUFFIX: &str = ".log";
 
 const OP_INSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
+const OP_INSERT_FINGERPRINTS: u8 = 3;
 
 /// Errors opening, appending to, or scanning a log. Torn tails on the
 /// final segment are **not** errors — they are repaired on open and
@@ -250,6 +252,16 @@ pub enum WalOp {
         /// The trajectory id.
         id: TrajId,
     },
+    /// Index a pre-fingerprinted trajectory by its full ordered term
+    /// sequence — the write vocabulary of a **shard server**, which
+    /// receives fingerprints from the frontend rather than raw
+    /// trajectories. Replace-on-reinsert, like [`WalOp::Insert`].
+    InsertFingerprints {
+        /// The trajectory id.
+        id: TrajId,
+        /// The full ordered fingerprint term sequence.
+        terms: Vec<u32>,
+    },
 }
 
 /// One decoded log record: a sequence number and its operation.
@@ -311,6 +323,14 @@ fn encode_op(out: &mut Vec<u8>, op: &WalOp) {
             out.push(OP_REMOVE);
             out.extend_from_slice(&id.raw().to_le_bytes());
         }
+        WalOp::InsertFingerprints { id, terms } => {
+            out.push(OP_INSERT_FINGERPRINTS);
+            out.extend_from_slice(&id.raw().to_le_bytes());
+            out.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+            for term in terms {
+                out.extend_from_slice(&term.to_le_bytes());
+            }
+        }
     }
 }
 
@@ -343,6 +363,16 @@ fn decode_body(body: &[u8]) -> Result<WalRecord, &'static str> {
             OP_REMOVE => WalOp::Remove {
                 id: TrajId::new(cursor.u32()?),
             },
+            OP_INSERT_FINGERPRINTS => {
+                let id = TrajId::new(cursor.u32()?);
+                let count = cursor.u32()? as usize;
+                let cap = count.min(cursor.remaining() / 4);
+                let mut terms = Vec::with_capacity(cap);
+                for _ in 0..count {
+                    terms.push(cursor.u32()?);
+                }
+                WalOp::InsertFingerprints { id, terms }
+            }
             _ => return Err(ReadError::Corrupt("unknown wal op tag")),
         };
         cursor.expect_end()?;
@@ -877,6 +907,35 @@ mod tests {
         let mut wal = Wal::open(scratch.path(), SyncPolicy::Always).unwrap();
         assert_eq!(wal.last_seq(), 3);
         assert_eq!(wal.append(&insert(9)).unwrap(), 4);
+    }
+
+    #[test]
+    fn fingerprint_ops_roundtrip_alongside_trajectory_ops() {
+        let scratch = Scratch::new("fingerprints");
+        let ops = [
+            insert(1),
+            WalOp::InsertFingerprints {
+                id: TrajId::new(2),
+                terms: vec![7, 7, 42, 1_000_000],
+            },
+            // An empty term sequence is legal (too-short trajectory).
+            WalOp::InsertFingerprints {
+                id: TrajId::new(3),
+                terms: Vec::new(),
+            },
+            WalOp::Remove { id: TrajId::new(2) },
+        ];
+        {
+            let mut wal = Wal::open(scratch.path(), SyncPolicy::Always).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        let records = Wal::records(scratch.path()).unwrap();
+        assert_eq!(records.len(), ops.len());
+        for (record, op) in records.iter().zip(&ops) {
+            assert_eq!(&record.op, op);
+        }
     }
 
     #[test]
