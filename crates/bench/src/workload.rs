@@ -173,6 +173,9 @@ pub fn catalog() -> Vec<Scenario> {
         // Scatter/gather serving over remote shard servers; runs
         // through `run_distributed` instead of `run_scenario`.
         Scenario::new(DISTRIBUTED, Preset::DenseUrban, 2_000, 40, 42),
+        // In-process shard-per-core serving with the lock-free read
+        // path; runs through `run_multicore` instead of `run_scenario`.
+        Scenario::new(MULTICORE, Preset::DenseUrban, 2_000, 40, 42),
     ];
     for (suffix, corpus, queries) in [
         ("1k", 1_000, 50),
@@ -222,6 +225,13 @@ pub const SERVE: &str = "serve";
 /// [`run_distributed`] rather than the in-process ladder of
 /// [`run_scenario`].
 pub const DISTRIBUTED: &str = "distributed";
+
+/// The multicore-serving scenario's name; it measures client-observed
+/// QPS and latency against one server at several in-process shard
+/// counts — quiet, and with a concurrent bulk ingest in flight to
+/// exercise the lock-free read path — via [`run_multicore`] rather than
+/// the in-process ladder of [`run_scenario`].
+pub const MULTICORE: &str = "multicore";
 
 /// The durability scenario's name; it measures acknowledged-write
 /// latency per WAL sync policy, replay-on-boot recovery speed, and the
@@ -957,6 +967,15 @@ impl geodabs_serve::ServeBackend for AnyIndex {
         }
     }
 
+    fn into_shards(self, shards: usize) -> Result<geodabs_serve::ShardedIndex, String> {
+        match self {
+            AnyIndex::Geodab(index) => geodabs_serve::ServeBackend::into_shards(index, shards),
+            AnyIndex::Cluster(index) => geodabs_serve::ServeBackend::into_shards(index, shards),
+            AnyIndex::Geohash(index) => geodabs_serve::ServeBackend::into_shards(index, shards),
+            AnyIndex::Node(index) => geodabs_serve::ServeBackend::into_shards(index, shards),
+        }
+    }
+
     fn shard_query(
         &self,
         ordered: &[u32],
@@ -1130,6 +1149,16 @@ impl ServeReport {
 ///
 /// The first connection or wire error — broken connections fail the run
 /// loudly instead of deflating the numbers.
+/// A single-shard [`ServerConfig`] with `workers` mux workers — the
+/// monolithic-server shape every loopback harness here boots with
+/// unless it is explicitly exercising in-process shards.
+fn mux_config(workers: usize) -> Result<ServerConfig, String> {
+    ServerConfig::builder()
+        .mux_workers(workers)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
 pub fn run_load_ladder(
     addr: &str,
     queries: Vec<Trajectory>,
@@ -1190,13 +1219,15 @@ pub fn run_serve(
         .map(|q| TrajectoryIndex::search(&index, q, &options))
         .collect();
 
-    // Size the pool to the widest ladder point: a worker owns its
-    // connection for that connection's lifetime, so a pool smaller than
-    // the ladder would starve the excess connections and pollute the
-    // latency tail with queueing delay instead of server speed.
-    let pool = geodabs_index::batch::default_threads().max(max_connections);
-    let server = Server::bind("127.0.0.1:0", index, ServerConfig { threads: pool })
-        .map_err(|e| format!("binding loopback: {e}"))?;
+    // The multiplexer sweeps many connections per worker, so the pool
+    // no longer needs to scale with the ladder width — one worker per
+    // core serves even the widest point without queueing artifacts.
+    let config = ServerConfig::builder()
+        .mux_workers(geodabs_index::batch::default_threads())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let server =
+        Server::bind("127.0.0.1:0", index, config).map_err(|e| format!("binding loopback: {e}"))?;
     let running = server.spawn();
     let ladder = thread_ladder(max_connections);
     let points = run_load_ladder(
@@ -1455,7 +1486,7 @@ pub fn run_durability(
         let dir = durability_dir(&format!("ack{phase}"))?;
         let wal = Wal::open(&dir, policy).map_err(|e| format!("opening wal: {e}"))?;
         let index = AnyIndex::empty("geodab", 0, 0)?;
-        let running = Server::bind("127.0.0.1:0", index, ServerConfig { threads: 2 })
+        let running = Server::bind("127.0.0.1:0", index, mux_config(2)?)
             .map_err(|e| format!("binding loopback: {e}"))?
             .with_durability(wal, 0, None)
             .spawn();
@@ -1522,7 +1553,7 @@ pub fn run_durability(
         let wal = Wal::open(&dir, SyncPolicy::Always).map_err(|e| format!("opening wal: {e}"))?;
         let mut index = AnyIndex::empty("geodab", 0, 0)?;
         index.insert_batch(records.iter().map(|r| (r.id, &r.trajectory)));
-        let running = Server::bind("127.0.0.1:0", index, ServerConfig { threads: 2 })
+        let running = Server::bind("127.0.0.1:0", index, mux_config(2)?)
             .map_err(|e| format!("binding loopback: {e}"))?
             .with_durability(wal, 0, compact_every)
             .spawn();
@@ -1710,10 +1741,10 @@ pub fn run_distributed(
         .map(|q| monolith.search(q, &options))
         .collect();
 
-    // Every frontend worker may hold a client connection plus one
-    // connection per shard server, so both pools are sized to the
-    // driven connection count.
-    let pool = geodabs_index::batch::default_threads().max(connections);
+    // Connections multiplex over a core-sized worker pool on both the
+    // shard servers and the frontend; the driven connection count no
+    // longer dictates pool size.
+    let pool = geodabs_index::batch::default_threads();
     let duration = Duration::from_secs_f64(seconds_per_point.max(0.05));
     let mut points = Vec::with_capacity(shard_server_counts.len());
     for &servers in shard_server_counts {
@@ -1724,7 +1755,7 @@ pub fn run_distributed(
         let mut addrs = Vec::with_capacity(servers);
         for node in 0..servers {
             let slice = cluster.shard_node(node).expect("node id in range");
-            let server = Server::bind("127.0.0.1:0", slice, ServerConfig { threads: pool })
+            let server = Server::bind("127.0.0.1:0", slice, mux_config(pool)?)
                 .map_err(|e| format!("binding shard server {node}: {e}"))?;
             addrs.push(server.local_addr().to_string());
             running.push(server.spawn());
@@ -1736,10 +1767,10 @@ pub fn run_distributed(
             Fingerprinter::new(config),
             router,
             addrs,
-            FrontendConfig {
-                threads: pool,
-                ..FrontendConfig::default()
-            },
+            FrontendConfig::builder()
+                .mux_workers(pool)
+                .build()
+                .map_err(|e| e.to_string())?,
         )
         .map_err(|e| format!("binding frontend: {e}"))?
         .spawn();
@@ -1765,6 +1796,238 @@ pub fn run_distributed(
     Ok(DistributedReport {
         scenario: scenario.clone(),
         num_shards: DISTRIBUTED_NUM_SHARDS,
+        trajectories: dataset.records().len(),
+        query_limit,
+        connections,
+        points,
+    })
+}
+
+/// One measured in-process shard count of the multicore scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticorePoint {
+    /// In-process shard cells the server hosted.
+    pub shards: usize,
+    /// The closed-loop load point with no writes in flight, every
+    /// response verified bit-identical against the monolithic index.
+    pub quiet: LoadRun,
+    /// The closed-loop load point measured while a bulk ingest ran
+    /// concurrently (responses are unverifiable mid-mutation, so this
+    /// point reports latency only — the read-under-ingest figure the
+    /// copy-on-write read path exists for).
+    pub under_ingest: LoadRun,
+    /// Trajectories the concurrent ingest pushed during the
+    /// under-ingest point.
+    pub ingested: u64,
+}
+
+/// Everything one multicore-serving run measured: client-observed QPS
+/// and latency against a single server at several in-process shard
+/// counts, quiet and under concurrent ingest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreReport {
+    /// The workload scenario supplying corpus and queries.
+    pub scenario: Scenario,
+    /// Trajectories in the corpus.
+    pub trajectories: usize,
+    /// Result cap used for all queries.
+    pub query_limit: usize,
+    /// Concurrent connections each point drove.
+    pub connections: usize,
+    /// One point per measured shard count.
+    pub points: Vec<MulticorePoint>,
+}
+
+impl MulticoreReport {
+    /// The canonical report file name: `BENCH_multicore.json`.
+    pub fn file_name(&self) -> String {
+        "BENCH_multicore.json".to_string()
+    }
+
+    /// Whether every verified (quiet) response matched the monolithic
+    /// ranking bit for bit and no connection died under ingest.
+    pub fn consistent(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.quiet.mismatches == 0 && p.under_ingest.mismatches == 0)
+    }
+
+    /// Serializes the report. Shares `schema_version` with the workload
+    /// report; the `kind` field marks the different shape, so the ingest
+    /// perf gate rejects a multicore report as a baseline.
+    pub fn to_json(&self) -> Json {
+        let load_json = |p: &LoadRun| {
+            Json::obj(vec![
+                ("requests", Json::Num(p.requests as f64)),
+                ("mismatches", Json::Num(p.mismatches as f64)),
+                ("seconds", Json::Num(round6(p.seconds))),
+                ("qps", Json::Num(round3(p.qps))),
+                (
+                    "latency_ms",
+                    Json::obj(vec![
+                        ("p50", Json::Num(round6(p.p50_ms))),
+                        ("p95", Json::Num(round6(p.p95_ms))),
+                        ("p99", Json::Num(round6(p.p99_ms))),
+                    ]),
+                ),
+            ])
+        };
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("kind", Json::Str("multicore".into())),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("preset", Json::Str(self.scenario.preset.name().into())),
+            ("seed", Json::Num(self.scenario.seed as f64)),
+            (
+                "corpus",
+                Json::obj(vec![("trajectories", Json::Num(self.trajectories as f64))]),
+            ),
+            (
+                "query",
+                Json::obj(vec![
+                    ("count", Json::Num(self.scenario.queries as f64)),
+                    ("limit", Json::Num(self.query_limit as f64)),
+                    ("connections", Json::Num(self.connections as f64)),
+                    ("verified", Json::Bool(true)),
+                    ("consistent", Json::Bool(self.consistent())),
+                ]),
+            ),
+            (
+                "shards",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("shards", Json::Num(p.shards as f64)),
+                                ("quiet", load_json(&p.quiet)),
+                                ("under_ingest", load_json(&p.under_ingest)),
+                                ("ingested", Json::Num(p.ingested as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Id offset for the trajectories the under-ingest phase pushes, far
+/// above any scenario corpus id so the writes never collide with the
+/// served corpus.
+const MULTICORE_INGEST_ID_BASE: u32 = 1 << 30;
+
+/// Runs the multicore-serving scenario end to end on loopback: for
+/// each entry of `shard_counts`, serve the scenario corpus from one
+/// server hosting that many in-process shard cells (a count of `1`
+/// keeps the monolithic lock-based host — the regression baseline) and
+/// drive `connections` closed-loop connections twice — once quiet, with
+/// every response verified **bit-identical** against the in-process
+/// ranking, and once with a concurrent bulk ingest in flight, the
+/// read-latency-under-writes figure the copy-on-write read path exists
+/// for.
+///
+/// # Errors
+///
+/// Bind/connection failures, a refused shard conversion, or any
+/// response mismatch surfacing as a nonzero mismatch count in the
+/// report.
+pub fn run_multicore(
+    scenario: &Scenario,
+    shard_counts: &[usize],
+    connections: usize,
+    seconds_per_point: f64,
+) -> Result<MulticoreReport, String> {
+    assert!(!shard_counts.is_empty(), "need at least one shard count");
+    let dataset = generate(scenario);
+    let items: Vec<(TrajId, &Trajectory)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+
+    let mut monolith = GeodabIndex::new(GeodabConfig::default());
+    monolith.insert_batch(items.clone());
+    let query_limit = VERIFY_LIMIT;
+    let options = SearchOptions::default().limit(query_limit);
+    let queries: Vec<Trajectory> = dataset
+        .queries()
+        .iter()
+        .map(|q| q.trajectory.clone())
+        .collect();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| monolith.search(q, &options))
+        .collect();
+
+    let workers = geodabs_index::batch::default_threads();
+    let duration = Duration::from_secs_f64(seconds_per_point.max(0.05));
+    let mut points = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let mut index = GeodabIndex::new(GeodabConfig::default());
+        index.insert_batch(items.clone());
+        let config = ServerConfig::builder()
+            .shards(shards)
+            .mux_workers(workers)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let running = Server::bind("127.0.0.1:0", index, config)
+            .map_err(|e| format!("binding loopback at {shards} shard(s): {e}"))?
+            .spawn();
+        let addr = running.addr().to_string();
+
+        let quiet = LoadClient::new(addr.clone(), queries.clone(), options)
+            .expect_results(expected.clone())
+            .run(connections, duration)
+            .map_err(|e| format!("quiet load run at {shards} shard(s): {e}"))?;
+
+        // Under-ingest point: one writer streams fresh trajectories
+        // while the readers run. Rankings legitimately shift as the
+        // corpus grows, so this point measures latency, not identity.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let (under, ingested) = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| -> Result<u64, String> {
+                let mut client = Client::connect(addr.as_str())
+                    .map_err(|e| format!("ingest client connect: {e}"))?;
+                let records = dataset.records();
+                let mut pushed = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let record = &records[(pushed as usize) % records.len()];
+                    client
+                        .insert(
+                            TrajId::new(MULTICORE_INGEST_ID_BASE + pushed as u32),
+                            &record.trajectory,
+                        )
+                        .map_err(|e| format!("concurrent ingest insert: {e}"))?;
+                    pushed += 1;
+                }
+                Ok(pushed)
+            });
+            let under = LoadClient::new(addr.clone(), queries.clone(), options)
+                .run(connections, duration)
+                .map_err(|e| format!("under-ingest load run at {shards} shard(s): {e}"));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            match writer.join() {
+                Ok(Ok(pushed)) => (under, pushed),
+                Ok(Err(e)) => (under.and(Err(e)), 0),
+                Err(_) => (under.and(Err("ingest thread panicked".to_string())), 0),
+            }
+        });
+        let under_ingest = under?;
+
+        running
+            .shutdown()
+            .map_err(|e| format!("server shutdown at {shards} shard(s): {e}"))?;
+        points.push(MulticorePoint {
+            shards,
+            quiet,
+            under_ingest,
+            ingested,
+        });
+    }
+
+    Ok(MulticoreReport {
+        scenario: scenario.clone(),
         trajectories: dataset.records().len(),
         query_limit,
         connections,
@@ -2212,6 +2475,45 @@ mod tests {
         assert_eq!(report.file_name(), "BENCH_distributed.json");
         // A distributed report is not a valid ingest-gate baseline.
         assert!(preflight_gate(&scenario, &text, 30.0).is_err());
+    }
+
+    #[test]
+    fn multicore_runner_stays_consistent_quiet_and_under_ingest() {
+        // A scaled-down twin of the catalog scenario so the test suite
+        // stays fast; the CLI runs the 2k catalog entry.
+        let scenario = Scenario {
+            name: MULTICORE.into(),
+            preset: Preset::DenseUrban,
+            corpus: 40,
+            queries: 4,
+            seed: 7,
+        };
+        let report = run_multicore(&scenario, &[1, 2], 2, 0.1).expect("multicore run");
+        assert_eq!(report.trajectories, 40);
+        assert!(report.consistent(), "{report:?}");
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.points[0].shards, 1);
+        assert_eq!(report.points[1].shards, 2);
+        for point in &report.points {
+            assert!(point.quiet.requests > 0, "{point:?}");
+            assert!(point.under_ingest.requests > 0, "{point:?}");
+            assert_eq!(point.quiet.mismatches, 0, "{point:?}");
+            assert_eq!(point.under_ingest.mismatches, 0, "{point:?}");
+            assert!(point.ingested > 0, "the writer made progress: {point:?}");
+        }
+        let text = report.to_json().pretty();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("multicore"));
+        assert_eq!(report.file_name(), "BENCH_multicore.json");
+        // A multicore report is not a valid ingest-gate baseline.
+        assert!(preflight_gate(&scenario, &text, 30.0).is_err());
+    }
+
+    #[test]
+    fn multicore_scenario_is_in_the_catalog() {
+        let scenario = find(MULTICORE).expect("catalog has multicore");
+        assert_eq!(scenario.preset, Preset::DenseUrban);
+        assert_eq!(scenario.corpus, 2_000);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use geodabs_index::store::{
 };
 use geodabs_index::{SearchOptions, SearchResult};
 use geodabs_traj::{TrajId, Trajectory};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::cluster::NodeStore;
 use crate::snapshot::{decode_node, encode_node};
@@ -206,6 +206,50 @@ impl ClusterIndex {
             node_id: node,
             store,
         })
+    }
+
+    /// Reassembles a cluster from the standalone node slices of one
+    /// deployment — the inverse of [`ClusterIndex::shard_node`] over
+    /// every node. `indexed` is the coordinator's id set, passed
+    /// explicitly because it also records ids whose fingerprint set is
+    /// empty (indexed but unreachable by any query), which no node
+    /// replica remembers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, if node `i`'s `node_id` is not `i`,
+    /// if the nodes disagree on config or router shape, or if a node
+    /// holds a replica for an id absent from `indexed` — all states
+    /// that cannot arise from slicing one cluster.
+    pub fn from_shard_nodes(nodes: Vec<ShardNode>, indexed: BTreeSet<TrajId>) -> ClusterIndex {
+        let first = nodes.first().expect("at least one shard node");
+        let fingerprinter = first.fingerprinter;
+        let router = first.router;
+        let stores: Vec<NodeStore> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, node)| {
+                assert_eq!(node.node_id, i, "shard node out of order");
+                assert_eq!(node.fingerprinter.config(), fingerprinter.config());
+                assert_eq!(node.router.num_shards(), router.num_shards());
+                assert_eq!(node.router.num_nodes(), router.num_nodes());
+                assert!(
+                    node.store
+                        .fingerprints
+                        .keys()
+                        .all(|id| indexed.contains(id)),
+                    "shard node holds a replica for an unindexed id"
+                );
+                node.store
+            })
+            .collect();
+        assert_eq!(router.num_nodes(), stores.len(), "one slice per node");
+        ClusterIndex {
+            fingerprinter,
+            router,
+            nodes: stores,
+            indexed,
+        }
     }
 }
 

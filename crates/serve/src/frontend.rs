@@ -15,6 +15,17 @@
 //! coordinator uses, so the distributed ranking is **bit-identical** to
 //! the monolithic one by construction.
 //!
+//! # Lifecycle
+//!
+//! The frontend shares the server's lifecycle shapes: `bind(...)` →
+//! [`Frontend::run`] / [`Frontend::spawn`] →
+//! [`RunningServer`](crate::RunningServer), controlled through the same
+//! [`ServerHandle`](crate::ServerHandle). Client connections are served
+//! by the same multiplexer as the single-process server — a fixed pool
+//! of [`FrontendConfig::mux_workers`] workers sweeping many non-blocking
+//! connections each; every worker owns one lazy private connection per
+//! shard server.
+//!
 //! # Mutations
 //!
 //! `Insert` is fingerprinted once and **broadcast** to every node as a
@@ -46,51 +57,139 @@ use geodabs_index::batch::default_threads;
 use geodabs_index::{SearchOptions, SearchResult};
 use geodabs_traj::TrajId;
 use std::collections::BTreeSet;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use crate::client::Client;
-use crate::proto::{
-    is_timeout, write_frame, FrameReader, QueryBody, Request, Response, StatsBody, WireError,
-    MAX_FRAME_LEN,
-};
+use crate::mux::{self, RESPONSE_TOO_LARGE};
+use crate::proto::{QueryBody, Request, Response, StatsBody, WireError, MAX_FRAME_LEN};
+use crate::server::{RunningServer, ServerConfigError, ServerHandle};
 
 /// Upper bound on hits across one response — the same frame-cap
 /// arithmetic the single-process server enforces.
 const MAX_RESPONSE_HITS: usize = MAX_FRAME_LEN as usize / 12;
 
-/// The error sent when a merged response would blow the frame cap.
-const RESPONSE_TOO_LARGE: &str =
-    "response exceeds the frame cap; narrow the query with a result limit";
-
-/// How often an idle worker wakes up to poll the shutdown flag.
-const IDLE_POLL: Duration = Duration::from_millis(50);
-
-/// Frontend tuning knobs.
-#[derive(Debug, Clone)]
+/// Frontend tuning knobs; build with [`FrontendConfig::builder`].
+///
+/// ```
+/// use geodabs_serve::FrontendConfig;
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), geodabs_serve::ServerConfigError> {
+/// let config = FrontendConfig::builder()
+///     .mux_workers(2)
+///     .retries(3)
+///     .shard_timeout(Some(Duration::from_secs(10)))
+///     .build()?;
+/// assert_eq!(config.mux_workers(), 2);
+/// assert_eq!(config.retries(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrontendConfig {
-    /// Worker threads — also the concurrent client-connection capacity
-    /// (each worker owns its client connection, plus one private
-    /// connection per shard server). Defaults to [`default_threads`].
-    pub threads: usize,
+    mux_workers: usize,
+    retries: u32,
+    shard_timeout: Option<Duration>,
+}
+
+impl FrontendConfig {
+    /// A builder starting from the defaults (one mux worker per core,
+    /// one retry, a five-second shard timeout).
+    pub fn builder() -> FrontendConfigBuilder {
+        FrontendConfigBuilder::default()
+    }
+
+    /// Worker threads in the client-connection multiplexer. Each worker
+    /// sweeps many connections (and owns one private connection per
+    /// shard server), so this sizes parallelism, not the concurrent-
+    /// connection capacity.
+    pub fn mux_workers(&self) -> usize {
+        self.mux_workers
+    }
+
     /// Reconnect-and-retry attempts per shard per request before the
     /// request is refused as [`Response::Unavailable`].
-    pub retries: u32,
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
     /// Read timeout on shard connections: a shard silent for this long
     /// counts as unreachable. `None` waits forever.
-    pub shard_timeout: Option<Duration>,
+    pub fn shard_timeout(&self) -> Option<Duration> {
+        self.shard_timeout
+    }
 }
 
 impl Default for FrontendConfig {
     fn default() -> FrontendConfig {
         FrontendConfig {
-            threads: default_threads(),
+            mux_workers: default_threads(),
             retries: 1,
             shard_timeout: Some(Duration::from_secs(5)),
         }
+    }
+}
+
+/// Chainable builder for [`FrontendConfig`], mirroring
+/// [`ServerConfig::builder`](crate::ServerConfig::builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendConfigBuilder {
+    mux_workers: usize,
+    retries: u32,
+    shard_timeout: Option<Duration>,
+}
+
+impl Default for FrontendConfigBuilder {
+    fn default() -> FrontendConfigBuilder {
+        let defaults = FrontendConfig::default();
+        FrontendConfigBuilder {
+            mux_workers: defaults.mux_workers,
+            retries: defaults.retries,
+            shard_timeout: defaults.shard_timeout,
+        }
+    }
+}
+
+impl FrontendConfigBuilder {
+    /// Sets the multiplexer worker count (see
+    /// [`FrontendConfig::mux_workers`]).
+    pub fn mux_workers(mut self, mux_workers: usize) -> FrontendConfigBuilder {
+        self.mux_workers = mux_workers;
+        self
+    }
+
+    /// Sets the per-shard retry budget (see
+    /// [`FrontendConfig::retries`]).
+    pub fn retries(mut self, retries: u32) -> FrontendConfigBuilder {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the shard read timeout (see
+    /// [`FrontendConfig::shard_timeout`]).
+    pub fn shard_timeout(mut self, shard_timeout: Option<Duration>) -> FrontendConfigBuilder {
+        self.shard_timeout = shard_timeout;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerConfigError::ZeroMuxWorkers`] when the worker count is
+    /// zero.
+    pub fn build(self) -> Result<FrontendConfig, ServerConfigError> {
+        if self.mux_workers == 0 {
+            return Err(ServerConfigError::ZeroMuxWorkers);
+        }
+        Ok(FrontendConfig {
+            mux_workers: self.mux_workers,
+            retries: self.retries,
+            shard_timeout: self.shard_timeout,
+        })
     }
 }
 
@@ -110,85 +209,14 @@ struct FrontendShared {
     requests: AtomicU64,
 }
 
-impl FrontendShared {
-    fn shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
-    }
-}
-
-/// Best-effort poke so a blocked `accept()` observes the shutdown flag.
-fn wake_listener(addr: SocketAddr) {
-    let mut target = addr;
-    if target.ip().is_unspecified() {
-        target.set_ip(match target {
-            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-        });
-    }
-    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(200));
-}
-
-/// Remote control for a bound frontend.
-#[derive(Debug, Clone)]
-pub struct FrontendHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-}
-
-impl FrontendHandle {
-    /// The address the frontend is listening on.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Initiates a clean shutdown (idempotent).
-    pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        wake_listener(self.addr);
-    }
-}
-
 /// A frontend bound to its socket but not yet serving; call
 /// [`Frontend::run`] (blocking) or [`Frontend::spawn`] (background
 /// thread). The module-level docs sketch the topology.
 pub struct Frontend {
     listener: TcpListener,
     addr: SocketAddr,
-    threads: usize,
+    workers: usize,
     shared: Arc<FrontendShared>,
-}
-
-/// A frontend running on a background thread (see [`Frontend::spawn`]).
-pub struct RunningFrontend {
-    handle: FrontendHandle,
-    join: std::thread::JoinHandle<std::io::Result<u64>>,
-}
-
-impl RunningFrontend {
-    /// The address the frontend is listening on.
-    pub fn addr(&self) -> SocketAddr {
-        self.handle.addr()
-    }
-
-    /// A cloneable remote-control handle.
-    pub fn handle(&self) -> FrontendHandle {
-        self.handle.clone()
-    }
-
-    /// Shuts the frontend down and waits for it to drain; returns the
-    /// number of requests served.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the serve loop's I/O error, if it died on one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the serve thread itself panicked.
-    pub fn shutdown(self) -> std::io::Result<u64> {
-        self.handle.shutdown();
-        self.join.join().expect("frontend thread panicked")
-    }
 }
 
 impl Frontend {
@@ -219,21 +247,22 @@ impl Frontend {
         );
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let workers = config.mux_workers().max(1);
         let shared = Arc::new(FrontendShared {
             fingerprinter,
             router,
             shard_addrs,
             indexed: RwLock::new(BTreeSet::new()),
-            retries: config.retries,
-            shard_timeout: config.shard_timeout,
-            workers: config.threads.max(1),
+            retries: config.retries(),
+            shard_timeout: config.shard_timeout(),
+            workers,
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: AtomicU64::new(0),
         });
         Ok(Frontend {
             listener,
             addr,
-            threads: config.threads.max(1),
+            workers,
             shared,
         })
     }
@@ -243,79 +272,40 @@ impl Frontend {
         self.addr
     }
 
-    /// A remote-control handle usable from any thread.
-    pub fn handle(&self) -> FrontendHandle {
-        FrontendHandle {
-            addr: self.addr,
-            shutdown: Arc::clone(&self.shared.shutdown),
-        }
+    /// A remote-control handle usable from any thread — the same
+    /// [`ServerHandle`] a single-process server hands out.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle::new(self.addr, Arc::clone(&self.shared.shutdown))
     }
 
-    /// Serves until [`FrontendHandle::shutdown`]; returns the number of
-    /// requests served. Mirrors the single-process server's acceptor +
-    /// worker-pool loop; each worker additionally owns one lazy
-    /// connection per shard server.
+    /// Serves until [`ServerHandle::shutdown`]; returns the number of
+    /// requests served. Client connections run through the same
+    /// multiplexer as the single-process server; each worker
+    /// additionally owns one lazy connection per shard server.
     ///
     /// # Errors
     ///
     /// Fatal listener errors; per-connection errors only drop that
     /// connection.
     pub fn run(self) -> std::io::Result<u64> {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
         let shared = &self.shared;
-        let mut fatal: Option<std::io::Error> = None;
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads {
-                let rx = Arc::clone(&rx);
-                scope.spawn(move || {
-                    let mut pool = ShardPool::new(shared);
-                    loop {
-                        let conn = rx.lock().expect("receiver lock never poisons").recv();
-                        match conn {
-                            Ok(stream) => handle_connection(stream, shared, &mut pool),
-                            Err(_) => break,
-                        }
-                    }
-                });
-            }
-            let mut error_streak = 0u32;
-            for conn in self.listener.incoming() {
-                if shared.shutting_down() {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => {
-                        error_streak = 0;
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) => {
-                        error_streak += 1;
-                        if error_streak >= 100 {
-                            fatal = Some(e);
-                            shared.shutdown.store(true, Ordering::SeqCst);
-                            break;
-                        }
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                }
-            }
-            drop(tx);
-        });
-        match fatal {
-            Some(e) => Err(e),
-            None => Ok(self.shared.requests.load(Ordering::SeqCst)),
-        }
+        mux::serve_connections(
+            &self.listener,
+            self.workers,
+            &shared.shutdown,
+            &shared.requests,
+            || ShardPool::new(shared),
+            |pool, request| execute(shared, pool, request),
+        )
+        .map(|()| self.shared.requests.load(Ordering::SeqCst))
     }
 
     /// Moves the frontend onto a background thread and returns its
-    /// controls.
-    pub fn spawn(self) -> RunningFrontend {
+    /// controls — a [`RunningServer`], just like [`crate::Server::spawn`].
+    pub fn spawn(self) -> RunningServer {
         let handle = self.handle();
         let join = std::thread::spawn(move || self.run());
-        RunningFrontend { handle, join }
+        RunningServer::from_parts(handle, join)
     }
 }
 
@@ -413,42 +403,6 @@ impl<'a> ShardPool<'a> {
             }
         }
         Ok(responses)
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &FrontendShared, pool: &mut ShardPool<'_>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let mut reader = FrameReader::new(&stream);
-    loop {
-        if shared.shutting_down() {
-            break;
-        }
-        match reader.read_frame() {
-            Ok(None) => break,
-            Ok(Some(payload)) => {
-                let response = match Request::decode(&payload) {
-                    Ok(request) => execute(shared, pool, request),
-                    Err(e) => Response::Error(format!("bad request: {e}")),
-                };
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                if let Err(e) = write_frame(&mut &stream, &response.encode()) {
-                    if matches!(e, WireError::FrameTooLarge { .. }) {
-                        let fallback = Response::Error(RESPONSE_TOO_LARGE.to_string());
-                        if write_frame(&mut &stream, &fallback.encode()).is_ok() {
-                            continue;
-                        }
-                    }
-                    break;
-                }
-            }
-            Err(WireError::Io(e)) if is_timeout(&e) => continue,
-            Err(e) => {
-                let response = Response::Error(format!("bad frame: {e}"));
-                let _ = write_frame(&mut &stream, &response.encode());
-                break;
-            }
-        }
     }
 }
 
@@ -642,11 +596,26 @@ mod tests {
     use geodabs_core::GeodabConfig;
 
     #[test]
-    fn config_defaults() {
+    fn config_builder_validates_and_defaults() {
         let config = FrontendConfig::default();
-        assert_eq!(config.threads, default_threads());
-        assert_eq!(config.retries, 1);
-        assert_eq!(config.shard_timeout, Some(Duration::from_secs(5)));
+        assert_eq!(config.mux_workers(), default_threads());
+        assert_eq!(config.retries(), 1);
+        assert_eq!(config.shard_timeout(), Some(Duration::from_secs(5)));
+
+        let built = FrontendConfig::builder()
+            .mux_workers(3)
+            .retries(2)
+            .shard_timeout(None)
+            .build()
+            .expect("valid config");
+        assert_eq!(built.mux_workers(), 3);
+        assert_eq!(built.retries(), 2);
+        assert_eq!(built.shard_timeout(), None);
+
+        assert_eq!(
+            FrontendConfig::builder().mux_workers(0).build(),
+            Err(ServerConfigError::ZeroMuxWorkers)
+        );
     }
 
     #[test]
@@ -670,10 +639,10 @@ mod tests {
             Fingerprinter::new(GeodabConfig::default()),
             router,
             vec!["127.0.0.1:1".to_string()],
-            FrontendConfig {
-                threads: 2,
-                ..FrontendConfig::default()
-            },
+            FrontendConfig::builder()
+                .mux_workers(2)
+                .build()
+                .expect("valid config"),
         )
         .expect("bind loopback");
         assert_ne!(frontend.local_addr().port(), 0);

@@ -13,13 +13,17 @@
 //!   [`WireError`]s, never panics.
 //! * [`Server`] — hosts any [`ServeBackend`] (the geodab index, the
 //!   geohash baseline, or the sharded cluster — typically warm-started
-//!   from a `GDAB` v2 snapshot) behind a bounded worker pool over
-//!   read-mostly shared state; connections may pipeline requests, and
-//!   shutdown is clean on both an explicit signal and a poisoned write
-//!   lock. With [`Server::with_durability`], every mutation is appended
-//!   to a `geodabs-wal` write-ahead log **before** it is acknowledged,
-//!   and a background thread compacts the log into watermark-stamped
-//!   snapshots without blocking readers.
+//!   from a `GDAB` v2 snapshot) behind a fixed pool of multiplexing
+//!   workers, each sweeping many non-blocking pipelined connections.
+//!   With `ServerConfig::builder().shards(n)` the backend is
+//!   re-partitioned at bind time into a [`ShardedIndex`] — per-core
+//!   shard cells publishing copy-on-write read snapshots, so queries
+//!   never block on ingest while rankings stay bit-identical to the
+//!   monolith. Shutdown is clean on both an explicit signal and a
+//!   poisoned write path. With [`Server::with_durability`], every
+//!   mutation is appended to a `geodabs-wal` write-ahead log **before**
+//!   it is acknowledged, and a background thread compacts the log into
+//!   watermark-stamped snapshots without blocking readers.
 //! * [`Frontend`] — the distributed deployment's coordinator: it
 //!   fingerprints queries, scatters `ShardQuery` frames to remote
 //!   shard servers (each a `Server` hosting a
@@ -66,12 +70,16 @@
 
 mod client;
 mod frontend;
+mod mux;
 pub mod proto;
 mod server;
+mod shards;
 
 pub use client::{percentile, Client, LoadClient, LoadRun};
-pub use frontend::{Frontend, FrontendConfig, FrontendHandle, RunningFrontend};
+pub use frontend::{Frontend, FrontendConfig, FrontendConfigBuilder};
 pub use proto::{DurabilityStats, QueryBody, Request, Response, StatsBody, WireError};
 pub use server::{
-    RunningServer, ServeBackend, Server, ServerConfig, ServerHandle, WAL_SNAPSHOT_FILE,
+    RunningServer, ServeBackend, Server, ServerConfig, ServerConfigBuilder, ServerConfigError,
+    ServerHandle, WAL_SNAPSHOT_FILE,
 };
+pub use shards::ShardedIndex;

@@ -239,6 +239,12 @@ impl<R: Read> FrameReader<R> {
         }
     }
 
+    /// Borrows the underlying stream, e.g. to write responses back over
+    /// the same socket the reader owns.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
     /// Reads the next complete frame's payload, verifying its length and
     /// checksum. Returns `Ok(None)` on a clean close (EOF exactly between
     /// frames).
@@ -379,9 +385,10 @@ pub struct StatsBody {
     pub trajectories: u64,
     /// Distinct terms (active shards for the cluster backend).
     pub terms: u64,
-    /// Worker threads in the server's connection pool — also its
-    /// concurrent-connection capacity, which load generators use to
-    /// flag ladder points that would only measure queueing.
+    /// Worker threads in the server's connection multiplexer. Each
+    /// worker sweeps many connections, so this is a parallelism figure,
+    /// not a concurrent-connection cap; load generators use it to
+    /// report mux saturation (connections per worker).
     pub workers: u64,
     /// Durability state, when it was requested **and** the server runs
     /// with a write-ahead log. `None` from old servers and WAL-less

@@ -1,32 +1,39 @@
-//! The concurrent query server: a bounded thread pool over shared
-//! read-mostly index state.
+//! The concurrent query server: a connection multiplexer over shard-
+//! per-core index state.
 //!
 //! # Threading model
 //!
 //! One acceptor (the thread calling [`Server::run`]) hands accepted
-//! connections to a pool of `threads` workers over an MPSC channel; each
-//! worker owns one connection **for that connection's lifetime** and
-//! answers its frames in order, so clients may pipeline requests
-//! freely. The pool size is therefore also the concurrent-connection
-//! capacity: connection `threads + 1` queues unserved until an earlier
-//! client disconnects — size [`ServerConfig::threads`] to the expected
-//! connection count, not just the core count, for long-lived clients.
-//! The index lives in one [`RwLock`]: queries
-//! (`Ping`/`Stats`/`Query`/`QueryBatch`) take the shared read lock and
-//! run concurrently across workers; writes (`Insert`/`Remove`) take the
-//! exclusive lock. With the default
-//! [`geodabs_index::batch::default_threads`] pool size, every core
-//! answers queries.
+//! connections — switched to non-blocking mode — to a fixed pool of
+//! [`ServerConfig::mux_workers`] multiplexing workers, round-robin.
+//! Each worker *sweeps* many connections per iteration instead of
+//! owning one for its lifetime, so thousands of mostly-idle connections
+//! share a pool sized to the cores and clients may still pipeline
+//! requests freely (frames on one connection are answered in order).
+//!
+//! How the index itself is hosted depends on [`ServerConfig::shards`]:
+//!
+//! * `shards == 1` (the default): the backend lives in one [`RwLock`].
+//!   Queries take the shared read lock; `Insert`/`Remove` take the
+//!   exclusive lock and briefly stall readers.
+//! * `shards > 1`: the backend is re-partitioned into an in-process
+//!   [`ShardedIndex`] — per-core shard cells along the cluster routing
+//!   boundary, each publishing its read state through a copy-on-write
+//!   handle. Queries clone a cell's current `Arc` snapshot and **never
+//!   block on ingest**; the single writer broadcasts each mutation to
+//!   the cells' spare copies and swaps them in. Rankings stay
+//!   bit-identical to the monolithic index because the per-cell top-k
+//!   heaps go through the engine's exact merge.
 //!
 //! # Shutdown
 //!
-//! [`ServerHandle::shutdown`] (or dropping the pipe on a poisoned lock)
-//! flips a shared flag and pokes the listener so the accept loop wakes
-//! up; workers poll the flag on a short read timeout between frames and
-//! drain. If a request handler panics while holding the **write** lock,
-//! the lock is poisoned: every subsequent request is answered with an
-//! error frame and the server initiates the same clean shutdown rather
-//! than serving from possibly half-mutated state.
+//! [`ServerHandle::shutdown`] flips a shared flag and pokes the
+//! listener so the accept loop wakes up; workers poll the flag between
+//! sweeps and drain. If a request handler panics while holding the
+//! **write** lock (or mid-broadcast in the sharded path), the state is
+//! poisoned: every subsequent mutation is answered with an error frame
+//! and the server initiates the same clean shutdown rather than serving
+//! from possibly half-mutated state.
 
 use geodabs_cluster::{ClusterIndex, ShardNode};
 use geodabs_core::Fingerprints;
@@ -39,14 +46,12 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use crate::proto::{
-    is_timeout, write_frame, DurabilityStats, FrameReader, QueryBody, Request, Response, StatsBody,
-    WireError, MAX_FRAME_LEN,
-};
+use crate::mux::{self, RESPONSE_TOO_LARGE};
+use crate::proto::{DurabilityStats, QueryBody, Request, Response, StatsBody, MAX_FRAME_LEN};
+use crate::shards::{self, cluster_scaffold, ShardedIndex};
 
 /// Upper bound on hits across one response (12 wire bytes per hit, so
 /// this is what fits in a frame). Enforced **while the response is
@@ -55,11 +60,8 @@ use crate::proto::{
 /// could never be framed (or OOM-ing the server first).
 const MAX_RESPONSE_HITS: usize = MAX_FRAME_LEN as usize / 12;
 
-/// The error sent when a response would blow the frame cap.
-const RESPONSE_TOO_LARGE: &str =
-    "response exceeds the frame cap; narrow the query with a result limit";
-
-/// How often an idle worker wakes up to poll the shutdown flag.
+/// How often the compaction thread wakes to poll its timer and the
+/// shutdown flag.
 const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// File name of the compacted snapshot inside a WAL directory: boot
@@ -115,6 +117,28 @@ pub trait ServeBackend: Send + Sync + 'static {
         None
     }
 
+    /// Consumes the backend and re-partitions its corpus into an
+    /// in-process [`ShardedIndex`] with `shards` per-core cells — the
+    /// conversion [`Server::bind`] performs when
+    /// [`ServerConfig::shards`] exceeds one. The default refuses, for
+    /// backends whose term vocabulary the cluster router cannot spread
+    /// (the geohash baseline) or whose state is already a single
+    /// node's slice.
+    ///
+    /// # Errors
+    ///
+    /// A message naming why this backend cannot shard in process.
+    fn into_shards(self, shards: usize) -> Result<ShardedIndex, String>
+    where
+        Self: Sized,
+    {
+        let _ = shards;
+        Err(format!(
+            "the {} backend cannot be partitioned into in-process shards",
+            self.backend_name()
+        ))
+    }
+
     /// Answers a frontend's scatter sub-query: score the node-local
     /// slice against the query's full ordered term sequence and return
     /// this node's exact top-k heap (the frontend merges heaps across
@@ -130,7 +154,7 @@ pub trait ServeBackend: Send + Sync + 'static {
         _ordered: &[u32],
         _options: &SearchOptions,
     ) -> Result<Vec<SearchResult>, &'static str> {
-        Err("this backend is not a shard node; start the server with --shard-id")
+        Err(NOT_A_SHARD_NODE)
     }
 
     /// Applies a frontend's broadcast insert: keep the routed subset of
@@ -141,9 +165,12 @@ pub trait ServeBackend: Send + Sync + 'static {
     ///
     /// A static message when the backend is not a shard node.
     fn shard_insert(&mut self, _id: TrajId, _ordered: &[u32]) -> Result<(), &'static str> {
-        Err("this backend is not a shard node; start the server with --shard-id")
+        Err(NOT_A_SHARD_NODE)
     }
 }
+
+/// The refusal for shard frames sent to a non-shard server.
+const NOT_A_SHARD_NODE: &str = "this backend is not a shard node; start the server with --shard-id";
 
 impl ServeBackend for GeodabIndex {
     fn backend_name(&self) -> &'static str {
@@ -181,6 +208,11 @@ impl ServeBackend for GeodabIndex {
 
     fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
         Some(Persist::to_snapshot(self))
+    }
+
+    fn into_shards(self, shards: usize) -> Result<ShardedIndex, String> {
+        let cluster = cluster_scaffold(*self.config(), shards, self.iter_fingerprints())?;
+        Ok(ShardedIndex::from_cluster(cluster))
     }
 }
 
@@ -259,6 +291,12 @@ impl ServeBackend for ClusterIndex {
     fn to_snapshot_bytes(&self) -> Option<Vec<u8>> {
         Some(Persist::to_snapshot(self))
     }
+
+    fn into_shards(mut self, shards: usize) -> Result<ShardedIndex, String> {
+        // Keep the logical shard grid, respread it over `shards` cells.
+        self.resize(shards).map_err(|e| e.to_string())?;
+        Ok(ShardedIndex::from_cluster(self))
+    }
 }
 
 impl ServeBackend for ShardNode {
@@ -315,23 +353,127 @@ impl ServeBackend for ShardNode {
     }
 }
 
-/// Server tuning knobs.
-#[derive(Debug, Clone)]
+/// Server tuning knobs; build with [`ServerConfig::builder`].
+///
+/// ```
+/// use geodabs_serve::ServerConfig;
+///
+/// # fn main() -> Result<(), geodabs_serve::ServerConfigError> {
+/// let config = ServerConfig::builder().shards(4).mux_workers(2).build()?;
+/// assert_eq!(config.shards(), 4);
+/// assert_eq!(config.mux_workers(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Worker threads in the connection pool — also the number of
-    /// connections served concurrently, since a worker owns its
-    /// connection until the client disconnects. Defaults to
-    /// [`default_threads`] — one per core.
-    pub threads: usize,
+    shards: usize,
+    mux_workers: usize,
+}
+
+impl ServerConfig {
+    /// A builder starting from the defaults (one shard, one mux worker
+    /// per core).
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
+    }
+
+    /// In-process shard cells hosting the index. `1` keeps the backend
+    /// monolithic behind a read-write lock; more re-partitions it into
+    /// a [`ShardedIndex`] with a lock-free read path.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Worker threads in the connection multiplexer. Each worker sweeps
+    /// many connections, so this sizes parallelism, not the concurrent-
+    /// connection capacity.
+    pub fn mux_workers(&self) -> usize {
+        self.mux_workers
+    }
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
-            threads: default_threads(),
+            shards: 1,
+            mux_workers: default_threads(),
         }
     }
 }
+
+/// Chainable builder for [`ServerConfig`], mirroring
+/// [`geodabs_core::GeodabConfig::builder`]. All validation happens in
+/// [`ServerConfigBuilder::build`], so setters combine in any order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfigBuilder {
+    shards: usize,
+    mux_workers: usize,
+}
+
+impl Default for ServerConfigBuilder {
+    fn default() -> ServerConfigBuilder {
+        let defaults = ServerConfig::default();
+        ServerConfigBuilder {
+            shards: defaults.shards,
+            mux_workers: defaults.mux_workers,
+        }
+    }
+}
+
+impl ServerConfigBuilder {
+    /// Sets the in-process shard cell count (see
+    /// [`ServerConfig::shards`]).
+    pub fn shards(mut self, shards: usize) -> ServerConfigBuilder {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the multiplexer worker count (see
+    /// [`ServerConfig::mux_workers`]).
+    pub fn mux_workers(mut self, mux_workers: usize) -> ServerConfigBuilder {
+        self.mux_workers = mux_workers;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerConfigError`] when either knob is zero.
+    pub fn build(self) -> Result<ServerConfig, ServerConfigError> {
+        if self.shards == 0 {
+            return Err(ServerConfigError::ZeroShards);
+        }
+        if self.mux_workers == 0 {
+            return Err(ServerConfigError::ZeroMuxWorkers);
+        }
+        Ok(ServerConfig {
+            shards: self.shards,
+            mux_workers: self.mux_workers,
+        })
+    }
+}
+
+/// Why a serving configuration failed to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerConfigError {
+    /// `shards` was zero; the index needs at least one cell.
+    ZeroShards,
+    /// `mux_workers` was zero; nothing would ever answer a frame.
+    ZeroMuxWorkers,
+}
+
+impl std::fmt::Display for ServerConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerConfigError::ZeroShards => write!(f, "shards must be at least 1"),
+            ServerConfigError::ZeroMuxWorkers => write!(f, "mux_workers must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServerConfigError {}
 
 /// Durability state for a serving process: the open write-ahead log
 /// plus the lock-free counters `Stats` reports from read paths.
@@ -368,11 +510,19 @@ impl Durability {
     }
 }
 
+/// How the server hosts its backend: one copy behind a read-write lock
+/// (`shards == 1`), or re-partitioned into per-core shard cells with a
+/// copy-on-write read path (`shards > 1`).
+enum Hosted<B> {
+    Locked(RwLock<B>),
+    Sharded(ShardedIndex),
+}
+
 struct Shared<B> {
-    index: RwLock<B>,
+    index: Hosted<B>,
     addr: SocketAddr,
-    /// Pool size, reported via `Stats` so load generators can flag
-    /// ladder points beyond the concurrent-connection capacity.
+    /// Mux worker count, reported via `Stats` so load generators can
+    /// report saturation (connections per worker).
     workers: usize,
     shutdown: Arc<AtomicBool>,
     requests: AtomicU64,
@@ -405,8 +555,9 @@ fn wake_listener(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&target, Duration::from_millis(200));
 }
 
-/// Remote control for a bound server: carries the address and the
-/// shutdown flag, independent of the backend type.
+/// Remote control for a bound server **or frontend**: carries the
+/// address and the shutdown flag, independent of what serves behind
+/// them.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -414,6 +565,10 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    pub(crate) fn new(addr: SocketAddr, shutdown: Arc<AtomicBool>) -> ServerHandle {
+        ServerHandle { addr, shutdown }
+    }
+
     /// The address the server is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -458,13 +613,21 @@ pub struct Server<B> {
     shared: Arc<Shared<B>>,
 }
 
-/// A server running on a background thread (see [`Server::spawn`]).
+/// A server (or frontend) running on a background thread (see
+/// [`Server::spawn`] / [`crate::Frontend::spawn`]).
 pub struct RunningServer {
     handle: ServerHandle,
     join: std::thread::JoinHandle<std::io::Result<u64>>,
 }
 
 impl RunningServer {
+    pub(crate) fn from_parts(
+        handle: ServerHandle,
+        join: std::thread::JoinHandle<std::io::Result<u64>>,
+    ) -> RunningServer {
+        RunningServer { handle, join }
+    }
+
     /// The address the server is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.handle.addr()
@@ -493,11 +656,16 @@ impl RunningServer {
 
 impl<B: ServeBackend> Server<B> {
     /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port)
-    /// hosting `backend`.
+    /// hosting `backend`. With [`ServerConfig::shards`] above one the
+    /// backend is re-partitioned here, via
+    /// [`ServeBackend::into_shards`], into per-core shard cells with a
+    /// lock-free read path.
     ///
     /// # Errors
     ///
-    /// Any socket-level failure binding the listener.
+    /// Any socket-level failure binding the listener, or
+    /// [`std::io::ErrorKind::InvalidInput`] when the backend refuses
+    /// the requested shard count.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         backend: B,
@@ -505,10 +673,23 @@ impl<B: ServeBackend> Server<B> {
     ) -> std::io::Result<Server<B>> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let index = if config.shards() > 1 {
+            match backend.into_shards(config.shards()) {
+                Ok(sharded) => Hosted::Sharded(sharded),
+                Err(message) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        message,
+                    ))
+                }
+            }
+        } else {
+            Hosted::Locked(RwLock::new(backend))
+        };
         let shared = Arc::new(Shared {
-            index: RwLock::new(backend),
+            index,
             addr,
-            workers: config.threads.max(1),
+            workers: config.mux_workers().max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: AtomicU64::new(0),
             durability: None,
@@ -556,10 +737,7 @@ impl<B: ServeBackend> Server<B> {
 
     /// A remote-control handle usable from any thread.
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle {
-            addr: self.addr,
-            shutdown: Arc::clone(&self.shared.shutdown),
-        }
+        ServerHandle::new(self.addr, Arc::clone(&self.shared.shutdown))
     }
 
     /// Serves until [`ServerHandle::shutdown`] is called (this thread is
@@ -570,55 +748,24 @@ impl<B: ServeBackend> Server<B> {
     /// Fatal listener errors; per-connection errors only drop that
     /// connection.
     pub fn run(self) -> std::io::Result<u64> {
-        let threads = self.config.threads.max(1);
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let workers = self.config.mux_workers().max(1);
         let shared = &self.shared;
-        let mut fatal: Option<std::io::Error> = None;
+        let mut served: std::io::Result<()> = Ok(());
         std::thread::scope(|scope| {
             if let Some(every) = shared.durability.as_ref().and_then(|d| d.compact_every) {
                 scope.spawn(move || compaction_loop(shared, every));
             }
-            for _ in 0..threads {
-                let rx = Arc::clone(&rx);
-                scope.spawn(move || loop {
-                    // Holding the receiver lock only for the recv keeps
-                    // hand-off fair across workers.
-                    let conn = rx.lock().expect("receiver lock never poisons").recv();
-                    match conn {
-                        Ok(stream) => handle_connection(stream, shared),
-                        Err(_) => break,
-                    }
-                });
-            }
-            // Transient accept() errors (a peer resetting mid-handshake)
-            // are retried with a small back-off; a persistent error
-            // streak (e.g. fd exhaustion) is fatal rather than a silent
-            // 100%-CPU spin.
-            let mut error_streak = 0u32;
-            for conn in self.listener.incoming() {
-                if shared.shutting_down() {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => {
-                        error_streak = 0;
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) => {
-                        error_streak += 1;
-                        if error_streak >= 100 {
-                            fatal = Some(e);
-                            shared.shutdown.store(true, Ordering::SeqCst);
-                            break;
-                        }
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                }
-            }
-            drop(tx);
+            served = mux::serve_connections(
+                &self.listener,
+                workers,
+                &shared.shutdown,
+                &shared.requests,
+                || (),
+                |_: &mut (), request| execute(shared, request),
+            );
+            // Release the compaction thread even when the serve loop
+            // exited without flipping the flag itself.
+            shared.shutdown.store(true, Ordering::SeqCst);
         });
         // Clean shutdown flushes the log regardless of sync policy:
         // every acknowledged write survives a graceful stop even under
@@ -630,10 +777,7 @@ impl<B: ServeBackend> Server<B> {
                     .store(wal.last_durable_seq(), Ordering::Relaxed);
             }
         }
-        match fatal {
-            Some(e) => Err(e),
-            None => Ok(self.shared.requests.load(Ordering::SeqCst)),
-        }
+        served.map(|()| self.shared.requests.load(Ordering::SeqCst))
     }
 
     /// Moves the server onto a background thread and returns its
@@ -641,67 +785,25 @@ impl<B: ServeBackend> Server<B> {
     pub fn spawn(self) -> RunningServer {
         let handle = self.handle();
         let join = std::thread::spawn(move || self.run());
-        RunningServer { handle, join }
-    }
-}
-
-fn handle_connection<B: ServeBackend>(stream: TcpStream, shared: &Shared<B>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let mut reader = FrameReader::new(&stream);
-    loop {
-        if shared.shutting_down() {
-            break;
-        }
-        match reader.read_frame() {
-            Ok(None) => break,
-            Ok(Some(payload)) => {
-                let response = match Request::decode(&payload) {
-                    // A panicking handler must not take the worker pool
-                    // (or the whole accept scope) down with it: catch it
-                    // at the request boundary and answer with an error.
-                    // If the panic struck under the write lock, the lock
-                    // is now poisoned and the next lock acquisition
-                    // triggers the clean shutdown path.
-                    Ok(request) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        execute(shared, request)
-                    }))
-                    .unwrap_or_else(|_| Response::Error("request handler panicked".to_string())),
-                    Err(e) => Response::Error(format!("bad request: {e}")),
-                };
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                if let Err(e) = write_frame(&mut &stream, &response.encode()) {
-                    // write_frame validates the cap before touching the
-                    // socket, so an oversized response (a batch of many
-                    // empty rankings can exceed the cap on record
-                    // overhead alone) can still be answered with a
-                    // small typed error instead of a silent hang-up.
-                    if matches!(e, WireError::FrameTooLarge { .. }) {
-                        let fallback = Response::Error(RESPONSE_TOO_LARGE.to_string());
-                        if write_frame(&mut &stream, &fallback.encode()).is_ok() {
-                            continue;
-                        }
-                    }
-                    break;
-                }
-            }
-            Err(WireError::Io(e)) if is_timeout(&e) => continue,
-            Err(e) => {
-                // Framing is lost (bad checksum, oversized length, EOF
-                // mid-frame): answer best-effort, then drop the
-                // connection — later bytes cannot be trusted.
-                let response = Response::Error(format!("bad frame: {e}"));
-                let _ = write_frame(&mut &stream, &response.encode());
-                break;
-            }
-        }
+        RunningServer::from_parts(handle, join)
     }
 }
 
 fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
+    match &shared.index {
+        Hosted::Locked(index) => execute_locked(shared, index, request),
+        Hosted::Sharded(sharded) => execute_sharded(shared, sharded, request),
+    }
+}
+
+fn execute_locked<B: ServeBackend>(
+    shared: &Shared<B>,
+    lock: &RwLock<B>,
+    request: Request,
+) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Stats { durability } => match shared.index.read() {
+        Request::Stats { durability } => match lock.read() {
             Ok(index) => Response::Stats(StatsBody {
                 backend: index.backend_name().to_string(),
                 trajectories: index.len() as u64,
@@ -717,7 +819,7 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
             }),
             Err(_) => poisoned(shared),
         },
-        Request::Query { query, options } => match shared.index.read() {
+        Request::Query { query, options } => match lock.read() {
             Ok(index) => match run_query(&*index, &query, &options) {
                 Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
                     Response::Error(RESPONSE_TOO_LARGE.to_string())
@@ -727,7 +829,7 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
             },
             Err(_) => poisoned(shared),
         },
-        Request::QueryBatch { queries, options } => match shared.index.read() {
+        Request::QueryBatch { queries, options } => match lock.read() {
             Ok(index) => {
                 let mut batches = Vec::with_capacity(queries.len());
                 let mut total_hits = 0usize;
@@ -750,7 +852,7 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
             }
             Err(_) => poisoned(shared),
         },
-        Request::Insert { id, trajectory } => match shared.index.write() {
+        Request::Insert { id, trajectory } => match lock.write() {
             Ok(mut index) => {
                 if let Err(message) = log_op(
                     shared,
@@ -768,7 +870,7 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
             }
             Err(_) => poisoned(shared),
         },
-        Request::Remove { id } => match shared.index.write() {
+        Request::Remove { id } => match lock.write() {
             Ok(mut index) => {
                 if let Err(message) = log_op(shared, &WalOp::Remove { id }) {
                     return Response::Error(message);
@@ -779,7 +881,7 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
             }
             Err(_) => poisoned(shared),
         },
-        Request::ShardQuery { terms, options } => match shared.index.read() {
+        Request::ShardQuery { terms, options } => match lock.read() {
             Ok(index) => match index.shard_query(&terms, &options) {
                 Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
                     Response::Error(RESPONSE_TOO_LARGE.to_string())
@@ -789,7 +891,7 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
             },
             Err(_) => poisoned(shared),
         },
-        Request::ShardInsert { id, terms } => match shared.index.write() {
+        Request::ShardInsert { id, terms } => match lock.write() {
             Ok(mut index) => {
                 // Shard support is a static property of the backend:
                 // probe it through the read-only hook first, so an
@@ -819,11 +921,104 @@ fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
     }
 }
 
+/// The sharded request path: queries run lock-free against cell
+/// snapshots; mutations funnel through the sharded writer with the WAL
+/// append inside the write critical section (log order = apply order,
+/// exactly like the locked path).
+fn execute_sharded<B>(shared: &Shared<B>, sharded: &ShardedIndex, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats { durability } => Response::Stats(StatsBody {
+            backend: "sharded".to_string(),
+            trajectories: sharded.len(),
+            terms: sharded.term_count(),
+            workers: shared.workers as u64,
+            durability: match durability {
+                true => shared.durability.as_ref().map(Durability::stats),
+                false => None,
+            },
+        }),
+        Request::Query { query, options } => {
+            let hits = sharded_query(sharded, &query, &options);
+            if hits.len() > MAX_RESPONSE_HITS {
+                Response::Error(RESPONSE_TOO_LARGE.to_string())
+            } else {
+                Response::Hits(hits)
+            }
+        }
+        Request::QueryBatch { queries, options } => {
+            let mut batches = Vec::with_capacity(queries.len());
+            let mut total_hits = 0usize;
+            for query in &queries {
+                let hits = sharded_query(sharded, query, &options);
+                total_hits += hits.len();
+                if total_hits > MAX_RESPONSE_HITS {
+                    return Response::Error(RESPONSE_TOO_LARGE.to_string());
+                }
+                batches.push(hits);
+            }
+            Response::HitsBatch(batches)
+        }
+        Request::Insert { id, trajectory } => {
+            let logged = sharded.insert_logged(id, &trajectory, || {
+                log_op(
+                    shared,
+                    &WalOp::Insert {
+                        id,
+                        trajectory: trajectory.clone(),
+                    },
+                )
+            });
+            match logged {
+                Ok(len) => Response::Inserted { len },
+                Err(message) => refused(shared, message),
+            }
+        }
+        Request::Remove { id } => {
+            match sharded.remove_logged(id, || log_op(shared, &WalOp::Remove { id })) {
+                Ok(was_present) => Response::Removed { was_present },
+                Err(message) => refused(shared, message),
+            }
+        }
+        // The sharded cells are an internal layout, not cluster nodes a
+        // frontend may address: refuse shard frames like any other
+        // non-shard backend.
+        Request::ShardQuery { .. } | Request::ShardInsert { .. } => {
+            Response::Error(NOT_A_SHARD_NODE.to_string())
+        }
+    }
+}
+
+/// Maps a refused sharded mutation: a poisoned writer (a mutation
+/// panicked mid-broadcast, so the cells may disagree) shuts the server
+/// down like a poisoned write lock; a failed log append refuses just
+/// this op.
+fn refused<B>(shared: &Shared<B>, message: String) -> Response {
+    if message == shards::POISONED {
+        return poisoned(shared);
+    }
+    Response::Error(message)
+}
+
+fn sharded_query(
+    sharded: &ShardedIndex,
+    query: &QueryBody,
+    options: &SearchOptions,
+) -> Vec<SearchResult> {
+    match query {
+        QueryBody::Trajectory(trajectory) => sharded.search(trajectory, options),
+        QueryBody::Fingerprints(ordered) => {
+            sharded.search_fingerprints(&Fingerprints::from_ordered(ordered.clone()), options)
+        }
+    }
+}
+
 /// Appends one mutation to the write-ahead log (when one is configured)
-/// and waits for it to be durable per the sync policy. Called **under
-/// the index write lock**, so log order and apply order agree. On
-/// error the caller must refuse the write without applying it: a
-/// mutation is either logged-then-applied or rejected whole.
+/// and waits for it to be durable per the sync policy. Called **inside
+/// the write critical section** (the index write lock, or the sharded
+/// writer), so log order and apply order agree. On error the caller
+/// must refuse the write without applying it: a mutation is either
+/// logged-then-applied or rejected whole.
 fn log_op<B>(shared: &Shared<B>, op: &WalOp) -> Result<(), String> {
     let Some(d) = &shared.durability else {
         return Ok(());
@@ -858,34 +1053,59 @@ fn compaction_loop<B: ServeBackend>(shared: &Shared<B>, every: Duration) {
 /// watermark-stamped snapshot, swap it in atomically (tmp file →
 /// fsync → rename → fsync-of-dir), then prune the folded segments.
 /// Readers are never blocked; writers only wait during the in-memory
-/// serialization under the brief shared lock — the "consistent view".
-/// Returns whether a snapshot landed (`false` when there was nothing
-/// new to fold or the backend has no snapshot support).
+/// serialization — under the brief shared lock for a monolithic
+/// backend, under the sharded writer mutex (which also freezes WAL
+/// appends) for a sharded one. Returns whether a snapshot landed
+/// (`false` when there was nothing new to fold or the backend has no
+/// snapshot support).
 fn compact<B: ServeBackend>(shared: &Shared<B>) -> Result<bool, String> {
     let Some(d) = &shared.durability else {
         return Ok(false);
     };
     let (bytes, watermark) = {
-        let index = shared
-            .index
-            .read()
-            .map_err(|_| "server index is poisoned".to_string())?;
-        let mut wal = d
-            .wal
-            .lock()
-            .map_err(|_| "write-ahead log is poisoned".to_string())?;
-        if wal.last_seq() <= d.watermark.load(Ordering::Relaxed) {
-            return Ok(false);
+        // Rotating under the same lock(s) as the serialization ties the
+        // watermark to exactly the records the serialized state covers.
+        match &shared.index {
+            Hosted::Locked(lock) => {
+                let index = lock
+                    .read()
+                    .map_err(|_| "server index is poisoned".to_string())?;
+                let mut wal = d
+                    .wal
+                    .lock()
+                    .map_err(|_| "write-ahead log is poisoned".to_string())?;
+                if wal.last_seq() <= d.watermark.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+                let Some(bytes) = index.to_snapshot_bytes() else {
+                    return Ok(false);
+                };
+                let watermark = wal
+                    .rotate()
+                    .map_err(|e| format!("write-ahead log rotation failed: {e}"))?;
+                (bytes, watermark)
+            }
+            Hosted::Sharded(sharded) => {
+                // The writer guard freezes mutations *and* their WAL
+                // appends (appends happen inside the write critical
+                // section), so holding it across assembly and rotation
+                // leaves the rotated tail with exactly the ops the
+                // snapshot does not cover.
+                let writer = sharded.lock_writes()?;
+                let mut wal = d
+                    .wal
+                    .lock()
+                    .map_err(|_| "write-ahead log is poisoned".to_string())?;
+                if wal.last_seq() <= d.watermark.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+                let bytes = sharded.snapshot_locked(&writer);
+                let watermark = wal
+                    .rotate()
+                    .map_err(|e| format!("write-ahead log rotation failed: {e}"))?;
+                (bytes, watermark)
+            }
         }
-        let Some(bytes) = index.to_snapshot_bytes() else {
-            return Ok(false);
-        };
-        // Rotating under the same lock ties the watermark to exactly
-        // the records the serialized state covers.
-        let watermark = wal
-            .rotate()
-            .map_err(|e| format!("write-ahead log rotation failed: {e}"))?;
-        (bytes, watermark)
     };
     let stamped = store::with_watermark(&bytes, watermark)
         .map_err(|e| format!("stamping the snapshot watermark failed: {e}"))?;
@@ -929,7 +1149,7 @@ fn run_query<B: ServeBackend>(
     }
 }
 
-/// A write-lock panic left the index in an unknown state: refuse to
+/// A write-path panic left the index in an unknown state: refuse to
 /// serve from it and shut the server down cleanly (flag **and**
 /// listener wake-up, so the acceptor does not sit in `accept()` waiting
 /// for an unrelated connection to notice).
@@ -944,9 +1164,28 @@ mod tests {
     use geodabs_core::GeodabConfig;
 
     #[test]
-    fn config_defaults_to_all_cores() {
-        assert_eq!(ServerConfig::default().threads, default_threads());
-        assert!(ServerConfig::default().threads >= 1);
+    fn config_builder_validates_and_defaults_to_all_cores() {
+        let config = ServerConfig::default();
+        assert_eq!(config.mux_workers(), default_threads());
+        assert_eq!(config.shards(), 1);
+        assert!(config.mux_workers() >= 1);
+
+        let built = ServerConfig::builder()
+            .shards(4)
+            .mux_workers(2)
+            .build()
+            .expect("valid config");
+        assert_eq!(built.shards(), 4);
+        assert_eq!(built.mux_workers(), 2);
+
+        assert_eq!(
+            ServerConfig::builder().shards(0).build(),
+            Err(ServerConfigError::ZeroShards)
+        );
+        assert_eq!(
+            ServerConfig::builder().mux_workers(0).build(),
+            Err(ServerConfigError::ZeroMuxWorkers)
+        );
     }
 
     #[test]
@@ -968,10 +1207,36 @@ mod tests {
     }
 
     #[test]
+    fn into_shards_partitions_geodab_and_cluster_but_not_geohash() {
+        let geodab = GeodabIndex::new(GeodabConfig::default());
+        let sharded = geodab.into_shards(4).expect("geodab shards");
+        assert_eq!(sharded.shards(), 4);
+
+        let cluster = ClusterIndex::new(GeodabConfig::default(), 100, 2).unwrap();
+        let sharded = cluster.into_shards(3).expect("cluster re-shards");
+        assert_eq!(sharded.shards(), 3);
+
+        let geohash = GeohashIndex::new(36);
+        let err = geohash.into_shards(2).expect_err("geohash refuses");
+        assert!(err.contains("geohash"));
+    }
+
+    #[test]
+    fn binding_with_unshardable_backend_is_invalid_input() {
+        let geohash = GeohashIndex::new(36);
+        let config = ServerConfig::builder().shards(2).build().unwrap();
+        let err = match Server::bind("127.0.0.1:0", geohash, config) {
+            Ok(_) => panic!("an unshardable backend must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
     fn bind_run_shutdown_without_traffic() {
         let index = GeodabIndex::new(GeodabConfig::default());
-        let server =
-            Server::bind("127.0.0.1:0", index, ServerConfig { threads: 2 }).expect("bind loopback");
+        let config = ServerConfig::builder().mux_workers(2).build().unwrap();
+        let server = Server::bind("127.0.0.1:0", index, config).expect("bind loopback");
         assert_ne!(server.local_addr().port(), 0);
         let running = server.spawn();
         let served = running.shutdown().expect("clean shutdown");

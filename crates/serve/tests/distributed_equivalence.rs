@@ -12,7 +12,7 @@ use geodabs_geo::Point;
 use geodabs_index::store::Persist;
 use geodabs_index::{GeodabIndex, SearchOptions, SearchResult, TrajectoryIndex};
 use geodabs_serve::{
-    Client, Frontend, FrontendConfig, QueryBody, Request, Response, RunningFrontend, Server,
+    Client, Frontend, FrontendConfig, QueryBody, Request, Response, RunningServer, Server,
     ServerConfig, WireError,
 };
 use geodabs_traj::{TrajId, Trajectory};
@@ -61,13 +61,17 @@ fn queries() -> Vec<Trajectory> {
 
 /// Boots `nodes` shard servers hosting the given [`ShardNode`] slices
 /// plus a frontend over them, all on OS-assigned loopback ports.
-fn boot(slices: Vec<ShardNode>) -> (Vec<geodabs_serve::RunningServer>, RunningFrontend) {
+fn boot(slices: Vec<ShardNode>) -> (Vec<RunningServer>, RunningServer) {
     let nodes = slices.len();
     let mut servers = Vec::with_capacity(nodes);
     let mut addrs = Vec::with_capacity(nodes);
     for slice in slices {
-        let server = Server::bind("127.0.0.1:0", slice, ServerConfig { threads: 4 })
-            .expect("bind shard server");
+        let server = Server::bind(
+            "127.0.0.1:0",
+            slice,
+            ServerConfig::builder().mux_workers(4).build().unwrap(),
+        )
+        .expect("bind shard server");
         addrs.push(server.local_addr().to_string());
         servers.push(server.spawn());
     }
@@ -78,10 +82,7 @@ fn boot(slices: Vec<ShardNode>) -> (Vec<geodabs_serve::RunningServer>, RunningFr
         Fingerprinter::new(config),
         router,
         addrs,
-        FrontendConfig {
-            threads: 4,
-            ..FrontendConfig::default()
-        },
+        FrontendConfig::builder().mux_workers(4).build().unwrap(),
     )
     .expect("bind frontend")
     .spawn();
@@ -299,9 +300,13 @@ fn killed_shard_yields_typed_unavailable_and_the_frontend_recovers() {
 
     // Bring the shard back on the same port: the frontend redials on
     // the next request and recovers without a restart.
-    let reborn = Server::bind(node0_addr, spare, ServerConfig { threads: 4 })
-        .expect("rebind shard 0")
-        .spawn();
+    let reborn = Server::bind(
+        node0_addr,
+        spare,
+        ServerConfig::builder().mux_workers(4).build().unwrap(),
+    )
+    .expect("rebind shard 0")
+    .spawn();
     let mut recovered = Err(WireError::Closed);
     for _ in 0..20 {
         recovered = client.query(query, &options);

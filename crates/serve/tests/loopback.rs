@@ -64,9 +64,13 @@ fn four_concurrent_pipelined_clients_get_bit_identical_rankings() {
         .map(|q| reference.search(q, &options))
         .collect();
 
-    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 4 })
-        .expect("bind loopback")
-        .spawn();
+    let running = Server::bind(
+        "127.0.0.1:0",
+        build_index(),
+        ServerConfig::builder().mux_workers(4).build().unwrap(),
+    )
+    .expect("bind loopback")
+    .spawn();
     let addr = running.addr();
 
     std::thread::scope(|scope| {
@@ -109,9 +113,13 @@ fn batch_fingerprint_and_mutation_requests_match_in_process_state() {
     let options = SearchOptions::default().limit(5);
     let queries = queries();
 
-    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 2 })
-        .expect("bind loopback")
-        .spawn();
+    let running = Server::bind(
+        "127.0.0.1:0",
+        build_index(),
+        ServerConfig::builder().mux_workers(2).build().unwrap(),
+    )
+    .expect("bind loopback")
+    .spawn();
     let mut client = Client::connect(running.addr()).expect("connect");
 
     // Batch query ≡ per-query loop on the in-process index.
@@ -160,9 +168,13 @@ fn cluster_backend_serves_identically_to_monolithic() {
     let reference = build_index();
     let options = SearchOptions::default().limit(10);
 
-    let running = Server::bind("127.0.0.1:0", cluster, ServerConfig { threads: 2 })
-        .expect("bind loopback")
-        .spawn();
+    let running = Server::bind(
+        "127.0.0.1:0",
+        cluster,
+        ServerConfig::builder().mux_workers(2).build().unwrap(),
+    )
+    .expect("bind loopback")
+    .spawn();
     let mut client = Client::connect(running.addr()).expect("connect");
     for query in queries() {
         let hits = client.query(&query, &options).expect("query");
@@ -182,9 +194,13 @@ fn load_client_reports_traffic_and_zero_mismatches() {
         .map(|q| reference.search(q, &options))
         .collect();
 
-    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 4 })
-        .expect("bind loopback")
-        .spawn();
+    let running = Server::bind(
+        "127.0.0.1:0",
+        build_index(),
+        ServerConfig::builder().mux_workers(4).build().unwrap(),
+    )
+    .expect("bind loopback")
+    .spawn();
     let load =
         LoadClient::new(running.addr().to_string(), queries, options).expect_results(expected);
     let run = load.run(4, Duration::from_millis(300)).expect("load run");
@@ -199,9 +215,13 @@ fn load_client_reports_traffic_and_zero_mismatches() {
 
 #[test]
 fn malformed_frames_get_an_error_response_and_the_server_survives() {
-    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 2 })
-        .expect("bind loopback")
-        .spawn();
+    let running = Server::bind(
+        "127.0.0.1:0",
+        build_index(),
+        ServerConfig::builder().mux_workers(2).build().unwrap(),
+    )
+    .expect("bind loopback")
+    .spawn();
 
     // Hand-write a frame whose checksum is wrong: the server answers
     // with a typed error frame, then drops that connection.
@@ -273,7 +293,7 @@ fn poisoned_write_lock_shuts_the_server_down_cleanly() {
     let running = Server::bind(
         "127.0.0.1:0",
         PanicOnInsert(build_index()),
-        ServerConfig { threads: 2 },
+        ServerConfig::builder().mux_workers(2).build().unwrap(),
     )
     .expect("bind loopback")
     .spawn();
@@ -319,14 +339,18 @@ fn acked_writes_survive_restart_and_compaction_advances_the_watermark() {
     let corpus_len = corpus().len() as u64;
 
     // Phase 1: a durable server; every ack implies the WAL has synced.
-    let running = Server::bind("127.0.0.1:0", build_index(), ServerConfig { threads: 2 })
-        .expect("bind loopback")
-        .with_durability(
-            Wal::open(&dir, SyncPolicy::Always).expect("open wal"),
-            0,
-            Some(Duration::from_millis(20)),
-        )
-        .spawn();
+    let running = Server::bind(
+        "127.0.0.1:0",
+        build_index(),
+        ServerConfig::builder().mux_workers(2).build().unwrap(),
+    )
+    .expect("bind loopback")
+    .with_durability(
+        Wal::open(&dir, SyncPolicy::Always).expect("open wal"),
+        0,
+        Some(Duration::from_millis(20)),
+    )
+    .spawn();
     let addr = running.addr();
 
     let mut client = Client::connect(addr).expect("connect");

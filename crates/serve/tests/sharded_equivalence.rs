@@ -1,0 +1,349 @@
+//! Sharded-server equivalence and stress tests: a server partitioned
+//! into in-process shards must serve rankings **bit-identical** to the
+//! monolithic engine — while queries keep completing (and keep
+//! matching) under concurrent ingest, over a mux pool far smaller than
+//! the connection count, and through the WAL restart path.
+
+use geodabs_cluster::ClusterIndex;
+use geodabs_core::GeodabConfig;
+use geodabs_geo::Point;
+use geodabs_index::store::{self, Persist};
+use geodabs_index::{GeodabIndex, SearchOptions, SearchResult, TrajectoryIndex};
+use geodabs_serve::{Client, LoadClient, Server, ServerConfig, ShardedIndex, WAL_SNAPSHOT_FILE};
+use geodabs_traj::{TrajId, Trajectory};
+use geodabs_wal::{SyncPolicy, Wal, WalOp};
+use std::time::Duration;
+
+fn eastward(n: usize, offset_m: f64) -> Trajectory {
+    let start = Point::new(51.5074, -0.1278).unwrap();
+    (0..n)
+        .map(|i| start.destination(90.0, offset_m + i as f64 * 90.0))
+        .collect()
+}
+
+/// Forward/reverse pairs at several offsets: queries see real rankings
+/// with ties, so a merge-order bug cannot hide.
+fn corpus() -> Vec<(TrajId, Trajectory)> {
+    let mut items = Vec::new();
+    for route in 0..10u32 {
+        let path = eastward(40, route as f64 * 400.0);
+        items.push((TrajId::new(route * 2), path.clone()));
+        items.push((TrajId::new(route * 2 + 1), path.reversed()));
+    }
+    items
+}
+
+fn build_index() -> GeodabIndex {
+    let mut index = GeodabIndex::new(GeodabConfig::default());
+    for (id, trajectory) in corpus() {
+        index.insert(id, &trajectory);
+    }
+    index
+}
+
+fn queries() -> Vec<Trajectory> {
+    (0..8)
+        .map(|i| {
+            eastward(40, i as f64 * 400.0)
+                .iter()
+                .map(|p| p.destination(45.0, 6.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn sharded_config(shards: usize, mux_workers: usize) -> ServerConfig {
+    ServerConfig::builder()
+        .shards(shards)
+        .mux_workers(mux_workers)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn sharded_server_rankings_and_mutations_match_the_monolith() {
+    let mut reference = build_index();
+    let options = SearchOptions::default().limit(10);
+
+    let running = Server::bind("127.0.0.1:0", build_index(), sharded_config(3, 2))
+        .expect("bind sharded loopback")
+        .spawn();
+    let mut client = Client::connect(running.addr()).expect("connect");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.backend, "sharded");
+    assert_eq!(
+        stats.trajectories as usize,
+        TrajectoryIndex::len(&reference)
+    );
+
+    for query in queries() {
+        let hits = client.query(&query, &options).expect("query");
+        assert_eq!(hits, reference.search(&query, &options));
+    }
+
+    // Mutations route through the sharded write path and must leave the
+    // served state bit-identical to the same edits applied in process.
+    let fresh = eastward(35, 4_400.0);
+    let count = client.insert(TrajId::new(64), &fresh).expect("insert");
+    reference.insert(TrajId::new(64), &fresh);
+    assert_eq!(count as usize, TrajectoryIndex::len(&reference));
+    assert!(client.remove(TrajId::new(3)).expect("remove"));
+    assert!(reference.remove(TrajId::new(3)));
+    assert!(!client.remove(TrajId::new(3)).expect("re-remove"));
+    // Replacing an id recycles its interner slot on every cell.
+    let reshaped = eastward(35, 4_800.0);
+    client.insert(TrajId::new(64), &reshaped).expect("replace");
+    reference.insert(TrajId::new(64), &reshaped);
+
+    for query in queries().iter().chain([&fresh, &reshaped]) {
+        let hits = client.query(query, &options).expect("query after edits");
+        assert_eq!(hits, reference.search(query, &options));
+    }
+    running.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn sixty_four_connections_over_two_mux_workers_see_zero_mismatches() {
+    let reference = build_index();
+    let options = SearchOptions::default().limit(10);
+    let queries = queries();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| reference.search(q, &options))
+        .collect();
+
+    // 32× more connections than mux workers: the event loop must keep
+    // every socket progressing, in order, with no dropped frames.
+    let running = Server::bind("127.0.0.1:0", build_index(), sharded_config(2, 2))
+        .expect("bind sharded loopback")
+        .spawn();
+    let load =
+        LoadClient::new(running.addr().to_string(), queries, options).expect_results(expected);
+    let run = load.run(64, Duration::from_millis(500)).expect("load run");
+    assert_eq!(run.connections, 64);
+    assert!(
+        run.requests >= 64,
+        "every connection completed work: {run:?}"
+    );
+    assert_eq!(run.mismatches, 0, "{run:?}");
+    let served = running.shutdown().expect("clean shutdown");
+    assert!(served >= run.requests);
+}
+
+#[test]
+fn queries_never_block_and_never_diverge_under_concurrent_ingest() {
+    let reference = build_index();
+    let options = SearchOptions::default().limit(10);
+    let queries = queries();
+    let expected: Vec<Vec<SearchResult>> = queries
+        .iter()
+        .map(|q| reference.search(q, &options))
+        .collect();
+
+    let running = Server::bind("127.0.0.1:0", build_index(), sharded_config(4, 3))
+        .expect("bind sharded loopback")
+        .spawn();
+    let addr = running.addr();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let ingested = std::thread::scope(|scope| {
+        // A writer hammers inserts of geographically disjoint
+        // trajectories (no term overlap with the queries), so the
+        // expected rankings stay frozen while the copy-on-write cells
+        // churn underneath the readers.
+        let writer = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("writer connect");
+            let mut pushed = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let trajectory = eastward(25, 500_000.0 + pushed as f64 * 300.0);
+                client
+                    .insert(TrajId::new(10_000 + pushed), &trajectory)
+                    .expect("ingest insert acked");
+                pushed += 1;
+            }
+            pushed
+        });
+
+        let mut readers = Vec::new();
+        for reader_index in 0..3usize {
+            let queries = &queries;
+            let expected = &expected;
+            readers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connect");
+                for round in 0..40 {
+                    let qi = (round + reader_index) % queries.len();
+                    let hits = client.query(&queries[qi], &options).expect("query");
+                    assert_eq!(hits, expected[qi], "reader {reader_index} round {round}");
+                }
+            }));
+        }
+        for reader in readers {
+            reader.join().expect("reader thread");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().expect("writer thread")
+    });
+    assert!(ingested > 0, "the writer made progress during the reads");
+
+    // After the churn the ingested ids are all queryable.
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.trajectories,
+        corpus().len() as u64 + u64::from(ingested)
+    );
+    running.shutdown().expect("clean shutdown");
+}
+
+/// A fresh per-test WAL directory under the target-adjacent temp root.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "geodabs-serve-sharded-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create wal dir");
+    dir
+}
+
+#[test]
+fn sharded_acked_writes_survive_restart_via_cluster_snapshot() {
+    let dir = wal_dir("e2e");
+
+    let running = Server::bind("127.0.0.1:0", build_index(), sharded_config(2, 2))
+        .expect("bind sharded loopback")
+        .with_durability(
+            Wal::open(&dir, SyncPolicy::Always).expect("open wal"),
+            0,
+            Some(Duration::from_millis(20)),
+        )
+        .spawn();
+    let mut client = Client::connect(running.addr()).expect("connect");
+
+    let mut acked = Vec::new();
+    for i in 0..8u32 {
+        let id = TrajId::new(200 + i);
+        let trajectory = eastward(30, 6_000.0 + i as f64 * 250.0);
+        client.insert(id, &trajectory).expect("insert acked");
+        acked.push((id, trajectory));
+    }
+    assert!(client.remove(TrajId::new(205)).expect("remove acked"));
+
+    // Background compaction folds the sharded state into a *cluster*
+    // snapshot without ever stalling this reader.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let watermark = loop {
+        let stats = client.stats_durable().expect("stats");
+        let durability = stats.durability.expect("durability stats present");
+        if durability.snapshot_watermark >= 9 {
+            break durability.snapshot_watermark;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sharded compaction never advanced the watermark: {durability:?}"
+        );
+        client.ping().expect("reads stay live during compaction");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    running.shutdown().expect("clean shutdown");
+
+    // Restart: the compaction artifact is a cluster snapshot, replayed
+    // with the WAL suffix exactly like a cold boot would.
+    let bytes = std::fs::read(dir.join(WAL_SNAPSHOT_FILE)).expect("compacted snapshot exists");
+    assert_eq!(
+        store::watermark(&bytes).expect("stamped snapshot"),
+        Some(watermark)
+    );
+    let mut restored = ClusterIndex::from_snapshot(&bytes).expect("load cluster snapshot");
+    for record in Wal::records(&dir).expect("replayable wal") {
+        if record.seq <= watermark {
+            continue;
+        }
+        match record.op {
+            WalOp::Insert { id, trajectory } => restored.insert(id, &trajectory),
+            WalOp::Remove { id } => {
+                restored.remove(id);
+            }
+            WalOp::InsertFingerprints { .. } => {
+                panic!("a sharded server logs whole-trajectory ops")
+            }
+        }
+    }
+
+    let mut reference = build_index();
+    for (id, trajectory) in &acked {
+        reference.insert(*id, trajectory);
+    }
+    reference.remove(TrajId::new(205));
+    assert_eq!(restored.len(), TrajectoryIndex::len(&reference));
+    let options = SearchOptions::default().limit(10);
+    for query in queries().iter().chain(acked.iter().map(|(_, t)| t)) {
+        assert_eq!(
+            restored.search(query, &options),
+            reference.search(query, &options),
+            "restored sharded state diverged from the reference"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+mod equivalence {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The in-process sharded index (copy-on-write cells, merged
+        /// per-cell heaps) returns exactly what a monolithic index over
+        /// the same fingerprints would — including after removals and
+        /// re-inserts that recycle interner slots — for any workload,
+        /// cell count and options.
+        #[test]
+        fn sharded_equals_monolithic_on_random_mutations(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u32..5_000, 0..30), 1..40),
+            query in proptest::collection::vec(0u32..5_000, 0..30),
+            cells in 1usize..8,
+            limit in 0usize..8,
+            threshold_pm in 0u32..101,
+            remove_stride in 2usize..5,
+        ) {
+            let config = GeodabConfig::default();
+            let cluster = ClusterIndex::new(config, 10_000, cells).unwrap();
+            let sharded = ShardedIndex::from_cluster(cluster);
+            let mut mono = GeodabIndex::new(config);
+            let insert = |sharded: &ShardedIndex,
+                          mono: &mut GeodabIndex,
+                          i: usize,
+                          set: &[u32]| {
+                let fp = geodabs_core::Fingerprints::from_ordered(set.to_vec());
+                sharded.insert_fingerprints(TrajId::new(i as u32), fp.clone());
+                mono.insert_fingerprints(TrajId::new(i as u32), fp);
+            };
+            for (i, set) in sets.iter().enumerate() {
+                insert(&sharded, &mut mono, i, set);
+            }
+            for i in (0..sets.len()).step_by(remove_stride) {
+                sharded.remove(TrajId::new(i as u32));
+                mono.remove(TrajId::new(i as u32));
+            }
+            for i in (0..sets.len()).step_by(remove_stride * 2) {
+                let shifted: Vec<u32> = sets[i].iter().map(|t| t + 1).collect();
+                insert(&sharded, &mut mono, i, &shifted);
+            }
+            prop_assert_eq!(sharded.len() as usize, TrajectoryIndex::len(&mono));
+            let query_fp = geodabs_core::Fingerprints::from_ordered(query);
+            let mut options =
+                SearchOptions::default().max_distance(threshold_pm as f64 / 100.0);
+            if limit > 0 {
+                options = options.limit(limit - 1);
+            }
+            prop_assert_eq!(
+                sharded.search_fingerprints(&query_fp, &options),
+                mono.search_fingerprints(&query_fp, &options)
+            );
+        }
+    }
+}

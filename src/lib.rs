@@ -102,7 +102,10 @@ pub mod prelude {
         GeodabIndex, GeohashIndex, SearchOptions, SearchResult, TrajectoryIndex,
     };
     pub use geodabs_roaring::RoaringBitmap;
-    pub use geodabs_serve::{Client, LoadClient, Server, ServerConfig};
+    pub use geodabs_serve::{
+        Client, LoadClient, Server, ServerConfig, ServerConfigBuilder, ServerConfigError,
+        ShardedIndex,
+    };
     pub use geodabs_traj::{TrajId, Trajectory};
     pub use geodabs_wal::{SyncPolicy, Wal, WalOp};
 
