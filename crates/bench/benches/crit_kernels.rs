@@ -1,15 +1,19 @@
 //! Criterion micro-benchmarks of the computational kernels underlying
 //! every figure: haversine, geohash encoding, geodab construction,
-//! winnowing, fingerprinting, Jaccard over roaring bitmaps, DTW and DFD.
+//! winnowing, fingerprinting, Jaccard over roaring bitmaps, DTW and DFD,
+//! plus reference-vs-optimized pairs for the roaring intersection ladder,
+//! overlap counting, and point→cell encoding.
 //!
-//! Run with `cargo bench -p geodabs-bench --bench crit_kernels`.
+//! Run with `cargo bench -p geodabs-bench --bench crit_kernels`. Set
+//! `CRIT_QUICK=1` (the CI kernel-smoke step does) to shrink sample counts
+//! and measurement time to a smoke-test budget.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use geodabs_core::winnow::{winnow, winnow_streaming};
 use geodabs_core::{geodab, Fingerprinter};
 use geodabs_distance::{dfd, dtw, edr, lcss_similarity};
-use geodabs_geo::{Geohash, Point};
-use geodabs_roaring::RoaringBitmap;
+use geodabs_geo::{morton, CellEncoder, Geohash, Point};
+use geodabs_roaring::{kernels, RoaringBitmap};
 use geodabs_traj::Trajectory;
 use std::hint::black_box;
 
@@ -97,9 +101,169 @@ fn bench_distances(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_geo, bench_winnow, bench_fingerprint, bench_jaccard, bench_distances
+/// Sorted, deduplicated multiples of `stride` starting at `offset`.
+fn run_u16(n: usize, stride: u16, offset: u16) -> Vec<u16> {
+    let mut v: Vec<u16> = (0..n as u16)
+        .map(|i| i.wrapping_mul(stride).wrapping_add(offset))
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
-criterion_main!(kernels);
+
+fn bench_intersection_ladder(c: &mut Criterion) {
+    // Size-ratio ladder: 1:1 through 1:256, each measured with the
+    // retained linear-merge reference and the galloping/dispatching path.
+    // `small` samples every (len/n)-th element of `large`, so both sides
+    // span the same value domain: the linear merge has to traverse the
+    // whole large side while galloping spends ~n·log probes. The
+    // 4k_vs_256 rung sits exactly at the GALLOP_RATIO cutover, so its
+    // dispatch stays linear — the ladder shows where the crossover pays.
+    let large = run_u16(4_096, 13, 0);
+    for (label, small_n) in [
+        ("4k_vs_4k", 4_096usize),
+        ("4k_vs_256", 256),
+        ("4k_vs_64", 64),
+        ("4k_vs_16", 16),
+    ] {
+        let small: Vec<u16> = large
+            .iter()
+            .copied()
+            .step_by(large.len() / small_n)
+            .take(small_n)
+            .collect();
+        let (s, l) = (small.clone(), large.clone());
+        c.bench_function(&format!("intersect_{label}_linear"), move |bench| {
+            bench.iter(|| {
+                let mut n = 0u32;
+                kernels::intersect_visit_linear(black_box(&s), black_box(&l), |_| n += 1);
+                n
+            })
+        });
+        let (s, l) = (small, large.clone());
+        c.bench_function(&format!("intersect_{label}_gallop"), move |bench| {
+            bench.iter(|| {
+                let mut n = 0u32;
+                kernels::intersect_visit(black_box(&s), black_box(&l), |_| n += 1);
+                n
+            })
+        });
+    }
+    // Dense word-level AND: scalar loop vs the 8-word chunked kernel.
+    let wa: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let wb: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .collect();
+    let (a, b) = (wa.clone(), wb.clone());
+    c.bench_function("bitmap_and_len_scalar", move |bench| {
+        bench.iter(|| kernels::and_words_len_scalar(black_box(&a), black_box(&b)))
+    });
+    let (a, b) = (wa, wb);
+    c.bench_function("bitmap_and_len_chunked", move |bench| {
+        bench.iter(|| kernels::and_words_len(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_overlap_counting(c: &mut Criterion) {
+    // The query engine's admitted-scan phase: bump a dense accumulator for
+    // every member of `posting ∩ admitted`, via the old per-id iterator and
+    // the new batch-decoding visitor.
+    let posting: RoaringBitmap = (0..40_000u32).map(|i| i * 3).collect();
+    let admitted: RoaringBitmap = (0..40_000u32).map(|i| i * 2).collect();
+    let capacity = 120_001usize;
+    let (p, a) = (posting.clone(), admitted.clone());
+    c.bench_function("overlap_iter_bump_reference", move |bench| {
+        bench.iter_batched(
+            || vec![0u32; capacity],
+            |mut counts| {
+                for dense in p.intersection_iter(&a) {
+                    counts[dense as usize] += 1;
+                }
+                counts
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let (p, a) = (posting, admitted);
+    c.bench_function("overlap_for_each_bump", move |bench| {
+        bench.iter_batched(
+            || vec![0u32; capacity],
+            |mut counts| {
+                p.intersection_for_each(&a, |dense| counts[dense as usize] += 1);
+                counts
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The snapshot loader's live check: does every slot in this posting
+    // list point at a live trajectory? The old path counted the full
+    // intersection and compared cardinalities; the new one asks
+    // `is_subset`, which bails out at the first vacant slot.
+    let live: RoaringBitmap = (0..60_000u32).filter(|&v| v != 1_002).collect();
+    let list: RoaringBitmap = (0..60_000u32).step_by(3).collect();
+    let (li, lv) = (list.clone(), live.clone());
+    c.bench_function("live_check_count_reference", move |bench| {
+        bench.iter(|| black_box(&li).intersection_len(black_box(&lv)) == li.len())
+    });
+    let (li, lv) = (list, live);
+    c.bench_function("live_check_subset_early_exit", move |bench| {
+        bench.iter(|| black_box(&li).is_subset(black_box(&lv)))
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let t = path(1_000, 0.0);
+    let points = t.points().to_vec();
+    let pts = points.clone();
+    c.bench_function("cells_1000pt_encode_loop", move |bench| {
+        bench.iter(|| {
+            let mut cells: Vec<u64> = pts
+                .iter()
+                .map(|&p| Geohash::encode(p, 36).expect("valid depth").bits())
+                .collect();
+            cells.sort_unstable();
+            cells.dedup();
+            cells
+        })
+    });
+    let pts = points;
+    let enc = CellEncoder::new(36).expect("valid depth");
+    c.bench_function("cells_1000pt_encoder", move |bench| {
+        bench.iter(|| enc.cell_set(black_box(&pts)))
+    });
+    c.bench_function("morton_spread_masks", |bench| {
+        bench.iter(|| morton::spread_masks(black_box(0xDEAD_BEEF)))
+    });
+    c.bench_function("morton_spread_lut", |bench| {
+        bench.iter(|| morton::spread(black_box(0xDEAD_BEEF)))
+    });
+    c.bench_function("base32_decode_11ch", |bench| {
+        bench.iter(|| Geohash::from_base32(black_box("u4pruydqqvj")).expect("valid"))
+    });
+}
+
+/// Full-precision config by default; `CRIT_QUICK=1` shrinks the budget to
+/// a smoke test (used by the CI `kernel-smoke` step).
+fn config() -> Criterion {
+    if std::env::var_os("CRIT_QUICK").is_some() {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(std::time::Duration::from_millis(100))
+            .warm_up_time(std::time::Duration::from_millis(10))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .measurement_time(std::time::Duration::from_secs(2))
+            .warm_up_time(std::time::Duration::from_millis(500))
+    }
+}
+
+criterion_group! {
+    name = kernels_suite;
+    config = config();
+    targets = bench_geo, bench_winnow, bench_fingerprint, bench_jaccard, bench_distances,
+        bench_intersection_ladder, bench_overlap_counting, bench_encode
+}
+criterion_main!(kernels_suite);

@@ -176,6 +176,9 @@ pub fn catalog() -> Vec<Scenario> {
         // In-process shard-per-core serving with the lock-free read
         // path; runs through `run_multicore` instead of `run_scenario`.
         Scenario::new(MULTICORE, Preset::DenseUrban, 2_000, 40, 42),
+        // Zipf hot-key query distribution over the serve layer; runs
+        // through `run_skewed` instead of `run_scenario`.
+        Scenario::new(SKEWED, Preset::DenseUrban, 2_000, 40, 42),
     ];
     for (suffix, corpus, queries) in [
         ("1k", 1_000, 50),
@@ -232,6 +235,13 @@ pub const DISTRIBUTED: &str = "distributed";
 /// exercise the lock-free read path — via [`run_multicore`] rather than
 /// the in-process ladder of [`run_scenario`].
 pub const MULTICORE: &str = "multicore";
+
+/// The skewed-workload scenario's name; it measures client-observed QPS
+/// and latency over loopback when the request stream follows a Zipf
+/// hot-key distribution over the scenario's queries — the real-shaped
+/// counterpart of the uniform round-robin of [`run_serve`] — via
+/// [`run_skewed`] rather than the in-process ladder of [`run_scenario`].
+pub const SKEWED: &str = "skewed";
 
 /// The durability scenario's name; it measures acknowledged-write
 /// latency per WAL sync policy, replay-on-boot recovery speed, and the
@@ -2035,6 +2045,235 @@ pub fn run_multicore(
     })
 }
 
+/// Zipf exponent of the skewed scenario's query distribution. At 1.2
+/// over 40 distinct queries the hottest key takes roughly a third of
+/// the stream — the hot-key shape measured in production key-value and
+/// query traces.
+pub const SKEWED_ZIPF_EXPONENT: f64 = 1.2;
+
+/// Zipf-draws per distinct query when expanding the request stream.
+const SKEWED_STREAM_FACTOR: usize = 8;
+
+/// SplitMix64 step — the tiny deterministic PRNG behind the Zipf draws
+/// (the vendored `rand` exposes no distributions, so the inverse-CDF
+/// sampling is done by hand).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws `count` Zipf(`exponent`)-distributed ranks in `0..n` by
+/// inverse-CDF over the precomputed cumulative weights. Deterministic
+/// given the seed; rank 0 is the hottest key.
+fn zipf_ranks(n: usize, exponent: f64, count: usize, seed: u64) -> Vec<usize> {
+    assert!(n > 0, "zipf over an empty domain");
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for rank in 0..n {
+        total += 1.0 / ((rank + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    (0..count)
+        .map(|_| {
+            // 53 random bits → uniform f64 in [0, 1).
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            let target = u * total;
+            cumulative.partition_point(|&c| c <= target).min(n - 1)
+        })
+        .collect()
+}
+
+/// Everything one skewed-workload run measured: client-observed
+/// throughput and latency per connection count when the request stream
+/// follows a Zipf hot-key distribution over the scenario's queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewedReport {
+    /// The workload scenario supplying corpus and queries.
+    pub scenario: Scenario,
+    /// The served backend's name.
+    pub backend: String,
+    /// Trajectories held by the server.
+    pub trajectories: usize,
+    /// Result cap used for all queries.
+    pub query_limit: usize,
+    /// Whether responses were verified against in-process rankings.
+    pub verified: bool,
+    /// The Zipf exponent shaping the stream.
+    pub zipf_exponent: f64,
+    /// Distinct queries behind the stream.
+    pub distinct_queries: usize,
+    /// Requests in the expanded stream the clients cycle over.
+    pub stream_length: usize,
+    /// Fraction of the stream taken by the single hottest query.
+    pub hot_query_share: f64,
+    /// One load point per measured connection count.
+    pub points: Vec<LoadRun>,
+}
+
+impl SkewedReport {
+    /// The canonical report file name: `BENCH_skewed.json`.
+    pub fn file_name(&self) -> String {
+        "BENCH_skewed.json".to_string()
+    }
+
+    /// Whether every response matched and every connection survived.
+    pub fn consistent(&self) -> bool {
+        self.points.iter().all(|p| p.mismatches == 0)
+    }
+
+    /// Serializes the report. The `kind` field marks the shape, so the
+    /// ingest perf gate rejects a skewed report as a baseline.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("kind", Json::Str("skewed".into())),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("preset", Json::Str(self.scenario.preset.name().into())),
+            ("seed", Json::Num(self.scenario.seed as f64)),
+            ("backend", Json::Str(self.backend.clone())),
+            (
+                "corpus",
+                Json::obj(vec![("trajectories", Json::Num(self.trajectories as f64))]),
+            ),
+            (
+                "skew",
+                Json::obj(vec![
+                    ("zipf_exponent", Json::Num(self.zipf_exponent)),
+                    ("distinct_queries", Json::Num(self.distinct_queries as f64)),
+                    ("stream_length", Json::Num(self.stream_length as f64)),
+                    ("hot_query_share", Json::Num(round6(self.hot_query_share))),
+                ]),
+            ),
+            (
+                "query",
+                Json::obj(vec![
+                    ("limit", Json::Num(self.query_limit as f64)),
+                    ("verified", Json::Bool(self.verified)),
+                    ("consistent", Json::Bool(self.consistent())),
+                ]),
+            ),
+            (
+                "connections",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("connections", Json::Num(p.connections as f64)),
+                                ("requests", Json::Num(p.requests as f64)),
+                                ("mismatches", Json::Num(p.mismatches as f64)),
+                                ("seconds", Json::Num(round6(p.seconds))),
+                                ("qps", Json::Num(round3(p.qps))),
+                                (
+                                    "latency_ms",
+                                    Json::obj(vec![
+                                        ("p50", Json::Num(round6(p.p50_ms))),
+                                        ("p95", Json::Num(round6(p.p95_ms))),
+                                        ("p99", Json::Num(round6(p.p99_ms))),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs the skewed-workload scenario end to end on loopback: ingest the
+/// corpus, serve it, then drive the connection ladder with a request
+/// stream whose query frequencies follow Zipf([`SKEWED_ZIPF_EXPONENT`])
+/// over the scenario's queries — hammering the hot posting lists the way
+/// real query logs do, every response verified bit-identical against the
+/// in-process ranking. The clients cycle over a pre-expanded stream of
+/// 8 × queries Zipf draws, so stream frequency
+/// equals request frequency.
+///
+/// # Errors
+///
+/// Bind/connection failures, or any response mismatch.
+pub fn run_skewed(
+    scenario: &Scenario,
+    max_connections: usize,
+    seconds_per_point: f64,
+) -> Result<SkewedReport, String> {
+    let dataset = generate(scenario);
+    let items: Vec<(TrajId, &Trajectory)> = dataset
+        .records()
+        .iter()
+        .map(|r| (r.id, &r.trajectory))
+        .collect();
+    let mut index = AnyIndex::empty("geodab", 0, 0)?;
+    index.insert_batch(items);
+    let trajectories = TrajectoryIndex::len(&index);
+    let backend = index.backend_name().to_string();
+
+    let query_limit = VERIFY_LIMIT;
+    let options = SearchOptions::default().limit(query_limit);
+    let distinct: Vec<Trajectory> = dataset
+        .queries()
+        .iter()
+        .map(|q| q.trajectory.clone())
+        .collect();
+    if distinct.is_empty() {
+        return Err("the skewed scenario needs at least one query".to_string());
+    }
+    let answers: Vec<Vec<SearchResult>> = distinct
+        .iter()
+        .map(|q| TrajectoryIndex::search(&index, q, &options))
+        .collect();
+
+    // Expand the Zipf draws into the stream the clients round-robin
+    // over; matching expected answers keep per-response verification.
+    let ranks = zipf_ranks(
+        distinct.len(),
+        SKEWED_ZIPF_EXPONENT,
+        distinct.len() * SKEWED_STREAM_FACTOR,
+        scenario.seed,
+    );
+    let stream: Vec<Trajectory> = ranks.iter().map(|&r| distinct[r].clone()).collect();
+    let expected: Vec<Vec<SearchResult>> = ranks.iter().map(|&r| answers[r].clone()).collect();
+    let hottest = ranks.iter().filter(|&&r| r == 0).count();
+    let hot_query_share = hottest as f64 / ranks.len() as f64;
+
+    let config = ServerConfig::builder()
+        .mux_workers(geodabs_index::batch::default_threads())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let server =
+        Server::bind("127.0.0.1:0", index, config).map_err(|e| format!("binding loopback: {e}"))?;
+    let running = server.spawn();
+    let ladder = thread_ladder(max_connections);
+    let points = run_load_ladder(
+        &running.addr().to_string(),
+        stream,
+        options,
+        Some(expected),
+        &ladder,
+        seconds_per_point,
+    );
+    running
+        .shutdown()
+        .map_err(|e| format!("server shutdown: {e}"))?;
+    Ok(SkewedReport {
+        scenario: scenario.clone(),
+        backend,
+        trajectories,
+        query_limit,
+        verified: true,
+        zipf_exponent: SKEWED_ZIPF_EXPONENT,
+        distinct_queries: distinct.len(),
+        stream_length: ranks.len(),
+        hot_query_share,
+        points: points?,
+    })
+}
+
 /// The CI perf gate's verdict: current vs baseline batch-ingest
 /// throughput, with the allowed regression applied.
 #[derive(Debug, Clone, PartialEq)]
@@ -2512,6 +2751,73 @@ mod tests {
     #[test]
     fn multicore_scenario_is_in_the_catalog() {
         let scenario = find(MULTICORE).expect("catalog has multicore");
+        assert_eq!(scenario.preset, Preset::DenseUrban);
+        assert_eq!(scenario.corpus, 2_000);
+    }
+
+    #[test]
+    fn zipf_ranks_are_deterministic_and_head_heavy() {
+        let ranks = zipf_ranks(40, SKEWED_ZIPF_EXPONENT, 320, 7);
+        assert_eq!(ranks, zipf_ranks(40, SKEWED_ZIPF_EXPONENT, 320, 7));
+        assert_ne!(ranks, zipf_ranks(40, SKEWED_ZIPF_EXPONENT, 320, 8));
+        assert!(ranks.iter().all(|&r| r < 40));
+        // Rank 0 must dominate any single tail rank by a wide margin.
+        let hot = ranks.iter().filter(|&&r| r == 0).count();
+        let cold = ranks.iter().filter(|&&r| r >= 20).count();
+        assert!(hot > 320 / 10, "hot key drew {hot} of 320");
+        assert!(hot > cold / 2, "hot {hot} vs tail half {cold}");
+    }
+
+    #[test]
+    fn skewed_runner_reports_verified_consistent_traffic() {
+        // A scaled-down twin of the catalog scenario so the test suite
+        // stays fast; the CLI runs the 2k catalog entry.
+        let scenario = Scenario {
+            name: SKEWED.into(),
+            preset: Preset::DenseUrban,
+            corpus: 40,
+            queries: 4,
+            seed: 7,
+        };
+        let report = run_skewed(&scenario, 2, 0.1).expect("skewed run");
+        assert_eq!(report.backend, "geodab");
+        assert_eq!(report.trajectories, 40);
+        assert!(report.verified);
+        assert!(report.consistent(), "{report:?}");
+        assert_eq!(report.distinct_queries, 4);
+        assert_eq!(report.stream_length, 4 * 8);
+        assert!(report.hot_query_share > 0.25, "{report:?}");
+        assert_eq!(report.points.len(), thread_ladder(2).len());
+        for point in &report.points {
+            assert!(point.requests > 0, "{point:?}");
+            assert!(point.qps > 0.0);
+            assert!(point.p50_ms <= point.p95_ms && point.p95_ms <= point.p99_ms);
+        }
+        let text = report.to_json().pretty();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("skewed"));
+        assert_eq!(
+            parsed
+                .get("skew")
+                .and_then(|s| s.get("distinct_queries"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            parsed
+                .get("query")
+                .and_then(|q| q.get("consistent"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(report.file_name(), "BENCH_skewed.json");
+        // A skewed report is not a valid ingest-gate baseline.
+        assert!(preflight_gate(&scenario, &text, 30.0).is_err());
+    }
+
+    #[test]
+    fn skewed_scenario_is_in_the_catalog() {
+        let scenario = find(SKEWED).expect("catalog has skewed");
         assert_eq!(scenario.preset, Preset::DenseUrban);
         assert_eq!(scenario.corpus, 2_000);
     }

@@ -563,6 +563,60 @@ fn bench(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>
         return Ok(());
     }
 
+    // The skewed scenario replays a Zipf hot-key request stream over the
+    // serve layer (--threads caps the connection ladder); its report has
+    // its own shape, so it cannot gate against an ingest baseline.
+    if scenario.name == workload::SKEWED {
+        if args.has("baseline") || args.has("max-regress") {
+            return Err(
+                "the skewed scenario has no ingest gate; run it without --baseline/--max-regress"
+                    .into(),
+            );
+        }
+        writeln!(
+            out,
+            "scenario {} ({}, corpus {}, {} queries, seed {}), connections {threads:?}",
+            scenario.name,
+            scenario.preset.name(),
+            scenario.corpus,
+            scenario.queries,
+            scenario.seed
+        )?;
+        let report = workload::run_skewed(&scenario, max_threads, 2.0)?;
+        writeln!(
+            out,
+            "served corpus     {} trajectories ({} backend), every response verified",
+            report.trajectories, report.backend
+        )?;
+        writeln!(
+            out,
+            "zipf stream       exponent {:.2}, {} distinct queries, hot query {:.1}% of stream",
+            report.zipf_exponent,
+            report.distinct_queries,
+            report.hot_query_share * 100.0
+        )?;
+        for point in &report.points {
+            writeln!(
+                out,
+                "skewed  {:>2} conn(s)   {:>9.1} qps  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  \
+                 ({} requests)",
+                point.connections,
+                point.qps,
+                point.p50_ms,
+                point.p95_ms,
+                point.p99_ms,
+                point.requests
+            )?;
+        }
+        let path = std::path::Path::new(&out_dir).join(report.file_name());
+        std::fs::write(&path, report.to_json().pretty())?;
+        writeln!(out, "report            {}", path.display())?;
+        if !report.consistent() {
+            return Err("skewed responses diverged from the in-process engine".into());
+        }
+        return Ok(());
+    }
+
     // The cold-start scenario measures snapshot save/load instead of the
     // ingest/query ladder and emits a differently-shaped report, so it
     // cannot gate against an ingest baseline.

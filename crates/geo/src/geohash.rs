@@ -10,6 +10,21 @@ pub const MAX_DEPTH: u8 = 64;
 /// The canonical geohash base32 alphabet (Niemeyer, 2008).
 const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
 
+/// Reverse lookup for [`BASE32`]: maps a byte to its 5-bit digit, with both
+/// cases of each letter accepted and `0xFF` marking bytes outside the
+/// alphabet — one table index replaces the per-character linear scan.
+const BASE32_REV: [u8; 256] = {
+    let mut table = [0xFFu8; 256];
+    let mut i = 0usize;
+    while i < 32 {
+        let b = BASE32[i];
+        table[b as usize] = i as u8;
+        table[b.to_ascii_uppercase() as usize] = i as u8;
+        i += 1;
+    }
+    table
+};
+
 /// A geohash: `depth` bits that repeatedly bisect the latitude/longitude
 /// space (Section III-C of the paper).
 ///
@@ -389,17 +404,103 @@ impl Geohash {
         }
         let mut bits: u64 = 0;
         for c in s.chars() {
-            let lower = c.to_ascii_lowercase();
-            let idx = BASE32
-                .iter()
-                .position(|&b| b as char == lower)
-                .ok_or(GeoError::InvalidBase32(c))?;
+            let idx = if (c as u32) < 256 {
+                BASE32_REV[c as usize]
+            } else {
+                0xFF
+            };
+            if idx == 0xFF {
+                return Err(GeoError::InvalidBase32(c));
+            }
             bits = (bits << 5) | idx as u64;
         }
         Ok(Geohash {
             depth: (s.len() * 5) as u8,
             bits,
         })
+    }
+}
+
+/// A reusable point→cell encoder for a fixed depth.
+///
+/// [`Geohash::encode`] validates the depth, branches on `depth == 0` and
+/// wraps the result on every call; in batched paths (fingerprinting a whole
+/// trajectory) that per-point overhead dominates. `CellEncoder` hoists the
+/// validation and the truncation shift out of the loop and hands back raw
+/// cell bits. The arithmetic is exactly the one `Geohash::encode` performs
+/// (same quantization, same interleave, same shift), so the produced cells
+/// are bit-identical — `cell_encoder_matches_encode` asserts it.
+///
+/// # Examples
+///
+/// ```
+/// use geodabs_geo::{CellEncoder, Geohash, Point};
+///
+/// # fn main() -> Result<(), geodabs_geo::GeoError> {
+/// let enc = CellEncoder::new(36)?;
+/// let p = Point::new(57.64911, 10.40744)?;
+/// assert_eq!(enc.encode_bits(p), Geohash::encode(p, 36)?.bits());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CellEncoder {
+    depth: u8,
+    /// `64 - depth`, precomputed; only meaningful when `depth > 0`.
+    shift: u32,
+}
+
+impl CellEncoder {
+    /// Creates an encoder for the given depth (`0..=64` bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDepth`] if `depth > 64`.
+    pub fn new(depth: u8) -> Result<CellEncoder, GeoError> {
+        if depth > MAX_DEPTH {
+            return Err(GeoError::InvalidDepth(depth));
+        }
+        Ok(CellEncoder {
+            depth,
+            shift: 64 - u32::from(depth).min(64),
+        })
+    }
+
+    /// The depth this encoder truncates to.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// The cell bits of `p` at this encoder's depth — what
+    /// `Geohash::encode(p, depth).bits()` returns, without the per-call
+    /// validation and `Result` wrapping.
+    pub fn encode_bits(&self, p: Point) -> u64 {
+        let lat_q = quantize(p.lat(), -90.0, 90.0);
+        let lon_q = quantize(p.lon(), -180.0, 180.0);
+        let code = interleave(lat_q, lon_q);
+        if self.depth == 0 {
+            0
+        } else {
+            code >> self.shift
+        }
+    }
+
+    /// Encodes `p` as a [`Geohash`] at this encoder's depth.
+    pub fn encode(&self, p: Point) -> Geohash {
+        Geohash {
+            depth: self.depth,
+            bits: self.encode_bits(p),
+        }
+    }
+
+    /// The sorted, deduplicated cell set of a trajectory — every distinct
+    /// cell its points fall in, in Z-order. One pass over the points, one
+    /// allocation.
+    pub fn cell_set(&self, points: &[Point]) -> Vec<u64> {
+        let mut cells: Vec<u64> = points.iter().map(|&p| self.encode_bits(p)).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
     }
 }
 
@@ -836,6 +937,35 @@ mod tests {
                     "covering {g:?} must contain {q}"
                 );
             }
+        }
+
+        #[test]
+        fn cell_encoder_matches_encode(
+            lat in -90.0f64..=90.0, lon in -180.0f64..=180.0, depth in 0u8..=64,
+        ) {
+            let q = p(lat, lon);
+            let enc = CellEncoder::new(depth).unwrap();
+            let reference = Geohash::encode(q, depth).unwrap();
+            prop_assert_eq!(enc.encode_bits(q), reference.bits());
+            prop_assert_eq!(enc.encode(q), reference);
+        }
+
+        #[test]
+        fn prop_cell_set_is_sorted_distinct_cells(
+            pts in proptest::collection::vec((-89.0f64..89.0, -179.0f64..179.0), 0..20),
+            depth in 1u8..=36,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let enc = CellEncoder::new(depth).unwrap();
+            let cells = enc.cell_set(&points);
+            prop_assert!(cells.windows(2).all(|w| w[0] < w[1]));
+            let mut reference: Vec<u64> = points
+                .iter()
+                .map(|&q| Geohash::encode(q, depth).unwrap().bits())
+                .collect();
+            reference.sort_unstable();
+            reference.dedup();
+            prop_assert_eq!(cells, reference);
         }
 
         #[test]

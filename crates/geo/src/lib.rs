@@ -39,5 +39,5 @@ mod point;
 
 pub use bbox::BoundingBox;
 pub use error::GeoError;
-pub use geohash::{Direction, Geohash, MAX_DEPTH};
+pub use geohash::{CellEncoder, Direction, Geohash, MAX_DEPTH};
 pub use point::{Point, EARTH_RADIUS_METERS};

@@ -7,6 +7,27 @@
 //! cells along the Z-order curve, which is what the sharding strategy of
 //! Section VI-E exploits.
 
+/// Per-byte spread table: entry `b` is the 16-bit value whose bit `2 * i`
+/// equals bit `i` of `b` — one lookup replaces the five shift-and-mask
+/// rounds of [`spread_masks`] per input byte.
+const SPREAD_BYTE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut v = 0u16;
+        let mut i = 0;
+        while i < 8 {
+            if b & (1 << i) != 0 {
+                v |= 1 << (2 * i);
+            }
+            i += 1;
+        }
+        table[b] = v;
+        b += 1;
+    }
+    table
+};
+
 /// Spreads the lower 32 bits of `x` so that bit `i` of the input lands at bit
 /// `2 * i` of the output.
 ///
@@ -17,6 +38,17 @@
 /// assert_eq!(spread(u32::MAX), 0x5555_5555_5555_5555);
 /// ```
 pub fn spread(x: u32) -> u64 {
+    let b = x.to_le_bytes();
+    (SPREAD_BYTE[b[0] as usize] as u64)
+        | (SPREAD_BYTE[b[1] as usize] as u64) << 16
+        | (SPREAD_BYTE[b[2] as usize] as u64) << 32
+        | (SPREAD_BYTE[b[3] as usize] as u64) << 48
+}
+
+/// Shift-and-mask implementation of [`spread`], retained as the reference
+/// the differential tests and the `crit_kernels` encode benches compare the
+/// byte-LUT path against.
+pub fn spread_masks(x: u32) -> u64 {
     let mut v = x as u64;
     v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
     v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
@@ -45,7 +77,16 @@ pub fn compact(v: u64) -> u32 {
 /// bit pair once the code is left-aligned, matching the convention that the
 /// first bisection is on the longitude axis.
 pub fn interleave(even: u32, odd: u32) -> u64 {
-    spread(even) | (spread(odd) << 1)
+    // Eight byte lookups build the full 64-bit code: each input byte pair
+    // yields one 16-bit slice of the output.
+    let e = even.to_le_bytes();
+    let o = odd.to_le_bytes();
+    let mut code = 0u64;
+    for i in 0..4 {
+        let pair = SPREAD_BYTE[e[i] as usize] as u64 | (SPREAD_BYTE[o[i] as usize] as u64) << 1;
+        code |= pair << (16 * i);
+    }
+    code
 }
 
 /// Splits a Morton code back into its even-position and odd-position halves.
@@ -115,6 +156,15 @@ mod tests {
         fn prop_interleave_is_bitwise_disjoint(even: u32, odd: u32) {
             prop_assert_eq!(spread(even) & (spread(odd) << 1), 0);
             prop_assert_eq!(interleave(even, odd), spread(even) ^ (spread(odd) << 1));
+        }
+
+        #[test]
+        fn prop_lut_matches_shift_mask_reference(even: u32, odd: u32) {
+            prop_assert_eq!(spread(even), spread_masks(even));
+            prop_assert_eq!(
+                interleave(even, odd),
+                spread_masks(even) | (spread_masks(odd) << 1)
+            );
         }
     }
 }

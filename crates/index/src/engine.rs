@@ -23,7 +23,7 @@
 //! `Δmax`, tightened to the k-th best *guaranteed* distance when a result
 //! limit is set — new candidates can no longer qualify and the scan flips
 //! to an increment-only mode that visits just the postings of already
-//! admitted candidates (via [`RoaringBitmap::intersection_iter`]). The
+//! admitted candidates (via [`RoaringBitmap::intersection_for_each`]). The
 //! pruned engine is **exact**: it returns precisely the ranking a full
 //! scan would (same ids, same distances, ties broken by id), which
 //! `crates/index/tests/engine_equivalence.rs` asserts property-based.
@@ -489,9 +489,9 @@ impl<T: Copy + Eq + Hash + Ord> PostingLists<T> {
             if list.is_empty() {
                 return Err("empty posting list");
             }
-            // Count the live overlap without materializing the
-            // intersection: every posting entry must be a live slot.
-            if list.intersection_len(&live_bitmap) != list.len() {
+            // Early-exit subset check: bails on the first posting entry
+            // that is not a live slot instead of counting the overlap.
+            if !list.is_subset(&live_bitmap) {
                 return Err("posting references a vacant slot");
             }
             if postings.insert(term, list).is_some() {
@@ -593,15 +593,19 @@ impl<T: Copy + Eq + Hash + Ord> PostingLists<T> {
                 }
             }
             if admit_new {
-                for dense in list.iter() {
+                // Non-allocating visitor: bitmap containers batch-decode
+                // words straight into the dense accumulator.
+                list.for_each(|dense| {
                     if overlap.bump(dense) == 1 {
                         touched.push(dense);
                     }
-                }
+                });
             } else {
-                for dense in list.intersection_iter(&admitted) {
+                // Galloping array∩array and word-ANDed bitmap∩bitmap under
+                // the hood — no per-chunk buffer, no per-id binary search.
+                list.intersection_for_each(&admitted, |dense| {
                     overlap.bump(dense);
-                }
+                });
             }
         }
 

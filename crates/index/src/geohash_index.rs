@@ -1,4 +1,4 @@
-use geodabs_geo::{BoundingBox, Geohash, MAX_DEPTH};
+use geodabs_geo::{BoundingBox, CellEncoder, Geohash, MAX_DEPTH};
 use geodabs_traj::{TrajId, Trajectory};
 use std::collections::HashMap;
 
@@ -164,17 +164,9 @@ impl TrajectoryIndex for GeohashIndex {
 /// The distinct, sorted cell set of a trajectory at `depth` bits — free of
 /// `&self` so batch workers can run it while the index is mutably held.
 fn cell_set_at(depth: u8, trajectory: &Trajectory) -> Vec<u64> {
-    let mut cells: Vec<u64> = trajectory
-        .iter()
-        .map(|p| {
-            Geohash::encode(p, depth)
-                .expect("depth validated at construction")
-                .bits()
-        })
-        .collect();
-    cells.sort_unstable();
-    cells.dedup();
-    cells
+    CellEncoder::new(depth)
+        .expect("depth validated at construction")
+        .cell_set(trajectory.points())
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! bitset (dense chunks), following Lemire et al., "Roaring Bitmaps:
 //! Implementation of an Optimized Software Library" (the paper's ref \[19\]).
 
+use crate::kernels;
+
 /// A sparse container converts to a bitmap once it exceeds this many values;
 /// past this point the bitset (8 KiB) is smaller than the array.
 pub(crate) const ARRAY_MAX: usize = 4096;
@@ -231,17 +233,24 @@ impl Container {
             }
             (Container::Bitmap(_), Container::Array(_)) => other.and(self),
             (Container::Bitmap(a), Container::Bitmap(b)) => {
-                let mut bm = BitmapStore::new();
-                let mut card = 0u32;
-                for i in 0..WORDS {
-                    let w = a.words[i] & b.words[i];
-                    bm.words[i] = w;
-                    card += w.count_ones();
-                }
-                bm.cardinality = card;
+                // A cheap vectorized popcount pass picks the result
+                // representation up front, so the dense case writes the
+                // bitset exactly once and the sparse case decodes
+                // straight into a right-sized array — no 8 KiB scratch
+                // bitset plus second materialization either way.
+                let card = kernels::and_words_len(&a.words[..], &b.words[..]);
                 if card as usize <= ARRAY_MAX {
-                    Container::Array(bm.to_array())
+                    let mut values = Vec::with_capacity(card as usize);
+                    kernels::and_words_visit(&a.words[..], &b.words[..], 0, |v| {
+                        values.push(v as u16)
+                    });
+                    Container::Array(values)
                 } else {
+                    let mut bm = BitmapStore::new();
+                    let written =
+                        kernels::and_words_into(&a.words[..], &b.words[..], &mut bm.words[..]);
+                    debug_assert_eq!(written, card);
+                    bm.cardinality = card;
                     Container::Bitmap(bm)
                 }
             }
@@ -255,46 +264,90 @@ impl Container {
         out.clear();
         match (self, other) {
             (Container::Array(a), Container::Array(b)) => {
-                let (mut i, mut j) = (0, 0);
-                while i < a.len() && j < b.len() {
-                    match a[i].cmp(&b[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            out.push(a[i]);
-                            i += 1;
-                            j += 1;
-                        }
-                    }
-                }
+                kernels::intersect_into(a, b, out);
             }
             (Container::Array(a), Container::Bitmap(b)) => {
                 out.extend(a.iter().copied().filter(|&x| b.contains(x)));
             }
             (Container::Bitmap(_), Container::Array(_)) => other.and_into(self, out),
             (Container::Bitmap(a), Container::Bitmap(b)) => {
-                for i in 0..WORDS {
-                    let mut bits = a.words[i] & b.words[i];
-                    while bits != 0 {
-                        let bit = bits.trailing_zeros();
-                        out.push((i as u16) << 6 | bit as u16);
-                        bits &= bits - 1;
-                    }
-                }
+                kernels::and_words_visit(&a.words[..], &b.words[..], 0, |v| out.push(v as u16));
             }
         }
     }
 
     pub(crate) fn and_len(&self, other: &Container) -> usize {
         match (self, other) {
-            (Container::Array(a), Container::Array(b)) => intersect_sorted_len(a, b),
+            (Container::Array(a), Container::Array(b)) => kernels::intersect_len(a, b),
             (Container::Array(a), Container::Bitmap(b)) => {
                 a.iter().filter(|&&x| b.contains(x)).count()
             }
             (Container::Bitmap(_), Container::Array(_)) => other.and_len(self),
-            (Container::Bitmap(a), Container::Bitmap(b)) => (0..WORDS)
-                .map(|i| (a.words[i] & b.words[i]).count_ones() as usize)
-                .sum(),
+            (Container::Bitmap(a), Container::Bitmap(b)) => {
+                kernels::and_words_len(&a.words[..], &b.words[..]) as usize
+            }
+        }
+    }
+
+    /// `min(|self ∩ other|, cap)`: exact when the intersection is smaller
+    /// than `cap`, and stops counting once `cap` is reached — the
+    /// building block of [`crate::RoaringBitmap::intersection_len_at_least`].
+    pub(crate) fn and_len_capped(&self, other: &Container, cap: usize) -> usize {
+        match (self, other) {
+            // Array payloads are at most ARRAY_MAX entries; the full
+            // galloping count is already cheap.
+            (Container::Array(_), Container::Array(_)) => self.and_len(other).min(cap),
+            (Container::Array(a), Container::Bitmap(b)) => {
+                let mut n = 0usize;
+                for &x in a {
+                    if b.contains(x) {
+                        n += 1;
+                        if n >= cap {
+                            return cap;
+                        }
+                    }
+                }
+                n
+            }
+            (Container::Bitmap(_), Container::Array(_)) => other.and_len_capped(self, cap),
+            (Container::Bitmap(a), Container::Bitmap(b)) => {
+                kernels::and_words_len_capped(&a.words[..], &b.words[..], cap)
+            }
+        }
+    }
+
+    /// Calls `f` with `base | low` for every value, ascending, without
+    /// materializing a vector (unlike [`Container::to_sorted_vec`]).
+    pub(crate) fn for_each(&self, base: u32, f: &mut impl FnMut(u32)) {
+        match self {
+            Container::Array(v) => {
+                for &low in v {
+                    f(base | low as u32);
+                }
+            }
+            Container::Bitmap(b) => kernels::words_visit(&b.words[..], base, f),
+        }
+    }
+
+    /// Calls `f` with `base | low` for every value of `self ∩ other`,
+    /// ascending — the non-allocating intersection visitor behind
+    /// [`crate::RoaringBitmap::intersection_for_each`].
+    pub(crate) fn and_for_each(&self, other: &Container, base: u32, f: &mut impl FnMut(u32)) {
+        match (self, other) {
+            (Container::Array(a), Container::Array(b)) => {
+                kernels::intersect_visit(a, b, |x| f(base | x as u32));
+            }
+            (Container::Array(a), Container::Bitmap(b))
+            | (Container::Bitmap(b), Container::Array(a)) => {
+                for &x in a {
+                    if b.contains(x) {
+                        f(base | x as u32);
+                    }
+                }
+            }
+            (Container::Bitmap(a), Container::Bitmap(b)) => {
+                kernels::and_words_visit(&a.words[..], &b.words[..], base, f);
+            }
         }
     }
 
@@ -475,9 +528,10 @@ impl Container {
             return false;
         }
         match (self, other) {
-            (Container::Array(a), _) => a.iter().all(|&x| other.contains(x)),
+            (Container::Array(a), Container::Array(b)) => kernels::is_subset_sorted(a, b),
+            (Container::Array(a), Container::Bitmap(b)) => a.iter().all(|&x| b.contains(x)),
             (Container::Bitmap(a), Container::Bitmap(b)) => {
-                (0..WORDS).all(|i| a.words[i] & !b.words[i] == 0)
+                kernels::subset_words(&a.words[..], &b.words[..])
             }
             // A bitmap container has > ARRAY_MAX entries, an array container
             // at most ARRAY_MAX, so the len() guard above already returned.
@@ -488,35 +542,8 @@ impl Container {
 
 fn intersect_sorted(a: &[u16], b: &[u16]) -> Vec<u16> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    kernels::intersect_into(a, b, &mut out);
     out
-}
-
-fn intersect_sorted_len(a: &[u16], b: &[u16]) -> usize {
-    let (mut i, mut j, mut n) = (0, 0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    n
 }
 
 fn union_sorted(a: &[u16], b: &[u16]) -> Vec<u16> {

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod container;
+pub mod kernels;
 pub mod wire;
 
 pub use wire::WireError;
@@ -194,6 +195,69 @@ impl RoaringBitmap {
             value_idx: 0,
             key: 0,
         }
+    }
+
+    /// Calls `f` for every value of the set in ascending order without
+    /// allocating — bitmap containers are decoded word at a time straight
+    /// into the callback, so this is the fast way to bulk-feed an
+    /// accumulator (the query engine's admit phase).
+    pub fn for_each(&self, mut f: impl FnMut(u32)) {
+        for (key, c) in &self.containers {
+            c.for_each((*key as u32) << 16, &mut f);
+        }
+    }
+
+    /// Calls `f` for every value of `self ∩ other` in ascending order
+    /// without materializing the intersection — the non-allocating visitor
+    /// form of [`RoaringBitmap::intersection_iter`]. Array∩array pairs use
+    /// a galloping search when one side is much smaller; bitmap∩bitmap
+    /// pairs AND words and decode set bits directly into the callback.
+    pub fn intersection_for_each(&self, other: &RoaringBitmap, mut f: impl FnMut(u32)) {
+        let (mut i, mut j) = (0, 0);
+        while i < self.containers.len() && j < other.containers.len() {
+            let (ka, ca) = &self.containers[i];
+            let (kb, cb) = &other.containers[j];
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    ca.and_for_each(cb, (*ka as u32) << 16, &mut f);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether `|self ∩ other| >= n`, stopping as soon as the answer is
+    /// known instead of counting the full intersection.
+    pub fn intersection_len_at_least(&self, other: &RoaringBitmap, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let mut needed = n;
+        let (mut i, mut j) = (0, 0);
+        while i < self.containers.len() && j < other.containers.len() {
+            match self.containers[i].0.cmp(&other.containers[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Counting is capped at `needed`, so a hit in a dense
+                    // pair returns after a few cache lines.
+                    let cap = needed.min(usize::MAX as u64) as usize;
+                    let got = self.containers[i]
+                        .1
+                        .and_len_capped(&other.containers[j].1, cap);
+                    if got as u64 >= needed {
+                        return true;
+                    }
+                    needed -= got as u64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        false
     }
 
     /// `|self ∩ other|` without materializing the intersection.

@@ -7,7 +7,7 @@
 //! and Figure 8 of the paper — which the `fig08_pr_normalization` bench
 //! reproduces by sweeping the geohash depth.
 
-use geodabs_geo::{GeoError, Geohash, Point};
+use geodabs_geo::{CellEncoder, GeoError, Geohash, Point};
 use geodabs_roadnet::matching::{map_match, MatchConfig};
 use geodabs_roadnet::{RoadNetError, RoadNetwork, SpatialIndex};
 
@@ -182,8 +182,9 @@ impl Normalizer for GeohashNormalizer {
         };
         let mut out: Vec<Point> = Vec::with_capacity(input.len());
         let mut current: Option<Geohash> = None;
+        let encoder = CellEncoder::new(self.depth).expect("depth validated at construction");
         for p in input.iter() {
-            let h = Geohash::encode(p, self.depth).expect("depth validated at construction");
+            let h = encoder.encode(p);
             match current {
                 Some(c) if c == h => {}
                 Some(c) => {
