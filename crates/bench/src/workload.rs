@@ -1065,6 +1065,38 @@ pub fn verify_against_rebuild(restored: &AnyIndex, scenario: &Scenario) -> Resul
     Ok(dataset.queries().len())
 }
 
+/// One server-side stage's latency distribution over a load run, from
+/// the before/after delta of the server's own histograms — the view the
+/// client cannot measure (decode, engine scan, merge, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStage {
+    /// Stage name (e.g. `decode`, `engine`, `merge`, `request`).
+    pub name: String,
+    /// Samples the stage recorded during the run.
+    pub count: u64,
+    /// Median, microseconds (nearest-rank, bucket upper bound).
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+}
+
+/// The server's own telemetry over a load run: per-stage latency deltas
+/// plus the mux saturation gauges, scraped via the metrics frame before
+/// and after the ladder.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerSide {
+    /// Per-stage latency distributions, server clock.
+    pub stages: Vec<ServerStage>,
+    /// Peak simultaneously-busy mux workers over the server's lifetime.
+    pub workers_busy_peak: u64,
+    /// Peak frames in flight (decoded, not yet answered).
+    pub frames_in_flight_peak: u64,
+    /// Peak concurrent connections.
+    pub connections_peak: u64,
+}
+
 /// Everything one serving run measured: client-observed throughput and
 /// latency per concurrent-connection count, over loopback or against a
 /// remote server.
@@ -1082,6 +1114,10 @@ pub struct ServeReport {
     pub verified: bool,
     /// One load point per measured connection count.
     pub points: Vec<LoadRun>,
+    /// Server-side telemetry over the whole ladder (`None` unless the
+    /// driver scraped the metrics frame, e.g. `loadtest
+    /// --server-metrics`).
+    pub server: Option<ServerSide>,
 }
 
 impl ServeReport {
@@ -1101,7 +1137,7 @@ impl ServeReport {
     /// report; the `kind` field marks the different shape, so the ingest
     /// perf gate rejects a serve report as a baseline.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
             ("kind", Json::Str("serve".into())),
             ("scenario", Json::Str(self.scenario.name.clone())),
@@ -1146,7 +1182,50 @@ impl ServeReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(server) = &self.server {
+            fields.push((
+                "server",
+                Json::obj(vec![
+                    (
+                        "stages",
+                        Json::Arr(
+                            server
+                                .stages
+                                .iter()
+                                .map(|s| {
+                                    Json::obj(vec![
+                                        ("name", Json::Str(s.name.clone())),
+                                        ("count", Json::Num(s.count as f64)),
+                                        (
+                                            "latency_us",
+                                            Json::obj(vec![
+                                                ("p50", Json::Num(s.p50_us as f64)),
+                                                ("p95", Json::Num(s.p95_us as f64)),
+                                                ("p99", Json::Num(s.p99_us as f64)),
+                                            ]),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "workers_busy_peak",
+                        Json::Num(server.workers_busy_peak as f64),
+                    ),
+                    (
+                        "frames_in_flight_peak",
+                        Json::Num(server.frames_in_flight_peak as f64),
+                    ),
+                    (
+                        "connections_peak",
+                        Json::Num(server.connections_peak as f64),
+                    ),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -1258,6 +1337,7 @@ pub fn run_serve(
         query_limit,
         verified: true,
         points: points?,
+        server: None,
     })
 }
 

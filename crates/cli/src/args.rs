@@ -73,7 +73,7 @@ pub struct Args {
 /// Subcommands the binary understands.
 pub const COMMANDS: &[&str] = &[
     "build", "stats", "search", "tune", "world", "export", "bench", "snapshot", "serve",
-    "frontend", "loadtest", "wal", "help",
+    "frontend", "loadtest", "metrics", "wal", "help",
 ];
 
 /// Commands taking a bare action token before the flags, with the actions
@@ -85,7 +85,7 @@ const ACTIONS: &[(&str, &[&str])] = &[
 
 /// Flags that take no value: their presence is the whole message (read
 /// with [`Args::has`]). Everything else requires `--name value`.
-const BOOLEAN_FLAGS: &[&str] = &["json"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "server-metrics", "text"];
 
 impl Args {
     /// Parses a raw argument list (without the program name).

@@ -34,6 +34,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Erro
         "serve" => serve(args, out),
         "frontend" => frontend(args, out),
         "loadtest" => loadtest(args, out),
+        "metrics" => metrics(args, out),
         "wal" => wal(args, out),
         "help" => {
             write!(out, "{}", HELP)?;
@@ -71,7 +72,8 @@ USAGE:
                    [--threads T] [--duration SECS] [--num-shards P]
   geodabs loadtest --addr HOST:PORT [--connections N] [--duration SECS]
                    [--scenario NAME] [--seed S] [--limit K]
-                   [--verify local|none] [--out DIR]
+                   [--verify local|none] [--out DIR] [--server-metrics]
+  geodabs metrics  --addr HOST:PORT [--top N] [--text] [--out FILE]
   geodabs wal inspect --dir DIR
   geodabs wal replay  --dir DIR [--out FILE]
                       [--backend geodab|geohash|cluster] [--nodes N] [--shards P]
@@ -148,6 +150,21 @@ exactly like a monolithic server. The `distributed` bench scenario
 boots 1, 2 and 4 shard servers plus a frontend on loopback and writes
 BENCH_distributed.json (QPS vs shard-server count, every response
 verified).
+
+`metrics` scrapes a running server's telemetry over the wire: request
+counters and latency histograms per frame type, mux gauges
+(connections, busy workers, frames in flight), WAL and compaction
+figures, engine pruning counters, per-stage server-side timings and the
+slow-query log (slowest first, each entry carrying its trace id and
+per-stage breakdown). `--text` prints the raw Prometheus exposition
+instead; `--out FILE` writes that exposition to a file (the CI smoke
+jobs upload it as an artifact). Telemetry is on by default and costs a
+clock read per stage; GEODABS_METRICS=off disables it server-side, and
+GEODABS_SLOW_US sets the slow-query threshold (default 1000).
+`loadtest --server-metrics` scrapes the server before and after the
+ladder and reports the delta: server-clock p50/p95/p99 per stage
+(decode, engine, merge, …) next to the client-observed view, plus the
+real mux saturation gauges.
 ";
 
 fn network(seed: u64) -> RoadNetwork {
@@ -1394,8 +1411,10 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
         "limit",
         "verify",
         "out",
+        "server-metrics",
     ])?;
     let addr = args.string_required("addr")?;
+    let server_metrics = args.has("server-metrics");
     let connections = args.usize_or("connections", 4)?.max(1);
     let seconds_per_point = args.u64_or("duration", 2)?.max(1) as f64;
     let limit = args.usize_or("limit", workload::VERIFY_LIMIT)?;
@@ -1436,11 +1455,10 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
             stats.terms
         )?;
     }
-    // The multiplexer sweeps many connections per worker, so wide
-    // ladders are expected; report the saturation figure so readers can
-    // interpret the latency tail (many connections per worker trades
-    // per-request latency for aggregate throughput, by design).
-    if stats.workers > 0 {
+    // Without the metrics frame the best saturation signal is the
+    // client-side heuristic; with --server-metrics the real gauges
+    // (busy workers, frames in flight) replace it after the run.
+    if !server_metrics && stats.workers > 0 {
         let saturation = (connections as f64) / (stats.workers as f64);
         writeln!(
             out,
@@ -1449,6 +1467,21 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
             stats.workers
         )?;
     }
+    let before = if server_metrics {
+        Some(
+            Client::connect(addr.as_str())
+                .map_err(|e| format!("connecting to {addr}: {e}"))?
+                .metrics()
+                .map_err(|e| {
+                    format!(
+                        "scraping {addr} for --server-metrics: {e} (pre-metrics servers and \
+                         GEODABS_METRICS=off builds cannot serve the frame)"
+                    )
+                })?,
+        )
+    } else {
+        None
+    };
 
     let expected = match verify.as_str() {
         "none" => None,
@@ -1531,6 +1564,42 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
         )?;
     }
 
+    // With --server-metrics, scrape again and report the delta: the
+    // server's own clock on each stage next to the client view above.
+    let server = match before {
+        Some(before) => {
+            let after = Client::connect(addr.as_str())
+                .map_err(|e| format!("connecting to {addr}: {e}"))?
+                .metrics()
+                .map_err(|e| format!("re-scraping {addr}: {e}"))?;
+            let side = server_side_delta(&before, &after);
+            if side.stages.is_empty() {
+                writeln!(
+                    out,
+                    "server-side       no stage histograms recorded (GEODABS_METRICS=off?)"
+                )?;
+            }
+            for stage in &side.stages {
+                writeln!(
+                    out,
+                    "server  {:<10} {:>9} sample(s)  p50 {} us  p95 {} us  p99 {} us",
+                    stage.name, stage.count, stage.p50_us, stage.p95_us, stage.p99_us
+                )?;
+            }
+            writeln!(
+                out,
+                "mux saturation    peak {} of {} worker(s) busy, peak {} frame(s) in flight, \
+                 peak {} connection(s) (server gauges)",
+                side.workers_busy_peak,
+                stats.workers,
+                side.frames_in_flight_peak,
+                side.connections_peak
+            )?;
+            Some(side)
+        }
+        None => None,
+    };
+
     // Write the report before any failure below: the machine-readable
     // record matters most exactly when the run fails (CI uploads it as
     // an artifact either way).
@@ -1541,6 +1610,7 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
         query_limit: limit,
         verified,
         points,
+        server,
     };
     let path = std::path::Path::new(&out_dir).join(report.file_name());
     std::fs::write(&path, report.to_json().pretty())?;
@@ -1554,6 +1624,141 @@ fn loadtest(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Err
     }
     if verified {
         writeln!(out, "verify            PASS (every response bit-identical)")?;
+    }
+    Ok(())
+}
+
+/// The server-side stages `loadtest --server-metrics` reports, as
+/// `(stage label, registered histogram name)` pairs. Absent or empty
+/// histograms are skipped, so the same table serves monoliths (lock,
+/// engine), sharded servers (merge) and frontends (scatter, merge).
+const SERVER_STAGES: &[(&str, &str)] = &[
+    ("request", "geodabs_request_latency_us{kind=\"query\"}"),
+    ("decode", "geodabs_decode_us"),
+    ("lock", "geodabs_stage_lock_us"),
+    ("engine", "geodabs_stage_engine_us"),
+    ("scatter", "geodabs_scatter_shard_us"),
+    ("merge", "geodabs_stage_merge_us"),
+    ("encode", "geodabs_encode_us"),
+];
+
+/// Folds two metrics scrapes into the server-side view of a load run:
+/// per-stage latency quantiles from the histogram deltas, plus the mux
+/// gauge peaks (peaks are process-lifetime, not deltas — the run can
+/// only have raised them).
+fn server_side_delta(
+    before: &geodabs_serve::MetricsReport,
+    after: &geodabs_serve::MetricsReport,
+) -> geodabs_bench::workload::ServerSide {
+    use geodabs_bench::workload::{ServerSide, ServerStage};
+    let mut stages = Vec::new();
+    for (label, name) in SERVER_STAGES {
+        let Some(current) = after.histogram(name) else {
+            continue;
+        };
+        let current = current.snapshot();
+        let delta = match before.histogram(name) {
+            Some(earlier) => current.delta(&earlier.snapshot()),
+            None => current,
+        };
+        if delta.is_empty() {
+            continue;
+        }
+        stages.push(ServerStage {
+            name: (*label).to_string(),
+            count: delta.count(),
+            p50_us: delta.quantile(50.0),
+            p95_us: delta.quantile(95.0),
+            p99_us: delta.quantile(99.0),
+        });
+    }
+    let peak = |name: &str| after.gauge(name).map(|(_, peak)| peak).unwrap_or(0);
+    ServerSide {
+        stages,
+        workers_busy_peak: peak("geodabs_mux_workers_busy"),
+        frames_in_flight_peak: peak("geodabs_mux_frames_in_flight"),
+        connections_peak: peak("geodabs_connections"),
+    }
+}
+
+fn metrics(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use geodabs_serve::Client;
+
+    args.reject_unknown_flags(&["addr", "top", "text", "out"])?;
+    let addr = args.string_required("addr")?;
+    let top = args.usize_or("top", 5)?;
+    let report = Client::connect(addr.as_str())
+        .map_err(|e| format!("connecting to {addr}: {e}"))?
+        .metrics()
+        .map_err(|e| format!("scraping {addr}: {e} (pre-metrics servers answer with an error)"))?;
+
+    if let Some(path) = args.has("out").then(|| args.string_or("out", "")) {
+        std::fs::write(&path, &report.text)?;
+        writeln!(out, "exposition        {path}")?;
+    }
+    if args.has("text") {
+        write!(out, "{}", report.text)?;
+        return Ok(());
+    }
+
+    writeln!(out, "server            {addr}")?;
+    writeln!(out, "counters          {}", report.counters.len())?;
+    for (name, total) in &report.counters {
+        writeln!(out, "  {name}  {total}")?;
+    }
+    writeln!(
+        out,
+        "gauges            {} (value / peak)",
+        report.gauges.len()
+    )?;
+    for (name, value, peak) in &report.gauges {
+        writeln!(out, "  {name}  {value} / {peak}")?;
+    }
+    let populated = report
+        .histograms
+        .iter()
+        .filter(|h| !h.buckets.is_empty())
+        .count();
+    writeln!(
+        out,
+        "histograms        {populated} of {} non-empty (count, us at p50/p95/p99)",
+        report.histograms.len()
+    )?;
+    for histogram in &report.histograms {
+        let snapshot = histogram.snapshot();
+        if snapshot.is_empty() {
+            continue;
+        }
+        writeln!(
+            out,
+            "  {}  {}  p50 {} us  p95 {} us  p99 {} us",
+            histogram.name,
+            snapshot.count(),
+            snapshot.quantile(50.0),
+            snapshot.quantile(95.0),
+            snapshot.quantile(99.0)
+        )?;
+    }
+    writeln!(
+        out,
+        "slow queries      {} captured, showing {}",
+        report.slow_queries.len(),
+        report.slow_queries.len().min(top)
+    )?;
+    for slow in report.slow_queries.iter().take(top) {
+        let stages: Vec<String> = slow
+            .stages
+            .iter()
+            .map(|(stage, us)| format!("{stage}={us}us"))
+            .collect();
+        writeln!(
+            out,
+            "  trace {:016x}  {}  {} us  [{}]",
+            slow.trace_id,
+            slow.kind,
+            slow.total_us,
+            stages.join(" ")
+        )?;
     }
     Ok(())
 }
@@ -2218,6 +2423,65 @@ mod tests {
                 .and_then(geodabs_bench::json::Json::as_bool),
             Some(true)
         );
+
+        // The same ladder with --server-metrics: the heuristic line is
+        // replaced by the real gauges and the server's own per-stage
+        // latency shows up, both on stdout and in the JSON report.
+        let out = run_to_string(&[
+            "loadtest",
+            "--addr",
+            addr,
+            "--connections",
+            "2",
+            "--duration",
+            "1",
+            "--scenario",
+            "micro",
+            "--out",
+            dir.to_str().unwrap(),
+            "--server-metrics",
+        ])
+        .unwrap();
+        assert!(!out.contains("connection(s) per mux worker"), "{out}");
+        assert!(out.contains("server  request"), "{out}");
+        assert!(out.contains("server  engine"), "{out}");
+        assert!(out.contains("mux saturation    peak"), "{out}");
+        let report = std::fs::read_to_string(dir.join("BENCH_serve.json")).expect("report");
+        let parsed = geodabs_bench::json::Json::parse(&report).expect("valid JSON");
+        let stages = parsed
+            .get("server")
+            .and_then(|s| s.get("stages"))
+            .and_then(geodabs_bench::json::Json::as_array)
+            .expect("server stages in report");
+        assert!(!stages.is_empty(), "{report}");
+
+        // The standalone scraper against the same server: counters,
+        // gauges, histograms and the raw exposition must all render.
+        let scraped = run_to_string(&["metrics", "--addr", addr, "--top", "3"]).unwrap();
+        assert!(
+            scraped.contains("geodabs_requests_total{kind=\"query\"}"),
+            "{scraped}"
+        );
+        assert!(scraped.contains("geodabs_connections"), "{scraped}");
+        assert!(
+            scraped.contains("geodabs_request_latency_us{kind=\"query\"}"),
+            "{scraped}"
+        );
+        assert!(scraped.contains("slow queries"), "{scraped}");
+        let exposition_path = tmp("serve-roundtrip-metrics.prom");
+        let text = run_to_string(&[
+            "metrics",
+            "--addr",
+            addr,
+            "--text",
+            "--out",
+            &exposition_path,
+        ])
+        .unwrap();
+        assert!(text.contains("# TYPE"), "{text}");
+        assert!(text.contains("geodabs_requests_total"), "{text}");
+        let written = std::fs::read_to_string(&exposition_path).expect("exposition file");
+        assert!(written.contains("geodabs_requests_total"), "{written}");
 
         // A same-size corpus from another seed passes the length probe
         // but every response then diverges from the local expectation —

@@ -53,8 +53,44 @@ use geodabs_roaring::RoaringBitmap;
 use geodabs_traj::TrajId;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{SearchOptions, SearchResult};
+
+// Process-wide scan telemetry: relaxed monotonic counters every search
+// bumps, cheap enough to stay unconditional. The serve layer folds them
+// into its metrics registry at scrape time; the engine itself has no
+// registry dependency.
+static SEARCHES: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES_SCANNED: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES_ADMITTED: AtomicU64 = AtomicU64::new(0);
+static PRUNE_CUTOFFS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the engine's process-wide scan counters
+/// (see [`telemetry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Searches run since process start.
+    pub searches: u64,
+    /// Distinct candidates touched across all searches.
+    pub candidates_scanned: u64,
+    /// Hits admitted into final rankings across all searches.
+    pub candidates_admitted: u64,
+    /// Searches whose admission pruning cut off new candidates early.
+    pub prune_cutoffs: u64,
+}
+
+/// Reads the engine's cumulative scan counters. Process-wide and
+/// monotonic: every backend sharing this process accumulates into the
+/// same totals.
+pub fn telemetry() -> EngineTelemetry {
+    EngineTelemetry {
+        searches: SEARCHES.load(Ordering::Relaxed),
+        candidates_scanned: CANDIDATES_SCANNED.load(Ordering::Relaxed),
+        candidates_admitted: CANDIDATES_ADMITTED.load(Ordering::Relaxed),
+        prune_cutoffs: PRUNE_CUTOFFS.load(Ordering::Relaxed),
+    }
+}
 
 /// A `TrajId ↔ u32` interning table with slot reuse.
 ///
@@ -621,7 +657,14 @@ impl<T: Copy + Eq + Hash + Ord> PostingLists<T> {
                 distance: 1.0 - ov as f64 / union as f64,
             });
         }
-        topk.into_sorted()
+        let hits = topk.into_sorted();
+        SEARCHES.fetch_add(1, Ordering::Relaxed);
+        CANDIDATES_SCANNED.fetch_add(touched.len() as u64, Ordering::Relaxed);
+        CANDIDATES_ADMITTED.fetch_add(hits.len() as u64, Ordering::Relaxed);
+        if !admit_new {
+            PRUNE_CUTOFFS.fetch_add(1, Ordering::Relaxed);
+        }
+        hits
     }
 
     /// The `k`-th smallest *guaranteed* distance among the current

@@ -57,6 +57,7 @@ pub mod store;
 pub mod tuning;
 
 pub use boolean::{MatchLevel, PositionalIndex};
+pub use engine::{telemetry as engine_telemetry, EngineTelemetry};
 pub use geodab_index::GeodabIndex;
 pub use geohash_index::GeohashIndex;
 pub use result::{SearchOptions, SearchResult};

@@ -62,7 +62,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+use geodabs_obs::TraceId;
+
 use crate::client::Client;
+use crate::metrics::ServeMetrics;
 use crate::mux::{self, RESPONSE_TOO_LARGE};
 use crate::proto::{QueryBody, Request, Response, StatsBody, WireError, MAX_FRAME_LEN};
 use crate::server::{RunningServer, ServerConfigError, ServerHandle};
@@ -207,6 +210,7 @@ struct FrontendShared {
     workers: usize,
     shutdown: Arc<AtomicBool>,
     requests: AtomicU64,
+    metrics: ServeMetrics,
 }
 
 /// A frontend bound to its socket but not yet serving; call
@@ -258,6 +262,7 @@ impl Frontend {
             workers,
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: AtomicU64::new(0),
+            metrics: ServeMetrics::from_env(),
         });
         Ok(Frontend {
             listener,
@@ -294,6 +299,7 @@ impl Frontend {
             self.workers,
             &shared.shutdown,
             &shared.requests,
+            &shared.metrics,
             || ShardPool::new(shared),
             |pool, request| execute(shared, pool, request),
         )
@@ -315,12 +321,17 @@ impl Frontend {
 struct ShardPool<'a> {
     shared: &'a FrontendShared,
     clients: Vec<Option<Client>>,
+    /// Nodes that rejected a trace-carrying `ShardQuery` (a pre-trace
+    /// server build): once latched, this worker sends them the legacy
+    /// frame shape instead of failing every traced query.
+    legacy_trace: Vec<bool>,
 }
 
 impl<'a> ShardPool<'a> {
     fn new(shared: &'a FrontendShared) -> ShardPool<'a> {
         ShardPool {
             clients: (0..shared.shard_addrs.len()).map(|_| None).collect(),
+            legacy_trace: vec![false; shared.shard_addrs.len()],
             shared,
         }
     }
@@ -366,20 +377,37 @@ impl<'a> ShardPool<'a> {
     /// then in-order receives) and gather the responses. Nodes whose
     /// pipelined leg failed are retried individually; a node that
     /// still cannot answer fails the whole scatter with its error.
+    ///
+    /// `legacy` is the trace-less shape of `request`, when it has one:
+    /// nodes latched as pre-trace builds receive it instead, and a node
+    /// that rejects the traced frame as malformed is retried with it
+    /// (and latched on success) — so a mixed-version cluster degrades
+    /// to untraced queries instead of failing.
     fn scatter(
         &mut self,
         nodes: &[usize],
         request: &Request,
+        legacy: Option<&Request>,
     ) -> Result<Vec<Response>, (usize, WireError)> {
+        let metrics = &self.shared.metrics;
+        let started = metrics.now();
         let mut sent = vec![false; nodes.len()];
         for (slot, &node) in nodes.iter().enumerate() {
+            let outgoing = match legacy {
+                Some(legacy) if self.legacy_trace[node] => legacy,
+                _ => request,
+            };
             sent[slot] = match self.client(node) {
-                Ok(client) => client.send(request).is_ok(),
+                Ok(client) => client.send(outgoing).is_ok(),
                 Err(_) => false,
             };
         }
         let mut responses = Vec::with_capacity(nodes.len());
         for (slot, &node) in nodes.iter().enumerate() {
+            let outgoing = match legacy {
+                Some(legacy) if self.legacy_trace[node] => legacy,
+                _ => request,
+            };
             let first = if sent[slot] {
                 match self.clients[node].as_mut().expect("sent on it").recv() {
                     Ok(response) => Some(response),
@@ -392,16 +420,40 @@ impl<'a> ShardPool<'a> {
                 self.clients[node] = None;
                 None
             };
-            match first {
-                Some(response) => responses.push(response),
+            let mut response = match first {
+                Some(response) => response,
                 // The pipelined leg failed: fall back to the serial
                 // reconnect-and-retry path for this node alone.
-                None => match self.exchange(node, request) {
-                    Ok(response) => responses.push(response),
+                None => match self.exchange(node, outgoing) {
+                    Ok(response) => response,
                     Err(e) => return Err((node, e)),
                 },
+            };
+            // A pre-trace build cannot decode the trace tail and
+            // answers "bad request": resend the legacy shape once and
+            // remember the node's vintage.
+            if let (Some(legacy), Response::Error(message)) = (legacy, &response) {
+                if !self.legacy_trace[node] && message.starts_with("bad request") {
+                    match self.exchange(node, legacy) {
+                        Ok(retried) => {
+                            self.legacy_trace[node] = true;
+                            response = retried;
+                        }
+                        Err(e) => return Err((node, e)),
+                    }
+                }
             }
+            if let Some(started) = started {
+                // Time-to-answer per scatter leg, measured from the
+                // scatter's start: leg i includes draining legs < i,
+                // which is exactly the tail the merge waits on.
+                metrics
+                    .scatter_shard_us
+                    .record(started.elapsed().as_micros() as u64);
+            }
+            responses.push(response);
         }
+        metrics.scatter_fanout.record(nodes.len() as u64);
         Ok(responses)
     }
 }
@@ -430,25 +482,41 @@ fn query_fingerprints(shared: &FrontendShared, query: &QueryBody) -> Fingerprint
     }
 }
 
-/// One scatter/gather ranked retrieval. The caller holds the indexed
-/// set's read lock.
+/// One scatter/gather ranked retrieval, tagged with `trace` on the
+/// wire. The caller holds the indexed set's read lock; `stages` gains
+/// the scatter and merge spans when metrics are enabled.
 fn scatter_query(
     shared: &FrontendShared,
     pool: &mut ShardPool<'_>,
     fp: &Fingerprints,
     options: &SearchOptions,
+    trace: u64,
+    stages: &mut Vec<(String, u64)>,
 ) -> Result<Vec<SearchResult>, Response> {
     if fp.is_empty() {
         return Ok(Vec::new());
     }
+    let metrics = &shared.metrics;
     let nodes = shared.router.nodes_for_terms(fp.ordered().iter().copied());
     let request = Request::ShardQuery {
         terms: fp.ordered().to_vec(),
         options: *options,
+        trace,
     };
+    // The trace-less twin, for nodes running a pre-trace build (see
+    // ShardPool::scatter). Built only when a trace is actually carried.
+    let legacy = (trace != 0).then(|| Request::ShardQuery {
+        terms: fp.ordered().to_vec(),
+        options: *options,
+        trace: 0,
+    });
+    let scatter_started = metrics.now();
     let responses = pool
-        .scatter(&nodes, &request)
+        .scatter(&nodes, &request, legacy.as_ref())
         .map_err(|(node, e)| unavailable(node, e))?;
+    if let Some(started) = scatter_started {
+        stages.push(("scatter".to_string(), started.elapsed().as_micros() as u64));
+    }
     let mut heaps = Vec::with_capacity(responses.len());
     for (response, &node) in responses.into_iter().zip(&nodes) {
         match response {
@@ -462,7 +530,13 @@ fn scatter_query(
             }
         }
     }
-    Ok(merge_heaps(heaps, options))
+    let merge_started = metrics.now();
+    let merged = merge_heaps(heaps, options);
+    let merge_us = metrics.record_since(&metrics.stage_merge_us, merge_started);
+    if merge_started.is_some() {
+        stages.push(("merge".to_string(), merge_us));
+    }
+    Ok(merged)
 }
 
 /// Broadcast one mutation to **all** nodes; every node must ack. The
@@ -474,7 +548,7 @@ fn broadcast(
 ) -> Result<(), Response> {
     let nodes: Vec<usize> = (0..shared.shard_addrs.len()).collect();
     let responses = pool
-        .scatter(&nodes, request)
+        .scatter(&nodes, request, None)
         .map_err(|(node, e)| unavailable(node, e))?;
     for (response, node) in responses.into_iter().zip(nodes) {
         match response {
@@ -506,8 +580,17 @@ fn execute(shared: &FrontendShared, pool: &mut ShardPool<'_>, request: Request) 
         },
         Request::Query { query, options } => match shared.indexed.read() {
             Ok(_indexed) => {
+                let metrics = &shared.metrics;
+                let trace = TraceId::mint().raw();
+                let started = metrics.now();
+                let mut stages = Vec::new();
                 let fp = query_fingerprints(shared, &query);
-                match scatter_query(shared, pool, &fp, &options) {
+                let result = scatter_query(shared, pool, &fp, &options, trace, &mut stages);
+                if let Some(started) = started {
+                    let total_us = started.elapsed().as_micros() as u64;
+                    metrics.observe_slow(trace, "query", total_us, stages);
+                }
+                match result {
                     Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
                         Response::Error(RESPONSE_TOO_LARGE.to_string())
                     }
@@ -519,11 +602,15 @@ fn execute(shared: &FrontendShared, pool: &mut ShardPool<'_>, request: Request) 
         },
         Request::QueryBatch { queries, options } => match shared.indexed.read() {
             Ok(_indexed) => {
+                let metrics = &shared.metrics;
+                let trace = TraceId::mint().raw();
+                let started = metrics.now();
+                let mut stages = Vec::new();
                 let mut batches = Vec::with_capacity(queries.len());
                 let mut total_hits = 0usize;
                 for query in &queries {
                     let fp = query_fingerprints(shared, query);
-                    match scatter_query(shared, pool, &fp, &options) {
+                    match scatter_query(shared, pool, &fp, &options, trace, &mut stages) {
                         Ok(hits) => {
                             total_hits += hits.len();
                             if total_hits > MAX_RESPONSE_HITS {
@@ -533,6 +620,10 @@ fn execute(shared: &FrontendShared, pool: &mut ShardPool<'_>, request: Request) 
                         }
                         Err(refusal) => return refusal,
                     }
+                }
+                if let Some(started) = started {
+                    let total_us = started.elapsed().as_micros() as u64;
+                    metrics.observe_slow(trace, "query_batch", total_us, stages);
                 }
                 Response::HitsBatch(batches)
             }
@@ -576,6 +667,7 @@ fn execute(shared: &FrontendShared, pool: &mut ShardPool<'_>, request: Request) 
             }
             Err(_) => poisoned(),
         },
+        Request::Metrics => Response::Metrics(shared.metrics.report()),
         Request::ShardQuery { .. } | Request::ShardInsert { .. } => Response::Error(
             "the frontend does not answer shard frames; address them to a shard server".to_string(),
         ),

@@ -70,6 +70,7 @@
 
 mod client;
 mod frontend;
+mod metrics;
 mod mux;
 pub mod proto;
 mod server;
@@ -77,7 +78,10 @@ mod shards;
 
 pub use client::{percentile, Client, LoadClient, LoadRun};
 pub use frontend::{Frontend, FrontendConfig, FrontendConfigBuilder};
-pub use proto::{DurabilityStats, QueryBody, Request, Response, StatsBody, WireError};
+pub use proto::{
+    DurabilityStats, MetricsHistogram, MetricsReport, MetricsSlowQuery, QueryBody, Request,
+    Response, StatsBody, WireError,
+};
 pub use server::{
     RunningServer, ServeBackend, Server, ServerConfig, ServerConfigBuilder, ServerConfigError,
     ServerHandle, WAL_SNAPSHOT_FILE,

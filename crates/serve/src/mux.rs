@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
 
+use crate::metrics::{kind_index, ServeMetrics};
 use crate::proto::{is_timeout, write_frame, FrameReader, Request, Response, WireError};
 
 /// Frames decoded from one connection per sweep before the worker moves
@@ -85,6 +86,7 @@ pub(crate) fn serve_connections<S, N, H>(
     workers: usize,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
+    metrics: &ServeMetrics,
     state: N,
     respond: H,
 ) -> std::io::Result<()>
@@ -101,7 +103,7 @@ where
             senders.push(tx);
             let state = &state;
             let respond = &respond;
-            scope.spawn(move || worker_loop(rx, shutdown, requests, state(), respond));
+            scope.spawn(move || worker_loop(rx, shutdown, requests, metrics, state(), respond));
         }
         // Transient accept() errors (a peer resetting mid-handshake)
         // are retried with a small back-off; a persistent error streak
@@ -148,6 +150,7 @@ fn worker_loop<S, H>(
     rx: mpsc::Receiver<TcpStream>,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
+    metrics: &ServeMetrics,
     mut state: S,
     respond: &H,
 ) where
@@ -165,18 +168,24 @@ fn worker_loop<S, H>(
         let mut disconnected = false;
         if conns.is_empty() {
             match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(stream) => conns.push(Conn {
-                    reader: FrameReader::new(stream),
-                }),
+                Ok(stream) => {
+                    metrics.connections.add(1);
+                    conns.push(Conn {
+                        reader: FrameReader::new(stream),
+                    });
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
         loop {
             match rx.try_recv() {
-                Ok(stream) => conns.push(Conn {
-                    reader: FrameReader::new(stream),
-                }),
+                Ok(stream) => {
+                    metrics.connections.add(1);
+                    conns.push(Conn {
+                        reader: FrameReader::new(stream),
+                    });
+                }
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => {
                     disconnected = true;
@@ -185,14 +194,19 @@ fn worker_loop<S, H>(
             }
         }
         let mut progress = false;
-        conns.retain_mut(|conn| match sweep(conn, &mut state, respond, requests) {
-            Sweep::Progress => {
-                progress = true;
-                true
-            }
-            Sweep::Idle => true,
-            Sweep::Closed => false,
-        });
+        conns.retain_mut(
+            |conn| match sweep(conn, &mut state, respond, requests, metrics) {
+                Sweep::Progress => {
+                    progress = true;
+                    true
+                }
+                Sweep::Idle => true,
+                Sweep::Closed => {
+                    metrics.connections.sub(1);
+                    false
+                }
+            },
+        );
         if disconnected && conns.is_empty() {
             break;
         }
@@ -207,11 +221,19 @@ fn worker_loop<S, H>(
             }
         }
     }
+    // Connections still held at shutdown close with the worker.
+    metrics.connections.sub(conns.len() as u64);
 }
 
 /// Answers up to [`FRAMES_PER_SWEEP`] complete frames from one
 /// connection; a read that would block ends the sweep.
-fn sweep<S, H>(conn: &mut Conn, state: &mut S, respond: &H, requests: &AtomicU64) -> Sweep
+fn sweep<S, H>(
+    conn: &mut Conn,
+    state: &mut S,
+    respond: &H,
+    requests: &AtomicU64,
+    metrics: &ServeMetrics,
+) -> Sweep
 where
     H: Fn(&mut S, Request) -> Response,
 {
@@ -220,19 +242,40 @@ where
         match conn.reader.read_frame() {
             Ok(None) => return Sweep::Closed,
             Ok(Some(payload)) => {
-                let response = match Request::decode(&payload) {
+                metrics.frames_in_flight.add(1);
+                let started = metrics.now();
+                let decoded = Request::decode(&payload);
+                metrics.record_since(&metrics.decode_us, started);
+                let (kind, response) = match decoded {
                     // A panicking handler must not take the worker (and
                     // every connection it sweeps) down with it: catch
                     // at the request boundary and answer with an error.
-                    Ok(request) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        respond(state, request)
-                    }))
-                    .unwrap_or_else(|_| Response::Error("request handler panicked".to_string())),
-                    Err(e) => Response::Error(format!("bad request: {e}")),
+                    Ok(request) => {
+                        let kind = kind_index(&request);
+                        metrics.workers_busy.add(1);
+                        let response =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                respond(state, request)
+                            }))
+                            .unwrap_or_else(|_| {
+                                Response::Error("request handler panicked".to_string())
+                            });
+                        metrics.workers_busy.sub(1);
+                        (Some(kind), response)
+                    }
+                    Err(e) => (None, Response::Error(format!("bad request: {e}"))),
                 };
                 requests.fetch_add(1, Ordering::Relaxed);
                 answered = true;
-                if !write_response(conn, &response) {
+                let usable = write_response(conn, &response, metrics);
+                if let Some(kind) = kind {
+                    metrics.requests[kind].inc();
+                    if let Some(started) = started {
+                        metrics.latency_us[kind].record(started.elapsed().as_micros() as u64);
+                    }
+                }
+                metrics.frames_in_flight.sub(1);
+                if !usable {
                     return Sweep::Closed;
                 }
             }
@@ -242,7 +285,7 @@ where
                 // mid-frame): answer best-effort, then drop the
                 // connection — later bytes cannot be trusted.
                 let response = Response::Error(format!("bad frame: {e}"));
-                let _ = write_response(conn, &response);
+                let _ = write_response(conn, &response, metrics);
                 return Sweep::Closed;
             }
         }
@@ -257,12 +300,15 @@ where
 /// Writes one response frame whole, with the socket temporarily in
 /// blocking mode (bounded by [`WRITE_TIMEOUT`]). Returns whether the
 /// connection is still usable.
-fn write_response(conn: &mut Conn, response: &Response) -> bool {
+fn write_response(conn: &mut Conn, response: &Response, metrics: &ServeMetrics) -> bool {
     let stream = conn.reader.get_ref();
     if stream.set_nonblocking(false).is_err() {
         return false;
     }
-    let ok = match write_frame(&mut &*stream, &response.encode()) {
+    let started = metrics.now();
+    let encoded = response.encode();
+    metrics.record_since(&metrics.encode_us, started);
+    let ok = match write_frame(&mut &*stream, &encoded) {
         Ok(()) => true,
         // write_frame validates the cap before touching the socket, so
         // an oversized response (a batch of many empty rankings can

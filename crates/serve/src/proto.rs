@@ -32,7 +32,9 @@
 //! 5 Insert      id u32, points u32, points × (lat f64, lon f64)
 //! 6 Remove      id u32
 //! 7 ShardQuery  options, terms u32, terms × geodab u32
+//!               [flags u8, trace u64]   (0x01 = trace id follows)
 //! 8 ShardInsert id u32, terms u32, terms × geodab u32
+//! 9 Metrics
 //! ```
 //!
 //! A query body is `1` (raw trajectory: `points u32, points × (lat f64,
@@ -52,6 +54,7 @@
 //! 7 Error       message u32 + utf8
 //! 8 ShardTopK   count u32, count × (id u32, distance f64)
 //! 9 Unavailable node u32, message u32 + utf8
+//! 10 Metrics    counters, gauges, histograms, slow queries, text
 //! ```
 //!
 //! # Distributed frames
@@ -80,6 +83,24 @@
 //! or no write-ahead log configured) as [`StatsBody::durability`] `=
 //! None`. The compatibility tests pin both directions against frozen
 //! v1-era byte strings.
+//!
+//! # Telemetry frames
+//!
+//! `Metrics` (request tag 9 / response tag 10) fetches the server's
+//! observability state: every registered counter, gauge (with its
+//! high-water mark) and histogram (sparse log-buckets, rebuildable
+//! into a `geodabs_obs::HistogramSnapshot`), the slow-query log with
+//! per-stage timings and trace ids, and the full Prometheus text
+//! exposition. The tags are strictly additive — an old server answers
+//! them with its typed unknown-tag error.
+//!
+//! `ShardQuery` grew an **optional trace tail** the same way `Stats`
+//! grew its flag byte: a traceless request (`trace == 0`) encodes
+//! byte-identically to the legacy shape, so old shard servers keep
+//! answering untraced frontends; a nonzero trace id appends
+//! `flags 0x01, trace u64`, which an old server's strict decoder
+//! rejects typed — the frontend then falls back to untraced requests
+//! for that shard.
 //!
 //! Distances are IEEE-754 bit patterns, so a hit decodes bit-identical
 //! to the [`SearchResult`] the engine produced — the loopback
@@ -365,6 +386,10 @@ pub enum Request {
         terms: Vec<u32>,
         /// Ranking options (shared by every shard of one query).
         options: SearchOptions,
+        /// The frontend's trace id, propagated so a shard's slow-query
+        /// log entries correlate with the frontend's. `0` means "no
+        /// trace" and encodes byte-identically to the legacy frame.
+        trace: u64,
     },
     /// A frontend's insert broadcast: the trajectory's **full** ordered
     /// fingerprints; the shard server keeps its routed slice.
@@ -374,6 +399,9 @@ pub enum Request {
         /// The trajectory's full ordered fingerprint sequence.
         terms: Vec<u32>,
     },
+    /// Fetch the server's metrics registry, slow-query log and text
+    /// exposition.
+    Metrics,
 }
 
 /// Index statistics as reported over the wire.
@@ -407,6 +435,77 @@ pub struct DurabilityStats {
     /// The latest compacted snapshot's watermark (0 before the first
     /// compaction): replay on boot starts after this sequence number.
     pub snapshot_watermark: u64,
+}
+
+/// One histogram as the wire carries it: the name, the sum of all
+/// recorded values, and the non-empty log-buckets in sparse form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsHistogram {
+    /// The registered metric name (labels included).
+    pub name: String,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket index, count)` pairs.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl MetricsHistogram {
+    /// Rebuilds the dense snapshot, ready for quantiles and merging.
+    pub fn snapshot(&self) -> geodabs_obs::HistogramSnapshot {
+        geodabs_obs::HistogramSnapshot::from_sparse(&self.buckets, self.sum)
+    }
+}
+
+/// One slow-query log entry as the wire carries it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSlowQuery {
+    /// The request's trace id (0 if it carried none).
+    pub trace_id: u64,
+    /// The request kind (frame type name).
+    pub kind: String,
+    /// End-to-end service time, microseconds.
+    pub total_us: u64,
+    /// Per-stage timings: `(stage name, microseconds)`.
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Everything [`Request::Metrics`] fetches: typed instrument readings
+/// plus the rendered Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// Counters as `(name, total)`.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, value, peak)`.
+    pub gauges: Vec<(String, u64, u64)>,
+    /// Histograms with sparse buckets.
+    pub histograms: Vec<MetricsHistogram>,
+    /// The slow-query log, slowest first.
+    pub slow_queries: Vec<MetricsSlowQuery>,
+    /// The Prometheus text exposition of the same registry.
+    pub text: String,
+}
+
+impl MetricsReport {
+    /// Looks up a counter's total by full name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge's `(value, peak)` by full name.
+    pub fn gauge(&self, name: &str) -> Option<(u64, u64)> {
+        self.gauges
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, v, p)| (*v, *p))
+    }
+
+    /// Looks up a histogram by full name.
+    pub fn histogram(&self, name: &str) -> Option<&MetricsHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
 }
 
 /// A response message.
@@ -445,6 +544,8 @@ pub enum Response {
         /// Why the shard could not be reached.
         message: String,
     },
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsReport),
 }
 
 const REQ_PING: u8 = 1;
@@ -455,9 +556,13 @@ const REQ_INSERT: u8 = 5;
 const REQ_REMOVE: u8 = 6;
 const REQ_SHARD_QUERY: u8 = 7;
 const REQ_SHARD_INSERT: u8 = 8;
+const REQ_METRICS: u8 = 9;
 
 /// The only `Stats` request flag so far: append the durability tail.
 const STATS_FLAG_DURABILITY: u8 = 0x01;
+
+/// The only `ShardQuery` flag so far: a `trace u64` follows.
+const SHARD_QUERY_FLAG_TRACE: u8 = 0x01;
 
 const BODY_TRAJECTORY: u8 = 1;
 const BODY_FINGERPRINTS: u8 = 2;
@@ -471,6 +576,7 @@ const RESP_REMOVED: u8 = 6;
 const RESP_ERROR: u8 = 7;
 const RESP_SHARD_TOPK: u8 = 8;
 const RESP_UNAVAILABLE: u8 = 9;
+const RESP_METRICS: u8 = 10;
 
 /// Caps a `Vec::with_capacity` taken from untrusted input: never reserve
 /// more entries than the remaining payload could possibly hold.
@@ -634,16 +740,27 @@ impl Request {
                 out.push(REQ_REMOVE);
                 out.extend_from_slice(&id.raw().to_le_bytes());
             }
-            Request::ShardQuery { terms, options } => {
+            Request::ShardQuery {
+                terms,
+                options,
+                trace,
+            } => {
                 out.push(REQ_SHARD_QUERY);
                 write_options(&mut out, options);
                 write_terms(&mut out, terms);
+                // An untraced request stays byte-identical to the
+                // legacy shape, so old shard servers keep answering it.
+                if *trace != 0 {
+                    out.push(SHARD_QUERY_FLAG_TRACE);
+                    out.extend_from_slice(&trace.to_le_bytes());
+                }
             }
             Request::ShardInsert { id, terms } => {
                 out.push(REQ_SHARD_INSERT);
                 out.extend_from_slice(&id.raw().to_le_bytes());
                 write_terms(&mut out, terms);
             }
+            Request::Metrics => out.push(REQ_METRICS),
         }
         out
     }
@@ -697,13 +814,27 @@ impl Request {
             REQ_SHARD_QUERY => {
                 let options = read_options(&mut cursor)?;
                 let terms = read_terms(&mut cursor)?;
-                Request::ShardQuery { terms, options }
+                // Legacy frontends end here; trace-aware ones append a
+                // flags byte and the trace id.
+                let trace = match cursor.remaining() {
+                    0 => 0,
+                    _ => match cursor.u8()? {
+                        SHARD_QUERY_FLAG_TRACE => cursor.u64()?,
+                        _ => return Err(WireError::Corrupt("unknown shard query flags")),
+                    },
+                };
+                Request::ShardQuery {
+                    terms,
+                    options,
+                    trace,
+                }
             }
             REQ_SHARD_INSERT => {
                 let id = TrajId::new(cursor.u32()?);
                 let terms = read_terms(&mut cursor)?;
                 Request::ShardInsert { id, terms }
             }
+            REQ_METRICS => Request::Metrics,
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "request",
@@ -768,6 +899,42 @@ impl Response {
                 out.extend_from_slice(&node.to_le_bytes());
                 write_string(&mut out, message);
             }
+            Response::Metrics(report) => {
+                out.push(RESP_METRICS);
+                out.extend_from_slice(&(report.counters.len() as u32).to_le_bytes());
+                for (name, value) in &report.counters {
+                    write_string(&mut out, name);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+                out.extend_from_slice(&(report.gauges.len() as u32).to_le_bytes());
+                for (name, value, peak) in &report.gauges {
+                    write_string(&mut out, name);
+                    out.extend_from_slice(&value.to_le_bytes());
+                    out.extend_from_slice(&peak.to_le_bytes());
+                }
+                out.extend_from_slice(&(report.histograms.len() as u32).to_le_bytes());
+                for histogram in &report.histograms {
+                    write_string(&mut out, &histogram.name);
+                    out.extend_from_slice(&histogram.sum.to_le_bytes());
+                    out.extend_from_slice(&(histogram.buckets.len() as u32).to_le_bytes());
+                    for (index, count) in &histogram.buckets {
+                        out.extend_from_slice(&index.to_le_bytes());
+                        out.extend_from_slice(&count.to_le_bytes());
+                    }
+                }
+                out.extend_from_slice(&(report.slow_queries.len() as u32).to_le_bytes());
+                for slow in &report.slow_queries {
+                    out.extend_from_slice(&slow.trace_id.to_le_bytes());
+                    write_string(&mut out, &slow.kind);
+                    out.extend_from_slice(&slow.total_us.to_le_bytes());
+                    out.extend_from_slice(&(slow.stages.len() as u32).to_le_bytes());
+                    for (stage, us) in &slow.stages {
+                        write_string(&mut out, stage);
+                        out.extend_from_slice(&us.to_le_bytes());
+                    }
+                }
+                write_string(&mut out, &report.text);
+            }
         }
         out
     }
@@ -829,6 +996,71 @@ impl Response {
                 let node = cursor.u32()?;
                 let message = read_string(&mut cursor)?;
                 Response::Unavailable { node, message }
+            }
+            RESP_METRICS => {
+                let count = cursor.u32()? as usize;
+                let mut counters =
+                    Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 12));
+                for _ in 0..count {
+                    let name = read_string(&mut cursor)?;
+                    let value = cursor.u64()?;
+                    counters.push((name, value));
+                }
+                let count = cursor.u32()? as usize;
+                let mut gauges =
+                    Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 20));
+                for _ in 0..count {
+                    let name = read_string(&mut cursor)?;
+                    let value = cursor.u64()?;
+                    let peak = cursor.u64()?;
+                    gauges.push((name, value, peak));
+                }
+                let count = cursor.u32()? as usize;
+                let mut histograms =
+                    Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 16));
+                for _ in 0..count {
+                    let name = read_string(&mut cursor)?;
+                    let sum = cursor.u64()?;
+                    let bucket_count = cursor.u32()? as usize;
+                    let mut buckets =
+                        Vec::with_capacity(claimed_capacity(bucket_count, cursor.remaining(), 10));
+                    for _ in 0..bucket_count {
+                        let index = cursor.u16()?;
+                        let bucket = cursor.u64()?;
+                        buckets.push((index, bucket));
+                    }
+                    histograms.push(MetricsHistogram { name, sum, buckets });
+                }
+                let count = cursor.u32()? as usize;
+                let mut slow_queries =
+                    Vec::with_capacity(claimed_capacity(count, cursor.remaining(), 24));
+                for _ in 0..count {
+                    let trace_id = cursor.u64()?;
+                    let kind = read_string(&mut cursor)?;
+                    let total_us = cursor.u64()?;
+                    let stage_count = cursor.u32()? as usize;
+                    let mut stages =
+                        Vec::with_capacity(claimed_capacity(stage_count, cursor.remaining(), 12));
+                    for _ in 0..stage_count {
+                        let stage = read_string(&mut cursor)?;
+                        let us = cursor.u64()?;
+                        stages.push((stage, us));
+                    }
+                    slow_queries.push(MetricsSlowQuery {
+                        trace_id,
+                        kind,
+                        total_us,
+                        stages,
+                    });
+                }
+                let text = read_string(&mut cursor)?;
+                Response::Metrics(MetricsReport {
+                    counters,
+                    gauges,
+                    histograms,
+                    slow_queries,
+                    text,
+                })
             }
             tag => {
                 return Err(WireError::UnknownTag {
@@ -894,11 +1126,19 @@ mod tests {
         roundtrip_request(Request::ShardQuery {
             terms: vec![1, 1, 2, u32::MAX],
             options: SearchOptions::default().max_distance(0.5).limit(7),
+            trace: 0,
         });
         roundtrip_request(Request::ShardQuery {
             terms: vec![],
             options: SearchOptions::default(),
+            trace: 0,
         });
+        roundtrip_request(Request::ShardQuery {
+            terms: vec![9, 9, 9],
+            options: SearchOptions::default().limit(3),
+            trace: 0xDEAD_BEEF_CAFE_F00D,
+        });
+        roundtrip_request(Request::Metrics);
         roundtrip_request(Request::ShardInsert {
             id: TrajId::new(9),
             terms: vec![3, 3, 3, 8],
@@ -976,6 +1216,7 @@ mod tests {
         let shard_query = Request::ShardQuery {
             terms: vec![1],
             options: SearchOptions::default(),
+            trace: 0,
         }
         .encode();
         assert_eq!(shard_query[0], REQ_SHARD_QUERY);
@@ -1076,6 +1317,152 @@ mod tests {
             Response::decode(&overlong),
             Err(WireError::Corrupt(_))
         ));
+    }
+
+    /// The exact bytes the pre-telemetry protocol used for a
+    /// `ShardQuery`, as a frozen reference for both compatibility
+    /// directions of the trace extension.
+    fn frozen_old_shard_query(terms: &[u32], limit: u64) -> Vec<u8> {
+        let mut out = vec![REQ_SHARD_QUERY];
+        out.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        out.push(1);
+        out.extend_from_slice(&limit.to_le_bytes());
+        out.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+        for &term in terms {
+            out.extend_from_slice(&term.to_le_bytes());
+        }
+        out
+    }
+
+    /// Old shard server, new frontend: an untraced request is
+    /// byte-identical to the legacy frame. New server, old frontend:
+    /// the legacy frame decodes with `trace == 0`.
+    #[test]
+    fn shard_query_trace_compat_both_directions() {
+        let frozen = frozen_old_shard_query(&[5, 6, 7], 9);
+        assert_eq!(
+            Request::ShardQuery {
+                terms: vec![5, 6, 7],
+                options: SearchOptions::default().limit(9),
+                trace: 0,
+            }
+            .encode(),
+            frozen
+        );
+        assert_eq!(
+            Request::decode(&frozen).unwrap(),
+            Request::ShardQuery {
+                terms: vec![5, 6, 7],
+                options: SearchOptions::default().limit(9),
+                trace: 0,
+            }
+        );
+        // A traced frame is the frozen bytes plus exactly the flagged
+        // tail — an old server's strict decoder rejects it typed.
+        let traced = Request::ShardQuery {
+            terms: vec![5, 6, 7],
+            options: SearchOptions::default().limit(9),
+            trace: 0xABCD,
+        }
+        .encode();
+        assert_eq!(&traced[..frozen.len()], &frozen[..]);
+        assert_eq!(traced.len(), frozen.len() + 9);
+        assert_eq!(traced[frozen.len()], SHARD_QUERY_FLAG_TRACE);
+    }
+
+    #[test]
+    fn shard_query_malformed_trace_tails_are_rejected() {
+        // An unknown flag byte is an error, not silently zero.
+        let mut bad_flag = frozen_old_shard_query(&[1], 2);
+        bad_flag.push(0x80);
+        bad_flag.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&bad_flag),
+            Err(WireError::Corrupt("unknown shard query flags"))
+        ));
+        // A flag byte with a short trace is truncation.
+        let mut short = frozen_old_shard_query(&[1], 2);
+        short.push(SHARD_QUERY_FLAG_TRACE);
+        short.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(Request::decode(&short), Err(WireError::Truncated)));
+        // A full tail with trailing garbage fails the end check.
+        let mut overlong = frozen_old_shard_query(&[1], 2);
+        overlong.push(SHARD_QUERY_FLAG_TRACE);
+        overlong.extend_from_slice(&7u64.to_le_bytes());
+        overlong.push(0);
+        assert!(matches!(
+            Request::decode(&overlong),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    /// The telemetry frames are strictly additive, like the shard
+    /// frames before them: their tags were rejected by every older
+    /// decoder, and no older frame's encoding changed.
+    #[test]
+    fn metrics_frames_are_additive() {
+        assert_eq!(REQ_METRICS, 9);
+        assert_eq!(RESP_METRICS, 10);
+        assert_eq!(Request::Metrics.encode(), vec![REQ_METRICS]);
+        // An old server's request decoder calls tag 9 unknown.
+        assert!(matches!(
+            Request::decode(&[REQ_METRICS + 100]),
+            Err(WireError::UnknownTag { .. })
+        ));
+    }
+
+    fn sample_metrics_report() -> MetricsReport {
+        MetricsReport {
+            counters: vec![
+                ("geodabs_requests_total{kind=\"query\"}".into(), 41),
+                ("geodabs_wal_appends_total".into(), 7),
+            ],
+            gauges: vec![("geodabs_connections".into(), 2, 16)],
+            histograms: vec![
+                MetricsHistogram {
+                    name: "geodabs_request_latency_us{kind=\"query\"}".into(),
+                    sum: 12345,
+                    buckets: vec![(0, 1), (17, 4), (200, 2)],
+                },
+                MetricsHistogram::default(),
+            ],
+            slow_queries: vec![MetricsSlowQuery {
+                trace_id: 0x1234_5678_9ABC_DEF0,
+                kind: "query".into(),
+                total_us: 15_000,
+                stages: vec![("engine".into(), 14_000), ("merge".into(), 500)],
+            }],
+            text: "# TYPE geodabs_requests_total counter\n".into(),
+        }
+    }
+
+    #[test]
+    fn metrics_report_roundtrips() {
+        let report = sample_metrics_report();
+        roundtrip_response(Response::Metrics(report.clone()));
+        roundtrip_response(Response::Metrics(MetricsReport::default()));
+        // The lookup helpers find entries by full name.
+        assert_eq!(
+            report.counter("geodabs_requests_total{kind=\"query\"}"),
+            Some(41)
+        );
+        assert_eq!(report.counter("absent"), None);
+        assert_eq!(report.gauge("geodabs_connections"), Some((2, 16)));
+        let histogram = report
+            .histogram("geodabs_request_latency_us{kind=\"query\"}")
+            .unwrap();
+        assert_eq!(histogram.snapshot().count(), 7);
+    }
+
+    #[test]
+    fn truncated_metrics_payloads_are_typed_errors() {
+        let payload = Response::Metrics(sample_metrics_report()).encode();
+        for cut in 0..payload.len() {
+            assert!(
+                Response::decode(&payload[..cut]).is_err(),
+                "metrics response cut at {cut}"
+            );
+        }
     }
 
     #[test]

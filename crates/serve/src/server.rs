@@ -49,9 +49,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use crate::metrics::{kind_index, ServeMetrics, KINDS};
 use crate::mux::{self, RESPONSE_TOO_LARGE};
 use crate::proto::{DurabilityStats, QueryBody, Request, Response, StatsBody, MAX_FRAME_LEN};
-use crate::shards::{self, cluster_scaffold, ShardedIndex};
+use crate::shards::{self, cluster_scaffold, ShardTelemetry, ShardedIndex};
 
 /// Upper bound on hits across one response (12 wire bytes per hit, so
 /// this is what fits in a frame). Enforced **while the response is
@@ -527,6 +528,7 @@ struct Shared<B> {
     shutdown: Arc<AtomicBool>,
     requests: AtomicU64,
     durability: Option<Durability>,
+    metrics: ServeMetrics,
 }
 
 impl<B> Shared<B> {
@@ -673,9 +675,13 @@ impl<B: ServeBackend> Server<B> {
     ) -> std::io::Result<Server<B>> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics = ServeMetrics::from_env();
         let index = if config.shards() > 1 {
             match backend.into_shards(config.shards()) {
-                Ok(sharded) => Hosted::Sharded(sharded),
+                Ok(mut sharded) => {
+                    sharded.set_telemetry(ShardTelemetry::from_metrics(&metrics));
+                    Hosted::Sharded(sharded)
+                }
                 Err(message) => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidInput,
@@ -693,6 +699,7 @@ impl<B: ServeBackend> Server<B> {
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: AtomicU64::new(0),
             durability: None,
+            metrics,
         });
         Ok(Server {
             listener,
@@ -760,6 +767,7 @@ impl<B: ServeBackend> Server<B> {
                 workers,
                 &shared.shutdown,
                 &shared.requests,
+                &shared.metrics,
                 || (),
                 |_: &mut (), request| execute(shared, request),
             );
@@ -790,19 +798,59 @@ impl<B: ServeBackend> Server<B> {
 }
 
 fn execute<B: ServeBackend>(shared: &Shared<B>, request: Request) -> Response {
-    match &shared.index {
-        Hosted::Locked(index) => execute_locked(shared, index, request),
-        Hosted::Sharded(sharded) => execute_sharded(shared, sharded, request),
+    if matches!(request, Request::Metrics) {
+        return metrics_response(shared);
     }
+    // Query-shaped requests feed the slow-query log, stamped with the
+    // trace id when the frontend minted one (shard scatter frames carry
+    // it on the wire; direct queries have none).
+    let kind = kind_index(&request);
+    let trace = match &request {
+        Request::ShardQuery { trace, .. } => *trace,
+        _ => 0,
+    };
+    let is_query = matches!(
+        request,
+        Request::Query { .. } | Request::QueryBatch { .. } | Request::ShardQuery { .. }
+    );
+    let started = if is_query { shared.metrics.now() } else { None };
+    let mut stages: Vec<(String, u64)> = Vec::new();
+    let response = match &shared.index {
+        Hosted::Locked(index) => execute_locked(shared, index, request, &mut stages),
+        Hosted::Sharded(sharded) => execute_sharded(shared, sharded, request, &mut stages),
+    };
+    if let Some(started) = started {
+        let total_us = started.elapsed().as_micros() as u64;
+        shared
+            .metrics
+            .observe_slow(trace, KINDS[kind], total_us, stages);
+    }
+    response
+}
+
+/// Answers the `Metrics` frame: pull the engine's process-wide scan
+/// counters into the registry, then snapshot everything.
+fn metrics_response<B>(shared: &Shared<B>) -> Response {
+    let telemetry = geodabs_index::engine_telemetry();
+    shared.metrics.sync_engine(
+        telemetry.searches,
+        telemetry.candidates_scanned,
+        telemetry.candidates_admitted,
+        telemetry.prune_cutoffs,
+    );
+    Response::Metrics(shared.metrics.report())
 }
 
 fn execute_locked<B: ServeBackend>(
     shared: &Shared<B>,
     lock: &RwLock<B>,
     request: Request,
+    stages: &mut Vec<(String, u64)>,
 ) -> Response {
+    let metrics = &shared.metrics;
     match request {
         Request::Ping => Response::Pong,
+        Request::Metrics => metrics_response(shared),
         Request::Stats { durability } => match lock.read() {
             Ok(index) => Response::Stats(StatsBody {
                 backend: index.backend_name().to_string(),
@@ -819,16 +867,29 @@ fn execute_locked<B: ServeBackend>(
             }),
             Err(_) => poisoned(shared),
         },
-        Request::Query { query, options } => match lock.read() {
-            Ok(index) => match run_query(&*index, &query, &options) {
-                Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
-                    Response::Error(RESPONSE_TOO_LARGE.to_string())
+        Request::Query { query, options } => {
+            let lock_started = metrics.now();
+            match lock.read() {
+                Ok(index) => {
+                    let lock_us = metrics.record_since(&metrics.stage_lock_us, lock_started);
+                    let engine_started = metrics.now();
+                    let result = run_query(&*index, &query, &options);
+                    let engine_us = metrics.record_since(&metrics.stage_engine_us, engine_started);
+                    if lock_started.is_some() {
+                        stages.push(("lock".to_string(), lock_us));
+                        stages.push(("engine".to_string(), engine_us));
+                    }
+                    match result {
+                        Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
+                            Response::Error(RESPONSE_TOO_LARGE.to_string())
+                        }
+                        Ok(hits) => Response::Hits(hits),
+                        Err(message) => Response::Error(message.to_string()),
+                    }
                 }
-                Ok(hits) => Response::Hits(hits),
-                Err(message) => Response::Error(message.to_string()),
-            },
-            Err(_) => poisoned(shared),
-        },
+                Err(_) => poisoned(shared),
+            }
+        }
         Request::QueryBatch { queries, options } => match lock.read() {
             Ok(index) => {
                 let mut batches = Vec::with_capacity(queries.len());
@@ -881,16 +942,29 @@ fn execute_locked<B: ServeBackend>(
             }
             Err(_) => poisoned(shared),
         },
-        Request::ShardQuery { terms, options } => match lock.read() {
-            Ok(index) => match index.shard_query(&terms, &options) {
-                Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
-                    Response::Error(RESPONSE_TOO_LARGE.to_string())
+        Request::ShardQuery { terms, options, .. } => {
+            let lock_started = metrics.now();
+            match lock.read() {
+                Ok(index) => {
+                    let lock_us = metrics.record_since(&metrics.stage_lock_us, lock_started);
+                    let engine_started = metrics.now();
+                    let result = index.shard_query(&terms, &options);
+                    let engine_us = metrics.record_since(&metrics.stage_engine_us, engine_started);
+                    if lock_started.is_some() {
+                        stages.push(("lock".to_string(), lock_us));
+                        stages.push(("engine".to_string(), engine_us));
+                    }
+                    match result {
+                        Ok(hits) if hits.len() > MAX_RESPONSE_HITS => {
+                            Response::Error(RESPONSE_TOO_LARGE.to_string())
+                        }
+                        Ok(hits) => Response::ShardTopK(hits),
+                        Err(message) => Response::Error(message.to_string()),
+                    }
                 }
-                Ok(hits) => Response::ShardTopK(hits),
-                Err(message) => Response::Error(message.to_string()),
-            },
-            Err(_) => poisoned(shared),
-        },
+                Err(_) => poisoned(shared),
+            }
+        }
         Request::ShardInsert { id, terms } => match lock.write() {
             Ok(mut index) => {
                 // Shard support is a static property of the backend:
@@ -925,9 +999,16 @@ fn execute_locked<B: ServeBackend>(
 /// snapshots; mutations funnel through the sharded writer with the WAL
 /// append inside the write critical section (log order = apply order,
 /// exactly like the locked path).
-fn execute_sharded<B>(shared: &Shared<B>, sharded: &ShardedIndex, request: Request) -> Response {
+fn execute_sharded<B>(
+    shared: &Shared<B>,
+    sharded: &ShardedIndex,
+    request: Request,
+    stages: &mut Vec<(String, u64)>,
+) -> Response {
+    let metrics = &shared.metrics;
     match request {
         Request::Ping => Response::Pong,
+        Request::Metrics => metrics_response(shared),
         Request::Stats { durability } => Response::Stats(StatsBody {
             backend: "sharded".to_string(),
             trajectories: sharded.len(),
@@ -939,7 +1020,12 @@ fn execute_sharded<B>(shared: &Shared<B>, sharded: &ShardedIndex, request: Reque
             },
         }),
         Request::Query { query, options } => {
+            let engine_started = metrics.now();
             let hits = sharded_query(sharded, &query, &options);
+            let engine_us = metrics.record_since(&metrics.stage_engine_us, engine_started);
+            if engine_started.is_some() {
+                stages.push(("engine".to_string(), engine_us));
+            }
             if hits.len() > MAX_RESPONSE_HITS {
                 Response::Error(RESPONSE_TOO_LARGE.to_string())
             } else {
@@ -1027,11 +1113,19 @@ fn log_op<B>(shared: &Shared<B>, op: &WalOp) -> Result<(), String> {
         .wal
         .lock()
         .map_err(|_| "write-ahead log is poisoned".to_string())?;
+    let metrics = &shared.metrics;
+    let started = metrics.now();
     wal.append(op)
         .map_err(|e| format!("write-ahead log append failed: {e}"))?;
-    d.last_durable
-        .store(wal.last_durable_seq(), Ordering::Relaxed);
+    metrics.record_since(&metrics.wal_append_us, started);
+    let last_durable = wal.last_durable_seq();
+    d.last_durable.store(last_durable, Ordering::Relaxed);
     d.wal_bytes.store(wal.size_bytes(), Ordering::Relaxed);
+    metrics.wal_last_durable_seq.set(last_durable);
+    metrics
+        .wal_durable_lag
+        .set(wal.last_seq().saturating_sub(last_durable));
+    metrics.wal_bytes.set(wal.size_bytes());
     Ok(())
 }
 
@@ -1062,6 +1156,8 @@ fn compact<B: ServeBackend>(shared: &Shared<B>) -> Result<bool, String> {
     let Some(d) = &shared.durability else {
         return Ok(false);
     };
+    let compaction_started = shared.metrics.now();
+    let bytes_before = d.wal_bytes.load(Ordering::Relaxed);
     let (bytes, watermark) = {
         // Rotating under the same lock(s) as the serialization ties the
         // watermark to exactly the records the serialized state covers.
@@ -1119,6 +1215,13 @@ fn compact<B: ServeBackend>(shared: &Shared<B>) -> Result<bool, String> {
         .map_err(|e| format!("pruning the write-ahead log failed: {e}"))?;
     d.watermark.store(watermark, Ordering::Relaxed);
     d.wal_bytes.store(wal.size_bytes(), Ordering::Relaxed);
+    let metrics = &shared.metrics;
+    metrics.compactions.inc();
+    metrics.record_since(&metrics.compaction_us, compaction_started);
+    metrics
+        .compaction_bytes_folded
+        .add(bytes_before.saturating_sub(wal.size_bytes()));
+    metrics.wal_bytes.set(wal.size_bytes());
     Ok(true)
 }
 

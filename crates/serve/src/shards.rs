@@ -44,7 +44,47 @@ use geodabs_cluster::{merge_heaps, ClusterIndex, ShardNode, ShardRouter};
 use geodabs_core::{Fingerprinter, Fingerprints};
 use geodabs_index::store::Persist;
 use geodabs_index::{SearchOptions, SearchResult};
+use geodabs_obs::Histogram;
 use geodabs_traj::{TrajId, Trajectory};
+
+use crate::metrics::ServeMetrics;
+
+/// The sharded layer's instrument handles, cloned off the server's
+/// registry and installed before serving starts. `None` (the default,
+/// and the state of every `ShardedIndex` built outside a server) keeps
+/// the layer silent.
+pub(crate) struct ShardTelemetry {
+    /// One cell's copy-on-write publish (replay + apply + swap), µs.
+    publish_us: Histogram,
+    /// Missed ops replayed onto the spare copy per publish.
+    replay_depth: Histogram,
+    /// Cells contacted per query fan-out.
+    fanout_cells: Histogram,
+    /// Exact heap merge across the contacted cells, µs.
+    merge_us: Histogram,
+    /// Gates the clock reads, mirroring the registry's kill switch.
+    clock: bool,
+}
+
+impl ShardTelemetry {
+    pub(crate) fn from_metrics(metrics: &ServeMetrics) -> ShardTelemetry {
+        ShardTelemetry {
+            publish_us: metrics.shard_publish_us.clone(),
+            replay_depth: metrics.shard_replay_depth.clone(),
+            fanout_cells: metrics.shard_fanout_cells.clone(),
+            merge_us: metrics.stage_merge_us.clone(),
+            clock: metrics.enabled(),
+        }
+    }
+
+    fn now(&self) -> Option<std::time::Instant> {
+        if self.clock {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+}
 
 /// The paper's fine-grained logical shard count, reused for in-process
 /// cells: many more logical shards than cells keeps the router's
@@ -106,6 +146,9 @@ pub struct ShardedIndex {
     /// Mirror of `indexed.len()`, refreshed after every mutation, so
     /// `Stats` never touches the writer mutex.
     len: AtomicU64,
+    /// Installed by the server before serving starts; `None` outside
+    /// one.
+    telemetry: Option<ShardTelemetry>,
 }
 
 impl ShardedIndex {
@@ -135,7 +178,14 @@ impl ShardedIndex {
             cells,
             writer: Mutex::new(WriterState { backs, indexed }),
             len,
+            telemetry: None,
         }
+    }
+
+    /// Installs the server's instrument handles (before serving starts,
+    /// while the index is still exclusively owned).
+    pub(crate) fn set_telemetry(&mut self, telemetry: ShardTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Number of shard cells (the configured per-core parallelism).
@@ -183,10 +233,22 @@ impl ShardedIndex {
         options: &SearchOptions,
     ) -> Vec<SearchResult> {
         let nodes = self.router.nodes_for_terms(query_fp.set().iter());
-        let heaps = nodes
+        if let Some(t) = &self.telemetry {
+            t.fanout_cells.record(nodes.len() as u64);
+        }
+        // The heaps iterator is lazy: scoring runs inside merge_heaps,
+        // so the merge timer brackets scatter *and* merge. Collecting
+        // first isolates the exact merge cost.
+        let heaps: Vec<Vec<SearchResult>> = nodes
             .into_iter()
-            .map(|node| snapshot(&self.cells[node]).search_fingerprints(query_fp, options));
-        merge_heaps(heaps, options)
+            .map(|node| snapshot(&self.cells[node]).search_fingerprints(query_fp, options))
+            .collect();
+        let merge_started = self.telemetry.as_ref().and_then(ShardTelemetry::now);
+        let merged = merge_heaps(heaps, options);
+        if let (Some(t), Some(started)) = (&self.telemetry, merge_started) {
+            t.merge_us.record(started.elapsed().as_micros() as u64);
+        }
+        merged
     }
 
     /// Indexes a trajectory (replacing any previous shape of the id);
@@ -317,6 +379,10 @@ impl ShardedIndex {
         let WriterState { backs, indexed } = &mut *writer;
         let result = outcome(indexed);
         for (cell, back) in self.cells.iter().zip(backs.iter_mut()) {
+            let publish_started = self.telemetry.as_ref().and_then(ShardTelemetry::now);
+            if let Some(t) = &self.telemetry {
+                t.replay_depth.record(back.missing.len() as u64);
+            }
             // Wait until the last pre-swap reader drops the spare's
             // Arc; bounded by the duration of one in-flight query.
             let mut spins = 0u32;
@@ -342,6 +408,9 @@ impl ShardedIndex {
             }
             // The demoted copy has seen everything but this op.
             back.missing.push(op.clone());
+            if let (Some(t), Some(started)) = (&self.telemetry, publish_started) {
+                t.publish_us.record(started.elapsed().as_micros() as u64);
+            }
         }
         self.len.store(indexed.len() as u64, Ordering::Release);
         Ok(result)

@@ -7,7 +7,9 @@
 use geodabs_geo::Point;
 use geodabs_index::{SearchOptions, SearchResult};
 use geodabs_serve::proto::{write_frame, FrameReader, MAX_FRAME_LEN};
-use geodabs_serve::{QueryBody, Request, Response, WireError};
+use geodabs_serve::{
+    MetricsHistogram, MetricsReport, MetricsSlowQuery, QueryBody, Request, Response, WireError,
+};
 use geodabs_traj::{TrajId, Trajectory};
 use proptest::prelude::*;
 
@@ -45,6 +47,13 @@ fn shard_frames() -> Vec<Vec<u8>> {
         Request::ShardQuery {
             terms: vec![3, 77, 65_536],
             options: SearchOptions::default().limit(5),
+            trace: 0,
+        }
+        .encode(),
+        Request::ShardQuery {
+            terms: vec![3, 77, 65_536],
+            options: SearchOptions::default().limit(5),
+            trace: 0x1234_5678_9ABC_DEF0,
         }
         .encode(),
         Request::ShardInsert {
@@ -63,6 +72,90 @@ fn shard_frames() -> Vec<Vec<u8>> {
         }
         .encode(),
     ]
+}
+
+/// A populated telemetry report, so the metrics frames exercise every
+/// nested shape (counters, gauges, sparse histograms, slow queries).
+fn sample_report() -> MetricsReport {
+    MetricsReport {
+        counters: vec![("geodabs_requests_total".into(), 42)],
+        gauges: vec![("geodabs_connections".into(), 3, 9)],
+        histograms: vec![MetricsHistogram {
+            name: "geodabs_request_latency_us".into(),
+            sum: 1234,
+            buckets: vec![(0, 5), (17, 2), (495, 1)],
+        }],
+        slow_queries: vec![MetricsSlowQuery {
+            trace_id: 0xFEED_FACE_CAFE_BEEF,
+            kind: "query".into(),
+            total_us: 1500,
+            stages: vec![("engine".into(), 1400), ("lock".into(), 100)],
+        }],
+        text: "# TYPE geodabs_requests_total counter\n".into(),
+    }
+}
+
+/// The telemetry frames run through the same corruption gauntlets.
+fn metrics_frames() -> Vec<Vec<u8>> {
+    vec![
+        Request::Metrics.encode(),
+        Response::Metrics(sample_report()).encode(),
+    ]
+}
+
+#[test]
+fn every_strict_prefix_of_a_metrics_frame_is_rejected() {
+    for payload in metrics_frames() {
+        let wire = framed(&payload);
+        for cut in 1..wire.len() {
+            let result = read_one(&wire[..cut]);
+            assert!(
+                matches!(result, Err(WireError::Truncated)),
+                "cut at {cut}: {result:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_in_a_metrics_frame_is_rejected() {
+    for payload in metrics_frames() {
+        let wire = framed(&payload);
+        for byte in 0..wire.len() {
+            for bit in 0..8u8 {
+                let mut corrupted = wire.clone();
+                corrupted[byte] ^= 1 << bit;
+                let outcome = read_one(&corrupted);
+                assert!(
+                    outcome.is_err(),
+                    "flip of bit {bit} in byte {byte} survived: {outcome:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_metrics_payloads_are_typed_errors() {
+    let payload = Response::Metrics(sample_report()).encode();
+    for cut in 0..payload.len() {
+        assert!(
+            Response::decode(&payload[..cut]).is_err(),
+            "metrics response cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn metrics_report_roundtrip_is_identity() {
+    let response = Response::Metrics(sample_report());
+    assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+    let empty = Response::Metrics(MetricsReport::default());
+    assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    assert_eq!(
+        Request::decode(&Request::Metrics.encode()).unwrap(),
+        Request::Metrics
+    );
 }
 
 #[test]
@@ -104,14 +197,29 @@ fn truncated_shard_payloads_are_typed_errors() {
     // tags. (Only the matching decoder is asserted: request and
     // response tags are separate spaces, so a request prefix may
     // coincidentally parse as some response.)
-    let [shard_query, shard_insert, shard_topk, unavailable]: [Vec<u8>; 4] =
-        shard_frames().try_into().expect("four shard frames");
-    for payload in [shard_query, shard_insert] {
+    let [shard_query, traced_query, shard_insert, shard_topk, unavailable]: [Vec<u8>; 5] =
+        shard_frames().try_into().expect("five shard frames");
+    for payload in [&shard_query, &shard_insert] {
         for cut in 0..payload.len() {
             assert!(
                 Request::decode(&payload[..cut]).is_err(),
                 "request cut at {cut}"
             );
+        }
+    }
+    // The traced shard query is the untraced frame plus a trace tail, so
+    // the cut landing exactly on the legacy boundary IS a valid legacy
+    // frame (that is the back-compat contract); every other cut — a bare
+    // flag byte, a chopped trace — must fail typed.
+    for cut in 0..traced_query.len() {
+        let decoded = Request::decode(&traced_query[..cut]);
+        if cut == shard_query.len() {
+            assert!(
+                matches!(decoded, Ok(Request::ShardQuery { trace: 0, .. })),
+                "legacy-boundary cut must decode untraced: {decoded:?}"
+            );
+        } else {
+            assert!(decoded.is_err(), "traced request cut at {cut}: {decoded:?}");
         }
     }
     for payload in [shard_topk, unavailable] {
@@ -235,10 +343,12 @@ proptest! {
     fn shard_query_roundtrip_is_identity(
         terms in proptest::collection::vec(any::<u32>(), 0..80),
         limit in 0usize..50,
+        trace in any::<u64>(),
     ) {
         let request = Request::ShardQuery {
             terms,
             options: SearchOptions::default().limit(limit),
+            trace,
         };
         prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
     }
